@@ -1,0 +1,32 @@
+# 4-tap FIR filter over a 16-sample ramp; prints the last output (f12).
+# taps = {0.25, 0.25, 0.25, 0.25} -> output = moving average.
+main:
+  la r10, samples
+  la r11, taps
+  li r1, 3             # output index starts at tap count - 1
+oloop:
+  cvt.if f1, r0        # acc = 0
+  li r2, 0             # tap index
+tloop:
+  sub r3, r1, r2       # sample index = i - k
+  sll r4, r3, 3
+  add r4, r4, r10
+  ldf f2, 0(r4)
+  sll r4, r2, 3
+  add r4, r4, r11
+  ldf f3, 0(r4)
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r2, r2, 1
+  slti r5, r2, 4
+  bne r5, r0, tloop
+  addi r1, r1, 1
+  slti r5, r1, 16
+  bne r5, r0, oloop
+  fmov f12, f1
+  trap 3
+  li a0, 0
+  trap 0
+.data
+samples: .double 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+taps:    .double 0.25, 0.25, 0.25, 0.25

@@ -1,0 +1,27 @@
+# Sum of gcd(n, 36) for n in 1..60, printed as one integer.
+# Exercises rem, branches and call/return.
+main:
+  li r10, 1          # n
+  li r11, 0          # accumulator
+loop:
+  mv a0, r10
+  li a1, 36
+  jal gcd
+  add r11, r11, v0
+  addi r10, r10, 1
+  slti r5, r10, 61
+  bne r5, r0, loop
+  mv a0, r11
+  trap 1
+  li a0, 0
+  trap 0
+
+gcd:                 # v0 = gcd(a0, a1), iterative Euclid
+  beq a1, r0, done
+  rem r6, a0, a1
+  mv a0, a1
+  mv a1, r6
+  b gcd
+done:
+  mv v0, a0
+  ret

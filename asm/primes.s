@@ -1,0 +1,24 @@
+# Count primes below 200 by trial division; prints 46.
+main:
+  li r1, 2          # candidate
+  li r2, 0          # prime count
+outer:
+  li r3, 2          # divisor
+inner:
+  mul r4, r3, r3
+  slt r5, r1, r4    # r5 = candidate < divisor^2 -> no divisor found
+  bne r5, r0, isprime
+  rem r4, r1, r3
+  beq r4, r0, notprime
+  addi r3, r3, 1
+  b inner
+isprime:
+  addi r2, r2, 1
+notprime:
+  addi r1, r1, 1
+  slti r5, r1, 200
+  bne r5, r0, outer
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0

@@ -1,0 +1,43 @@
+# Sieve of Eratosthenes up to 100; prints the prime count (25).
+main:
+  la r10, flags
+  li r1, 2
+outer:
+  mul r2, r1, r1
+  slti r5, r2, 101
+  beq r5, r0, count      # stop when p*p > 100
+  sll r3, r1, 2
+  add r3, r3, r10
+  lw r4, 0(r3)
+  bne r4, r0, next       # already composite
+mark:
+  slti r5, r2, 101
+  beq r5, r0, next
+  sll r3, r2, 2
+  add r3, r3, r10
+  li r4, 1
+  sw r4, 0(r3)
+  add r2, r2, r1
+  b mark
+next:
+  addi r1, r1, 1
+  b outer
+count:
+  li r1, 2
+  li r2, 0
+cloop:
+  sll r3, r1, 2
+  add r3, r3, r10
+  lw r4, 0(r3)
+  bne r4, r0, skip
+  addi r2, r2, 1
+skip:
+  addi r1, r1, 1
+  slti r5, r1, 101
+  bne r5, r0, cloop
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0
+.data
+flags: .space 404

@@ -1,0 +1,19 @@
+// Section 2.3 extension: coarse-grain checkpointing triggered when the ITR
+// cache holds zero unchecked lines; rollback recovers misses that a pipeline
+// flush cannot.
+#include "figlib.hpp"
+#include "workload/spec_profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itr;
+  const util::CliFlags flags(argc, argv);
+  const auto insns = flags.get_u64("insns", 6'000'000);
+  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  flags.get_bool("csv");
+  flags.reject_unknown();
+  bench::emit(flags, "Ablation: coarse-grain checkpointing (paper Section 2.3)",
+              "Every missed-but-later-referenced instance becomes recoverable by\n"
+              "rolling back to the live checkpoint; residual loss = evicted misses.",
+              bench::checkpoint_table(names, insns));
+  return 0;
+}

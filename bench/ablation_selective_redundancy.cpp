@@ -1,0 +1,18 @@
+// Section 3 future-work filter: fall back to conventional time redundancy
+// (redundant fetch+decode) only on ITR cache misses.
+#include "figlib.hpp"
+#include "workload/spec_profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itr;
+  const util::CliFlags flags(argc, argv);
+  const auto insns = flags.get_u64("insns", 6'000'000);
+  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  flags.get_bool("csv");
+  flags.reject_unknown();
+  bench::emit(flags, "Ablation: selective time redundancy on ITR miss (paper Section 3)",
+              "Closing the recovery hole costs only the miss fraction of full time\n"
+              "redundancy's frontend energy.",
+              bench::selective_redundancy_table(names, insns));
+  return 0;
+}

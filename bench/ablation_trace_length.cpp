@@ -1,0 +1,20 @@
+// Trace-length design-space ablation: the paper terminates traces at 16
+// instructions; shorter traces mean more ITR cache accesses (energy) and
+// more static traces (capacity pressure), longer traces amortize both.
+#include "figlib.hpp"
+#include "workload/spec_profiles.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itr;
+  const util::CliFlags flags(argc, argv);
+  const auto insns = flags.get_u64("insns", 4'000'000);
+  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  flags.get_bool("csv");
+  flags.reject_unknown();
+  bench::emit(flags, "Ablation: maximum trace length (paper fixes 16)",
+              "Shorter traces raise ITR-cache access rates and static-trace counts;\n"
+              "longer ones amortize lookups but put more instructions at risk per\n"
+              "unchecked signature.",
+              bench::trace_length_table(names, insns));
+  return 0;
+}

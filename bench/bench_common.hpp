@@ -1,0 +1,52 @@
+// Shared plumbing for the per-figure/per-table bench binaries.
+//
+// Every binary prints the rows/series of one paper exhibit as an aligned
+// ASCII table (or CSV with --csv) plus a short header stating what the paper
+// reported, so EXPERIMENTS.md comparisons can be regenerated mechanically.
+//
+// Common flags:
+//   --insns N        dynamic instructions simulated per benchmark
+//                    (paper: 200M after a 900M skip; default is smaller)
+//   --csv            emit CSV instead of the aligned table
+//   --benchmarks a,b restrict to a comma-separated subset
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace itr::bench {
+
+/// Parses the comma-separated --benchmarks flag against `all`; returns `all`
+/// when the flag is absent.
+inline std::vector<std::string> select_benchmarks(const util::CliFlags& flags,
+                                                  const std::vector<std::string>& all) {
+  const std::string list = flags.get_string("benchmarks", "");
+  if (list.empty()) return all;
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Prints the exhibit header and the table in the requested format.
+inline void emit(const util::CliFlags& flags, const std::string& title,
+                 const std::string& paper_note, const util::Table& table) {
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+    return;
+  }
+  std::cout << "== " << title << " ==\n";
+  if (!paper_note.empty()) std::cout << paper_note << "\n";
+  std::cout << "\n";
+  table.print(std::cout);
+}
+
+}  // namespace itr::bench

@@ -1,0 +1,409 @@
+#include "figlib.hpp"
+
+#include <map>
+
+#include "util/rng.hpp"
+
+#include "power/cacti.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "trace/trace_builder.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr::bench {
+
+trace::RepetitionAnalyzer analyze_benchmark(const std::string& name,
+                                            std::uint64_t insns) {
+  const auto prog = workload::generate_spec(name, insns * 2);
+  trace::RepetitionAnalyzer an;
+  trace::TraceBuilder tb([&an](const trace::TraceRecord& r) { an.on_trace(r); });
+  sim::FunctionalSim fsim(prog);
+  fsim.run(insns, [&tb](const sim::FunctionalSim::Step& s) {
+    tb.on_instruction(s.pc, s.sig, s.index);
+  });
+  tb.flush();
+  return an;
+}
+
+util::Table repetition_table(const std::vector<std::string>& names,
+                             std::uint64_t insns) {
+  const std::vector<std::size_t> points = {10, 25, 50, 100, 200, 300, 500, 1000};
+  std::vector<std::string> headers = {"benchmark", "statics"};
+  for (auto p : points) headers.push_back("top" + std::to_string(p));
+  util::Table table(std::move(headers));
+  for (const auto& name : names) {
+    const auto an = analyze_benchmark(name, insns);
+    const auto curve = an.cumulative_share_by_hotness();
+    table.begin_row().add(name).add(an.num_static_traces());
+    for (auto p : points) {
+      const double share = curve.empty() ? 0.0
+                           : p <= curve.size() ? curve[p - 1]
+                                               : curve.back();
+      table.add(100.0 * share, 1);
+    }
+  }
+  return table;
+}
+
+util::Table proximity_table(const std::vector<std::string>& names,
+                            std::uint64_t insns) {
+  const std::vector<std::uint64_t> edges = {500,  1000, 1500, 2000,
+                                            3000, 5000, 10000};
+  std::vector<std::string> headers = {"benchmark"};
+  for (auto e : edges) headers.push_back("<" + std::to_string(e));
+  util::Table table(std::move(headers));
+  for (const auto& name : names) {
+    const auto an = analyze_benchmark(name, insns);
+    table.begin_row().add(name);
+    for (auto e : edges) table.add(100.0 * an.share_repeating_within(e), 1);
+  }
+  return table;
+}
+
+std::uint64_t paper_static_traces(const std::string& name) {
+  static const std::map<std::string, std::uint64_t> kPaper = {
+      {"bzip", 283},   {"gap", 696},    {"gcc", 24017}, {"gzip", 291},
+      {"parser", 865}, {"perl", 1704},  {"twolf", 481}, {"vortex", 2655},
+      {"vpr", 292},    {"applu", 282},  {"apsi", 1274}, {"art", 98},
+      {"equake", 336}, {"mgrid", 798},  {"swim", 73},   {"wupwise", 18}};
+  const auto it = kPaper.find(name);
+  return it == kPaper.end() ? 0 : it->second;
+}
+
+util::Table static_trace_table(const std::vector<std::string>& names,
+                               std::uint64_t insns) {
+  util::Table table({"benchmark", "paper", "measured", "delta%"});
+  for (const auto& name : names) {
+    const auto an = analyze_benchmark(name, insns);
+    const auto paper = paper_static_traces(name);
+    const auto measured = an.num_static_traces();
+    const double delta =
+        paper == 0 ? 0.0
+                   : 100.0 * (static_cast<double>(measured) - static_cast<double>(paper)) /
+                         static_cast<double>(paper);
+    table.begin_row().add(name).add(paper).add(measured).add(delta, 2);
+  }
+  return table;
+}
+
+namespace {
+
+struct SweepPoint {
+  const char* label;
+  std::size_t assoc;  // 0 = fully associative
+};
+
+constexpr SweepPoint kAssocSweep[] = {{"dm", 1},    {"2-way", 2},  {"4-way", 4},
+                                      {"8-way", 8}, {"16-way", 16}, {"fa", 0}};
+constexpr std::size_t kSizeSweep[] = {256, 512, 1024};
+
+}  // namespace
+
+util::Table coverage_sweep_table(const std::vector<std::string>& names,
+                                 std::uint64_t insns, bool detection) {
+  std::vector<std::string> headers = {"benchmark", "assoc"};
+  for (auto size : kSizeSweep) headers.push_back(std::to_string(size) + "sig%");
+  util::Table table(std::move(headers));
+
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    const auto stream = workload::collect_trace_stream(prog, insns);
+    for (const auto& point : kAssocSweep) {
+      table.begin_row().add(name).add(point.label);
+      for (auto size : kSizeSweep) {
+        core::ItrCacheConfig cfg;
+        cfg.num_signatures = size;
+        cfg.associativity = point.assoc;
+        const auto counters = core::replay_coverage(stream, cfg);
+        table.add(detection ? counters.detection_loss_percent()
+                            : counters.recovery_loss_percent(),
+                  2);
+      }
+    }
+  }
+  return table;
+}
+
+util::Table fault_injection_table(const std::vector<std::string>& names,
+                                  std::uint64_t insns, std::uint64_t faults,
+                                  std::uint64_t window_cycles, std::uint64_t seed) {
+  std::vector<std::string> headers = {"benchmark"};
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
+  }
+  headers.push_back("ITR-detected");
+  util::Table table(std::move(headers));
+
+  std::array<double, fi::kNumOutcomes> avg{};
+  double avg_detected = 0.0;
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns);
+    fi::CampaignConfig cfg;
+    cfg.observation_cycles = window_cycles;
+    cfg.warmup_instructions = std::min<std::uint64_t>(insns / 10, 50'000);
+    cfg.inject_region = insns / 2;
+    cfg.seed = seed;
+    fi::FaultInjectionCampaign camp(prog, cfg);
+    const auto summary = camp.run(faults);
+    table.begin_row().add(name);
+    for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+      const double pct = summary.percent(static_cast<fi::Outcome>(i));
+      avg[i] += pct;
+      table.add(pct, 1);
+    }
+    table.add(summary.itr_detected_percent(), 1);
+    avg_detected += summary.itr_detected_percent();
+  }
+  if (!names.empty()) {
+    table.begin_row().add("Avg");
+    for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+      table.add(avg[i] / static_cast<double>(names.size()), 1);
+    }
+    table.add(avg_detected / static_cast<double>(names.size()), 1);
+  }
+  return table;
+}
+
+util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns) {
+  util::Table table({"benchmark", "insns", "icache-2x-fetch mJ", "itr 1rd/wr mJ",
+                     "itr 1rd+1wr mJ", "itr/icache"});
+  const auto icache = power::power4_icache_geometry();
+  const auto itr1 = power::itr_cache_geometry(1);
+  const auto itr2 = power::itr_cache_geometry(2);
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    sim::CycleSim::Options opt;
+    opt.itr = core::ItrCacheConfig{};  // paper config: 1024 signatures, 2-way
+    sim::CycleSim cs(prog, std::move(opt));
+    cs.run(insns);
+    const auto& counters = cs.itr_unit()->cache().counters();
+    const std::uint64_t itr_accesses = counters.cache_reads + counters.cache_writes;
+    // Redundant fetch energy: one extra I-cache access per fetch bundle.
+    const double icache_mj = power::total_energy_mj(icache, cs.stats().fetch_bundles);
+    const double itr1_mj = power::total_energy_mj(itr1, itr_accesses);
+    const double itr2_mj = power::total_energy_mj(itr2, itr_accesses);
+    table.begin_row()
+        .add(name)
+        .add(cs.stats().instructions_committed)
+        .add(icache_mj, 2)
+        .add(itr1_mj, 2)
+        .add(itr2_mj, 2)
+        .add(icache_mj == 0.0 ? 0.0 : itr1_mj / icache_mj, 3);
+  }
+  return table;
+}
+
+util::Table checkpoint_table(const std::vector<std::string>& names,
+                             std::uint64_t insns) {
+  // Threshold sweep: the paper proposes checkpointing at zero unchecked
+  // lines; in steady state cold once-executed traces keep that count above
+  // zero, so we also report small nonzero thresholds (each tolerated
+  // unchecked line is a bounded residual vulnerability).
+  util::Table table({"benchmark", "threshold", "checkpoints", "mean-interval",
+                     "recovery-loss%", "recovered-by-ckpt%", "residual-loss%"});
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    const auto stream = workload::collect_trace_stream(prog, insns);
+    for (const std::uint64_t threshold : {std::uint64_t{0}, std::uint64_t{8},
+                                          std::uint64_t{32}, std::uint64_t{128}}) {
+      core::ItrCacheConfig cfg;  // paper config
+      const auto st = core::replay_with_checkpoints(stream, cfg, threshold);
+      const double total = static_cast<double>(st.coverage.total_instructions);
+      const double rec_loss = st.coverage.recovery_loss_percent();
+      const double recovered =
+          total == 0.0
+              ? 0.0
+              : 100.0 * static_cast<double>(st.recoverable_by_checkpoint_instructions) /
+                    total;
+      table.begin_row()
+          .add(name)
+          .add(threshold)
+          .add(st.checkpoints_taken)
+          .add(st.mean_checkpoint_interval, 0)
+          .add(rec_loss, 2)
+          .add(recovered, 2)
+          .add(rec_loss - recovered, 2);
+    }
+  }
+  return table;
+}
+
+util::Table checked_lru_table(const std::vector<std::string>& names,
+                              std::uint64_t insns) {
+  util::Table table({"benchmark", "size", "lru-det%", "checked-first-det%",
+                     "lru-rec%", "checked-first-rec%"});
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    const auto stream = workload::collect_trace_stream(prog, insns);
+    for (std::size_t size : {std::size_t{256}, std::size_t{1024}}) {
+      core::ItrCacheConfig lru;
+      lru.num_signatures = size;
+      lru.associativity = 2;
+      core::ItrCacheConfig checked = lru;
+      checked.replacement = cache::Replacement::kPreferFlaggedLru;
+      const auto a = core::replay_coverage(stream, lru);
+      const auto b = core::replay_coverage(stream, checked);
+      table.begin_row()
+          .add(name)
+          .add(static_cast<std::uint64_t>(size))
+          .add(a.detection_loss_percent(), 2)
+          .add(b.detection_loss_percent(), 2)
+          .add(a.recovery_loss_percent(), 2)
+          .add(b.recovery_loss_percent(), 2);
+    }
+  }
+  return table;
+}
+
+util::Table selective_redundancy_table(const std::vector<std::string>& names,
+                                       std::uint64_t insns) {
+  // Section 3 future work: on an ITR-cache miss, re-fetch and re-decode the
+  // trace (conventional time redundancy as a fallback), closing the recovery
+  // coverage hole at the cost of extra frontend energy.
+  util::Table table({"benchmark", "miss-insns%", "itr mJ", "selective mJ",
+                     "full-TR mJ", "selective-savings-x"});
+  const auto icache = power::power4_icache_geometry();
+  const auto itr1 = power::itr_cache_geometry(1);
+  const double insns_per_fetch = 3.0;  // measured average bundle size
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    const auto stream = workload::collect_trace_stream(prog, insns);
+    core::ItrCacheConfig cfg;  // paper config
+    const auto counters = core::replay_coverage(stream, cfg);
+    const double total = static_cast<double>(counters.total_instructions);
+    const double miss_insns = static_cast<double>(counters.recovery_loss_instructions);
+    const double itr_mj =
+        power::total_energy_mj(itr1, counters.cache_reads + counters.cache_writes);
+    const double refetch_mj = power::total_energy_mj(
+        icache, static_cast<std::uint64_t>(miss_insns / insns_per_fetch));
+    const double full_tr_mj = power::total_energy_mj(
+        icache, static_cast<std::uint64_t>(total / insns_per_fetch));
+    const double selective_mj = itr_mj + refetch_mj;
+    table.begin_row()
+        .add(name)
+        .add(total == 0.0 ? 0.0 : 100.0 * miss_insns / total, 2)
+        .add(itr_mj, 2)
+        .add(selective_mj, 2)
+        .add(full_tr_mj, 2)
+        .add(selective_mj == 0.0 ? 0.0 : full_tr_mj / selective_mj, 1);
+  }
+  return table;
+}
+
+util::Table trace_length_table(const std::vector<std::string>& names,
+                               std::uint64_t insns) {
+  util::Table table({"benchmark", "max-len", "dyn-traces", "avg-len",
+                     "detection-loss%", "recovery-loss%", "itr-reads/1k-insns"});
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    for (const unsigned max_len : {4u, 8u, 16u, 32u}) {
+      const auto stream = workload::collect_trace_stream(prog, insns, max_len);
+      core::ItrCacheConfig cfg;  // paper configuration
+      const auto counters = core::replay_coverage(stream, cfg);
+      const double traces = static_cast<double>(counters.total_traces);
+      const double total = static_cast<double>(counters.total_instructions);
+      table.begin_row()
+          .add(name)
+          .add(static_cast<std::uint64_t>(max_len))
+          .add(counters.total_traces)
+          .add(traces == 0.0 ? 0.0 : total / traces, 2)
+          .add(counters.detection_loss_percent(), 2)
+          .add(counters.recovery_loss_percent(), 2)
+          .add(total == 0.0 ? 0.0 : 1000.0 * static_cast<double>(counters.cache_reads) / total,
+               1);
+    }
+  }
+  return table;
+}
+
+util::Table rename_check_table(const std::vector<std::string>& names,
+                               std::uint64_t insns, std::uint64_t faults,
+                               std::uint64_t seed) {
+  util::Table table({"benchmark", "faults", "sdc%", "rename-check-detect%",
+                     "decode-itr-detect%"});
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns);
+    util::Xoshiro256StarStar rng(seed);
+    std::uint64_t sdc = 0, rename_det = 0, decode_det = 0;
+    for (std::uint64_t i = 0; i < faults; ++i) {
+      sim::CycleSim::Options opt;
+      opt.itr = core::ItrCacheConfig{};
+      opt.rename_check = true;
+      opt.rename_fault.enabled = true;
+      opt.rename_fault.target_decode_index = 20'000 + rng.below(insns / 4);
+      opt.rename_fault.port = static_cast<std::uint8_t>(rng.below(3));
+      opt.rename_fault.bit = static_cast<std::uint8_t>(rng.below(5));
+      opt.max_cycles = 60'000;
+      sim::CycleSim faulty(prog, std::move(opt));
+      sim::FunctionalSim golden(prog);
+      bool this_sdc = false, this_rename = false, this_decode = false;
+      std::uint64_t budget = 200'000;
+      while (budget > 0) {
+        const bool alive = faulty.advance();
+        while (auto ev = faulty.next_itr_event()) {
+          this_rename |= ev->kind == sim::ItrEvent::Kind::kRenameMismatch;
+          this_decode |= ev->kind == sim::ItrEvent::Kind::kMismatchDetected;
+        }
+        while (auto crec = faulty.next_commit()) {
+          --budget;
+          if (!this_sdc && !golden.done()) {
+            const auto g = golden.step();
+            if (crec->pc != g.pc || crec->int_value != g.fx.int_value ||
+                crec->store_value != g.fx.store_value) {
+              this_sdc = true;
+            }
+          }
+        }
+        if (!alive) break;
+        if (this_rename && this_sdc) break;
+      }
+      sdc += this_sdc ? 1 : 0;
+      rename_det += this_rename ? 1 : 0;
+      decode_det += this_decode ? 1 : 0;
+    }
+    const double n = static_cast<double>(faults);
+    table.begin_row()
+        .add(name)
+        .add(faults)
+        .add(100.0 * static_cast<double>(sdc) / n, 1)
+        .add(100.0 * static_cast<double>(rename_det) / n, 1)
+        .add(100.0 * static_cast<double>(decode_det) / n, 1);
+  }
+  return table;
+}
+
+util::Table perf_overhead_table(const std::vector<std::string>& names,
+                                std::uint64_t insns) {
+  util::Table table({"benchmark", "ipc-no-itr", "ipc-lat2", "ipc-lat8", "ipc-lat16",
+                     "overhead-lat8%", "stall-cycles-lat8"});
+  for (const auto& name : names) {
+    const auto prog = workload::generate_spec(name, insns * 2);
+    auto run_ipc = [&](bool itr_on, unsigned probe_latency,
+                       std::uint64_t* stalls) {
+      sim::CycleSim::Options opt;
+      if (itr_on) opt.itr = core::ItrCacheConfig{};
+      opt.config.itr_probe_latency = probe_latency;
+      sim::CycleSim cs(prog, std::move(opt));
+      cs.run(insns);
+      if (stalls != nullptr) *stalls = cs.stats().itr_commit_stall_cycles;
+      return cs.stats().ipc();
+    };
+    const double base = run_ipc(false, 0, nullptr);
+    const double lat2 = run_ipc(true, 2, nullptr);
+    std::uint64_t stalls8 = 0;
+    const double lat8 = run_ipc(true, 8, &stalls8);
+    const double lat16 = run_ipc(true, 16, nullptr);
+    table.begin_row()
+        .add(name)
+        .add(base, 3)
+        .add(lat2, 3)
+        .add(lat8, 3)
+        .add(lat16, 3)
+        .add(base == 0.0 ? 0.0 : 100.0 * (base - lat8) / base, 2)
+        .add(stalls8);
+  }
+  return table;
+}
+
+}  // namespace itr::bench

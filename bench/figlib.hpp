@@ -1,0 +1,87 @@
+// Experiment drivers shared by the per-exhibit bench binaries.
+//
+// Each function regenerates one class of paper exhibit; the thin main() in
+// each fig*/table* binary parses flags, calls one driver, and prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fi/classify.hpp"
+#include "itr/coverage.hpp"
+#include "trace/analysis.hpp"
+#include "util/table.hpp"
+
+namespace itr::bench {
+
+/// Runs `name` for `insns` instructions and returns the repetition analysis
+/// (Figures 1-4, Table 1 input).
+trace::RepetitionAnalyzer analyze_benchmark(const std::string& name,
+                                            std::uint64_t insns);
+
+/// Figures 1/2: cumulative %-of-dynamic-instructions rows for the top-N
+/// static traces of each benchmark.
+util::Table repetition_table(const std::vector<std::string>& names,
+                             std::uint64_t insns);
+
+/// Figures 3/4: cumulative % of dynamic instructions from traces repeating
+/// within each 500-instruction distance bin (up to 10 000, plus overflow).
+util::Table proximity_table(const std::vector<std::string>& names,
+                            std::uint64_t insns);
+
+/// Table 1: measured static-trace counts next to the paper's numbers.
+util::Table static_trace_table(const std::vector<std::string>& names,
+                               std::uint64_t insns);
+
+/// Paper's number for Table 1 (0 when the benchmark is not listed).
+std::uint64_t paper_static_traces(const std::string& name);
+
+/// The Section 3 design-space sweep: associativities dm,2,4,8,16,fa crossed
+/// with 256/512/1024 signatures.  `detection` selects Figure 6 (detection
+/// loss) vs Figure 7 (recovery loss).
+util::Table coverage_sweep_table(const std::vector<std::string>& names,
+                                 std::uint64_t insns, bool detection);
+
+/// Figure 8: fault-injection outcome breakdown per benchmark plus the
+/// average column, using the paper's 2-way 1024-signature ITR cache.
+util::Table fault_injection_table(const std::vector<std::string>& names,
+                                  std::uint64_t insns, std::uint64_t faults,
+                                  std::uint64_t window_cycles, std::uint64_t seed);
+
+/// Figure 9: energy of the ITR cache (1 rd/wr and 1rd+1wr ports) vs
+/// redundant I-cache fetch, per benchmark, from cycle-level access counts.
+util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns);
+
+/// Section 2.3 extension: coarse-grain checkpointing statistics.
+util::Table checkpoint_table(const std::vector<std::string>& names,
+                             std::uint64_t insns);
+
+/// Replacement-policy ablation: plain LRU vs checked-first LRU.
+util::Table checked_lru_table(const std::vector<std::string>& names,
+                              std::uint64_t insns);
+
+/// Section 3 future-work filter: selective time redundancy on ITR miss.
+util::Table selective_redundancy_table(const std::vector<std::string>& names,
+                                       std::uint64_t insns);
+
+/// Trace-length design-space ablation: the paper fixes the trace limit at 16
+/// instructions; this sweeps it (4/8/16/32) and reports static-trace counts
+/// and coverage loss at the paper's cache configuration.
+util::Table trace_length_table(const std::vector<std::string>& names,
+                               std::uint64_t insns);
+
+/// Rename-check extension (paper Section 1): coverage of rename map-table
+/// port faults with and without the rename-index ITR signature.
+util::Table rename_check_table(const std::vector<std::string>& names,
+                               std::uint64_t insns, std::uint64_t faults,
+                               std::uint64_t seed);
+
+/// Performance-overhead ablation: IPC without ITR hardware vs with ITR at
+/// increasing probe latencies (the commit logic stalls a trace-ending
+/// instruction until its chk/miss bit is set, paper Section 2.2).
+util::Table perf_overhead_table(const std::vector<std::string>& names,
+                                std::uint64_t insns);
+
+}  // namespace itr::bench

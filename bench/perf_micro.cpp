@@ -1,0 +1,97 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// decode + signature generation, ITR cache probe/install, functional
+// simulation and cycle-level simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "isa/decode.hpp"
+#include "itr/itr_cache.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace itr;
+
+void BM_DecodeSignals(benchmark::State& state) {
+  util::Xoshiro256StarStar rng(1);
+  std::vector<std::uint64_t> raws;
+  for (int i = 0; i < 1024; ++i) {
+    raws.push_back(isa::encode(isa::make_rr(isa::Opcode::kAdd,
+                                            static_cast<int>(rng.below(32)),
+                                            static_cast<int>(rng.below(32)),
+                                            static_cast<int>(rng.below(32)))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode_raw(raws[i++ & 1023]).pack());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeSignals);
+
+void BM_SignatureFold(benchmark::State& state) {
+  const auto sig = isa::decode(isa::make_rr(isa::Opcode::kAdd, 1, 2, 3));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= sig.pack();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SignatureFold);
+
+void BM_ItrCacheProbe(benchmark::State& state) {
+  core::ItrCacheConfig cfg;
+  cfg.num_signatures = static_cast<std::size_t>(state.range(0));
+  core::ItrCache cache(cfg);
+  // Warm with a working set half the cache size.
+  const std::uint64_t ws = cfg.num_signatures / 2;
+  trace::TraceRecord rec;
+  rec.num_instructions = 6;
+  for (std::uint64_t i = 0; i < ws; ++i) {
+    rec.start_pc = 0x10000 + i * 48;
+    rec.signature = i;
+    cache.probe(rec);
+    cache.install(rec);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    rec.start_pc = 0x10000 + (i++ % ws) * 48;
+    rec.signature = i % ws;
+    benchmark::DoNotOptimize(cache.probe(rec).outcome);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ItrCacheProbe)->Arg(256)->Arg(1024);
+
+void BM_FunctionalSim(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 100'000'000);
+  sim::FunctionalSim fsim(prog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.step().fx.next_pc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("instructions");
+}
+BENCHMARK(BM_FunctionalSim);
+
+void BM_CycleSim(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 100'000'000);
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  sim::CycleSim cs(prog, std::move(opt));
+  for (auto _ : state) {
+    cs.advance();
+    while (cs.next_commit().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("instructions (with ITR)");
+}
+BENCHMARK(BM_CycleSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

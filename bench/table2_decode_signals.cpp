@@ -1,0 +1,51 @@
+// Table 2: the decode-signal bundle — field names, widths and descriptions.
+// Regenerated from the authoritative layout in isa/decode.cpp so that the
+// implementation and the paper's table cannot drift apart.
+#include <map>
+
+#include "figlib.hpp"
+#include "isa/decode.hpp"
+
+int main(int argc, char** argv) {
+  using namespace itr;
+  const util::CliFlags flags(argc, argv);
+  flags.get_bool("csv");
+  flags.reject_unknown();
+
+  static const std::map<std::string, std::string> kDescriptions = {
+      {"opcode", "instruction opcode"},
+      {"flags",
+       "decoded control flags (is_int, is_fp, is_signed, is_branch, is_uncond, "
+       "is_ld, is_st, mem_left/right, is_RR, is_disp, is_direct, is_trap)"},
+      {"shamt", "shift amount"},
+      {"rsrc1", "source register operand"},
+      {"rsrc2", "source register operand"},
+      {"rdst", "destination register operand"},
+      {"lat", "execution latency"},
+      {"imm", "immediate"},
+      {"num_rsrc", "number of source operands"},
+      {"num_rdst", "number of destination operands"},
+      {"mem_size", "size of memory word"},
+  };
+
+  util::Table table({"field", "description", "width", "bit-offset"});
+  std::size_t count = 0;
+  const isa::SignalFieldLayout* layout = isa::signal_field_layout(&count);
+  unsigned total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto it = kDescriptions.find(layout[i].name);
+    table.begin_row()
+        .add(layout[i].name)
+        .add(it == kDescriptions.end() ? "" : it->second)
+        .add(static_cast<std::uint64_t>(layout[i].width))
+        .add(static_cast<std::uint64_t>(layout[i].offset));
+    total += layout[i].width;
+  }
+  table.begin_row().add("Total width").add("").add(static_cast<std::uint64_t>(total)).add("");
+
+  bench::emit(flags, "Table 2: list of decode signals",
+              "Paper: eleven fields totalling 64 bits; this is the per-instruction "
+              "bundle whose XOR over a trace forms the ITR signature.",
+              table);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Building a custom workload with the profile API and measuring how its
+// trace-repetition structure drives ITR coverage.
+//
+//   $ ./custom_workload
+//
+// Constructs three synthetic programs — a tight kernel, a capacity-band
+// workload, and a streaming workload — characterizes their inherent time
+// redundancy (the Figures 1/3 methodology), and shows the resulting ITR
+// cache coverage at the paper's 1024-signature 2-way configuration.
+#include <cstdio>
+
+#include "itr/coverage.hpp"
+#include "sim/functional.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace_builder.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace itr;
+
+  struct Scenario {
+    const char* description;
+    workload::BenchmarkProfile profile;
+  };
+  std::vector<Scenario> scenarios;
+
+  {
+    workload::BenchmarkProfile p;
+    p.name = "tight-kernel";
+    p.loops = {{16, 8, 2000}, {24, 8, 1000}};
+    scenarios.push_back({"small hot loops: everything repeats within ~200 insns", p});
+  }
+  {
+    workload::BenchmarkProfile p;
+    p.name = "capacity-band";
+    p.loops = {{24, 8, 200}, {500, 8, 4}};
+    scenarios.push_back({"a 500-trace working set: thrashes 256, fits 1024", p});
+  }
+  {
+    workload::BenchmarkProfile p;
+    p.name = "streaming";
+    p.loops = {{24, 8, 50}, {900, 8, 1}};
+    scenarios.push_back({"900 single-visit traces: repeat only across passes", p});
+  }
+
+  for (const auto& scenario : scenarios) {
+    const auto prog = workload::generate_benchmark(scenario.profile, 2'000'000);
+
+    trace::RepetitionAnalyzer analysis;
+    trace::TraceBuilder builder(
+        [&analysis](const trace::TraceRecord& r) { analysis.on_trace(r); });
+    sim::FunctionalSim fsim(prog);
+    fsim.run(2'000'000, [&builder](const sim::FunctionalSim::Step& s) {
+      builder.on_instruction(s.pc, s.sig, s.index);
+    });
+    builder.flush();
+
+    const auto stream = workload::collect_trace_stream(prog, 2'000'000);
+    core::ItrCacheConfig small_cfg;
+    small_cfg.num_signatures = 256;
+    const auto small = core::replay_coverage(stream, small_cfg);
+    const auto paper = core::replay_coverage(stream, core::ItrCacheConfig{});
+
+    std::printf("%-14s  %s\n", scenario.profile.name.c_str(), scenario.description);
+    std::printf("  static traces            : %llu\n",
+                static_cast<unsigned long long>(analysis.num_static_traces()));
+    std::printf("  repeats within 500 insns : %.1f%%\n",
+                100.0 * analysis.share_repeating_within(500));
+    std::printf("  repeats within 5000      : %.1f%%\n",
+                100.0 * analysis.share_repeating_within(5000));
+    std::printf("  recovery loss @256 2-way : %.2f%%\n", small.recovery_loss_percent());
+    std::printf("  recovery loss @1024 2-way: %.2f%%\n", paper.recovery_loss_percent());
+    std::printf("  detection loss @1024     : %.2f%%\n\n", paper.detection_loss_percent());
+  }
+  std::puts("Reading: coverage loss tracks repeat distance vs cache reach — the");
+  std::puts("paper's central observation (Sections 1 and 3).");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fault-injection walkthrough: inject a single decode-signal bit flip into a
+// running program and watch ITR detect and repair it.
+//
+//   $ ./fault_injection_demo                 # default: rsrc1 fault
+//   $ ./fault_injection_demo --bit 59        # phantom-operand deadlock
+//   $ ./fault_injection_demo --index 5       # fault in a first-time trace
+//
+// Runs the same fault twice: once on an unprotected core (monitoring only,
+// showing the silent corruption) and once with the ITR recovery protocol
+// enabled (showing flush-and-restart).
+#include <cstdio>
+
+#include "isa/decode.hpp"
+#include "sim/pipeline.hpp"
+#include "util/cli.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace {
+
+using namespace itr;
+
+const char* termination_name(sim::RunTermination t) {
+  switch (t) {
+    case sim::RunTermination::kRunning: return "running";
+    case sim::RunTermination::kExited: return "clean exit";
+    case sim::RunTermination::kAborted: return "aborted (wild fetch)";
+    case sim::RunTermination::kMachineCheck: return "machine-check exception";
+    case sim::RunTermination::kDeadlock: return "deadlock (watchdog)";
+    case sim::RunTermination::kCycleLimit: return "cycle limit";
+  }
+  return "?";
+}
+
+void report_events(sim::CycleSim& cpu) {
+  while (auto ev = cpu.next_itr_event()) {
+    const char* what = "";
+    switch (ev->kind) {
+      case sim::ItrEvent::Kind::kMismatchDetected:
+        what = ev->incoming_contains_fault
+                   ? "signature MISMATCH (incoming instance faulty -> recoverable)"
+                   : "signature MISMATCH (cached copy faulty -> detect-only)";
+        break;
+      case sim::ItrEvent::Kind::kRetryStarted: what = "flush-and-restart retry"; break;
+      case sim::ItrEvent::Kind::kRecovered: what = "RECOVERED: retry matched"; break;
+      case sim::ItrEvent::Kind::kMachineCheck: what = "MACHINE CHECK raised"; break;
+      case sim::ItrEvent::Kind::kParityRepair: what = "ITR-cache line repaired via parity"; break;
+      case sim::ItrEvent::Kind::kRenameMismatch: what = "rename-index signature MISMATCH"; break;
+    }
+    std::printf("  cycle %8llu  trace @0x%llx  %s\n",
+                static_cast<unsigned long long>(ev->cycle),
+                static_cast<unsigned long long>(ev->trace_start_pc), what);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliFlags flags(argc, argv);
+  const std::string program_name = flags.get_string("program", "bubble_sort");
+  const auto index = flags.get_u64("index", 297);
+  const auto bit = static_cast<unsigned>(flags.get_u64("bit", 42));
+  flags.reject_unknown();
+
+  const auto program = workload::mini_program(program_name);
+  const auto expected = workload::mini_program_expected_output(program_name);
+  std::printf("program '%s', expected output: %s\n", program_name.c_str(),
+              std::string(expected).c_str());
+  std::printf("injecting: flip signal bit %u (field '%s') of dynamic instruction %llu\n\n",
+              bit, isa::signal_field_of_bit(bit), static_cast<unsigned long long>(index));
+
+  for (const bool recovery : {false, true}) {
+    sim::CycleSim::Options opt;
+    opt.itr = core::ItrCacheConfig{};
+    opt.itr_recovery = recovery;
+    opt.fault.enabled = true;
+    opt.fault.target_decode_index = index;
+    opt.fault.bit = bit;
+
+    sim::CycleSim cpu(program, std::move(opt));
+    cpu.run();
+
+    std::printf("---- %s ----\n", recovery ? "WITH ITR recovery (flush & restart)"
+                                           : "ITR monitoring only (no recovery)");
+    report_events(cpu);
+    std::printf("  termination : %s\n", termination_name(cpu.termination()));
+    std::printf("  output      : '%s'%s\n", cpu.output().c_str(),
+                cpu.output() == expected ? "  [CORRECT]" : "  [CORRUPTED]");
+    std::printf("\n");
+  }
+  return 0;
+}

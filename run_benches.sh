@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename $b) ====="
+    "$b"
+    echo
+  fi
+done

@@ -1,0 +1,224 @@
+// Parameterizable set-associative cache with true-LRU replacement.
+//
+// Used three ways in this codebase: as the ITR cache (payload = trace
+// signature + coverage bookkeeping), as an I-cache access model for the
+// energy comparison of Figure 9, and as the BTB of the fetch unit.
+//
+// Associativity 0 means fully associative.  Replacement is true LRU (the
+// paper's ITR cache uses LRU, Section 2.3), with an optional variant that
+// prefers evicting lines whose user flag is set — the "evict a checked line
+// first" optimization the paper mentions but does not study; we evaluate it
+// in bench/ablation_checked_lru.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace itr::cache {
+
+/// Replacement policy selection.
+enum class Replacement {
+  kLru,             ///< evict the least recently used line
+  kPreferFlaggedLru ///< evict the LRU line among flag-set lines if any,
+                    ///< falling back to plain LRU (paper §2.3 optimization)
+};
+
+struct CacheConfig {
+  std::size_t num_entries = 1024;  ///< total lines; must be a power of two
+  std::size_t associativity = 2;   ///< ways per set; 0 = fully associative
+  unsigned key_shift = 3;          ///< low key bits ignored when indexing
+                                   ///< (3 = 8-byte instruction alignment)
+  Replacement replacement = Replacement::kLru;
+};
+
+/// Statistics; all monotonically increasing.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// A line evicted by insert(); handed back so the caller can account for it
+/// (the ITR cache turns evictions of unreferenced lines into detection-
+/// coverage loss).
+template <typename Payload>
+struct Evicted {
+  std::uint64_t key;
+  Payload payload;
+  bool flag;
+};
+
+template <typename Payload>
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& config) : config_(config) {
+    if (config_.num_entries == 0 || (config_.num_entries & (config_.num_entries - 1)) != 0) {
+      throw std::invalid_argument("cache: num_entries must be a nonzero power of two");
+    }
+    const std::size_t ways =
+        config_.associativity == 0 ? config_.num_entries : config_.associativity;
+    if (ways > config_.num_entries || config_.num_entries % ways != 0) {
+      throw std::invalid_argument("cache: associativity incompatible with num_entries");
+    }
+    ways_ = ways;
+    num_sets_ = config_.num_entries / ways;
+    lines_.resize(config_.num_entries);
+  }
+
+  std::size_t num_sets() const noexcept { return num_sets_; }
+  std::size_t ways() const noexcept { return ways_; }
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Looks up `key`; on hit returns the payload and refreshes LRU.
+  Payload* lookup(std::uint64_t key) {
+    ++stats_.lookups;
+    Line* line = find(key);
+    if (line == nullptr) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    line->stamp = next_stamp();
+    return &line->payload;
+  }
+
+  /// Lookup without LRU update or stats; for inspection in tests/benches.
+  const Payload* peek(std::uint64_t key) const {
+    const Line* line = const_cast<SetAssocCache*>(this)->find(key);
+    return line == nullptr ? nullptr : &line->payload;
+  }
+
+  bool contains(std::uint64_t key) const { return peek(key) != nullptr; }
+
+  /// Inserts (or overwrites) `key`.  Returns the victim if a valid line had
+  /// to be evicted.
+  std::optional<Evicted<Payload>> insert(std::uint64_t key, Payload payload,
+                                         bool flag = false) {
+    ++stats_.insertions;
+    if (Line* existing = find(key); existing != nullptr) {
+      existing->payload = std::move(payload);
+      existing->flag = flag;
+      existing->stamp = next_stamp();
+      return std::nullopt;
+    }
+    Line* victim = pick_victim(set_of(key));
+    std::optional<Evicted<Payload>> out;
+    if (victim->valid) {
+      ++stats_.evictions;
+      out = Evicted<Payload>{victim->key, std::move(victim->payload), victim->flag};
+    }
+    victim->valid = true;
+    victim->key = key;
+    victim->payload = std::move(payload);
+    victim->flag = flag;
+    victim->stamp = next_stamp();
+    return out;
+  }
+
+  /// Sets the per-line user flag (e.g. "this signature has been checked").
+  /// Returns false when the key is absent.
+  bool set_flag(std::uint64_t key, bool flag) {
+    Line* line = find(key);
+    if (line == nullptr) return false;
+    line->flag = flag;
+    return true;
+  }
+
+  std::optional<bool> get_flag(std::uint64_t key) const {
+    const Line* line = const_cast<SetAssocCache*>(this)->find(key);
+    if (line == nullptr) return std::nullopt;
+    return line->flag;
+  }
+
+  /// Invalidates a line (used on ITR-cache parity errors, §2.4).  Returns
+  /// true when the key was present.
+  bool invalidate(std::uint64_t key) {
+    Line* line = find(key);
+    if (line == nullptr) return false;
+    line->valid = false;
+    ++stats_.invalidations;
+    return true;
+  }
+
+  void clear() {
+    for (Line& line : lines_) line.valid = false;
+  }
+
+  std::size_t occupancy() const noexcept {
+    std::size_t n = 0;
+    for (const Line& line : lines_) n += line.valid ? 1 : 0;
+    return n;
+  }
+
+  /// Visits every valid line: f(key, payload, flag).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Line& line : lines_) {
+      if (line.valid) f(line.key, line.payload, line.flag);
+    }
+  }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool flag = false;
+    std::uint64_t key = 0;
+    std::uint64_t stamp = 0;
+    Payload payload{};
+  };
+
+  std::uint64_t next_stamp() noexcept { return ++stamp_; }
+
+  std::size_t set_of(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>((key >> config_.key_shift) & (num_sets_ - 1));
+  }
+
+  Line* find(std::uint64_t key) {
+    const std::size_t base = set_of(key) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + w];
+      if (line.valid && line.key == key) return &line;
+    }
+    return nullptr;
+  }
+
+  Line* pick_victim(std::size_t set) {
+    const std::size_t base = set * ways_;
+    // Invalid line first.
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if (!lines_[base + w].valid) return &lines_[base + w];
+    }
+    Line* lru = nullptr;
+    Line* lru_flagged = nullptr;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + w];
+      if (lru == nullptr || line.stamp < lru->stamp) lru = &line;
+      if (line.flag && (lru_flagged == nullptr || line.stamp < lru_flagged->stamp)) {
+        lru_flagged = &line;
+      }
+    }
+    if (config_.replacement == Replacement::kPreferFlaggedLru && lru_flagged != nullptr) {
+      return lru_flagged;
+    }
+    return lru;
+  }
+
+  CacheConfig config_;
+  std::size_t ways_ = 1;
+  std::size_t num_sets_ = 1;
+  std::vector<Line> lines_;
+  std::uint64_t stamp_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace itr::cache

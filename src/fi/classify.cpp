@@ -1,0 +1,169 @@
+#include "fi/classify.hpp"
+
+#include <bit>
+
+#include "isa/decode.hpp"
+#include "sim/functional.hpp"
+#include "util/rng.hpp"
+
+namespace itr::fi {
+
+const char* outcome_label(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kItrMask: return "ITR+Mask";
+    case Outcome::kItrSdcR: return "ITR+SDC+R";
+    case Outcome::kItrSdcD: return "ITR+SDC+D";
+    case Outcome::kItrWdogR: return "ITR+wdog+R";
+    case Outcome::kMayItrSdc: return "MayITR+SDC";
+    case Outcome::kMayItrMask: return "MayITR+Mask";
+    case Outcome::kSpcSdc: return "spc+SDC";
+    case Outcome::kUndetSdc: return "Undet+SDC";
+    case Outcome::kUndetWdog: return "Undet+wdog";
+    case Outcome::kUndetMask: return "Undet+Mask";
+    case Outcome::kOutcomeCount: break;
+  }
+  return "<bad>";
+}
+
+FaultInjectionCampaign::FaultInjectionCampaign(const isa::Program& prog,
+                                               CampaignConfig config)
+    : prog_(&prog), config_(std::move(config)) {}
+
+namespace {
+
+/// True when a faulty commit record matches the golden functional step.
+/// FP values compare by bit pattern (NaN payloads are architectural state;
+/// NaN != NaN would flag spurious corruption).
+bool matches_golden(const sim::CommitRecord& f, const sim::FunctionalSim::Step& g) {
+  return f.pc == g.pc && f.next_pc == g.fx.next_pc &&
+         f.wrote_int == g.fx.wrote_int && f.int_dst == g.fx.int_dst &&
+         f.int_value == g.fx.int_value && f.wrote_fp == g.fx.wrote_fp &&
+         f.fp_dst == g.fx.fp_dst &&
+         std::bit_cast<std::uint64_t>(f.fp_value) ==
+             std::bit_cast<std::uint64_t>(g.fx.fp_value) &&
+         f.did_store == g.fx.did_store && f.mem_addr == g.fx.mem_addr &&
+         f.store_value == g.fx.store_value && f.mem_bytes == g.fx.mem_bytes;
+}
+
+}  // namespace
+
+InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_index,
+                                                unsigned bit) {
+  InjectionResult res;
+  res.decode_index = target_decode_index;
+  res.bit = bit & 63u;
+  res.field = isa::signal_field_of_bit(res.bit);
+
+  sim::CycleSim::Options opt;
+  opt.config = config_.pipeline;
+  opt.itr = config_.itr;
+  opt.itr_recovery = false;  // monitoring: the paper's counterfactual run
+  opt.fault.enabled = true;
+  opt.fault.target_decode_index = target_decode_index;
+  opt.fault.bit = res.bit;
+
+  sim::CycleSim faulty(*prog_, std::move(opt));
+  sim::FunctionalSim golden(*prog_);
+
+  bool golden_done = false;
+  bool window_done = false;
+  std::uint64_t window_deadline = sim::kNeverCycle;
+  std::uint64_t grace_deadline = sim::kNeverCycle;
+
+  while (!window_done) {
+    const bool alive = faulty.advance();
+
+    // Drain ITR events first: detection logically precedes this commit.
+    while (auto ev = faulty.next_itr_event()) {
+      if (ev->kind == sim::ItrEvent::Kind::kMismatchDetected && !res.detected) {
+        res.detected = true;
+        res.recoverable = ev->incoming_contains_fault;
+        res.detect_cycle = ev->cycle;
+        if (config_.detected_mask_grace_cycles > 0) {
+          grace_deadline = ev->cycle + config_.detected_mask_grace_cycles;
+        }
+      }
+    }
+
+    while (auto crec = faulty.next_commit()) {
+      ++res.faulty_commits;
+      if (crec->spc_fired) res.spc = true;
+
+      if (!golden_done && !res.sdc) {
+        if (golden.done()) {
+          // Faulty machine commits past the golden program's end: divergence.
+          res.sdc = true;
+        } else {
+          const sim::FunctionalSim::Step g = golden.step();
+          if (!matches_golden(*crec, g)) res.sdc = true;
+          if (golden.done()) golden_done = true;
+        }
+      }
+      if (crec->aborted) res.sdc = true;  // wild fetch: architecturally lost
+
+      if (faulty.fault_was_injected() && window_deadline == sim::kNeverCycle) {
+        window_deadline = faulty.fault_inject_cycle() + config_.observation_cycles;
+      }
+      if (crec->commit_cycle > window_deadline) window_done = true;
+      if (res.detected && res.sdc) window_done = true;  // classification fixed
+      if (res.detected && !res.sdc && crec->commit_cycle > grace_deadline) {
+        window_done = true;  // detected and still clean: call it masked
+      }
+    }
+
+    if (!alive) break;
+  }
+
+  res.deadlock = faulty.termination() == sim::RunTermination::kDeadlock;
+
+  // If the golden program ended while the faulty one terminated cleanly at
+  // the same point, everything already compared equal; nothing more to do.
+
+  // ---- Map the observations to the paper's categories. ----------------------
+  if (res.deadlock) {
+    res.outcome = res.detected ? Outcome::kItrWdogR : Outcome::kUndetWdog;
+    return res;
+  }
+  if (res.detected) {
+    res.outcome = res.sdc
+                      ? (res.recoverable ? Outcome::kItrSdcR : Outcome::kItrSdcD)
+                      : Outcome::kItrMask;
+    return res;
+  }
+  if (res.spc && res.sdc) {
+    res.outcome = Outcome::kSpcSdc;
+    return res;
+  }
+  // Undetected so far: if the faulty signature still sits unreferenced in
+  // the ITR cache, a longer window might catch it (MayITR).
+  const bool may_itr =
+      faulty.fault_trace_completed() &&
+      faulty.fault_trace_probe() == core::ProbeOutcome::kMiss &&
+      faulty.itr_unit() != nullptr &&
+      faulty.itr_unit()->cache().line_status(faulty.fault_trace_start_pc()) ==
+          core::ItrCache::LineStatus::kUnreferenced;
+  if (may_itr) {
+    res.outcome = res.sdc ? Outcome::kMayItrSdc : Outcome::kMayItrMask;
+    return res;
+  }
+  res.outcome = res.sdc ? Outcome::kUndetSdc : Outcome::kUndetMask;
+  return res;
+}
+
+CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults) {
+  CampaignSummary summary;
+  util::Xoshiro256StarStar rng(config_.seed);
+  summary.results.reserve(static_cast<std::size_t>(num_faults));
+  for (std::uint64_t i = 0; i < num_faults; ++i) {
+    const std::uint64_t target =
+        config_.warmup_instructions + rng.below(config_.inject_region);
+    const unsigned bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
+    InjectionResult res = run_one(target, bit);
+    ++summary.counts[static_cast<std::size_t>(res.outcome)];
+    ++summary.total;
+    summary.results.push_back(res);
+  }
+  return summary;
+}
+
+}  // namespace itr::fi

@@ -1,0 +1,112 @@
+// Fault-injection campaign and outcome classification (paper Section 4).
+//
+// Each injection flips one random bit of one random dynamic instruction's
+// decode-signal bundle in a "faulty" cycle-level simulator, and runs a
+// golden (fault-free) functional simulator in lockstep.  Commit records are
+// compared pairwise: the first architectural difference marks the fault as a
+// potential silent data corruption (SDC); no difference within the
+// observation window means the fault was masked.
+//
+// The faulty run uses ITR in monitoring mode — the counterfactual the
+// paper's categories need ("would have otherwise led to SDC"): detection
+// events are recorded but the pipeline is never flushed, so corruption and
+// deadlock can be observed independently of detection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "itr/itr_cache.hpp"
+#include "sim/pipeline.hpp"
+
+namespace itr::fi {
+
+/// The paper's Figure 8 outcome categories.
+enum class Outcome : std::uint8_t {
+  kItrMask,     ///< detected by ITR; fault never corrupted architectural state
+  kItrSdcR,     ///< detected by ITR, would have been SDC, recoverable (+R)
+  kItrSdcD,     ///< detected by ITR, SDC already committed, detect-only (+D)
+  kItrWdogR,    ///< detected by ITR; the fault also deadlocked the machine,
+                ///< and the recovery flush clears it (+R)
+  kMayItrSdc,   ///< undetected in the window but the faulty signature is
+                ///< still cached: may be detected later; state corrupted
+  kMayItrMask,  ///< same, but masked
+  kSpcSdc,      ///< missed by ITR, caught by the sequential-PC check; SDC
+  kUndetSdc,    ///< detection permanently lost; silent data corruption
+  kUndetWdog,   ///< undetected by ITR; the watchdog caught a deadlock
+  kUndetMask,   ///< undetected and harmless
+  kOutcomeCount
+};
+
+inline constexpr std::size_t kNumOutcomes = static_cast<std::size_t>(Outcome::kOutcomeCount);
+
+/// Short label as used in the paper's Figure 8 legend.
+const char* outcome_label(Outcome o) noexcept;
+
+struct InjectionResult {
+  Outcome outcome = Outcome::kUndetMask;
+  std::uint64_t decode_index = 0;  ///< dynamic instruction that was corrupted
+  unsigned bit = 0;                ///< flipped signal bit (0..63)
+  const char* field = "";          ///< Table 2 field containing the bit
+  bool detected = false;           ///< ITR signature mismatch observed
+  bool recoverable = false;        ///< detection was on the incoming instance
+  bool sdc = false;                ///< architectural state diverged from golden
+  bool deadlock = false;           ///< watchdog fired
+  bool spc = false;                ///< sequential-PC check fired
+  std::uint64_t detect_cycle = 0;
+  std::uint64_t faulty_commits = 0;
+};
+
+struct CampaignConfig {
+  core::ItrCacheConfig itr;              ///< paper default: 1024 signatures, 2-way
+  sim::PipelineConfig pipeline;
+  std::uint64_t observation_cycles = 100'000;  ///< paper: 1'000'000
+  std::uint64_t warmup_instructions = 50'000;  ///< ITR cache warm-up before the
+                                               ///< injection region
+  std::uint64_t inject_region = 1'000'000;     ///< faults land in
+                                               ///< [warmup, warmup+region)
+  std::uint64_t seed = 1;
+  /// After a detection with no corruption so far, run this many further
+  /// cycles before declaring the fault masked (cheaper than the full
+  /// window; 0 = always run the full window).
+  std::uint64_t detected_mask_grace_cycles = 20'000;
+};
+
+struct CampaignSummary {
+  std::array<std::uint64_t, kNumOutcomes> counts{};
+  std::uint64_t total = 0;
+  std::vector<InjectionResult> results;
+
+  double percent(Outcome o) const noexcept {
+    return total == 0 ? 0.0
+                      : 100.0 *
+                            static_cast<double>(counts[static_cast<std::size_t>(o)]) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of faults detected through the ITR cache (any ITR+ category).
+  double itr_detected_percent() const noexcept {
+    return percent(Outcome::kItrMask) + percent(Outcome::kItrSdcR) +
+           percent(Outcome::kItrSdcD) + percent(Outcome::kItrWdogR);
+  }
+};
+
+class FaultInjectionCampaign {
+ public:
+  FaultInjectionCampaign(const isa::Program& prog, CampaignConfig config);
+
+  /// Injects one specific fault and classifies it.
+  InjectionResult run_one(std::uint64_t target_decode_index, unsigned bit);
+
+  /// Runs `num_faults` random injections (uniform dynamic instruction within
+  /// the configured region, uniform bit).
+  CampaignSummary run(std::uint64_t num_faults);
+
+ private:
+  const isa::Program* prog_;
+  CampaignConfig config_;
+};
+
+}  // namespace itr::fi

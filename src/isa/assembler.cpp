@@ -1,0 +1,428 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/decode.hpp"
+
+namespace itr::isa {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(std::string_view line) {
+  // Strip comments.
+  if (const auto pos = line.find_first_of("#;"); pos != std::string_view::npos) {
+    line = line.substr(0, pos);
+  }
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+    } else if (c == ':' || c == '(' || c == ')') {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+      out.push_back(std::string(1, c));
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::optional<int> parse_register(std::string_view t) {
+  static const std::map<std::string_view, int> kAliases = {
+      {"zero", 0}, {"v0", kRegV0}, {"v1", 3}, {"a0", kRegA0}, {"a1", kRegA1},
+      {"a2", 6},   {"a3", 7},      {"sp", kRegSp}, {"fp", 30}, {"ra", kRegRa},
+  };
+  if (const auto it = kAliases.find(t); it != kAliases.end()) return it->second;
+  if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'f')) {
+    int value = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+      value = value * 10 + (t[i] - '0');
+    }
+    if (value >= 0 && value < 32) return value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view t) {
+  if (t.empty()) return std::nullopt;
+  bool negative = false;
+  std::size_t i = 0;
+  if (t[0] == '-' || t[0] == '+') {
+    negative = t[0] == '-';
+    i = 1;
+  }
+  if (i >= t.size()) return std::nullopt;
+  std::int64_t value = 0;
+  int base = 10;
+  if (t.size() - i > 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  for (; i < t.size(); ++i) {
+    const char c = t[i];
+    int digit;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = c - '0';
+    } else if (base == 16 && std::isxdigit(static_cast<unsigned char>(c))) {
+      digit = 10 + (std::tolower(static_cast<unsigned char>(c)) - 'a');
+    } else {
+      return std::nullopt;
+    }
+    if (digit >= base) return std::nullopt;
+    value = value * base + digit;
+  }
+  return negative ? -value : value;
+}
+
+enum class Section { kText, kData };
+
+// A parsed source line in instruction form, kept for pass 2.
+struct PendingInst {
+  std::size_t line = 0;
+  std::vector<std::string> tokens;  // mnemonic + operands
+  std::uint64_t address = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string name) : name_(std::move(name)) {}
+
+  Program run(std::string_view source) {
+    pass1(source);
+    pass2();
+    Program prog;
+    prog.name = std::move(name_);
+    prog.code_base = kDefaultCodeBase;
+    prog.entry = entry_;
+    prog.code = std::move(code_);
+    prog.data_base = kDefaultDataBase;
+    prog.data = std::move(data_);
+    return prog;
+  }
+
+ private:
+  [[noreturn]] static void fail(std::size_t line, const std::string& msg) {
+    throw AssemblerError(line, msg);
+  }
+
+  /// Number of machine instructions a (pseudo-)instruction expands to.
+  static std::size_t expansion_size(std::size_t line, const std::vector<std::string>& t) {
+    const std::string& m = t[0];
+    if (m == "la") return 2;
+    if (m == "li") {
+      if (t.size() < 3) fail(line, "li needs 2 operands");
+      const auto v = parse_int(t[2]);
+      if (!v) fail(line, "li needs an integer literal");
+      return (*v >= std::numeric_limits<std::int16_t>::min() &&
+              *v <= std::numeric_limits<std::int16_t>::max())
+                 ? 1
+                 : 2;
+    }
+    return 1;  // mv, b, ret and all real opcodes are single instructions
+  }
+
+  void pass1(std::string_view source) {
+    Section section = Section::kText;
+    std::uint64_t code_addr = kDefaultCodeBase;
+    std::size_t line_no = 0;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const auto nl = source.find('\n', start);
+      const auto line = source.substr(start, nl == std::string_view::npos ? source.size() - start
+                                                                          : nl - start);
+      ++line_no;
+      start = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+
+      auto tokens = tokenize(line);
+      std::size_t i = 0;
+      // Labels (possibly several) at line start.
+      while (i + 1 < tokens.size() && tokens[i + 1] == ":") {
+        const std::string& label = tokens[i];
+        if (symbols_.count(label) != 0) fail(line_no, "duplicate label '" + label + "'");
+        symbols_[label] = section == Section::kText
+                              ? code_addr
+                              : kDefaultDataBase + data_.size();
+        i += 2;
+      }
+      if (i >= tokens.size()) continue;
+
+      const std::string& head = tokens[i];
+      if (head == ".text") {
+        section = Section::kText;
+        continue;
+      }
+      if (head == ".data") {
+        section = Section::kData;
+        continue;
+      }
+      if (head == ".global" || head == ".globl") continue;
+
+      if (section == Section::kData) {
+        parse_data_directive(line_no, tokens, i);
+        continue;
+      }
+      if (head[0] == '.') fail(line_no, "unknown directive '" + head + "' in .text");
+
+      PendingInst pi;
+      pi.line = line_no;
+      pi.tokens.assign(tokens.begin() + static_cast<std::ptrdiff_t>(i), tokens.end());
+      pi.address = code_addr;
+      code_addr += expansion_size(line_no, pi.tokens) * kInstrBytes;
+      pending_.push_back(std::move(pi));
+    }
+    if (const auto it = symbols_.find("main"); it != symbols_.end()) entry_ = it->second;
+  }
+
+  void parse_data_directive(std::size_t line, const std::vector<std::string>& t, std::size_t i) {
+    const std::string& head = t[i];
+    if (head == ".word") {
+      for (std::size_t k = i + 1; k < t.size(); ++k) {
+        const auto v = parse_int(t[k]);
+        if (!v) fail(line, ".word needs integer literals");
+        const auto u = static_cast<std::uint32_t>(*v);
+        for (int b = 0; b < 4; ++b) data_.push_back(static_cast<std::uint8_t>(u >> (8 * b)));
+      }
+      return;
+    }
+    if (head == ".double") {
+      while (data_.size() % 8 != 0) data_.push_back(0);
+      for (std::size_t k = i + 1; k < t.size(); ++k) {
+        const double d = std::stod(t[k]);
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof bits);
+        for (int b = 0; b < 8; ++b) data_.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+      }
+      return;
+    }
+    if (head == ".space") {
+      if (i + 1 >= t.size()) fail(line, ".space needs a size");
+      const auto v = parse_int(t[i + 1]);
+      if (!v || *v < 0) fail(line, ".space needs a non-negative size");
+      data_.resize(data_.size() + static_cast<std::size_t>(*v), 0);
+      return;
+    }
+    if (head == ".align") {
+      if (i + 1 >= t.size()) fail(line, ".align needs a power");
+      const auto v = parse_int(t[i + 1]);
+      if (!v || *v < 0 || *v > 12) fail(line, ".align power out of range");
+      const std::size_t align = std::size_t{1} << static_cast<unsigned>(*v);
+      while (data_.size() % align != 0) data_.push_back(0);
+      return;
+    }
+    fail(line, "unknown data directive '" + head + "'");
+  }
+
+  int require_reg(std::size_t line, const std::vector<std::string>& t, std::size_t i) {
+    if (i >= t.size()) fail(line, "missing register operand");
+    const auto r = parse_register(t[i]);
+    if (!r) fail(line, "bad register '" + t[i] + "'");
+    return *r;
+  }
+
+  std::int64_t require_int_or_symbol(std::size_t line, const std::string& tok) {
+    if (const auto v = parse_int(tok)) return *v;
+    if (const auto it = symbols_.find(tok); it != symbols_.end()) {
+      return static_cast<std::int64_t>(it->second);
+    }
+    fail(line, "expected integer or symbol, got '" + tok + "'");
+  }
+
+  std::uint64_t require_label(std::size_t line, const std::string& tok) {
+    const auto it = symbols_.find(tok);
+    if (it == symbols_.end()) fail(line, "undefined label '" + tok + "'");
+    return it->second;
+  }
+
+  std::int16_t branch_offset(std::size_t line, std::uint64_t pc, std::uint64_t target) {
+    const auto delta = static_cast<std::int64_t>(target) - static_cast<std::int64_t>(pc + kInstrBytes);
+    const std::int64_t words = delta / static_cast<std::int64_t>(kInstrBytes);
+    if (words < std::numeric_limits<std::int16_t>::min() ||
+        words > std::numeric_limits<std::int16_t>::max()) {
+      fail(line, "branch target out of range");
+    }
+    return static_cast<std::int16_t>(words);
+  }
+
+  static std::int16_t check_imm16(std::size_t line, std::int64_t v) {
+    if (v < std::numeric_limits<std::int16_t>::min() || v > std::numeric_limits<std::uint16_t>::max()) {
+      fail(line, "immediate out of 16-bit range");
+    }
+    return static_cast<std::int16_t>(static_cast<std::uint16_t>(v & 0xffff));
+  }
+
+  /// Parses `disp(base)` or `symbol(base)` starting at t[i]; returns
+  /// (disp, base) and advances nothing (caller knows the shape).
+  std::pair<std::int16_t, int> parse_mem_operand(std::size_t line,
+                                                 const std::vector<std::string>& t,
+                                                 std::size_t i) {
+    if (i + 3 >= t.size() || t[i + 1] != "(" || t[i + 3] != ")") {
+      fail(line, "expected disp(base) memory operand");
+    }
+    const std::int64_t disp = require_int_or_symbol(line, t[i]);
+    const auto base = parse_register(t[i + 2]);
+    if (!base) fail(line, "bad base register '" + t[i + 2] + "'");
+    return {check_imm16(line, disp), *base};
+  }
+
+  void pass2() {
+    for (const PendingInst& pi : pending_) {
+      emit_one(pi);
+    }
+  }
+
+  void emit(const Instruction& inst) { code_.push_back(encode(inst)); }
+
+  void emit_one(const PendingInst& pi) {
+    const auto& t = pi.tokens;
+    const std::size_t line = pi.line;
+    const std::string& m = t[0];
+
+    // Pseudo-instructions first.
+    if (m == "li") {
+      const auto v = parse_int(t[2]);
+      if (!v) fail(line, "li needs an integer literal");
+      if (*v >= std::numeric_limits<std::int16_t>::min() &&
+          *v <= std::numeric_limits<std::int16_t>::max()) {
+        emit(make_ri(Opcode::kAddi, require_reg(line, t, 1), kRegZero,
+                     static_cast<std::int16_t>(*v)));
+      } else {
+        const auto u = static_cast<std::uint32_t>(*v);
+        const int rd = require_reg(line, t, 1);
+        emit(make_lui(rd, static_cast<std::uint16_t>(u >> 16)));
+        emit(make_ri(Opcode::kOri, rd, rd, static_cast<std::int16_t>(u & 0xffff)));
+      }
+      return;
+    }
+    if (m == "la") {
+      if (t.size() < 3) fail(line, "la needs 2 operands");
+      const int rd = require_reg(line, t, 1);
+      const std::uint64_t target = require_label(line, t[2]);
+      emit(make_lui(rd, static_cast<std::uint16_t>(target >> 16)));
+      emit(make_ri(Opcode::kOri, rd, rd, static_cast<std::int16_t>(target & 0xffff)));
+      return;
+    }
+    if (m == "mv") {
+      emit(make_rr(Opcode::kOr, require_reg(line, t, 1), require_reg(line, t, 2), kRegZero));
+      return;
+    }
+    if (m == "b") {
+      if (t.size() < 2) fail(line, "b needs a target");
+      emit(make_jump(Opcode::kJ, branch_offset(line, pi.address, require_label(line, t[1]))));
+      return;
+    }
+    if (m == "ret") {
+      emit(make_jump_reg(Opcode::kJr, kRegRa));
+      return;
+    }
+
+    const auto op = opcode_from_mnemonic(m);
+    if (!op) fail(line, "unknown mnemonic '" + m + "'");
+    const OpInfo& info = op_info(*op);
+
+    switch (info.format) {
+      case Format::kNone:
+        emit(make_nop());
+        return;
+      case Format::kRR:
+      case Format::kFpRR:
+      case Format::kFpCmp:
+        emit(make_rr(*op, require_reg(line, t, 1), require_reg(line, t, 2),
+                     require_reg(line, t, 3)));
+        return;
+      case Format::kRI: {
+        if (t.size() < 4) fail(line, m + " needs 3 operands");
+        emit(make_ri(*op, require_reg(line, t, 1), require_reg(line, t, 2),
+                     check_imm16(line, require_int_or_symbol(line, t[3]))));
+        return;
+      }
+      case Format::kShift: {
+        if (t.size() < 4) fail(line, m + " needs 3 operands");
+        const auto sh = parse_int(t[3]);
+        if (!sh || *sh < 0 || *sh > 31) fail(line, "shift amount out of range");
+        emit(make_shift(*op, require_reg(line, t, 1), require_reg(line, t, 2),
+                        static_cast<int>(*sh)));
+        return;
+      }
+      case Format::kLoad: {
+        const int rd = require_reg(line, t, 1);
+        const auto [disp, base] = parse_mem_operand(line, t, 2);
+        emit(make_load(*op, rd, base, disp));
+        return;
+      }
+      case Format::kStore: {
+        const int rv = require_reg(line, t, 1);
+        const auto [disp, base] = parse_mem_operand(line, t, 2);
+        emit(make_store(*op, rv, base, disp));
+        return;
+      }
+      case Format::kBranch2: {
+        if (t.size() < 4) fail(line, m + " needs 3 operands");
+        emit(make_branch2(*op, require_reg(line, t, 1), require_reg(line, t, 2),
+                          branch_offset(line, pi.address, require_label(line, t[3]))));
+        return;
+      }
+      case Format::kBranch1: {
+        if (t.size() < 3) fail(line, m + " needs 2 operands");
+        emit(make_branch1(*op, require_reg(line, t, 1),
+                          branch_offset(line, pi.address, require_label(line, t[2]))));
+        return;
+      }
+      case Format::kJump: {
+        if (t.size() < 2) fail(line, m + " needs a target");
+        emit(make_jump(*op, branch_offset(line, pi.address, require_label(line, t[1]))));
+        return;
+      }
+      case Format::kJumpReg:
+        emit(make_jump_reg(*op, require_reg(line, t, 1)));
+        return;
+      case Format::kFpR:
+      case Format::kCvt: {
+        if (t.size() < 3) fail(line, m + " needs 2 operands");
+        emit(make_ri(*op, require_reg(line, t, 1), require_reg(line, t, 2), 0));
+        return;
+      }
+      case Format::kLui: {
+        if (t.size() < 3) fail(line, m + " needs 2 operands");
+        const std::int64_t v = require_int_or_symbol(line, t[2]);
+        if (v < 0 || v > 0xffff) fail(line, "lui immediate out of range");
+        emit(make_lui(require_reg(line, t, 1), static_cast<std::uint16_t>(v)));
+        return;
+      }
+      case Format::kTrap: {
+        if (t.size() < 2) fail(line, "trap needs a code");
+        const auto v = parse_int(t[1]);
+        if (!v) fail(line, "trap needs an integer code");
+        emit(make_trap(static_cast<std::int16_t>(*v)));
+        return;
+      }
+    }
+    fail(line, "unhandled format for '" + m + "'");
+  }
+
+  std::string name_;
+  std::map<std::string, std::uint64_t, std::less<>> symbols_;
+  std::vector<PendingInst> pending_;
+  std::vector<std::uint64_t> code_;
+  std::vector<std::uint8_t> data_;
+  std::uint64_t entry_ = kDefaultCodeBase;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, std::string program_name) {
+  Assembler as(std::move(program_name));
+  return as.run(source);
+}
+
+}  // namespace itr::isa

@@ -1,0 +1,48 @@
+// Two-pass text assembler for the PISA-like ISA.
+//
+// Syntax (MIPS-flavoured):
+//
+//   .text                       # switch to code section (default)
+//   main:                       # label
+//     li   r1, 100000           # pseudo: addi or lui+ori
+//     la   r2, table            # pseudo: lui+ori with a label address
+//     lw   r3, 8(r2)            # displacement addressing
+//     lw   r4, buf(r0)          # symbolic displacement
+//     addi r1, r1, -1
+//     bgtz r1, main
+//     trap 0                    # syscall; code 0 = exit
+//   .data
+//   table: .word 1, 2, 3
+//   buf:   .space 64
+//   pi:    .double 3.14159
+//
+// Registers: r0..r31 (aliases: zero, v0, a0, a1, sp, ra), f0..f31.
+// Comments: '#' or ';' to end of line.  Pseudos: li, la, mv, b, ret.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace itr::isa {
+
+/// Error with a 1-based line number and message.
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles `source` into a loadable program.  Throws AssemblerError on any
+/// syntax or range problem.  Execution starts at the first instruction of
+/// .text (or at the label `main` if defined).
+Program assemble(std::string_view source, std::string program_name = "asm");
+
+}  // namespace itr::isa

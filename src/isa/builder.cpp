@@ -1,0 +1,174 @@
+#include "isa/builder.hpp"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace itr::isa {
+
+namespace {
+constexpr std::uint64_t kUnbound = ~0ULL;
+}
+
+CodeBuilder::CodeBuilder(std::string program_name, std::uint64_t code_base,
+                         std::uint64_t data_base)
+    : name_(std::move(program_name)), code_base_(code_base), data_base_(data_base) {}
+
+Label CodeBuilder::new_label() {
+  label_addr_.push_back(kUnbound);
+  return Label{static_cast<std::uint32_t>(label_addr_.size() - 1)};
+}
+
+void CodeBuilder::bind(Label label) {
+  if (label.id >= label_addr_.size()) throw std::logic_error("bind: bad label");
+  if (label_addr_[label.id] != kUnbound) throw std::logic_error("bind: label already bound");
+  label_addr_[label.id] = here();
+}
+
+std::uint64_t CodeBuilder::here() const noexcept {
+  return code_base_ + static_cast<std::uint64_t>(code_.size()) * kInstrBytes;
+}
+
+void CodeBuilder::emit(const Instruction& inst) { code_.push_back(inst); }
+
+void CodeBuilder::note_fixup(Fixup::Kind kind, Label target) {
+  if (target.id >= label_addr_.size()) throw std::logic_error("fixup: bad label");
+  fixups_.push_back(Fixup{code_.size(), target.id, kind});
+}
+
+void CodeBuilder::branch2(Opcode op, int rs, int rt, Label target) {
+  note_fixup(Fixup::Kind::kBranchWordOffset, target);
+  emit(make_branch2(op, rs, rt, 0));
+}
+
+void CodeBuilder::branch1(Opcode op, int rs, Label target) {
+  note_fixup(Fixup::Kind::kBranchWordOffset, target);
+  emit(make_branch1(op, rs, 0));
+}
+
+void CodeBuilder::jump(Label target) {
+  note_fixup(Fixup::Kind::kBranchWordOffset, target);
+  emit(make_jump(Opcode::kJ, 0));
+}
+
+void CodeBuilder::call(Label target) {
+  note_fixup(Fixup::Kind::kBranchWordOffset, target);
+  emit(make_jump(Opcode::kJal, 0));
+}
+
+void CodeBuilder::jump_far(Label target, int scratch) {
+  note_fixup(Fixup::Kind::kLuiHi, target);
+  emit(make_lui(scratch, 0));
+  note_fixup(Fixup::Kind::kOriLo, target);
+  emit(make_ri(Opcode::kOri, scratch, scratch, 0));
+  emit(make_jump_reg(Opcode::kJr, scratch));
+}
+
+void CodeBuilder::call_far(Label target, int scratch) {
+  note_fixup(Fixup::Kind::kLuiHi, target);
+  emit(make_lui(scratch, 0));
+  note_fixup(Fixup::Kind::kOriLo, target);
+  emit(make_ri(Opcode::kOri, scratch, scratch, 0));
+  emit(make_jump_reg(Opcode::kJalr, scratch));
+}
+
+void CodeBuilder::li(int rd, std::int32_t value) {
+  if (value >= std::numeric_limits<std::int16_t>::min() &&
+      value <= std::numeric_limits<std::int16_t>::max()) {
+    emit(make_ri(Opcode::kAddi, rd, kRegZero, static_cast<std::int16_t>(value)));
+    return;
+  }
+  const auto uvalue = static_cast<std::uint32_t>(value);
+  emit(make_lui(rd, static_cast<std::uint16_t>(uvalue >> 16)));
+  const auto lo = static_cast<std::uint16_t>(uvalue & 0xffff);
+  if (lo != 0) {
+    emit(make_ri(Opcode::kOri, rd, rd, static_cast<std::int16_t>(lo)));
+  }
+}
+
+void CodeBuilder::la(int rd, Label target) {
+  note_fixup(Fixup::Kind::kLuiHi, target);
+  emit(make_lui(rd, 0));
+  note_fixup(Fixup::Kind::kOriLo, target);
+  emit(make_ri(Opcode::kOri, rd, rd, 0));
+}
+
+void CodeBuilder::move(int rd, int rs) { emit(make_rr(Opcode::kOr, rd, rs, kRegZero)); }
+
+void CodeBuilder::nop() { emit(make_nop()); }
+
+void CodeBuilder::trap(TrapCode code) { emit(make_trap(static_cast<std::int16_t>(code))); }
+
+void CodeBuilder::exit0() {
+  li(kRegA0, 0);
+  trap(TrapCode::kExit);
+}
+
+std::uint64_t CodeBuilder::alloc_data(std::uint64_t bytes) {
+  while (data_.size() % 8 != 0) data_.push_back(0);
+  const std::uint64_t addr = data_base_ + data_.size();
+  data_.resize(data_.size() + bytes, 0);
+  return addr;
+}
+
+std::uint64_t CodeBuilder::data_word(std::uint32_t value) {
+  const std::uint64_t addr = data_base_ + data_.size();
+  for (int i = 0; i < 4; ++i) {
+    data_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return addr;
+}
+
+std::uint64_t CodeBuilder::data_double(double value) {
+  while (data_.size() % 8 != 0) data_.push_back(0);
+  const std::uint64_t addr = data_base_ + data_.size();
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    data_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+  return addr;
+}
+
+Program CodeBuilder::finish() {
+  if (finished_) throw std::logic_error("finish: builder already finished");
+  finished_ = true;
+
+  for (const Fixup& fx : fixups_) {
+    const std::uint64_t target = label_addr_[fx.label];
+    if (target == kUnbound) throw std::logic_error("finish: unbound label");
+    Instruction& inst = code_[fx.index];
+    switch (fx.kind) {
+      case Fixup::Kind::kBranchWordOffset: {
+        const std::uint64_t pc = code_base_ + fx.index * kInstrBytes;
+        const auto delta = static_cast<std::int64_t>(target) -
+                           static_cast<std::int64_t>(pc + kInstrBytes);
+        const std::int64_t words = delta / static_cast<std::int64_t>(kInstrBytes);
+        if (words < std::numeric_limits<std::int16_t>::min() ||
+            words > std::numeric_limits<std::int16_t>::max()) {
+          throw std::logic_error("finish: branch displacement out of range; use jump_far");
+        }
+        inst.imm = static_cast<std::int16_t>(words);
+        break;
+      }
+      case Fixup::Kind::kLuiHi:
+        inst.imm = static_cast<std::int16_t>(static_cast<std::uint16_t>(target >> 16));
+        break;
+      case Fixup::Kind::kOriLo:
+        inst.imm = static_cast<std::int16_t>(static_cast<std::uint16_t>(target & 0xffff));
+        break;
+    }
+  }
+
+  Program prog;
+  prog.name = std::move(name_);
+  prog.code_base = code_base_;
+  prog.entry = code_base_;
+  prog.code.reserve(code_.size());
+  for (const Instruction& inst : code_) prog.code.push_back(encode(inst));
+  prog.data_base = data_base_;
+  prog.data = std::move(data_);
+  return prog;
+}
+
+}  // namespace itr::isa

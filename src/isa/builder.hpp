@@ -1,0 +1,94 @@
+// Programmatic code generation with labels and fix-ups.
+//
+// The synthetic workload generator (src/workload) emits multi-megabyte
+// programs through this builder; examples and tests use it for small
+// hand-rolled kernels.  The text assembler is layered on top of the same
+// fix-up machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+
+namespace itr::isa {
+
+/// Opaque label handle; valid only for the builder that created it.
+struct Label {
+  std::uint32_t id = 0;
+};
+
+class CodeBuilder {
+ public:
+  explicit CodeBuilder(std::string program_name,
+                       std::uint64_t code_base = kDefaultCodeBase,
+                       std::uint64_t data_base = kDefaultDataBase);
+
+  // -- Labels ---------------------------------------------------------------
+  Label new_label();
+  /// Binds `label` to the address of the next emitted instruction.
+  void bind(Label label);
+  /// Address of the next emitted instruction.
+  std::uint64_t here() const noexcept;
+
+  // -- Raw emission ---------------------------------------------------------
+  void emit(const Instruction& inst);
+
+  // -- Control flow with label targets (fixed up at finish()) ---------------
+  void branch2(Opcode op, int rs, int rt, Label target);
+  void branch1(Opcode op, int rs, Label target);
+  void jump(Label target);                  ///< j (PC-relative, +-32K words)
+  void call(Label target);                  ///< jal
+  /// Unconditional jump to an arbitrary-distance label: materializes the
+  /// absolute address into `scratch` (lui+ori) and emits jr.  Costs three
+  /// instructions.
+  void jump_far(Label target, int scratch);
+  void call_far(Label target, int scratch);  ///< lui+ori+jalr
+
+  // -- Common pseudo-instructions -------------------------------------------
+  /// Loads a 32-bit constant into `rd` (1 or 2 instructions).
+  void li(int rd, std::int32_t value);
+  /// Loads the absolute address of a label (always lui+ori, 2 instructions).
+  void la(int rd, Label target);
+  void move(int rd, int rs);                ///< or rd, rs, r0
+  void nop();
+  void trap(TrapCode code);
+  void exit0();                             ///< li a0,0 ; trap exit
+
+  // -- Data segment ---------------------------------------------------------
+  /// Reserves `bytes` of zeroed data (8-byte aligned); returns its address.
+  std::uint64_t alloc_data(std::uint64_t bytes);
+  /// Appends a 32-bit little-endian word; returns its address.
+  std::uint64_t data_word(std::uint32_t value);
+  /// Appends an 8-byte double; returns its address.
+  std::uint64_t data_double(double value);
+
+  std::uint64_t num_instructions() const noexcept { return code_.size(); }
+
+  /// Resolves all fix-ups and returns the program.  Throws std::logic_error
+  /// on unbound labels or out-of-range branch displacements.  The builder is
+  /// left in a moved-from state.
+  Program finish();
+
+ private:
+  struct Fixup {
+    std::size_t index;      ///< instruction index needing a patch
+    std::uint32_t label;    ///< target label id
+    enum class Kind { kBranchWordOffset, kLuiHi, kOriLo } kind;
+  };
+
+  void note_fixup(Fixup::Kind kind, Label target);
+
+  std::string name_;
+  std::uint64_t code_base_;
+  std::uint64_t data_base_;
+  std::vector<Instruction> code_;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::uint64_t> label_addr_;  ///< by label id; ~0 = unbound
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace itr::isa

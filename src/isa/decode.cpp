@@ -1,0 +1,162 @@
+#include "isa/decode.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace itr::isa {
+namespace {
+
+// Packed layout: fields in Table 2 order starting at bit 0.
+constexpr std::array<SignalFieldLayout, 11> kLayout = {{
+    {"opcode", 0, 8},
+    {"flags", 8, 12},
+    {"shamt", 20, 5},
+    {"rsrc1", 25, 5},
+    {"rsrc2", 30, 5},
+    {"rdst", 35, 5},
+    {"lat", 40, 2},
+    {"imm", 42, 16},
+    {"num_rsrc", 58, 2},
+    {"num_rdst", 60, 1},
+    {"mem_size", 61, 3},
+}};
+
+std::uint8_t reg5(std::uint8_t r) noexcept { return static_cast<std::uint8_t>(r & 0x1f); }
+
+}  // namespace
+
+std::uint64_t DecodeSignals::pack() const noexcept {
+  std::uint64_t p = 0;
+  p |= static_cast<std::uint64_t>(opcode);
+  p |= static_cast<std::uint64_t>(flags & kFlagMask) << 8;
+  p |= static_cast<std::uint64_t>(shamt & 0x1f) << 20;
+  p |= static_cast<std::uint64_t>(rsrc1 & 0x1f) << 25;
+  p |= static_cast<std::uint64_t>(rsrc2 & 0x1f) << 30;
+  p |= static_cast<std::uint64_t>(rdst & 0x1f) << 35;
+  p |= static_cast<std::uint64_t>(lat & 0x3) << 40;
+  p |= static_cast<std::uint64_t>(imm) << 42;
+  p |= static_cast<std::uint64_t>(num_rsrc & 0x3) << 58;
+  p |= static_cast<std::uint64_t>(num_rdst & 0x1) << 60;
+  p |= static_cast<std::uint64_t>(mem_size & 0x7) << 61;
+  return p;
+}
+
+DecodeSignals unpack_signals(std::uint64_t p) noexcept {
+  DecodeSignals s;
+  s.opcode = static_cast<std::uint8_t>(p & 0xff);
+  s.flags = static_cast<std::uint16_t>((p >> 8) & kFlagMask);
+  s.shamt = static_cast<std::uint8_t>((p >> 20) & 0x1f);
+  s.rsrc1 = static_cast<std::uint8_t>((p >> 25) & 0x1f);
+  s.rsrc2 = static_cast<std::uint8_t>((p >> 30) & 0x1f);
+  s.rdst = static_cast<std::uint8_t>((p >> 35) & 0x1f);
+  s.lat = static_cast<std::uint8_t>((p >> 40) & 0x3);
+  s.imm = static_cast<std::uint16_t>((p >> 42) & 0xffff);
+  s.num_rsrc = static_cast<std::uint8_t>((p >> 58) & 0x3);
+  s.num_rdst = static_cast<std::uint8_t>((p >> 60) & 0x1);
+  s.mem_size = static_cast<std::uint8_t>((p >> 61) & 0x7);
+  return s;
+}
+
+void DecodeSignals::flip_bit(unsigned bit) noexcept {
+  *this = unpack_signals(pack() ^ (1ULL << (bit & 63u)));
+}
+
+DecodeSignals decode(const Instruction& inst) noexcept {
+  DecodeSignals s;
+  s.opcode = static_cast<std::uint8_t>(inst.op);
+  const OpInfo& info = op_info(inst.op);
+  s.flags = static_cast<std::uint16_t>(info.flags & kFlagMask);
+  s.lat = static_cast<std::uint8_t>(info.lat);
+  s.num_rsrc = info.num_rsrc;
+  s.num_rdst = info.num_rdst;
+  s.mem_size = static_cast<std::uint8_t>(info.mem_size);
+  s.imm = static_cast<std::uint16_t>(inst.imm);
+  s.shamt = static_cast<std::uint8_t>(inst.shamt & 0x1f);
+
+  // Operand routing per format: which raw fields feed which signal ports.
+  switch (info.format) {
+    case Format::kNone:
+      break;
+    case Format::kRR:
+    case Format::kFpRR:
+    case Format::kFpCmp:
+      s.rsrc1 = reg5(inst.rs);
+      s.rsrc2 = reg5(inst.rt);
+      s.rdst = reg5(inst.rd);
+      break;
+    case Format::kRI:
+      s.rsrc1 = reg5(inst.rs);
+      s.rdst = reg5(inst.rd);
+      break;
+    case Format::kShift:
+      s.rsrc1 = reg5(inst.rt);  // shifted value travels on port 1
+      s.rdst = reg5(inst.rd);
+      break;
+    case Format::kLoad:
+      s.rsrc1 = reg5(inst.rs);  // base address
+      s.rdst = reg5(inst.rd);
+      // Left/right partial loads also read the destination's old value.
+      if ((info.flags & flag_bits(Flag::kMemLR)) != 0) s.rsrc2 = reg5(inst.rd);
+      break;
+    case Format::kStore:
+      s.rsrc1 = reg5(inst.rs);  // base address
+      s.rsrc2 = reg5(inst.rt);  // store data
+      break;
+    case Format::kBranch2:
+      s.rsrc1 = reg5(inst.rs);
+      s.rsrc2 = reg5(inst.rt);
+      break;
+    case Format::kBranch1:
+      s.rsrc1 = reg5(inst.rs);
+      break;
+    case Format::kJump:
+      if (inst.op == Opcode::kJal) s.rdst = kRegRa;
+      break;
+    case Format::kJumpReg:
+      s.rsrc1 = reg5(inst.rs);
+      if (inst.op == Opcode::kJalr) s.rdst = kRegRa;
+      break;
+    case Format::kFpR:
+    case Format::kCvt:
+      s.rsrc1 = reg5(inst.rs);
+      s.rdst = reg5(inst.rd);
+      break;
+    case Format::kLui:
+      s.rdst = reg5(inst.rd);
+      break;
+    case Format::kTrap:
+      s.rsrc1 = kRegA0;  // syscall argument register
+      s.rdst = kRegV0;   // syscall result register
+      break;
+  }
+  return s;
+}
+
+DecodeSignals decode_raw(std::uint64_t raw) noexcept {
+  return decode(decode_fields(raw));
+}
+
+std::string to_string(const DecodeSignals& sig) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "op=%s(%u) flags=0x%03x shamt=%u rsrc1=%u rsrc2=%u rdst=%u "
+                "lat=%u imm=0x%04x num_rsrc=%u num_rdst=%u mem_size=%u",
+                op_info(sig.op()).mnemonic.data(), sig.opcode, sig.flags, sig.shamt,
+                sig.rsrc1, sig.rsrc2, sig.rdst, sig.lat, sig.imm, sig.num_rsrc,
+                sig.num_rdst, sig.mem_size);
+  return buf;
+}
+
+const SignalFieldLayout* signal_field_layout(std::size_t* count) noexcept {
+  if (count != nullptr) *count = kLayout.size();
+  return kLayout.data();
+}
+
+const char* signal_field_of_bit(unsigned bit) noexcept {
+  for (const auto& f : kLayout) {
+    if (bit >= f.offset && bit < f.offset + f.width) return f.name;
+  }
+  return "<none>";
+}
+
+}  // namespace itr::isa

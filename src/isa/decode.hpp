@@ -1,0 +1,95 @@
+// The decode-signal bundle of the paper's Table 2 and the decode unit that
+// produces it.
+//
+// This 64-bit bundle is the contract between the decode unit and the rest of
+// the pipeline, the input to ITR signature generation, and the fault-
+// injection surface of Section 4.  Field widths match Table 2 exactly:
+//
+//   field      width   description
+//   opcode       8     instruction opcode
+//   flags       12     decoded control flags (see isa::Flag)
+//   shamt        5     shift amount
+//   rsrc1        5     source register operand
+//   rsrc2        5     source register operand
+//   rdst         5     destination register operand
+//   lat          2     execution latency class
+//   imm         16     immediate
+//   num_rsrc     2     number of source operands
+//   num_rdst     1     number of destination operands
+//   mem_size     3     size of memory word
+//   total       64
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/encoding.hpp"
+#include "isa/opcode.hpp"
+
+namespace itr::isa {
+
+/// One decoded instruction's signal bundle.  Stored unpacked for fast field
+/// access in the simulator; `pack()` produces the 64-bit image whose XOR
+/// across a trace forms the ITR signature.
+struct DecodeSignals {
+  std::uint8_t opcode = 0;    // 8 bits
+  std::uint16_t flags = 0;    // 12 bits
+  std::uint8_t shamt = 0;     // 5 bits
+  std::uint8_t rsrc1 = 0;     // 5 bits
+  std::uint8_t rsrc2 = 0;     // 5 bits
+  std::uint8_t rdst = 0;      // 5 bits
+  std::uint8_t lat = 0;       // 2 bits
+  std::uint16_t imm = 0;      // 16 bits
+  std::uint8_t num_rsrc = 0;  // 2 bits
+  std::uint8_t num_rdst = 0;  // 1 bit
+  std::uint8_t mem_size = 0;  // 3 bits
+
+  friend bool operator==(const DecodeSignals&, const DecodeSignals&) = default;
+
+  /// Packs into the canonical 64-bit layout (fields in Table 2 order,
+  /// opcode at bit 0).
+  std::uint64_t pack() const noexcept;
+
+  /// Flips one of the 64 signal bits in place; `bit` in [0, 64).
+  /// This is the fault-injection primitive of Section 4.
+  void flip_bit(unsigned bit) noexcept;
+
+  bool has_flag(Flag f) const noexcept { return (flags & flag_bits(f)) != 0; }
+  Opcode op() const noexcept { return static_cast<Opcode>(opcode); }
+  /// Immediate sign-extended to 32 bits.
+  std::int32_t simm() const noexcept { return static_cast<std::int16_t>(imm); }
+};
+
+/// Reconstructs the unpacked bundle from its 64-bit image.
+DecodeSignals unpack_signals(std::uint64_t packed) noexcept;
+
+/// The decode unit: maps a field-form instruction to its signal bundle.
+/// Pure function of the instruction word — the property ITR relies on.
+DecodeSignals decode(const Instruction& inst) noexcept;
+
+/// Decodes straight from the raw memory image of an instruction.
+DecodeSignals decode_raw(std::uint64_t raw) noexcept;
+
+/// Human-readable rendering ("opcode=add flags=0x105 ..."), for debugging
+/// and the Table 2 bench.
+std::string to_string(const DecodeSignals& sig);
+
+/// Number of signal bits (the width of the ITR signature).
+inline constexpr unsigned kSignalBits = 64;
+
+/// Bit offsets of each field within the packed 64-bit layout; exposed so
+/// the fault-injection classifier can report which field a flipped bit
+/// belongs to.
+struct SignalFieldLayout {
+  const char* name;
+  unsigned offset;
+  unsigned width;
+};
+
+/// The eleven fields of Table 2 in packed order.
+const SignalFieldLayout* signal_field_layout(std::size_t* count) noexcept;
+
+/// Name of the field containing packed-bit `bit`.
+const char* signal_field_of_bit(unsigned bit) noexcept;
+
+}  // namespace itr::isa

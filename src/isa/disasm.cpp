@@ -1,0 +1,111 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace itr::isa {
+namespace {
+
+std::string reg_name(int r, bool fp) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%c%d", fp ? 'f' : 'r', r);
+  return buf;
+}
+
+std::uint64_t branch_target(std::uint64_t pc, std::int16_t word_off) {
+  return pc + kInstrBytes +
+         static_cast<std::uint64_t>(static_cast<std::int64_t>(word_off) *
+                                    static_cast<std::int64_t>(kInstrBytes));
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst, std::uint64_t pc) {
+  const OpInfo& info = op_info(inst.op);
+  const std::string m(info.mnemonic);
+  const bool fp = (info.flags & flag_bits(Flag::kIsFp)) != 0;
+  char buf[96];
+
+  switch (info.format) {
+    case Format::kNone:
+      return m;
+    case Format::kRR:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %s", m.c_str(),
+                    reg_name(inst.rd, false).c_str(), reg_name(inst.rs, false).c_str(),
+                    reg_name(inst.rt, false).c_str());
+      return buf;
+    case Format::kFpRR:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %s", m.c_str(),
+                    reg_name(inst.rd, true).c_str(), reg_name(inst.rs, true).c_str(),
+                    reg_name(inst.rt, true).c_str());
+      return buf;
+    case Format::kFpCmp:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %s", m.c_str(),
+                    reg_name(inst.rd, false).c_str(), reg_name(inst.rs, true).c_str(),
+                    reg_name(inst.rt, true).c_str());
+      return buf;
+    case Format::kRI:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", m.c_str(),
+                    reg_name(inst.rd, false).c_str(), reg_name(inst.rs, false).c_str(),
+                    inst.imm);
+      return buf;
+    case Format::kShift:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", m.c_str(),
+                    reg_name(inst.rd, false).c_str(), reg_name(inst.rt, false).c_str(),
+                    inst.shamt);
+      return buf;
+    case Format::kLoad:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", m.c_str(),
+                    reg_name(inst.rd, fp).c_str(), inst.imm,
+                    reg_name(inst.rs, false).c_str());
+      return buf;
+    case Format::kStore:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", m.c_str(),
+                    reg_name(inst.rt, fp).c_str(), inst.imm,
+                    reg_name(inst.rs, false).c_str());
+      return buf;
+    case Format::kBranch2:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, 0x%llx", m.c_str(),
+                    reg_name(inst.rs, false).c_str(), reg_name(inst.rt, false).c_str(),
+                    static_cast<unsigned long long>(branch_target(pc, inst.imm)));
+      return buf;
+    case Format::kBranch1:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%llx", m.c_str(),
+                    reg_name(inst.rs, false).c_str(),
+                    static_cast<unsigned long long>(branch_target(pc, inst.imm)));
+      return buf;
+    case Format::kJump:
+      std::snprintf(buf, sizeof buf, "%s 0x%llx", m.c_str(),
+                    static_cast<unsigned long long>(branch_target(pc, inst.imm)));
+      return buf;
+    case Format::kJumpReg:
+      std::snprintf(buf, sizeof buf, "%s %s", m.c_str(), reg_name(inst.rs, false).c_str());
+      return buf;
+    case Format::kFpR:
+      std::snprintf(buf, sizeof buf, "%s %s, %s", m.c_str(),
+                    reg_name(inst.rd, true).c_str(), reg_name(inst.rs, true).c_str());
+      return buf;
+    case Format::kCvt:
+      std::snprintf(buf, sizeof buf, "%s %s, %s", m.c_str(),
+                    reg_name(inst.rd, inst.op == Opcode::kCvtIf || inst.op == Opcode::kMtc).c_str(),
+                    reg_name(inst.rs, inst.op == Opcode::kCvtFi || inst.op == Opcode::kMfc).c_str());
+      return buf;
+    case Format::kLui:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x", m.c_str(),
+                    reg_name(inst.rd, false).c_str(),
+                    static_cast<std::uint16_t>(inst.imm));
+      return buf;
+    case Format::kTrap:
+      std::snprintf(buf, sizeof buf, "%s %d", m.c_str(), inst.imm);
+      return buf;
+  }
+  return "<bad-format>";
+}
+
+std::string disassemble_raw(std::uint64_t raw, std::uint64_t pc) {
+  return disassemble(decode_fields(raw), pc);
+}
+
+}  // namespace itr::isa

@@ -1,0 +1,19 @@
+// Disassembler: renders instructions back to assembler syntax for debugging
+// output, pipeline traces and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/encoding.hpp"
+
+namespace itr::isa {
+
+/// Renders `inst` at address `pc` (the PC is needed to show absolute branch
+/// targets next to the relative offset).
+std::string disassemble(const Instruction& inst, std::uint64_t pc = 0);
+
+/// Convenience overload for raw instruction words.
+std::string disassemble_raw(std::uint64_t raw, std::uint64_t pc = 0);
+
+}  // namespace itr::isa

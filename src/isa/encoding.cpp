@@ -1,0 +1,77 @@
+#include "isa/encoding.hpp"
+
+namespace itr::isa {
+
+std::uint64_t encode(const Instruction& inst) noexcept {
+  std::uint64_t raw = 0;
+  raw |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(inst.op));
+  raw |= static_cast<std::uint64_t>(inst.rs & 0x3f) << 8;
+  raw |= static_cast<std::uint64_t>(inst.rt & 0x3f) << 14;
+  raw |= static_cast<std::uint64_t>(inst.rd & 0x3f) << 20;
+  raw |= static_cast<std::uint64_t>(inst.shamt & 0x1f) << 26;
+  raw |= static_cast<std::uint64_t>(static_cast<std::uint16_t>(inst.imm)) << 32;
+  return raw;
+}
+
+Instruction decode_fields(std::uint64_t raw) noexcept {
+  Instruction inst;
+  inst.op = static_cast<Opcode>(raw & 0xff);
+  inst.rs = static_cast<std::uint8_t>((raw >> 8) & 0x3f);
+  inst.rt = static_cast<std::uint8_t>((raw >> 14) & 0x3f);
+  inst.rd = static_cast<std::uint8_t>((raw >> 20) & 0x3f);
+  inst.shamt = static_cast<std::uint8_t>((raw >> 26) & 0x1f);
+  inst.imm = static_cast<std::int16_t>(static_cast<std::uint16_t>((raw >> 32) & 0xffff));
+  return inst;
+}
+
+namespace {
+std::uint8_t reg(int r) noexcept { return static_cast<std::uint8_t>(r & 0x3f); }
+}  // namespace
+
+Instruction make_rr(Opcode op, int rd, int rs, int rt) noexcept {
+  return Instruction{op, reg(rs), reg(rt), reg(rd), 0, 0};
+}
+
+Instruction make_ri(Opcode op, int rd, int rs, std::int16_t imm) noexcept {
+  return Instruction{op, reg(rs), 0, reg(rd), 0, imm};
+}
+
+Instruction make_shift(Opcode op, int rd, int rt, int shamt) noexcept {
+  return Instruction{op, 0, reg(rt), reg(rd), static_cast<std::uint8_t>(shamt & 0x1f), 0};
+}
+
+Instruction make_load(Opcode op, int rd, int base, std::int16_t disp) noexcept {
+  return Instruction{op, reg(base), 0, reg(rd), 0, disp};
+}
+
+Instruction make_store(Opcode op, int value, int base, std::int16_t disp) noexcept {
+  return Instruction{op, reg(base), reg(value), 0, 0, disp};
+}
+
+Instruction make_branch2(Opcode op, int rs, int rt, std::int16_t word_off) noexcept {
+  return Instruction{op, reg(rs), reg(rt), 0, 0, word_off};
+}
+
+Instruction make_branch1(Opcode op, int rs, std::int16_t word_off) noexcept {
+  return Instruction{op, reg(rs), 0, 0, 0, word_off};
+}
+
+Instruction make_jump(Opcode op, std::int16_t word_off) noexcept {
+  return Instruction{op, 0, 0, 0, 0, word_off};
+}
+
+Instruction make_jump_reg(Opcode op, int rs) noexcept {
+  return Instruction{op, reg(rs), 0, 0, 0, 0};
+}
+
+Instruction make_lui(int rd, std::uint16_t imm) noexcept {
+  return Instruction{Opcode::kLui, 0, 0, reg(rd), 0, static_cast<std::int16_t>(imm)};
+}
+
+Instruction make_trap(std::int16_t code) noexcept {
+  return Instruction{Opcode::kTrap, 0, 0, 0, 0, code};
+}
+
+Instruction make_nop() noexcept { return Instruction{}; }
+
+}  // namespace itr::isa

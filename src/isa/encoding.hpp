@@ -1,0 +1,57 @@
+// Raw 64-bit instruction encoding.
+//
+// Programs are stored in simulated memory as packed 8-byte words.  The layout
+// is fixed and documented here; the decoder (decode.hpp) turns a raw word
+// into the Table 2 decode-signal bundle.
+//
+//   bits  0..7    opcode
+//   bits  8..13   rs   (source register 1 / base)
+//   bits 14..19   rt   (source register 2 / store data / shift input)
+//   bits 20..25   rd   (destination register)
+//   bits 26..30   shamt
+//   bits 32..47   imm  (16-bit immediate / displacement / branch word offset)
+//   remaining bits reserved (must be zero)
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace itr::isa {
+
+/// An instruction in field form: the assembler and code builder produce
+/// these; `encode` packs them into the raw word stored in program memory.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::int16_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Packs the fields into the canonical 64-bit instruction word.
+std::uint64_t encode(const Instruction& inst) noexcept;
+
+/// Unpacks a raw word into fields.  Never fails: out-of-range opcodes are
+/// preserved so that the decoder can flag them.
+Instruction decode_fields(std::uint64_t raw) noexcept;
+
+// -- Convenience constructors used by the code builder and tests. -----------
+
+Instruction make_rr(Opcode op, int rd, int rs, int rt) noexcept;
+Instruction make_ri(Opcode op, int rd, int rs, std::int16_t imm) noexcept;
+Instruction make_shift(Opcode op, int rd, int rt, int shamt) noexcept;
+Instruction make_load(Opcode op, int rd, int base, std::int16_t disp) noexcept;
+Instruction make_store(Opcode op, int value, int base, std::int16_t disp) noexcept;
+Instruction make_branch2(Opcode op, int rs, int rt, std::int16_t word_off) noexcept;
+Instruction make_branch1(Opcode op, int rs, std::int16_t word_off) noexcept;
+Instruction make_jump(Opcode op, std::int16_t word_off) noexcept;
+Instruction make_jump_reg(Opcode op, int rs) noexcept;
+Instruction make_lui(int rd, std::uint16_t imm) noexcept;
+Instruction make_trap(std::int16_t code) noexcept;
+Instruction make_nop() noexcept;
+
+}  // namespace itr::isa

@@ -1,0 +1,136 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+namespace itr::isa {
+namespace {
+
+constexpr std::uint16_t flags_of() noexcept { return 0; }
+
+template <typename... Rest>
+constexpr std::uint16_t flags_of(Flag f, Rest... rest) noexcept {
+  return static_cast<std::uint16_t>(flag_bits(f) | flags_of(rest...));
+}
+
+struct TableEntry {
+  Opcode op;
+  OpInfo info;
+};
+
+// The authoritative opcode property table.  Order does not matter; the table
+// is folded into an array indexed by opcode value at static-init time.
+constexpr TableEntry kEntries[] = {
+    {Opcode::kNop, {"nop", Format::kNone, flags_of(Flag::kIsInt), LatClass::kSingle, 0, 0, MemSize::kNone}},
+
+    {Opcode::kAdd, {"add", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSub, {"sub", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kMul, {"mul", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+    {Opcode::kDiv, {"div", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kLong, 2, 1, MemSize::kNone}},
+    {Opcode::kRem, {"rem", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kLong, 2, 1, MemSize::kNone}},
+    {Opcode::kAnd, {"and", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kOr, {"or", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kXor, {"xor", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kNor, {"nor", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSllv, {"sllv", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSrlv, {"srlv", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSrav, {"srav", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSlt, {"slt", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+    {Opcode::kSltu, {"sltu", Format::kRR, flags_of(Flag::kIsInt, Flag::kIsRR), LatClass::kSingle, 2, 1, MemSize::kNone}},
+
+    {Opcode::kAddi, {"addi", Format::kRI, flags_of(Flag::kIsInt, Flag::kIsSigned), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kAndi, {"andi", Format::kRI, flags_of(Flag::kIsInt), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kOri, {"ori", Format::kRI, flags_of(Flag::kIsInt), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kXori, {"xori", Format::kRI, flags_of(Flag::kIsInt), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kSlti, {"slti", Format::kRI, flags_of(Flag::kIsInt, Flag::kIsSigned), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kLui, {"lui", Format::kLui, flags_of(Flag::kIsInt), LatClass::kSingle, 0, 1, MemSize::kNone}},
+    {Opcode::kSll, {"sll", Format::kShift, flags_of(Flag::kIsInt), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kSrl, {"srl", Format::kShift, flags_of(Flag::kIsInt), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kSra, {"sra", Format::kShift, flags_of(Flag::kIsInt, Flag::kIsSigned), LatClass::kSingle, 1, 1, MemSize::kNone}},
+
+    {Opcode::kLb, {"lb", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kByte}},
+    {Opcode::kLbu, {"lbu", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kByte}},
+    {Opcode::kLh, {"lh", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kHalf}},
+    {Opcode::kLhu, {"lhu", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kHalf}},
+    {Opcode::kLw, {"lw", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kWord}},
+    {Opcode::kLwl, {"lwl", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsLoad, Flag::kIsDisp, Flag::kMemLR), LatClass::kSingle, 2, 1, MemSize::kWord}},
+    {Opcode::kLwr, {"lwr", Format::kLoad, flags_of(Flag::kIsInt, Flag::kIsLoad, Flag::kIsDisp, Flag::kMemLR), LatClass::kSingle, 2, 1, MemSize::kWord}},
+    {Opcode::kSb, {"sb", Format::kStore, flags_of(Flag::kIsInt, Flag::kIsStore, Flag::kIsDisp), LatClass::kSingle, 2, 0, MemSize::kByte}},
+    {Opcode::kSh, {"sh", Format::kStore, flags_of(Flag::kIsInt, Flag::kIsStore, Flag::kIsDisp), LatClass::kSingle, 2, 0, MemSize::kHalf}},
+    {Opcode::kSw, {"sw", Format::kStore, flags_of(Flag::kIsInt, Flag::kIsStore, Flag::kIsDisp), LatClass::kSingle, 2, 0, MemSize::kWord}},
+    {Opcode::kSwl, {"swl", Format::kStore, flags_of(Flag::kIsInt, Flag::kIsStore, Flag::kIsDisp, Flag::kMemLR), LatClass::kSingle, 2, 0, MemSize::kWord}},
+    {Opcode::kSwr, {"swr", Format::kStore, flags_of(Flag::kIsInt, Flag::kIsStore, Flag::kIsDisp, Flag::kMemLR), LatClass::kSingle, 2, 0, MemSize::kWord}},
+
+    {Opcode::kLdf, {"ldf", Format::kLoad, flags_of(Flag::kIsFp, Flag::kIsLoad, Flag::kIsDisp), LatClass::kSingle, 1, 1, MemSize::kDouble}},
+    {Opcode::kStf, {"stf", Format::kStore, flags_of(Flag::kIsFp, Flag::kIsStore, Flag::kIsDisp), LatClass::kSingle, 2, 0, MemSize::kDouble}},
+
+    {Opcode::kBeq, {"beq", Format::kBranch2, flags_of(Flag::kIsInt, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 2, 0, MemSize::kNone}},
+    {Opcode::kBne, {"bne", Format::kBranch2, flags_of(Flag::kIsInt, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 2, 0, MemSize::kNone}},
+    {Opcode::kBlez, {"blez", Format::kBranch1, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 1, 0, MemSize::kNone}},
+    {Opcode::kBgtz, {"bgtz", Format::kBranch1, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 1, 0, MemSize::kNone}},
+    {Opcode::kBltz, {"bltz", Format::kBranch1, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 1, 0, MemSize::kNone}},
+    {Opcode::kBgez, {"bgez", Format::kBranch1, flags_of(Flag::kIsInt, Flag::kIsSigned, Flag::kIsBranch, Flag::kIsDirect), LatClass::kSingle, 1, 0, MemSize::kNone}},
+
+    {Opcode::kJ, {"j", Format::kJump, flags_of(Flag::kIsInt, Flag::kIsUncond, Flag::kIsDirect), LatClass::kSingle, 0, 0, MemSize::kNone}},
+    {Opcode::kJal, {"jal", Format::kJump, flags_of(Flag::kIsInt, Flag::kIsUncond, Flag::kIsDirect), LatClass::kSingle, 0, 1, MemSize::kNone}},
+    {Opcode::kJr, {"jr", Format::kJumpReg, flags_of(Flag::kIsInt, Flag::kIsUncond), LatClass::kSingle, 1, 0, MemSize::kNone}},
+    {Opcode::kJalr, {"jalr", Format::kJumpReg, flags_of(Flag::kIsInt, Flag::kIsUncond), LatClass::kSingle, 1, 1, MemSize::kNone}},
+
+    {Opcode::kFadd, {"fadd", Format::kFpRR, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+    {Opcode::kFsub, {"fsub", Format::kFpRR, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+    {Opcode::kFmul, {"fmul", Format::kFpRR, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kMedium, 2, 1, MemSize::kNone}},
+    {Opcode::kFdiv, {"fdiv", Format::kFpRR, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kLong, 2, 1, MemSize::kNone}},
+    {Opcode::kFneg, {"fneg", Format::kFpR, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kFabs, {"fabs", Format::kFpR, flags_of(Flag::kIsFp, Flag::kIsRR), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kFmov, {"fmov", Format::kFpR, flags_of(Flag::kIsFp, Flag::kIsRR), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kFceq, {"fceq", Format::kFpCmp, flags_of(Flag::kIsFp, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+    {Opcode::kFclt, {"fclt", Format::kFpCmp, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+    {Opcode::kFcle, {"fcle", Format::kFpCmp, flags_of(Flag::kIsFp, Flag::kIsSigned, Flag::kIsRR), LatClass::kShort, 2, 1, MemSize::kNone}},
+
+    {Opcode::kCvtIf, {"cvt.if", Format::kCvt, flags_of(Flag::kIsFp, Flag::kIsSigned), LatClass::kMedium, 1, 1, MemSize::kNone}},
+    {Opcode::kCvtFi, {"cvt.fi", Format::kCvt, flags_of(Flag::kIsFp, Flag::kIsSigned), LatClass::kMedium, 1, 1, MemSize::kNone}},
+    {Opcode::kMtc, {"mtc", Format::kCvt, flags_of(Flag::kIsFp), LatClass::kSingle, 1, 1, MemSize::kNone}},
+    {Opcode::kMfc, {"mfc", Format::kCvt, flags_of(Flag::kIsFp), LatClass::kSingle, 1, 1, MemSize::kNone}},
+
+    // Traps read their argument from a0; none of our trap codes writes a
+    // result, so num_rdst is 0 (a fault setting it writes the unit's zero
+    // output into v0 — plausible corrupted-hardware behaviour).
+    {Opcode::kTrap, {"trap", Format::kTrap, flags_of(Flag::kIsInt, Flag::kIsTrap, Flag::kIsUncond), LatClass::kSingle, 1, 0, MemSize::kNone}},
+};
+
+struct OpTable {
+  std::array<OpInfo, kNumOpcodes> infos{};
+
+  OpTable() {
+    for (const auto& e : kEntries) {
+      infos[static_cast<std::size_t>(e.op)] = e.info;
+    }
+  }
+};
+
+const OpTable& table() {
+  static const OpTable t;
+  return t;
+}
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) noexcept {
+  static const OpInfo kInvalid{"<invalid>", Format::kNone, 0, LatClass::kSingle, 0, 0, MemSize::kNone};
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx >= kNumOpcodes) return kInvalid;
+  return table().infos[idx];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) noexcept {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    if (table().infos[i].mnemonic == mnemonic) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+bool is_trace_terminating(Opcode op) noexcept {
+  const auto& info = op_info(op);
+  return (info.flags & (flag_bits(Flag::kIsBranch) | flag_bits(Flag::kIsUncond))) != 0;
+}
+
+}  // namespace itr::isa

@@ -1,0 +1,173 @@
+// Instruction set definition for the PISA-like ISA used throughout the
+// reproduction.
+//
+// The paper evaluates on SimpleScalar's PISA (a MIPS-like 64-bit-encoded
+// RISC).  We define a compact equivalent: 32 integer registers (r0 hardwired
+// to zero), 32 double-precision floating-point registers, fixed 8-byte
+// instruction words.  What matters for ITR is that decoding an instruction
+// yields exactly the 64-bit decode-signal bundle of the paper's Table 2; the
+// mapping from opcode to those signals lives in the OpInfo table below.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace itr::isa {
+
+/// Number of architectural integer / floating-point registers.
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+
+/// Instruction words are 8 bytes; the PC advances by this amount.
+inline constexpr std::uint64_t kInstrBytes = 8;
+
+/// Conventional register roles (MIPS-flavoured).
+inline constexpr int kRegZero = 0;   ///< hardwired zero
+inline constexpr int kRegV0 = 2;     ///< return value / syscall result
+inline constexpr int kRegA0 = 4;     ///< first argument / syscall argument
+inline constexpr int kRegA1 = 5;
+inline constexpr int kRegSp = 29;    ///< stack pointer
+inline constexpr int kRegRa = 31;    ///< return address (written by JAL/JALR)
+
+/// Every opcode in the ISA.  The numeric value is the 8-bit `opcode` decode
+/// signal of Table 2.
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // Integer register-register ALU.
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kNor,
+  kSllv, kSrlv, kSrav,
+  kSlt, kSltu,
+  // Integer register-immediate ALU (also shift-by-shamt forms).
+  kAddi, kAndi, kOri, kXori, kSlti, kLui,
+  kSll, kSrl, kSra,
+  // Integer loads/stores (displacement addressing: base register + imm).
+  kLb, kLbu, kLh, kLhu, kLw, kLwl, kLwr,
+  kSb, kSh, kSw, kSwl, kSwr,
+  // Floating-point load/store (8-byte).
+  kLdf, kStf,
+  // Conditional branches (PC-relative, word offsets).
+  kBeq, kBne, kBlez, kBgtz, kBltz, kBgez,
+  // Unconditional control flow.
+  kJ, kJal, kJr, kJalr,
+  // Floating point arithmetic.
+  kFadd, kFsub, kFmul, kFdiv, kFneg, kFabs, kFmov,
+  // FP compares write 0/1 into an integer destination register.
+  kFceq, kFclt, kFcle,
+  // Conversions and cross-file moves.
+  kCvtIf,  ///< int (rs) -> fp (rd)
+  kCvtFi,  ///< fp (rs) -> int (rd), truncating
+  kMtc,    ///< move int bits (rs) -> fp reg (rd)
+  kMfc,    ///< move fp bits (rs) -> int reg (rd)
+  // System.
+  kTrap,
+  kOpcodeCount  // sentinel; keep last
+};
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kOpcodeCount);
+
+/// Execution-latency classes; the 2-bit `lat` decode signal of Table 2.
+/// The cycle simulator maps classes to cycle counts (see sim/pipeline).
+enum class LatClass : std::uint8_t {
+  kSingle = 0,   ///< 1 cycle: ALU, branches, moves
+  kShort = 1,    ///< 3 cycles: integer multiply, FP add/sub/compare
+  kMedium = 2,   ///< 8 cycles: FP multiply, conversions
+  kLong = 3,     ///< 24 cycles: integer and FP divide, remainder
+};
+
+/// Value of the 3-bit `mem_size` decode signal: the access width category.
+enum class MemSize : std::uint8_t {
+  kNone = 0,
+  kByte = 1,
+  kHalf = 2,
+  kWord = 3,
+  kDouble = 4,
+};
+
+/// Returns the access width in bytes (0 for kNone).
+constexpr std::uint32_t mem_size_bytes(MemSize s) noexcept {
+  switch (s) {
+    case MemSize::kNone: return 0;
+    case MemSize::kByte: return 1;
+    case MemSize::kHalf: return 2;
+    case MemSize::kWord: return 4;
+    case MemSize::kDouble: return 8;
+  }
+  return 0;
+}
+
+/// The twelve decode control flags of Table 2 (`flags`, width 12).
+/// `kMemLR` is the combined mem_left/right flag (set for LWL/LWR/SWL/SWR).
+enum class Flag : std::uint16_t {
+  kIsInt = 1u << 0,     ///< integer-pipeline operation
+  kIsFp = 1u << 1,      ///< floating-point-pipeline operation
+  kIsSigned = 1u << 2,  ///< signed (vs. unsigned) interpretation
+  kIsBranch = 1u << 3,  ///< conditional branch
+  kIsUncond = 1u << 4,  ///< unconditional control transfer
+  kIsLoad = 1u << 5,
+  kIsStore = 1u << 6,
+  kMemLR = 1u << 7,     ///< left/right partial-word memory access
+  kIsRR = 1u << 8,      ///< register-register format
+  kIsDisp = 1u << 9,    ///< displacement (base+offset) addressing
+  kIsDirect = 1u << 10, ///< direct (PC-relative immediate) jump target
+  kIsTrap = 1u << 11,
+};
+
+inline constexpr std::uint16_t kFlagMask = 0x0fff;  // 12 bits
+
+constexpr std::uint16_t flag_bits(Flag f) noexcept {
+  return static_cast<std::uint16_t>(f);
+}
+
+/// How the operand fields of an instruction are interpreted; drives the
+/// assembler's syntax and the renamer's source/dest extraction.
+enum class Format : std::uint8_t {
+  kNone,       ///< nop
+  kRR,         ///< rd, rs, rt
+  kRI,         ///< rd, rs, imm
+  kShift,      ///< rd, rt, shamt
+  kLoad,       ///< rd, imm(rs)
+  kStore,      ///< rt, imm(rs)
+  kBranch2,    ///< rs, rt, label
+  kBranch1,    ///< rs, label
+  kJump,       ///< label
+  kJumpReg,    ///< rs  (JALR also writes rRA)
+  kFpRR,       ///< fd, fs, ft
+  kFpR,        ///< fd, fs
+  kFpCmp,      ///< rd(int), fs, ft
+  kCvt,        ///< rd, rs (across register files)
+  kLui,        ///< rd, imm
+  kTrap,       ///< imm (syscall code)
+};
+
+/// Static description of one opcode: its decode signals and operand shape.
+struct OpInfo {
+  std::string_view mnemonic;
+  Format format = Format::kNone;
+  std::uint16_t flags = 0;       ///< OR of Flag bits (12 significant bits)
+  LatClass lat = LatClass::kSingle;
+  std::uint8_t num_rsrc = 0;     ///< register source operand count (0-2)
+  std::uint8_t num_rdst = 0;     ///< register destination count (0-1)
+  MemSize mem_size = MemSize::kNone;
+};
+
+/// Lookup of static opcode properties; total function over valid opcodes.
+const OpInfo& op_info(Opcode op) noexcept;
+
+/// Reverse lookup by mnemonic (for the assembler); empty if unknown.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) noexcept;
+
+/// True when `op` terminates an ITR trace (any control-transfer instruction:
+/// conditional branches, jumps, calls, returns).  Traps also terminate traces
+/// since they redirect fetch in a real pipeline.
+bool is_trace_terminating(Opcode op) noexcept;
+
+/// True when the value is a valid opcode enumerator.
+constexpr bool is_valid_opcode(std::uint8_t raw) noexcept {
+  return raw < kNumOpcodes;
+}
+
+}  // namespace itr::isa

@@ -1,0 +1,16 @@
+#include "isa/program.hpp"
+
+namespace itr::isa {
+
+std::uint64_t Program::fetch_raw(std::uint64_t pc) const noexcept {
+  if (!contains_pc(pc)) {
+    return encode(make_trap(static_cast<std::int16_t>(TrapCode::kAbort)));
+  }
+  return code[(pc - code_base) / kInstrBytes];
+}
+
+Instruction Program::fetch(std::uint64_t pc) const noexcept {
+  return decode_fields(fetch_raw(pc));
+}
+
+}  // namespace itr::isa

@@ -1,0 +1,60 @@
+// Program image: the loadable artifact produced by the assembler or the
+// programmatic code builder and consumed by the simulators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace itr::isa {
+
+/// Default memory map.  The ISA's 16-bit displacement reaches data at
+/// kDataBase off the zero register, and the stack grows down from kStackTop.
+inline constexpr std::uint64_t kDefaultCodeBase = 0x0001'0000;
+inline constexpr std::uint64_t kDefaultDataBase = 0x0000'4000;
+inline constexpr std::uint64_t kDefaultStackTop = 0x0200'0000;
+
+/// A fully linked program: raw instruction words plus an initialized data
+/// segment.  Immutable once built.
+struct Program {
+  std::string name;
+  std::uint64_t code_base = kDefaultCodeBase;
+  std::uint64_t entry = kDefaultCodeBase;
+  std::vector<std::uint64_t> code;  ///< one raw word per instruction
+
+  std::uint64_t data_base = kDefaultDataBase;
+  std::vector<std::uint8_t> data;
+
+  std::uint64_t num_instructions() const noexcept { return code.size(); }
+
+  /// Address one past the last instruction.
+  std::uint64_t code_end() const noexcept {
+    return code_base + static_cast<std::uint64_t>(code.size()) * kInstrBytes;
+  }
+
+  /// True when `pc` addresses an instruction of this program.
+  bool contains_pc(std::uint64_t pc) const noexcept {
+    return pc >= code_base && pc < code_end() && (pc - code_base) % kInstrBytes == 0;
+  }
+
+  /// Raw word at `pc`; returns an encoded trap-abort for out-of-range PCs so
+  /// a wild fetch in a faulty simulation terminates deterministically
+  /// instead of running off into zeroed memory.
+  std::uint64_t fetch_raw(std::uint64_t pc) const noexcept;
+
+  /// Field-form instruction at `pc` (convenience over fetch_raw).
+  Instruction fetch(std::uint64_t pc) const noexcept;
+};
+
+/// Trap code conventions for the `trap` instruction.
+enum class TrapCode : std::int16_t {
+  kExit = 0,        ///< terminate program; r4 = exit status
+  kPrintInt = 1,    ///< print r4 as signed decimal
+  kPrintChar = 2,   ///< print low byte of r4
+  kPrintFp = 3,     ///< print f12 with six digits
+  kAbort = 4,       ///< abnormal termination (wild fetch, assert failure)
+};
+
+}  // namespace itr::isa

@@ -1,0 +1,72 @@
+#include "itr/coverage.hpp"
+
+#include "trace/trace_builder.hpp"
+#include "util/stats.hpp"
+
+namespace itr::core {
+
+namespace {
+
+trace::TraceRecord to_record(const CompactTrace& ct, std::uint64_t first_index) {
+  trace::TraceRecord rec;
+  rec.start_pc = ct.start_pc;
+  rec.num_instructions = ct.num_instructions;
+  rec.first_insn_index = first_index;
+  // Signatures are irrelevant for coverage accounting (a fault-free replay
+  // always matches); leave zero.
+  return rec;
+}
+
+}  // namespace
+
+CoverageCounters replay_coverage(const std::vector<CompactTrace>& stream,
+                                 const ItrCacheConfig& config) {
+  ItrCache cache(config);
+  std::uint64_t index = 0;
+  for (const CompactTrace& ct : stream) {
+    const trace::TraceRecord rec = to_record(ct, index);
+    const ProbeResult probe = cache.probe(rec);
+    if (probe.outcome == ProbeOutcome::kMiss) cache.install(rec);
+    index += ct.num_instructions;
+  }
+  cache.finish();
+  return cache.counters();
+}
+
+CheckpointStats replay_with_checkpoints(const std::vector<CompactTrace>& stream,
+                                        const ItrCacheConfig& config,
+                                        std::uint64_t unchecked_threshold,
+                                        std::uint64_t min_interval) {
+  CheckpointStats out;
+  ItrCache cache(config);
+  std::uint64_t index = 0;
+  std::uint64_t last_checkpoint_index = 0;
+  util::RunningStats intervals;
+
+  for (const CompactTrace& ct : stream) {
+    const trace::TraceRecord rec = to_record(ct, index);
+    const ProbeResult probe = cache.probe(rec);
+    if (probe.outcome == ProbeOutcome::kMiss) {
+      cache.install(rec);
+    } else if (probe.cleared_unchecked) {
+      // The missed instance that installed this line is now detected; a
+      // rollback to the live checkpoint (older than that instance as long as
+      // checkpoints only happen with few unchecked lines) recovers it.
+      out.recoverable_by_checkpoint_instructions += probe.cleared_pending_instructions;
+    }
+    index += ct.num_instructions;
+
+    if (cache.unchecked_lines() <= unchecked_threshold &&
+        index - last_checkpoint_index >= min_interval) {
+      ++out.checkpoints_taken;
+      intervals.add(static_cast<double>(index - last_checkpoint_index));
+      last_checkpoint_index = index;
+    }
+  }
+  cache.finish();
+  out.coverage = cache.counters();
+  out.mean_checkpoint_interval = intervals.mean();
+  return out;
+}
+
+}  // namespace itr::core

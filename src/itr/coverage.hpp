@@ -1,0 +1,61 @@
+// Coverage-loss measurement over a trace stream (the paper's Section 3
+// design-space experiments, Figures 6 and 7).
+//
+// The expensive part — running the program and forming traces — is done once
+// per benchmark; the resulting compact trace stream is then replayed through
+// every ITR cache configuration of the sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "itr/itr_cache.hpp"
+
+namespace itr::core {
+
+/// A trace instance reduced to what coverage replay needs.  Streams are
+/// produced by workload::collect_trace_stream (one functional run per
+/// benchmark) and replayed here through every cache configuration.
+struct CompactTrace {
+  std::uint64_t start_pc = 0;
+  std::uint32_t num_instructions = 0;
+};
+
+/// Replays a trace stream through one ITR cache configuration and returns
+/// the coverage counters (probe at dispatch, install on miss — the
+/// functional equivalent of the pipeline protocol).
+CoverageCounters replay_coverage(const std::vector<CompactTrace>& stream,
+                                 const ItrCacheConfig& config);
+
+/// Coarse-grain checkpointing extension (paper Section 2.3): take a
+/// checkpoint whenever the number of unchecked ITR cache lines drops to
+/// `unchecked_threshold` or below (the paper proposes zero).  Replays the
+/// stream and reports how much of the recovery-coverage loss a checkpoint
+/// rollback would win back.
+///
+/// Reproduction finding: with threshold 0 checkpoints essentially never fire
+/// in steady state — once-executed cold traces (function prologues, driver
+/// glue) sit unchecked in the cache indefinitely.  A small nonzero threshold
+/// restores frequent checkpoints at a bounded residual-vulnerability cost
+/// (the <=threshold unchecked lines could hide an undetected fault predating
+/// the checkpoint); the bench sweeps this trade-off.
+struct CheckpointStats {
+  std::uint64_t checkpoints_taken = 0;
+  /// Instructions of missed instances whose signature was later referenced:
+  /// with a live checkpoint older than the installer, a rollback recovers
+  /// them (upper bound when checkpoints are sparse).
+  std::uint64_t recoverable_by_checkpoint_instructions = 0;
+  /// Mean distance (in dynamic instructions) between checkpoints.
+  double mean_checkpoint_interval = 0.0;
+  CoverageCounters coverage;
+};
+
+/// `min_interval` spaces checkpoints: a new one is taken only once at least
+/// that many dynamic instructions have passed since the previous checkpoint
+/// (coarse-grain checkpoints are expensive; see paper references [6][7]).
+CheckpointStats replay_with_checkpoints(const std::vector<CompactTrace>& stream,
+                                        const ItrCacheConfig& config,
+                                        std::uint64_t unchecked_threshold = 0,
+                                        std::uint64_t min_interval = 50'000);
+
+}  // namespace itr::core

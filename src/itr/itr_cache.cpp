@@ -1,0 +1,132 @@
+#include "itr/itr_cache.hpp"
+
+namespace itr::core {
+
+namespace {
+cache::CacheConfig to_cache_config(const ItrCacheConfig& cfg) {
+  cache::CacheConfig out;
+  out.num_entries = cfg.num_signatures;
+  out.associativity = cfg.associativity;
+  out.key_shift = 3;  // trace start PCs are 8-byte aligned
+  out.replacement = cfg.replacement;
+  return out;
+}
+}  // namespace
+
+ItrCache::ItrCache(const ItrCacheConfig& config)
+    : config_(config), cache_(to_cache_config(config)) {}
+
+ProbeResult ItrCache::probe(const trace::TraceRecord& rec) {
+  counters_.total_instructions += rec.num_instructions;
+  ++counters_.total_traces;
+  ++counters_.cache_reads;
+
+  ProbeResult result;
+  Line* line = cache_.lookup(rec.start_pc);
+  if (line == nullptr) {
+    ++counters_.misses;
+    // No counterpart to check before this trace's instructions commit: the
+    // instance is detectable later (if its signature survives) but not
+    // recoverable by a pipeline flush.
+    counters_.recovery_loss_instructions += rec.num_instructions;
+    result.outcome = ProbeOutcome::kMiss;
+    return result;
+  }
+
+  ++counters_.hits;
+  result.cached_signature = line->signature;
+  result.cached_parity_ok = line->parity_ok;
+  result.outcome = line->signature == rec.signature ? ProbeOutcome::kHitMatch
+                                                    : ProbeOutcome::kHitMismatch;
+  if (!line->referenced) {
+    // This hit is the first reference to a line installed by a missed
+    // instance: that instance's instructions retroactively get detection
+    // coverage (the comparison checks both instances at once).
+    result.cleared_unchecked = true;
+    result.unchecked_install_index = line->install_index;
+    result.cleared_pending_instructions = line->pending_instructions;
+    line->referenced = true;
+    line->pending_instructions = 0;
+    if (unchecked_lines_ > 0) --unchecked_lines_;
+    cache_.set_flag(rec.start_pc, true);  // "checked" flag for the
+                                          // checked-aware replacement ablation
+  }
+  return result;
+}
+
+void ItrCache::install(const trace::TraceRecord& rec) {
+  ++counters_.cache_writes;
+  // Two instances of the same trace can be in flight together: both miss at
+  // dispatch, both try to install at commit.  The second install finds the
+  // line already present and leaves it alone (the signatures are equal in a
+  // fault-free run; in a faulty run the later probe does the checking).
+  if (cache_.peek(rec.start_pc) != nullptr) return;
+  Line line;
+  line.signature = rec.signature;
+  line.referenced = false;
+  line.parity_ok = true;
+  line.pending_instructions = rec.num_instructions;
+  line.install_index = rec.first_insn_index;
+
+  ++unchecked_lines_;
+  auto evicted = cache_.insert(rec.start_pc, line, /*flag=*/false);
+  if (evicted.has_value()) {
+    if (!evicted->payload.referenced) {
+      // An unchecked signature left before anything referenced it: the fault
+      // detection coverage of its installing instance is forfeited.
+      counters_.detection_loss_instructions += evicted->payload.pending_instructions;
+      if (unchecked_lines_ > 0) --unchecked_lines_;
+    }
+  }
+}
+
+void ItrCache::overwrite_signature(std::uint64_t start_pc, std::uint64_t signature) {
+  // Direct line mutation without LRU churn: emulate via peek-and-replace.
+  const Line* existing = cache_.peek(start_pc);
+  if (existing == nullptr) return;
+  Line updated = *existing;
+  updated.signature = signature;
+  updated.parity_ok = true;
+  updated.referenced = true;
+  if (!existing->referenced && unchecked_lines_ > 0) --unchecked_lines_;
+  cache_.insert(start_pc, updated, /*flag=*/true);
+}
+
+bool ItrCache::invalidate(std::uint64_t start_pc) {
+  const Line* existing = cache_.peek(start_pc);
+  if (existing == nullptr) return false;
+  if (!existing->referenced && unchecked_lines_ > 0) --unchecked_lines_;
+  return cache_.invalidate(start_pc);
+}
+
+bool ItrCache::corrupt_line(std::uint64_t start_pc, unsigned bit) {
+  const Line* existing = cache_.peek(start_pc);
+  if (existing == nullptr) return false;
+  Line updated = *existing;
+  updated.signature ^= 1ULL << (bit & 63u);
+  updated.parity_ok = false;  // a single flipped bit breaks odd parity
+  const auto flag = cache_.get_flag(start_pc);
+  cache_.insert(start_pc, updated, flag.value_or(false));
+  return true;
+}
+
+ItrCache::LineStatus ItrCache::line_status(std::uint64_t start_pc) const {
+  const Line* line = cache_.peek(start_pc);
+  if (line == nullptr) return LineStatus::kAbsent;
+  return line->referenced ? LineStatus::kReferenced : LineStatus::kUnreferenced;
+}
+
+void ItrCache::finish() {
+  if (finished_) return;
+  finished_ = true;
+  counters_.pending_instructions_at_end = 0;
+  cache_.for_each([this](std::uint64_t key, const Line& line, bool flag) {
+    (void)key;
+    (void)flag;
+    if (!line.referenced) {
+      counters_.pending_instructions_at_end += line.pending_instructions;
+    }
+  });
+}
+
+}  // namespace itr::core

@@ -1,0 +1,139 @@
+// The ITR cache (paper Sections 2.2-2.3): a small cache of trace signatures
+// indexed by trace start PC.
+//
+// Coverage semantics implemented here, straight from the paper:
+//
+//   * A probe HIT checks the incoming signature against the stored one.  The
+//     stored line becomes "referenced"; if it was installed by an earlier
+//     missed (unchecked) instance, that instance retroactively gains fault
+//     *detection* coverage — under a single-event-upset model the comparison
+//     protects both instances.
+//   * A probe MISS costs fault *recovery* coverage for the incoming instance
+//     (its signature has no counterpart to check before its trace commits),
+//     and the instance's signature is installed as an unchecked line.
+//   * EVICTING a line that was never referenced forfeits the fault
+//     *detection* coverage of the instance that installed it.
+//
+// Hence detection loss <= recovery loss, which the paper calls out as the key
+// novelty of the structure: misses are not immediately a loss of detection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/set_assoc_cache.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::core {
+
+struct ItrCacheConfig {
+  std::size_t num_signatures = 1024;
+  std::size_t associativity = 2;  ///< 0 = fully associative
+  cache::Replacement replacement = cache::Replacement::kLru;
+  bool parity_protected = true;   ///< per-line parity (paper Section 2.4)
+};
+
+/// Outcome of the dispatch-time probe.
+enum class ProbeOutcome : std::uint8_t { kHitMatch, kHitMismatch, kMiss };
+
+struct ProbeResult {
+  ProbeOutcome outcome = ProbeOutcome::kMiss;
+  std::uint64_t cached_signature = 0;   ///< valid on hits
+  bool cached_parity_ok = true;         ///< modelled parity of the hit line
+  /// On a hit whose line was installed by a missed instance: the dynamic
+  /// instruction index that installed it (for fault attribution) and its
+  /// size; the hit retroactively grants that instance detection coverage.
+  bool cleared_unchecked = false;
+  std::uint64_t unchecked_install_index = 0;
+  std::uint64_t cleared_pending_instructions = 0;
+};
+
+/// Aggregate coverage accounting for one run (the Figures 6/7 quantities).
+struct CoverageCounters {
+  std::uint64_t total_instructions = 0;   ///< instructions in dispatched traces
+  std::uint64_t total_traces = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t cache_reads = 0;          ///< energy accounting (Figure 9)
+  std::uint64_t cache_writes = 0;
+  /// Instructions in instances whose unchecked signature was evicted before
+  /// being referenced: lost fault *detection* coverage.
+  std::uint64_t detection_loss_instructions = 0;
+  /// Instructions in instances that missed: lost fault *recovery* coverage.
+  std::uint64_t recovery_loss_instructions = 0;
+  /// Instructions still sitting unreferenced in the cache at end of run;
+  /// not a loss (a future hit could still check them) but reported.
+  std::uint64_t pending_instructions_at_end = 0;
+
+  double detection_loss_percent() const noexcept {
+    return total_instructions == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detection_loss_instructions) /
+                     static_cast<double>(total_instructions);
+  }
+  double recovery_loss_percent() const noexcept {
+    return total_instructions == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(recovery_loss_instructions) /
+                     static_cast<double>(total_instructions);
+  }
+};
+
+class ItrCache {
+ public:
+  explicit ItrCache(const ItrCacheConfig& config);
+
+  /// Dispatch-time read (paper: "each trace in the ITR ROB accesses the ITR
+  /// cache at dispatch").  Updates hit/miss and recovery-loss accounting.
+  ProbeResult probe(const trace::TraceRecord& rec);
+
+  /// Commit-time write of a missed trace's signature (paper: "if the miss
+  /// bit is set, a write to the ITR cache is initiated").  Accounts
+  /// detection loss for any evicted unreferenced victim.
+  void install(const trace::TraceRecord& rec);
+
+  /// Replaces the signature stored for `start_pc` (recovery path after a
+  /// parity error, Section 2.4).  No-op if the line is absent.
+  void overwrite_signature(std::uint64_t start_pc, std::uint64_t signature);
+
+  /// Invalidates the line for `start_pc` (parity-error recovery alternative).
+  bool invalidate(std::uint64_t start_pc);
+
+  /// Fault-injection hook: flips a signature bit in the stored line,
+  /// breaking its parity (models a particle strike on the ITR cache array).
+  bool corrupt_line(std::uint64_t start_pc, unsigned bit);
+
+  /// Finalizes pending accounting; call once at end of run before reading
+  /// counters (computes pending_instructions_at_end).
+  void finish();
+
+  const CoverageCounters& counters() const noexcept { return counters_; }
+  const ItrCacheConfig& config() const noexcept { return config_; }
+  const cache::CacheStats& cache_stats() const noexcept { return cache_.stats(); }
+
+  /// Number of currently unchecked (installed but never referenced) lines;
+  /// the coarse-grain checkpoint trigger of Section 2.3 watches this.
+  std::uint64_t unchecked_lines() const noexcept { return unchecked_lines_; }
+
+  /// Presence/reference state of the line for `start_pc` (fault-injection
+  /// classification: a still-cached unchecked faulty signature is "MayITR").
+  enum class LineStatus : std::uint8_t { kAbsent, kUnreferenced, kReferenced };
+  LineStatus line_status(std::uint64_t start_pc) const;
+
+ private:
+  struct Line {
+    std::uint64_t signature = 0;
+    bool referenced = false;
+    bool parity_ok = true;
+    std::uint64_t pending_instructions = 0;  ///< of the installing instance
+    std::uint64_t install_index = 0;         ///< first_insn_index of installer
+  };
+
+  ItrCacheConfig config_;
+  cache::SetAssocCache<Line> cache_;
+  CoverageCounters counters_;
+  std::uint64_t unchecked_lines_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace itr::core

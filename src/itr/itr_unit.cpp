@@ -1,0 +1,119 @@
+#include "itr/itr_unit.hpp"
+
+namespace itr::core {
+
+ItrUnit::ItrUnit(const ItrCacheConfig& config)
+    : cache_(config),
+      builder_([this](const trace::TraceRecord& rec) { completed_ = rec; }) {}
+
+void ItrUnit::drain_installs(std::uint64_t up_to_cycle) {
+  while (!installs_.empty() && installs_.front().commit_cycle <= up_to_cycle) {
+    cache_.install(installs_.front().trace);
+    installs_.pop_front();
+  }
+}
+
+std::optional<trace::TraceRecord> ItrUnit::on_decode(std::uint64_t pc,
+                                                     const isa::DecodeSignals& sig,
+                                                     std::uint64_t insn_index,
+                                                     std::uint64_t dispatch_cycle) {
+  completed_.reset();
+  builder_.on_instruction(pc, sig, insn_index);
+  if (!completed_.has_value()) return std::nullopt;
+
+  // Hardware ordering: writes initiated at older traces' commits land before
+  // this dispatch-time read if their commit cycle has passed.
+  drain_installs(dispatch_cycle);
+
+  RobEntry entry;
+  entry.trace = *completed_;
+  entry.dispatch_cycle = dispatch_cycle;
+  entry.probe = cache_.probe(entry.trace);
+  switch (entry.probe.outcome) {
+    case ProbeOutcome::kHitMatch:
+      entry.state = RobState::kCheckedOk;
+      ++stats_.signature_matches;
+      break;
+    case ProbeOutcome::kHitMismatch:
+      entry.state = RobState::kCheckedRetry;
+      ++stats_.signature_mismatches;
+      break;
+    case ProbeOutcome::kMiss:
+      entry.state = RobState::kMiss;
+      break;
+  }
+  ++stats_.traces_dispatched;
+  rob_.push_back(entry);
+  return completed_;
+}
+
+PollResult ItrUnit::poll_at_commit(std::uint64_t commit_cycle) {
+  PollResult out;
+  if (rob_.empty()) return out;  // nothing dispatched: proceed
+
+  RobEntry entry = rob_.front();
+  rob_.pop_front();
+  out.trace = entry.trace;
+  out.probe = entry.probe;
+
+  switch (entry.state) {
+    case RobState::kCheckedOk:
+      out.action = CommitAction::kProceed;
+      break;
+    case RobState::kMiss:
+      out.action = CommitAction::kWriteCache;
+      installs_.push_back(DeferredInstall{entry.trace, commit_cycle});
+      break;
+    case RobState::kCheckedRetry:
+      out.action = CommitAction::kRetry;
+      ++stats_.retries;
+      retrying_ = entry;
+      break;
+    case RobState::kPending:
+      // Cannot happen in this model: the probe completes at dispatch, which
+      // always precedes the commit-side poll.
+      out.action = CommitAction::kProceed;
+      break;
+  }
+  return out;
+}
+
+CommitAction ItrUnit::resolve_retry(const trace::TraceRecord& retried) {
+  if (!retrying_.has_value()) return CommitAction::kProceed;
+  const RobEntry entry = *retrying_;
+  retrying_.reset();
+
+  if (retried.signature == entry.probe.cached_signature) {
+    // Signatures agree after re-execution: the previous (new-trace) instance
+    // was the faulty one; the flush repaired it.
+    ++stats_.recoveries;
+    return CommitAction::kProceed;
+  }
+  // Mismatch persists: the cached copy is suspect.  With parity protection
+  // (Section 2.4), a parity error convicts the ITR cache itself; the line is
+  // repaired with the regenerated signature and execution continues.
+  if (cache_.config().parity_protected && !entry.probe.cached_parity_ok) {
+    cache_.overwrite_signature(retried.start_pc, retried.signature);
+    ++stats_.parity_repairs;
+    ++stats_.recoveries;
+    return CommitAction::kFixCacheLine;
+  }
+  // The cached copy is sound, so the *previous* instance of this trace
+  // executed with a fault and has already corrupted architectural state.
+  ++stats_.machine_checks;
+  return CommitAction::kMachineCheck;
+}
+
+void ItrUnit::confirm_retry_success() noexcept {
+  if (retrying_.has_value()) {
+    ++stats_.recoveries;
+    retrying_.reset();
+  }
+}
+
+void ItrUnit::finish() {
+  drain_installs(~std::uint64_t{0});
+  cache_.finish();
+}
+
+}  // namespace itr::core

@@ -1,0 +1,127 @@
+// Pipeline-facing ITR machinery: trace formation at decode, the ITR ROB, the
+// dispatch-time cache probe, and the commit-time poll protocol of paper
+// Section 2.2, including the retry / machine-check diagnosis of Sections
+// 2.2 and 2.4.
+//
+// The cycle simulator drives this unit with two calls per instruction:
+// `on_decode` (decode/dispatch side) and, for trace-ending instructions,
+// `poll_at_commit` (commit side).  Cache *writes* for missed traces are
+// deferred until the trace's commit cycle so that probes from younger
+// in-flight traces observe the cache as the hardware would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "isa/decode.hpp"
+#include "itr/itr_cache.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::core {
+
+/// One-hot encoded ITR ROB control state (paper Section 2.4): the chk, miss
+/// and retry bits are protected by encoding the four legal combinations.
+enum class RobState : std::uint8_t {
+  kPending = 0b0001,       ///< none set: probe outcome not yet known
+  kCheckedRetry = 0b0010,  ///< chk and retry set: signature mismatched
+  kCheckedOk = 0b0100,     ///< chk set, retry clear: signature matched
+  kMiss = 0b1000,          ///< miss set: no counterpart; write at commit
+};
+
+/// What the commit logic must do after polling the ITR ROB head.
+enum class CommitAction : std::uint8_t {
+  kProceed,       ///< chk set, no retry: commit normally
+  kWriteCache,    ///< miss: install signature, then commit
+  kRetry,         ///< mismatch: flush and restart from the trace start PC
+  kMachineCheck,  ///< retry already failed and the cached copy is sound:
+                  ///< architectural state may be corrupt; abort the program
+  kFixCacheLine,  ///< retry failed but parity shows the cached copy is bad:
+                  ///< repair the line and continue (paper Section 2.4)
+};
+
+struct PollResult {
+  CommitAction action = CommitAction::kProceed;
+  trace::TraceRecord trace;      ///< the polled trace
+  ProbeResult probe;             ///< dispatch-time probe outcome
+};
+
+struct ItrUnitStats {
+  std::uint64_t traces_dispatched = 0;
+  std::uint64_t signature_matches = 0;
+  std::uint64_t signature_mismatches = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recoveries = 0;       ///< retry succeeded (flush fixed it)
+  std::uint64_t machine_checks = 0;
+  std::uint64_t parity_repairs = 0;
+};
+
+class ItrUnit {
+ public:
+  explicit ItrUnit(const ItrCacheConfig& config);
+
+  /// Decode-side: feeds one decoded instruction.  When this instruction
+  /// completes a trace, the trace is dispatched into the ITR ROB and the
+  /// ITR cache is probed (at `dispatch_cycle`); returns the completed trace.
+  std::optional<trace::TraceRecord> on_decode(std::uint64_t pc,
+                                              const isa::DecodeSignals& sig,
+                                              std::uint64_t insn_index,
+                                              std::uint64_t dispatch_cycle);
+
+  /// Commit-side: polls the ITR ROB head when a trace-ending instruction is
+  /// ready to commit (at `commit_cycle`).  Must be called once per trace
+  /// returned by on_decode, in order.
+  PollResult poll_at_commit(std::uint64_t commit_cycle);
+
+  /// Reports the result of the flush-and-restart retry for the head trace:
+  /// call after re-executing the trace, with its freshly regenerated
+  /// signature.  Returns the final action (kProceed on successful recovery,
+  /// kMachineCheck or kFixCacheLine otherwise).
+  CommitAction resolve_retry(const trace::TraceRecord& retried);
+
+  /// Marks the in-progress retry as successful (the re-executed trace's
+  /// probe matched): counts a recovery and clears the retry state.
+  void confirm_retry_success() noexcept;
+
+  /// Drops retry state without judgement (monitoring-only runs, where the
+  /// counterfactual pipeline never actually flushes).
+  void abandon_retry() noexcept { retrying_.reset(); }
+
+  /// Squashes the partially formed trace (pipeline flush).
+  void squash_open_trace() noexcept { builder_.abandon(); }
+
+  /// Applies deferred installs whose commit cycle has passed; exposed for
+  /// end-of-run draining.
+  void drain_installs(std::uint64_t up_to_cycle);
+
+  /// End of run: flush accounting in the cache.
+  void finish();
+
+  ItrCache& cache() noexcept { return cache_; }
+  const ItrCache& cache() const noexcept { return cache_; }
+  const ItrUnitStats& stats() const noexcept { return stats_; }
+  std::size_t rob_occupancy() const noexcept { return rob_.size(); }
+
+ private:
+  struct RobEntry {
+    trace::TraceRecord trace;
+    ProbeResult probe;
+    RobState state = RobState::kPending;
+    std::uint64_t dispatch_cycle = 0;
+  };
+
+  struct DeferredInstall {
+    trace::TraceRecord trace;
+    std::uint64_t commit_cycle = 0;
+  };
+
+  ItrCache cache_;
+  trace::TraceBuilder builder_;
+  std::deque<RobEntry> rob_;
+  std::deque<DeferredInstall> installs_;
+  std::optional<RobEntry> retrying_;  ///< head entry undergoing retry
+  ItrUnitStats stats_;
+  std::optional<trace::TraceRecord> completed_;  // builder sink handoff
+};
+
+}  // namespace itr::core

@@ -1,0 +1,40 @@
+// Architectural register state shared by the functional and cycle-level
+// simulators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace itr::sim {
+
+struct ArchState {
+  std::uint64_t pc = 0;
+  std::array<std::uint32_t, isa::kNumIntRegs> iregs{};
+  std::array<double, isa::kNumFpRegs> fregs{};
+
+  std::uint32_t ireg(unsigned r) const noexcept { return iregs[r & 31u]; }
+  void set_ireg(unsigned r, std::uint32_t value) noexcept {
+    if ((r & 31u) != isa::kRegZero) iregs[r & 31u] = value;
+  }
+
+  double freg(unsigned r) const noexcept { return fregs[r & 31u]; }
+  void set_freg(unsigned r, double value) noexcept { fregs[r & 31u] = value; }
+
+  /// Standard startup state: PC at entry, stack pointer at the top of the
+  /// stack region, everything else zero.
+  static ArchState boot(const isa::Program& prog) noexcept {
+    ArchState st;
+    st.pc = prog.entry;
+    st.iregs.fill(0);
+    st.fregs.fill(0.0);
+    st.iregs[isa::kRegSp] = static_cast<std::uint32_t>(isa::kDefaultStackTop);
+    return st;
+  }
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
+};
+
+}  // namespace itr::sim

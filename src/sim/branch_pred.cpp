@@ -1,0 +1,72 @@
+#include "sim/branch_pred.hpp"
+
+#include "isa/opcode.hpp"
+
+namespace itr::sim {
+
+BranchPredictor::BranchPredictor(const BranchPredConfig& config)
+    : config_(config),
+      counters_(std::size_t{1} << config.gshare_bits, 1),  // weakly not-taken
+      btb_(cache::CacheConfig{config.btb_entries, config.btb_assoc, 3,
+                              cache::Replacement::kLru}) {
+  ras_.reserve(config_.ras_depth);
+}
+
+std::size_t BranchPredictor::gshare_index(std::uint64_t pc) const noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << config_.gshare_bits) - 1;
+  return static_cast<std::size_t>(((pc >> 3) ^ history_) & mask);
+}
+
+Prediction BranchPredictor::predict(std::uint64_t pc) {
+  ++lookups_;
+  Prediction p;
+  p.next_pc = pc + isa::kInstrBytes;
+
+  const BtbEntry* entry = btb_.lookup(pc);
+  if (entry == nullptr) return p;
+  p.btb_hit = true;
+
+  if (entry->is_return) {
+    p.is_return = true;
+    p.predicted_taken = true;
+    if (!ras_.empty()) {
+      p.next_pc = ras_.back();
+      ras_.pop_back();
+    } else {
+      p.next_pc = entry->target;
+    }
+    return p;
+  }
+
+  bool taken = true;
+  if (entry->is_conditional) {
+    taken = counters_[gshare_index(pc)] >= 2;
+  }
+  p.predicted_taken = taken;
+  if (taken) p.next_pc = entry->target;
+  if (entry->is_call && ras_.size() < config_.ras_depth) {
+    ras_.push_back(pc + isa::kInstrBytes);
+  }
+  return p;
+}
+
+void BranchPredictor::update(std::uint64_t pc, const BranchOutcome& outcome) {
+  if (outcome.is_conditional) {
+    std::uint8_t& ctr = counters_[gshare_index(pc)];
+    if (outcome.taken && ctr < 3) ++ctr;
+    if (!outcome.taken && ctr > 0) --ctr;
+    history_ = (history_ << 1) | (outcome.taken ? 1u : 0u);
+  }
+  if (outcome.taken || outcome.is_conditional) {
+    BtbEntry entry;
+    entry.target = outcome.target;
+    entry.is_conditional = outcome.is_conditional;
+    entry.is_call = outcome.is_call;
+    entry.is_return = outcome.is_return;
+    btb_.insert(pc, entry);
+  }
+}
+
+void BranchPredictor::flush_speculative_state() { ras_.clear(); }
+
+}  // namespace itr::sim

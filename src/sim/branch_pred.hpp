@@ -1,0 +1,79 @@
+// Fetch-unit branch prediction: gshare direction predictor, branch target
+// buffer, and a return-address stack — the R10K-style frontend the paper's
+// fault scenarios assume (Section 4 discusses a BTB-hit/gshare interaction).
+//
+// Prediction is consulted *before decode* using only the PC: a BTB miss
+// predicts sequential fetch.  This pre-decode nature is load-bearing for the
+// paper's is_branch fault scenario: when a fault convinces decode that a
+// BTB-predicted-taken instruction is not a branch, nothing repairs the
+// prediction and the wrong path retires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_assoc_cache.hpp"
+
+namespace itr::sim {
+
+struct BranchPredConfig {
+  unsigned gshare_bits = 14;       ///< log2 of the 2-bit counter table
+  std::size_t btb_entries = 512;
+  std::size_t btb_assoc = 4;
+  unsigned ras_depth = 16;
+};
+
+/// What the fetch unit believes about the next PC.
+struct Prediction {
+  std::uint64_t next_pc = 0;
+  bool btb_hit = false;
+  bool predicted_taken = false;  ///< direction (true for predicted-taken)
+  bool is_return = false;
+};
+
+/// Resolved outcome fed back by the branch unit.
+struct BranchOutcome {
+  bool is_conditional = false;
+  bool is_call = false;
+  bool is_return = false;
+  bool taken = false;
+  std::uint64_t target = 0;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredConfig& config = {});
+
+  /// Predicts the successor of the instruction at `pc`.
+  Prediction predict(std::uint64_t pc);
+
+  /// Trains on a resolved control instruction at `pc`.
+  void update(std::uint64_t pc, const BranchOutcome& outcome);
+
+  /// Clears speculative state (RAS) on a pipeline flush; tables persist.
+  void flush_speculative_state();
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t mispredictions() const noexcept { return mispredicts_; }
+  void count_mispredict() noexcept { ++mispredicts_; }
+
+ private:
+  struct BtbEntry {
+    std::uint64_t target = 0;
+    bool is_conditional = false;
+    bool is_call = false;
+    bool is_return = false;
+  };
+
+  std::size_t gshare_index(std::uint64_t pc) const noexcept;
+
+  BranchPredConfig config_;
+  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating counters
+  std::uint64_t history_ = 0;
+  cache::SetAssocCache<BtbEntry> btb_;
+  std::vector<std::uint64_t> ras_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace itr::sim

@@ -1,0 +1,419 @@
+#include "sim/exec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace itr::sim {
+
+using isa::Flag;
+using isa::Opcode;
+
+namespace {
+
+std::uint64_t branch_target(std::uint64_t pc, std::int32_t word_off) noexcept {
+  return (pc + isa::kInstrBytes +
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(word_off) * 8)) &
+         Memory::kAddressMask;
+}
+
+double int_bits_to_double(std::uint32_t bits) noexcept {
+  // mtc moves raw bits; we widen the 32-bit pattern into the mantissa.
+  std::uint64_t wide = bits;
+  double d = 0.0;
+  std::memcpy(&d, &wide, sizeof d);
+  return d;
+}
+
+std::uint32_t double_to_int_bits(double d) noexcept {
+  std::uint64_t wide = 0;
+  std::memcpy(&wide, &d, sizeof wide);
+  return static_cast<std::uint32_t>(wide);
+}
+
+std::int32_t saturating_cast_to_i32(double d) noexcept {
+  if (std::isnan(d)) return 0;
+  if (d >= 2147483647.0) return 2147483647;
+  if (d <= -2147483648.0) return -2147483648;
+  return static_cast<std::int32_t>(d);
+}
+
+}  // namespace
+
+bool dest_is_fp(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLdf:
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFmov:
+    case Opcode::kCvtIf:
+    case Opcode::kMtc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool src1_is_fp(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFmov:
+    case Opcode::kFceq:
+    case Opcode::kFclt:
+    case Opcode::kFcle:
+    case Opcode::kCvtFi:
+    case Opcode::kMfc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool src2_is_fp(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFceq:
+    case Opcode::kFclt:
+    case Opcode::kFcle:
+      return true;
+    case Opcode::kStf:
+      return true;  // store data port carries an fp value
+    default:
+      return false;
+  }
+}
+
+ExecEffects execute(const ExecInput& in, ArchState& state, Memory& memory,
+                    std::string* output) {
+  const isa::DecodeSignals& sig = in.sig;
+  ExecEffects fx;
+  const std::uint64_t fallthrough = (in.pc + isa::kInstrBytes) & Memory::kAddressMask;
+  fx.next_pc = fallthrough;
+
+  const Opcode op = isa::is_valid_opcode(sig.opcode) ? sig.op() : Opcode::kNop;
+
+  // Operand reads, routed by opcode semantics.
+  const std::uint32_t a = state.ireg(sig.rsrc1);
+  const std::uint32_t b = state.ireg(sig.rsrc2);
+  const double fa = state.freg(sig.rsrc1);
+  const double fb = state.freg(sig.rsrc2);
+  const std::int32_t simm = sig.simm();
+  const std::int32_t sa = static_cast<std::int32_t>(a);
+  const std::int32_t sb = static_cast<std::int32_t>(b);
+  const bool is_signed = sig.has_flag(Flag::kIsSigned);
+
+  // Semantic result (what the function unit computes).
+  bool have_int_result = false;
+  std::uint32_t int_result = 0;
+  bool have_fp_result = false;
+  double fp_result = 0.0;
+
+  // Control resolution (what the branch unit would compute).
+  bool sem_control = false;
+  bool sem_taken = false;
+  std::uint64_t sem_target = branch_target(in.pc, simm);
+
+  switch (op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kAdd: int_result = a + b; have_int_result = true; break;
+    case Opcode::kSub: int_result = a - b; have_int_result = true; break;
+    case Opcode::kMul: int_result = a * b; have_int_result = true; break;
+    case Opcode::kDiv:
+      // Divide-by-zero yields 0 rather than trapping; the faulty simulator
+      // must never crash the host.
+      int_result = b == 0 ? 0
+                 : is_signed ? static_cast<std::uint32_t>(
+                       sb == -1 && sa == std::numeric_limits<std::int32_t>::min()
+                           ? sa
+                           : sa / sb)
+                             : a / b;
+      have_int_result = true;
+      break;
+    case Opcode::kRem:
+      int_result = b == 0 ? 0
+                 : is_signed ? static_cast<std::uint32_t>(
+                       sb == -1 ? 0 : sa % sb)
+                             : a % b;
+      have_int_result = true;
+      break;
+    case Opcode::kAnd: int_result = a & b; have_int_result = true; break;
+    case Opcode::kOr: int_result = a | b; have_int_result = true; break;
+    case Opcode::kXor: int_result = a ^ b; have_int_result = true; break;
+    case Opcode::kNor: int_result = ~(a | b); have_int_result = true; break;
+    case Opcode::kSllv: int_result = b << (a & 31u); have_int_result = true; break;
+    case Opcode::kSrlv: int_result = b >> (a & 31u); have_int_result = true; break;
+    case Opcode::kSrav:
+      int_result = static_cast<std::uint32_t>(sb >> (a & 31u));
+      have_int_result = true;
+      break;
+    case Opcode::kSlt: int_result = sa < sb ? 1 : 0; have_int_result = true; break;
+    case Opcode::kSltu: int_result = a < b ? 1 : 0; have_int_result = true; break;
+
+    case Opcode::kAddi:
+      int_result = a + static_cast<std::uint32_t>(simm);
+      have_int_result = true;
+      break;
+    case Opcode::kAndi: int_result = a & sig.imm; have_int_result = true; break;
+    case Opcode::kOri: int_result = a | sig.imm; have_int_result = true; break;
+    case Opcode::kXori: int_result = a ^ sig.imm; have_int_result = true; break;
+    case Opcode::kSlti: int_result = sa < simm ? 1 : 0; have_int_result = true; break;
+    case Opcode::kLui:
+      int_result = static_cast<std::uint32_t>(sig.imm) << 16;
+      have_int_result = true;
+      break;
+    case Opcode::kSll: int_result = a << sig.shamt; have_int_result = true; break;
+    case Opcode::kSrl: int_result = a >> sig.shamt; have_int_result = true; break;
+    case Opcode::kSra:
+      int_result = static_cast<std::uint32_t>(sa >> sig.shamt);
+      have_int_result = true;
+      break;
+
+    // Memory ops compute their address here; the access itself happens below,
+    // gated by the is_ld/is_st flags the way the memory unit would be.
+    case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
+    case Opcode::kLw: case Opcode::kLwl: case Opcode::kLwr: case Opcode::kLdf:
+    case Opcode::kSb: case Opcode::kSh: case Opcode::kSw:
+    case Opcode::kSwl: case Opcode::kSwr: case Opcode::kStf:
+      break;
+
+    case Opcode::kBeq: sem_control = true; sem_taken = a == b; break;
+    case Opcode::kBne: sem_control = true; sem_taken = a != b; break;
+    case Opcode::kBlez: sem_control = true; sem_taken = sa <= 0; break;
+    case Opcode::kBgtz: sem_control = true; sem_taken = sa > 0; break;
+    case Opcode::kBltz: sem_control = true; sem_taken = sa < 0; break;
+    case Opcode::kBgez: sem_control = true; sem_taken = sa >= 0; break;
+
+    case Opcode::kJ:
+      sem_control = true; sem_taken = true; break;
+    case Opcode::kJal:
+      sem_control = true; sem_taken = true;
+      int_result = static_cast<std::uint32_t>(fallthrough);
+      have_int_result = true;
+      break;
+    case Opcode::kJr:
+      sem_control = true; sem_taken = true; sem_target = a & Memory::kAddressMask; break;
+    case Opcode::kJalr:
+      sem_control = true; sem_taken = true; sem_target = a & Memory::kAddressMask;
+      int_result = static_cast<std::uint32_t>(fallthrough);
+      have_int_result = true;
+      break;
+
+    case Opcode::kFadd: fp_result = fa + fb; have_fp_result = true; break;
+    case Opcode::kFsub: fp_result = fa - fb; have_fp_result = true; break;
+    case Opcode::kFmul: fp_result = fa * fb; have_fp_result = true; break;
+    case Opcode::kFdiv:
+      fp_result = fb == 0.0 ? 0.0 : fa / fb;
+      have_fp_result = true;
+      break;
+    case Opcode::kFneg: fp_result = -fa; have_fp_result = true; break;
+    case Opcode::kFabs: fp_result = std::fabs(fa); have_fp_result = true; break;
+    case Opcode::kFmov: fp_result = fa; have_fp_result = true; break;
+    case Opcode::kFceq: int_result = fa == fb ? 1 : 0; have_int_result = true; break;
+    case Opcode::kFclt: int_result = fa < fb ? 1 : 0; have_int_result = true; break;
+    case Opcode::kFcle: int_result = fa <= fb ? 1 : 0; have_int_result = true; break;
+
+    case Opcode::kCvtIf:
+      fp_result = static_cast<double>(sa);
+      have_fp_result = true;
+      break;
+    case Opcode::kCvtFi:
+      int_result = static_cast<std::uint32_t>(saturating_cast_to_i32(fa));
+      have_int_result = true;
+      break;
+    case Opcode::kMtc: fp_result = int_bits_to_double(a); have_fp_result = true; break;
+    case Opcode::kMfc: int_result = double_to_int_bits(fa); have_int_result = true; break;
+
+    case Opcode::kTrap:
+      break;
+    case Opcode::kOpcodeCount:
+      break;
+  }
+
+  // ---- Memory unit: engaged by flags, width by mem_size. -------------------
+  const unsigned width = isa::mem_size_bytes(static_cast<isa::MemSize>(sig.mem_size));
+  const std::uint64_t addr = (static_cast<std::uint64_t>(a) +
+                              static_cast<std::uint64_t>(static_cast<std::int64_t>(simm))) &
+                             Memory::kAddressMask;
+
+  if (sig.has_flag(Flag::kIsLoad)) {
+    fx.did_load = true;
+    fx.mem_addr = addr;
+    fx.mem_bytes = width;
+    std::uint64_t loaded = memory.read(addr, width);
+    if (op == Opcode::kLdf) {
+      double d = 0.0;
+      std::memcpy(&d, &loaded, sizeof d);
+      fp_result = d;
+      have_fp_result = true;
+    } else if (sig.has_flag(Flag::kMemLR) && width == 4) {
+      // Left/right partial loads merge with the destination's old value
+      // (carried on source port 2).
+      const std::uint32_t old = b;
+      const unsigned k = static_cast<unsigned>(addr % 4);
+      std::uint32_t merged = old;
+      if (op == Opcode::kLwr) {
+        const unsigned n = 4 - k;  // low n bytes replaced
+        for (unsigned i = 0; i < n; ++i) {
+          merged &= ~(0xffu << (8 * i));
+          merged |= static_cast<std::uint32_t>(memory.read8(addr + i)) << (8 * i);
+        }
+      } else {  // kLwl or an LR-flagged non-LR opcode: high k+1 bytes replaced
+        for (unsigned i = 0; i <= k && i < 4; ++i) {
+          const unsigned byte = 3 - i;
+          merged &= ~(0xffu << (8 * byte));
+          merged |= static_cast<std::uint32_t>(memory.read8(addr - i)) << (8 * byte);
+        }
+      }
+      int_result = merged;
+      have_int_result = true;
+    } else {
+      std::uint32_t v = static_cast<std::uint32_t>(loaded);
+      if (is_signed) {
+        if (width == 1) v = static_cast<std::uint32_t>(static_cast<std::int8_t>(v));
+        else if (width == 2) v = static_cast<std::uint32_t>(static_cast<std::int16_t>(v));
+      }
+      int_result = v;
+      have_int_result = true;
+    }
+  }
+
+  if (sig.has_flag(Flag::kIsStore)) {
+    fx.did_store = true;
+    fx.mem_addr = addr;
+    fx.mem_bytes = width;
+    std::uint64_t data;
+    if (op == Opcode::kStf) {
+      std::memcpy(&data, &fb, sizeof data);
+    } else {
+      data = b;
+    }
+    if (sig.has_flag(Flag::kMemLR) && width == 4) {
+      const unsigned k = static_cast<unsigned>(addr % 4);
+      if (op == Opcode::kSwr) {
+        const unsigned n = 4 - k;
+        for (unsigned i = 0; i < n; ++i) {
+          memory.write8(addr + i, static_cast<std::uint8_t>(data >> (8 * i)));
+        }
+        fx.mem_bytes = n;
+      } else {
+        for (unsigned i = 0; i <= k && i < 4; ++i) {
+          memory.write8(addr - i, static_cast<std::uint8_t>(data >> (8 * (3 - i))));
+        }
+        fx.mem_bytes = k + 1;
+      }
+      fx.store_value = data;
+    } else {
+      memory.write(addr, data, width);
+      fx.store_value = data & (width >= 8 ? ~0ULL : ((1ULL << (8 * width)) - 1));
+    }
+  }
+
+  // ---- Trap unit. -----------------------------------------------------------
+  if (sig.has_flag(Flag::kIsTrap)) {
+    fx.trapped = true;
+    fx.trap_code = static_cast<std::int16_t>(sig.imm);
+    const auto code = static_cast<isa::TrapCode>(fx.trap_code);
+    char buf[48];
+    switch (code) {
+      case isa::TrapCode::kExit:
+        fx.exited = true;
+        fx.exit_status = static_cast<std::int32_t>(a);
+        break;
+      case isa::TrapCode::kPrintInt:
+        if (output != nullptr) {
+          std::snprintf(buf, sizeof buf, "%d", static_cast<std::int32_t>(a));
+          *output += buf;
+        }
+        break;
+      case isa::TrapCode::kPrintChar:
+        if (output != nullptr) output->push_back(static_cast<char>(a & 0xff));
+        break;
+      case isa::TrapCode::kPrintFp:
+        if (output != nullptr) {
+          std::snprintf(buf, sizeof buf, "%.6f", state.freg(12));
+          *output += buf;
+        }
+        break;
+      case isa::TrapCode::kAbort:
+        fx.exited = true;
+        fx.aborted = true;
+        fx.exit_status = -1;
+        break;
+      default:
+        // Unknown (possibly fault-corrupted) trap code: no effect.
+        break;
+    }
+  }
+
+  // ---- Writeback, gated by num_rdst the way rename/writeback would be. ------
+  if (sig.num_rdst > 0) {
+    if (have_fp_result && dest_is_fp(op)) {
+      fx.wrote_fp = true;
+      fx.fp_dst = sig.rdst;
+      fx.fp_value = fp_result;
+      state.set_freg(sig.rdst, fp_result);
+    } else {
+      // Includes the "phantom destination" fault case: an instruction with no
+      // semantic result but num_rdst=1 writes the unit's (zero) output bus.
+      const std::uint32_t v = have_int_result ? int_result : 0;
+      fx.wrote_int = true;
+      fx.int_dst = sig.rdst;
+      fx.int_value = v;
+      state.set_ireg(sig.rdst, v);
+      if (sig.rdst == isa::kRegZero) fx.wrote_int = false;  // r0 writes vanish
+    }
+  }
+
+  // ---- Control: the branch unit is engaged only when the flags say so. ------
+  fx.sem_is_control = sem_control;
+  const bool claims_branch = sig.has_flag(Flag::kIsBranch);
+  const bool claims_uncond = sig.has_flag(Flag::kIsUncond) && !sig.has_flag(Flag::kIsTrap);
+  fx.engaged_branch_unit = claims_branch || claims_uncond;
+
+  if (fx.engaged_branch_unit) {
+    bool taken;
+    std::uint64_t target;
+    if (sem_control) {
+      taken = sem_taken || claims_uncond;
+      target = sem_target;
+    } else if (claims_uncond) {
+      // Uncond flag forced onto a non-control opcode: the branch unit
+      // redirects to the direct target it computes from the immediate.
+      taken = true;
+      target = sem_target;
+    } else {
+      // Branch flag forced onto a non-control opcode: condition evaluates
+      // false on the zero condition bus.
+      taken = false;
+      target = sem_target;
+    }
+    fx.taken = taken;
+    fx.resolved_target = target;
+    fx.next_pc = taken ? target : fallthrough;
+  } else {
+    // No branch unit engaged: fetch continues wherever prediction sent it.
+    // (For a true control op whose flag was corrupted away, this is the
+    // paper's "misprediction will not be repaired" scenario.)
+    fx.next_pc = in.predicted_next != 0 ? in.predicted_next : fallthrough;
+  }
+
+  if (fx.exited) fx.next_pc = in.pc;  // halt: PC pinned at the exit trap
+
+  state.pc = fx.next_pc;
+  return fx;
+}
+
+}  // namespace itr::sim

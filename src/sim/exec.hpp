@@ -1,0 +1,85 @@
+// Instruction execution semantics, driven by a decode-signal bundle.
+//
+// Both the golden (fault-free) and the faulty simulators execute through this
+// one function, so a fault is modelled purely as a corrupted DecodeSignals
+// value — exactly the paper's Section 4 fault model.  The executor consults
+// the *signals* the way the pipeline hardware would:
+//
+//   * operation selection           -> opcode field
+//   * register ports                -> rsrc1/rsrc2/rdst fields
+//   * whether a result is written   -> num_rdst
+//   * whether memory is accessed    -> is_ld / is_st flags, width = mem_size
+//   * whether the branch unit runs  -> is_branch / is_uncond flags
+//   * signed/unsigned interpretation-> is_signed flag
+//
+// A branch whose is_branch flag was knocked off is therefore *not repaired*:
+// the instruction stream continues wherever fetch prediction sent it (the
+// `predicted_next` input), reproducing the paper's spc fault scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/decode.hpp"
+#include "isa/program.hpp"
+#include "sim/arch_state.hpp"
+#include "sim/memory.hpp"
+
+namespace itr::sim {
+
+struct ExecInput {
+  isa::DecodeSignals sig;
+  std::uint64_t pc = 0;
+  /// Where fetch goes if this instruction does not resolve a redirect:
+  /// normally pc+8; under a BTB-predicted-taken fetch, the predicted target.
+  std::uint64_t predicted_next = 0;
+};
+
+/// Everything one instruction did to the machine; the lockstep comparator
+/// diffs these records between golden and faulty runs.
+struct ExecEffects {
+  std::uint64_t next_pc = 0;
+
+  // Control behaviour.
+  bool engaged_branch_unit = false;  ///< signals claimed branch/uncond
+  bool sem_is_control = false;       ///< opcode semantics are a control op
+  bool taken = false;                ///< resolved direction (if engaged)
+  std::uint64_t resolved_target = 0; ///< resolved destination (if engaged)
+
+  // Register writes (at most one int and one fp write per instruction).
+  bool wrote_int = false;
+  std::uint8_t int_dst = 0;
+  std::uint32_t int_value = 0;
+  bool wrote_fp = false;
+  std::uint8_t fp_dst = 0;
+  double fp_value = 0.0;
+
+  // Memory behaviour.
+  bool did_load = false;
+  bool did_store = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t store_value = 0;
+  unsigned mem_bytes = 0;
+
+  // Traps.
+  bool trapped = false;
+  std::int16_t trap_code = 0;
+  bool exited = false;    ///< program requested exit
+  bool aborted = false;   ///< wild fetch / abort trap
+  std::int32_t exit_status = 0;
+};
+
+/// Executes one instruction: reads/writes `state` and `memory`, appends any
+/// trap output to `output` (may be null).  Never throws; corrupted signals
+/// produce well-defined (if wrong) behaviour.
+ExecEffects execute(const ExecInput& in, ArchState& state, Memory& memory,
+                    std::string* output);
+
+/// True when the opcode's semantic destination is a floating-point register.
+bool dest_is_fp(isa::Opcode op) noexcept;
+/// True when the opcode reads rsrc1 from the floating-point file.
+bool src1_is_fp(isa::Opcode op) noexcept;
+/// True when the opcode reads rsrc2 from the floating-point file.
+bool src2_is_fp(isa::Opcode op) noexcept;
+
+}  // namespace itr::sim

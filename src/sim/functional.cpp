@@ -1,0 +1,48 @@
+#include "sim/functional.hpp"
+
+namespace itr::sim {
+
+void load_program(const isa::Program& prog, Memory& memory) {
+  if (!prog.data.empty()) {
+    memory.write_block(prog.data_base, prog.data.data(), prog.data.size());
+  }
+}
+
+FunctionalSim::FunctionalSim(const isa::Program& prog)
+    : prog_(&prog), state_(ArchState::boot(prog)) {
+  load_program(prog, memory_);
+}
+
+FunctionalSim::Step FunctionalSim::step() {
+  Step s;
+  s.pc = state_.pc;
+  s.index = insn_count_;
+  s.sig = isa::decode_raw(prog_->fetch_raw(state_.pc));
+
+  ExecInput in;
+  in.sig = s.sig;
+  in.pc = state_.pc;
+  in.predicted_next = (state_.pc + isa::kInstrBytes) & Memory::kAddressMask;
+  s.fx = execute(in, state_, memory_, &output_);
+
+  ++insn_count_;
+  if (s.fx.exited) {
+    done_ = true;
+    aborted_ = s.fx.aborted;
+    exit_status_ = s.fx.exit_status;
+  }
+  return s;
+}
+
+std::uint64_t FunctionalSim::run(std::uint64_t max_instructions,
+                                 const std::function<void(const Step&)>& observer) {
+  std::uint64_t n = 0;
+  while (!done_ && n < max_instructions) {
+    const Step s = step();
+    ++n;
+    if (observer) observer(s);
+  }
+  return n;
+}
+
+}  // namespace itr::sim

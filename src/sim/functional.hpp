@@ -1,0 +1,67 @@
+// Functional (golden) simulator: architecturally exact, no timing.
+//
+// Used directly for the trace-characterization and coverage experiments
+// (Figures 1-4, 6, 7) and as the golden reference half of the fault-
+// injection lockstep (Section 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/decode.hpp"
+#include "isa/program.hpp"
+#include "sim/arch_state.hpp"
+#include "sim/exec.hpp"
+#include "sim/memory.hpp"
+
+namespace itr::sim {
+
+/// Loads a program image into a fresh memory (data segment only; code is
+/// fetched from the image itself, which also gives wild fetches a defined
+/// abort behaviour).
+void load_program(const isa::Program& prog, Memory& memory);
+
+class FunctionalSim {
+ public:
+  struct Step {
+    std::uint64_t pc = 0;
+    std::uint64_t index = 0;  ///< dynamic instruction number (0-based)
+    isa::DecodeSignals sig;
+    ExecEffects fx;
+  };
+
+  explicit FunctionalSim(const isa::Program& prog);
+
+  /// True once the program has exited (or aborted).
+  bool done() const noexcept { return done_; }
+  bool aborted() const noexcept { return aborted_; }
+  std::int32_t exit_status() const noexcept { return exit_status_; }
+
+  /// Executes one instruction; undefined if done().
+  Step step();
+
+  /// Runs until exit or `max_instructions` more instructions, invoking
+  /// `observer` (may be null) per instruction.  Returns instructions run.
+  std::uint64_t run(std::uint64_t max_instructions,
+                    const std::function<void(const Step&)>& observer = nullptr);
+
+  std::uint64_t instructions_retired() const noexcept { return insn_count_; }
+  const std::string& output() const noexcept { return output_; }
+  const ArchState& state() const noexcept { return state_; }
+  ArchState& state() noexcept { return state_; }
+  Memory& memory() noexcept { return memory_; }
+  const isa::Program& program() const noexcept { return *prog_; }
+
+ private:
+  const isa::Program* prog_;
+  Memory memory_;
+  ArchState state_;
+  std::string output_;
+  std::uint64_t insn_count_ = 0;
+  bool done_ = false;
+  bool aborted_ = false;
+  std::int32_t exit_status_ = 0;
+};
+
+}  // namespace itr::sim

@@ -1,0 +1,84 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+
+namespace itr::sim {
+
+const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
+  const auto it = pages_.find((addr & kAddressMask) / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::touch_page(std::uint64_t addr) {
+  auto& slot = pages_[(addr & kAddressMask) / kPageBytes];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+std::uint8_t Memory::read8(std::uint64_t addr) const noexcept {
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  return (*page)[(addr & kAddressMask) % kPageBytes];
+}
+
+void Memory::write8(std::uint64_t addr, std::uint8_t value) {
+  touch_page(addr)[(addr & kAddressMask) % kPageBytes] = value;
+}
+
+std::uint16_t Memory::read16(std::uint64_t addr) const noexcept {
+  return static_cast<std::uint16_t>(read8(addr) | (read8(addr + 1) << 8));
+}
+
+std::uint32_t Memory::read32(std::uint64_t addr) const noexcept {
+  return static_cast<std::uint32_t>(read16(addr)) |
+         (static_cast<std::uint32_t>(read16(addr + 2)) << 16);
+}
+
+std::uint64_t Memory::read64(std::uint64_t addr) const noexcept {
+  return static_cast<std::uint64_t>(read32(addr)) |
+         (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
+}
+
+void Memory::write16(std::uint64_t addr, std::uint16_t value) {
+  write8(addr, static_cast<std::uint8_t>(value));
+  write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void Memory::write32(std::uint64_t addr, std::uint32_t value) {
+  write16(addr, static_cast<std::uint16_t>(value));
+  write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+void Memory::write64(std::uint64_t addr, std::uint64_t value) {
+  write32(addr, static_cast<std::uint32_t>(value));
+  write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint64_t Memory::read(std::uint64_t addr, unsigned size) const noexcept {
+  switch (size) {
+    case 1: return read8(addr);
+    case 2: return read16(addr);
+    case 4: return read32(addr);
+    case 8: return read64(addr);
+    default: return 0;
+  }
+}
+
+void Memory::write(std::uint64_t addr, std::uint64_t value, unsigned size) {
+  switch (size) {
+    case 1: write8(addr, static_cast<std::uint8_t>(value)); break;
+    case 2: write16(addr, static_cast<std::uint16_t>(value)); break;
+    case 4: write32(addr, static_cast<std::uint32_t>(value)); break;
+    case 8: write64(addr, value); break;
+    default: break;
+  }
+}
+
+void Memory::write_block(std::uint64_t addr, const std::uint8_t* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) write8(addr + i, data[i]);
+}
+
+}  // namespace itr::sim

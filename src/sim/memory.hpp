@@ -1,0 +1,50 @@
+// Sparse paged memory for the simulators.
+//
+// The address space is 2^32 bytes, materialized in 4 KiB pages on first
+// touch.  All accesses are little-endian and unaligned-tolerant (the faulty
+// simulator must survive wild addresses produced by corrupted decode
+// signals without crashing the host).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace itr::sim {
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+  static constexpr std::uint64_t kAddressMask = 0xffff'ffffULL;  ///< 32-bit space
+
+  std::uint8_t read8(std::uint64_t addr) const noexcept;
+  std::uint16_t read16(std::uint64_t addr) const noexcept;
+  std::uint32_t read32(std::uint64_t addr) const noexcept;
+  std::uint64_t read64(std::uint64_t addr) const noexcept;
+
+  void write8(std::uint64_t addr, std::uint8_t value);
+  void write16(std::uint64_t addr, std::uint16_t value);
+  void write32(std::uint64_t addr, std::uint32_t value);
+  void write64(std::uint64_t addr, std::uint64_t value);
+
+  /// Reads `size` (1/2/4/8) bytes zero-extended; other sizes read 0.
+  std::uint64_t read(std::uint64_t addr, unsigned size) const noexcept;
+  /// Writes the low `size` (1/2/4/8) bytes of value; other sizes are no-ops.
+  void write(std::uint64_t addr, std::uint64_t value, unsigned size);
+
+  /// Bulk initialization used by the program loader.
+  void write_block(std::uint64_t addr, const std::uint8_t* data, std::size_t size);
+
+  std::size_t num_pages() const noexcept { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  const Page* find_page(std::uint64_t addr) const noexcept;
+  Page& touch_page(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace itr::sim

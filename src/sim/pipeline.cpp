@@ -1,0 +1,593 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "sim/functional.hpp"
+
+namespace itr::sim {
+
+namespace {
+constexpr std::size_t kIssueWindowSize = 256;
+
+/// Semantic source-operand count of an opcode: what the rename logic would
+/// actually wire up.  A num_rsrc decode signal exceeding this leaves the
+/// scheduler waiting on an operand tag that never broadcasts — deadlock.
+unsigned semantic_num_rsrc(std::uint8_t opcode) noexcept {
+  if (!isa::is_valid_opcode(opcode)) return 3;  // unknown encodings never deadlock
+  return isa::op_info(static_cast<isa::Opcode>(opcode)).num_rsrc;
+}
+}  // namespace
+
+CycleSim::CycleSim(const isa::Program& prog, Options options)
+    : prog_(&prog),
+      opt_(std::move(options)),
+      state_(ArchState::boot(prog)),
+      bpred_(opt_.config.bpred),
+      commit_ring_(opt_.config.rob_size, 0),
+      issue_window_(kIssueWindowSize, 0),
+      issue_window_cycle_(kIssueWindowSize, ~std::uint64_t{0}) {
+  load_program(prog, memory_);
+  if (opt_.itr.has_value()) {
+    itr_ = std::make_unique<core::ItrUnit>(*opt_.itr);
+  }
+  // L1 tag arrays are keyed by LINE address (address >> line_shift), so the
+  // tag comparison ignores the offset within the line.
+  auto make_l1 = [](const L1Config& l1) {
+    cache::CacheConfig cc;
+    cc.num_entries = l1.entries;
+    cc.associativity = l1.assoc;
+    cc.key_shift = 0;
+    return std::make_unique<cache::SetAssocCache<char>>(cc);
+  };
+  if (opt_.config.icache.enabled) icache_ = make_l1(opt_.config.icache);
+  if (opt_.config.dcache.enabled) dcache_ = make_l1(opt_.config.dcache);
+  if (opt_.rename_check && opt_.itr.has_value()) {
+    rename_cache_ = std::make_unique<core::ItrCache>(*opt_.itr);
+  }
+}
+
+CycleSim::~CycleSim() = default;
+
+void CycleSim::terminate(RunTermination t) noexcept {
+  if (termination_ == RunTermination::kRunning) termination_ = t;
+}
+
+std::uint64_t CycleSim::compute_fetch_cycle(std::uint64_t pc) {
+  if (bundle_break_ || fetch_slots_used_ >= opt_.config.fetch_width) {
+    const std::uint64_t next =
+        stats_.fetch_bundles == 0 ? std::uint64_t{0} : fetch_cycle_ + 1;
+    fetch_cycle_ = std::max(next, redirect_cycle_);
+    fetch_slots_used_ = 0;
+    ++stats_.fetch_bundles;
+    bundle_break_ = false;
+    // I-cache tag lookup for the new bundle; a miss stalls the fetch.
+    if (icache_ != nullptr) {
+      const std::uint64_t line = pc >> opt_.config.icache.line_shift;
+      if (icache_->lookup(line) == nullptr) {
+        icache_->insert(line, 0);
+        ++stats_.icache_misses;
+        fetch_cycle_ += opt_.config.icache.miss_penalty;
+      }
+    }
+  }
+  ++fetch_slots_used_;
+  return fetch_cycle_;
+}
+
+std::uint64_t CycleSim::operand_ready_cycle(const isa::DecodeSignals& sig) const {
+  std::uint64_t ready = 0;
+  const unsigned wanted = sig.num_rsrc;
+  if (wanted >= 1) {
+    const bool fp = isa::is_valid_opcode(sig.opcode) && src1_is_fp(sig.op());
+    ready = std::max(ready, fp ? fp_ready_[sig.rsrc1 & 31u] : int_ready_[sig.rsrc1 & 31u]);
+  }
+  if (wanted >= 2) {
+    const bool fp = isa::is_valid_opcode(sig.opcode) && src2_is_fp(sig.op());
+    ready = std::max(ready, fp ? fp_ready_[sig.rsrc2 & 31u] : int_ready_[sig.rsrc2 & 31u]);
+  }
+  if (wanted > semantic_num_rsrc(sig.opcode)) {
+    // Phantom operand: the scheduler holds the instruction for a source tag
+    // no producer will ever broadcast.
+    return kNeverCycle;
+  }
+  return ready;
+}
+
+std::uint64_t CycleSim::issue_slot(std::uint64_t earliest) {
+  if (earliest >= kNeverCycle) return kNeverCycle;
+  std::uint64_t c = earliest;
+  for (;;) {
+    const std::size_t slot = static_cast<std::size_t>(c % kIssueWindowSize);
+    if (issue_window_cycle_[slot] != c) {
+      issue_window_cycle_[slot] = c;
+      issue_window_[slot] = 0;
+    }
+    if (issue_window_[slot] < opt_.config.issue_width) {
+      ++issue_window_[slot];
+      return c;
+    }
+    ++c;
+  }
+}
+
+bool CycleSim::advance() {
+  if (termination_ != RunTermination::kRunning) return false;
+  process_instruction();
+  return termination_ == RunTermination::kRunning;
+}
+
+std::optional<CommitRecord> CycleSim::next_commit() {
+  if (commit_queue_.empty()) return std::nullopt;
+  CommitRecord rec = commit_queue_.front();
+  commit_queue_.pop_front();
+  return rec;
+}
+
+std::optional<ItrEvent> CycleSim::next_itr_event() {
+  if (itr_events_.empty()) return std::nullopt;
+  ItrEvent ev = itr_events_.front();
+  itr_events_.pop_front();
+  return ev;
+}
+
+void CycleSim::run(std::uint64_t max_commits) {
+  std::uint64_t committed = 0;
+  while (termination_ == RunTermination::kRunning && committed < max_commits) {
+    process_instruction();
+    while (next_commit().has_value()) ++committed;
+  }
+  while (next_commit().has_value()) ++committed;
+}
+
+void CycleSim::commit_one(CommitRecord&& rec) {
+  if (deadlock_pending_) return;  // commit is wedged; records are discarded
+
+  // Watchdog (paper Section 4): no commit for watchdog_cycles is a deadlock.
+  const bool never = rec.commit_cycle >= kNeverCycle;
+  if (never || rec.commit_cycle > last_commit_cycle_ + opt_.config.watchdog_cycles) {
+    ++stats_.watchdog_fires;
+    watchdog_cycle_ = last_commit_cycle_ + opt_.config.watchdog_cycles;
+    if (opt_.itr_recovery || itr_ == nullptr) {
+      terminate(RunTermination::kDeadlock);
+    } else {
+      // Monitoring mode: keep the decode side alive for a ROB's worth of
+      // instructions so dispatch-time ITR probes for in-flight traces still
+      // happen, then declare the deadlock.
+      deadlock_pending_ = true;
+      deadlock_slack_ = opt_.config.rob_size;
+    }
+    return;  // the deadlocked instruction never architecturally commits
+  }
+  last_commit_cycle_ = rec.commit_cycle;
+
+  if (rec.commit_cycle > opt_.max_cycles) {
+    terminate(RunTermination::kCycleLimit);
+    return;
+  }
+
+  // Sequential-PC check (paper Section 2.5): every committing instruction's
+  // PC must equal the running commit PC.  Sequential instructions advance the
+  // commit PC by their length; only instructions the branch unit actually
+  // resolved update it with their calculated PC — so a branch whose is_branch
+  // flag was corrupted away updates it sequentially, and the discontinuity
+  // fires at the next commit (the paper's Section 4 spc scenario).
+  if (have_expected_pc_ && rec.pc != expected_commit_pc_) {
+    rec.spc_fired = true;
+    ++stats_.spc_checks_fired;
+  }
+  expected_commit_pc_ =
+      rec.engaged_control ? rec.next_pc : rec.pc + isa::kInstrBytes;
+  have_expected_pc_ = true;
+
+  rec.index = commit_index_++;
+  ++stats_.instructions_committed;
+  stats_.cycles = std::max(stats_.cycles, rec.commit_cycle);
+  const bool exited = rec.exited;
+  const bool aborted = rec.aborted;
+  commit_queue_.push_back(std::move(rec));
+  if (exited) terminate(aborted ? RunTermination::kAborted : RunTermination::kExited);
+}
+
+void CycleSim::release_trace_commits() {
+  for (CommitRecord& rec : trace_commits_) {
+    commit_one(std::move(rec));
+    if (termination_ != RunTermination::kRunning) break;
+  }
+  trace_commits_.clear();
+  trace_undo_.clear();
+}
+
+void CycleSim::rollback_trace() {
+  // Reverse the architectural effects of the open trace's instructions.
+  for (auto it = trace_undo_.rbegin(); it != trace_undo_.rend(); ++it) {
+    if (it->did_store) {
+      for (unsigned b = 0; b < it->mem_bytes && b < 8; ++b) {
+        memory_.write8(it->mem_addr + b, it->mem_old[b]);
+      }
+    }
+    if (it->wrote_fp) state_.set_freg(it->fp_dst, it->fp_old);
+    if (it->wrote_int) state_.set_ireg(it->int_dst, it->int_old);
+  }
+  trace_undo_.clear();
+  trace_commits_.clear();
+  // Trap output is a committed effect: discard what the squashed trace wrote.
+  if (output_.size() > trace_output_len_) output_.resize(trace_output_len_);
+  state_.pc = trace_start_pc_;
+  expected_commit_pc_ = trace_start_pc_;
+  have_expected_pc_ = true;
+  bpred_.flush_speculative_state();
+  bundle_break_ = true;
+
+  // Scrub timing residue of the squashed instructions: stale "never ready"
+  // scoreboard entries and never-committing ROB ring slots would otherwise
+  // wedge the restarted machine.
+  for (auto& r : int_ready_) {
+    if (r >= kNeverCycle) r = last_nominal_commit_;
+  }
+  for (auto& r : fp_ready_) {
+    if (r >= kNeverCycle) r = last_nominal_commit_;
+  }
+  for (auto& c : commit_ring_) {
+    if (c >= kNeverCycle) c = last_nominal_commit_;
+  }
+}
+
+void CycleSim::process_instruction() {
+  const std::uint64_t pc = state_.pc;
+
+  // Trace-boundary bookkeeping for recovery: when no trace is open, this
+  // instruction begins one, and becomes the rollback point.
+  if (opt_.itr_recovery && itr_ != nullptr && !itr_has_open_trace_) {
+    trace_start_pc_ = pc;
+    trace_undo_.clear();
+    trace_commits_.clear();
+    trace_output_len_ = output_.size();
+  }
+
+  // ---- Fetch: prediction + bundle timing. ----------------------------------
+  const Prediction pred = bpred_.predict(pc);
+  const std::uint64_t fetch_cycle = compute_fetch_cycle(pc);
+
+  // ---- Decode (+ fault injection). ------------------------------------------
+  isa::DecodeSignals sig = isa::decode_raw(prog_->fetch_raw(pc));
+  if (opt_.fault.enabled && !fault_injected_ &&
+      decode_index_ == opt_.fault.target_decode_index) {
+    sig.flip_bit(opt_.fault.bit);
+    fault_injected_ = true;
+    fault_decode_index_ = decode_index_;
+    fault_inject_cycle_ = fetch_cycle;
+  }
+  const std::uint64_t this_decode_index = decode_index_++;
+
+  // ---- Rename stage. ---------------------------------------------------------
+  // The map-table ports observe the (possibly rename-fault-corrupted)
+  // architectural indexes; execution and scheduling proceed with what the
+  // ports actually delivered, while the decode-side ITR signature keeps the
+  // original signals (the fault is past decode).
+  const RenameRecord rename_rec = rename_.rename(sig, this_decode_index,
+                                                 opt_.rename_fault);
+  isa::DecodeSignals exec_sig = sig;
+  exec_sig.rsrc1 = rename_rec.has_src1 ? rename_rec.src1_index : exec_sig.rsrc1;
+  exec_sig.rsrc2 = rename_rec.has_src2 ? rename_rec.src2_index : exec_sig.rsrc2;
+  exec_sig.rdst = rename_rec.has_dest ? rename_rec.dest_index : exec_sig.rdst;
+  if (rename_cache_ != nullptr) {
+    // Position-sensitive fold so swapped indexes within a trace also differ.
+    const unsigned rot = static_cast<unsigned>((rename_fold_rotl_++ * 7) & 63u);
+    const std::uint64_t c = rename_rec.signature_contribution();
+    rename_sig_acc_ ^= (c << rot) | (c >> (64 - rot == 64 ? 0 : 64 - rot));
+  }
+
+  // ---- Dispatch timing: frontend depth + ROB backpressure. ------------------
+  std::uint64_t dispatch_cycle = fetch_cycle + opt_.config.frontend_depth;
+  const std::size_t ring_slot =
+      static_cast<std::size_t>(this_decode_index % opt_.config.rob_size);
+  if (this_decode_index >= opt_.config.rob_size) {
+    const std::uint64_t oldest_commit = commit_ring_[ring_slot];
+    if (oldest_commit >= kNeverCycle) {
+      dispatch_cycle = kNeverCycle;  // ROB wedged by a deadlocked instruction
+    } else if (dispatch_cycle <= oldest_commit) {
+      dispatch_cycle = oldest_commit + 1;
+    }
+  }
+
+  // ---- Issue/execute timing. -------------------------------------------------
+  const std::uint64_t ready =
+      std::max(dispatch_cycle >= kNeverCycle ? kNeverCycle : dispatch_cycle + 1,
+               operand_ready_cycle(exec_sig));
+  const std::uint64_t issue = issue_slot(ready);
+  std::uint64_t complete = issue;
+  if (issue < kNeverCycle) {
+    complete = issue + opt_.config.lat_cycles[sig.lat & 3u];
+  }
+
+  // ---- Functional execution (with undo journaling in recovery mode). --------
+  UndoEntry undo;
+  const bool journal = opt_.itr_recovery && itr_ != nullptr;
+  if (journal) {
+    undo.prev_pc = pc;
+    undo.int_old = state_.ireg(exec_sig.rdst);
+    undo.fp_old = state_.freg(exec_sig.rdst);
+    if (exec_sig.has_flag(isa::Flag::kIsStore)) {
+      const std::uint64_t addr =
+          (static_cast<std::uint64_t>(state_.ireg(exec_sig.rsrc1)) +
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(exec_sig.simm()))) &
+          Memory::kAddressMask;
+      for (unsigned b = 0; b < 8; ++b) undo.mem_old[b] = memory_.read8(addr + b);
+      undo.mem_addr = addr;
+    }
+  }
+
+  ExecInput in;
+  in.sig = exec_sig;
+  in.pc = pc;
+  in.predicted_next = pred.next_pc;
+  const ExecEffects fx = execute(in, state_, memory_, &output_);
+
+  // Memory-port timing: loads pay the D-cache latency (plus a miss penalty
+  // when the tag array misses); stores allocate but retire from the store
+  // queue without extending their completion.
+  if (complete < kNeverCycle && (fx.did_load || fx.did_store) && fx.mem_bytes > 0) {
+    ++stats_.dcache_accesses;
+    bool hit = true;
+    if (dcache_ != nullptr) {
+      const std::uint64_t line = fx.mem_addr >> opt_.config.dcache.line_shift;
+      hit = dcache_->lookup(line) != nullptr;
+      if (!hit) {
+        dcache_->insert(line, 0);
+        ++stats_.dcache_misses;
+      }
+    }
+    if (fx.did_load) {
+      complete += opt_.config.dcache_latency;
+      if (!hit) complete += opt_.config.dcache.miss_penalty;
+    }
+  }
+
+  if (journal) {
+    undo.wrote_int = fx.wrote_int;
+    undo.int_dst = fx.int_dst;
+    undo.wrote_fp = fx.wrote_fp;
+    undo.fp_dst = fx.fp_dst;
+    undo.did_store = fx.did_store;
+    undo.mem_bytes = fx.did_store ? 8u : 0u;  // restore the full saved span
+    trace_undo_.push_back(undo);
+  }
+
+  rename_.commit(rename_rec);
+
+  // ---- Writeback timing. -----------------------------------------------------
+  if (fx.wrote_int && fx.int_dst != isa::kRegZero) int_ready_[fx.int_dst & 31u] = complete;
+  if (fx.wrote_fp) fp_ready_[fx.fp_dst & 31u] = complete;
+
+  // ---- Branch resolution and predictor training. -----------------------------
+  if (fx.engaged_branch_unit && complete < kNeverCycle) {
+    BranchOutcome outcome;
+    outcome.is_conditional =
+        sig.has_flag(isa::Flag::kIsBranch) && !sig.has_flag(isa::Flag::kIsUncond);
+    const isa::Opcode op = isa::is_valid_opcode(sig.opcode) ? sig.op() : isa::Opcode::kNop;
+    outcome.is_call = op == isa::Opcode::kJal || op == isa::Opcode::kJalr;
+    outcome.is_return = op == isa::Opcode::kJr && (sig.rsrc1 & 31u) == isa::kRegRa;
+    outcome.taken = fx.taken;
+    outcome.target = fx.resolved_target;
+    bpred_.update(pc, outcome);
+
+    if (pred.next_pc != fx.next_pc) {
+      // Mispredicted: fetch redirects when the branch resolves.
+      bpred_.count_mispredict();
+      ++stats_.branch_mispredicts;
+      redirect_cycle_ = complete + opt_.config.mispredict_redirect;
+      bundle_break_ = true;
+    } else if (fx.taken) {
+      bundle_break_ = true;  // correctly predicted taken: bundle still ends
+    }
+  } else if (!fx.engaged_branch_unit && pred.next_pc != pc + isa::kInstrBytes) {
+    // Fetch followed a taken prediction that decode did not identify as a
+    // branch (the paper's is_branch fault scenario): nothing repairs it; the
+    // stream simply continues on the predicted path.
+    bundle_break_ = true;
+  }
+
+  // ---- ITR decode side: trace formation + dispatch-time probe. ----------------
+  std::optional<trace::TraceRecord> completed_trace;
+  if (itr_ != nullptr) {
+    completed_trace = itr_->on_decode(pc, sig, this_decode_index, dispatch_cycle);
+    itr_has_open_trace_ = !completed_trace.has_value();
+    if (completed_trace.has_value() && rename_cache_ != nullptr) {
+      trace::TraceRecord rrec = *completed_trace;
+      rrec.signature = rename_sig_acc_;
+      rename_sig_acc_ = 0;
+      rename_fold_rotl_ = 0;
+      const core::ProbeResult probe = rename_cache_->probe(rrec);
+      if (probe.outcome == core::ProbeOutcome::kMiss) {
+        rename_cache_->install(rrec);
+      } else if (probe.outcome == core::ProbeOutcome::kHitMismatch) {
+        ItrEvent ev;
+        ev.kind = ItrEvent::Kind::kRenameMismatch;
+        ev.cycle = dispatch_cycle;
+        ev.trace_start_pc = rrec.start_pc;
+        ev.cached_was_unchecked = probe.cleared_unchecked;
+        ev.incoming_contains_fault =
+            opt_.rename_fault.enabled &&
+            opt_.rename_fault.target_decode_index >= rrec.first_insn_index &&
+            opt_.rename_fault.target_decode_index <
+                rrec.first_insn_index + rrec.num_instructions;
+        itr_events_.push_back(ev);
+      }
+    }
+    if (completed_trace.has_value() && fault_injected_ && !fault_trace_completed_ &&
+        fault_decode_index_ >= completed_trace->first_insn_index &&
+        fault_decode_index_ <
+            completed_trace->first_insn_index + completed_trace->num_instructions) {
+      fault_trace_completed_ = true;
+      fault_trace_start_pc_ = completed_trace->start_pc;
+      // Re-probe outcome is recorded by the unit; recover it from the poll
+      // result later — here we note it via the cache's line state after the
+      // dispatch-time probe (a hit leaves the line present).
+    }
+  }
+
+  // ---- Commit timing. ----------------------------------------------------------
+  // A trace-ending instruction cannot commit until the dispatch-time ITR
+  // cache read has set the chk or miss bit (paper Section 2.2).
+  std::uint64_t min_commit = 0;
+  if (completed_trace.has_value() && dispatch_cycle < kNeverCycle) {
+    min_commit = dispatch_cycle + opt_.config.itr_probe_latency + 1;
+  }
+  std::uint64_t commit_cycle;
+  if (complete >= kNeverCycle) {
+    commit_cycle = kNeverCycle;
+  } else {
+    commit_cycle = std::max(complete + 1, last_nominal_commit_);
+    if (commit_cycle < min_commit) {
+      stats_.itr_commit_stall_cycles += min_commit - commit_cycle;
+      commit_cycle = min_commit;
+    }
+    if (commit_cycle == last_nominal_commit_ &&
+        commits_in_cycle_ >= opt_.config.commit_width) {
+      ++commit_cycle;
+    }
+    if (commit_cycle == last_nominal_commit_) {
+      ++commits_in_cycle_;
+    } else {
+      last_nominal_commit_ = commit_cycle;
+      commits_in_cycle_ = 1;
+    }
+  }
+  commit_ring_[ring_slot] = commit_cycle;
+
+  CommitRecord rec;
+  rec.pc = pc;
+  rec.next_pc = fx.next_pc;
+  rec.commit_cycle = commit_cycle;
+  rec.wrote_int = fx.wrote_int;
+  rec.int_dst = fx.int_dst;
+  rec.int_value = fx.int_value;
+  rec.wrote_fp = fx.wrote_fp;
+  rec.fp_dst = fx.fp_dst;
+  rec.fp_value = fx.fp_value;
+  rec.did_store = fx.did_store;
+  rec.mem_addr = fx.mem_addr;
+  rec.store_value = fx.store_value;
+  rec.mem_bytes = fx.mem_bytes;
+  rec.exited = fx.exited;
+  rec.aborted = fx.aborted;
+  rec.engaged_control = fx.engaged_branch_unit || fx.exited;
+
+  const bool hold_commits = opt_.itr_recovery && itr_ != nullptr;
+  if (hold_commits) {
+    trace_commits_.push_back(std::move(rec));
+  } else {
+    commit_one(std::move(rec));
+  }
+
+  // ---- ITR commit-side poll for trace-ending instructions. ---------------------
+  if (itr_ != nullptr && completed_trace.has_value() &&
+      termination_ == RunTermination::kRunning) {
+    const core::PollResult poll = itr_->poll_at_commit(commit_cycle);
+    handle_poll(poll, commit_cycle, dispatch_cycle);
+  }
+
+  // ---- Monitoring-mode deadlock slack. ------------------------------------------
+  if (deadlock_pending_) {
+    if (deadlock_slack_ == 0 || fx.exited) {
+      terminate(RunTermination::kDeadlock);
+    } else {
+      --deadlock_slack_;
+    }
+  }
+}
+
+void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cycle,
+                           std::uint64_t dispatch_cycle) {
+  // Remember how the fault-carrying trace fared at its probe (classification
+  // input for the MayITR/Undet distinction).
+  if (fault_injected_ && fault_trace_completed_ &&
+      poll.trace.start_pc == fault_trace_start_pc_ &&
+      fault_decode_index_ >= poll.trace.first_insn_index &&
+      fault_decode_index_ <
+          poll.trace.first_insn_index + poll.trace.num_instructions) {
+    fault_trace_probe_ = poll.probe.outcome;
+  }
+
+  // Detection event bookkeeping (both modes).
+  if (poll.probe.outcome == core::ProbeOutcome::kHitMismatch) {
+    ItrEvent ev;
+    ev.kind = ItrEvent::Kind::kMismatchDetected;
+    ev.cycle = dispatch_cycle;
+    ev.trace_start_pc = poll.trace.start_pc;
+    ev.cached_was_unchecked = poll.probe.cleared_unchecked;
+    ev.incoming_contains_fault =
+        fault_injected_ && fault_decode_index_ >= poll.trace.first_insn_index &&
+        fault_decode_index_ <
+            poll.trace.first_insn_index + poll.trace.num_instructions;
+    itr_events_.push_back(ev);
+  }
+
+  if (!opt_.itr_recovery) {
+    // Monitoring mode: the counterfactual pipeline never flushes.
+    if (poll.action == core::CommitAction::kRetry) itr_->abandon_retry();
+    return;
+  }
+
+  switch (poll.action) {
+    case core::CommitAction::kProceed:
+    case core::CommitAction::kWriteCache: {
+      if (retry_in_progress_ && poll.trace.start_pc == retry_start_pc_ &&
+          poll.action == core::CommitAction::kProceed) {
+        retry_in_progress_ = false;
+        itr_->confirm_retry_success();
+        ItrEvent ev;
+        ev.kind = ItrEvent::Kind::kRecovered;
+        ev.cycle = commit_cycle;
+        ev.trace_start_pc = poll.trace.start_pc;
+        itr_events_.push_back(ev);
+      }
+      release_trace_commits();
+      break;
+    }
+    case core::CommitAction::kRetry: {
+      if (!retry_in_progress_) {
+        // First failure: flush the pipeline and restart from the trace start.
+        retry_in_progress_ = true;
+        retry_start_pc_ = poll.trace.start_pc;
+        ItrEvent ev;
+        ev.kind = ItrEvent::Kind::kRetryStarted;
+        ev.cycle = commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle;
+        ev.trace_start_pc = poll.trace.start_pc;
+        itr_events_.push_back(ev);
+        rollback_trace();
+        itr_->squash_open_trace();
+        itr_has_open_trace_ = false;
+        rename_sig_acc_ = 0;
+        rename_fold_rotl_ = 0;
+        redirect_cycle_ =
+            (commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle) +
+            opt_.config.flush_restart_penalty;
+        break;
+      }
+      // Second consecutive failure on the same trace: diagnose.
+      const core::CommitAction verdict = itr_->resolve_retry(poll.trace);
+      retry_in_progress_ = false;
+      ItrEvent ev;
+      ev.cycle = commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle;
+      ev.trace_start_pc = poll.trace.start_pc;
+      if (verdict == core::CommitAction::kFixCacheLine) {
+        ev.kind = ItrEvent::Kind::kParityRepair;
+        itr_events_.push_back(ev);
+        release_trace_commits();
+      } else {
+        ev.kind = ItrEvent::Kind::kMachineCheck;
+        itr_events_.push_back(ev);
+        terminate(RunTermination::kMachineCheck);
+      }
+      break;
+    }
+    case core::CommitAction::kMachineCheck:
+    case core::CommitAction::kFixCacheLine:
+      // poll_at_commit never returns these directly (resolve_retry does).
+      release_trace_commits();
+      break;
+  }
+}
+
+}  // namespace itr::sim

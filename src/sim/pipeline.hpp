@@ -1,0 +1,330 @@
+// Cycle-level superscalar simulator (MIPS R10K-flavoured, as in the paper's
+// Section 4 evaluation) with integrated ITR support.
+//
+// Modelling approach: functional-first with a timing model.  Instructions on
+// the committed path execute functionally in program order; for each one the
+// model computes fetch, dispatch, issue, completion and commit cycles from
+// the machine parameters (widths, ROB capacity, operand readiness, FU
+// latency classes, branch-resolution redirects).  Microarchitectural checks
+// observe exactly what the hardware would:
+//
+//   * the ITR unit sees decode-signal bundles in decode order and its cache
+//     is read at dispatch and written at commit (paper Section 2.2);
+//   * the sequential-PC (spc) check compares each committing instruction's
+//     PC against a running commit PC (paper Section 2.5);
+//   * the watchdog fires when no instruction commits for a configured
+//     number of cycles (paper Section 4).
+//
+// Faults are injected by flipping one bit of one dynamic instruction's
+// decode signals (Section 4's model); all downstream behaviour — wrong
+// operands, unrepaired branch mispredictions, phantom source operands that
+// deadlock the scheduler, suppressed stores — follows from executing those
+// corrupted signals.
+//
+// Known simplification (documented in DESIGN.md): wrong-path instructions
+// are modelled for timing (misprediction redirect penalties) but do not
+// probe the ITR cache or perturb its LRU state.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/decode.hpp"
+#include "isa/program.hpp"
+#include "itr/itr_unit.hpp"
+#include "sim/arch_state.hpp"
+#include "sim/branch_pred.hpp"
+#include "sim/exec.hpp"
+#include "sim/memory.hpp"
+#include "sim/rename.hpp"
+
+namespace itr::sim {
+
+/// Cycle value standing in for "never happens" (deadlocked instruction).
+inline constexpr std::uint64_t kNeverCycle = ~std::uint64_t{0} / 4;
+
+/// L1 cache timing model (tag array only; data values come from the
+/// functional memory).
+struct L1Config {
+  bool enabled = true;
+  std::size_t entries = 512;   ///< lines
+  std::size_t assoc = 1;
+  unsigned line_shift = 7;     ///< log2(line bytes); 7 = 128 B (Power4 I$)
+  unsigned miss_penalty = 12;  ///< extra cycles on a miss
+};
+
+struct PipelineConfig {
+  unsigned fetch_width = 4;
+  unsigned issue_width = 4;
+  unsigned commit_width = 4;
+  unsigned frontend_depth = 4;     ///< fetch-to-dispatch latency, cycles
+  unsigned rob_size = 64;
+  unsigned dcache_latency = 2;     ///< load-to-use beyond the FU cycle (hit)
+  std::array<unsigned, 4> lat_cycles{1, 3, 8, 24};  ///< per LatClass
+  unsigned mispredict_redirect = 1;///< extra cycles after branch resolution
+  unsigned flush_restart_penalty = 8;  ///< ITR recovery flush (frontend refill)
+  unsigned watchdog_cycles = 20000;
+  /// Cycles between the ITR ROB dispatch-time cache read and its result
+  /// being available to the commit logic; commit of a trace-ending
+  /// instruction stalls until the chk/miss bits are set (paper Section 2.2).
+  unsigned itr_probe_latency = 2;
+  BranchPredConfig bpred;
+  L1Config icache{true, 512, 1, 7, 12};   ///< 64 KB dm, 128 B lines (Power4)
+  L1Config dcache{true, 512, 4, 6, 14};   ///< 32 KB 4-way, 64 B lines
+};
+
+/// A committed instruction as seen by the lockstep comparator.
+struct CommitRecord {
+  std::uint64_t index = 0;    ///< commit order number
+  std::uint64_t pc = 0;
+  std::uint64_t next_pc = 0;
+  std::uint64_t commit_cycle = 0;
+  bool wrote_int = false;
+  std::uint8_t int_dst = 0;
+  std::uint32_t int_value = 0;
+  bool wrote_fp = false;
+  std::uint8_t fp_dst = 0;
+  double fp_value = 0.0;
+  bool did_store = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t store_value = 0;
+  unsigned mem_bytes = 0;
+  bool exited = false;
+  bool aborted = false;
+  bool engaged_control = false;  ///< branch unit resolved this instruction
+  bool spc_fired = false;     ///< sequential-PC check mismatch at this commit
+
+  /// True when two records describe the same architectural effect.
+  /// Floating-point values are compared by bit pattern: NaN payloads are
+  /// architectural state too, and NaN != NaN would flag spurious corruption.
+  bool architecturally_equal(const CommitRecord& other) const noexcept {
+    return pc == other.pc && next_pc == other.next_pc &&
+           wrote_int == other.wrote_int && int_dst == other.int_dst &&
+           int_value == other.int_value && wrote_fp == other.wrote_fp &&
+           fp_dst == other.fp_dst &&
+           std::bit_cast<std::uint64_t>(fp_value) ==
+               std::bit_cast<std::uint64_t>(other.fp_value) &&
+           did_store == other.did_store && mem_addr == other.mem_addr &&
+           store_value == other.store_value && mem_bytes == other.mem_bytes;
+  }
+};
+
+/// One-shot decode-signal fault (Section 4 fault model).
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t target_decode_index = 0;  ///< dynamic decode number to corrupt
+  unsigned bit = 0;                       ///< which of the 64 signal bits
+};
+
+/// ITR-related events surfaced to the fault-injection harness.
+struct ItrEvent {
+  enum class Kind : std::uint8_t {
+    kMismatchDetected,   ///< dispatch-time signature mismatch (detection!)
+    kRetryStarted,       ///< recovery flush-and-restart begun
+    kRecovered,          ///< retry succeeded; execution continues
+    kMachineCheck,       ///< retry failed; program aborted
+    kParityRepair,       ///< retry failed but ITR-cache parity convicted the line
+    kRenameMismatch,     ///< rename-index signature mismatch (paper Section 1
+                         ///< extension: map-table port corruption detected)
+  };
+  Kind kind = Kind::kMismatchDetected;
+  std::uint64_t cycle = 0;
+  std::uint64_t trace_start_pc = 0;
+  /// True when the injected fault sits inside the mismatching *incoming*
+  /// trace instance — the recoverable (+R) case: a flush re-executes it
+  /// fault-free.  False means the cached copy carries the fault (+D).
+  bool incoming_contains_fault = false;
+  /// True when the cached line had never been referenced before this check
+  /// (it came from a missed, unchecked instance).
+  bool cached_was_unchecked = false;
+};
+
+struct PipelineStats {
+  std::uint64_t instructions_committed = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t fetch_bundles = 0;     ///< I-cache accesses (Figure 9)
+  std::uint64_t icache_misses = 0;
+  std::uint64_t dcache_accesses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t spc_checks_fired = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t itr_commit_stall_cycles = 0;  ///< commit waiting for the probe
+  double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions_committed) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Terminal condition of a run.
+enum class RunTermination : std::uint8_t {
+  kRunning,
+  kExited,          ///< program executed its exit trap
+  kAborted,         ///< wild fetch hit the abort backstop
+  kMachineCheck,    ///< ITR raised a machine-check exception
+  kDeadlock,        ///< watchdog expired with no commit
+  kCycleLimit,      ///< observation window exhausted
+};
+
+class CycleSim {
+ public:
+  struct Options {
+    PipelineConfig config;
+    std::optional<core::ItrCacheConfig> itr;  ///< nullopt = no ITR hardware
+    bool itr_recovery = false;  ///< true: flush-restart retry protocol active
+                                ///< false: monitoring only (classification runs)
+    /// Paper Section 1 extension: also record and confirm the architectural
+    /// indexes observed at the rename map-table ports, per trace (detects
+    /// "pure source renaming errors" that the decode-signal signature cannot
+    /// see).  Requires `itr` to be configured (shares trace formation).
+    bool rename_check = false;
+    FaultPlan fault;
+    RenameFault rename_fault;  ///< map-table index-port strike (post-decode)
+    std::uint64_t max_cycles = kNeverCycle;  ///< observation window
+  };
+
+  CycleSim(const isa::Program& prog, Options options);
+  ~CycleSim();
+
+  CycleSim(const CycleSim&) = delete;
+  CycleSim& operator=(const CycleSim&) = delete;
+
+  /// Advances by one instruction through the whole pipeline model.  Commits
+  /// are queued internally (recovery mode holds them back until the trace's
+  /// ITR poll passes).  Returns false once the run has terminated.
+  bool advance();
+
+  /// Pops the next committed instruction, if any.
+  std::optional<CommitRecord> next_commit();
+
+  /// Pops the next ITR event, if any.
+  std::optional<ItrEvent> next_itr_event();
+
+  /// Runs to termination (or `max_commits`), discarding commit records.
+  void run(std::uint64_t max_commits = ~std::uint64_t{0});
+
+  RunTermination termination() const noexcept { return termination_; }
+  const PipelineStats& stats() const noexcept { return stats_; }
+  const std::string& output() const noexcept { return output_; }
+  std::int32_t exit_status() const noexcept { return exit_status_; }
+  const ArchState& state() const noexcept { return state_; }
+  const core::ItrUnit* itr_unit() const noexcept { return itr_.get(); }
+  core::ItrUnit* itr_unit() noexcept { return itr_.get(); }
+  /// Coverage counters of the rename-index event cache (rename_check mode).
+  const core::ItrCache* rename_cache() const noexcept { return rename_cache_.get(); }
+  const RenameUnit& rename_unit() const noexcept { return rename_; }
+  BranchPredictor& predictor() noexcept { return bpred_; }
+  std::uint64_t decode_count() const noexcept { return decode_index_; }
+  bool fault_was_injected() const noexcept { return fault_injected_; }
+
+  /// Cycle at which the watchdog fired (valid when termination is kDeadlock).
+  std::uint64_t watchdog_cycle() const noexcept { return watchdog_cycle_; }
+
+  /// Dispatch cycle of the corrupted instruction (valid once injected).
+  std::uint64_t fault_inject_cycle() const noexcept { return fault_inject_cycle_; }
+  /// True once the trace containing the fault has completed decode.
+  bool fault_trace_completed() const noexcept { return fault_trace_completed_; }
+  /// Start PC and dispatch-time probe outcome of the fault-carrying trace.
+  std::uint64_t fault_trace_start_pc() const noexcept { return fault_trace_start_pc_; }
+  core::ProbeOutcome fault_trace_probe() const noexcept { return fault_trace_probe_; }
+
+ private:
+  struct UndoEntry {
+    bool wrote_int = false;
+    std::uint8_t int_dst = 0;
+    std::uint32_t int_old = 0;
+    bool wrote_fp = false;
+    std::uint8_t fp_dst = 0;
+    double fp_old = 0.0;
+    bool did_store = false;
+    std::uint64_t mem_addr = 0;
+    std::array<std::uint8_t, 8> mem_old{};
+    unsigned mem_bytes = 0;
+    std::uint64_t prev_pc = 0;  ///< PC before this instruction executed
+  };
+
+  void process_instruction();
+  std::uint64_t compute_fetch_cycle(std::uint64_t pc);
+  std::uint64_t operand_ready_cycle(const isa::DecodeSignals& sig) const;
+  std::uint64_t issue_slot(std::uint64_t earliest);
+  void commit_one(CommitRecord&& rec);
+  void handle_poll(const core::PollResult& poll, std::uint64_t commit_cycle,
+                   std::uint64_t dispatch_cycle);
+  void release_trace_commits();
+  void rollback_trace();
+  void terminate(RunTermination t) noexcept;
+
+  const isa::Program* prog_;
+  Options opt_;
+  Memory memory_;
+  ArchState state_;
+  BranchPredictor bpred_;
+  std::unique_ptr<core::ItrUnit> itr_;
+  std::unique_ptr<cache::SetAssocCache<char>> icache_;  ///< tag array only
+  std::unique_ptr<cache::SetAssocCache<char>> dcache_;
+  RenameUnit rename_;
+  std::unique_ptr<core::ItrCache> rename_cache_;  ///< rename-index signatures
+  std::uint64_t rename_sig_acc_ = 0;   ///< open trace's rename signature
+  std::uint64_t rename_fold_rotl_ = 0; ///< position-sensitive fold counter
+  std::string output_;
+
+  // Timing state.
+  std::uint64_t fetch_cycle_ = 0;
+  unsigned fetch_slots_used_ = 0;
+  bool bundle_break_ = true;  ///< start of run begins a new bundle
+  std::uint64_t redirect_cycle_ = 0;
+  std::array<std::uint64_t, isa::kNumIntRegs> int_ready_{};
+  std::array<std::uint64_t, isa::kNumFpRegs> fp_ready_{};
+  std::vector<std::uint64_t> commit_ring_;  ///< last rob_size commit cycles
+  std::uint64_t last_commit_cycle_ = 0;
+  std::uint64_t last_nominal_commit_ = 0;
+  unsigned commits_in_cycle_ = 0;
+  std::vector<std::uint32_t> issue_window_;  ///< rolling issue-bandwidth window
+  std::vector<std::uint64_t> issue_window_cycle_;
+
+  // Program-order state.
+  std::uint64_t decode_index_ = 0;
+  std::uint64_t commit_index_ = 0;
+  bool fault_injected_ = false;
+  std::uint64_t fault_decode_index_ = 0;
+  std::uint64_t fault_inject_cycle_ = 0;
+  bool fault_trace_completed_ = false;
+  std::uint64_t fault_trace_start_pc_ = 0;
+  core::ProbeOutcome fault_trace_probe_ = core::ProbeOutcome::kMiss;
+  std::uint64_t expected_commit_pc_ = 0;
+  bool have_expected_pc_ = false;
+  bool itr_has_open_trace_ = false;
+
+  // Monitoring-mode deadlock handling: after the watchdog trips, the decode
+  // side keeps running for a ROB's worth of instructions (as the hardware
+  // would, with commit stalled) so dispatch-time ITR checks still fire; then
+  // the run terminates as a deadlock.
+  bool deadlock_pending_ = false;
+  std::uint64_t deadlock_slack_ = 0;
+
+  // Recovery machinery.
+  std::vector<UndoEntry> trace_undo_;     ///< effects of the open trace
+  std::vector<CommitRecord> trace_commits_;  ///< held-back commits (recovery mode)
+  std::uint64_t trace_start_pc_ = 0;
+  std::size_t trace_output_len_ = 0;  ///< output length at trace start (undo)
+  bool retry_in_progress_ = false;
+  std::uint64_t retry_start_pc_ = 0;
+
+  // Output queues.
+  std::deque<CommitRecord> commit_queue_;
+  std::deque<ItrEvent> itr_events_;
+
+  PipelineStats stats_;
+  RunTermination termination_ = RunTermination::kRunning;
+  std::int32_t exit_status_ = 0;
+  std::uint64_t watchdog_cycle_ = 0;
+};
+
+}  // namespace itr::sim

@@ -1,0 +1,95 @@
+// Register-rename substrate: map tables and a free list, as in the MIPS
+// R10K the paper models, plus the observation port the ITR rename check
+// needs.
+//
+// The paper (Section 1) extends the ITR idea beyond fetch/decode: "Indexes
+// into the rename map table and architectural map table generated for a
+// trace are constant across all its instances. Recording and confirming
+// their correctness will boost the fault coverage of the rename unit...
+// RNA cannot detect pure source renaming errors like reading from a wrong
+// index in the rename map table."  This unit models exactly that port: the
+// indexes *observed at the map-table read/write ports* (which a strike on
+// the index decoder can corrupt after decode produced correct signals) are
+// exposed per instruction so the ITR rename check can fold them into a
+// trace signature.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/decode.hpp"
+
+namespace itr::sim {
+
+/// A rename-port fault: on one dynamic instruction, one map-table index
+/// wire flips (port 0 = rsrc1, 1 = rsrc2, 2 = rdst).
+struct RenameFault {
+  bool enabled = false;
+  std::uint64_t target_decode_index = 0;
+  std::uint8_t port = 0;  ///< 0..2
+  std::uint8_t bit = 0;   ///< 0..4 (5-bit architectural index)
+};
+
+/// What the rename stage did for one instruction.
+struct RenameRecord {
+  // Indexes as observed at the map-table ports (post-fault; the ITR rename
+  // check folds these).
+  std::uint8_t src1_index = 0;
+  std::uint8_t src2_index = 0;
+  std::uint8_t dest_index = 0;
+  bool has_src1 = false;
+  bool has_src2 = false;
+  bool has_dest = false;
+  // Physical-register bookkeeping.
+  std::uint16_t src1_phys = 0;
+  std::uint16_t src2_phys = 0;
+  std::uint16_t dest_phys = 0;      ///< newly allocated mapping
+  std::uint16_t prev_dest_phys = 0; ///< mapping displaced by dest (freed at commit)
+  bool dest_fp = false;             ///< which file the destination lives in
+
+  /// Contribution of this instruction to the trace's rename-index signature:
+  /// the packed port-observed indexes.  A pure function of the program text
+  /// when the rename unit is healthy.
+  std::uint64_t signature_contribution() const noexcept {
+    return (has_src1 ? (std::uint64_t{src1_index} | 0x20u) : 0) |
+           ((has_src2 ? (std::uint64_t{src2_index} | 0x20u) : 0) << 6) |
+           ((has_dest ? (std::uint64_t{dest_index} | 0x20u) : 0) << 12);
+  }
+};
+
+/// In-order rename engine: one integer and one floating-point map table,
+/// each backed by a physical register free list.
+class RenameUnit {
+ public:
+  /// `phys_per_file` must exceed the 32 architectural registers by at least
+  /// the maximum number of in-flight destinations.
+  explicit RenameUnit(unsigned phys_per_file = 96);
+
+  /// Renames one instruction's operands; applies `fault` when it targets
+  /// `decode_index`.  Sources read the current mappings; a destination
+  /// allocates a fresh physical register.
+  RenameRecord rename(const isa::DecodeSignals& sig, std::uint64_t decode_index,
+                      const RenameFault& fault);
+
+  /// Commit-side release: the displaced previous mapping becomes free again.
+  void commit(const RenameRecord& rec);
+
+  /// Current physical mapping of an architectural register (for tests).
+  std::uint16_t int_mapping(unsigned arch) const { return int_map_[arch & 31u]; }
+  std::uint16_t fp_mapping(unsigned arch) const { return fp_map_[arch & 31u]; }
+
+  std::size_t int_free_count() const noexcept { return int_free_.size(); }
+  std::size_t fp_free_count() const noexcept { return fp_free_.size(); }
+
+ private:
+  std::uint16_t read_port(bool fp, std::uint8_t index) const;
+
+  std::array<std::uint16_t, 32> int_map_{};
+  std::array<std::uint16_t, 32> fp_map_{};
+  std::vector<std::uint16_t> int_free_;
+  std::vector<std::uint16_t> fp_free_;
+};
+
+}  // namespace itr::sim

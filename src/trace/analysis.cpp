@@ -1,0 +1,53 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+namespace itr::trace {
+
+RepetitionAnalyzer::RepetitionAnalyzer(std::uint64_t distance_bin_width,
+                                       std::size_t distance_num_bins)
+    : distances_(distance_bin_width, distance_num_bins) {}
+
+void RepetitionAnalyzer::on_trace(const TraceRecord& rec) {
+  total_insns_ += rec.num_instructions;
+  ++total_traces_;
+  auto [it, inserted] = statics_.try_emplace(rec.start_pc);
+  StaticTraceInfo& info = it->second;
+  if (!inserted) {
+    const std::uint64_t distance = rec.first_insn_index - info.last_start_index;
+    distances_.add(distance, rec.num_instructions);
+  }
+  info.dynamic_instructions += rec.num_instructions;
+  ++info.occurrences;
+  info.last_start_index = rec.first_insn_index;
+}
+
+std::vector<double> RepetitionAnalyzer::cumulative_share_by_hotness() const {
+  std::vector<std::uint64_t> weights;
+  weights.reserve(statics_.size());
+  for (const auto& [pc, info] : statics_) {
+    (void)pc;
+    weights.push_back(info.dynamic_instructions);
+  }
+  return util::descending_cumulative_share(std::move(weights));
+}
+
+std::uint64_t RepetitionAnalyzer::traces_for_share(double share) const {
+  const auto curve = cumulative_share_by_hotness();
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i] >= share) return i + 1;
+  }
+  return curve.size();
+}
+
+double RepetitionAnalyzer::share_repeating_within(std::uint64_t distance) const {
+  if (total_insns_ == 0 || distance == 0) return 0.0;
+  const std::size_t bin = static_cast<std::size_t>((distance - 1) / distances_.bin_width());
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b <= bin && b < distances_.num_bins(); ++b) {
+    acc += distances_.bin_count(b);
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_insns_);
+}
+
+}  // namespace itr::trace

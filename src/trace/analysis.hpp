@@ -1,0 +1,62 @@
+// Trace-repetition analysis: the characterization behind the paper's
+// Figures 1-4 and Table 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace_builder.hpp"
+#include "util/stats.hpp"
+
+namespace itr::trace {
+
+/// Per-static-trace aggregate.
+struct StaticTraceInfo {
+  std::uint64_t dynamic_instructions = 0;  ///< total insns contributed
+  std::uint64_t occurrences = 0;
+  std::uint64_t last_start_index = 0;      ///< dynamic insn index of last start
+};
+
+/// Streaming analyzer; feed every TraceRecord of a run, then query.
+class RepetitionAnalyzer {
+ public:
+  /// `distance_bin_width` and `distance_num_bins` configure the repeat-
+  /// distance histogram; the paper uses 500-instruction bins up to 10 000.
+  RepetitionAnalyzer(std::uint64_t distance_bin_width = 500,
+                     std::size_t distance_num_bins = 20);
+
+  void on_trace(const TraceRecord& rec);
+
+  // -- Table 1 ---------------------------------------------------------------
+  std::uint64_t num_static_traces() const noexcept { return statics_.size(); }
+  std::uint64_t total_dynamic_instructions() const noexcept { return total_insns_; }
+  std::uint64_t total_dynamic_traces() const noexcept { return total_traces_; }
+
+  // -- Figures 1 and 2 ---------------------------------------------------------
+  /// Cumulative share of dynamic instructions contributed by the top-N static
+  /// traces; out[k] is the share (0..1) of the k+1 hottest traces.
+  std::vector<double> cumulative_share_by_hotness() const;
+
+  /// Smallest N such that the top-N static traces contribute at least
+  /// `share` (0..1) of dynamic instructions.
+  std::uint64_t traces_for_share(double share) const;
+
+  // -- Figures 3 and 4 ---------------------------------------------------------
+  /// Histogram of repeat distances (dynamic instructions between successive
+  /// starts of the same static trace), weighted by the instructions of the
+  /// repeating instance.  First occurrences are not counted.
+  const util::BinnedHistogram& distance_histogram() const noexcept { return distances_; }
+
+  /// Fraction (0..1) of all dynamic instructions contributed by instances
+  /// that repeat within `distance` instructions of their previous occurrence.
+  double share_repeating_within(std::uint64_t distance) const;
+
+ private:
+  std::unordered_map<std::uint64_t, StaticTraceInfo> statics_;
+  util::BinnedHistogram distances_;
+  std::uint64_t total_insns_ = 0;
+  std::uint64_t total_traces_ = 0;
+};
+
+}  // namespace itr::trace

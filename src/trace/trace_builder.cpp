@@ -1,0 +1,32 @@
+#include "trace/trace_builder.hpp"
+
+namespace itr::trace {
+
+void TraceBuilder::on_instruction(std::uint64_t pc, const isa::DecodeSignals& sig,
+                                  std::uint64_t insn_index) {
+  if (!open_) {
+    current_ = TraceRecord{};
+    current_.start_pc = pc;
+    current_.first_insn_index = insn_index;
+    open_ = true;
+  }
+  current_.signature ^= sig.pack();
+  ++current_.num_instructions;
+
+  const bool terminating = sig.has_flag(isa::Flag::kIsBranch) ||
+                           sig.has_flag(isa::Flag::kIsUncond);
+  if (terminating || current_.num_instructions >= max_length_) {
+    current_.ended_on_branch = terminating;
+    sink_(current_);
+    open_ = false;
+  }
+}
+
+void TraceBuilder::flush() {
+  if (!open_) return;
+  current_.ended_on_branch = false;
+  sink_(current_);
+  open_ = false;
+}
+
+}  // namespace itr::trace

@@ -1,0 +1,66 @@
+// Dynamic trace formation.
+//
+// The paper groups the dynamic instruction stream into traces that terminate
+// on a branching instruction or on reaching 16 instructions (Section 1).
+// Trace identity is the start PC: with read-only code the instruction
+// sequence from a PC to its first branch is a pure function of the program
+// text, which is what makes the ITR signature a checkable invariant.
+//
+// Termination is decided from the *decode signals* (is_branch/is_uncond
+// flags), exactly as the signature-generation hardware of Section 2.1 would:
+// a fault that corrupts a branch flag therefore also corrupts trace
+// boundaries, and the resulting signature mismatch is how ITR catches it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/decode.hpp"
+
+namespace itr::trace {
+
+/// Maximum instructions per trace (paper Section 1).
+inline constexpr unsigned kMaxTraceLength = 16;
+
+/// A completed dynamic trace instance.
+struct TraceRecord {
+  std::uint64_t start_pc = 0;
+  std::uint64_t signature = 0;       ///< XOR of member decode-signal bundles
+  std::uint32_t num_instructions = 0;
+  std::uint64_t first_insn_index = 0; ///< dynamic index of the first member
+  bool ended_on_branch = false;       ///< false = hit the 16-instruction limit
+};
+
+/// Accumulates decode-signal bundles into trace records.
+class TraceBuilder {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  /// `max_length` defaults to the paper's 16-instruction limit; the
+  /// trace-length ablation bench sweeps it.
+  explicit TraceBuilder(Sink sink, unsigned max_length = kMaxTraceLength)
+      : sink_(std::move(sink)), max_length_(max_length == 0 ? 1 : max_length) {}
+
+  /// Feeds one decoded instruction in decode order.  `insn_index` is the
+  /// dynamic instruction number (monotonic).
+  void on_instruction(std::uint64_t pc, const isa::DecodeSignals& sig,
+                      std::uint64_t insn_index);
+
+  /// Flushes a partially formed trace (end of simulation); emits it with
+  /// ended_on_branch=false if non-empty.
+  void flush();
+
+  /// Discards any partially formed trace (pipeline squash).
+  void abandon() noexcept { open_ = false; }
+
+  bool has_open_trace() const noexcept { return open_; }
+  std::uint64_t open_start_pc() const noexcept { return current_.start_pc; }
+
+ private:
+  Sink sink_;
+  unsigned max_length_ = kMaxTraceLength;
+  TraceRecord current_{};
+  bool open_ = false;
+};
+
+}  // namespace itr::trace

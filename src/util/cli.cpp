@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itr::util {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) throw std::invalid_argument("bare '--' argument");
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") == false) {
+      values_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      values_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+std::optional<std::string> CliFlags::lookup(std::string_view name) const {
+  queried_.emplace_back(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CliFlags::has(std::string_view name) const { return lookup(name).has_value(); }
+
+std::string CliFlags::get_string(std::string_view name, std::string_view fallback) const {
+  const auto v = lookup(name);
+  return v ? *v : std::string(fallback);
+}
+
+std::uint64_t CliFlags::get_u64(std::string_view name, std::uint64_t fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  return std::stoull(*v);
+}
+
+double CliFlags::get_double(std::string_view name, double fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool CliFlags::get_bool(std::string_view name, bool fallback) const {
+  const auto v = lookup(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+void CliFlags::reject_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(queried_.begin(), queried_.end(), name) == queried_.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace itr::util

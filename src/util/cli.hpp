@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing shared by the bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`.  Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itr::util {
+
+class CliFlags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(std::string_view name) const;
+  std::string get_string(std::string_view name, std::string_view fallback) const;
+  std::uint64_t get_u64(std::string_view name, std::uint64_t fallback) const;
+  double get_double(std::string_view name, double fallback) const;
+  bool get_bool(std::string_view name, bool fallback = false) const;
+
+  /// Non-flag positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Names the caller has queried; used to reject unknown flags.
+  /// Call after all get_* calls; throws if any parsed flag was never queried.
+  void reject_unknown() const;
+
+ private:
+  std::optional<std::string> lookup(std::string_view name) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> queried_;
+};
+
+}  // namespace itr::util

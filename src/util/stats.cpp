@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace itr::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+BinnedHistogram::BinnedHistogram(std::uint64_t bin_width, std::size_t num_bins)
+    : bin_width_(bin_width == 0 ? 1 : bin_width), counts_(num_bins, 0) {}
+
+void BinnedHistogram::add(std::uint64_t value, std::uint64_t weight) noexcept {
+  const std::size_t bin = static_cast<std::size_t>(value / bin_width_);
+  if (bin < counts_.size()) {
+    counts_[bin] += weight;
+  } else {
+    overflow_ += weight;
+  }
+  total_ += weight;
+}
+
+double BinnedHistogram::cumulative_fraction(std::size_t i) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) acc += counts_[b];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::vector<double> descending_cumulative_share(std::vector<std::uint64_t> weights) {
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  std::uint64_t total = 0;
+  for (auto w : weights) total += w;
+  std::vector<double> out;
+  out.reserve(weights.size());
+  std::uint64_t acc = 0;
+  for (auto w : weights) {
+    acc += w;
+    out.push_back(total == 0 ? 0.0 : static_cast<double>(acc) / static_cast<double>(total));
+  }
+  return out;
+}
+
+double percent(double num, double den) noexcept {
+  return den == 0.0 ? 0.0 : 100.0 * num / den;
+}
+
+}  // namespace itr::util

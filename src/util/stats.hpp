@@ -1,0 +1,73 @@
+// Lightweight descriptive statistics used by every experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace itr::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bin histogram over [0, bin_width * num_bins); values beyond the last
+/// bin accumulate in an overflow bucket.  Mirrors the distance-bin plots of
+/// the paper's Figures 3 and 4 (bins of 500 dynamic instructions up to
+/// 10 000, "<500", "<1000", ..., overflow beyond).
+class BinnedHistogram {
+ public:
+  BinnedHistogram(std::uint64_t bin_width, std::size_t num_bins);
+
+  /// Adds `weight` at position `value`.
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_width() const noexcept { return bin_width_; }
+  std::uint64_t bin_count(std::size_t i) const noexcept { return counts_[i]; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Upper edge of bin i (exclusive), e.g. bin 0 of width 500 -> 500 ("<500").
+  std::uint64_t bin_upper_edge(std::size_t i) const noexcept {
+    return bin_width_ * static_cast<std::uint64_t>(i + 1);
+  }
+
+  /// Cumulative fraction of weight in bins [0, i], in [0, 1].
+  double cumulative_fraction(std::size_t i) const noexcept;
+
+ private:
+  std::uint64_t bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Returns the cumulative fraction curve of `weights` sorted descending:
+/// out[k] = (sum of the k+1 largest weights) / (sum of all weights).
+/// This is exactly the curve of the paper's Figures 1 and 2 (contribution of
+/// the top-N static traces to dynamic instructions).
+std::vector<double> descending_cumulative_share(std::vector<std::uint64_t> weights);
+
+/// Percentage helper: safe 100*num/den with 0/0 -> 0.
+double percent(double num, double den) noexcept;
+
+}  // namespace itr::util

@@ -1,0 +1,50 @@
+// Fixed-width ASCII table and CSV emission for benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the corresponding paper table
+// or figure through this writer so output formatting is uniform and greppable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itr::util {
+
+/// Accumulates rows of strings and renders either an aligned ASCII table or
+/// CSV.  Cells are stored as text; use the `cell` helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a fresh row; subsequent add() calls fill it left to right.
+  Table& begin_row();
+  Table& add(std::string_view text);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+  /// Fixed-precision floating point cell.
+  Table& add(double v, int precision = 2);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `precision` digits after the decimal point.
+std::string format_double(double v, int precision = 2);
+
+/// Renders e.g. 12345678 as "12,345,678" for readable instruction counts.
+std::string with_thousands(std::uint64_t v);
+
+}  // namespace itr::util

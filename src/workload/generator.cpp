@@ -1,0 +1,183 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+#include "isa/builder.hpp"
+#include "sim/functional.hpp"
+#include "trace/trace_builder.hpp"
+#include "util/rng.hpp"
+
+namespace itr::workload {
+
+namespace {
+
+using isa::CodeBuilder;
+using isa::Opcode;
+
+// Register conventions for generated code (see generator.hpp).
+constexpr int kOuterCounter = 20;
+constexpr int kLoopCounter = 21;
+constexpr int kDataBase = 22;
+constexpr int kConstOne = 26;
+constexpr int kConstTwo = 27;
+constexpr int kCallScratch = 25;
+
+constexpr std::uint64_t kScratchBytes = 4096;
+
+/// Emits one filler (non-branch) instruction, deterministically chosen from
+/// the block's RNG stream.  Never touches reserved registers; memory
+/// accesses stay within the scratch array.
+void emit_filler(CodeBuilder& cb, util::Xoshiro256StarStar& rng, bool fp) {
+  const int ra = 8 + static_cast<int>(rng.below(8));
+  const int rb = 8 + static_cast<int>(rng.below(8));
+  const int rc = 8 + static_cast<int>(rng.below(8));
+  const auto disp = static_cast<std::int16_t>(rng.below(kScratchBytes / 8) * 8);
+
+  const std::uint64_t kind = rng.below(fp ? 14 : 10);
+  switch (kind) {
+    case 0: cb.emit(isa::make_rr(Opcode::kAdd, rc, ra, rb)); break;
+    case 1: cb.emit(isa::make_rr(Opcode::kSub, rc, ra, rb)); break;
+    case 2: cb.emit(isa::make_rr(Opcode::kXor, rc, ra, rb)); break;
+    case 3: cb.emit(isa::make_rr(Opcode::kAnd, rc, ra, rb)); break;
+    case 4:
+      cb.emit(isa::make_ri(Opcode::kAddi, rc, ra,
+                           static_cast<std::int16_t>(rng.below(255)) ));
+      break;
+    case 5:
+      cb.emit(isa::make_shift(Opcode::kSll, rc, ra,
+                              static_cast<int>(rng.below(31))));
+      break;
+    case 6: cb.emit(isa::make_rr(Opcode::kSlt, rc, ra, rb)); break;
+    case 7: cb.emit(isa::make_load(Opcode::kLw, rc, kDataBase, disp)); break;
+    case 8: cb.emit(isa::make_store(Opcode::kSw, ra, kDataBase, disp)); break;
+    case 9: cb.emit(isa::make_rr(Opcode::kMul, rc, ra, rb)); break;
+    // FP flavours (only drawn when fp == true).
+    case 10:
+    case 11:
+      cb.emit(isa::make_rr(kind == 10 ? Opcode::kFadd : Opcode::kFmul, rc, ra, rb));
+      break;
+    case 12: cb.emit(isa::make_load(Opcode::kLdf, rc, kDataBase, disp)); break;
+    case 13: cb.emit(isa::make_store(Opcode::kStf, ra, kDataBase, disp)); break;
+    default: cb.nop(); break;
+  }
+}
+
+/// Emits one loop function; returns nothing (labels bound internally).
+void emit_loop(CodeBuilder& cb, const LoopSpec& loop, bool fp,
+               std::uint64_t loop_seed) {
+  cb.li(kLoopCounter, static_cast<std::int32_t>(loop.iterations));
+  const isa::Label head = cb.new_label();
+  cb.bind(head);
+
+  const unsigned base_len = std::clamp(loop.trace_len, 3u, 16u);
+  for (unsigned b = 0; b < loop.traces; ++b) {
+    util::Xoshiro256StarStar rng(loop_seed * 1'000'003 + b);
+    // Vary block length around the nominal so trace start PCs cover all
+    // cache-set residues (uniform lengths would stride the index bits and
+    // waste most sets — an artifact real code does not have).
+    const unsigned jitter = static_cast<unsigned>(rng.below(6));  // 0..5
+    const unsigned block_len =
+        std::clamp(base_len + jitter, 5u, 18u) - 2u;  // base-2 .. base+3
+    const bool last = b + 1 == loop.traces;
+    const unsigned fillers = last ? block_len - 2 : block_len - 1;
+    for (unsigned i = 0; i < fillers; ++i) emit_filler(cb, rng, fp);
+    if (last) {
+      cb.emit(isa::make_ri(Opcode::kAddi, kLoopCounter, kLoopCounter, -1));
+      cb.branch1(Opcode::kBgtz, kLoopCounter, head);
+    } else if (rng.below(4) == 0) {
+      // Occasionally end the block with an unconditional jump to the next
+      // block (always taken, perfectly predictable once learned).
+      const isa::Label next = cb.new_label();
+      cb.jump(next);
+      cb.bind(next);
+    } else {
+      // Never-taken conditional branch falling through to the next block.
+      const isa::Label next = cb.new_label();
+      cb.branch2(Opcode::kBeq, kConstOne, kConstTwo, next);
+      cb.bind(next);
+    }
+  }
+  cb.emit(isa::make_jump_reg(Opcode::kJr, isa::kRegRa));
+}
+
+}  // namespace
+
+isa::Program generate_benchmark(const BenchmarkProfile& profile,
+                                std::uint64_t target_dynamic_instructions,
+                                std::uint64_t seed) {
+  CodeBuilder cb(profile.name);
+
+  const std::uint64_t footprint = std::max<std::uint64_t>(1, profile.schedule_footprint());
+  const std::uint64_t passes =
+      std::min<std::uint64_t>(2'000'000'000ULL / footprint + 1,
+                              target_dynamic_instructions / footprint + 2);
+
+  // Scratch data: pre-initialized so loads see non-trivial values.
+  const std::uint64_t scratch = cb.alloc_data(kScratchBytes);
+  (void)scratch;
+
+  // ---- Prologue. -------------------------------------------------------------
+  cb.li(kConstOne, 1);
+  cb.li(kConstTwo, 2);
+  cb.li(kDataBase, static_cast<std::int32_t>(isa::kDefaultDataBase));
+  // Seed integer scratch registers with distinct values.
+  for (int r = 8; r < 16; ++r) {
+    cb.li(r, static_cast<std::int32_t>(seed % 89) + r * 13 + 1);
+  }
+  if (profile.floating_point) {
+    for (int r = 8; r < 16; ++r) {
+      cb.emit(isa::make_ri(Opcode::kCvtIf, r, r, 0));  // f8..f15 = (double)r8..r15
+    }
+  }
+  cb.li(kOuterCounter, static_cast<std::int32_t>(std::min<std::uint64_t>(passes, 2'000'000'000ULL)));
+
+  // ---- Outer schedule. ---------------------------------------------------------
+  std::vector<isa::Label> loop_labels;
+  loop_labels.reserve(profile.loops.size());
+  for (std::size_t i = 0; i < profile.loops.size(); ++i) {
+    loop_labels.push_back(cb.new_label());
+  }
+
+  const isa::Label outer_head = cb.new_label();
+  cb.bind(outer_head);
+  for (const isa::Label& label : loop_labels) {
+    cb.call_far(label, kCallScratch);
+  }
+  cb.emit(isa::make_ri(Opcode::kAddi, kOuterCounter, kOuterCounter, -1));
+  cb.branch1(Opcode::kBgtz, kOuterCounter, outer_head);
+  cb.exit0();
+
+  // ---- Loop bodies. --------------------------------------------------------------
+  for (std::size_t i = 0; i < profile.loops.size(); ++i) {
+    cb.bind(loop_labels[i]);
+    emit_loop(cb, profile.loops[i], profile.floating_point, seed * 7919 + i);
+  }
+
+  return cb.finish();
+}
+
+isa::Program generate_spec(std::string_view name,
+                           std::uint64_t target_dynamic_instructions,
+                           std::uint64_t seed) {
+  return generate_benchmark(spec_profile(name), target_dynamic_instructions, seed);
+}
+
+std::vector<core::CompactTrace> collect_trace_stream(const isa::Program& prog,
+                                                     std::uint64_t max_instructions,
+                                                     unsigned max_trace_length) {
+  std::vector<core::CompactTrace> stream;
+  stream.reserve(static_cast<std::size_t>(max_instructions / 8));
+  trace::TraceBuilder builder(
+      [&stream](const trace::TraceRecord& rec) {
+        stream.push_back(core::CompactTrace{rec.start_pc, rec.num_instructions});
+      },
+      max_trace_length);
+  sim::FunctionalSim fsim(prog);
+  fsim.run(max_instructions, [&builder](const sim::FunctionalSim::Step& s) {
+    builder.on_instruction(s.pc, s.sig, s.index);
+  });
+  builder.flush();
+  return stream;
+}
+
+}  // namespace itr::workload

@@ -1,0 +1,50 @@
+// Turns a BenchmarkProfile into a real, runnable program for our ISA.
+//
+// Layout:
+//
+//   main:     constant/data-pointer setup
+//             li   r20, outer_passes
+//   outer:    call_far loop_0 ... call_far loop_{N-1}   (3 insns per call)
+//             addi r20, r20, -1 ; bgtz r20, outer
+//             exit trap
+//   loop_i:   li   r21, iterations_i
+//     head_i: block 0 ... block {T_i-1}                 (one ITR trace each)
+//             (last block decrements r21 and branches back to head_i)
+//             jr ra
+//
+// Every block is exactly one ITR trace: trace_len-1 deterministic filler
+// instructions (ALU / memory / FP mix, seeded per block) closed by a
+// branching instruction.  Registers r20-r27 and r31 are reserved for
+// control; filler uses r8-r15 / f8-f15 and a scratch data array.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "itr/coverage.hpp"
+#include "trace/trace_builder.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr::workload {
+
+/// Generates the program for `profile`, sized so that a full run executes at
+/// least `target_dynamic_instructions` (the run can always be truncated by
+/// the simulator's instruction budget).
+isa::Program generate_benchmark(const BenchmarkProfile& profile,
+                                std::uint64_t target_dynamic_instructions,
+                                std::uint64_t seed = 42);
+
+/// Convenience: profile lookup + generation.
+isa::Program generate_spec(std::string_view name,
+                           std::uint64_t target_dynamic_instructions,
+                           std::uint64_t seed = 42);
+
+/// Runs `prog` functionally for up to `max_instructions` and returns its
+/// compact trace stream for coverage replay (Figures 6-7 sweeps).
+std::vector<core::CompactTrace> collect_trace_stream(
+    const isa::Program& prog, std::uint64_t max_instructions,
+    unsigned max_trace_length = trace::kMaxTraceLength);
+
+}  // namespace itr::workload

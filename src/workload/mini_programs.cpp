@@ -1,0 +1,225 @@
+#include "workload/mini_programs.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "isa/assembler.hpp"
+
+namespace itr::workload {
+namespace {
+
+struct MiniProgram {
+  std::string_view source;
+  std::string_view expected_output;
+};
+
+// trap codes: 0 = exit(a0), 1 = print_int(a0), 2 = print_char(a0),
+//             3 = print_fp(f12)
+
+constexpr std::string_view kSumLoop = R"(
+# Sum of 1..100.
+main:
+  li r1, 100
+  li r2, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bgtz r1, loop
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0
+)";
+
+constexpr std::string_view kFibonacci = R"(
+# Iterative fib(20) = 6765.
+main:
+  li r1, 20
+  li r2, 0
+  li r3, 1
+loop:
+  add r4, r2, r3
+  mv r2, r3
+  mv r3, r4
+  addi r1, r1, -1
+  bgtz r1, loop
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0
+)";
+
+constexpr std::string_view kBubbleSort = R"(
+# In-place bubble sort of eight words, then print them.
+main:
+  la r10, arr
+  li r1, 7
+outer:
+  li r2, 0
+  mv r6, r10
+inner:
+  lw r3, 0(r6)
+  lw r4, 4(r6)
+  slt r5, r4, r3
+  beq r5, r0, noswap
+  sw r4, 0(r6)
+  sw r3, 4(r6)
+noswap:
+  addi r6, r6, 4
+  addi r2, r2, 1
+  slt r5, r2, r1
+  bne r5, r0, inner
+  addi r1, r1, -1
+  bgtz r1, outer
+  mv r6, r10
+  li r2, 8
+print:
+  lw a0, 0(r6)
+  trap 1
+  li a0, 32
+  trap 2
+  addi r6, r6, 4
+  addi r2, r2, -1
+  bgtz r2, print
+  li a0, 0
+  trap 0
+.data
+arr: .word 42, 7, 19, 3, 88, 23, 5, 61
+)";
+
+constexpr std::string_view kMatmul = R"(
+# 4x4 double matrix multiply, C = A * B with B = 2*I; prints C[0][0], C[3][3].
+main:
+  la r10, A
+  la r11, B
+  la r12, C
+  li r1, 0
+iloop:
+  li r2, 0
+jloop:
+  li r3, 0
+  cvt.if f1, r0
+kloop:
+  sll r4, r1, 5
+  sll r5, r3, 3
+  add r4, r4, r5
+  add r4, r4, r10
+  ldf f2, 0(r4)
+  sll r4, r3, 5
+  sll r5, r2, 3
+  add r4, r4, r5
+  add r4, r4, r11
+  ldf f3, 0(r4)
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r3, r3, 1
+  slti r5, r3, 4
+  bne r5, r0, kloop
+  sll r4, r1, 5
+  sll r5, r2, 3
+  add r4, r4, r5
+  add r4, r4, r12
+  stf f1, 0(r4)
+  addi r2, r2, 1
+  slti r5, r2, 4
+  bne r5, r0, jloop
+  addi r1, r1, 1
+  slti r5, r1, 4
+  bne r5, r0, iloop
+  ldf f12, 0(r12)
+  trap 3
+  li a0, 32
+  trap 2
+  addi r4, r12, 120
+  ldf f12, 0(r4)
+  trap 3
+  li a0, 0
+  trap 0
+.data
+A: .double 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6, 4, 5, 6, 7
+B: .double 2, 0, 0, 0, 0, 2, 0, 0, 0, 0, 2, 0, 0, 0, 0, 2
+C: .space 128
+)";
+
+constexpr std::string_view kChecksum = R"(
+# Sum of squares 1..10 = 385.
+main:
+  li r1, 10
+  li r2, 0
+loop:
+  mul r3, r1, r1
+  add r2, r2, r3
+  addi r1, r1, -1
+  bgtz r1, loop
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0
+)";
+
+constexpr std::string_view kStringCount = R"(
+# Count array elements smaller than 50.
+main:
+  la r10, arr
+  li r1, 12
+  li r2, 0
+loop:
+  lw r3, 0(r10)
+  slti r4, r3, 50
+  add r2, r2, r4
+  addi r10, r10, 4
+  addi r1, r1, -1
+  bgtz r1, loop
+  mv a0, r2
+  trap 1
+  li a0, 0
+  trap 0
+.data
+arr: .word 10, 60, 20, 70, 30, 80, 40, 90, 5, 95, 45, 55
+)";
+
+const std::map<std::string_view, MiniProgram>& programs() {
+  static const std::map<std::string_view, MiniProgram> m = {
+      {"sum_loop", {kSumLoop, "5050"}},
+      {"fibonacci", {kFibonacci, "6765"}},
+      {"bubble_sort", {kBubbleSort, "3 5 7 19 23 42 61 88 "}},
+      {"matmul", {kMatmul, "2.000000 14.000000"}},
+      {"checksum", {kChecksum, "385"}},
+      {"string_count", {kStringCount, "6"}},
+  };
+  return m;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& mini_program_names() {
+  static const std::vector<std::string_view> names = [] {
+    std::vector<std::string_view> out;
+    for (const auto& [name, prog] : programs()) {
+      (void)prog;
+      out.push_back(name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+isa::Program mini_program(std::string_view name) {
+  const auto& m = programs();
+  const auto it = m.find(name);
+  if (it == m.end()) {
+    throw std::invalid_argument("unknown mini program '" + std::string(name) + "'");
+  }
+  return isa::assemble(it->second.source, std::string(name));
+}
+
+std::string_view mini_program_expected_output(std::string_view name) {
+  const auto& m = programs();
+  const auto it = m.find(name);
+  if (it == m.end()) {
+    throw std::invalid_argument("unknown mini program '" + std::string(name) + "'");
+  }
+  return it->second.expected_output;
+}
+
+}  // namespace itr::workload

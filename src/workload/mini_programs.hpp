@@ -1,0 +1,24 @@
+// Small hand-written assembly kernels: realistic little programs used by the
+// examples, the integration tests, and as self-checks for the ISA/assembler/
+// simulator stack (each prints a verifiable result).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace itr::workload {
+
+/// Names: "sum_loop", "fibonacci", "bubble_sort", "matmul", "string_count",
+/// "checksum".
+const std::vector<std::string_view>& mini_program_names();
+
+/// Assembles and returns the named mini program; throws std::invalid_argument
+/// for unknown names.
+isa::Program mini_program(std::string_view name);
+
+/// The expected trap output of the named mini program (for self-checks).
+std::string_view mini_program_expected_output(std::string_view name);
+
+}  // namespace itr::workload

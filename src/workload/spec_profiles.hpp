@@ -1,0 +1,75 @@
+// Synthetic stand-ins for the SPEC2K benchmarks of the paper.
+//
+// We cannot run SPEC2K binaries (proprietary suite, SimpleScalar PISA
+// toolchain).  Every ITR result in the paper, however, is a function of the
+// benchmark's *trace-repetition structure*: how many static traces exist
+// (Table 1), how dynamic execution concentrates on hot traces (Figures 1-2),
+// and at what dynamic distance traces repeat (Figures 3-4).  Each profile
+// below composes a benchmark from weighted loop nests that reproduce those
+// three characteristics; the generator (generator.hpp) turns a profile into
+// a real executable program for our ISA.
+//
+// Calibration targets, straight from the paper:
+//   * Table 1 static-trace counts (bzip 283 ... gcc 24017, wupwise 18).
+//   * Integer benchmarks: >=85% of dynamic instructions from traces
+//     repeating within 5000 instructions (except perl, vortex); bzip, gzip,
+//     vpr, parser within ~1000.
+//   * FP benchmarks: nearly all within 1500 (except apsi).
+//   * perl/vortex: substantial weight at distances 2000-10000+ -> the high
+//     coverage-loss outliers of Figures 6-7.
+//   * gcc: huge static population but decent proximity -> moderate loss.
+//   * mgrid: many traces (798) yet negligible loss (excellent proximity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itr::workload {
+
+/// One loop nest: `traces` distinct trace-sized blocks executed round-robin
+/// for `iterations` passes each time the loop is entered.
+struct LoopSpec {
+  unsigned traces = 8;        ///< working-set size in static traces
+  unsigned trace_len = 8;     ///< instructions per trace (2..16, incl. branch)
+  unsigned iterations = 100;  ///< passes over the working set per entry
+};
+
+struct BenchmarkProfile {
+  std::string name;
+  bool floating_point = false;
+  /// Loops executed in sequence; the whole schedule repeats until the
+  /// generator's target dynamic instruction count is reached.  Re-entry of a
+  /// loop across schedule passes is what creates far-apart repetition.
+  std::vector<LoopSpec> loops;
+
+  /// Static traces contributed by the loop bodies (excludes driver glue).
+  std::uint64_t body_static_traces() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : loops) n += l.traces;
+    return n;
+  }
+  /// Dynamic instructions of one full schedule pass.
+  std::uint64_t schedule_footprint() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : loops) {
+      n += static_cast<std::uint64_t>(l.traces) * l.trace_len * l.iterations;
+    }
+    return n;
+  }
+};
+
+/// Profile for one of the paper's 16 SPEC2K benchmarks; throws
+/// std::invalid_argument for unknown names.
+const BenchmarkProfile& spec_profile(std::string_view name);
+
+/// The paper's benchmark lists, in its plotting order.
+const std::vector<std::string>& spec_int_names();   ///< 9 SPECint
+const std::vector<std::string>& spec_fp_names();    ///< 7 SPECfp
+const std::vector<std::string>& spec_all_names();   ///< int then fp
+/// The 11 benchmarks shown in Figures 6-8 (bzip/gzip/art/mgrid/wupwise are
+/// omitted there for negligible loss).
+const std::vector<std::string>& coverage_figure_names();
+
+}  // namespace itr::workload

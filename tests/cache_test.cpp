@@ -1,0 +1,220 @@
+// Unit tests for the generic set-associative cache model.
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hpp"
+
+namespace itr::cache {
+namespace {
+
+CacheConfig cfg(std::size_t entries, std::size_t assoc,
+                Replacement repl = Replacement::kLru) {
+  CacheConfig c;
+  c.num_entries = entries;
+  c.associativity = assoc;
+  c.key_shift = 3;
+  c.replacement = repl;
+  return c;
+}
+
+std::uint64_t key_for_set(const SetAssocCache<int>& c, std::size_t set, std::size_t n) {
+  // Keys that map to `set`: (key >> 3) % num_sets == set.
+  return (static_cast<std::uint64_t>(n) * c.num_sets() + set) << 3;
+}
+
+TEST(SetAssocCache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache<int>(cfg(0, 1)), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache<int>(cfg(100, 1)), std::invalid_argument);  // not pow2
+  EXPECT_THROW(SetAssocCache<int>(cfg(8, 3)), std::invalid_argument);    // 8 % 3 != 0
+  EXPECT_THROW(SetAssocCache<int>(cfg(4, 8)), std::invalid_argument);    // ways > entries
+}
+
+TEST(SetAssocCache, GeometryDerivation) {
+  SetAssocCache<int> c(cfg(1024, 2));
+  EXPECT_EQ(c.ways(), 2u);
+  EXPECT_EQ(c.num_sets(), 512u);
+  SetAssocCache<int> fa(cfg(256, 0));
+  EXPECT_EQ(fa.ways(), 256u);
+  EXPECT_EQ(fa.num_sets(), 1u);
+}
+
+TEST(SetAssocCache, InsertLookupHit) {
+  SetAssocCache<int> c(cfg(16, 2));
+  EXPECT_EQ(c.lookup(0x100), nullptr);
+  c.insert(0x100, 42);
+  int* v = c.lookup(0x100);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().lookups, 2u);
+}
+
+TEST(SetAssocCache, InsertOverwritesExistingKey) {
+  SetAssocCache<int> c(cfg(16, 2));
+  c.insert(0x100, 1);
+  const auto evicted = c.insert(0x100, 2);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(*c.lookup(0x100), 2);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache<int> c(cfg(4, 2));  // 2 sets x 2 ways
+  const auto k0 = key_for_set(c, 0, 0);
+  const auto k1 = key_for_set(c, 0, 1);
+  const auto k2 = key_for_set(c, 0, 2);
+  c.insert(k0, 0);
+  c.insert(k1, 1);
+  c.lookup(k0);  // k0 now MRU; k1 is LRU
+  const auto evicted = c.insert(k2, 2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, k1);
+  EXPECT_TRUE(c.contains(k0));
+  EXPECT_TRUE(c.contains(k2));
+}
+
+TEST(SetAssocCache, PeekDoesNotTouchLruOrStats) {
+  SetAssocCache<int> c(cfg(4, 2));
+  const auto k0 = key_for_set(c, 0, 0);
+  const auto k1 = key_for_set(c, 0, 1);
+  const auto k2 = key_for_set(c, 0, 2);
+  c.insert(k0, 0);
+  c.insert(k1, 1);
+  const auto lookups_before = c.stats().lookups;
+  EXPECT_NE(c.peek(k0), nullptr);  // does NOT refresh k0
+  EXPECT_EQ(c.stats().lookups, lookups_before);
+  const auto evicted = c.insert(k2, 2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, k0);  // k0 still LRU despite the peek
+}
+
+TEST(SetAssocCache, SetIsolation) {
+  SetAssocCache<int> c(cfg(8, 2));  // 4 sets
+  // Fill set 0 beyond capacity; set 1 must be unaffected.
+  const auto s1 = key_for_set(c, 1, 0);
+  c.insert(s1, 99);
+  for (std::size_t n = 0; n < 10; ++n) c.insert(key_for_set(c, 0, n), static_cast<int>(n));
+  EXPECT_TRUE(c.contains(s1));
+}
+
+TEST(SetAssocCache, FullyAssociativeUsesAllEntries) {
+  SetAssocCache<int> c(cfg(8, 0));
+  for (std::size_t n = 0; n < 8; ++n) c.insert(n << 3, static_cast<int>(n));
+  EXPECT_EQ(c.occupancy(), 8u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  c.insert(99 << 3, 99);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_FALSE(c.contains(0));  // key 0 was LRU
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine) {
+  SetAssocCache<int> c(cfg(16, 2));
+  c.insert(0x100, 1);
+  EXPECT_TRUE(c.invalidate(0x100));
+  EXPECT_FALSE(c.contains(0x100));
+  EXPECT_FALSE(c.invalidate(0x100));
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(SetAssocCache, FlagRoundTrip) {
+  SetAssocCache<int> c(cfg(16, 2));
+  c.insert(0x100, 1, /*flag=*/false);
+  EXPECT_EQ(c.get_flag(0x100), std::optional<bool>(false));
+  EXPECT_TRUE(c.set_flag(0x100, true));
+  EXPECT_EQ(c.get_flag(0x100), std::optional<bool>(true));
+  EXPECT_FALSE(c.set_flag(0x999, true));
+  EXPECT_EQ(c.get_flag(0x999), std::nullopt);
+}
+
+TEST(SetAssocCache, PreferFlaggedLruEvictsCheckedFirst) {
+  SetAssocCache<int> c(cfg(4, 2, Replacement::kPreferFlaggedLru));
+  const auto k0 = key_for_set(c, 0, 0);
+  const auto k1 = key_for_set(c, 0, 1);
+  const auto k2 = key_for_set(c, 0, 2);
+  c.insert(k0, 0, /*flag=*/false);  // unchecked
+  c.insert(k1, 1, /*flag=*/true);   // checked
+  c.lookup(k1);                     // k1 is MRU *and* flagged
+  const auto evicted = c.insert(k2, 2);
+  ASSERT_TRUE(evicted.has_value());
+  // Plain LRU would evict k0; the checked-first policy sacrifices k1.
+  EXPECT_EQ(evicted->key, k1);
+  EXPECT_TRUE(c.contains(k0));
+}
+
+TEST(SetAssocCache, PreferFlaggedFallsBackToLru) {
+  SetAssocCache<int> c(cfg(4, 2, Replacement::kPreferFlaggedLru));
+  const auto k0 = key_for_set(c, 0, 0);
+  const auto k1 = key_for_set(c, 0, 1);
+  const auto k2 = key_for_set(c, 0, 2);
+  c.insert(k0, 0, false);
+  c.insert(k1, 1, false);
+  c.lookup(k0);
+  const auto evicted = c.insert(k2, 2);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->key, k1);  // no flagged line: plain LRU
+}
+
+TEST(SetAssocCache, ForEachVisitsAllValidLines) {
+  SetAssocCache<int> c(cfg(16, 4));
+  c.insert(8, 1);
+  c.insert(16, 2, true);
+  c.invalidate(8);
+  int count = 0;
+  c.for_each([&](std::uint64_t key, const int& payload, bool flag) {
+    EXPECT_EQ(key, 16u);
+    EXPECT_EQ(payload, 2);
+    EXPECT_TRUE(flag);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SetAssocCache, ClearEmptiesEverything) {
+  SetAssocCache<int> c(cfg(16, 2));
+  for (std::uint64_t k = 0; k < 10; ++k) c.insert(k << 3, 1);
+  c.clear();
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(SetAssocCache, HitRate) {
+  SetAssocCache<int> c(cfg(16, 2));
+  c.insert(8, 1);
+  c.lookup(8);
+  c.lookup(16);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+// Property-style sweep: for every geometry, a working set that fits is fully
+// retained by LRU after a warm-up pass.
+struct CacheGeometryTest
+    : ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CacheGeometryTest, FittingWorkingSetNeverMissesAfterWarmup) {
+  const auto [entries, assoc] = GetParam();
+  SetAssocCache<int> c(cfg(entries, assoc));
+  // A contiguous run of 8-byte-strided keys spreads perfectly across sets.
+  const std::size_t n = entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c.lookup(i << 3) == nullptr) c.insert(i << 3, static_cast<int>(i));
+  }
+  const auto misses_before = c.stats().misses;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NE(c.lookup(i << 3), nullptr) << "entries=" << entries;
+    }
+  }
+  EXPECT_EQ(c.stats().misses, misses_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{256, 1},
+                      std::pair<std::size_t, std::size_t>{256, 2},
+                      std::pair<std::size_t, std::size_t>{256, 4},
+                      std::pair<std::size_t, std::size_t>{512, 8},
+                      std::pair<std::size_t, std::size_t>{1024, 16},
+                      std::pair<std::size_t, std::size_t>{256, 0},
+                      std::pair<std::size_t, std::size_t>{1024, 0}));
+
+}  // namespace
+}  // namespace itr::cache

@@ -1,0 +1,253 @@
+// Edge cases across modules: configuration boundaries, protocol corner
+// states, and failure paths not exercised by the main suites.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "isa/builder.hpp"
+#include "itr/itr_unit.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr {
+namespace {
+
+using isa::Opcode;
+
+// ---- Builder corner cases. ------------------------------------------------------
+
+TEST(BuilderEdge, FarCallRoundTrip) {
+  isa::CodeBuilder cb("far");
+  const auto fn = cb.new_label();
+  cb.call_far(fn, 25);
+  cb.emit(isa::make_rr(Opcode::kOr, 2, 9, 0));  // v0 = result
+  cb.li(isa::kRegA0, 0);
+  cb.trap(isa::TrapCode::kExit);
+  // Pad so the callee sits beyond the +-32K-word conditional-branch range.
+  for (int i = 0; i < 40'000; ++i) cb.nop();
+  cb.bind(fn);
+  cb.li(9, 77);
+  cb.emit(isa::make_jump_reg(Opcode::kJr, isa::kRegRa));
+  const auto prog = cb.finish();
+
+  sim::FunctionalSim fsim(prog);
+  fsim.run(100);
+  EXPECT_TRUE(fsim.done());
+  EXPECT_EQ(fsim.state().ireg(2), 77u);
+}
+
+TEST(BuilderEdge, BranchOutOfRangeThrows) {
+  isa::CodeBuilder cb("range");
+  const auto target = cb.new_label();
+  cb.jump(target);
+  for (int i = 0; i < 40'000; ++i) cb.nop();
+  cb.bind(target);
+  cb.exit0();
+  EXPECT_THROW(cb.finish(), std::logic_error);
+}
+
+TEST(BuilderEdge, DoubleFinishThrows) {
+  isa::CodeBuilder cb("x");
+  cb.exit0();
+  (void)cb.finish();
+  EXPECT_THROW(cb.finish(), std::logic_error);
+}
+
+TEST(BuilderEdge, DoubleBindThrows) {
+  isa::CodeBuilder cb("x");
+  const auto l = cb.new_label();
+  cb.bind(l);
+  EXPECT_THROW(cb.bind(l), std::logic_error);
+}
+
+// ---- Assembler failure paths. -----------------------------------------------------
+
+TEST(AssemblerEdge, ImmediateOutOfRange) {
+  EXPECT_THROW(isa::assemble("main:\n addi r1, r0, 70000\n"), isa::AssemblerError);
+}
+
+TEST(AssemblerEdge, ShiftAmountOutOfRange) {
+  EXPECT_THROW(isa::assemble("main:\n sll r1, r2, 32\n"), isa::AssemblerError);
+}
+
+TEST(AssemblerEdge, MalformedMemoryOperand) {
+  EXPECT_THROW(isa::assemble("main:\n lw r1, r2\n"), isa::AssemblerError);
+  EXPECT_THROW(isa::assemble("main:\n lw r1, 4(r2\n"), isa::AssemblerError);
+}
+
+TEST(AssemblerEdge, BadRegisterName) {
+  EXPECT_THROW(isa::assemble("main:\n add r1, r2, r32\n"), isa::AssemblerError);
+  EXPECT_THROW(isa::assemble("main:\n add r1, r2, x5\n"), isa::AssemblerError);
+}
+
+TEST(AssemblerEdge, HexImmediatesAndComments) {
+  const auto prog = isa::assemble(
+      "main:            ; semicolon comment\n"
+      "  ori r1, r0, 0x7f   # hash comment\n"
+      "  trap 0\n");
+  const auto inst = isa::decode_fields(prog.code[0]);
+  EXPECT_EQ(inst.imm, 0x7f);
+}
+
+TEST(AssemblerEdge, EmptySourceProducesEmptyProgram) {
+  const auto prog = isa::assemble("");
+  EXPECT_TRUE(prog.code.empty());
+}
+
+// ---- ItrUnit protocol corners. -------------------------------------------------------
+
+TEST(ItrUnitEdge, PollWithoutDispatchIsProceed) {
+  core::ItrUnit unit(core::ItrCacheConfig{});
+  EXPECT_EQ(unit.poll_at_commit(5).action, core::CommitAction::kProceed);
+}
+
+TEST(ItrUnitEdge, ResolveRetryWithoutRetryIsProceed) {
+  core::ItrUnit unit(core::ItrCacheConfig{});
+  trace::TraceRecord rec;
+  EXPECT_EQ(unit.resolve_retry(rec), core::CommitAction::kProceed);
+}
+
+TEST(ItrUnitEdge, FinishDrainsPendingInstalls) {
+  core::ItrCacheConfig cfg;
+  cfg.num_signatures = 16;
+  core::ItrUnit unit(cfg);
+  const auto add = isa::decode(isa::make_rr(Opcode::kAdd, 1, 2, 3));
+  const auto jmp = isa::decode(isa::make_jump(Opcode::kJ, -1));
+  unit.on_decode(0x100, add, 0, 1);
+  unit.on_decode(0x108, jmp, 1, 1);
+  unit.poll_at_commit(100);  // deferred install at cycle 100
+  unit.finish();             // must land even though no later dispatch ran
+  EXPECT_EQ(unit.cache().line_status(0x100),
+            core::ItrCache::LineStatus::kUnreferenced);
+}
+
+TEST(ItrUnitEdge, SixteenInstructionTraceRoundTrip) {
+  core::ItrUnit unit(core::ItrCacheConfig{});
+  const auto add = isa::decode(isa::make_rr(Opcode::kAdd, 1, 2, 3));
+  std::optional<trace::TraceRecord> completed;
+  for (unsigned i = 0; i < 16; ++i) {
+    completed = unit.on_decode(0x100 + i * 8, add, i, 1);
+  }
+  ASSERT_TRUE(completed.has_value());  // hit the 16-instruction limit
+  EXPECT_EQ(completed->num_instructions, 16u);
+  EXPECT_FALSE(completed->ended_on_branch);
+}
+
+// ---- Pipeline configuration corners. ---------------------------------------------------
+
+TEST(PipelineEdge, SingleWideMachineStillCorrect) {
+  const auto prog = workload::mini_program("fibonacci");
+  sim::CycleSim::Options opt;
+  opt.config.fetch_width = 1;
+  opt.config.issue_width = 1;
+  opt.config.commit_width = 1;
+  opt.config.rob_size = 8;
+  opt.itr = core::ItrCacheConfig{};
+  sim::CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), sim::RunTermination::kExited);
+  EXPECT_EQ(cs.output(), "6765");
+  EXPECT_LE(cs.stats().ipc(), 1.0 + 1e-9);
+}
+
+TEST(PipelineEdge, TinyItrCacheStillProtects) {
+  const auto prog = workload::mini_program("sum_loop");
+  sim::CycleSim::Options opt;
+  core::ItrCacheConfig cfg;
+  cfg.num_signatures = 4;
+  cfg.associativity = 2;
+  opt.itr = cfg;
+  opt.itr_recovery = true;
+  opt.fault.enabled = true;
+  opt.fault.target_decode_index = 150;
+  opt.fault.bit = 27;
+  sim::CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), sim::RunTermination::kExited);
+  EXPECT_EQ(cs.output(), "5050");
+}
+
+TEST(PipelineEdge, ShortWatchdogFiresOnDeadlock) {
+  const auto prog = workload::mini_program("sum_loop");
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.config.watchdog_cycles = 500;
+  opt.fault.enabled = true;
+  opt.fault.target_decode_index = 150;
+  opt.fault.bit = 59;  // phantom operand
+  sim::CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), sim::RunTermination::kDeadlock);
+  EXPECT_GT(cs.watchdog_cycle(), 0u);
+}
+
+TEST(PipelineEdge, FaultBeyondProgramEndNeverFires) {
+  const auto prog = workload::mini_program("sum_loop");
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.fault.enabled = true;
+  opt.fault.target_decode_index = 10'000'000;  // program is ~500 instructions
+  opt.fault.bit = 5;
+  sim::CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), sim::RunTermination::kExited);
+  EXPECT_FALSE(cs.fault_was_injected());
+  EXPECT_EQ(cs.output(), "5050");
+}
+
+TEST(PipelineEdge, ZeroLengthObservationWindow) {
+  const auto prog = workload::generate_spec("swim", 100'000);
+  sim::CycleSim::Options opt;
+  opt.max_cycles = 0;
+  sim::CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), sim::RunTermination::kCycleLimit);
+}
+
+// ---- Table rendering corners. -------------------------------------------------------
+
+TEST(TableEdge, ShortRowsPadWithEmptyCells) {
+  util::Table t({"a", "b", "c"});
+  t.begin_row().add("only-one");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableEdge, AtThrowsOutOfRange) {
+  util::Table t({"a"});
+  t.begin_row().add("x");
+  EXPECT_THROW((void)t.at(1, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 5), std::out_of_range);
+}
+
+// ---- Workload generator corners. ------------------------------------------------------
+
+TEST(GeneratorEdge, SingleLoopSingleTraceProfile) {
+  workload::BenchmarkProfile p;
+  p.name = "minimal";
+  p.loops = {{1, 3, 10}};
+  const auto prog = workload::generate_benchmark(p, 1'000);
+  sim::FunctionalSim fsim(prog);
+  fsim.run(100'000);
+  EXPECT_TRUE(fsim.done());
+  EXPECT_FALSE(fsim.aborted());
+}
+
+TEST(GeneratorEdge, TraceLengthClampedToIsaLimit) {
+  workload::BenchmarkProfile p;
+  p.name = "clamped";
+  p.loops = {{4, 100, 5}};  // absurd requested length
+  const auto prog = workload::generate_benchmark(p, 1'000);
+  const auto stream = workload::collect_trace_stream(prog, 5'000);
+  for (const auto& t : stream) {
+    EXPECT_LE(t.num_instructions, trace::kMaxTraceLength);
+  }
+}
+
+}  // namespace
+}  // namespace itr

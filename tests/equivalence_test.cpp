@@ -1,0 +1,238 @@
+// Cross-model equivalence and fault-classification property tests.
+//
+//  * The cycle-level simulator's fault-free commit stream must be
+//    architecturally identical to the functional simulator's step stream on
+//    every synthetic benchmark.
+//  * Classification invariants hold across random fault sweeps.
+//  * The L1 timing models behave like caches.
+#include <gtest/gtest.h>
+
+#include "fi/classify.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr::sim {
+namespace {
+
+struct BenchmarkEquivalence : ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkEquivalence, CycleSimMatchesFunctionalSim) {
+  const auto prog = workload::generate_spec(GetParam(), 200'000);
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  CycleSim cs(prog, std::move(opt));
+  FunctionalSim golden(prog);
+
+  std::uint64_t compared = 0;
+  const std::uint64_t budget = 60'000;
+  while (compared < budget) {
+    if (!cs.advance()) break;
+    while (auto crec = cs.next_commit()) {
+      ASSERT_FALSE(golden.done());
+      const auto g = golden.step();
+      ASSERT_EQ(crec->pc, g.pc) << "at commit " << compared;
+      ASSERT_EQ(crec->next_pc, g.fx.next_pc) << "at commit " << compared;
+      ASSERT_EQ(crec->wrote_int, g.fx.wrote_int);
+      ASSERT_EQ(crec->int_value, g.fx.int_value);
+      ASSERT_EQ(crec->wrote_fp, g.fx.wrote_fp);
+      ASSERT_EQ(crec->did_store, g.fx.did_store);
+      ASSERT_EQ(crec->mem_addr, g.fx.mem_addr);
+      ASSERT_FALSE(crec->spc_fired) << "spurious spc at commit " << compared;
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 50'000u) << "simulation ended early";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkEquivalence,
+                         ::testing::ValuesIn(workload::spec_all_names()),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+TEST(FaultFreeItr, NoMismatchesOnLongRuns) {
+  for (const char* name : {"gcc", "vortex", "mgrid"}) {
+    const auto prog = workload::generate_spec(name, 300'000);
+    CycleSim::Options opt;
+    opt.itr = core::ItrCacheConfig{};
+    opt.itr_recovery = true;  // recovery path must also stay quiet
+    CycleSim cs(prog, std::move(opt));
+    cs.run(150'000);
+    EXPECT_EQ(cs.itr_unit()->stats().signature_mismatches, 0u) << name;
+    EXPECT_EQ(cs.itr_unit()->stats().retries, 0u) << name;
+    EXPECT_EQ(cs.stats().spc_checks_fired, 0u) << name;
+    EXPECT_EQ(cs.stats().watchdog_fires, 0u) << name;
+  }
+}
+
+// ---- Fault-classification properties over a random sweep. -------------------
+
+TEST(FaultProperties, ClassificationInvariants) {
+  const auto prog = workload::generate_spec("twolf", 600'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 25'000;
+  cfg.warmup_instructions = 10'000;
+  cfg.inject_region = 100'000;
+  cfg.detected_mask_grace_cycles = 6'000;
+  fi::FaultInjectionCampaign camp(prog, cfg);
+
+  util::Xoshiro256StarStar rng(99);
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t index = 10'000 + rng.below(100'000);
+    const unsigned bit = static_cast<unsigned>(rng.below(64));
+    const auto r = camp.run_one(index, bit);
+
+    // The flipped bit is attributed to a real Table 2 field.
+    EXPECT_STRNE(r.field, "<none>");
+    // Outcome-flag consistency.
+    switch (r.outcome) {
+      case fi::Outcome::kItrMask:
+        EXPECT_TRUE(r.detected);
+        EXPECT_FALSE(r.sdc);
+        break;
+      case fi::Outcome::kItrSdcR:
+        EXPECT_TRUE(r.detected && r.sdc && r.recoverable);
+        break;
+      case fi::Outcome::kItrSdcD:
+        EXPECT_TRUE(r.detected && r.sdc);
+        EXPECT_FALSE(r.recoverable);
+        break;
+      case fi::Outcome::kItrWdogR:
+        EXPECT_TRUE(r.detected && r.deadlock);
+        break;
+      case fi::Outcome::kUndetWdog:
+        EXPECT_TRUE(r.deadlock);
+        EXPECT_FALSE(r.detected);
+        break;
+      case fi::Outcome::kSpcSdc:
+        EXPECT_TRUE(r.spc && r.sdc);
+        EXPECT_FALSE(r.detected);
+        break;
+      case fi::Outcome::kMayItrSdc:
+      case fi::Outcome::kMayItrMask:
+      case fi::Outcome::kUndetSdc:
+      case fi::Outcome::kUndetMask:
+        EXPECT_FALSE(r.detected);
+        break;
+      case fi::Outcome::kOutcomeCount:
+        FAIL();
+    }
+  }
+}
+
+TEST(FaultProperties, LatFieldNeverCorruptsArchitecture) {
+  // The lat signal only affects scheduling: any lat-bit flip must be
+  // detected (the signature covers it) and never produce SDC.
+  const auto prog = workload::generate_spec("gap", 400'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 20'000;
+  fi::FaultInjectionCampaign camp(prog, cfg);
+  for (const std::uint64_t index : {60'000ULL, 80'000ULL, 100'000ULL}) {
+    for (const unsigned bit : {40u, 41u}) {
+      const auto r = camp.run_one(index, bit);
+      EXPECT_FALSE(r.sdc) << "index " << index << " bit " << bit;
+      EXPECT_NE(r.outcome, fi::Outcome::kItrSdcR);
+      EXPECT_NE(r.outcome, fi::Outcome::kUndetSdc);
+    }
+  }
+}
+
+TEST(FaultProperties, RecoveryNeverProducesWrongCleanExit) {
+  // With recovery enabled, a run that terminates as a CLEAN EXIT after a
+  // *detected-and-recovered* fault must match the golden commit stream.
+  // A small hot workload that runs to completion quickly, so clean exits are
+  // observable; faults land in cached (hence recoverable) trace instances.
+  workload::BenchmarkProfile profile;
+  profile.name = "recovery-stress";
+  profile.loops = {{24, 8, 150}};
+  const auto prog = workload::generate_benchmark(profile, 60'000);
+  util::Xoshiro256StarStar rng(7);
+  int recovered_runs = 0;
+  for (int i = 0; i < 25; ++i) {
+    CycleSim::Options opt;
+    opt.itr = core::ItrCacheConfig{};
+    opt.itr_recovery = true;
+    opt.fault.enabled = true;
+    opt.fault.target_decode_index = 10'000 + rng.below(40'000);
+    opt.fault.bit = static_cast<unsigned>(rng.below(64));
+    CycleSim cs(prog, std::move(opt));
+    FunctionalSim golden(prog);
+    bool recovered = false;
+    bool diverged = false;
+    std::uint64_t commits = 0;
+    while (commits < 400'000) {
+      const bool alive = cs.advance();
+      while (auto ev = cs.next_itr_event()) {
+        recovered |= ev->kind == ItrEvent::Kind::kRecovered;
+      }
+      while (auto crec = cs.next_commit()) {
+        if (golden.done()) break;
+        const auto g = golden.step();
+        if (crec->pc != g.pc || crec->int_value != g.fx.int_value ||
+            crec->store_value != g.fx.store_value) {
+          diverged = true;
+        }
+        ++commits;
+      }
+      if (!alive) break;
+    }
+    if (recovered && cs.termination() == RunTermination::kExited) {
+      ++recovered_runs;
+      EXPECT_FALSE(diverged) << "recovered run diverged from golden";
+    }
+  }
+  EXPECT_GT(recovered_runs, 5);  // the sweep must actually exercise recovery
+}
+
+// ---- L1 timing models. -------------------------------------------------------
+
+TEST(L1Models, IcacheMissesOncePerLineOnSequentialCode) {
+  const auto prog = workload::generate_spec("swim", 200'000);
+  CycleSim::Options opt;
+  CycleSim cs(prog, std::move(opt));
+  cs.run(100'000);
+  const auto& s = cs.stats();
+  // swim's footprint is tiny: after warm-up the I-cache never misses.
+  EXPECT_LT(s.icache_misses, 200u);
+  EXPECT_GT(s.fetch_bundles, 10'000u);
+}
+
+TEST(L1Models, DcacheSeesLoadAndStoreTraffic) {
+  const auto prog = workload::generate_spec("gap", 200'000);
+  CycleSim::Options opt;
+  CycleSim cs(prog, std::move(opt));
+  cs.run(100'000);
+  const auto& s = cs.stats();
+  EXPECT_GT(s.dcache_accesses, 5'000u);
+  // The 4 KiB scratch array fits easily: very few misses after warm-up.
+  EXPECT_LT(s.dcache_misses, 300u);
+}
+
+TEST(L1Models, DisablingCachesImprovesIpc) {
+  const auto prog = workload::generate_spec("gcc", 300'000);
+  auto run_ipc = [&prog](bool caches) {
+    CycleSim::Options opt;
+    opt.config.icache.enabled = caches;
+    opt.config.dcache.enabled = caches;
+    CycleSim cs(prog, std::move(opt));
+    cs.run(120'000);
+    return cs.stats().ipc();
+  };
+  // gcc streams through a large code footprint: I-cache misses cost real
+  // cycles, so the ideal-cache configuration must be at least as fast.
+  EXPECT_GE(run_ipc(false), run_ipc(true));
+}
+
+TEST(L1Models, ItrProbeLatencyStallsAreAccounted) {
+  const auto prog = workload::generate_spec("bzip", 100'000);
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.config.itr_probe_latency = 30;  // absurd latency must surface as stalls
+  CycleSim cs(prog, std::move(opt));
+  cs.run(50'000);
+  EXPECT_GT(cs.stats().itr_commit_stall_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace itr::sim

@@ -1,0 +1,138 @@
+// Tests for the fault-injection harness: outcome classification against
+// known fault scenarios, campaign determinism, and the aggregate behaviour
+// the paper's Figure 8 reports.
+#include <gtest/gtest.h>
+
+#include "fi/classify.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr::fi {
+namespace {
+
+CampaignConfig quick_config() {
+  CampaignConfig cfg;
+  cfg.observation_cycles = 30'000;
+  cfg.warmup_instructions = 5'000;
+  cfg.inject_region = 40'000;
+  cfg.detected_mask_grace_cycles = 8'000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(OutcomeLabels, AllDistinctAndPaperNamed) {
+  EXPECT_STREQ(outcome_label(Outcome::kItrMask), "ITR+Mask");
+  EXPECT_STREQ(outcome_label(Outcome::kItrSdcR), "ITR+SDC+R");
+  EXPECT_STREQ(outcome_label(Outcome::kItrSdcD), "ITR+SDC+D");
+  EXPECT_STREQ(outcome_label(Outcome::kItrWdogR), "ITR+wdog+R");
+  EXPECT_STREQ(outcome_label(Outcome::kMayItrSdc), "MayITR+SDC");
+  EXPECT_STREQ(outcome_label(Outcome::kMayItrMask), "MayITR+Mask");
+  EXPECT_STREQ(outcome_label(Outcome::kSpcSdc), "spc+SDC");
+  EXPECT_STREQ(outcome_label(Outcome::kUndetSdc), "Undet+SDC");
+  EXPECT_STREQ(outcome_label(Outcome::kUndetWdog), "Undet+wdog");
+  EXPECT_STREQ(outcome_label(Outcome::kUndetMask), "Undet+Mask");
+}
+
+TEST(RunOne, ValueFaultInHotTraceIsItrSdcR) {
+  // sum_loop's loop trace is cached after the first iteration; a corrupted
+  // rsrc1 in a later instance mismatches against the clean cached signature
+  // (recoverable) and corrupts the sum (SDC).
+  const auto prog = workload::mini_program("sum_loop");
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto r = camp.run_one(150, 25);  // rsrc1 low bit of `add r2,r2,r1`
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_TRUE(r.sdc);
+  EXPECT_EQ(r.outcome, Outcome::kItrSdcR);
+  EXPECT_STREQ(r.field, "rsrc1");
+}
+
+TEST(RunOne, LatencyFaultIsItrMask) {
+  const auto prog = workload::mini_program("sum_loop");
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto r = camp.run_one(150, 40);  // lat field
+  EXPECT_TRUE(r.detected);
+  EXPECT_FALSE(r.sdc);
+  EXPECT_EQ(r.outcome, Outcome::kItrMask);
+  EXPECT_STREQ(r.field, "lat");
+}
+
+TEST(RunOne, PhantomOperandIsItrWdogR) {
+  const auto prog = workload::mini_program("sum_loop");
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto r = camp.run_one(150, 59);  // num_rsrc upper bit on an addi
+  EXPECT_TRUE(r.deadlock);
+  EXPECT_TRUE(r.detected);
+  EXPECT_EQ(r.outcome, Outcome::kItrWdogR);
+}
+
+TEST(RunOne, FaultInNeverRepeatingTraceIsMayItrOrUndet) {
+  // The prologue trace of sum_loop executes exactly once: its corrupted
+  // signature sits unreferenced in the cache (MayITR) since nothing evicts
+  // it in this short run.
+  const auto prog = workload::mini_program("sum_loop");
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto r = camp.run_one(0, 25);  // first instruction, prologue trace
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.outcome == Outcome::kMayItrSdc || r.outcome == Outcome::kMayItrMask ||
+              r.outcome == Outcome::kUndetSdc || r.outcome == Outcome::kUndetMask)
+      << outcome_label(r.outcome);
+}
+
+TEST(RunOne, FieldAttributionMatchesBitLayout) {
+  const auto prog = workload::mini_program("sum_loop");
+  FaultInjectionCampaign camp(prog, quick_config());
+  EXPECT_STREQ(camp.run_one(150, 0).field, "opcode");
+  EXPECT_STREQ(camp.run_one(151, 8).field, "flags");
+  EXPECT_STREQ(camp.run_one(152, 20).field, "shamt");
+  EXPECT_STREQ(camp.run_one(153, 42).field, "imm");
+  EXPECT_STREQ(camp.run_one(154, 63).field, "mem_size");
+}
+
+TEST(Campaign, DeterministicForSameSeed) {
+  const auto prog = workload::generate_spec("twolf", 500'000);
+  FaultInjectionCampaign a(prog, quick_config());
+  FaultInjectionCampaign b(prog, quick_config());
+  const auto sa = a.run(12);
+  const auto sb = b.run(12);
+  EXPECT_EQ(sa.counts, sb.counts);
+  ASSERT_EQ(sa.results.size(), sb.results.size());
+  for (std::size_t i = 0; i < sa.results.size(); ++i) {
+    EXPECT_EQ(sa.results[i].outcome, sb.results[i].outcome);
+    EXPECT_EQ(sa.results[i].bit, sb.results[i].bit);
+    EXPECT_EQ(sa.results[i].decode_index, sb.results[i].decode_index);
+  }
+}
+
+TEST(Campaign, PercentagesSumToHundred) {
+  const auto prog = workload::generate_spec("gap", 500'000);
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto s = camp.run(25);
+  EXPECT_EQ(s.total, 25u);
+  double sum = 0;
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) sum += s.percent(static_cast<Outcome>(i));
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Campaign, MostFaultsAreDetectedOnHotWorkload) {
+  // Paper Figure 8: 95.4% of injected faults detected through the ITR cache
+  // on average.  On a hot benchmark the great majority must be ITR-detected.
+  const auto prog = workload::generate_spec("bzip", 800'000);
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto s = camp.run(40);
+  EXPECT_GT(s.itr_detected_percent(), 80.0);
+}
+
+TEST(Campaign, MaskedFractionIsSubstantial) {
+  // Paper: 59.4% of faults are ITR+Mask on average (many flipped bits touch
+  // fields irrelevant to the instruction).  Expect a large masked share.
+  const auto prog = workload::generate_spec("twolf", 800'000);
+  FaultInjectionCampaign camp(prog, quick_config());
+  const auto s = camp.run(40);
+  EXPECT_GT(s.percent(Outcome::kItrMask) + s.percent(Outcome::kMayItrMask) +
+                s.percent(Outcome::kUndetMask),
+            30.0);
+}
+
+}  // namespace
+}  // namespace itr::fi

@@ -1,0 +1,352 @@
+// Unit tests for the ISA layer: opcode table invariants, encoding round-
+// trips, decode-signal packing (Table 2 layout), assembler and disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/builder.hpp"
+#include "isa/decode.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace itr::isa {
+namespace {
+
+TEST(OpcodeTable, EveryOpcodeHasAMnemonic) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto& info = op_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.mnemonic.empty()) << "opcode " << i;
+    EXPECT_NE(info.mnemonic, "<invalid>") << "opcode " << i;
+  }
+}
+
+TEST(OpcodeTable, MnemonicLookupRoundTrips) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto found = opcode_from_mnemonic(op_info(op).mnemonic);
+    ASSERT_TRUE(found.has_value()) << op_info(op).mnemonic;
+    EXPECT_EQ(*found, op);
+  }
+}
+
+TEST(OpcodeTable, FlagsFitInTwelveBits) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto& info = op_info(static_cast<Opcode>(i));
+    EXPECT_EQ(info.flags & ~kFlagMask, 0) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, SourceAndDestCountsAreSane) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto& info = op_info(static_cast<Opcode>(i));
+    EXPECT_LE(info.num_rsrc, 2) << info.mnemonic;
+    EXPECT_LE(info.num_rdst, 1) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, TraceTerminationMatchesControlFlags) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto& info = op_info(op);
+    const bool control =
+        (info.flags & (flag_bits(Flag::kIsBranch) | flag_bits(Flag::kIsUncond))) != 0;
+    EXPECT_EQ(is_trace_terminating(op), control) << info.mnemonic;
+  }
+}
+
+TEST(OpcodeTable, MemoryOpsDeclareSizes) {
+  EXPECT_EQ(op_info(Opcode::kLb).mem_size, MemSize::kByte);
+  EXPECT_EQ(op_info(Opcode::kLh).mem_size, MemSize::kHalf);
+  EXPECT_EQ(op_info(Opcode::kLw).mem_size, MemSize::kWord);
+  EXPECT_EQ(op_info(Opcode::kLdf).mem_size, MemSize::kDouble);
+  EXPECT_EQ(op_info(Opcode::kAdd).mem_size, MemSize::kNone);
+  EXPECT_EQ(mem_size_bytes(MemSize::kDouble), 8u);
+  EXPECT_EQ(mem_size_bytes(MemSize::kNone), 0u);
+}
+
+TEST(Encoding, FieldRoundTrip) {
+  Instruction inst;
+  inst.op = Opcode::kAddi;
+  inst.rs = 17;
+  inst.rt = 9;
+  inst.rd = 31;
+  inst.shamt = 13;
+  inst.imm = -1234;
+  const Instruction back = decode_fields(encode(inst));
+  EXPECT_EQ(back, inst);
+}
+
+TEST(Encoding, AllOpcodesRoundTrip) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    Instruction inst;
+    inst.op = static_cast<Opcode>(i);
+    inst.rs = static_cast<std::uint8_t>(i % 32);
+    inst.imm = static_cast<std::int16_t>(i * 7);
+    EXPECT_EQ(decode_fields(encode(inst)).op, inst.op);
+  }
+}
+
+TEST(DecodeSignals, PackUnpackRoundTrip) {
+  DecodeSignals s;
+  s.opcode = 0x5a;
+  s.flags = 0xabc;
+  s.shamt = 21;
+  s.rsrc1 = 3;
+  s.rsrc2 = 30;
+  s.rdst = 17;
+  s.lat = 2;
+  s.imm = 0xbeef;
+  s.num_rsrc = 2;
+  s.num_rdst = 1;
+  s.mem_size = 5;
+  EXPECT_EQ(unpack_signals(s.pack()), s);
+}
+
+TEST(DecodeSignals, PackedLayoutCovers64Bits) {
+  std::size_t count = 0;
+  const SignalFieldLayout* layout = signal_field_layout(&count);
+  ASSERT_EQ(count, 11u);  // the eleven fields of Table 2
+  unsigned total = 0;
+  unsigned expected_offset = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(layout[i].offset, expected_offset) << layout[i].name;
+    expected_offset += layout[i].width;
+    total += layout[i].width;
+  }
+  EXPECT_EQ(total, 64u);  // Table 2's total width
+}
+
+TEST(DecodeSignals, FlipBitChangesExactlyOneBit) {
+  DecodeSignals s = decode(make_rr(Opcode::kAdd, 3, 1, 2));
+  for (unsigned bit = 0; bit < kSignalBits; ++bit) {
+    DecodeSignals t = s;
+    t.flip_bit(bit);
+    EXPECT_EQ(__builtin_popcountll(s.pack() ^ t.pack()), 1) << "bit " << bit;
+    t.flip_bit(bit);
+    EXPECT_EQ(t, s);  // involution
+  }
+}
+
+TEST(DecodeSignals, FieldOfBitNamesEveryBit) {
+  for (unsigned bit = 0; bit < kSignalBits; ++bit) {
+    EXPECT_STRNE(signal_field_of_bit(bit), "<none>") << bit;
+  }
+}
+
+TEST(Decode, AddRoutesAllThreeRegisters) {
+  const DecodeSignals s = decode(make_rr(Opcode::kAdd, 5, 6, 7));
+  EXPECT_EQ(s.rsrc1, 6);
+  EXPECT_EQ(s.rsrc2, 7);
+  EXPECT_EQ(s.rdst, 5);
+  EXPECT_EQ(s.num_rsrc, 2);
+  EXPECT_EQ(s.num_rdst, 1);
+  EXPECT_TRUE(s.has_flag(Flag::kIsInt));
+  EXPECT_TRUE(s.has_flag(Flag::kIsRR));
+}
+
+TEST(Decode, ShiftRoutesValueOnPortOne) {
+  const DecodeSignals s = decode(make_shift(Opcode::kSll, 4, 9, 13));
+  EXPECT_EQ(s.rsrc1, 9);
+  EXPECT_EQ(s.rdst, 4);
+  EXPECT_EQ(s.shamt, 13);
+}
+
+TEST(Decode, LoadAndStoreRouting) {
+  const DecodeSignals ld = decode(make_load(Opcode::kLw, 8, 22, 64));
+  EXPECT_EQ(ld.rsrc1, 22);
+  EXPECT_EQ(ld.rdst, 8);
+  EXPECT_TRUE(ld.has_flag(Flag::kIsLoad));
+  EXPECT_TRUE(ld.has_flag(Flag::kIsDisp));
+  EXPECT_EQ(ld.mem_size, static_cast<std::uint8_t>(MemSize::kWord));
+
+  const DecodeSignals st = decode(make_store(Opcode::kSw, 9, 22, -8));
+  EXPECT_EQ(st.rsrc1, 22);
+  EXPECT_EQ(st.rsrc2, 9);
+  EXPECT_EQ(st.num_rdst, 0);
+  EXPECT_TRUE(st.has_flag(Flag::kIsStore));
+}
+
+TEST(Decode, PartialLoadsReadOldDestination) {
+  const DecodeSignals s = decode(make_load(Opcode::kLwl, 8, 22, 0));
+  EXPECT_EQ(s.rsrc2, 8);  // merge source
+  EXPECT_EQ(s.num_rsrc, 2);
+  EXPECT_TRUE(s.has_flag(Flag::kMemLR));
+}
+
+TEST(Decode, JalWritesReturnRegister) {
+  const DecodeSignals s = decode(make_jump(Opcode::kJal, 10));
+  EXPECT_EQ(s.rdst, kRegRa);
+  EXPECT_EQ(s.num_rdst, 1);
+  EXPECT_TRUE(s.has_flag(Flag::kIsUncond));
+  EXPECT_TRUE(s.has_flag(Flag::kIsDirect));
+}
+
+TEST(Decode, TrapUsesSyscallRegisters) {
+  const DecodeSignals s = decode(make_trap(1));
+  EXPECT_EQ(s.rsrc1, kRegA0);
+  EXPECT_EQ(s.rdst, kRegV0);
+  EXPECT_EQ(s.num_rdst, 0);  // no trap code returns a value
+  EXPECT_TRUE(s.has_flag(Flag::kIsTrap));
+}
+
+TEST(Decode, SignatureDiffersAcrossDistinctInstructions) {
+  const auto a = decode(make_rr(Opcode::kAdd, 1, 2, 3)).pack();
+  const auto b = decode(make_rr(Opcode::kAdd, 1, 2, 4)).pack();
+  const auto c = decode(make_rr(Opcode::kSub, 1, 2, 3)).pack();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(Program, FetchOutOfRangeYieldsAbortTrap) {
+  Program prog;
+  prog.code_base = 0x10000;
+  prog.entry = 0x10000;
+  prog.code = {encode(make_nop())};
+  const Instruction wild = prog.fetch(0xdeadbe8);
+  EXPECT_EQ(wild.op, Opcode::kTrap);
+  EXPECT_EQ(wild.imm, static_cast<std::int16_t>(TrapCode::kAbort));
+  EXPECT_TRUE(prog.contains_pc(0x10000));
+  EXPECT_FALSE(prog.contains_pc(0x10004));  // misaligned
+  EXPECT_FALSE(prog.contains_pc(0x10008));  // past the end
+}
+
+TEST(Builder, BranchFixupsResolve) {
+  CodeBuilder cb("t");
+  const Label loop = cb.new_label();
+  cb.li(1, 3);
+  cb.bind(loop);
+  cb.emit(make_ri(Opcode::kAddi, 1, 1, -1));
+  cb.branch1(Opcode::kBgtz, 1, loop);
+  cb.exit0();
+  const Program prog = cb.finish();
+  // The bgtz at index 2 must jump back one instruction (word offset -2).
+  const Instruction br = decode_fields(prog.code[2]);
+  EXPECT_EQ(br.op, Opcode::kBgtz);
+  EXPECT_EQ(br.imm, -2);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  CodeBuilder cb("t");
+  const Label l = cb.new_label();
+  cb.jump(l);
+  EXPECT_THROW(cb.finish(), std::logic_error);
+}
+
+TEST(Builder, LaMaterializesDataAddress) {
+  CodeBuilder cb("t");
+  const Label l = cb.new_label();
+  cb.la(1, l);
+  cb.exit0();
+  cb.bind(l);  // label on code after exit; address is code_base + 4 insns
+  cb.nop();
+  const Program prog = cb.finish();
+  const Instruction lui = decode_fields(prog.code[0]);
+  const Instruction ori = decode_fields(prog.code[1]);
+  const std::uint64_t target = prog.code_base + 4 * kInstrBytes;
+  EXPECT_EQ(static_cast<std::uint16_t>(lui.imm), target >> 16);
+  EXPECT_EQ(static_cast<std::uint16_t>(ori.imm), target & 0xffff);
+}
+
+TEST(Builder, DataAllocationAligns) {
+  CodeBuilder cb("t");
+  cb.data_word(0x12345678);
+  const std::uint64_t d = cb.alloc_data(16);
+  EXPECT_EQ(d % 8, 0u);
+  cb.exit0();
+  const Program prog = cb.finish();
+  EXPECT_EQ(prog.data[0], 0x78);
+  EXPECT_EQ(prog.data[3], 0x12);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program prog = assemble(R"(
+main:
+  li r1, 2
+loop:
+  addi r1, r1, -1
+  bgtz r1, loop
+  trap 0
+)");
+  ASSERT_EQ(prog.code.size(), 4u);
+  const Instruction br = decode_fields(prog.code[2]);
+  EXPECT_EQ(br.op, Opcode::kBgtz);
+  EXPECT_EQ(br.imm, -2);
+}
+
+TEST(Assembler, DataDirectivesAndSymbolicDisplacement) {
+  const Program prog = assemble(R"(
+main:
+  lw r2, tab(r0)
+  trap 0
+.data
+pad: .space 12
+.align 3
+tab: .word 7
+)");
+  const Instruction lw = decode_fields(prog.code[0]);
+  EXPECT_EQ(lw.op, Opcode::kLw);
+  // pad(12) aligned to 8 -> tab at data_base + 16.
+  EXPECT_EQ(lw.imm, static_cast<std::int16_t>(kDefaultDataBase + 16));
+}
+
+TEST(Assembler, PseudoInstructionsExpand) {
+  const Program prog = assemble(R"(
+main:
+  li r1, 100000
+  li r2, 5
+  mv r3, r1
+  ret
+)");
+  // li r1,100000 -> lui+ori (2), li r2,5 -> addi (1), mv -> or (1), ret -> jr.
+  ASSERT_EQ(prog.code.size(), 5u);
+  EXPECT_EQ(decode_fields(prog.code[0]).op, Opcode::kLui);
+  EXPECT_EQ(decode_fields(prog.code[1]).op, Opcode::kOri);
+  EXPECT_EQ(decode_fields(prog.code[2]).op, Opcode::kAddi);
+  EXPECT_EQ(decode_fields(prog.code[3]).op, Opcode::kOr);
+  EXPECT_EQ(decode_fields(prog.code[4]).op, Opcode::kJr);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("main:\n  bogus r1, r2\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble("a:\n nop\na:\n nop\n"), AssemblerError);
+}
+
+TEST(Assembler, UndefinedBranchTargetRejected) {
+  EXPECT_THROW(assemble("main:\n b nowhere\n"), AssemblerError);
+}
+
+TEST(Assembler, RegisterAliases) {
+  const Program prog = assemble("main:\n mv sp, ra\n trap 0\n");
+  const Instruction inst = decode_fields(prog.code[0]);
+  EXPECT_EQ(inst.rd, kRegSp);
+  EXPECT_EQ(inst.rs, kRegRa);
+}
+
+TEST(Disasm, RendersCommonForms) {
+  EXPECT_EQ(disassemble(make_rr(Opcode::kAdd, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(make_load(Opcode::kLw, 4, 29, 16)), "lw r4, 16(r29)");
+  EXPECT_EQ(disassemble(make_store(Opcode::kStf, 2, 5, 8)), "stf f2, 8(r5)");
+  EXPECT_EQ(disassemble(make_nop()), "nop");
+  EXPECT_EQ(disassemble(make_trap(0)), "trap 0");
+  // Branch target rendered absolute: pc + 8 + imm*8.
+  EXPECT_EQ(disassemble(make_branch1(Opcode::kBgtz, 1, -2), 0x100),
+            "bgtz r1, 0xf8");
+}
+
+TEST(Disasm, RawRoundTripThroughEncoding) {
+  const Instruction inst = make_ri(Opcode::kAddi, 7, 8, -5);
+  EXPECT_EQ(disassemble_raw(encode(inst)), "addi r7, r8, -5");
+}
+
+}  // namespace
+}  // namespace itr::isa

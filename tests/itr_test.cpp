@@ -1,0 +1,396 @@
+// Tests for the ITR core: the ITR cache's coverage semantics (paper
+// Sections 2.2-2.3), the ITR ROB protocol with retry/machine-check diagnosis
+// (Sections 2.2/2.4), coverage replay, and the coarse-grain checkpoint
+// extension.
+#include <gtest/gtest.h>
+
+#include "isa/decode.hpp"
+#include "isa/encoding.hpp"
+#include "itr/coverage.hpp"
+#include "itr/itr_cache.hpp"
+#include "itr/itr_unit.hpp"
+
+namespace itr::core {
+namespace {
+
+trace::TraceRecord rec(std::uint64_t pc, std::uint64_t sig, std::uint32_t n = 4,
+                       std::uint64_t first = 0) {
+  trace::TraceRecord r;
+  r.start_pc = pc;
+  r.signature = sig;
+  r.num_instructions = n;
+  r.first_insn_index = first;
+  r.ended_on_branch = true;
+  return r;
+}
+
+ItrCacheConfig small_cfg(std::size_t entries = 16, std::size_t assoc = 2) {
+  ItrCacheConfig c;
+  c.num_signatures = entries;
+  c.associativity = assoc;
+  return c;
+}
+
+TEST(ItrCache, MissThenInstallThenHit) {
+  ItrCache cache(small_cfg());
+  const auto t = rec(0x100, 0xabcd, 5, 0);
+  const auto p1 = cache.probe(t);
+  EXPECT_EQ(p1.outcome, ProbeOutcome::kMiss);
+  cache.install(t);
+  const auto p2 = cache.probe(rec(0x100, 0xabcd, 5, 50));
+  EXPECT_EQ(p2.outcome, ProbeOutcome::kHitMatch);
+  EXPECT_TRUE(p2.cleared_unchecked);  // first reference checks the installer
+  EXPECT_EQ(p2.cleared_pending_instructions, 5u);
+  const auto p3 = cache.probe(rec(0x100, 0xabcd, 5, 100));
+  EXPECT_EQ(p3.outcome, ProbeOutcome::kHitMatch);
+  EXPECT_FALSE(p3.cleared_unchecked);  // already referenced
+}
+
+TEST(ItrCache, MismatchDetected) {
+  ItrCache cache(small_cfg());
+  const auto good = rec(0x100, 0xabcd);
+  cache.probe(good);
+  cache.install(good);
+  const auto p = cache.probe(rec(0x100, 0xdead));
+  EXPECT_EQ(p.outcome, ProbeOutcome::kHitMismatch);
+  EXPECT_EQ(p.cached_signature, 0xabcdu);
+}
+
+TEST(ItrCache, MissCostsRecoveryCoverage) {
+  ItrCache cache(small_cfg());
+  cache.probe(rec(0x100, 1, 7, 0));
+  cache.install(rec(0x100, 1, 7, 0));
+  cache.finish();
+  const auto& c = cache.counters();
+  EXPECT_EQ(c.recovery_loss_instructions, 7u);
+  EXPECT_EQ(c.detection_loss_instructions, 0u);  // not evicted: no detection loss
+  EXPECT_EQ(c.pending_instructions_at_end, 7u);  // still unreferenced in cache
+}
+
+TEST(ItrCache, EvictionOfUnreferencedLineCostsDetectionCoverage) {
+  ItrCache cache(small_cfg(2, 0));  // 2-entry fully associative
+  const auto a = rec(0x100, 1, 3, 0);
+  const auto b = rec(0x200, 2, 4, 10);
+  const auto c = rec(0x300, 3, 5, 20);
+  for (const auto& t : {a, b, c}) {
+    cache.probe(t);
+    cache.install(t);
+  }
+  // Installing c evicted a (LRU), which was never referenced.
+  cache.finish();
+  EXPECT_EQ(cache.counters().detection_loss_instructions, 3u);
+  EXPECT_EQ(cache.counters().recovery_loss_instructions, 12u);
+}
+
+TEST(ItrCache, ReferencedEvictionCostsNothing) {
+  ItrCache cache(small_cfg(2, 0));
+  const auto a = rec(0x100, 1, 3, 0);
+  cache.probe(a);
+  cache.install(a);
+  cache.probe(rec(0x100, 1, 3, 5));  // reference it
+  const auto b = rec(0x200, 2, 4, 10);
+  const auto c = rec(0x300, 3, 5, 20);
+  for (const auto& t : {b, c}) {
+    cache.probe(t);
+    cache.install(t);
+  }
+  // Installing c evicts a (LRU: its hit predates b's install).  a was
+  // referenced, so no detection coverage is forfeited; b and c remain as
+  // pending (not-yet-lost) lines.
+  cache.finish();
+  EXPECT_EQ(cache.counters().detection_loss_instructions, 0u);
+  EXPECT_EQ(cache.counters().pending_instructions_at_end, 9u);  // b + c
+}
+
+TEST(ItrCache, DetectionLossNeverExceedsRecoveryLoss) {
+  // Property: every instance counted as detection loss also missed.
+  ItrCache cache(small_cfg(4, 1));
+  std::uint64_t idx = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t pc = 0; pc < 16; ++pc) {
+      const auto t = rec(0x100 + pc * 64, pc, 3, idx);
+      idx += 3;
+      if (cache.probe(t).outcome == ProbeOutcome::kMiss) cache.install(t);
+    }
+  }
+  cache.finish();
+  EXPECT_LE(cache.counters().detection_loss_instructions,
+            cache.counters().recovery_loss_instructions);
+}
+
+TEST(ItrCache, DuplicateInstallIsIgnored) {
+  ItrCache cache(small_cfg());
+  const auto t = rec(0x100, 1, 3, 0);
+  cache.probe(t);
+  cache.install(t);
+  cache.install(t);  // two in-flight instances both missed
+  EXPECT_EQ(cache.unchecked_lines(), 1u);
+}
+
+TEST(ItrCache, UncheckedLineTracking) {
+  ItrCache cache(small_cfg());
+  EXPECT_EQ(cache.unchecked_lines(), 0u);
+  cache.probe(rec(0x100, 1));
+  cache.install(rec(0x100, 1));
+  EXPECT_EQ(cache.unchecked_lines(), 1u);
+  cache.probe(rec(0x100, 1, 4, 10));
+  EXPECT_EQ(cache.unchecked_lines(), 0u);
+}
+
+TEST(ItrCache, LineStatusReporting) {
+  ItrCache cache(small_cfg());
+  EXPECT_EQ(cache.line_status(0x100), ItrCache::LineStatus::kAbsent);
+  cache.probe(rec(0x100, 1));
+  cache.install(rec(0x100, 1));
+  EXPECT_EQ(cache.line_status(0x100), ItrCache::LineStatus::kUnreferenced);
+  cache.probe(rec(0x100, 1, 4, 10));
+  EXPECT_EQ(cache.line_status(0x100), ItrCache::LineStatus::kReferenced);
+}
+
+TEST(ItrCache, CorruptLineBreaksParity) {
+  ItrCache cache(small_cfg());
+  cache.probe(rec(0x100, 0xff));
+  cache.install(rec(0x100, 0xff));
+  EXPECT_TRUE(cache.corrupt_line(0x100, 3));
+  const auto p = cache.probe(rec(0x100, 0xff, 4, 10));
+  EXPECT_EQ(p.outcome, ProbeOutcome::kHitMismatch);
+  EXPECT_FALSE(p.cached_parity_ok);
+  EXPECT_EQ(p.cached_signature, 0xffu ^ 8u);
+  EXPECT_FALSE(cache.corrupt_line(0x999, 0));
+}
+
+TEST(ItrCache, OverwriteSignatureRepairsLine) {
+  ItrCache cache(small_cfg());
+  cache.probe(rec(0x100, 0xff));
+  cache.install(rec(0x100, 0xff));
+  cache.corrupt_line(0x100, 3);
+  cache.overwrite_signature(0x100, 0xff);
+  const auto p = cache.probe(rec(0x100, 0xff, 4, 10));
+  EXPECT_EQ(p.outcome, ProbeOutcome::kHitMatch);
+  EXPECT_TRUE(p.cached_parity_ok);
+}
+
+TEST(ItrCache, InvalidateRemovesLine) {
+  ItrCache cache(small_cfg());
+  cache.probe(rec(0x100, 1));
+  cache.install(rec(0x100, 1));
+  EXPECT_TRUE(cache.invalidate(0x100));
+  EXPECT_EQ(cache.line_status(0x100), ItrCache::LineStatus::kAbsent);
+  EXPECT_EQ(cache.unchecked_lines(), 0u);
+}
+
+TEST(ItrCache, EnergyAccountingCounts) {
+  ItrCache cache(small_cfg());
+  cache.probe(rec(0x100, 1));
+  cache.install(rec(0x100, 1));
+  cache.probe(rec(0x100, 1, 4, 10));
+  EXPECT_EQ(cache.counters().cache_reads, 2u);
+  EXPECT_EQ(cache.counters().cache_writes, 1u);
+}
+
+// ---- ItrUnit protocol. ----------------------------------------------------------
+
+isa::DecodeSignals add_sig() {
+  return isa::decode(isa::make_rr(isa::Opcode::kAdd, 1, 2, 3));
+}
+isa::DecodeSignals jump_sig() {
+  return isa::decode(isa::make_jump(isa::Opcode::kJ, -1));
+}
+
+TEST(ItrUnit, TraceDispatchAndMissWrite) {
+  ItrUnit unit(small_cfg());
+  std::uint64_t cycle = 10;
+  EXPECT_FALSE(unit.on_decode(0x100, add_sig(), 0, cycle).has_value());
+  const auto completed = unit.on_decode(0x108, jump_sig(), 1, cycle);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(completed->start_pc, 0x100u);
+  EXPECT_EQ(completed->num_instructions, 2u);
+  EXPECT_EQ(unit.rob_occupancy(), 1u);
+
+  const auto poll = unit.poll_at_commit(cycle + 5);
+  EXPECT_EQ(poll.action, CommitAction::kWriteCache);
+  EXPECT_EQ(unit.rob_occupancy(), 0u);
+}
+
+TEST(ItrUnit, InstallDeferredUntilCommitCycle) {
+  ItrUnit unit(small_cfg());
+  // Trace A misses at dispatch cycle 10, commits at cycle 20.
+  unit.on_decode(0x100, add_sig(), 0, 10);
+  unit.on_decode(0x108, jump_sig(), 1, 10);
+  unit.poll_at_commit(20);
+  // A younger instance dispatching at cycle 15 must still MISS (the write
+  // has not happened yet)...
+  unit.on_decode(0x100, add_sig(), 2, 15);
+  const auto t2 = unit.on_decode(0x108, jump_sig(), 3, 15);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(unit.poll_at_commit(25).action, CommitAction::kWriteCache);
+  // ...but one dispatching after cycle 20 hits.
+  unit.on_decode(0x100, add_sig(), 4, 30);
+  unit.on_decode(0x108, jump_sig(), 5, 30);
+  EXPECT_EQ(unit.poll_at_commit(35).action, CommitAction::kProceed);
+  EXPECT_EQ(unit.stats().signature_matches, 1u);
+}
+
+TEST(ItrUnit, MismatchTriggersRetryThenRecovery) {
+  ItrUnit unit(small_cfg());
+  // Install a clean signature for the trace at 0x100.
+  unit.on_decode(0x100, add_sig(), 0, 1);
+  unit.on_decode(0x108, jump_sig(), 1, 1);
+  unit.poll_at_commit(2);
+
+  // A faulty instance: corrupted add signal.
+  auto faulty = add_sig();
+  faulty.flip_bit(27);
+  unit.on_decode(0x100, faulty, 2, 10);
+  unit.on_decode(0x108, jump_sig(), 3, 10);
+  const auto poll = unit.poll_at_commit(12);
+  EXPECT_EQ(poll.action, CommitAction::kRetry);
+  EXPECT_EQ(unit.stats().signature_mismatches, 1u);
+  EXPECT_EQ(unit.stats().retries, 1u);
+
+  // Re-execution is fault-free: the probe matches; confirm success.
+  unit.on_decode(0x100, add_sig(), 4, 20);
+  unit.on_decode(0x108, jump_sig(), 5, 20);
+  EXPECT_EQ(unit.poll_at_commit(22).action, CommitAction::kProceed);
+  unit.confirm_retry_success();
+  EXPECT_EQ(unit.stats().recoveries, 1u);
+}
+
+TEST(ItrUnit, PersistentMismatchWithSoundCacheIsMachineCheck) {
+  ItrUnit unit(small_cfg());
+  // A faulty instance installs a corrupted signature (miss case).
+  auto faulty = add_sig();
+  faulty.flip_bit(5);
+  unit.on_decode(0x100, faulty, 0, 1);
+  unit.on_decode(0x108, jump_sig(), 1, 1);
+  EXPECT_EQ(unit.poll_at_commit(2).action, CommitAction::kWriteCache);
+
+  // The next (clean) instance mismatches; retry; the regenerated clean
+  // signature still mismatches the cached one; parity is fine -> the
+  // *previous* instance was faulty: machine check.
+  unit.on_decode(0x100, add_sig(), 2, 10);
+  auto t = unit.on_decode(0x108, jump_sig(), 3, 10);
+  EXPECT_EQ(unit.poll_at_commit(12).action, CommitAction::kRetry);
+  EXPECT_EQ(unit.resolve_retry(*t), CommitAction::kMachineCheck);
+  EXPECT_EQ(unit.stats().machine_checks, 1u);
+}
+
+TEST(ItrUnit, ParityErrorConvictsTheCacheAndRepairs) {
+  ItrUnit unit(small_cfg());
+  // Clean install, then corrupt the cached line (ITR-cache particle strike).
+  unit.on_decode(0x100, add_sig(), 0, 1);
+  unit.on_decode(0x108, jump_sig(), 1, 1);
+  unit.poll_at_commit(2);
+  unit.drain_installs(5);
+  ASSERT_TRUE(unit.cache().corrupt_line(0x100, 9));
+
+  unit.on_decode(0x100, add_sig(), 2, 10);
+  auto t = unit.on_decode(0x108, jump_sig(), 3, 10);
+  EXPECT_EQ(unit.poll_at_commit(12).action, CommitAction::kRetry);
+  EXPECT_EQ(unit.resolve_retry(*t), CommitAction::kFixCacheLine);
+  EXPECT_EQ(unit.stats().parity_repairs, 1u);
+  // The line now holds the regenerated signature: next instance matches.
+  unit.on_decode(0x100, add_sig(), 4, 20);
+  unit.on_decode(0x108, jump_sig(), 5, 20);
+  EXPECT_EQ(unit.poll_at_commit(22).action, CommitAction::kProceed);
+}
+
+TEST(ItrUnit, SquashDiscardsOpenTrace) {
+  ItrUnit unit(small_cfg());
+  unit.on_decode(0x100, add_sig(), 0, 1);
+  unit.squash_open_trace();
+  // The next instruction starts a fresh trace at its own PC.
+  unit.on_decode(0x300, add_sig(), 1, 2);
+  const auto t = unit.on_decode(0x308, jump_sig(), 2, 2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->start_pc, 0x300u);
+  EXPECT_EQ(t->num_instructions, 2u);
+}
+
+TEST(ItrUnit, RobStateOneHotEncodings) {
+  // The four legal control-bit states of Section 2.4 are one-hot.
+  for (RobState s : {RobState::kPending, RobState::kCheckedRetry,
+                     RobState::kCheckedOk, RobState::kMiss}) {
+    const auto v = static_cast<unsigned>(s);
+    EXPECT_EQ(v & (v - 1), 0u);  // power of two
+    EXPECT_NE(v, 0u);
+  }
+}
+
+// ---- Coverage replay. --------------------------------------------------------------
+
+std::vector<CompactTrace> cyclic_stream(std::size_t unique, std::size_t passes,
+                                        std::uint32_t len = 5) {
+  std::vector<CompactTrace> s;
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t i = 0; i < unique; ++i) {
+      s.push_back(CompactTrace{0x1000 + i * 64, len});
+    }
+  }
+  return s;
+}
+
+TEST(CoverageReplay, FittingWorkingSetLosesOnlyColdMisses) {
+  const auto stream = cyclic_stream(8, 10);
+  const auto c = replay_coverage(stream, small_cfg(16, 0));
+  // First pass misses (8 traces x 5 insns = 40 recovery-loss instructions),
+  // everything after hits; nothing is ever evicted.
+  EXPECT_EQ(c.recovery_loss_instructions, 40u);
+  EXPECT_EQ(c.detection_loss_instructions, 0u);
+  EXPECT_EQ(c.total_instructions, 400u);
+}
+
+TEST(CoverageReplay, ThrashingWorkingSetLosesEverything) {
+  const auto stream = cyclic_stream(17, 10);
+  const auto c = replay_coverage(stream, small_cfg(16, 0));
+  // 17 traces cycling through a 16-entry fully-associative LRU cache: every
+  // access misses and every line is evicted unreferenced.
+  EXPECT_EQ(c.recovery_loss_instructions, c.total_instructions);
+  EXPECT_GT(c.detection_loss_instructions, c.total_instructions / 2);
+}
+
+TEST(CoverageReplay, BiggerCacheNeverLosesMoreRecovery) {
+  const auto stream = cyclic_stream(100, 5);
+  const auto small = replay_coverage(stream, small_cfg(64, 0));
+  const auto big = replay_coverage(stream, small_cfg(256, 0));
+  EXPECT_LE(big.recovery_loss_instructions, small.recovery_loss_instructions);
+  EXPECT_LE(big.detection_loss_instructions, big.recovery_loss_instructions);
+}
+
+// ---- Coarse-grain checkpointing (paper Section 2.3). -------------------------------
+
+TEST(Checkpointing, CheckpointWhenNoUncheckedLines) {
+  // 4 traces fit easily: first pass installs 4 unchecked lines, second pass
+  // references them all -> unchecked returns to 0 -> one checkpoint.
+  const auto stream = cyclic_stream(4, 3);
+  const auto st = replay_with_checkpoints(stream, small_cfg(16, 0),
+                                          /*unchecked_threshold=*/0,
+                                          /*min_interval=*/10);
+  EXPECT_GE(st.checkpoints_taken, 1u);
+  // Every miss is eventually referenced, so every missed instance is
+  // recoverable via checkpoint rollback.
+  EXPECT_EQ(st.recoverable_by_checkpoint_instructions,
+            st.coverage.recovery_loss_instructions);
+}
+
+TEST(Checkpointing, ThrashingStreamNeverCheckpointsAfterStart) {
+  const auto stream = cyclic_stream(17, 10);
+  const auto st = replay_with_checkpoints(stream, small_cfg(16, 0),
+                                          /*unchecked_threshold=*/0,
+                                          /*min_interval=*/10);
+  // Lines are never referenced, so unchecked never returns to zero and
+  // nothing is recoverable by rollback.
+  EXPECT_EQ(st.recoverable_by_checkpoint_instructions, 0u);
+}
+
+TEST(Checkpointing, RecoverableBoundedByRecoveryLoss) {
+  const auto stream = cyclic_stream(50, 4, 7);
+  const auto st = replay_with_checkpoints(stream, small_cfg(64, 2),
+                                          /*unchecked_threshold=*/0,
+                                          /*min_interval=*/10);
+  EXPECT_LE(st.recoverable_by_checkpoint_instructions,
+            st.coverage.recovery_loss_instructions);
+}
+
+}  // namespace
+}  // namespace itr::core

@@ -1,0 +1,87 @@
+// Tests for the mini-CACTI energy/area model: the paper's anchor numbers
+// must reproduce exactly, and scaling must behave monotonically.
+#include <gtest/gtest.h>
+
+#include "power/cacti.hpp"
+
+namespace itr::power {
+namespace {
+
+TEST(MiniCacti, ReproducesPaperIcacheAnchor) {
+  // CACTI 3.0 @ 0.18um, Power4 I-cache (64KB dm): 0.87 nJ per access.
+  EXPECT_NEAR(energy_per_access_nj(power4_icache_geometry()), 0.87, 0.01);
+}
+
+TEST(MiniCacti, ReproducesPaperItrCacheAnchors) {
+  // ITR cache (8KB, 2-way): 0.58 nJ single-ported, 0.84 nJ dual-ported.
+  EXPECT_NEAR(energy_per_access_nj(itr_cache_geometry(1)), 0.58, 0.01);
+  EXPECT_NEAR(energy_per_access_nj(itr_cache_geometry(2)), 0.84, 0.02);
+}
+
+TEST(MiniCacti, EnergyGrowsWithCapacity) {
+  const auto small = CacheGeometry::from_bytes(4 * 1024, 2, 512);
+  const auto medium = CacheGeometry::from_bytes(16 * 1024, 2, 2048);
+  const auto large = CacheGeometry::from_bytes(64 * 1024, 2, 8192);
+  EXPECT_LT(energy_per_access_nj(small), energy_per_access_nj(medium));
+  EXPECT_LT(energy_per_access_nj(medium), energy_per_access_nj(large));
+}
+
+TEST(MiniCacti, EnergyGrowsWithAssociativity) {
+  const auto w2 = CacheGeometry::from_bytes(8 * 1024, 2, 1024);
+  const auto w8 = CacheGeometry::from_bytes(8 * 1024, 8, 1024);
+  EXPECT_LT(energy_per_access_nj(w2), energy_per_access_nj(w8));
+}
+
+TEST(MiniCacti, FullyAssociativePaysCamTax) {
+  const auto w2 = CacheGeometry::from_bytes(8 * 1024, 2, 1024);
+  auto fa = CacheGeometry::from_bytes(8 * 1024, 0, 1024);
+  EXPECT_GT(energy_per_access_nj(fa), 2.0 * energy_per_access_nj(w2));
+}
+
+TEST(MiniCacti, ExtraPortsMultiplyEnergy) {
+  const auto p1 = itr_cache_geometry(1);
+  const auto p2 = itr_cache_geometry(2);
+  const double ratio = energy_per_access_nj(p2) / energy_per_access_nj(p1);
+  EXPECT_NEAR(ratio, 1.45, 0.01);
+}
+
+TEST(MiniCacti, AreaCalibratedToG5Btb) {
+  // The G5's BTB-like structure measures 0.3 cm^2 on the die photo.
+  EXPECT_NEAR(area_cm2(g5_btb_geometry()), kG5BtbAreaCm2, 0.01);
+}
+
+TEST(MiniCacti, ItrCacheAreaRoughlyOneSeventhOfIUnit) {
+  // Section 5's headline: the ITR cache is ~1/7 the area of the G5 I-unit.
+  const double itr_area = area_cm2(itr_cache_geometry(1));
+  const double ratio = kG5IUnitAreaCm2 / itr_area;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(MiniCacti, AreaScalesWithBitsAndPorts) {
+  const auto one = CacheGeometry::from_bytes(8 * 1024, 2, 1024, 1);
+  const auto two = CacheGeometry::from_bytes(16 * 1024, 2, 2048, 1);
+  EXPECT_NEAR(area_cm2(two) / area_cm2(one), 2.0, 0.01);
+  const auto dual = CacheGeometry::from_bytes(8 * 1024, 2, 1024, 2);
+  EXPECT_GT(area_cm2(dual), area_cm2(one));
+}
+
+TEST(MiniCacti, TotalEnergyMilliJoules) {
+  // 100M accesses at 0.87 nJ = 87 mJ (the scale of the paper's Figure 9).
+  EXPECT_NEAR(total_energy_mj(power4_icache_geometry(), 100'000'000), 87.0, 1.5);
+  EXPECT_EQ(total_energy_mj(power4_icache_geometry(), 0), 0.0);
+}
+
+TEST(MiniCacti, ItrBeatsRedundantFetchByALot) {
+  // The Figure 9 comparison: per-trace ITR accesses vs per-instruction
+  // redundant fetch.  With ~6 instructions per trace the ITR cache spends
+  // several times less energy.
+  const std::uint64_t insns = 10'000'000;
+  const std::uint64_t traces = insns / 6;
+  const double icache = total_energy_mj(power4_icache_geometry(), insns / 2);
+  const double itr = total_energy_mj(itr_cache_geometry(1), traces);
+  EXPECT_LT(itr, icache / 2.0);
+}
+
+}  // namespace
+}  // namespace itr::power

@@ -1,0 +1,244 @@
+// Differential and property-based tests: randomized workloads checked
+// against simple reference models.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.hpp"
+#include "isa/decode.hpp"
+#include "itr/itr_cache.hpp"
+#include "sim/memory.hpp"
+#include "util/rng.hpp"
+
+namespace itr {
+namespace {
+
+// ---- SetAssocCache vs a straightforward reference LRU model. -----------------
+
+class ReferenceLru {
+ public:
+  ReferenceLru(std::size_t sets, std::size_t ways, unsigned shift)
+      : sets_(sets), ways_(ways), shift_(shift), lines_(sets) {}
+
+  bool lookup(std::uint64_t key) {
+    auto& set = lines_[set_of(key)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == key) {
+        set.erase(it);
+        set.push_front(key);  // MRU at front
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(std::uint64_t key) {
+    auto& set = lines_[set_of(key)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == key) {
+        set.erase(it);
+        break;
+      }
+    }
+    set.push_front(key);
+    if (set.size() > ways_) set.pop_back();
+  }
+
+ private:
+  std::size_t set_of(std::uint64_t key) const {
+    return static_cast<std::size_t>((key >> shift_) & (sets_ - 1));
+  }
+
+  std::size_t sets_, ways_;
+  unsigned shift_;
+  std::vector<std::list<std::uint64_t>> lines_;
+};
+
+struct CacheDifferentialCase {
+  std::size_t entries;
+  std::size_t assoc;
+};
+
+struct CacheDifferential : ::testing::TestWithParam<CacheDifferentialCase> {};
+
+TEST_P(CacheDifferential, MatchesReferenceLruModel) {
+  const auto [entries, assoc] = GetParam();
+  cache::CacheConfig cfg;
+  cfg.num_entries = entries;
+  cfg.associativity = assoc;
+  cfg.key_shift = 3;
+  cache::SetAssocCache<int> dut(cfg);
+  const std::size_t ways = assoc == 0 ? entries : assoc;
+  ReferenceLru ref(entries / ways, ways, 3);
+
+  util::Xoshiro256StarStar rng(entries * 131 + assoc);
+  for (int i = 0; i < 60'000; ++i) {
+    // Skewed key distribution: hot set + occasional far keys.
+    const std::uint64_t key =
+        (rng.chance(0.8) ? rng.below(entries) : rng.below(entries * 8)) << 3;
+    if (rng.chance(0.6)) {
+      const bool dut_hit = dut.lookup(key) != nullptr;
+      const bool ref_hit = ref.lookup(key);
+      ASSERT_EQ(dut_hit, ref_hit) << "op " << i << " key " << key;
+    } else {
+      dut.insert(key, i);
+      ref.insert(key);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheDifferential,
+    ::testing::Values(CacheDifferentialCase{64, 1}, CacheDifferentialCase{64, 2},
+                      CacheDifferentialCase{256, 4}, CacheDifferentialCase{64, 0},
+                      CacheDifferentialCase{128, 8}));
+
+// ---- ItrCache conservation invariants under random trace streams. --------------
+
+TEST(ItrCacheProperties, InstructionAccountingConserved) {
+  core::ItrCacheConfig cfg;
+  cfg.num_signatures = 64;
+  cfg.associativity = 2;
+  core::ItrCache cache(cfg);
+
+  util::Xoshiro256StarStar rng(11);
+  std::uint64_t fed_instructions = 0;
+  std::uint64_t detected_retroactively = 0;
+  std::uint64_t hit_instructions = 0;
+  std::uint64_t index = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    trace::TraceRecord rec;
+    rec.start_pc = 0x1000 + rng.below(300) * 64;
+    rec.num_instructions = 1 + static_cast<std::uint32_t>(rng.below(16));
+    rec.first_insn_index = index;
+    index += rec.num_instructions;
+    fed_instructions += rec.num_instructions;
+    const auto probe = cache.probe(rec);
+    if (probe.outcome == core::ProbeOutcome::kMiss) {
+      cache.install(rec);
+    } else {
+      hit_instructions += rec.num_instructions;
+      if (probe.cleared_unchecked) {
+        detected_retroactively += probe.cleared_pending_instructions;
+      }
+    }
+  }
+  cache.finish();
+  const auto& c = cache.counters();
+  EXPECT_EQ(c.total_instructions, fed_instructions);
+  // Every missed instruction ends in exactly one bucket: retroactively
+  // detected, permanently lost (evicted unreferenced), or still pending.
+  EXPECT_EQ(c.recovery_loss_instructions,
+            detected_retroactively + c.detection_loss_instructions +
+                c.pending_instructions_at_end);
+  // Hits + misses partition the stream.
+  EXPECT_EQ(c.hits + c.misses, c.total_traces);
+  EXPECT_EQ(c.recovery_loss_instructions + hit_instructions, fed_instructions);
+  EXPECT_LE(c.detection_loss_instructions, c.recovery_loss_instructions);
+}
+
+TEST(ItrCacheProperties, BiggerIsMonotonicallyBetterFullyAssociative) {
+  // For fully-associative LRU, capacity is monotone (inclusion property):
+  // a larger cache never misses where a smaller one hits.
+  util::Xoshiro256StarStar rng(5);
+  std::vector<trace::TraceRecord> stream;
+  std::uint64_t index = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    trace::TraceRecord rec;
+    rec.start_pc = 0x1000 + rng.below(200) * 64;
+    rec.num_instructions = 4;
+    rec.first_insn_index = index;
+    index += 4;
+    stream.push_back(rec);
+  }
+  std::uint64_t prev_loss = ~0ULL;
+  for (const std::size_t size : {std::size_t{32}, std::size_t{64}, std::size_t{128},
+                                 std::size_t{256}}) {
+    core::ItrCacheConfig cfg;
+    cfg.num_signatures = size;
+    cfg.associativity = 0;
+    core::ItrCache cache(cfg);
+    for (const auto& rec : stream) {
+      if (cache.probe(rec).outcome == core::ProbeOutcome::kMiss) cache.install(rec);
+    }
+    cache.finish();
+    EXPECT_LE(cache.counters().recovery_loss_instructions, prev_loss) << size;
+    prev_loss = cache.counters().recovery_loss_instructions;
+  }
+}
+
+// ---- Signature algebra. --------------------------------------------------------
+
+TEST(SignatureProperties, XorFoldDetectsAnySingleBitFlip) {
+  util::Xoshiro256StarStar rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random trace of 1..16 random instruction bundles.
+    const unsigned len = 1 + static_cast<unsigned>(rng.below(16));
+    std::vector<std::uint64_t> bundles;
+    std::uint64_t sig = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      isa::DecodeSignals s;
+      s.opcode = static_cast<std::uint8_t>(rng.below(isa::kNumOpcodes));
+      s.rsrc1 = static_cast<std::uint8_t>(rng.below(32));
+      s.rsrc2 = static_cast<std::uint8_t>(rng.below(32));
+      s.rdst = static_cast<std::uint8_t>(rng.below(32));
+      s.imm = static_cast<std::uint16_t>(rng.below(65536));
+      s.flags = static_cast<std::uint16_t>(rng.below(4096));
+      bundles.push_back(s.pack());
+      sig ^= bundles.back();
+    }
+    // Flip one bit of one member: the fold must change (single-event upset).
+    const std::size_t victim = static_cast<std::size_t>(rng.below(len));
+    const unsigned bit = static_cast<unsigned>(rng.below(64));
+    std::uint64_t faulty_sig = 0;
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      faulty_sig ^= i == victim ? bundles[i] ^ (1ULL << bit) : bundles[i];
+    }
+    EXPECT_NE(faulty_sig, sig);
+    EXPECT_EQ(faulty_sig ^ sig, 1ULL << bit);  // and pinpoints the bit
+  }
+}
+
+TEST(SignatureProperties, EvenFaultsOnSameSignalCancel) {
+  // The paper's stated XOR limitation: an even number of identical flips in
+  // the same signal position masks itself.
+  isa::DecodeSignals a = isa::decode(isa::make_rr(isa::Opcode::kAdd, 1, 2, 3));
+  isa::DecodeSignals b = isa::decode(isa::make_rr(isa::Opcode::kSub, 4, 5, 6));
+  const std::uint64_t clean = a.pack() ^ b.pack();
+  a.flip_bit(27);
+  b.flip_bit(27);
+  EXPECT_EQ(a.pack() ^ b.pack(), clean);
+}
+
+// ---- Memory vs a byte-map reference. --------------------------------------------
+
+TEST(MemoryProperties, MatchesByteMapReference) {
+  sim::Memory mem;
+  std::map<std::uint64_t, std::uint8_t> ref;
+  util::Xoshiro256StarStar rng(33);
+  for (int i = 0; i < 30'000; ++i) {
+    const std::uint64_t addr = rng.below(1u << 20);
+    const unsigned size = 1u << rng.below(4);  // 1/2/4/8
+    if (rng.chance(0.5)) {
+      const std::uint64_t value = rng.next();
+      mem.write(addr, value, size);
+      for (unsigned b = 0; b < size; ++b) {
+        ref[(addr + b) & sim::Memory::kAddressMask] =
+            static_cast<std::uint8_t>(value >> (8 * b));
+      }
+    } else {
+      const std::uint64_t got = mem.read(addr, size);
+      std::uint64_t want = 0;
+      for (unsigned b = 0; b < size; ++b) {
+        const auto it = ref.find((addr + b) & sim::Memory::kAddressMask);
+        want |= static_cast<std::uint64_t>(it == ref.end() ? 0 : it->second) << (8 * b);
+      }
+      ASSERT_EQ(got, want) << "addr " << addr << " size " << size;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itr

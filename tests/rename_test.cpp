@@ -1,0 +1,197 @@
+// Tests for the rename substrate and the rename-ITR check (the paper's
+// Section 1 extension: record and confirm the architectural indexes observed
+// at the rename map-table ports).
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.hpp"
+#include "sim/rename.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr::sim {
+namespace {
+
+using isa::Opcode;
+
+isa::DecodeSignals sig_of(const isa::Instruction& inst) { return isa::decode(inst); }
+
+TEST(RenameUnit, InitialMappingIsIdentity) {
+  RenameUnit ru;
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(ru.int_mapping(r), r);
+    EXPECT_EQ(ru.fp_mapping(r), r);
+  }
+  EXPECT_EQ(ru.int_free_count(), 64u);
+}
+
+TEST(RenameUnit, RejectsTooFewPhysicalRegisters) {
+  EXPECT_THROW(RenameUnit(32), std::invalid_argument);
+}
+
+TEST(RenameUnit, DestinationAllocatesFreshTag) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto rec = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 5, 1, 2)), 0, none);
+  EXPECT_TRUE(rec.has_dest);
+  EXPECT_EQ(rec.prev_dest_phys, 5u);       // identity mapping displaced
+  EXPECT_GE(rec.dest_phys, 32u);           // fresh physical register
+  EXPECT_EQ(ru.int_mapping(5), rec.dest_phys);
+  EXPECT_EQ(ru.int_free_count(), 63u);
+}
+
+TEST(RenameUnit, SourcesReadLatestMapping) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto w = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 5, 1, 2)), 0, none);
+  const auto r = ru.rename(sig_of(isa::make_rr(Opcode::kSub, 6, 5, 5)), 1, none);
+  EXPECT_EQ(r.src1_phys, w.dest_phys);
+  EXPECT_EQ(r.src2_phys, w.dest_phys);
+}
+
+TEST(RenameUnit, CommitRecyclesDisplacedTag) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto a = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 5, 1, 2)), 0, none);
+  ru.commit(a);
+  EXPECT_EQ(ru.int_free_count(), 64u);  // prev mapping (phys 5) returned
+  // Sustained renaming never exhausts the free list when paired with commit.
+  for (int i = 0; i < 1000; ++i) {
+    const auto rec = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 7, 1, 2)),
+                               static_cast<std::uint64_t>(i), none);
+    ru.commit(rec);
+  }
+  EXPECT_EQ(ru.int_free_count(), 64u);
+}
+
+TEST(RenameUnit, ZeroRegisterDestinationNotRenamed) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto rec = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 0, 1, 2)), 0, none);
+  EXPECT_FALSE(rec.has_dest);
+  EXPECT_EQ(ru.int_free_count(), 64u);
+}
+
+TEST(RenameUnit, FpDestinationsUseFpFile) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto rec = ru.rename(sig_of(isa::make_rr(Opcode::kFadd, 3, 1, 2)), 0, none);
+  EXPECT_TRUE(rec.dest_fp);
+  EXPECT_EQ(ru.fp_mapping(3), rec.dest_phys);
+  EXPECT_EQ(ru.int_mapping(3), 3u);  // int file untouched
+  EXPECT_EQ(ru.fp_free_count(), 63u);
+}
+
+TEST(RenameUnit, PortFaultCorruptsObservedIndex) {
+  RenameUnit ru;
+  RenameFault fault;
+  fault.enabled = true;
+  fault.target_decode_index = 4;
+  fault.port = 0;
+  fault.bit = 2;  // flips index bit 2: 1 -> 5
+  const auto clean = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 6, 1, 2)), 3, fault);
+  EXPECT_EQ(clean.src1_index, 1u);  // wrong instruction: untouched
+  const auto faulty = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 7, 1, 2)), 4, fault);
+  EXPECT_EQ(faulty.src1_index, 5u);
+  // The corrupted port shows up in the trace-signature contribution, while a
+  // clean rename of the same instruction does not.
+  const auto clean_again = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 7, 1, 2)), 5, fault);
+  EXPECT_NE(faulty.signature_contribution(), clean_again.signature_contribution());
+  (void)clean;
+}
+
+TEST(RenameUnit, SignatureContributionEncodesAllPorts) {
+  RenameUnit ru;
+  const RenameFault none;
+  const auto a = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 3, 1, 2)), 0, none);
+  const auto b = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 3, 2, 1)), 1, none);
+  EXPECT_NE(a.signature_contribution(), b.signature_contribution());
+  const auto c = ru.rename(sig_of(isa::make_rr(Opcode::kAdd, 4, 1, 2)), 2, none);
+  EXPECT_NE(a.signature_contribution(), c.signature_contribution());
+}
+
+// ---- Pipeline integration. ----------------------------------------------------
+
+TEST(RenameCheck, QuietOnFaultFreeRuns) {
+  const auto prog = workload::generate_spec("twolf", 200'000);
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.rename_check = true;
+  CycleSim cs(prog, std::move(opt));
+  cs.run(100'000);
+  ASSERT_NE(cs.rename_cache(), nullptr);
+  bool rename_mismatch = false;
+  while (auto ev = cs.next_itr_event()) {
+    rename_mismatch |= ev->kind == ItrEvent::Kind::kRenameMismatch;
+  }
+  EXPECT_FALSE(rename_mismatch);
+  EXPECT_GT(cs.rename_cache()->counters().hits, 10'000u);
+}
+
+TEST(RenameCheck, DetectsMapTablePortFault) {
+  const auto prog = workload::mini_program("sum_loop");
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.rename_check = true;
+  opt.rename_fault.enabled = true;
+  opt.rename_fault.target_decode_index = 150;  // hot, cached loop trace
+  opt.rename_fault.port = 0;
+  opt.rename_fault.bit = 2;
+  CycleSim cs(prog, std::move(opt));
+  cs.run();
+  bool rename_detected = false;
+  bool decode_detected = false;
+  bool incoming = false;
+  while (auto ev = cs.next_itr_event()) {
+    if (ev->kind == ItrEvent::Kind::kRenameMismatch) {
+      rename_detected = true;
+      incoming = ev->incoming_contains_fault;
+    }
+    if (ev->kind == ItrEvent::Kind::kMismatchDetected) decode_detected = true;
+  }
+  EXPECT_TRUE(rename_detected);
+  EXPECT_TRUE(incoming);
+  // The decode-signal signature CANNOT see a post-decode rename fault — the
+  // coverage gap the paper's extension closes.
+  EXPECT_FALSE(decode_detected);
+}
+
+TEST(RenameCheck, PortFaultCorruptsArchitecture) {
+  // Reading the wrong map-table index makes the add consume the wrong value:
+  // the final sum must be wrong, confirming the fault matters.
+  const auto prog = workload::mini_program("sum_loop");
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.rename_fault.enabled = true;
+  opt.rename_fault.target_decode_index = 150;
+  opt.rename_fault.port = 0;
+  opt.rename_fault.bit = 3;
+  CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), RunTermination::kExited);
+  EXPECT_NE(cs.output(), "5050");
+}
+
+TEST(RenameCheck, DisabledWithoutItr) {
+  const auto prog = workload::mini_program("sum_loop");
+  CycleSim::Options opt;
+  opt.rename_check = true;  // no itr configured -> no rename cache either
+  CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.rename_cache(), nullptr);
+  EXPECT_EQ(cs.output(), "5050");
+}
+
+TEST(RenameCheck, RecoveryModeStaysCorrectWithRenameCheck) {
+  const auto prog = workload::mini_program("bubble_sort");
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.itr_recovery = true;
+  opt.rename_check = true;
+  CycleSim cs(prog, std::move(opt));
+  cs.run();
+  EXPECT_EQ(cs.termination(), RunTermination::kExited);
+  EXPECT_EQ(cs.output(), workload::mini_program_expected_output("bubble_sort"));
+}
+
+}  // namespace
+}  // namespace itr::sim

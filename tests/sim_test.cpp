@@ -1,0 +1,461 @@
+// Tests for the simulation substrate: sparse memory, executor semantics
+// (including fault-gating behaviour), the functional simulator on the mini
+// programs, and the branch predictor.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/builder.hpp"
+#include "sim/branch_pred.hpp"
+#include "sim/exec.hpp"
+#include "sim/functional.hpp"
+#include "sim/memory.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr::sim {
+namespace {
+
+using isa::Opcode;
+
+TEST(Memory, ReadsZeroWhenUntouched) {
+  Memory m;
+  EXPECT_EQ(m.read32(0x1234), 0u);
+  EXPECT_EQ(m.num_pages(), 0u);
+}
+
+TEST(Memory, LittleEndianRoundTrip) {
+  Memory m;
+  m.write32(0x1000, 0xdeadbeef);
+  EXPECT_EQ(m.read32(0x1000), 0xdeadbeefu);
+  EXPECT_EQ(m.read8(0x1000), 0xefu);
+  EXPECT_EQ(m.read8(0x1003), 0xdeu);
+  EXPECT_EQ(m.read16(0x1002), 0xdeadu);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory m;
+  const std::uint64_t addr = Memory::kPageBytes - 2;
+  m.write64(addr, 0x1122334455667788ULL);
+  EXPECT_EQ(m.read64(addr), 0x1122334455667788ULL);
+  EXPECT_EQ(m.num_pages(), 2u);
+}
+
+TEST(Memory, SizedAccessors) {
+  Memory m;
+  m.write(0x2000, 0xffffffffffffffffULL, 4);
+  EXPECT_EQ(m.read(0x2000, 8), 0x00000000ffffffffULL);
+  m.write(0x3000, 0xab, 1);
+  EXPECT_EQ(m.read(0x3000, 1), 0xabu);
+  // Unsupported size: no-op / zero.
+  m.write(0x4000, 0x1, 3);
+  EXPECT_EQ(m.read(0x4000, 3), 0u);
+}
+
+TEST(Memory, AddressesWrapAt32Bits) {
+  Memory m;
+  m.write8(0x1'0000'0010ULL, 0x42);  // beyond 32 bits wraps into the space
+  EXPECT_EQ(m.read8(0x10), 0x42);
+}
+
+// ---- Executor semantics. ----------------------------------------------------
+
+struct ExecFixture : ::testing::Test {
+  ArchState st;
+  Memory mem;
+  std::string out;
+
+  ExecEffects run(const isa::Instruction& inst) {
+    ExecInput in;
+    in.sig = isa::decode(inst);
+    in.pc = st.pc;
+    in.predicted_next = st.pc + isa::kInstrBytes;
+    return execute(in, st, mem, &out);
+  }
+};
+
+TEST_F(ExecFixture, IntegerArithmetic) {
+  st.set_ireg(1, 7);
+  st.set_ireg(2, 5);
+  run(isa::make_rr(Opcode::kAdd, 3, 1, 2));
+  EXPECT_EQ(st.ireg(3), 12u);
+  run(isa::make_rr(Opcode::kSub, 4, 1, 2));
+  EXPECT_EQ(st.ireg(4), 2u);
+  run(isa::make_rr(Opcode::kMul, 5, 1, 2));
+  EXPECT_EQ(st.ireg(5), 35u);
+}
+
+TEST_F(ExecFixture, DivisionByZeroIsSafe) {
+  st.set_ireg(1, 100);
+  st.set_ireg(2, 0);
+  run(isa::make_rr(Opcode::kDiv, 3, 1, 2));
+  EXPECT_EQ(st.ireg(3), 0u);
+  run(isa::make_rr(Opcode::kRem, 3, 1, 2));
+  EXPECT_EQ(st.ireg(3), 0u);
+}
+
+TEST_F(ExecFixture, SignedDivisionOverflowIsSafe) {
+  st.set_ireg(1, 0x80000000u);  // INT32_MIN
+  st.set_ireg(2, static_cast<std::uint32_t>(-1));
+  run(isa::make_rr(Opcode::kDiv, 3, 1, 2));
+  EXPECT_EQ(st.ireg(3), 0x80000000u);
+  run(isa::make_rr(Opcode::kRem, 4, 1, 2));
+  EXPECT_EQ(st.ireg(4), 0u);
+}
+
+TEST_F(ExecFixture, ZeroRegisterIsImmutable) {
+  st.set_ireg(1, 5);
+  run(isa::make_rr(Opcode::kAdd, 0, 1, 1));
+  EXPECT_EQ(st.ireg(0), 0u);
+}
+
+TEST_F(ExecFixture, ShiftsAndLogic) {
+  st.set_ireg(1, 0xf0);
+  run(isa::make_shift(Opcode::kSll, 2, 1, 4));
+  EXPECT_EQ(st.ireg(2), 0xf00u);
+  run(isa::make_shift(Opcode::kSrl, 3, 1, 4));
+  EXPECT_EQ(st.ireg(3), 0xfu);
+  st.set_ireg(4, 0x80000000u);
+  run(isa::make_shift(Opcode::kSra, 5, 4, 31));
+  EXPECT_EQ(st.ireg(5), 0xffffffffu);
+  st.set_ireg(6, 3);
+  run(isa::make_rr(Opcode::kSllv, 7, 6, 1));  // r7 = r1 << (r6&31)
+  EXPECT_EQ(st.ireg(7), 0xf0u << 3);
+}
+
+TEST_F(ExecFixture, LuiAndImmediates) {
+  run(isa::make_lui(1, 0x1234));
+  EXPECT_EQ(st.ireg(1), 0x12340000u);
+  run(isa::make_ri(Opcode::kOri, 1, 1, 0x00ff));
+  EXPECT_EQ(st.ireg(1), 0x123400ffu);
+  run(isa::make_ri(Opcode::kAddi, 2, 0, -7));
+  EXPECT_EQ(static_cast<std::int32_t>(st.ireg(2)), -7);
+  run(isa::make_ri(Opcode::kSlti, 3, 2, 0));
+  EXPECT_EQ(st.ireg(3), 1u);
+}
+
+TEST_F(ExecFixture, LoadsSignAndZeroExtend) {
+  mem.write32(0x4000, 0xffffff80);  // byte at 0x4000 = 0x80
+  st.set_ireg(1, 0x4000);
+  run(isa::make_load(Opcode::kLb, 2, 1, 0));
+  EXPECT_EQ(st.ireg(2), 0xffffff80u);  // sign-extended
+  run(isa::make_load(Opcode::kLbu, 3, 1, 0));
+  EXPECT_EQ(st.ireg(3), 0x80u);  // zero-extended
+  run(isa::make_load(Opcode::kLh, 4, 1, 0));
+  EXPECT_EQ(st.ireg(4), 0xffffff80u);
+  run(isa::make_load(Opcode::kLw, 5, 1, 0));
+  EXPECT_EQ(st.ireg(5), 0xffffff80u);
+}
+
+TEST_F(ExecFixture, StoresHonorWidth) {
+  st.set_ireg(1, 0x5000);
+  st.set_ireg(2, 0xaabbccdd);
+  mem.write32(0x5000, 0x11111111);
+  run(isa::make_store(Opcode::kSb, 2, 1, 0));
+  EXPECT_EQ(mem.read32(0x5000), 0x111111ddu);
+  run(isa::make_store(Opcode::kSh, 2, 1, 0));
+  EXPECT_EQ(mem.read32(0x5000), 0x1111ccddu);
+  run(isa::make_store(Opcode::kSw, 2, 1, 0));
+  EXPECT_EQ(mem.read32(0x5000), 0xaabbccddu);
+}
+
+TEST_F(ExecFixture, PartialWordLoadsMerge) {
+  mem.write32(0x6000, 0x44332211);
+  st.set_ireg(1, 0x6000);
+  st.set_ireg(2, 0xffffffff);
+  // lwr from offset 2: replaces the low 2 bytes of the old value.
+  isa::Instruction lwr = isa::make_load(Opcode::kLwr, 2, 1, 2);
+  run(lwr);
+  EXPECT_EQ(st.ireg(2), 0xffff4433u);
+}
+
+TEST_F(ExecFixture, BranchesResolveDirection) {
+  st.pc = 0x1000;
+  st.set_ireg(1, 5);
+  st.set_ireg(2, 5);
+  auto fx = run(isa::make_branch2(Opcode::kBeq, 1, 2, 4));
+  EXPECT_TRUE(fx.engaged_branch_unit);
+  EXPECT_TRUE(fx.taken);
+  EXPECT_EQ(fx.next_pc, 0x1000u + 8 + 4 * 8);
+
+  st.pc = 0x1000;
+  st.set_ireg(2, 6);
+  fx = run(isa::make_branch2(Opcode::kBeq, 1, 2, 4));
+  EXPECT_FALSE(fx.taken);
+  EXPECT_EQ(fx.next_pc, 0x1008u);
+}
+
+TEST_F(ExecFixture, OneOperandBranches) {
+  st.pc = 0;
+  st.set_ireg(1, static_cast<std::uint32_t>(-3));
+  EXPECT_TRUE(run(isa::make_branch1(Opcode::kBltz, 1, 2)).taken);
+  st.pc = 0;
+  EXPECT_FALSE(run(isa::make_branch1(Opcode::kBgtz, 1, 2)).taken);
+  st.pc = 0;
+  EXPECT_TRUE(run(isa::make_branch1(Opcode::kBlez, 1, 2)).taken);
+  st.pc = 0;
+  st.set_ireg(1, 0);
+  EXPECT_TRUE(run(isa::make_branch1(Opcode::kBgez, 1, 2)).taken);
+}
+
+TEST_F(ExecFixture, JumpAndLink) {
+  st.pc = 0x2000;
+  auto fx = run(isa::make_jump(Opcode::kJal, 16));
+  EXPECT_EQ(st.ireg(isa::kRegRa), 0x2008u);
+  EXPECT_EQ(fx.next_pc, 0x2008u + 16 * 8);
+
+  st.pc = 0x3000;
+  st.set_ireg(5, 0x2008);
+  fx = run(isa::make_jump_reg(Opcode::kJr, 5));
+  EXPECT_EQ(fx.next_pc, 0x2008u);
+}
+
+TEST_F(ExecFixture, FloatingPointOps) {
+  st.set_freg(1, 2.5);
+  st.set_freg(2, 4.0);
+  run(isa::make_rr(Opcode::kFadd, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(st.freg(3), 6.5);
+  run(isa::make_rr(Opcode::kFmul, 4, 1, 2));
+  EXPECT_DOUBLE_EQ(st.freg(4), 10.0);
+  run(isa::make_rr(Opcode::kFdiv, 5, 2, 1));
+  EXPECT_DOUBLE_EQ(st.freg(5), 1.6);
+  run(isa::make_ri(Opcode::kFneg, 6, 1, 0));
+  EXPECT_DOUBLE_EQ(st.freg(6), -2.5);
+  run(isa::make_rr(Opcode::kFclt, 7, 1, 2));
+  EXPECT_EQ(st.ireg(7), 1u);
+}
+
+TEST_F(ExecFixture, FpDivisionByZeroIsSafe) {
+  st.set_freg(1, 3.0);
+  st.set_freg(2, 0.0);
+  run(isa::make_rr(Opcode::kFdiv, 3, 1, 2));
+  EXPECT_DOUBLE_EQ(st.freg(3), 0.0);
+}
+
+TEST_F(ExecFixture, Conversions) {
+  st.set_ireg(1, static_cast<std::uint32_t>(-9));
+  run(isa::make_ri(Opcode::kCvtIf, 2, 1, 0));
+  EXPECT_DOUBLE_EQ(st.freg(2), -9.0);
+  st.set_freg(3, 123.9);
+  run(isa::make_ri(Opcode::kCvtFi, 4, 3, 0));
+  EXPECT_EQ(static_cast<std::int32_t>(st.ireg(4)), 123);
+  // Saturation on overflow and NaN.
+  st.set_freg(3, 1e300);
+  run(isa::make_ri(Opcode::kCvtFi, 4, 3, 0));
+  EXPECT_EQ(static_cast<std::int32_t>(st.ireg(4)), 2147483647);
+}
+
+TEST_F(ExecFixture, TrapsPrintAndExit) {
+  st.set_ireg(isa::kRegA0, static_cast<std::uint32_t>(-42));
+  run(isa::make_trap(1));
+  EXPECT_EQ(out, "-42");
+  st.set_ireg(isa::kRegA0, 'x');
+  run(isa::make_trap(2));
+  EXPECT_EQ(out, "-42x");
+  st.set_ireg(isa::kRegA0, 3);
+  auto fx = run(isa::make_trap(0));
+  EXPECT_TRUE(fx.exited);
+  EXPECT_EQ(fx.exit_status, 3);
+}
+
+// Fault-gating behaviour: the executor obeys flags/num_rdst/mem_size the way
+// the hardware would, so corrupted signals have realistic consequences.
+
+TEST_F(ExecFixture, ClearedLoadFlagSuppressesMemoryRead) {
+  mem.write32(0x4000, 77);
+  st.set_ireg(1, 0x4000);
+  isa::DecodeSignals sig = isa::decode(isa::make_load(Opcode::kLw, 2, 1, 0));
+  sig.flags = static_cast<std::uint16_t>(sig.flags & ~isa::flag_bits(isa::Flag::kIsLoad));
+  ExecInput in{sig, st.pc, st.pc + 8};
+  const auto fx = execute(in, st, mem, &out);
+  EXPECT_FALSE(fx.did_load);
+  EXPECT_EQ(st.ireg(2), 0u);  // writeback still happens, with the unit's zero
+}
+
+TEST_F(ExecFixture, ClearedNumRdstSuppressesWriteback) {
+  st.set_ireg(1, 7);
+  st.set_ireg(2, 5);
+  st.set_ireg(3, 99);
+  isa::DecodeSignals sig = isa::decode(isa::make_rr(Opcode::kAdd, 3, 1, 2));
+  sig.num_rdst = 0;
+  ExecInput in{sig, st.pc, st.pc + 8};
+  execute(in, st, mem, &out);
+  EXPECT_EQ(st.ireg(3), 99u);  // stale value survives
+}
+
+TEST_F(ExecFixture, CorruptedRdstWritesWrongRegister) {
+  st.set_ireg(1, 7);
+  st.set_ireg(2, 5);
+  isa::DecodeSignals sig = isa::decode(isa::make_rr(Opcode::kAdd, 3, 1, 2));
+  sig.rdst = 9;
+  ExecInput in{sig, st.pc, st.pc + 8};
+  execute(in, st, mem, &out);
+  EXPECT_EQ(st.ireg(9), 12u);
+  EXPECT_EQ(st.ireg(3), 0u);
+}
+
+TEST_F(ExecFixture, ClearedBranchFlagFollowsPrediction) {
+  // A taken beq whose is_branch flag is knocked off: the branch unit never
+  // engages, so the stream continues wherever fetch prediction pointed.
+  st.pc = 0x1000;
+  st.set_ireg(1, 4);
+  st.set_ireg(2, 4);
+  isa::DecodeSignals sig = isa::decode(isa::make_branch2(Opcode::kBeq, 1, 2, 10));
+  sig.flags = static_cast<std::uint16_t>(sig.flags & ~isa::flag_bits(isa::Flag::kIsBranch));
+  ExecInput in{sig, st.pc, /*predicted_next=*/0x1000 + 8 + 80};
+  const auto fx = execute(in, st, mem, &out);
+  EXPECT_FALSE(fx.engaged_branch_unit);
+  EXPECT_EQ(fx.next_pc, 0x1000u + 8 + 80);  // prediction, not resolution
+}
+
+TEST_F(ExecFixture, ForcedBranchFlagResolvesNotTaken) {
+  st.pc = 0x1000;
+  st.set_ireg(1, 7);
+  isa::DecodeSignals sig = isa::decode(isa::make_ri(Opcode::kAddi, 2, 1, 1));
+  sig.flags = static_cast<std::uint16_t>(sig.flags | isa::flag_bits(isa::Flag::kIsBranch));
+  ExecInput in{sig, st.pc, 0x9000};
+  const auto fx = execute(in, st, mem, &out);
+  EXPECT_TRUE(fx.engaged_branch_unit);
+  EXPECT_FALSE(fx.taken);
+  EXPECT_EQ(fx.next_pc, 0x1008u);  // resolved fall-through repairs prediction
+}
+
+TEST_F(ExecFixture, CorruptedMemSizeChangesAccessWidth) {
+  st.set_ireg(1, 0x7000);
+  st.set_ireg(2, 0xaabbccdd);
+  mem.write32(0x7000, 0);
+  isa::DecodeSignals sig = isa::decode(isa::make_store(Opcode::kSw, 2, 1, 0));
+  sig.mem_size = static_cast<std::uint8_t>(isa::MemSize::kByte);
+  ExecInput in{sig, st.pc, st.pc + 8};
+  execute(in, st, mem, &out);
+  EXPECT_EQ(mem.read32(0x7000), 0xddu);  // only one byte written
+}
+
+TEST_F(ExecFixture, InvalidOpcodeActsAsNop) {
+  isa::DecodeSignals sig;
+  sig.opcode = 0xff;
+  sig.num_rdst = 0;
+  ExecInput in{sig, 0x100, 0x108};
+  const auto fx = execute(in, st, mem, &out);
+  EXPECT_EQ(fx.next_pc, 0x108u);
+  EXPECT_FALSE(fx.wrote_int);
+}
+
+// ---- Functional simulator on the mini programs. -----------------------------
+
+struct MiniProgramTest : ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(MiniProgramTest, ProducesExpectedOutput) {
+  const auto prog = workload::mini_program(GetParam());
+  FunctionalSim fsim(prog);
+  fsim.run(2'000'000);
+  EXPECT_TRUE(fsim.done()) << "program did not terminate";
+  EXPECT_FALSE(fsim.aborted());
+  EXPECT_EQ(fsim.exit_status(), 0);
+  EXPECT_EQ(fsim.output(), workload::mini_program_expected_output(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMiniPrograms, MiniProgramTest,
+                         ::testing::Values("sum_loop", "fibonacci", "bubble_sort",
+                                           "matmul", "checksum", "string_count"),
+                         [](const auto& pinfo) { return std::string(pinfo.param); });
+
+TEST(FunctionalSim, StepReportsIndicesAndSignals) {
+  const auto prog = workload::mini_program("sum_loop");
+  FunctionalSim fsim(prog);
+  const auto s0 = fsim.step();
+  EXPECT_EQ(s0.index, 0u);
+  EXPECT_EQ(s0.pc, prog.entry);
+  const auto s1 = fsim.step();
+  EXPECT_EQ(s1.index, 1u);
+  EXPECT_EQ(fsim.instructions_retired(), 2u);
+}
+
+TEST(FunctionalSim, RunHonorsInstructionBudget) {
+  const auto prog = workload::mini_program("sum_loop");
+  FunctionalSim fsim(prog);
+  EXPECT_EQ(fsim.run(10), 10u);
+  EXPECT_FALSE(fsim.done());
+}
+
+TEST(FunctionalSim, WildJumpAborts) {
+  const auto prog = isa::assemble(R"(
+main:
+  li r1, 0x100000
+  jr r1
+)");
+  FunctionalSim fsim(prog);
+  fsim.run(10);
+  EXPECT_TRUE(fsim.done());
+  EXPECT_TRUE(fsim.aborted());
+}
+
+// ---- Branch predictor. --------------------------------------------------------
+
+TEST(BranchPredictor, ColdPredictsSequential) {
+  BranchPredictor bp;
+  const auto p = bp.predict(0x1000);
+  EXPECT_FALSE(p.btb_hit);
+  EXPECT_EQ(p.next_pc, 0x1008u);
+}
+
+TEST(BranchPredictor, LearnsTakenBranch) {
+  BranchPredictor bp;
+  BranchOutcome out;
+  out.is_conditional = true;
+  out.taken = true;
+  out.target = 0x2000;
+  // Train with predict/update pairs the way the pipeline drives it; the
+  // gshare history reaches its all-taken fixed point within a history width.
+  for (int i = 0; i < 80; ++i) {
+    (void)bp.predict(0x1000);
+    bp.update(0x1000, out);
+  }
+  const auto p = bp.predict(0x1000);
+  EXPECT_TRUE(p.btb_hit);
+  EXPECT_TRUE(p.predicted_taken);
+  EXPECT_EQ(p.next_pc, 0x2000u);
+}
+
+TEST(BranchPredictor, CountersHysteresis) {
+  BranchPredictor bp;
+  BranchOutcome taken{true, false, false, true, 0x2000};
+  for (int i = 0; i < 80; ++i) {
+    (void)bp.predict(0x1000);
+    bp.update(0x1000, taken);
+  }
+  // One contrary outcome must not flip a saturated counter: the *same*
+  // history context predicts taken both before and after.
+  BranchOutcome not_taken{true, false, false, false, 0x2000};
+  ASSERT_TRUE(bp.predict(0x1000).predicted_taken);
+  bp.update(0x1000, not_taken);  // decrements the all-taken-context counter
+  // Walk the global history back to the all-taken fixed point using a
+  // different branch, then re-query the original context.
+  BranchOutcome other{true, false, false, true, 0x4000};
+  for (int i = 0; i < 80; ++i) bp.update(0x3000, other);
+  EXPECT_TRUE(bp.predict(0x1000).predicted_taken);
+}
+
+TEST(BranchPredictor, ReturnAddressStack) {
+  BranchPredictor bp;
+  // Train a call at 0x1000 -> 0x5000 and a return at 0x5008.
+  BranchOutcome call{false, true, false, true, 0x5000};
+  bp.update(0x1000, call);
+  BranchOutcome ret{false, false, true, true, 0x9999};
+  bp.update(0x5008, ret);
+  // Predicting the call pushes 0x1008; the return should pop it.
+  (void)bp.predict(0x1000);
+  const auto p = bp.predict(0x5008);
+  EXPECT_TRUE(p.is_return);
+  EXPECT_EQ(p.next_pc, 0x1008u);
+}
+
+TEST(BranchPredictor, UnconditionalJumpPredicted) {
+  BranchPredictor bp;
+  BranchOutcome jmp{false, false, false, true, 0x4000};
+  bp.update(0x1000, jmp);
+  const auto p = bp.predict(0x1000);
+  EXPECT_TRUE(p.btb_hit);
+  EXPECT_EQ(p.next_pc, 0x4000u);
+}
+
+}  // namespace
+}  // namespace itr::sim

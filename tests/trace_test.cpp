@@ -1,0 +1,216 @@
+// Tests for trace formation and repetition analysis (the machinery behind
+// the paper's Figures 1-4 and Table 1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "isa/decode.hpp"
+#include "sim/functional.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::trace {
+namespace {
+
+using isa::Opcode;
+
+isa::DecodeSignals sig_of(const isa::Instruction& inst) { return isa::decode(inst); }
+
+struct Collector {
+  std::vector<TraceRecord> records;
+  TraceBuilder builder{[this](const TraceRecord& r) { records.push_back(r); }};
+};
+
+TEST(TraceBuilder, TerminatesOnBranch) {
+  Collector c;
+  std::uint64_t pc = 0x1000, idx = 0;
+  c.builder.on_instruction(pc, sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3)), idx++);
+  pc += 8;
+  c.builder.on_instruction(pc, sig_of(isa::make_rr(Opcode::kSub, 4, 5, 6)), idx++);
+  pc += 8;
+  c.builder.on_instruction(pc, sig_of(isa::make_branch2(Opcode::kBeq, 1, 2, -2)), idx++);
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_EQ(c.records[0].start_pc, 0x1000u);
+  EXPECT_EQ(c.records[0].num_instructions, 3u);
+  EXPECT_TRUE(c.records[0].ended_on_branch);
+  EXPECT_EQ(c.records[0].first_insn_index, 0u);
+}
+
+TEST(TraceBuilder, TerminatesAtSixteenInstructions) {
+  Collector c;
+  for (unsigned i = 0; i < 20; ++i) {
+    c.builder.on_instruction(0x1000 + i * 8, sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3)), i);
+  }
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_EQ(c.records[0].num_instructions, kMaxTraceLength);
+  EXPECT_FALSE(c.records[0].ended_on_branch);
+  EXPECT_TRUE(c.builder.has_open_trace());
+  EXPECT_EQ(c.builder.open_start_pc(), 0x1000u + 16 * 8);
+}
+
+TEST(TraceBuilder, JumpsAndTrapsTerminate) {
+  Collector c;
+  c.builder.on_instruction(0, sig_of(isa::make_jump(Opcode::kJ, 1)), 0);
+  c.builder.on_instruction(8, sig_of(isa::make_trap(0)), 1);
+  ASSERT_EQ(c.records.size(), 2u);
+  EXPECT_TRUE(c.records[0].ended_on_branch);
+  EXPECT_TRUE(c.records[1].ended_on_branch);
+}
+
+TEST(TraceBuilder, SignatureIsXorOfBundles) {
+  const auto i1 = isa::make_rr(Opcode::kAdd, 1, 2, 3);
+  const auto i2 = isa::make_branch2(Opcode::kBne, 1, 2, 5);
+  Collector c;
+  c.builder.on_instruction(0, sig_of(i1), 0);
+  c.builder.on_instruction(8, sig_of(i2), 1);
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_EQ(c.records[0].signature, sig_of(i1).pack() ^ sig_of(i2).pack());
+}
+
+TEST(TraceBuilder, SameStartPcSameSignature) {
+  Collector c;
+  for (int rep = 0; rep < 2; ++rep) {
+    c.builder.on_instruction(0, sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3)),
+                             static_cast<std::uint64_t>(rep * 2));
+    c.builder.on_instruction(8, sig_of(isa::make_jump(Opcode::kJ, -2)),
+                             static_cast<std::uint64_t>(rep * 2 + 1));
+  }
+  ASSERT_EQ(c.records.size(), 2u);
+  EXPECT_EQ(c.records[0].signature, c.records[1].signature);
+  EXPECT_EQ(c.records[0].start_pc, c.records[1].start_pc);
+}
+
+TEST(TraceBuilder, CorruptedSignalChangesSignature) {
+  auto clean = sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3));
+  auto faulty = clean;
+  faulty.flip_bit(37);
+  Collector c;
+  c.builder.on_instruction(0, clean, 0);
+  c.builder.on_instruction(8, sig_of(isa::make_jump(Opcode::kJ, 0)), 1);
+  c.builder.on_instruction(0, faulty, 2);
+  c.builder.on_instruction(8, sig_of(isa::make_jump(Opcode::kJ, 0)), 3);
+  ASSERT_EQ(c.records.size(), 2u);
+  EXPECT_NE(c.records[0].signature, c.records[1].signature);
+}
+
+TEST(TraceBuilder, CorruptedBranchFlagMovesTraceBoundary) {
+  // A branch whose is_branch flag is knocked off no longer terminates the
+  // trace: the next instruction joins it, changing boundary and signature.
+  auto br = sig_of(isa::make_branch2(Opcode::kBeq, 1, 2, 4));
+  auto br_faulty = br;
+  br_faulty.flags =
+      static_cast<std::uint16_t>(br_faulty.flags & ~isa::flag_bits(isa::Flag::kIsBranch));
+  Collector c;
+  c.builder.on_instruction(0, br, 0);          // trace 1: just the branch
+  c.builder.on_instruction(0, br_faulty, 1);   // opens a trace that continues
+  c.builder.on_instruction(8, sig_of(isa::make_trap(0)), 2);
+  ASSERT_EQ(c.records.size(), 2u);
+  EXPECT_EQ(c.records[0].num_instructions, 1u);
+  EXPECT_EQ(c.records[1].num_instructions, 2u);
+  EXPECT_NE(c.records[0].signature, c.records[1].signature);
+}
+
+TEST(TraceBuilder, FlushEmitsPartialTrace) {
+  Collector c;
+  c.builder.on_instruction(0, sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3)), 0);
+  c.builder.flush();
+  ASSERT_EQ(c.records.size(), 1u);
+  EXPECT_FALSE(c.records[0].ended_on_branch);
+  c.builder.flush();  // idempotent
+  EXPECT_EQ(c.records.size(), 1u);
+}
+
+TEST(TraceBuilder, AbandonDiscardsOpenTrace) {
+  Collector c;
+  c.builder.on_instruction(0, sig_of(isa::make_rr(Opcode::kAdd, 1, 2, 3)), 0);
+  c.builder.abandon();
+  c.builder.flush();
+  EXPECT_TRUE(c.records.empty());
+}
+
+// ---- RepetitionAnalyzer. ------------------------------------------------------
+
+TraceRecord rec(std::uint64_t pc, std::uint32_t n, std::uint64_t first) {
+  TraceRecord r;
+  r.start_pc = pc;
+  r.num_instructions = n;
+  r.first_insn_index = first;
+  return r;
+}
+
+TEST(RepetitionAnalyzer, CountsStaticsAndDynamics) {
+  RepetitionAnalyzer an;
+  an.on_trace(rec(0x100, 4, 0));
+  an.on_trace(rec(0x200, 6, 4));
+  an.on_trace(rec(0x100, 4, 10));
+  EXPECT_EQ(an.num_static_traces(), 2u);
+  EXPECT_EQ(an.total_dynamic_traces(), 3u);
+  EXPECT_EQ(an.total_dynamic_instructions(), 14u);
+}
+
+TEST(RepetitionAnalyzer, DistanceHistogramWeightsByInstructions) {
+  RepetitionAnalyzer an(500, 20);
+  an.on_trace(rec(0x100, 4, 0));
+  an.on_trace(rec(0x100, 4, 100));   // distance 100 -> bin <500, weight 4
+  an.on_trace(rec(0x100, 4, 900));   // distance 800 -> bin <1000, weight 4
+  const auto& h = an.distance_histogram();
+  EXPECT_EQ(h.bin_count(0), 4u);
+  EXPECT_EQ(h.bin_count(1), 4u);
+  // Share within 500: 4 of the 12 total dynamic instructions.
+  EXPECT_DOUBLE_EQ(an.share_repeating_within(500), 4.0 / 12.0);
+  EXPECT_DOUBLE_EQ(an.share_repeating_within(1000), 8.0 / 12.0);
+}
+
+TEST(RepetitionAnalyzer, FirstOccurrencesNotCountedAsRepeats) {
+  RepetitionAnalyzer an;
+  an.on_trace(rec(0x100, 4, 0));
+  an.on_trace(rec(0x200, 4, 4));
+  EXPECT_EQ(an.distance_histogram().total(), 0u);
+  EXPECT_EQ(an.share_repeating_within(10'000), 0.0);
+}
+
+TEST(RepetitionAnalyzer, HotnessCurve) {
+  RepetitionAnalyzer an;
+  // Trace A contributes 90 instructions, trace B contributes 10.
+  for (int i = 0; i < 9; ++i) an.on_trace(rec(0xa0, 10, static_cast<std::uint64_t>(i) * 10));
+  an.on_trace(rec(0xb0, 10, 95));
+  const auto curve = an.cumulative_share_by_hotness();
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.9);
+  EXPECT_DOUBLE_EQ(curve[1], 1.0);
+  EXPECT_EQ(an.traces_for_share(0.5), 1u);
+  EXPECT_EQ(an.traces_for_share(0.95), 2u);
+}
+
+// ---- End-to-end on a real program. ---------------------------------------------
+
+TEST(TraceAnalysis, LoopProgramHasTightRepetition) {
+  // A 3-instruction loop body iterated 1000 times: one static trace carries
+  // nearly all dynamic instructions, repeating at distance 3.
+  isa::CodeBuilder cb("loop");
+  cb.li(1, 1000);
+  const auto head = cb.new_label();
+  cb.bind(head);
+  cb.emit(isa::make_rr(Opcode::kAdd, 2, 2, 1));
+  cb.emit(isa::make_ri(Opcode::kAddi, 1, 1, -1));
+  cb.branch1(Opcode::kBgtz, 1, head);
+  cb.exit0();
+  const auto prog = cb.finish();
+
+  RepetitionAnalyzer an;
+  TraceBuilder tb([&an](const TraceRecord& r) { an.on_trace(r); });
+  sim::FunctionalSim fsim(prog);
+  fsim.run(100'000, [&tb](const sim::FunctionalSim::Step& s) {
+    tb.on_instruction(s.pc, s.sig, s.index);
+  });
+  tb.flush();
+  EXPECT_TRUE(fsim.done());
+  // Statics: prologue trace (li..first branch) + loop-head trace + exit trace.
+  EXPECT_LE(an.num_static_traces(), 4u);
+  EXPECT_GT(an.share_repeating_within(500), 0.99);
+  EXPECT_EQ(an.traces_for_share(0.9), 1u);
+}
+
+}  // namespace
+}  // namespace itr::trace

@@ -1,0 +1,170 @@
+// Unit tests for src/util: RNG determinism, statistics, histograms, tables,
+// CLI parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace itr::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Xoshiro256StarStar rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Xoshiro256StarStar rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.in_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(BinnedHistogram, BinningAndOverflow) {
+  BinnedHistogram h(500, 4);  // bins <500, <1000, <1500, <2000
+  h.add(0);
+  h.add(499);
+  h.add(500);
+  h.add(1999);
+  h.add(2000, 10);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow(), 10u);
+  EXPECT_EQ(h.total(), 14u);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 4.0 / 14.0);
+  EXPECT_EQ(h.bin_upper_edge(0), 500u);
+}
+
+TEST(Stats, DescendingCumulativeShare) {
+  const auto curve = descending_cumulative_share({10, 30, 60});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.6);
+  EXPECT_DOUBLE_EQ(curve[1], 0.9);
+  EXPECT_DOUBLE_EQ(curve[2], 1.0);
+}
+
+TEST(Stats, PercentHandlesZeroDenominator) {
+  EXPECT_EQ(percent(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha").add(std::uint64_t{42});
+  t.begin_row().add("b").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.begin_row().add("x,y").add("he said \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, ThousandsSeparator) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(12345678), "12,345,678");
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--insns", "5000", "--csv", "--name=gcc", "posarg"};
+  CliFlags flags(6, argv);
+  EXPECT_EQ(flags.get_u64("insns", 0), 5000u);
+  EXPECT_TRUE(flags.get_bool("csv"));
+  EXPECT_EQ(flags.get_string("name", ""), "gcc");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "posarg");
+  EXPECT_NO_THROW(flags.reject_unknown());
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  CliFlags flags(3, argv);
+  flags.get_u64("insns", 0);
+  EXPECT_THROW(flags.reject_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, argv);
+  EXPECT_EQ(flags.get_u64("x", 7), 7u);
+  EXPECT_EQ(flags.get_double("y", 2.5), 2.5);
+  EXPECT_FALSE(flags.get_bool("z"));
+}
+
+}  // namespace
+}  // namespace itr::util

@@ -1,0 +1,187 @@
+// Tests for the synthetic workload generator: Table 1 static-trace counts,
+// the proximity characteristics of Figures 3-4, determinism, and runnability
+// of every generated benchmark.
+#include <gtest/gtest.h>
+
+#include "sim/functional.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace_builder.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr::workload {
+namespace {
+
+struct Characteristics {
+  std::uint64_t static_traces = 0;
+  double within_1000 = 0.0;
+  double within_5000 = 0.0;
+  double top100_share = 0.0;
+};
+
+Characteristics characterize(std::string_view name, std::uint64_t insns) {
+  const auto prog = generate_spec(name, insns * 2);
+  trace::RepetitionAnalyzer an;
+  trace::TraceBuilder tb([&an](const trace::TraceRecord& r) { an.on_trace(r); });
+  sim::FunctionalSim fsim(prog);
+  fsim.run(insns, [&tb](const sim::FunctionalSim::Step& s) {
+    tb.on_instruction(s.pc, s.sig, s.index);
+  });
+  tb.flush();
+  Characteristics c;
+  c.static_traces = an.num_static_traces();
+  c.within_1000 = an.share_repeating_within(1000);
+  c.within_5000 = an.share_repeating_within(5000);
+  const auto curve = an.cumulative_share_by_hotness();
+  c.top100_share = curve.size() >= 100 ? curve[99] : 1.0;
+  return c;
+}
+
+TEST(SpecProfiles, AllSixteenBenchmarksExist) {
+  EXPECT_EQ(spec_int_names().size(), 9u);
+  EXPECT_EQ(spec_fp_names().size(), 7u);
+  EXPECT_EQ(spec_all_names().size(), 16u);
+  EXPECT_EQ(coverage_figure_names().size(), 11u);
+  for (const auto& name : spec_all_names()) {
+    EXPECT_NO_THROW((void)spec_profile(name)) << name;
+  }
+  EXPECT_THROW((void)spec_profile("quake3"), std::invalid_argument);
+}
+
+TEST(SpecProfiles, FpFlagMatchesSuite) {
+  for (const auto& name : spec_int_names()) EXPECT_FALSE(spec_profile(name).floating_point);
+  for (const auto& name : spec_fp_names()) EXPECT_TRUE(spec_profile(name).floating_point);
+}
+
+// Table 1 reproduction: measured static-trace counts must land within 2% of
+// the paper's numbers (driver glue accounts for the slack).
+struct Table1Case {
+  const char* name;
+  std::uint64_t paper_static_traces;
+};
+
+struct Table1Test : ::testing::TestWithParam<Table1Case> {};
+
+TEST_P(Table1Test, StaticTraceCountMatchesPaper) {
+  const auto& p = GetParam();
+  // Run long enough to touch every static trace (gcc needs a full pass).
+  const auto c = characterize(p.name, 6'000'000);
+  const double lo = static_cast<double>(p.paper_static_traces) * 0.98;
+  const double hi = static_cast<double>(p.paper_static_traces) * 1.02;
+  EXPECT_GE(static_cast<double>(c.static_traces), lo) << p.name;
+  EXPECT_LE(static_cast<double>(c.static_traces), hi) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, Table1Test,
+    ::testing::Values(Table1Case{"bzip", 283}, Table1Case{"gap", 696},
+                      Table1Case{"gcc", 24017}, Table1Case{"gzip", 291},
+                      Table1Case{"parser", 865}, Table1Case{"perl", 1704},
+                      Table1Case{"twolf", 481}, Table1Case{"vortex", 2655},
+                      Table1Case{"vpr", 292}, Table1Case{"applu", 282},
+                      Table1Case{"apsi", 1274}, Table1Case{"art", 98},
+                      Table1Case{"equake", 336}, Table1Case{"mgrid", 798},
+                      Table1Case{"swim", 73}, Table1Case{"wupwise", 18}),
+    [](const auto& pinfo) { return std::string(pinfo.param.name); });
+
+TEST(Generator, ProximityOutliersMatchPaper) {
+  // Paper Section 1: all integer benchmarks except perl and vortex have 85%+
+  // of dynamic instructions repeating within 5000 instructions.
+  for (const char* name : {"bzip", "gzip", "vpr", "twolf", "gap", "parser"}) {
+    EXPECT_GT(characterize(name, 2'000'000).within_5000, 0.85) << name;
+  }
+  for (const char* name : {"perl", "vortex"}) {
+    EXPECT_LT(characterize(name, 2'000'000).within_5000, 0.92) << name;
+  }
+}
+
+TEST(Generator, HotTracesDominateDynamicInstructions) {
+  // Paper Figure 1: in bzip 100 static traces contribute ~99%; we require a
+  // strong concentration for the tight-loop benchmarks.
+  EXPECT_GT(characterize("bzip", 1'000'000).top100_share, 0.90);
+  EXPECT_GT(characterize("wupwise", 500'000).top100_share, 0.99);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate_spec("twolf", 100'000, 7);
+  const auto b = generate_spec("twolf", 100'000, 7);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.data, b.data);
+  const auto c = generate_spec("twolf", 100'000, 8);
+  EXPECT_NE(a.code, c.code);
+}
+
+TEST(Generator, EveryBenchmarkRunsWithoutAborting) {
+  for (const auto& name : spec_all_names()) {
+    const auto prog = generate_spec(name, 200'000);
+    sim::FunctionalSim fsim(prog);
+    fsim.run(150'000);
+    EXPECT_FALSE(fsim.aborted()) << name;
+    EXPECT_FALSE(fsim.done()) << name << " ended prematurely";
+  }
+}
+
+TEST(Generator, ProgramTerminatesWhenTargetReached) {
+  const auto prog = generate_spec("swim", 50'000);
+  sim::FunctionalSim fsim(prog);
+  fsim.run(100'000'000);
+  EXPECT_TRUE(fsim.done());
+  EXPECT_FALSE(fsim.aborted());
+  EXPECT_EQ(fsim.exit_status(), 0);
+}
+
+TEST(Generator, FpBenchmarksExecuteFpInstructions) {
+  const auto prog = generate_spec("applu", 100'000);
+  sim::FunctionalSim fsim(prog);
+  std::uint64_t fp_ops = 0;
+  fsim.run(50'000, [&fp_ops](const sim::FunctionalSim::Step& s) {
+    if (s.sig.has_flag(isa::Flag::kIsFp)) ++fp_ops;
+  });
+  EXPECT_GT(fp_ops, 5'000u);
+}
+
+TEST(Generator, IntBenchmarksAvoidFpInstructions) {
+  const auto prog = generate_spec("gzip", 100'000);
+  sim::FunctionalSim fsim(prog);
+  std::uint64_t fp_ops = 0;
+  fsim.run(50'000, [&fp_ops](const sim::FunctionalSim::Step& s) {
+    if (s.sig.has_flag(isa::Flag::kIsFp)) ++fp_ops;
+  });
+  EXPECT_EQ(fp_ops, 0u);
+}
+
+TEST(Generator, TraceLengthsRespectIsaLimit) {
+  const auto prog = generate_spec("parser", 100'000);
+  trace::TraceBuilder tb([](const trace::TraceRecord& r) {
+    EXPECT_LE(r.num_instructions, trace::kMaxTraceLength);
+    EXPECT_GE(r.num_instructions, 1u);
+  });
+  sim::FunctionalSim fsim(prog);
+  fsim.run(50'000, [&tb](const sim::FunctionalSim::Step& s) {
+    tb.on_instruction(s.pc, s.sig, s.index);
+  });
+}
+
+TEST(CollectTraceStream, MatchesDirectTraceCount) {
+  const auto prog = generate_spec("art", 200'000);
+  const auto stream = collect_trace_stream(prog, 100'000);
+  ASSERT_FALSE(stream.empty());
+  std::uint64_t insns = 0;
+  for (const auto& t : stream) insns += t.num_instructions;
+  EXPECT_GE(insns, 99'000u);
+  EXPECT_LE(insns, 100'000u + trace::kMaxTraceLength);
+}
+
+TEST(MiniPrograms, NamesAndLookupAgree) {
+  const auto& names = mini_program_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const auto name : names) {
+    EXPECT_NO_THROW((void)mini_program(name)) << name;
+    EXPECT_FALSE(mini_program_expected_output(name).empty());
+  }
+  EXPECT_THROW((void)mini_program("doom"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace itr::workload

@@ -1,0 +1,167 @@
+// itr_sim — command-line driver for the ITR simulator stack.
+//
+// Usage:
+//   itr_sim --asm prog.s                      run an assembly file (cycle sim)
+//   itr_sim --benchmark vortex --insns 2e6    run a synthetic SPEC analog
+//   itr_sim --asm prog.s --functional         architectural-only run
+//   itr_sim --asm prog.s --disasm             print the disassembly and exit
+//   itr_sim --asm prog.s --no-itr             without ITR hardware
+//   itr_sim --asm prog.s --recovery           enable flush-restart recovery
+//   itr_sim --asm prog.s --fault-index N --fault-bit B   inject one fault
+//   itr_sim --asm prog.s --characterize       trace-repetition analysis
+//
+// Exit status: the simulated program's exit status (or 1 on abnormal end).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace_builder.hpp"
+#include "util/cli.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace itr;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const char* termination_name(sim::RunTermination t) {
+  switch (t) {
+    case sim::RunTermination::kRunning: return "running";
+    case sim::RunTermination::kExited: return "exited";
+    case sim::RunTermination::kAborted: return "aborted (wild fetch)";
+    case sim::RunTermination::kMachineCheck: return "machine check";
+    case sim::RunTermination::kDeadlock: return "deadlock (watchdog)";
+    case sim::RunTermination::kCycleLimit: return "cycle limit";
+  }
+  return "?";
+}
+
+int run_functional(const isa::Program& prog, std::uint64_t max_insns) {
+  sim::FunctionalSim fsim(prog);
+  fsim.run(max_insns);
+  std::fputs(fsim.output().c_str(), stdout);
+  if (!fsim.output().empty()) std::fputc('\n', stdout);
+  std::fprintf(stderr, "[itr_sim] %llu instructions, %s\n",
+               static_cast<unsigned long long>(fsim.instructions_retired()),
+               fsim.done() ? (fsim.aborted() ? "aborted" : "exited") : "budget reached");
+  return fsim.done() && !fsim.aborted() ? fsim.exit_status() : 1;
+}
+
+int characterize(const isa::Program& prog, std::uint64_t max_insns) {
+  trace::RepetitionAnalyzer an;
+  trace::TraceBuilder tb([&an](const trace::TraceRecord& r) { an.on_trace(r); });
+  sim::FunctionalSim fsim(prog);
+  fsim.run(max_insns, [&tb](const sim::FunctionalSim::Step& s) {
+    tb.on_instruction(s.pc, s.sig, s.index);
+  });
+  tb.flush();
+  std::printf("dynamic instructions : %llu\n",
+              static_cast<unsigned long long>(an.total_dynamic_instructions()));
+  std::printf("dynamic traces       : %llu\n",
+              static_cast<unsigned long long>(an.total_dynamic_traces()));
+  std::printf("static traces        : %llu\n",
+              static_cast<unsigned long long>(an.num_static_traces()));
+  std::printf("traces for 90%% cover : %llu\n",
+              static_cast<unsigned long long>(an.traces_for_share(0.9)));
+  for (const std::uint64_t d : {500ULL, 1000ULL, 2000ULL, 5000ULL, 10000ULL}) {
+    std::printf("repeats within %-5llu : %.1f%%\n", static_cast<unsigned long long>(d),
+                100.0 * an.share_repeating_within(d));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliFlags flags(argc, argv);
+    const std::string asm_path = flags.get_string("asm", "");
+    const std::string benchmark = flags.get_string("benchmark", "");
+    const auto max_insns = flags.get_u64("insns", 100'000'000);
+    const bool functional = flags.get_bool("functional");
+    const bool disasm = flags.get_bool("disasm");
+    const bool no_itr = flags.get_bool("no-itr");
+    const bool recovery = flags.get_bool("recovery");
+    const bool do_characterize = flags.get_bool("characterize");
+    const bool has_fault = flags.has("fault-index");
+    const auto fault_index = flags.get_u64("fault-index", 0);
+    const auto fault_bit = static_cast<unsigned>(flags.get_u64("fault-bit", 0));
+    flags.reject_unknown();
+
+    isa::Program prog;
+    if (!asm_path.empty()) {
+      prog = isa::assemble(read_file(asm_path), asm_path);
+    } else if (!benchmark.empty()) {
+      prog = workload::generate_spec(benchmark, max_insns);
+    } else {
+      std::fprintf(stderr, "usage: itr_sim --asm FILE | --benchmark NAME [options]\n");
+      return 2;
+    }
+
+    if (disasm) {
+      for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const std::uint64_t pc = prog.code_base + i * isa::kInstrBytes;
+        std::printf("%08llx:  %s\n", static_cast<unsigned long long>(pc),
+                    isa::disassemble_raw(prog.code[i], pc).c_str());
+      }
+      return 0;
+    }
+    if (do_characterize) return characterize(prog, max_insns);
+    if (functional) return run_functional(prog, max_insns);
+
+    sim::CycleSim::Options opt;
+    if (!no_itr) opt.itr = core::ItrCacheConfig{};
+    opt.itr_recovery = recovery;
+    if (has_fault) {
+      opt.fault.enabled = true;
+      opt.fault.target_decode_index = fault_index;
+      opt.fault.bit = fault_bit;
+    }
+    sim::CycleSim cpu(prog, std::move(opt));
+    cpu.run(max_insns);
+
+    std::fputs(cpu.output().c_str(), stdout);
+    if (!cpu.output().empty()) std::fputc('\n', stdout);
+
+    const auto& s = cpu.stats();
+    std::fprintf(stderr,
+                 "[itr_sim] %s | %llu insns, %llu cycles (IPC %.2f), "
+                 "%llu mispredicts, %llu I$ miss, %llu D$ miss\n",
+                 termination_name(cpu.termination()),
+                 static_cast<unsigned long long>(s.instructions_committed),
+                 static_cast<unsigned long long>(s.cycles), s.ipc(),
+                 static_cast<unsigned long long>(s.branch_mispredicts),
+                 static_cast<unsigned long long>(s.icache_misses),
+                 static_cast<unsigned long long>(s.dcache_misses));
+    if (cpu.itr_unit() != nullptr) {
+      const auto& u = cpu.itr_unit()->stats();
+      const auto& c = cpu.itr_unit()->cache().counters();
+      std::fprintf(stderr,
+                   "[itr_sim] ITR: %llu traces, %llu hits / %llu misses, "
+                   "%llu mismatches, %llu retries, %llu recoveries\n",
+                   static_cast<unsigned long long>(u.traces_dispatched),
+                   static_cast<unsigned long long>(c.hits),
+                   static_cast<unsigned long long>(c.misses),
+                   static_cast<unsigned long long>(u.signature_mismatches),
+                   static_cast<unsigned long long>(u.retries),
+                   static_cast<unsigned long long>(u.recoveries));
+    }
+    return cpu.termination() == sim::RunTermination::kExited ? cpu.exit_status() : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "itr_sim: %s\n", e.what());
+    return 2;
+  }
+}
