@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checked_lru.dir/ablation_checked_lru.cpp.o"
+  "CMakeFiles/ablation_checked_lru.dir/ablation_checked_lru.cpp.o.d"
+  "ablation_checked_lru"
+  "ablation_checked_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checked_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_perf_overhead.dir/ablation_perf_overhead.cpp.o"
+  "CMakeFiles/ablation_perf_overhead.dir/ablation_perf_overhead.cpp.o.d"
+  "ablation_perf_overhead"
+  "ablation_perf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

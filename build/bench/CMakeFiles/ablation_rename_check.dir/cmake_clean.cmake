@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rename_check.dir/ablation_rename_check.cpp.o"
+  "CMakeFiles/ablation_rename_check.dir/ablation_rename_check.cpp.o.d"
+  "ablation_rename_check"
+  "ablation_rename_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rename_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_rename_check.
+# This may be replaced when dependencies are built.

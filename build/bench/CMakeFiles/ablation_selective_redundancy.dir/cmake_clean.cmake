@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_redundancy.dir/ablation_selective_redundancy.cpp.o"
+  "CMakeFiles/ablation_selective_redundancy.dir/ablation_selective_redundancy.cpp.o.d"
+  "ablation_selective_redundancy"
+  "ablation_selective_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_length.dir/ablation_trace_length.cpp.o"
+  "CMakeFiles/ablation_trace_length.dir/ablation_trace_length.cpp.o.d"
+  "ablation_trace_length"
+  "ablation_trace_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_repetition_int.dir/fig01_repetition_int.cpp.o"
+  "CMakeFiles/fig01_repetition_int.dir/fig01_repetition_int.cpp.o.d"
+  "fig01_repetition_int"
+  "fig01_repetition_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_repetition_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_repetition_fp.dir/fig02_repetition_fp.cpp.o"
+  "CMakeFiles/fig02_repetition_fp.dir/fig02_repetition_fp.cpp.o.d"
+  "fig02_repetition_fp"
+  "fig02_repetition_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_repetition_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_proximity_int.dir/fig03_proximity_int.cpp.o"
+  "CMakeFiles/fig03_proximity_int.dir/fig03_proximity_int.cpp.o.d"
+  "fig03_proximity_int"
+  "fig03_proximity_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_proximity_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_proximity_fp.dir/fig04_proximity_fp.cpp.o"
+  "CMakeFiles/fig04_proximity_fp.dir/fig04_proximity_fp.cpp.o.d"
+  "fig04_proximity_fp"
+  "fig04_proximity_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_proximity_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_detection_loss.dir/fig06_detection_loss.cpp.o"
+  "CMakeFiles/fig06_detection_loss.dir/fig06_detection_loss.cpp.o.d"
+  "fig06_detection_loss"
+  "fig06_detection_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_detection_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fault_injection.dir/fig08_fault_injection.cpp.o"
+  "CMakeFiles/fig08_fault_injection.dir/fig08_fault_injection.cpp.o.d"
+  "fig08_fault_injection"
+  "fig08_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

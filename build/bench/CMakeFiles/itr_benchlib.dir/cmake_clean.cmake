@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_benchlib.dir/figlib.cpp.o"
+  "CMakeFiles/itr_benchlib.dir/figlib.cpp.o.d"
+  "libitr_benchlib.a"
+  "libitr_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

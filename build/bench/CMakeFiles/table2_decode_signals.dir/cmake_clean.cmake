@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_decode_signals.dir/table2_decode_signals.cpp.o"
+  "CMakeFiles/table2_decode_signals.dir/table2_decode_signals.cpp.o.d"
+  "table2_decode_signals"
+  "table2_decode_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_decode_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_design_space.dir/cache_design_space.cpp.o"
+  "CMakeFiles/cache_design_space.dir/cache_design_space.cpp.o.d"
+  "cache_design_space"
+  "cache_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

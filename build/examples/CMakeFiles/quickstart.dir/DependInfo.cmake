@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fi/CMakeFiles/itr_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/itr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/itr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/itr/CMakeFiles/itr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/itr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/itr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/itr_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_fi.dir/classify.cpp.o"
+  "CMakeFiles/itr_fi.dir/classify.cpp.o.d"
+  "libitr_fi.a"
+  "libitr_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

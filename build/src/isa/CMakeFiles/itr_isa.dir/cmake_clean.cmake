@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_isa.dir/assembler.cpp.o"
+  "CMakeFiles/itr_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/builder.cpp.o"
+  "CMakeFiles/itr_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/decode.cpp.o"
+  "CMakeFiles/itr_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/disasm.cpp.o"
+  "CMakeFiles/itr_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/encoding.cpp.o"
+  "CMakeFiles/itr_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/opcode.cpp.o"
+  "CMakeFiles/itr_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/itr_isa.dir/program.cpp.o"
+  "CMakeFiles/itr_isa.dir/program.cpp.o.d"
+  "libitr_isa.a"
+  "libitr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitr_isa.a"
+)

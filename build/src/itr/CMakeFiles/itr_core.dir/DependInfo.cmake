@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itr/coverage.cpp" "src/itr/CMakeFiles/itr_core.dir/coverage.cpp.o" "gcc" "src/itr/CMakeFiles/itr_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/itr/itr_cache.cpp" "src/itr/CMakeFiles/itr_core.dir/itr_cache.cpp.o" "gcc" "src/itr/CMakeFiles/itr_core.dir/itr_cache.cpp.o.d"
+  "/root/repo/src/itr/itr_unit.cpp" "src/itr/CMakeFiles/itr_core.dir/itr_unit.cpp.o" "gcc" "src/itr/CMakeFiles/itr_core.dir/itr_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/itr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/itr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

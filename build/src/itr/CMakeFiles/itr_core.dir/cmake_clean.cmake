@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_core.dir/coverage.cpp.o"
+  "CMakeFiles/itr_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/itr_core.dir/itr_cache.cpp.o"
+  "CMakeFiles/itr_core.dir/itr_cache.cpp.o.d"
+  "CMakeFiles/itr_core.dir/itr_unit.cpp.o"
+  "CMakeFiles/itr_core.dir/itr_unit.cpp.o.d"
+  "libitr_core.a"
+  "libitr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_power.dir/cacti.cpp.o"
+  "CMakeFiles/itr_power.dir/cacti.cpp.o.d"
+  "libitr_power.a"
+  "libitr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_pred.cpp" "src/sim/CMakeFiles/itr_sim.dir/branch_pred.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/branch_pred.cpp.o.d"
+  "/root/repo/src/sim/exec.cpp" "src/sim/CMakeFiles/itr_sim.dir/exec.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/exec.cpp.o.d"
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/itr_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/itr_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/itr_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/rename.cpp" "src/sim/CMakeFiles/itr_sim.dir/rename.cpp.o" "gcc" "src/sim/CMakeFiles/itr_sim.dir/rename.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/itr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/itr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/itr/CMakeFiles/itr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/itr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_sim.dir/branch_pred.cpp.o"
+  "CMakeFiles/itr_sim.dir/branch_pred.cpp.o.d"
+  "CMakeFiles/itr_sim.dir/exec.cpp.o"
+  "CMakeFiles/itr_sim.dir/exec.cpp.o.d"
+  "CMakeFiles/itr_sim.dir/functional.cpp.o"
+  "CMakeFiles/itr_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/itr_sim.dir/memory.cpp.o"
+  "CMakeFiles/itr_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/itr_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/itr_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/itr_sim.dir/rename.cpp.o"
+  "CMakeFiles/itr_sim.dir/rename.cpp.o.d"
+  "libitr_sim.a"
+  "libitr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_trace.dir/analysis.cpp.o"
+  "CMakeFiles/itr_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/itr_trace.dir/trace_builder.cpp.o"
+  "CMakeFiles/itr_trace.dir/trace_builder.cpp.o.d"
+  "libitr_trace.a"
+  "libitr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

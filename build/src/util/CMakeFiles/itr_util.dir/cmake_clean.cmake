@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_util.dir/cli.cpp.o"
+  "CMakeFiles/itr_util.dir/cli.cpp.o.d"
+  "CMakeFiles/itr_util.dir/stats.cpp.o"
+  "CMakeFiles/itr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/itr_util.dir/table.cpp.o"
+  "CMakeFiles/itr_util.dir/table.cpp.o.d"
+  "libitr_util.a"
+  "libitr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

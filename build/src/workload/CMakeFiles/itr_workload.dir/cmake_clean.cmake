@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itr_workload.dir/generator.cpp.o"
+  "CMakeFiles/itr_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/itr_workload.dir/mini_programs.cpp.o"
+  "CMakeFiles/itr_workload.dir/mini_programs.cpp.o.d"
+  "CMakeFiles/itr_workload.dir/spec_profiles.cpp.o"
+  "CMakeFiles/itr_workload.dir/spec_profiles.cpp.o.d"
+  "libitr_workload.a"
+  "libitr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_programs.dir/asm_programs_test.cpp.o"
+  "CMakeFiles/test_asm_programs.dir/asm_programs_test.cpp.o.d"
+  "test_asm_programs"
+  "test_asm_programs.pdb"
+  "test_asm_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

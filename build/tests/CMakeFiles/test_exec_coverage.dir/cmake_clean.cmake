@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_coverage.dir/exec_coverage_test.cpp.o"
+  "CMakeFiles/test_exec_coverage.dir/exec_coverage_test.cpp.o.d"
+  "test_exec_coverage"
+  "test_exec_coverage.pdb"
+  "test_exec_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

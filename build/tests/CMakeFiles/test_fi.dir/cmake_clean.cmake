@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fi.dir/fi_test.cpp.o"
+  "CMakeFiles/test_fi.dir/fi_test.cpp.o.d"
+  "test_fi"
+  "test_fi.pdb"
+  "test_fi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itr.dir/itr_test.cpp.o"
+  "CMakeFiles/test_itr.dir/itr_test.cpp.o.d"
+  "test_itr"
+  "test_itr.pdb"
+  "test_itr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itrsim_tool.dir/itr_sim.cpp.o"
+  "CMakeFiles/itrsim_tool.dir/itr_sim.cpp.o.d"
+  "itr_sim"
+  "itr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itrsim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
