@@ -8,11 +8,12 @@ int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
   const auto insns = flags.get_u64("insns", 6'000'000);
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
   flags.reject_unknown();
   bench::emit(flags, "Ablation: checked-first LRU replacement (paper Section 2.3)",
               "Evicting checked lines first protects unreferenced signatures and\n"
               "should reduce detection-coverage loss at equal capacity.",
-              bench::checked_lru_table(names, insns));
+              bench::checked_lru_table(names, insns, threads));
   return 0;
 }

@@ -8,11 +8,12 @@ int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
   const auto insns = flags.get_u64("insns", 6'000'000);
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
   flags.reject_unknown();
   bench::emit(flags, "Ablation: selective time redundancy on ITR miss (paper Section 3)",
               "Closing the recovery hole costs only the miss fraction of full time\n"
               "redundancy's frontend energy.",
-              bench::selective_redundancy_table(names, insns));
+              bench::selective_redundancy_table(names, insns, threads));
   return 0;
 }

@@ -9,6 +9,9 @@
 //                    (paper: 200M after a 900M skip; default is smaller)
 //   --csv            emit CSV instead of the aligned table
 //   --benchmarks a,b restrict to a comma-separated subset
+//   --threads N      worker threads for row/injection fan-out
+//                    (0 or absent: hardware concurrency); any value produces
+//                    byte-identical output
 #pragma once
 
 #include <iostream>
@@ -18,6 +21,7 @@
 
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace itr::bench {
 
@@ -34,6 +38,12 @@ inline std::vector<std::string> select_benchmarks(const util::CliFlags& flags,
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+/// Resolves the --threads flag: 0 or absent means hardware concurrency.
+/// The result only affects wall-clock time, never output bytes.
+inline unsigned select_threads(const util::CliFlags& flags) {
+  return util::resolve_threads(flags.get_u64("threads", 0));
 }
 
 /// Prints the exhibit header and the table in the requested format.

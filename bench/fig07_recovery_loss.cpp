@@ -8,11 +8,12 @@ int main(int argc, char** argv) {
   const util::CliFlags flags(argc, argv);
   const auto insns = flags.get_u64("insns", 8'000'000);
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
   flags.reject_unknown();
   bench::emit(flags, "Figure 7: loss in fault recovery coverage",
               "Paper: for 2-way/1024 signatures the average loss is 2.5% with a\n"
               "maximum of 15% (vortex); recovery loss always exceeds detection loss.",
-              bench::coverage_sweep_table(names, insns, /*detection=*/false));
+              bench::coverage_sweep_table(names, insns, /*detection=*/false, threads));
   return 0;
 }

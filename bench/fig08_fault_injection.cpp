@@ -11,12 +11,13 @@ int main(int argc, char** argv) {
   const auto window = flags.get_u64("window", 100'000); // paper: 1'000'000
   const auto seed = flags.get_u64("seed", 1);
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+  const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
   flags.reject_unknown();
   bench::emit(flags, "Figure 8: fault injection results (percent of injected faults)",
               "Paper averages: 95.4% detected via ITR; ITR+Mask 59.4%, ITR+SDC+R 32%,\n"
               "ITR+SDC+D 1%, ITR+wdog+R 3%, spc+SDC 0.1%, Undet+SDC 2.6%,\n"
               "Undet+wdog 0.1%, Undet+Mask 1.8%; MayITR negligible.",
-              bench::fault_injection_table(names, insns, faults, window, seed));
+              bench::fault_injection_table(names, insns, faults, window, seed, threads));
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "figlib.hpp"
 
+#include <array>
 #include <map>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include "power/cacti.hpp"
 #include "sim/functional.hpp"
@@ -12,6 +14,34 @@
 #include "workload/spec_profiles.hpp"
 
 namespace itr::bench {
+
+namespace {
+
+/// Runs `fill_rows(name, sub_table)` for every benchmark across `threads`
+/// lanes and merges the sub-tables in input order: each lane touches only its
+/// own slot, so the merged table is byte-identical at any thread count.
+template <typename FillRows>
+util::Table by_benchmark(const std::vector<std::string>& headers,
+                         const std::vector<std::string>& names, unsigned threads,
+                         FillRows&& fill_rows) {
+  std::vector<util::Table> parts(names.size(), util::Table(headers));
+  util::parallel_for(threads, names.size(),
+                     [&](std::size_t i) { fill_rows(names[i], parts[i]); });
+  util::Table merged(headers);
+  for (const util::Table& part : parts) merged.append_rows(part);
+  return merged;
+}
+
+/// Lanes left for nested fan-out once the outer level spreads `items` work
+/// units over `threads`: with at least one item per lane the inner level runs
+/// serial (1); with fewer items than lanes the spare lanes go to each item.
+unsigned inner_threads(unsigned threads, std::size_t items) {
+  if (items == 0) return 1;
+  const auto per_item = static_cast<unsigned>(threads / items);
+  return per_item > 1 ? per_item : 1u;
+}
+
+}  // namespace
 
 trace::RepetitionAnalyzer analyze_benchmark(const std::string& name,
                                             std::uint64_t insns) {
@@ -27,12 +57,12 @@ trace::RepetitionAnalyzer analyze_benchmark(const std::string& name,
 }
 
 util::Table repetition_table(const std::vector<std::string>& names,
-                             std::uint64_t insns) {
+                             std::uint64_t insns, unsigned threads) {
   const std::vector<std::size_t> points = {10, 25, 50, 100, 200, 300, 500, 1000};
   std::vector<std::string> headers = {"benchmark", "statics"};
   for (auto p : points) headers.push_back("top" + std::to_string(p));
-  util::Table table(std::move(headers));
-  for (const auto& name : names) {
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto an = analyze_benchmark(name, insns);
     const auto curve = an.cumulative_share_by_hotness();
     table.begin_row().add(name).add(an.num_static_traces());
@@ -42,23 +72,21 @@ util::Table repetition_table(const std::vector<std::string>& names,
                                                : curve.back();
       table.add(100.0 * share, 1);
     }
-  }
-  return table;
+  });
 }
 
 util::Table proximity_table(const std::vector<std::string>& names,
-                            std::uint64_t insns) {
+                            std::uint64_t insns, unsigned threads) {
   const std::vector<std::uint64_t> edges = {500,  1000, 1500, 2000,
                                             3000, 5000, 10000};
   std::vector<std::string> headers = {"benchmark"};
   for (auto e : edges) headers.push_back("<" + std::to_string(e));
-  util::Table table(std::move(headers));
-  for (const auto& name : names) {
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto an = analyze_benchmark(name, insns);
     table.begin_row().add(name);
     for (auto e : edges) table.add(100.0 * an.share_repeating_within(e), 1);
-  }
-  return table;
+  });
 }
 
 std::uint64_t paper_static_traces(const std::string& name) {
@@ -72,9 +100,11 @@ std::uint64_t paper_static_traces(const std::string& name) {
 }
 
 util::Table static_trace_table(const std::vector<std::string>& names,
-                               std::uint64_t insns) {
-  util::Table table({"benchmark", "paper", "measured", "delta%"});
-  for (const auto& name : names) {
+                               std::uint64_t insns, unsigned threads) {
+  const std::vector<std::string> headers = {"benchmark", "paper", "measured",
+                                            "delta%"};
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto an = analyze_benchmark(name, insns);
     const auto paper = paper_static_traces(name);
     const auto measured = an.num_static_traces();
@@ -83,8 +113,7 @@ util::Table static_trace_table(const std::vector<std::string>& names,
                    : 100.0 * (static_cast<double>(measured) - static_cast<double>(paper)) /
                          static_cast<double>(paper);
     table.begin_row().add(name).add(paper).add(measured).add(delta, 2);
-  }
-  return table;
+  });
 }
 
 namespace {
@@ -101,12 +130,12 @@ constexpr std::size_t kSizeSweep[] = {256, 512, 1024};
 }  // namespace
 
 util::Table coverage_sweep_table(const std::vector<std::string>& names,
-                                 std::uint64_t insns, bool detection) {
+                                 std::uint64_t insns, bool detection,
+                                 unsigned threads) {
   std::vector<std::string> headers = {"benchmark", "assoc"};
   for (auto size : kSizeSweep) headers.push_back(std::to_string(size) + "sig%");
-  util::Table table(std::move(headers));
-
-  for (const auto& name : names) {
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     const auto stream = workload::collect_trace_stream(prog, insns);
     for (const auto& point : kAssocSweep) {
@@ -121,13 +150,13 @@ util::Table coverage_sweep_table(const std::vector<std::string>& names,
                   2);
       }
     }
-  }
-  return table;
+  });
 }
 
 util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t insns, std::uint64_t faults,
-                                  std::uint64_t window_cycles, std::uint64_t seed) {
+                                  std::uint64_t window_cycles, std::uint64_t seed,
+                                  unsigned threads) {
   std::vector<std::string> headers = {"benchmark"};
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
@@ -135,43 +164,54 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
   headers.push_back("ITR-detected");
   util::Table table(std::move(headers));
 
-  std::array<double, fi::kNumOutcomes> avg{};
-  double avg_detected = 0.0;
-  for (const auto& name : names) {
-    const auto prog = workload::generate_spec(name, insns);
+  // One campaign per benchmark; campaigns run concurrently, and when there
+  // are spare lanes (few benchmarks, many threads) each campaign fans its
+  // injections over them too.  Percentages land in per-benchmark slots, so
+  // row order and the Avg row are thread-count independent.
+  const unsigned inner = inner_threads(threads, names.size());
+  std::vector<std::array<double, fi::kNumOutcomes + 1>> pct(names.size());
+  util::parallel_for(threads, names.size(), [&](std::size_t b) {
+    const auto prog = workload::generate_spec(names[b], insns);
     fi::CampaignConfig cfg;
     cfg.observation_cycles = window_cycles;
     cfg.warmup_instructions = std::min<std::uint64_t>(insns / 10, 50'000);
     cfg.inject_region = insns / 2;
     cfg.seed = seed;
     fi::FaultInjectionCampaign camp(prog, cfg);
-    const auto summary = camp.run(faults);
-    table.begin_row().add(name);
+    const auto summary = camp.run(faults, inner);
     for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
-      const double pct = summary.percent(static_cast<fi::Outcome>(i));
-      avg[i] += pct;
-      table.add(pct, 1);
+      pct[b][i] = summary.percent(static_cast<fi::Outcome>(i));
     }
-    table.add(summary.itr_detected_percent(), 1);
-    avg_detected += summary.itr_detected_percent();
+    pct[b][fi::kNumOutcomes] = summary.itr_detected_percent();
+  });
+
+  std::array<double, fi::kNumOutcomes + 1> avg{};
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    table.begin_row().add(names[b]);
+    for (std::size_t i = 0; i < fi::kNumOutcomes + 1; ++i) {
+      table.add(pct[b][i], 1);
+      avg[i] += pct[b][i];
+    }
   }
   if (!names.empty()) {
     table.begin_row().add("Avg");
-    for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    for (std::size_t i = 0; i < fi::kNumOutcomes + 1; ++i) {
       table.add(avg[i] / static_cast<double>(names.size()), 1);
     }
-    table.add(avg_detected / static_cast<double>(names.size()), 1);
   }
   return table;
 }
 
-util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns) {
-  util::Table table({"benchmark", "insns", "icache-2x-fetch mJ", "itr 1rd/wr mJ",
-                     "itr 1rd+1wr mJ", "itr/icache"});
+util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns,
+                         unsigned threads) {
+  const std::vector<std::string> headers = {"benchmark", "insns",
+                                            "icache-2x-fetch mJ", "itr 1rd/wr mJ",
+                                            "itr 1rd+1wr mJ", "itr/icache"};
   const auto icache = power::power4_icache_geometry();
   const auto itr1 = power::itr_cache_geometry(1);
   const auto itr2 = power::itr_cache_geometry(2);
-  for (const auto& name : names) {
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     sim::CycleSim::Options opt;
     opt.itr = core::ItrCacheConfig{};  // paper config: 1024 signatures, 2-way
@@ -190,19 +230,20 @@ util::Table energy_table(const std::vector<std::string>& names, std::uint64_t in
         .add(itr1_mj, 2)
         .add(itr2_mj, 2)
         .add(icache_mj == 0.0 ? 0.0 : itr1_mj / icache_mj, 3);
-  }
-  return table;
+  });
 }
 
 util::Table checkpoint_table(const std::vector<std::string>& names,
-                             std::uint64_t insns) {
+                             std::uint64_t insns, unsigned threads) {
   // Threshold sweep: the paper proposes checkpointing at zero unchecked
   // lines; in steady state cold once-executed traces keep that count above
   // zero, so we also report small nonzero thresholds (each tolerated
   // unchecked line is a bounded residual vulnerability).
-  util::Table table({"benchmark", "threshold", "checkpoints", "mean-interval",
-                     "recovery-loss%", "recovered-by-ckpt%", "residual-loss%"});
-  for (const auto& name : names) {
+  const std::vector<std::string> headers = {
+      "benchmark",      "threshold",          "checkpoints",   "mean-interval",
+      "recovery-loss%", "recovered-by-ckpt%", "residual-loss%"};
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     const auto stream = workload::collect_trace_stream(prog, insns);
     for (const std::uint64_t threshold : {std::uint64_t{0}, std::uint64_t{8},
@@ -225,15 +266,16 @@ util::Table checkpoint_table(const std::vector<std::string>& names,
           .add(recovered, 2)
           .add(rec_loss - recovered, 2);
     }
-  }
-  return table;
+  });
 }
 
 util::Table checked_lru_table(const std::vector<std::string>& names,
-                              std::uint64_t insns) {
-  util::Table table({"benchmark", "size", "lru-det%", "checked-first-det%",
-                     "lru-rec%", "checked-first-rec%"});
-  for (const auto& name : names) {
+                              std::uint64_t insns, unsigned threads) {
+  const std::vector<std::string> headers = {"benchmark",          "size",
+                                            "lru-det%",           "checked-first-det%",
+                                            "lru-rec%",           "checked-first-rec%"};
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     const auto stream = workload::collect_trace_stream(prog, insns);
     for (std::size_t size : {std::size_t{256}, std::size_t{1024}}) {
@@ -252,21 +294,22 @@ util::Table checked_lru_table(const std::vector<std::string>& names,
           .add(a.recovery_loss_percent(), 2)
           .add(b.recovery_loss_percent(), 2);
     }
-  }
-  return table;
+  });
 }
 
 util::Table selective_redundancy_table(const std::vector<std::string>& names,
-                                       std::uint64_t insns) {
+                                       std::uint64_t insns, unsigned threads) {
   // Section 3 future work: on an ITR-cache miss, re-fetch and re-decode the
   // trace (conventional time redundancy as a fallback), closing the recovery
   // coverage hole at the cost of extra frontend energy.
-  util::Table table({"benchmark", "miss-insns%", "itr mJ", "selective mJ",
-                     "full-TR mJ", "selective-savings-x"});
+  const std::vector<std::string> headers = {"benchmark",    "miss-insns%",
+                                            "itr mJ",       "selective mJ",
+                                            "full-TR mJ",   "selective-savings-x"};
   const auto icache = power::power4_icache_geometry();
   const auto itr1 = power::itr_cache_geometry(1);
   const double insns_per_fetch = 3.0;  // measured average bundle size
-  for (const auto& name : names) {
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     const auto stream = workload::collect_trace_stream(prog, insns);
     core::ItrCacheConfig cfg;  // paper config
@@ -287,15 +330,16 @@ util::Table selective_redundancy_table(const std::vector<std::string>& names,
         .add(selective_mj, 2)
         .add(full_tr_mj, 2)
         .add(selective_mj == 0.0 ? 0.0 : full_tr_mj / selective_mj, 1);
-  }
-  return table;
+  });
 }
 
 util::Table trace_length_table(const std::vector<std::string>& names,
-                               std::uint64_t insns) {
-  util::Table table({"benchmark", "max-len", "dyn-traces", "avg-len",
-                     "detection-loss%", "recovery-loss%", "itr-reads/1k-insns"});
-  for (const auto& name : names) {
+                               std::uint64_t insns, unsigned threads) {
+  const std::vector<std::string> headers = {
+      "benchmark",       "max-len",        "dyn-traces",        "avg-len",
+      "detection-loss%", "recovery-loss%", "itr-reads/1k-insns"};
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     for (const unsigned max_len : {4u, 8u, 16u, 32u}) {
       const auto stream = workload::collect_trace_stream(prog, insns, max_len);
@@ -313,54 +357,79 @@ util::Table trace_length_table(const std::vector<std::string>& names,
           .add(total == 0.0 ? 0.0 : 1000.0 * static_cast<double>(counters.cache_reads) / total,
                1);
     }
-  }
-  return table;
+  });
 }
 
 util::Table rename_check_table(const std::vector<std::string>& names,
                                std::uint64_t insns, std::uint64_t faults,
-                               std::uint64_t seed) {
-  util::Table table({"benchmark", "faults", "sdc%", "rename-check-detect%",
-                     "decode-itr-detect%"});
-  for (const auto& name : names) {
+                               std::uint64_t seed, unsigned threads) {
+  const std::vector<std::string> headers = {"benchmark", "faults", "sdc%",
+                                            "rename-check-detect%",
+                                            "decode-itr-detect%"};
+  const unsigned inner = inner_threads(threads, names.size());
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns);
+    // Pre-draw the fault plan from the sequential per-benchmark RNG stream
+    // (same draws as the serial loop always made), then classify the faults
+    // across the spare lanes; per-fault verdicts land in indexed slots.
+    struct RenameDraw {
+      std::uint64_t target = 0;
+      std::uint8_t port = 0;
+      std::uint8_t bit = 0;
+    };
     util::Xoshiro256StarStar rng(seed);
-    std::uint64_t sdc = 0, rename_det = 0, decode_det = 0;
-    for (std::uint64_t i = 0; i < faults; ++i) {
+    std::vector<RenameDraw> plan(static_cast<std::size_t>(faults));
+    for (RenameDraw& d : plan) {
+      d.target = 20'000 + rng.below(insns / 4);
+      d.port = static_cast<std::uint8_t>(rng.below(3));
+      d.bit = static_cast<std::uint8_t>(rng.below(5));
+    }
+    struct Verdict {
+      bool sdc = false;
+      bool rename = false;
+      bool decode = false;
+    };
+    std::vector<Verdict> verdicts(plan.size());
+    util::parallel_for(inner, plan.size(), [&](std::size_t f) {
       sim::CycleSim::Options opt;
       opt.itr = core::ItrCacheConfig{};
       opt.rename_check = true;
       opt.rename_fault.enabled = true;
-      opt.rename_fault.target_decode_index = 20'000 + rng.below(insns / 4);
-      opt.rename_fault.port = static_cast<std::uint8_t>(rng.below(3));
-      opt.rename_fault.bit = static_cast<std::uint8_t>(rng.below(5));
+      opt.rename_fault.target_decode_index = plan[f].target;
+      opt.rename_fault.port = plan[f].port;
+      opt.rename_fault.bit = plan[f].bit;
       opt.max_cycles = 60'000;
       sim::CycleSim faulty(prog, std::move(opt));
       sim::FunctionalSim golden(prog);
-      bool this_sdc = false, this_rename = false, this_decode = false;
+      Verdict v;
       std::uint64_t budget = 200'000;
       while (budget > 0) {
         const bool alive = faulty.advance();
         while (auto ev = faulty.next_itr_event()) {
-          this_rename |= ev->kind == sim::ItrEvent::Kind::kRenameMismatch;
-          this_decode |= ev->kind == sim::ItrEvent::Kind::kMismatchDetected;
+          v.rename |= ev->kind == sim::ItrEvent::Kind::kRenameMismatch;
+          v.decode |= ev->kind == sim::ItrEvent::Kind::kMismatchDetected;
         }
         while (auto crec = faulty.next_commit()) {
           --budget;
-          if (!this_sdc && !golden.done()) {
+          if (!v.sdc && !golden.done()) {
             const auto g = golden.step();
             if (crec->pc != g.pc || crec->int_value != g.fx.int_value ||
                 crec->store_value != g.fx.store_value) {
-              this_sdc = true;
+              v.sdc = true;
             }
           }
         }
         if (!alive) break;
-        if (this_rename && this_sdc) break;
+        if (v.rename && v.sdc) break;
       }
-      sdc += this_sdc ? 1 : 0;
-      rename_det += this_rename ? 1 : 0;
-      decode_det += this_decode ? 1 : 0;
+      verdicts[f] = v;
+    });
+    std::uint64_t sdc = 0, rename_det = 0, decode_det = 0;
+    for (const Verdict& v : verdicts) {
+      sdc += v.sdc ? 1 : 0;
+      rename_det += v.rename ? 1 : 0;
+      decode_det += v.decode ? 1 : 0;
     }
     const double n = static_cast<double>(faults);
     table.begin_row()
@@ -369,15 +438,16 @@ util::Table rename_check_table(const std::vector<std::string>& names,
         .add(100.0 * static_cast<double>(sdc) / n, 1)
         .add(100.0 * static_cast<double>(rename_det) / n, 1)
         .add(100.0 * static_cast<double>(decode_det) / n, 1);
-  }
-  return table;
+  });
 }
 
 util::Table perf_overhead_table(const std::vector<std::string>& names,
-                                std::uint64_t insns) {
-  util::Table table({"benchmark", "ipc-no-itr", "ipc-lat2", "ipc-lat8", "ipc-lat16",
-                     "overhead-lat8%", "stall-cycles-lat8"});
-  for (const auto& name : names) {
+                                std::uint64_t insns, unsigned threads) {
+  const std::vector<std::string> headers = {
+      "benchmark", "ipc-no-itr",     "ipc-lat2",          "ipc-lat8",
+      "ipc-lat16", "overhead-lat8%", "stall-cycles-lat8"};
+  return by_benchmark(headers, names, threads,
+                      [&](const std::string& name, util::Table& table) {
     const auto prog = workload::generate_spec(name, insns * 2);
     auto run_ipc = [&](bool itr_on, unsigned probe_latency,
                        std::uint64_t* stalls) {
@@ -402,8 +472,7 @@ util::Table perf_overhead_table(const std::vector<std::string>& names,
         .add(lat16, 3)
         .add(base == 0.0 ? 0.0 : 100.0 * (base - lat8) / base, 2)
         .add(stalls8);
-  }
-  return table;
+  });
 }
 
 }  // namespace itr::bench

@@ -2,6 +2,11 @@
 //
 // Each function regenerates one class of paper exhibit; the thin main() in
 // each fig*/table* binary parses flags, calls one driver, and prints.
+//
+// Every builder takes a `threads` lane count (resolved by the caller; 1 =
+// serial).  Benchmarks compute their rows concurrently into per-benchmark
+// sub-tables that are merged in input order, so the output bytes are
+// identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -24,16 +29,16 @@ trace::RepetitionAnalyzer analyze_benchmark(const std::string& name,
 /// Figures 1/2: cumulative %-of-dynamic-instructions rows for the top-N
 /// static traces of each benchmark.
 util::Table repetition_table(const std::vector<std::string>& names,
-                             std::uint64_t insns);
+                             std::uint64_t insns, unsigned threads = 1);
 
 /// Figures 3/4: cumulative % of dynamic instructions from traces repeating
 /// within each 500-instruction distance bin (up to 10 000, plus overflow).
 util::Table proximity_table(const std::vector<std::string>& names,
-                            std::uint64_t insns);
+                            std::uint64_t insns, unsigned threads = 1);
 
 /// Table 1: measured static-trace counts next to the paper's numbers.
 util::Table static_trace_table(const std::vector<std::string>& names,
-                               std::uint64_t insns);
+                               std::uint64_t insns, unsigned threads = 1);
 
 /// Paper's number for Table 1 (0 when the benchmark is not listed).
 std::uint64_t paper_static_traces(const std::string& name);
@@ -42,46 +47,49 @@ std::uint64_t paper_static_traces(const std::string& name);
 /// with 256/512/1024 signatures.  `detection` selects Figure 6 (detection
 /// loss) vs Figure 7 (recovery loss).
 util::Table coverage_sweep_table(const std::vector<std::string>& names,
-                                 std::uint64_t insns, bool detection);
+                                 std::uint64_t insns, bool detection,
+                                 unsigned threads = 1);
 
 /// Figure 8: fault-injection outcome breakdown per benchmark plus the
 /// average column, using the paper's 2-way 1024-signature ITR cache.
 util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t insns, std::uint64_t faults,
-                                  std::uint64_t window_cycles, std::uint64_t seed);
+                                  std::uint64_t window_cycles, std::uint64_t seed,
+                                  unsigned threads = 1);
 
 /// Figure 9: energy of the ITR cache (1 rd/wr and 1rd+1wr ports) vs
 /// redundant I-cache fetch, per benchmark, from cycle-level access counts.
-util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns);
+util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns,
+                         unsigned threads = 1);
 
 /// Section 2.3 extension: coarse-grain checkpointing statistics.
 util::Table checkpoint_table(const std::vector<std::string>& names,
-                             std::uint64_t insns);
+                             std::uint64_t insns, unsigned threads = 1);
 
 /// Replacement-policy ablation: plain LRU vs checked-first LRU.
 util::Table checked_lru_table(const std::vector<std::string>& names,
-                              std::uint64_t insns);
+                              std::uint64_t insns, unsigned threads = 1);
 
 /// Section 3 future-work filter: selective time redundancy on ITR miss.
 util::Table selective_redundancy_table(const std::vector<std::string>& names,
-                                       std::uint64_t insns);
+                                       std::uint64_t insns, unsigned threads = 1);
 
 /// Trace-length design-space ablation: the paper fixes the trace limit at 16
 /// instructions; this sweeps it (4/8/16/32) and reports static-trace counts
 /// and coverage loss at the paper's cache configuration.
 util::Table trace_length_table(const std::vector<std::string>& names,
-                               std::uint64_t insns);
+                               std::uint64_t insns, unsigned threads = 1);
 
 /// Rename-check extension (paper Section 1): coverage of rename map-table
 /// port faults with and without the rename-index ITR signature.
 util::Table rename_check_table(const std::vector<std::string>& names,
                                std::uint64_t insns, std::uint64_t faults,
-                               std::uint64_t seed);
+                               std::uint64_t seed, unsigned threads = 1);
 
 /// Performance-overhead ablation: IPC without ITR hardware vs with ITR at
 /// increasing probe latencies (the commit logic stalls a trace-ending
 /// instruction until its chk/miss bit is set, paper Section 2.2).
 util::Table perf_overhead_table(const std::vector<std::string>& names,
-                                std::uint64_t insns);
+                                std::uint64_t insns, unsigned threads = 1);
 
 }  // namespace itr::bench

@@ -7,6 +7,11 @@ int main(int argc, char** argv) {
   using namespace itr;
   const util::CliFlags flags(argc, argv);
   flags.get_bool("csv");
+  // This exhibit is constant; accept the common sweep flags so
+  // run_benches.sh can forward one uniform flag set to every binary.
+  flags.get_u64("threads", 0);
+  flags.get_u64("insns", 0);
+  flags.get_string("benchmarks", "");
   flags.reject_unknown();
 
   util::Table table({"structure", "area cm^2", "vs I-unit"});

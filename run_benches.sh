@@ -1,9 +1,59 @@
-#!/bin/bash
-cd /root/repo
-for b in build/bench/*; do
-  if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "===== $(basename $b) ====="
-    "$b"
+#!/usr/bin/env bash
+# Runs every paper-exhibit bench binary in build/bench.
+#
+# Usage:
+#   ./run_benches.sh [--csv] [--out DIR] [extra flags...]
+#
+#   --csv        pass --csv to every binary (CSV instead of aligned tables)
+#   --out DIR    write each exhibit's output to DIR/<binary>.csv (implies
+#                --csv) instead of stdout
+#   extra flags  forwarded verbatim to every binary (e.g. --threads 8,
+#                --insns 500000, --benchmarks bzip,gcc)
+#
+# Skips CMake droppings and anything that is not an executable regular file.
+# perf_micro is excluded: it is a google-benchmark microbench, not an exhibit.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+bench_dir=build/bench
+
+csv=0
+out_dir=""
+passthrough=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --csv) csv=1 ;;
+    --out)
+      [ $# -ge 2 ] || { echo "error: --out needs a directory" >&2; exit 2; }
+      out_dir=$2
+      csv=1
+      shift
+      ;;
+    *) passthrough+=("$1") ;;
+  esac
+  shift
+done
+
+[ -d "$bench_dir" ] || { echo "error: $bench_dir not found; build first" >&2; exit 2; }
+[ -z "$out_dir" ] || mkdir -p "$out_dir"
+
+flags=()
+[ "$csv" -eq 0 ] || flags+=(--csv)
+flags+=(${passthrough[@]+"${passthrough[@]}"})
+
+for b in "$bench_dir"/*; do
+  name=$(basename "$b")
+  # Executable regular files only; skip build-system files and the microbench.
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$name" in
+    CMakeFiles|cmake_install.cmake|CTestTestfile.cmake|Makefile|*.cmake|*.ninja|perf_micro) continue ;;
+  esac
+  if [ -n "$out_dir" ]; then
+    echo "$name -> $out_dir/$name.csv"
+    "$b" ${flags[@]+"${flags[@]}"} > "$out_dir/$name.csv"
+  else
+    echo "===== $name ====="
+    "$b" ${flags[@]+"${flags[@]}"}
     echo
   fi
 done

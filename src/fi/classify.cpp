@@ -1,10 +1,12 @@
 #include "fi/classify.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "isa/decode.hpp"
 #include "sim/functional.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace itr::fi {
 
@@ -47,25 +49,18 @@ bool matches_golden(const sim::CommitRecord& f, const sim::FunctionalSim::Step& 
 
 }  // namespace
 
-InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_index,
-                                                unsigned bit) {
-  InjectionResult res;
-  res.decode_index = target_decode_index;
-  res.bit = bit & 63u;
-  res.field = isa::signal_field_of_bit(res.bit);
-
+sim::CycleSim::Options FaultInjectionCampaign::base_options() const {
   sim::CycleSim::Options opt;
   opt.config = config_.pipeline;
   opt.itr = config_.itr;
   opt.itr_recovery = false;  // monitoring: the paper's counterfactual run
-  opt.fault.enabled = true;
-  opt.fault.target_decode_index = target_decode_index;
-  opt.fault.bit = res.bit;
+  return opt;
+}
 
-  sim::CycleSim faulty(*prog_, std::move(opt));
-  sim::FunctionalSim golden(*prog_);
-
-  bool golden_done = false;
+InjectionResult FaultInjectionCampaign::classify_run(sim::CycleSim& faulty,
+                                                     sim::FunctionalSim& golden,
+                                                     InjectionResult res,
+                                                     bool golden_done) const {
   bool window_done = false;
   std::uint64_t window_deadline = sim::kNeverCycle;
   std::uint64_t grace_deadline = sim::kNeverCycle;
@@ -150,18 +145,102 @@ InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_inde
   return res;
 }
 
-CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults) {
-  CampaignSummary summary;
+InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_index,
+                                                unsigned bit) {
+  InjectionResult res;
+  res.decode_index = target_decode_index;
+  res.bit = bit & 63u;
+  res.field = isa::signal_field_of_bit(res.bit);
+
+  sim::CycleSim::Options opt = base_options();
+  opt.fault.enabled = true;
+  opt.fault.target_decode_index = target_decode_index;
+  opt.fault.bit = res.bit;
+
+  sim::CycleSim faulty(*prog_, std::move(opt));
+  sim::FunctionalSim golden(*prog_);
+  return classify_run(faulty, golden, std::move(res), /*golden_done=*/false);
+}
+
+InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkpoint,
+                                                     std::uint64_t target_decode_index,
+                                                     unsigned bit) const {
+  InjectionResult res;
+  res.decode_index = target_decode_index;
+  res.bit = bit & 63u;
+  res.field = isa::signal_field_of_bit(res.bit);
+  // The scratch path counts warmup commits too; start from the same tally so
+  // both paths report identical InjectionResults.
+  res.faulty_commits = checkpoint.commits_consumed;
+
+  sim::CycleSim faulty(checkpoint.machine);
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.target_decode_index = target_decode_index;
+  plan.bit = res.bit;
+  faulty.arm_fault(plan);
+
+  sim::FunctionalSim golden(checkpoint.golden);
+  return classify_run(faulty, golden, std::move(res), checkpoint.golden_done);
+}
+
+const SimCheckpoint* FaultInjectionCampaign::warmup_checkpoint() {
+  if (!checkpoint_built_) {
+    checkpoint_built_ = true;
+    auto ck = std::make_unique<SimCheckpoint>(*prog_, base_options());
+    while (ck->machine.decode_count() < config_.warmup_instructions &&
+           ck->machine.termination() == sim::RunTermination::kRunning) {
+      ck->machine.advance();
+      // Fault-free execution generates no ITR events (a trace's signature is
+      // a pure function of the program text), and every commit matches the
+      // golden step it pairs with; drain both streams in lockstep exactly as
+      // classify_run would, minus the (always-true) comparison.
+      while (ck->machine.next_itr_event().has_value()) {
+      }
+      while (ck->machine.next_commit().has_value()) {
+        ++ck->commits_consumed;
+        if (!ck->golden_done && !ck->golden.done()) {
+          ck->golden.step();
+          if (ck->golden.done()) ck->golden_done = true;
+        }
+      }
+    }
+    ck->valid = ck->machine.termination() == sim::RunTermination::kRunning &&
+                ck->machine.decode_count() >= config_.warmup_instructions;
+    checkpoint_ = std::move(ck);
+  }
+  return checkpoint_ != nullptr && checkpoint_->valid ? checkpoint_.get() : nullptr;
+}
+
+CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
+                                            unsigned threads) {
+  // Pre-draw every (target, bit) pair from the single sequential RNG stream
+  // the serial implementation always used: the sampled plan — and therefore
+  // the whole campaign — is independent of the thread count.
+  struct Draw {
+    std::uint64_t target = 0;
+    unsigned bit = 0;
+  };
+  std::vector<Draw> plan(static_cast<std::size_t>(num_faults));
   util::Xoshiro256StarStar rng(config_.seed);
-  summary.results.reserve(static_cast<std::size_t>(num_faults));
-  for (std::uint64_t i = 0; i < num_faults; ++i) {
-    const std::uint64_t target =
-        config_.warmup_instructions + rng.below(config_.inject_region);
-    const unsigned bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
-    InjectionResult res = run_one(target, bit);
+  for (Draw& d : plan) {
+    d.target = config_.warmup_instructions + rng.below(config_.inject_region);
+    d.bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
+  }
+
+  const SimCheckpoint* ck = warmup_checkpoint();
+
+  CampaignSummary summary;
+  summary.results.resize(plan.size());
+  util::parallel_for(threads, plan.size(), [&](std::size_t i) {
+    summary.results[i] = ck != nullptr
+                             ? run_one_from(*ck, plan[i].target, plan[i].bit)
+                             : run_one(plan[i].target, plan[i].bit);
+  });
+
+  for (const InjectionResult& res : summary.results) {
     ++summary.counts[static_cast<std::size_t>(res.outcome)];
     ++summary.total;
-    summary.results.push_back(res);
   }
   return summary;
 }

@@ -15,11 +15,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "isa/program.hpp"
 #include "itr/itr_cache.hpp"
+#include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
 
 namespace itr::fi {
@@ -93,20 +95,62 @@ struct CampaignSummary {
   }
 };
 
+/// Snapshot of the fault-free machine at the campaign's warmup boundary.
+///
+/// Every fault in a campaign lands at decode index >= warmup_instructions, so
+/// the pre-fault prefix (cycle-level machine AND the golden lockstep
+/// reference) is identical across injections.  The campaign simulates it once,
+/// snapshots both simulators here, and each injection starts from a copy —
+/// removing the ~warmup/window fraction of the per-fault cost.  Copyable by
+/// design; the referenced program must outlive every copy.
+struct SimCheckpoint {
+  SimCheckpoint(const isa::Program& prog, sim::CycleSim::Options options)
+      : machine(prog, std::move(options)), golden(prog) {}
+
+  sim::CycleSim machine;      ///< cycle-level state, advanced through warmup
+  sim::FunctionalSim golden;  ///< lockstep reference, stepped once per commit
+  std::uint64_t commits_consumed = 0;  ///< commits drained during warmup
+  bool golden_done = false;   ///< golden program finished during warmup
+  bool valid = false;         ///< warmup boundary reached with the machine live
+};
+
 class FaultInjectionCampaign {
  public:
   FaultInjectionCampaign(const isa::Program& prog, CampaignConfig config);
 
-  /// Injects one specific fault and classifies it.
+  /// Injects one specific fault and classifies it, simulating from scratch
+  /// (reference path; `run` uses the warmup checkpoint instead).
   InjectionResult run_one(std::uint64_t target_decode_index, unsigned bit);
 
+  /// Injects one specific fault starting from a warmup checkpoint clone.
+  /// Classifies identically to run_one for any target at or past the warmup
+  /// boundary (the checkpoint-equivalence test pins this down).
+  InjectionResult run_one_from(const SimCheckpoint& checkpoint,
+                               std::uint64_t target_decode_index,
+                               unsigned bit) const;
+
   /// Runs `num_faults` random injections (uniform dynamic instruction within
-  /// the configured region, uniform bit).
-  CampaignSummary run(std::uint64_t num_faults);
+  /// the configured region, uniform bit) across `threads` worker threads
+  /// (0 = hardware concurrency).  The (target, bit) plan is pre-drawn from
+  /// one sequential RNG stream and each injection writes its own result
+  /// slot, so the summary is byte-identical at any thread count — and
+  /// identical to the historical serial implementation.
+  CampaignSummary run(std::uint64_t num_faults, unsigned threads = 1);
+
+  /// Builds (first call) and returns the warmup checkpoint, or nullptr when
+  /// the program terminates before reaching warmup_instructions (then
+  /// injections fall back to from-scratch simulation).
+  const SimCheckpoint* warmup_checkpoint();
 
  private:
+  sim::CycleSim::Options base_options() const;
+  InjectionResult classify_run(sim::CycleSim& faulty, sim::FunctionalSim& golden,
+                               InjectionResult res, bool golden_done) const;
+
   const isa::Program* prog_;
   CampaignConfig config_;
+  std::unique_ptr<SimCheckpoint> checkpoint_;
+  bool checkpoint_built_ = false;
 };
 
 }  // namespace itr::fi

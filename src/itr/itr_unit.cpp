@@ -1,10 +1,60 @@
 #include "itr/itr_unit.hpp"
 
+#include <utility>
+
 namespace itr::core {
 
 ItrUnit::ItrUnit(const ItrCacheConfig& config)
     : cache_(config),
       builder_([this](const trace::TraceRecord& rec) { completed_ = rec; }) {}
+
+ItrUnit::ItrUnit(const ItrUnit& other)
+    : cache_(other.cache_),
+      builder_(other.builder_),
+      rob_(other.rob_),
+      installs_(other.installs_),
+      retrying_(other.retrying_),
+      stats_(other.stats_),
+      completed_(other.completed_) {
+  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
+}
+
+ItrUnit& ItrUnit::operator=(const ItrUnit& other) {
+  if (this == &other) return *this;
+  cache_ = other.cache_;
+  builder_ = other.builder_;
+  rob_ = other.rob_;
+  installs_ = other.installs_;
+  retrying_ = other.retrying_;
+  stats_ = other.stats_;
+  completed_ = other.completed_;
+  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
+  return *this;
+}
+
+ItrUnit::ItrUnit(ItrUnit&& other) noexcept
+    : cache_(std::move(other.cache_)),
+      builder_(std::move(other.builder_)),
+      rob_(std::move(other.rob_)),
+      installs_(std::move(other.installs_)),
+      retrying_(std::move(other.retrying_)),
+      stats_(other.stats_),
+      completed_(std::move(other.completed_)) {
+  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
+}
+
+ItrUnit& ItrUnit::operator=(ItrUnit&& other) noexcept {
+  if (this == &other) return *this;
+  cache_ = std::move(other.cache_);
+  builder_ = std::move(other.builder_);
+  rob_ = std::move(other.rob_);
+  installs_ = std::move(other.installs_);
+  retrying_ = std::move(other.retrying_);
+  stats_ = other.stats_;
+  completed_ = std::move(other.completed_);
+  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
+  return *this;
+}
 
 void ItrUnit::drain_installs(std::uint64_t up_to_cycle) {
   while (!installs_.empty() && installs_.front().commit_cycle <= up_to_cycle) {

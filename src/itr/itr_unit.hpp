@@ -60,6 +60,14 @@ class ItrUnit {
  public:
   explicit ItrUnit(const ItrCacheConfig& config);
 
+  // Copy/move support (warmup checkpointing snapshots whole units).  The
+  // trace builder's sink captures `this`, so every special member re-binds
+  // it to the destination object.
+  ItrUnit(const ItrUnit& other);
+  ItrUnit& operator=(const ItrUnit& other);
+  ItrUnit(ItrUnit&& other) noexcept;
+  ItrUnit& operator=(ItrUnit&& other) noexcept;
+
   /// Decode-side: feeds one decoded instruction.  When this instruction
   /// completes a trace, the trace is dispatched into the ITR ROB and the
   /// ITR cache is probed (at `dispatch_cycle`); returns the completed trace.

@@ -4,6 +4,20 @@
 
 namespace itr::sim {
 
+Memory::Memory(const Memory& other) {
+  pages_.reserve(other.pages_.size());
+  for (const auto& [index, page] : other.pages_) {
+    pages_.emplace(index, std::make_unique<Page>(*page));
+  }
+}
+
+Memory& Memory::operator=(const Memory& other) {
+  if (this == &other) return *this;
+  Memory copy(other);
+  pages_ = std::move(copy.pages_);
+  return *this;
+}
+
 const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
   const auto it = pages_.find((addr & kAddressMask) / kPageBytes);
   return it == pages_.end() ? nullptr : it->second.get();

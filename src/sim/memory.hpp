@@ -18,6 +18,13 @@ class Memory {
   static constexpr std::uint64_t kPageBytes = 4096;
   static constexpr std::uint64_t kAddressMask = 0xffff'ffffULL;  ///< 32-bit space
 
+  Memory() = default;
+  /// Deep copies (pages are heap-allocated): checkpoint/restore support.
+  Memory(const Memory& other);
+  Memory& operator=(const Memory& other);
+  Memory(Memory&&) noexcept = default;
+  Memory& operator=(Memory&&) noexcept = default;
+
   std::uint8_t read8(std::uint64_t addr) const noexcept;
   std::uint16_t read16(std::uint64_t addr) const noexcept;
   std::uint32_t read32(std::uint64_t addr) const noexcept;

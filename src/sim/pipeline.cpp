@@ -28,7 +28,7 @@ CycleSim::CycleSim(const isa::Program& prog, Options options)
       issue_window_cycle_(kIssueWindowSize, ~std::uint64_t{0}) {
   load_program(prog, memory_);
   if (opt_.itr.has_value()) {
-    itr_ = std::make_unique<core::ItrUnit>(*opt_.itr);
+    itr_.emplace(*opt_.itr);
   }
   // L1 tag arrays are keyed by LINE address (address >> line_shift), so the
   // tag comparison ignores the offset within the line.
@@ -37,16 +37,14 @@ CycleSim::CycleSim(const isa::Program& prog, Options options)
     cc.num_entries = l1.entries;
     cc.associativity = l1.assoc;
     cc.key_shift = 0;
-    return std::make_unique<cache::SetAssocCache<char>>(cc);
+    return cache::SetAssocCache<char>(cc);
   };
-  if (opt_.config.icache.enabled) icache_ = make_l1(opt_.config.icache);
-  if (opt_.config.dcache.enabled) dcache_ = make_l1(opt_.config.dcache);
+  if (opt_.config.icache.enabled) icache_.emplace(make_l1(opt_.config.icache));
+  if (opt_.config.dcache.enabled) dcache_.emplace(make_l1(opt_.config.dcache));
   if (opt_.rename_check && opt_.itr.has_value()) {
-    rename_cache_ = std::make_unique<core::ItrCache>(*opt_.itr);
+    rename_cache_.emplace(*opt_.itr);
   }
 }
-
-CycleSim::~CycleSim() = default;
 
 void CycleSim::terminate(RunTermination t) noexcept {
   if (termination_ == RunTermination::kRunning) termination_ = t;
@@ -61,7 +59,7 @@ std::uint64_t CycleSim::compute_fetch_cycle(std::uint64_t pc) {
     ++stats_.fetch_bundles;
     bundle_break_ = false;
     // I-cache tag lookup for the new bundle; a miss stalls the fetch.
-    if (icache_ != nullptr) {
+    if (icache_.has_value()) {
       const std::uint64_t line = pc >> opt_.config.icache.line_shift;
       if (icache_->lookup(line) == nullptr) {
         icache_->insert(line, 0);
@@ -147,7 +145,7 @@ void CycleSim::commit_one(CommitRecord&& rec) {
   if (never || rec.commit_cycle > last_commit_cycle_ + opt_.config.watchdog_cycles) {
     ++stats_.watchdog_fires;
     watchdog_cycle_ = last_commit_cycle_ + opt_.config.watchdog_cycles;
-    if (opt_.itr_recovery || itr_ == nullptr) {
+    if (opt_.itr_recovery || !itr_.has_value()) {
       terminate(RunTermination::kDeadlock);
     } else {
       // Monitoring mode: keep the decode side alive for a ROB's worth of
@@ -237,7 +235,7 @@ void CycleSim::process_instruction() {
 
   // Trace-boundary bookkeeping for recovery: when no trace is open, this
   // instruction begins one, and becomes the rollback point.
-  if (opt_.itr_recovery && itr_ != nullptr && !itr_has_open_trace_) {
+  if (opt_.itr_recovery && itr_.has_value() && !itr_has_open_trace_) {
     trace_start_pc_ = pc;
     trace_undo_.clear();
     trace_commits_.clear();
@@ -270,7 +268,7 @@ void CycleSim::process_instruction() {
   exec_sig.rsrc1 = rename_rec.has_src1 ? rename_rec.src1_index : exec_sig.rsrc1;
   exec_sig.rsrc2 = rename_rec.has_src2 ? rename_rec.src2_index : exec_sig.rsrc2;
   exec_sig.rdst = rename_rec.has_dest ? rename_rec.dest_index : exec_sig.rdst;
-  if (rename_cache_ != nullptr) {
+  if (rename_cache_.has_value()) {
     // Position-sensitive fold so swapped indexes within a trace also differ.
     const unsigned rot = static_cast<unsigned>((rename_fold_rotl_++ * 7) & 63u);
     const std::uint64_t c = rename_rec.signature_contribution();
@@ -302,7 +300,7 @@ void CycleSim::process_instruction() {
 
   // ---- Functional execution (with undo journaling in recovery mode). --------
   UndoEntry undo;
-  const bool journal = opt_.itr_recovery && itr_ != nullptr;
+  const bool journal = opt_.itr_recovery && itr_.has_value();
   if (journal) {
     undo.prev_pc = pc;
     undo.int_old = state_.ireg(exec_sig.rdst);
@@ -329,7 +327,7 @@ void CycleSim::process_instruction() {
   if (complete < kNeverCycle && (fx.did_load || fx.did_store) && fx.mem_bytes > 0) {
     ++stats_.dcache_accesses;
     bool hit = true;
-    if (dcache_ != nullptr) {
+    if (dcache_.has_value()) {
       const std::uint64_t line = fx.mem_addr >> opt_.config.dcache.line_shift;
       hit = dcache_->lookup(line) != nullptr;
       if (!hit) {
@@ -389,10 +387,10 @@ void CycleSim::process_instruction() {
 
   // ---- ITR decode side: trace formation + dispatch-time probe. ----------------
   std::optional<trace::TraceRecord> completed_trace;
-  if (itr_ != nullptr) {
+  if (itr_.has_value()) {
     completed_trace = itr_->on_decode(pc, sig, this_decode_index, dispatch_cycle);
     itr_has_open_trace_ = !completed_trace.has_value();
-    if (completed_trace.has_value() && rename_cache_ != nullptr) {
+    if (completed_trace.has_value() && rename_cache_.has_value()) {
       trace::TraceRecord rrec = *completed_trace;
       rrec.signature = rename_sig_acc_;
       rename_sig_acc_ = 0;
@@ -473,7 +471,7 @@ void CycleSim::process_instruction() {
   rec.aborted = fx.aborted;
   rec.engaged_control = fx.engaged_branch_unit || fx.exited;
 
-  const bool hold_commits = opt_.itr_recovery && itr_ != nullptr;
+  const bool hold_commits = opt_.itr_recovery && itr_.has_value();
   if (hold_commits) {
     trace_commits_.push_back(std::move(rec));
   } else {
@@ -481,7 +479,7 @@ void CycleSim::process_instruction() {
   }
 
   // ---- ITR commit-side poll for trace-ending instructions. ---------------------
-  if (itr_ != nullptr && completed_trace.has_value() &&
+  if (itr_.has_value() && completed_trace.has_value() &&
       termination_ == RunTermination::kRunning) {
     const core::PollResult poll = itr_->poll_at_commit(commit_cycle);
     handle_poll(poll, commit_cycle, dispatch_cycle);

@@ -191,10 +191,16 @@ class CycleSim {
   };
 
   CycleSim(const isa::Program& prog, Options options);
-  ~CycleSim();
+  ~CycleSim() = default;
 
-  CycleSim(const CycleSim&) = delete;
-  CycleSim& operator=(const CycleSim&) = delete;
+  /// Copyable: a copy is an exact snapshot of the machine (architectural
+  /// state, caches, predictor, ITR unit, timing scoreboard) that can be run
+  /// forward independently — the substrate of warmup checkpointing.  All
+  /// members are value types (heap state lives behind std::optional /
+  /// deep-copying containers), so memberwise copy is a correct clone; the
+  /// referenced program must outlive both copies and is shared read-only.
+  CycleSim(const CycleSim&) = default;
+  CycleSim& operator=(const CycleSim&) = default;
 
   /// Advances by one instruction through the whole pipeline model.  Commits
   /// are queued internally (recovery mode holds them back until the trace's
@@ -215,14 +221,25 @@ class CycleSim {
   const std::string& output() const noexcept { return output_; }
   std::int32_t exit_status() const noexcept { return exit_status_; }
   const ArchState& state() const noexcept { return state_; }
-  const core::ItrUnit* itr_unit() const noexcept { return itr_.get(); }
-  core::ItrUnit* itr_unit() noexcept { return itr_.get(); }
+  const core::ItrUnit* itr_unit() const noexcept {
+    return itr_.has_value() ? &*itr_ : nullptr;
+  }
+  core::ItrUnit* itr_unit() noexcept { return itr_.has_value() ? &*itr_ : nullptr; }
   /// Coverage counters of the rename-index event cache (rename_check mode).
-  const core::ItrCache* rename_cache() const noexcept { return rename_cache_.get(); }
+  const core::ItrCache* rename_cache() const noexcept {
+    return rename_cache_.has_value() ? &*rename_cache_ : nullptr;
+  }
   const RenameUnit& rename_unit() const noexcept { return rename_; }
   BranchPredictor& predictor() noexcept { return bpred_; }
   std::uint64_t decode_count() const noexcept { return decode_index_; }
   bool fault_was_injected() const noexcept { return fault_injected_; }
+
+  /// Arms (or replaces) the fault plan on a snapshot clone.  The plan's
+  /// target_decode_index must not precede the instructions already executed;
+  /// earlier indexes simply never fire.  Only meaningful before injection.
+  void arm_fault(const FaultPlan& plan) noexcept {
+    if (!fault_injected_) opt_.fault = plan;
+  }
 
   /// Cycle at which the watchdog fired (valid when termination is kDeadlock).
   std::uint64_t watchdog_cycle() const noexcept { return watchdog_cycle_; }
@@ -261,16 +278,18 @@ class CycleSim {
   void rollback_trace();
   void terminate(RunTermination t) noexcept;
 
+  // All members are value types so the defaulted copy operations produce an
+  // exact machine snapshot; see the copy-constructor comment above.
   const isa::Program* prog_;
   Options opt_;
   Memory memory_;
   ArchState state_;
   BranchPredictor bpred_;
-  std::unique_ptr<core::ItrUnit> itr_;
-  std::unique_ptr<cache::SetAssocCache<char>> icache_;  ///< tag array only
-  std::unique_ptr<cache::SetAssocCache<char>> dcache_;
+  std::optional<core::ItrUnit> itr_;
+  std::optional<cache::SetAssocCache<char>> icache_;  ///< tag array only
+  std::optional<cache::SetAssocCache<char>> dcache_;
   RenameUnit rename_;
-  std::unique_ptr<core::ItrCache> rename_cache_;  ///< rename-index signatures
+  std::optional<core::ItrCache> rename_cache_;  ///< rename-index signatures
   std::uint64_t rename_sig_acc_ = 0;   ///< open trace's rename signature
   std::uint64_t rename_fold_rotl_ = 0; ///< position-sensitive fold counter
   std::string output_;

@@ -53,6 +53,11 @@ class TraceBuilder {
   /// Discards any partially formed trace (pipeline squash).
   void abandon() noexcept { open_ = false; }
 
+  /// Re-targets the completion sink, keeping the in-progress trace state.
+  /// Copying an owner whose sink captures `this` must call this on the copy,
+  /// or completed traces would be delivered to the original owner.
+  void rebind_sink(Sink sink) { sink_ = std::move(sink); }
+
   bool has_open_trace() const noexcept { return open_; }
   std::uint64_t open_start_pc() const noexcept { return current_.start_pc; }
 

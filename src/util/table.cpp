@@ -26,6 +26,14 @@ Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
 Table& Table::add(int v) { return add(std::to_string(v)); }
 Table& Table::add(double v, int precision) { return add(format_double(v, precision)); }
 
+Table& Table::append_rows(const Table& other) {
+  if (other.headers_.size() != headers_.size()) {
+    throw std::invalid_argument("Table::append_rows: column count mismatch");
+  }
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  return *this;
+}
+
 const std::string& Table::at(std::size_t row, std::size_t col) const {
   if (row >= rows_.size() || col >= rows_[row].size()) {
     throw std::out_of_range("Table::at");

@@ -27,6 +27,11 @@ class Table {
   /// Fixed-precision floating point cell.
   Table& add(double v, int precision = 2);
 
+  /// Appends every row of `other` (which must have the same column count).
+  /// Parallel builders fill one sub-table per work item and merge them in
+  /// input order so the rendered bytes never depend on the thread count.
+  Table& append_rows(const Table& other);
+
   std::size_t num_rows() const noexcept { return rows_.size(); }
   std::size_t num_cols() const noexcept { return headers_.size(); }
   const std::string& at(std::size_t row, std::size_t col) const;

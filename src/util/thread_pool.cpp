@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace itr::util {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      lock.lock();
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto drain = [cursor, n, &body] {
+    for (;;) {
+      const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  // One drain job per worker; each pulls items until the cursor runs dry.
+  // The calling thread drains too, so a pool of W threads gives W+1 lanes.
+  const unsigned jobs = pool.size();
+  for (unsigned t = 0; t < jobs; ++t) pool.submit(drain);
+  // The caller must keep draining-or-waiting until the pool is quiescent even
+  // if its own lane throws: the submitted jobs reference `body`.
+  std::exception_ptr caller_error;
+  try {
+    drain();
+  } catch (...) {
+    caller_error = std::current_exception();
+    cursor->store(n, std::memory_order_relaxed);  // stop handing out items
+  }
+  pool.wait();
+  if (caller_error != nullptr) std::rethrow_exception(caller_error);
+}
+
+void parallel_for(unsigned num_threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (num_threads == 0) num_threads = ThreadPool::hardware_threads();
+  if (num_threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // The caller participates, so a pool of num_threads-1 workers yields
+  // exactly num_threads concurrent lanes.
+  ThreadPool pool(num_threads - 1);
+  parallel_for(pool, n, body);
+}
+
+unsigned resolve_threads(std::uint64_t requested) noexcept {
+  if (requested == 0) return ThreadPool::hardware_threads();
+  return static_cast<unsigned>(requested);
+}
+
+}  // namespace itr::util

@@ -1,0 +1,78 @@
+// Shared worker-thread pool and a deterministic parallel_for built on it.
+//
+// The campaign and figure drivers fan independent work items (fault
+// injections, per-benchmark table rows) across cores.  Determinism is
+// guaranteed by construction rather than by scheduling: every work item
+// writes only to its own index-addressed slot and reads only immutable
+// shared inputs, so the aggregated result is byte-identical at any thread
+// count even though item-to-thread assignment is dynamic (an atomic cursor
+// self-schedules items, which also load-balances the wildly uneven
+// per-injection simulation costs).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace itr::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` worker threads; 0 picks the hardware concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins all workers.  Pending jobs are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job.  Jobs must not throw out of the pool unobserved:
+  /// an exception thrown by a job is captured (first wins) and rethrown by
+  /// the next wait().
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first captured job exception, if any.
+  void wait();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [0, n) on the pool's workers plus the calling
+/// thread.  Blocks until all items are done; rethrows the first exception.
+/// Items self-schedule off an atomic cursor; see the header comment for why
+/// results stay deterministic regardless of the interleaving.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload: runs on a transient pool of `num_threads` (0 = the
+/// hardware concurrency); `num_threads <= 1` degenerates to a plain serial
+/// loop on the calling thread with no pool at all.
+void parallel_for(unsigned num_threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Resolves a --threads flag value: 0 = hardware concurrency, else as given.
+unsigned resolve_threads(std::uint64_t requested) noexcept;
+
+}  // namespace itr::util

@@ -1,0 +1,135 @@
+// Tests for the parallel campaign engine: thread-count determinism, the
+// warmup checkpoint's equivalence to from-scratch simulation, and the
+// thread-pool primitives they are built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "fi/classify.hpp"
+#include "isa/decode.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr::fi {
+namespace {
+
+CampaignConfig quick_config() {
+  CampaignConfig cfg;
+  cfg.observation_cycles = 20'000;
+  cfg.warmup_instructions = 5'000;
+  cfg.inject_region = 30'000;
+  cfg.detected_mask_grace_cycles = 5'000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+bool same_result(const InjectionResult& a, const InjectionResult& b) {
+  return a.outcome == b.outcome && a.decode_index == b.decode_index &&
+         a.bit == b.bit && a.detected == b.detected &&
+         a.recoverable == b.recoverable && a.sdc == b.sdc &&
+         a.deadlock == b.deadlock && a.spc == b.spc &&
+         a.detect_cycle == b.detect_cycle &&
+         a.faulty_commits == b.faulty_commits;
+}
+
+TEST(CampaignParallel, CountsIdenticalAtOneAndEightThreads) {
+  const auto prog = workload::generate_spec("bzip", 200'000);
+  FaultInjectionCampaign serial(prog, quick_config());
+  const auto s1 = serial.run(32, 1);
+  FaultInjectionCampaign parallel(prog, quick_config());
+  const auto s8 = parallel.run(32, 8);
+
+  EXPECT_EQ(s1.total, s8.total);
+  EXPECT_EQ(s1.counts, s8.counts);
+  ASSERT_EQ(s1.results.size(), s8.results.size());
+  for (std::size_t i = 0; i < s1.results.size(); ++i) {
+    EXPECT_TRUE(same_result(s1.results[i], s8.results[i])) << "fault " << i;
+  }
+}
+
+TEST(CampaignParallel, ZeroThreadsMeansHardwareConcurrency) {
+  const auto prog = workload::generate_spec("gzip", 120'000);
+  FaultInjectionCampaign a(prog, quick_config());
+  FaultInjectionCampaign b(prog, quick_config());
+  const auto s0 = a.run(8, 0);
+  const auto s1 = b.run(8, 1);
+  EXPECT_EQ(s0.counts, s1.counts);
+}
+
+TEST(CampaignCheckpoint, MatchesFromScratchOnSampledFaults) {
+  const auto prog = workload::generate_spec("vpr", 200'000);
+  FaultInjectionCampaign camp(prog, quick_config());
+  const SimCheckpoint* ck = camp.warmup_checkpoint();
+  ASSERT_NE(ck, nullptr);
+  EXPECT_TRUE(ck->valid);
+
+  // Sampled (decode index, bit) pairs across the inject region, including
+  // the boundary instruction warmup_instructions itself.
+  util::Xoshiro256StarStar rng(7);
+  const auto cfg = quick_config();
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t target =
+        i == 0 ? cfg.warmup_instructions
+               : cfg.warmup_instructions + rng.below(cfg.inject_region);
+    const auto bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
+    const InjectionResult scratch = camp.run_one(target, bit);
+    const InjectionResult from_ck = camp.run_one_from(*ck, target, bit);
+    EXPECT_TRUE(same_result(scratch, from_ck))
+        << "target=" << target << " bit=" << bit;
+  }
+}
+
+TEST(CampaignCheckpoint, ShortProgramFallsBackToScratch) {
+  // The mini program ends long before the default warmup boundary; the
+  // campaign must detect that and still classify every fault.
+  const auto prog = workload::mini_program("sum_loop");
+  CampaignConfig cfg = quick_config();
+  cfg.warmup_instructions = 1'000'000;  // unreachable
+  cfg.inject_region = 1'000;
+  FaultInjectionCampaign camp(prog, cfg);
+  EXPECT_EQ(camp.warmup_checkpoint(), nullptr);
+  const auto summary = camp.run(4, 4);
+  EXPECT_EQ(summary.total, 4u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  util::ThreadPool pool(3);
+  EXPECT_THROW(util::parallel_for(pool, 64,
+                                  [&](std::size_t i) {
+                                    if (i == 17) throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<std::size_t> sum{0};
+  util::parallel_for(pool, 10, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, SerialFallbackRunsInOrderOnCallingThread) {
+  std::vector<std::size_t> order;
+  util::parallel_for(1u, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(util::resolve_threads(0), 1u);
+  EXPECT_EQ(util::resolve_threads(3), 3u);
+}
+
+}  // namespace
+}  // namespace itr::fi

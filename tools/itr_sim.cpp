@@ -9,6 +9,11 @@
 //   itr_sim --asm prog.s --recovery           enable flush-restart recovery
 //   itr_sim --asm prog.s --fault-index N --fault-bit B   inject one fault
 //   itr_sim --asm prog.s --characterize       trace-repetition analysis
+//   itr_sim --benchmark vortex --campaign 100 --threads 8
+//                                              fault-injection campaign
+//
+// --threads N spreads campaign injections over N workers (0 = hardware
+// concurrency); the summary is identical at any thread count.
 //
 // Exit status: the simulated program's exit status (or 1 on abnormal end).
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "fi/classify.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
 #include "sim/functional.hpp"
@@ -23,6 +29,7 @@
 #include "trace/analysis.hpp"
 #include "trace/trace_builder.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -83,6 +90,25 @@ int characterize(const isa::Program& prog, std::uint64_t max_insns) {
   return 0;
 }
 
+int run_campaign(const isa::Program& prog, std::uint64_t faults,
+                 std::uint64_t window, std::uint64_t seed, unsigned threads) {
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = window;
+  cfg.seed = seed;
+  fi::FaultInjectionCampaign camp(prog, cfg);
+  const auto summary = camp.run(faults, threads);
+  std::printf("faults injected      : %llu\n",
+              static_cast<unsigned long long>(summary.total));
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto o = static_cast<fi::Outcome>(i);
+    std::printf("%-20s : %llu (%.1f%%)\n", fi::outcome_label(o),
+                static_cast<unsigned long long>(summary.counts[i]),
+                summary.percent(o));
+  }
+  std::printf("ITR-detected         : %.1f%%\n", summary.itr_detected_percent());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +125,10 @@ int main(int argc, char** argv) {
     const bool has_fault = flags.has("fault-index");
     const auto fault_index = flags.get_u64("fault-index", 0);
     const auto fault_bit = static_cast<unsigned>(flags.get_u64("fault-bit", 0));
+    const auto campaign_faults = flags.get_u64("campaign", 0);
+    const auto window = flags.get_u64("window", 100'000);
+    const auto seed = flags.get_u64("seed", 1);
+    const auto threads = util::resolve_threads(flags.get_u64("threads", 0));
     flags.reject_unknown();
 
     isa::Program prog;
@@ -120,6 +150,9 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (do_characterize) return characterize(prog, max_insns);
+    if (campaign_faults > 0) {
+      return run_campaign(prog, campaign_faults, window, seed, threads);
+    }
     if (functional) return run_functional(prog, max_insns);
 
     sim::CycleSim::Options opt;
