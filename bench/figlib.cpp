@@ -156,7 +156,8 @@ util::Table coverage_sweep_table(const std::vector<std::string>& names,
 util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t insns, std::uint64_t faults,
                                   std::uint64_t window_cycles, std::uint64_t seed,
-                                  unsigned threads) {
+                                  unsigned threads, fi::CheckpointMode mode,
+                                  std::uint64_t ladder_interval) {
   std::vector<std::string> headers = {"benchmark"};
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
@@ -177,6 +178,8 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
     cfg.warmup_instructions = std::min<std::uint64_t>(insns / 10, 50'000);
     cfg.inject_region = insns / 2;
     cfg.seed = seed;
+    cfg.checkpoint_mode = mode;
+    cfg.ladder_interval = ladder_interval;
     fi::FaultInjectionCampaign camp(prog, cfg);
     const auto summary = camp.run(faults, inner);
     for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {

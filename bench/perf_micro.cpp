@@ -1,22 +1,28 @@
 // Google-benchmark microbenchmarks for the hot paths of the library:
-// decode + signature generation, ITR cache probe/install, functional and
-// cycle-level simulation throughput, and fault-injection campaign
-// throughput (serial vs parallel, scratch vs warmup-checkpoint).
+// decode + signature generation (raw vs predecoded), ITR cache
+// probe/install, functional and cycle-level simulation throughput, memory
+// and checkpoint cloning (deep copy vs copy-on-write), and fault-injection
+// campaign throughput (scratch vs single checkpoint vs checkpoint ladder).
 //
 // Unless --benchmark_out is given, results are also written to
-// BENCH_perf.json (google-benchmark JSON) for machine consumption.
-// --threads is accepted and ignored so sweep scripts can pass one uniform
-// flag set; campaign thread counts are benchmark args here.
+// BENCH_perf.json (google-benchmark JSON) for machine consumption;
+// tools/bench_diff.py compares two such files.
+// --threads N selects the parallel lane count for the campaign-throughput
+// benchmarks (each runs at 1 thread and at N; default N=8, 0 = hardware
+// concurrency).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "fi/classify.hpp"
 #include "isa/decode.hpp"
+#include "isa/predecode.hpp"
 #include "itr/itr_cache.hpp"
 #include "sim/functional.hpp"
+#include "sim/memory.hpp"
 #include "sim/pipeline.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -42,6 +48,37 @@ void BM_DecodeSignals(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DecodeSignals);
+
+/// The fast-path counterpart of BM_DecodeSignals: one table lookup per
+/// dynamic instruction instead of a full decode.
+void BM_PredecodeLookup(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 100'000'000);
+  const isa::PredecodedProgram table(prog);
+  const std::uint64_t end =
+      prog.code_base + table.num_instructions() * isa::kInstrBytes;
+  std::uint64_t pc = prog.code_base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.signals_at(pc).pack());
+    pc += isa::kInstrBytes;
+    if (pc >= end) pc = prog.code_base;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredecodeLookup);
+
+/// One-time cost of building the predecode table (amortized over every
+/// dynamic instruction of every simulator sharing it).
+void BM_PredecodeBuild(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 100'000'000);
+  for (auto _ : state) {
+    isa::PredecodedProgram table(prog);
+    benchmark::DoNotOptimize(table.num_instructions());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prog.code.size()));
+  state.SetLabel(std::to_string(prog.code.size()) + " static instructions");
+}
+BENCHMARK(BM_PredecodeBuild);
 
 void BM_SignatureFold(benchmark::State& state) {
   const auto sig = isa::decode(isa::make_rr(isa::Opcode::kAdd, 1, 2, 3));
@@ -85,9 +122,22 @@ void BM_FunctionalSim(benchmark::State& state) {
     benchmark::DoNotOptimize(fsim.step().fx.next_pc);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.SetLabel("instructions");
+  state.SetLabel("instructions (predecoded)");
 }
 BENCHMARK(BM_FunctionalSim);
+
+/// The seed decode path (decode_raw per dynamic instruction); the gap to
+/// BM_FunctionalSim is the predecode saving on the functional hot loop.
+void BM_FunctionalSimRawDecode(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 100'000'000);
+  sim::FunctionalSim fsim(prog, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.step().fx.next_pc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("instructions (raw decode)");
+}
+BENCHMARK(BM_FunctionalSimRawDecode);
 
 void BM_CycleSim(benchmark::State& state) {
   const auto prog = workload::generate_spec("bzip", 100'000'000);
@@ -104,6 +154,26 @@ void BM_CycleSim(benchmark::State& state) {
 }
 BENCHMARK(BM_CycleSim);
 
+/// Cloning a memory image: arg0 selects the policy (0 = eager deep copy,
+/// 1 = copy-on-write), arg1 is the number of touched pages.
+void BM_MemoryClone(benchmark::State& state) {
+  const bool cow = state.range(0) != 0;
+  const auto pages = static_cast<std::uint64_t>(state.range(1));
+  sim::Memory mem;
+  mem.set_cow(cow);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    mem.write64(p * sim::Memory::kPageBytes, p + 1);
+  }
+  for (auto _ : state) {
+    sim::Memory clone(mem);
+    benchmark::DoNotOptimize(clone.read64(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(cow ? "cow" : "deep") + ", " +
+                 std::to_string(pages) + " pages");
+}
+BENCHMARK(BM_MemoryClone)->Args({0, 1024})->Args({1, 1024});
+
 fi::CampaignConfig campaign_config() {
   fi::CampaignConfig cfg;
   cfg.observation_cycles = 20'000;
@@ -114,28 +184,23 @@ fi::CampaignConfig campaign_config() {
   return cfg;
 }
 
-/// End-to-end campaign throughput; arg = worker threads (0 = hardware
-/// concurrency).  Reports injections/sec and faulty commits/sec.
-void BM_CampaignThroughput(benchmark::State& state) {
-  const auto threads = util::resolve_threads(static_cast<std::uint64_t>(state.range(0)));
+/// Cloning a full warmup checkpoint (cycle machine + golden reference);
+/// arg selects the memory policy (0 = deep copy, 1 = copy-on-write).
+void BM_CheckpointClone(benchmark::State& state) {
+  const bool cow = state.range(0) != 0;
   const auto prog = workload::generate_spec("bzip", 400'000);
-  const auto cfg = campaign_config();
-  constexpr std::uint64_t kFaults = 16;
-  std::uint64_t injections = 0, commits = 0;
+  auto cfg = campaign_config();
+  cfg.cow_memory = cow;
+  fi::FaultInjectionCampaign camp(prog, cfg);
+  const fi::SimCheckpoint* ck = camp.warmup_checkpoint();
   for (auto _ : state) {
-    fi::FaultInjectionCampaign camp(prog, cfg);
-    const auto summary = camp.run(kFaults, threads);
-    injections += summary.total;
-    for (const auto& r : summary.results) commits += r.faulty_commits;
-    benchmark::DoNotOptimize(summary.counts[0]);
+    fi::SimCheckpoint copy(*ck);
+    benchmark::DoNotOptimize(copy.commits_consumed);
   }
-  state.counters["injections/sec"] = benchmark::Counter(
-      static_cast<double>(injections), benchmark::Counter::kIsRate);
-  state.counters["commits/sec"] = benchmark::Counter(
-      static_cast<double>(commits), benchmark::Counter::kIsRate);
-  state.SetLabel(std::to_string(threads) + " threads");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(cow ? "cow" : "deep");
 }
-BENCHMARK(BM_CampaignThroughput)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointClone)->Arg(0)->Arg(1);
 
 /// One injection simulated from instruction zero (the pre-checkpoint
 /// reference path).
@@ -154,8 +219,8 @@ void BM_InjectionFromScratch(benchmark::State& state) {
 }
 BENCHMARK(BM_InjectionFromScratch)->Unit(benchmark::kMillisecond);
 
-/// The same injection cloned from the warmup checkpoint (what run() does);
-/// the gap to BM_InjectionFromScratch is the per-fault warmup saving.
+/// The same injection cloned from the warmup checkpoint (PR 1's run()
+/// path); the gap to BM_InjectionFromScratch is the per-fault warmup saving.
 void BM_InjectionFromCheckpoint(benchmark::State& state) {
   const auto prog = workload::generate_spec("bzip", 400'000);
   fi::FaultInjectionCampaign camp(prog, campaign_config());
@@ -172,12 +237,110 @@ void BM_InjectionFromCheckpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_InjectionFromCheckpoint)->Unit(benchmark::kMillisecond);
 
+/// A fault landing deep in the inject region, resumed from the warmup
+/// checkpoint (arg 0) vs the nearest ladder rung (arg 1).  The gap is the
+/// trimmed re-execution ERASER-style checkpointing buys per injection.
+void BM_InjectionFarTarget(benchmark::State& state) {
+  const bool ladder = state.range(0) != 0;
+  constexpr std::uint64_t kTarget = 115'000;  // warmup 20k + region 100k
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  fi::FaultInjectionCampaign camp(prog, campaign_config());
+  const fi::SimCheckpoint* ck =
+      ladder ? camp.nearest_checkpoint(kTarget) : camp.warmup_checkpoint();
+  std::uint64_t commits = 0;
+  for (auto _ : state) {
+    const auto res = camp.run_one_from(*ck, kTarget, 9);
+    commits += res.faulty_commits;
+    benchmark::DoNotOptimize(res.outcome);
+  }
+  state.counters["commits/sec"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(ladder ? "nearest ladder rung" : "warmup checkpoint");
+}
+BENCHMARK(BM_InjectionFarTarget)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void run_campaign_loop(benchmark::State& state, const isa::Program& prog,
+                       const fi::CampaignConfig& cfg, std::uint64_t faults,
+                       unsigned threads) {
+  std::uint64_t injections = 0, commits = 0;
+  for (auto _ : state) {
+    fi::FaultInjectionCampaign camp(prog, cfg);
+    const auto summary = camp.run(faults, threads);
+    injections += summary.total;
+    for (const auto& r : summary.results) commits += r.faulty_commits;
+    benchmark::DoNotOptimize(summary.counts[0]);
+  }
+  state.counters["injections/sec"] = benchmark::Counter(
+      static_cast<double>(injections), benchmark::Counter::kIsRate);
+  state.counters["commits/sec"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+}
+
+/// End-to-end campaign throughput at the default (ladder + predecode + COW)
+/// configuration; arg = worker threads (0 = hardware concurrency).
+void BM_CampaignThroughput(benchmark::State& state) {
+  const auto threads =
+      util::resolve_threads(static_cast<std::uint64_t>(state.range(0)));
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  run_campaign_loop(state, prog, campaign_config(), /*faults=*/16, threads);
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+
+/// Campaign throughput at the default fig08 configuration (2M-instruction
+/// bzip, 100k-cycle window, 50k warmup, 1M inject region).  arg0 selects the
+/// engine: 1 = this PR's fast path (checkpoint ladder, predecoded programs,
+/// copy-on-write snapshots), 0 = the PR 1 path (single warmup checkpoint,
+/// decode per dynamic instruction, deep-copied memory).  arg1 = threads.
+void BM_CampaignFig08(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  const auto threads =
+      util::resolve_threads(static_cast<std::uint64_t>(state.range(1)));
+  const auto prog = workload::generate_spec("bzip", 2'000'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 100'000;
+  cfg.warmup_instructions = 50'000;
+  cfg.inject_region = 1'000'000;
+  cfg.seed = 1;
+  if (!fast) {
+    cfg.checkpoint_mode = fi::CheckpointMode::kWarmup;
+    cfg.use_predecode = false;
+    cfg.cow_memory = false;
+  }
+  run_campaign_loop(state, prog, cfg, /*faults=*/16, threads);
+  state.SetLabel(std::string(fast ? "ladder+predecode+cow" : "PR1 single-ckpt") +
+                 ", " + std::to_string(threads) + " threads");
+}
+
+/// Registers the campaign benchmarks with the thread counts requested via
+/// --threads (always including the serial lane for the speedup baseline).
+void register_campaign_benchmarks(std::int64_t threads) {
+  // Wall-clock timing: the work fans out over a worker pool, so CPU-time
+  // rates would overstate throughput exactly when threads > cores.
+  auto* tp = benchmark::RegisterBenchmark("BM_CampaignThroughput",
+                                          BM_CampaignThroughput)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  tp->Arg(1);
+  if (threads != 1) tp->Arg(threads);
+
+  auto* f8 = benchmark::RegisterBenchmark("BM_CampaignFig08", BM_CampaignFig08)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  for (const std::int64_t fast : {1, 0}) {
+    f8->Args({fast, 1});
+    if (threads != 1) f8->Args({fast, threads});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --threads (accepted for flag-set uniformity with the exhibit
-  // binaries) and default the JSON output file when the caller didn't pick
-  // one.
+  // Pull out --threads (routed to the campaign benchmarks' thread-count
+  // args) and default the JSON output file when the caller didn't pick one.
+  std::int64_t threads = 8;
   std::vector<char*> args;
   std::vector<std::string> storage;
   storage.reserve(2);
@@ -185,10 +348,13 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--threads") {
-      if (i + 1 < argc) ++i;
+      if (i + 1 < argc) threads = std::stoll(argv[++i]);
       continue;
     }
-    if (a.rfind("--threads=", 0) == 0) continue;
+    if (a.rfind("--threads=", 0) == 0) {
+      threads = std::stoll(std::string(a.substr(a.find('=') + 1)));
+      continue;
+    }
     if (a.rfind("--benchmark_out=", 0) == 0) has_out = true;
     args.push_back(argv[i]);
   }
@@ -197,6 +363,7 @@ int main(int argc, char** argv) {
     storage.emplace_back("--benchmark_out_format=json");
     for (std::string& s : storage) args.push_back(s.data());
   }
+  register_campaign_benchmarks(threads);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -1,0 +1,32 @@
+# CTest script for the bench-smoke label: runs a reduced fig08 fault-
+# injection campaign in the requested checkpoint mode and byte-compares its
+# CSV with the committed golden.  Because every mode must produce identical
+# bytes, the ladder and scratch smoke tests diff against the SAME golden —
+# a cross-mode equivalence check in CI, not just a snapshot test.
+#
+# Expected -D definitions: FIG08 (binary), GOLDEN (committed CSV),
+# OUT (scratch output path), MODE (scratch|single|ladder).
+foreach(var FIG08 GOLDEN OUT MODE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${FIG08}" --csv --faults 20 --insns 300000 --window 20000
+          --benchmarks bzip,gcc --threads 2 --ckpt-mode "${MODE}"
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "fig08 smoke campaign failed (${MODE}): rc=${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "fig08 smoke CSV (${MODE} mode) differs from golden ${GOLDEN}; "
+    "inspect ${OUT}.  If the change is intentional, regenerate the golden "
+    "with the same flags and commit it.")
+endif()

@@ -2,16 +2,21 @@
 # Runs every paper-exhibit bench binary in build/bench.
 #
 # Usage:
-#   ./run_benches.sh [--csv] [--out DIR] [extra flags...]
+#   ./run_benches.sh [--csv] [--out DIR] [--baseline FILE] [extra flags...]
 #
 #   --csv        pass --csv to every binary (CSV instead of aligned tables)
 #   --out DIR    write each exhibit's output to DIR/<binary>.csv (implies
 #                --csv) instead of stdout
+#   --baseline FILE
+#                after the exhibits, run perf_micro (writing BENCH_perf.json)
+#                and compare against FILE with tools/bench_diff.py; a >10%
+#                throughput regression fails the script
 #   extra flags  forwarded verbatim to every binary (e.g. --threads 8,
 #                --insns 500000, --benchmarks bzip,gcc)
 #
 # Skips CMake droppings and anything that is not an executable regular file.
-# perf_micro is excluded: it is a google-benchmark microbench, not an exhibit.
+# perf_micro is excluded from the exhibit loop: it is a google-benchmark
+# microbench, run separately when --baseline is given.
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -19,6 +24,7 @@ bench_dir=build/bench
 
 csv=0
 out_dir=""
+baseline=""
 passthrough=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -29,10 +35,18 @@ while [ $# -gt 0 ]; do
       csv=1
       shift
       ;;
+    --baseline)
+      [ $# -ge 2 ] || { echo "error: --baseline needs a file" >&2; exit 2; }
+      baseline=$2
+      shift
+      ;;
     *) passthrough+=("$1") ;;
   esac
   shift
 done
+
+[ -z "$baseline" ] || [ -f "$baseline" ] || {
+  echo "error: baseline $baseline not found" >&2; exit 2; }
 
 [ -d "$bench_dir" ] || { echo "error: $bench_dir not found; build first" >&2; exit 2; }
 [ -z "$out_dir" ] || mkdir -p "$out_dir"
@@ -57,3 +71,18 @@ for b in "$bench_dir"/*; do
     echo
   fi
 done
+
+if [ -n "$baseline" ]; then
+  echo "===== perf_micro (diff vs $baseline) ====="
+  # Forward only --threads: perf_micro routes it to the campaign benchmarks;
+  # the exhibit-only flags (--insns, --benchmarks, ...) are not its business.
+  pm_flags=()
+  prev=""
+  for a in ${passthrough[@]+"${passthrough[@]}"}; do
+    [ "$prev" != "--threads" ] || pm_flags=(--threads "$a")
+    case "$a" in --threads=*) pm_flags=("$a") ;; esac
+    prev=$a
+  done
+  "$bench_dir/perf_micro" ${pm_flags[@]+"${pm_flags[@]}"}
+  python3 tools/bench_diff.py "$baseline" BENCH_perf.json
+fi

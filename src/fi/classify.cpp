@@ -1,6 +1,8 @@
 #include "fi/classify.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <stdexcept>
 #include <utility>
 
 #include "isa/decode.hpp"
@@ -27,9 +29,32 @@ const char* outcome_label(Outcome o) noexcept {
   return "<bad>";
 }
 
+const char* checkpoint_mode_name(CheckpointMode m) noexcept {
+  switch (m) {
+    case CheckpointMode::kScratch: return "scratch";
+    case CheckpointMode::kWarmup: return "single";
+    case CheckpointMode::kLadder: return "ladder";
+  }
+  return "<bad>";
+}
+
+CheckpointMode parse_checkpoint_mode(const std::string& text) {
+  if (text == "scratch") return CheckpointMode::kScratch;
+  if (text == "single" || text == "warmup") return CheckpointMode::kWarmup;
+  if (text == "ladder") return CheckpointMode::kLadder;
+  throw std::invalid_argument("bad checkpoint mode '" + text +
+                              "' (want scratch|single|ladder)");
+}
+
 FaultInjectionCampaign::FaultInjectionCampaign(const isa::Program& prog,
                                                CampaignConfig config)
-    : prog_(&prog), config_(std::move(config)) {}
+    : prog_(&prog), config_(std::move(config)) {
+  if (config_.use_predecode) {
+    // One decode pass for the whole campaign; every simulator (golden and
+    // faulty, every checkpoint clone) shares this table read-only.
+    predecoded_ = std::make_shared<isa::PredecodedProgram>(prog);
+  }
+}
 
 namespace {
 
@@ -54,6 +79,8 @@ sim::CycleSim::Options FaultInjectionCampaign::base_options() const {
   opt.config = config_.pipeline;
   opt.itr = config_.itr;
   opt.itr_recovery = false;  // monitoring: the paper's counterfactual run
+  opt.use_predecode = config_.use_predecode;
+  opt.cow_memory = config_.cow_memory;
   return opt;
 }
 
@@ -156,9 +183,10 @@ InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_inde
   opt.fault.enabled = true;
   opt.fault.target_decode_index = target_decode_index;
   opt.fault.bit = res.bit;
+  opt.predecoded = predecoded_;
 
   sim::CycleSim faulty(*prog_, std::move(opt));
-  sim::FunctionalSim golden(*prog_);
+  sim::FunctionalSim golden(*prog_, predecoded_);
   return classify_run(faulty, golden, std::move(res), /*golden_done=*/false);
 }
 
@@ -184,32 +212,77 @@ InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkp
   return classify_run(faulty, golden, std::move(res), checkpoint.golden_done);
 }
 
+void FaultInjectionCampaign::advance_to(SimCheckpoint& ck, std::uint64_t boundary) {
+  while (ck.machine.decode_count() < boundary &&
+         ck.machine.termination() == sim::RunTermination::kRunning) {
+    ck.machine.advance();
+    // Fault-free execution generates no ITR events (a trace's signature is
+    // a pure function of the program text), and every commit matches the
+    // golden step it pairs with; drain both streams in lockstep exactly as
+    // classify_run would, minus the (always-true) comparison.
+    while (ck.machine.next_itr_event().has_value()) {
+    }
+    while (ck.machine.next_commit().has_value()) {
+      ++ck.commits_consumed;
+      if (!ck.golden_done && !ck.golden.done()) {
+        ck.golden.step();
+        if (ck.golden.done()) ck.golden_done = true;
+      }
+    }
+  }
+  ck.valid = ck.machine.termination() == sim::RunTermination::kRunning &&
+             ck.machine.decode_count() >= boundary;
+}
+
 const SimCheckpoint* FaultInjectionCampaign::warmup_checkpoint() {
   if (!checkpoint_built_) {
     checkpoint_built_ = true;
-    auto ck = std::make_unique<SimCheckpoint>(*prog_, base_options());
-    while (ck->machine.decode_count() < config_.warmup_instructions &&
-           ck->machine.termination() == sim::RunTermination::kRunning) {
-      ck->machine.advance();
-      // Fault-free execution generates no ITR events (a trace's signature is
-      // a pure function of the program text), and every commit matches the
-      // golden step it pairs with; drain both streams in lockstep exactly as
-      // classify_run would, minus the (always-true) comparison.
-      while (ck->machine.next_itr_event().has_value()) {
-      }
-      while (ck->machine.next_commit().has_value()) {
-        ++ck->commits_consumed;
-        if (!ck->golden_done && !ck->golden.done()) {
-          ck->golden.step();
-          if (ck->golden.done()) ck->golden_done = true;
-        }
-      }
+    auto ck = std::make_unique<SimCheckpoint>(*prog_, base_options(), predecoded_);
+    if (!config_.cow_memory) {
+      // Faithful deep-copy baseline: the golden snapshot's clones must pay
+      // the full page copy too (the machine's memory obeys
+      // Options::cow_memory already).
+      ck->golden.memory().set_cow(false);
     }
-    ck->valid = ck->machine.termination() == sim::RunTermination::kRunning &&
-                ck->machine.decode_count() >= config_.warmup_instructions;
+    advance_to(*ck, config_.warmup_instructions);
     checkpoint_ = std::move(ck);
   }
   return checkpoint_ != nullptr && checkpoint_->valid ? checkpoint_.get() : nullptr;
+}
+
+void FaultInjectionCampaign::build_ladder() {
+  if (ladder_built_) return;
+  ladder_built_ = true;
+
+  const std::uint64_t interval =
+      config_.ladder_interval != 0
+          ? config_.ladder_interval
+          : std::max<std::uint64_t>(1, config_.inject_region / 16);
+
+  // One working checkpoint walks the fault-free run; each rung is a cheap
+  // copy-on-write snapshot taken as the walk crosses its boundary.
+  SimCheckpoint walker(*prog_, base_options(), predecoded_);
+  if (!config_.cow_memory) walker.golden.memory().set_cow(false);
+
+  const std::uint64_t last =
+      config_.warmup_instructions + config_.inject_region;
+  for (std::uint64_t boundary = config_.warmup_instructions; boundary < last;
+       boundary += interval) {
+    advance_to(walker, boundary);
+    if (!walker.valid) break;  // program ended: earlier rungs still serve
+    ladder_.push_back(std::make_unique<SimCheckpoint>(walker));
+  }
+}
+
+const SimCheckpoint* FaultInjectionCampaign::nearest_checkpoint(
+    std::uint64_t target_decode_index) {
+  build_ladder();
+  const SimCheckpoint* best = nullptr;
+  for (const auto& rung : ladder_) {
+    if (rung->machine.decode_count() > target_decode_index) break;
+    best = rung.get();
+  }
+  return best;
 }
 
 CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
@@ -228,11 +301,30 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     d.bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
   }
 
-  const SimCheckpoint* ck = warmup_checkpoint();
+  // Seed the re-execution source before the parallel region: the warmup
+  // checkpoint / ladder builders mutate campaign state and must run once.
+  const SimCheckpoint* warm = nullptr;
+  switch (config_.checkpoint_mode) {
+    case CheckpointMode::kScratch:
+      break;
+    case CheckpointMode::kWarmup:
+      warm = warmup_checkpoint();
+      break;
+    case CheckpointMode::kLadder:
+      build_ladder();
+      break;
+  }
 
   CampaignSummary summary;
   summary.results.resize(plan.size());
   util::parallel_for(threads, plan.size(), [&](std::size_t i) {
+    const SimCheckpoint* ck = warm;
+    if (config_.checkpoint_mode == CheckpointMode::kLadder) {
+      ck = nearest_checkpoint(plan[i].target);
+    }
+    // Null checkpoint (short program, or scratch mode): simulate from
+    // instruction zero.  Every path classifies identically; the fault-free
+    // prefix is deterministic.
     summary.results[i] = ck != nullptr
                              ? run_one_from(*ck, plan[i].target, plan[i].bit)
                              : run_one(plan[i].target, plan[i].bit);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "itr/itr_cache.hpp"
 #include "sim/functional.hpp"
@@ -62,6 +63,24 @@ struct InjectionResult {
   std::uint64_t faulty_commits = 0;
 };
 
+/// How `run` seeds each injection's simulators (classification is identical
+/// under every mode; only the re-executed prefix length differs).
+enum class CheckpointMode : std::uint8_t {
+  kScratch,  ///< simulate every injection from instruction zero
+  kWarmup,   ///< clone one checkpoint at the warmup boundary (PR 1 path)
+  kLadder,   ///< ERASER-style trimmed re-execution: checkpoints at a fixed
+             ///< interval across the inject region; each injection resumes
+             ///< from the nearest one preceding its target
+};
+
+/// Mode name as accepted by the --ckpt-mode flag ("scratch"/"single"/
+/// "ladder").
+const char* checkpoint_mode_name(CheckpointMode m) noexcept;
+
+/// Parses a --ckpt-mode flag value; throws std::invalid_argument on
+/// anything but scratch/single/ladder.
+CheckpointMode parse_checkpoint_mode(const std::string& text);
+
 struct CampaignConfig {
   core::ItrCacheConfig itr;              ///< paper default: 1024 signatures, 2-way
   sim::PipelineConfig pipeline;
@@ -75,6 +94,15 @@ struct CampaignConfig {
   /// cycles before declaring the fault masked (cheaper than the full
   /// window; 0 = always run the full window).
   std::uint64_t detected_mask_grace_cycles = 20'000;
+  CheckpointMode checkpoint_mode = CheckpointMode::kLadder;
+  /// Instructions between ladder rungs; 0 = auto (inject_region / 16,
+  /// floored at one rung per warmup boundary).
+  std::uint64_t ladder_interval = 0;
+  /// Seed-path toggles for equivalence tests and the PR 1 baseline
+  /// benchmarks: decode per dynamic instruction instead of predecoding,
+  /// and deep-copy checkpoint memory instead of copy-on-write.
+  bool use_predecode = true;
+  bool cow_memory = true;
 };
 
 struct CampaignSummary {
@@ -104,14 +132,27 @@ struct CampaignSummary {
 /// removing the ~warmup/window fraction of the per-fault cost.  Copyable by
 /// design; the referenced program must outlive every copy.
 struct SimCheckpoint {
-  SimCheckpoint(const isa::Program& prog, sim::CycleSim::Options options)
-      : machine(prog, std::move(options)), golden(prog) {}
+  SimCheckpoint(const isa::Program& prog, sim::CycleSim::Options options,
+                std::shared_ptr<const isa::PredecodedProgram> predecoded = nullptr)
+      : machine(prog, [&] {
+          options.predecoded = predecoded;
+          return std::move(options);
+        }()),
+        golden(prog, std::move(predecoded)) {}
+
+  /// Copy = snapshot: CycleSim/FunctionalSim are value types and their
+  /// memories are copy-on-write, so a ladder rung costs O(state) + O(page
+  /// table), not O(address space).
+  SimCheckpoint(const SimCheckpoint&) = default;
+  SimCheckpoint& operator=(const SimCheckpoint&) = default;
+  SimCheckpoint(SimCheckpoint&&) noexcept = default;
+  SimCheckpoint& operator=(SimCheckpoint&&) noexcept = default;
 
   sim::CycleSim machine;      ///< cycle-level state, advanced through warmup
   sim::FunctionalSim golden;  ///< lockstep reference, stepped once per commit
-  std::uint64_t commits_consumed = 0;  ///< commits drained during warmup
-  bool golden_done = false;   ///< golden program finished during warmup
-  bool valid = false;         ///< warmup boundary reached with the machine live
+  std::uint64_t commits_consumed = 0;  ///< commits drained before the boundary
+  bool golden_done = false;   ///< golden program finished before the boundary
+  bool valid = false;         ///< boundary reached with the machine live
 };
 
 class FaultInjectionCampaign {
@@ -133,8 +174,9 @@ class FaultInjectionCampaign {
   /// the configured region, uniform bit) across `threads` worker threads
   /// (0 = hardware concurrency).  The (target, bit) plan is pre-drawn from
   /// one sequential RNG stream and each injection writes its own result
-  /// slot, so the summary is byte-identical at any thread count — and
-  /// identical to the historical serial implementation.
+  /// slot, so the summary is byte-identical at any thread count, at any
+  /// checkpoint mode — and identical to the historical serial
+  /// implementation.
   CampaignSummary run(std::uint64_t num_faults, unsigned threads = 1);
 
   /// Builds (first call) and returns the warmup checkpoint, or nullptr when
@@ -142,15 +184,35 @@ class FaultInjectionCampaign {
   /// injections fall back to from-scratch simulation).
   const SimCheckpoint* warmup_checkpoint();
 
+  /// Builds (first call) the checkpoint ladder — rungs at the warmup
+  /// boundary and then every ladder_interval instructions across the inject
+  /// region — and returns the latest rung at or before `target_decode_index`,
+  /// or nullptr when even the warmup boundary is unreachable.
+  const SimCheckpoint* nearest_checkpoint(std::uint64_t target_decode_index);
+
+  /// Rungs built so far (test/diagnostic hook; empty before the first
+  /// nearest_checkpoint call).
+  const std::vector<std::unique_ptr<SimCheckpoint>>& ladder() const noexcept {
+    return ladder_;
+  }
+
  private:
   sim::CycleSim::Options base_options() const;
   InjectionResult classify_run(sim::CycleSim& faulty, sim::FunctionalSim& golden,
                                InjectionResult res, bool golden_done) const;
+  /// Advances a fault-free checkpoint (machine + golden in lockstep) until
+  /// its decode count reaches `boundary` or the program leaves the running
+  /// state; sets `valid` accordingly.
+  static void advance_to(SimCheckpoint& ck, std::uint64_t boundary);
+  void build_ladder();
 
   const isa::Program* prog_;
   CampaignConfig config_;
+  std::shared_ptr<const isa::PredecodedProgram> predecoded_;  ///< null: seed path
   std::unique_ptr<SimCheckpoint> checkpoint_;
   bool checkpoint_built_ = false;
+  std::vector<std::unique_ptr<SimCheckpoint>> ladder_;  ///< sorted by boundary
+  bool ladder_built_ = false;
 };
 
 }  // namespace itr::fi

@@ -1,0 +1,20 @@
+#include "isa/predecode.hpp"
+
+namespace itr::isa {
+
+PredecodedProgram::PredecodedProgram(const Program& prog)
+    : prog_(&prog),
+      code_base_(prog.code_base),
+      code_span_(prog.code_end() - prog.code_base) {
+  records_.reserve(prog.code.size());
+  packed_.reserve(prog.code.size());
+  for (const std::uint64_t raw : prog.code) {
+    records_.push_back(decode_raw(raw));
+    packed_.push_back(records_.back().pack());
+  }
+  // Program::fetch_raw returns the same encoded trap-abort for every
+  // out-of-range PC; decode it once.
+  abort_ = decode_raw(prog.fetch_raw(prog.code_end()));
+}
+
+}  // namespace itr::isa

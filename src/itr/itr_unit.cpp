@@ -4,57 +4,7 @@
 
 namespace itr::core {
 
-ItrUnit::ItrUnit(const ItrCacheConfig& config)
-    : cache_(config),
-      builder_([this](const trace::TraceRecord& rec) { completed_ = rec; }) {}
-
-ItrUnit::ItrUnit(const ItrUnit& other)
-    : cache_(other.cache_),
-      builder_(other.builder_),
-      rob_(other.rob_),
-      installs_(other.installs_),
-      retrying_(other.retrying_),
-      stats_(other.stats_),
-      completed_(other.completed_) {
-  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
-}
-
-ItrUnit& ItrUnit::operator=(const ItrUnit& other) {
-  if (this == &other) return *this;
-  cache_ = other.cache_;
-  builder_ = other.builder_;
-  rob_ = other.rob_;
-  installs_ = other.installs_;
-  retrying_ = other.retrying_;
-  stats_ = other.stats_;
-  completed_ = other.completed_;
-  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
-  return *this;
-}
-
-ItrUnit::ItrUnit(ItrUnit&& other) noexcept
-    : cache_(std::move(other.cache_)),
-      builder_(std::move(other.builder_)),
-      rob_(std::move(other.rob_)),
-      installs_(std::move(other.installs_)),
-      retrying_(std::move(other.retrying_)),
-      stats_(other.stats_),
-      completed_(std::move(other.completed_)) {
-  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
-}
-
-ItrUnit& ItrUnit::operator=(ItrUnit&& other) noexcept {
-  if (this == &other) return *this;
-  cache_ = std::move(other.cache_);
-  builder_ = std::move(other.builder_);
-  rob_ = std::move(other.rob_);
-  installs_ = std::move(other.installs_);
-  retrying_ = std::move(other.retrying_);
-  stats_ = other.stats_;
-  completed_ = std::move(other.completed_);
-  builder_.rebind_sink([this](const trace::TraceRecord& rec) { completed_ = rec; });
-  return *this;
-}
+ItrUnit::ItrUnit(const ItrCacheConfig& config) : cache_(config), builder_() {}
 
 void ItrUnit::drain_installs(std::uint64_t up_to_cycle) {
   while (!installs_.empty() && installs_.front().commit_cycle <= up_to_cycle) {
@@ -67,16 +17,16 @@ std::optional<trace::TraceRecord> ItrUnit::on_decode(std::uint64_t pc,
                                                      const isa::DecodeSignals& sig,
                                                      std::uint64_t insn_index,
                                                      std::uint64_t dispatch_cycle) {
-  completed_.reset();
   builder_.on_instruction(pc, sig, insn_index);
-  if (!completed_.has_value()) return std::nullopt;
+  const std::optional<trace::TraceRecord> completed = builder_.take_completed();
+  if (!completed.has_value()) return std::nullopt;
 
   // Hardware ordering: writes initiated at older traces' commits land before
   // this dispatch-time read if their commit cycle has passed.
   drain_installs(dispatch_cycle);
 
   RobEntry entry;
-  entry.trace = *completed_;
+  entry.trace = *completed;
   entry.dispatch_cycle = dispatch_cycle;
   entry.probe = cache_.probe(entry.trace);
   switch (entry.probe.outcome) {
@@ -94,7 +44,7 @@ std::optional<trace::TraceRecord> ItrUnit::on_decode(std::uint64_t pc,
   }
   ++stats_.traces_dispatched;
   rob_.push_back(entry);
-  return completed_;
+  return completed;
 }
 
 PollResult ItrUnit::poll_at_commit(std::uint64_t commit_cycle) {

@@ -60,13 +60,10 @@ class ItrUnit {
  public:
   explicit ItrUnit(const ItrCacheConfig& config);
 
-  // Copy/move support (warmup checkpointing snapshots whole units).  The
-  // trace builder's sink captures `this`, so every special member re-binds
-  // it to the destination object.
-  ItrUnit(const ItrUnit& other);
-  ItrUnit& operator=(const ItrUnit& other);
-  ItrUnit(ItrUnit&& other) noexcept;
-  ItrUnit& operator=(ItrUnit&& other) noexcept;
+  // Memberwise copy is a correct clone: the trace builder runs in sink-less
+  // mode (no self-referential callback), so checkpoint snapshots need no
+  // rebinding and the defaulted special members suffice.  Campaign
+  // checkpoint ladders copy whole units; keep every member a value type.
 
   /// Decode-side: feeds one decoded instruction.  When this instruction
   /// completes a trace, the trace is dispatched into the ITR ROB and the
@@ -129,7 +126,6 @@ class ItrUnit {
   std::deque<DeferredInstall> installs_;
   std::optional<RobEntry> retrying_;  ///< head entry undergoing retry
   ItrUnitStats stats_;
-  std::optional<trace::TraceRecord> completed_;  // builder sink handoff
 };
 
 }  // namespace itr::core

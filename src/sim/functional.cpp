@@ -9,7 +9,11 @@ void load_program(const isa::Program& prog, Memory& memory) {
 }
 
 FunctionalSim::FunctionalSim(const isa::Program& prog)
-    : prog_(&prog), state_(ArchState::boot(prog)) {
+    : FunctionalSim(prog, std::make_shared<isa::PredecodedProgram>(prog)) {}
+
+FunctionalSim::FunctionalSim(const isa::Program& prog,
+                             std::shared_ptr<const isa::PredecodedProgram> predecoded)
+    : prog_(&prog), predecode_(std::move(predecoded)), state_(ArchState::boot(prog)) {
   load_program(prog, memory_);
 }
 
@@ -17,7 +21,8 @@ FunctionalSim::Step FunctionalSim::step() {
   Step s;
   s.pc = state_.pc;
   s.index = insn_count_;
-  s.sig = isa::decode_raw(prog_->fetch_raw(state_.pc));
+  s.sig = predecode_ != nullptr ? predecode_->signals_at(state_.pc)
+                                : isa::decode_raw(prog_->fetch_raw(state_.pc));
 
   ExecInput in;
   in.sig = s.sig;

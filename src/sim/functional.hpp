@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "isa/decode.hpp"
+#include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "sim/arch_state.hpp"
 #include "sim/exec.hpp"
@@ -31,7 +33,15 @@ class FunctionalSim {
     ExecEffects fx;
   };
 
+  /// Predecodes the program on construction (the fast path).
   explicit FunctionalSim(const isa::Program& prog);
+
+  /// Shares an existing predecode table across sims of the same program
+  /// (campaign fan-out).  nullptr selects the per-dynamic-instruction
+  /// raw-decode path — the seed behaviour, kept for the fast-path
+  /// equivalence tests and benchmarks.
+  FunctionalSim(const isa::Program& prog,
+                std::shared_ptr<const isa::PredecodedProgram> predecoded);
 
   /// True once the program has exited (or aborted).
   bool done() const noexcept { return done_; }
@@ -55,6 +65,7 @@ class FunctionalSim {
 
  private:
   const isa::Program* prog_;
+  std::shared_ptr<const isa::PredecodedProgram> predecode_;  ///< null = raw decode
   Memory memory_;
   ArchState state_;
   std::string output_;

@@ -4,10 +4,15 @@
 
 namespace itr::sim {
 
-Memory::Memory(const Memory& other) {
+Memory::Memory(const Memory& other) : cow_(other.cow_) {
+  if (cow_) {
+    // COW snapshot: share every page; writes on either side privatize.
+    pages_ = other.pages_;
+    return;
+  }
   pages_.reserve(other.pages_.size());
   for (const auto& [index, page] : other.pages_) {
-    pages_.emplace(index, std::make_unique<Page>(*page));
+    pages_.emplace(index, std::make_shared<Page>(*page));
   }
 }
 
@@ -15,6 +20,7 @@ Memory& Memory::operator=(const Memory& other) {
   if (this == &other) return *this;
   Memory copy(other);
   pages_ = std::move(copy.pages_);
+  cow_ = copy.cow_;
   return *this;
 }
 
@@ -24,12 +30,23 @@ const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
 }
 
 Memory::Page& Memory::touch_page(std::uint64_t addr) {
-  auto& slot = pages_[(addr & kAddressMask) / kPageBytes];
+  PageRef& slot = pages_[(addr & kAddressMask) / kPageBytes];
   if (!slot) {
-    slot = std::make_unique<Page>();
+    slot = std::make_shared<Page>();
     slot->fill(0);
+  } else if (slot.use_count() > 1) {
+    // Write fault on a shared page: privatize before mutating.  Seeing a
+    // stale count > 1 only costs a redundant copy; 1 is only reported once
+    // every other owner has released its reference, so sole ownership is
+    // never misjudged.
+    slot = std::make_shared<Page>(*slot);
   }
   return *slot;
+}
+
+long Memory::page_owners(std::uint64_t addr) const noexcept {
+  const auto it = pages_.find((addr & kAddressMask) / kPageBytes);
+  return it == pages_.end() ? 0 : it->second.use_count();
 }
 
 std::uint8_t Memory::read8(std::uint64_t addr) const noexcept {

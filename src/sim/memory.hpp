@@ -4,6 +4,15 @@
 // touch.  All accesses are little-endian and unaligned-tolerant (the faulty
 // simulator must survive wild addresses produced by corrupted decode
 // signals without crashing the host).
+//
+// Copying is copy-on-write: a copy shares every page with its source
+// (refcounted via shared_ptr) and pages fault into private copies on first
+// write.  This makes a checkpoint clone O(pages) pointer copies instead of
+// O(address space touched) byte copies — the dominant cost of fault-
+// injection campaign fan-out.  Shared pages are immutable by construction,
+// so concurrent clones in campaign worker threads never race: readers see
+// the shared page, the first writer replaces its own map slot with a
+// private copy (the refcount itself is atomic).
 #pragma once
 
 #include <array>
@@ -19,7 +28,10 @@ class Memory {
   static constexpr std::uint64_t kAddressMask = 0xffff'ffffULL;  ///< 32-bit space
 
   Memory() = default;
-  /// Deep copies (pages are heap-allocated): checkpoint/restore support.
+  /// Copy-on-write snapshot by default: pages are shared and privatized on
+  /// first write.  With set_cow(false) on the source, copies eagerly
+  /// deep-copy every page instead (the historical behaviour, kept as the
+  /// baseline for the deep-copy-vs-COW benchmarks).
   Memory(const Memory& other);
   Memory& operator=(const Memory& other);
   Memory(Memory&&) noexcept = default;
@@ -45,13 +57,26 @@ class Memory {
 
   std::size_t num_pages() const noexcept { return pages_.size(); }
 
+  /// Selects the clone policy for copies made *from this object*:
+  /// true (default) = copy-on-write sharing, false = eager deep copy.
+  /// Copies inherit the policy.
+  void set_cow(bool enabled) noexcept { cow_ = enabled; }
+  bool cow_enabled() const noexcept { return cow_; }
+
+  /// Owners of the page containing `addr` (0 = page never touched).
+  /// 1 means this object holds the only copy.  Test/diagnostic hook for
+  /// refcount-release behaviour; not meaningful under concurrent cloning.
+  long page_owners(std::uint64_t addr) const noexcept;
+
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;
+  using PageRef = std::shared_ptr<Page>;
 
   const Page* find_page(std::uint64_t addr) const noexcept;
   Page& touch_page(std::uint64_t addr);
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::unordered_map<std::uint64_t, PageRef> pages_;
+  bool cow_ = true;
 };
 
 }  // namespace itr::sim

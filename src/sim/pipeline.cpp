@@ -26,6 +26,13 @@ CycleSim::CycleSim(const isa::Program& prog, Options options)
       commit_ring_(opt_.config.rob_size, 0),
       issue_window_(kIssueWindowSize, 0),
       issue_window_cycle_(kIssueWindowSize, ~std::uint64_t{0}) {
+  if (opt_.use_predecode) {
+    predecode_ = opt_.predecoded != nullptr && &opt_.predecoded->program() == prog_
+                     ? std::move(opt_.predecoded)
+                     : std::make_shared<isa::PredecodedProgram>(prog);
+  }
+  opt_.predecoded.reset();  // the member owns it now; don't hold two refs
+  memory_.set_cow(opt_.cow_memory);
   load_program(prog, memory_);
   if (opt_.itr.has_value()) {
     itr_.emplace(*opt_.itr);
@@ -247,7 +254,9 @@ void CycleSim::process_instruction() {
   const std::uint64_t fetch_cycle = compute_fetch_cycle(pc);
 
   // ---- Decode (+ fault injection). ------------------------------------------
-  isa::DecodeSignals sig = isa::decode_raw(prog_->fetch_raw(pc));
+  isa::DecodeSignals sig = predecode_ != nullptr
+                               ? predecode_->signals_at(pc)
+                               : isa::decode_raw(prog_->fetch_raw(pc));
   if (opt_.fault.enabled && !fault_injected_ &&
       decode_index_ == opt_.fault.target_decode_index) {
     sig.flip_bit(opt_.fault.bit);

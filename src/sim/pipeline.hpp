@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "isa/decode.hpp"
+#include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "itr/itr_unit.hpp"
 #include "sim/arch_state.hpp"
@@ -156,6 +157,7 @@ struct PipelineStats {
   std::uint64_t spc_checks_fired = 0;
   std::uint64_t watchdog_fires = 0;
   std::uint64_t itr_commit_stall_cycles = 0;  ///< commit waiting for the probe
+  friend bool operator==(const PipelineStats&, const PipelineStats&) = default;
   double ipc() const noexcept {
     return cycles == 0 ? 0.0
                        : static_cast<double>(instructions_committed) /
@@ -188,6 +190,18 @@ class CycleSim {
     FaultPlan fault;
     RenameFault rename_fault;  ///< map-table index-port strike (post-decode)
     std::uint64_t max_cycles = kNeverCycle;  ///< observation window
+    /// Fetch decoded records from a per-program predecode table instead of
+    /// calling decode_raw per dynamic instruction.  Fault injection flips
+    /// bits on a copy of the cached record, so faulty-decode semantics are
+    /// unchanged.  false selects the seed raw-decode path (equivalence
+    /// tests, benchmarks).
+    bool use_predecode = true;
+    /// Shared predecode table for `prog` (campaign fan-out builds it once);
+    /// null with use_predecode set builds a private table.
+    std::shared_ptr<const isa::PredecodedProgram> predecoded;
+    /// false restores the seed's eager deep-copy memory cloning (benchmark
+    /// baseline); true snapshots copy-on-write.
+    bool cow_memory = true;
   };
 
   CycleSim(const isa::Program& prog, Options options);
@@ -201,6 +215,8 @@ class CycleSim {
   /// referenced program must outlive both copies and is shared read-only.
   CycleSim(const CycleSim&) = default;
   CycleSim& operator=(const CycleSim&) = default;
+  CycleSim(CycleSim&&) noexcept = default;
+  CycleSim& operator=(CycleSim&&) noexcept = default;
 
   /// Advances by one instruction through the whole pipeline model.  Commits
   /// are queued internally (recovery mode holds them back until the trace's
@@ -282,6 +298,9 @@ class CycleSim {
   // exact machine snapshot; see the copy-constructor comment above.
   const isa::Program* prog_;
   Options opt_;
+  /// Shared read-only decode table (null = raw-decode path); clones share
+  /// it by refcount, like the program itself.
+  std::shared_ptr<const isa::PredecodedProgram> predecode_;
   Memory memory_;
   ArchState state_;
   BranchPredictor bpred_;

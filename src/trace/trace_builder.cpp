@@ -17,7 +17,7 @@ void TraceBuilder::on_instruction(std::uint64_t pc, const isa::DecodeSignals& si
                            sig.has_flag(isa::Flag::kIsUncond);
   if (terminating || current_.num_instructions >= max_length_) {
     current_.ended_on_branch = terminating;
-    sink_(current_);
+    emit(current_);
     open_ = false;
   }
 }
@@ -25,7 +25,7 @@ void TraceBuilder::on_instruction(std::uint64_t pc, const isa::DecodeSignals& si
 void TraceBuilder::flush() {
   if (!open_) return;
   current_.ended_on_branch = false;
-  sink_(current_);
+  emit(current_);
   open_ = false;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "isa/decode.hpp"
 
@@ -41,6 +42,14 @@ class TraceBuilder {
   explicit TraceBuilder(Sink sink, unsigned max_length = kMaxTraceLength)
       : sink_(std::move(sink)), max_length_(max_length == 0 ? 1 : max_length) {}
 
+  /// Sink-less mode: completed traces are buffered (one at a time — the
+  /// caller feeds one instruction, then collects with take_completed()).
+  /// Without a self-referential sink the builder is memberwise-copyable,
+  /// which is what makes checkpoint clones of its owner cheap and correct
+  /// with no rebinding ceremony.
+  explicit TraceBuilder(unsigned max_length = kMaxTraceLength)
+      : max_length_(max_length == 0 ? 1 : max_length) {}
+
   /// Feeds one decoded instruction in decode order.  `insn_index` is the
   /// dynamic instruction number (monotonic).
   void on_instruction(std::uint64_t pc, const isa::DecodeSignals& sig,
@@ -58,13 +67,30 @@ class TraceBuilder {
   /// or completed traces would be delivered to the original owner.
   void rebind_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// Sink-less mode: pops the trace completed by the last on_instruction()
+  /// or flush() call, if any.
+  std::optional<TraceRecord> take_completed() noexcept {
+    auto out = pending_;
+    pending_.reset();
+    return out;
+  }
+
   bool has_open_trace() const noexcept { return open_; }
   std::uint64_t open_start_pc() const noexcept { return current_.start_pc; }
 
  private:
+  void emit(const TraceRecord& rec) {
+    if (sink_) {
+      sink_(rec);
+    } else {
+      pending_ = rec;
+    }
+  }
+
   Sink sink_;
   unsigned max_length_ = kMaxTraceLength;
   TraceRecord current_{};
+  std::optional<TraceRecord> pending_;  ///< sink-less completion buffer
   bool open_ = false;
 };
 

@@ -97,6 +97,100 @@ TEST(CampaignCheckpoint, ShortProgramFallsBackToScratch) {
   EXPECT_EQ(summary.total, 4u);
 }
 
+TEST(CampaignLadder, SummaryIdenticalUnderEveryCheckpointMode) {
+  const auto prog = workload::generate_spec("bzip", 200'000);
+  CampaignSummary per_mode[3];
+  std::size_t n = 0;
+  for (const CheckpointMode mode :
+       {CheckpointMode::kScratch, CheckpointMode::kWarmup, CheckpointMode::kLadder}) {
+    CampaignConfig cfg = quick_config();
+    cfg.checkpoint_mode = mode;
+    FaultInjectionCampaign camp(prog, cfg);
+    per_mode[n++] = camp.run(24, 2);
+  }
+  for (std::size_t m = 1; m < 3; ++m) {
+    EXPECT_EQ(per_mode[0].counts, per_mode[m].counts) << "mode " << m;
+    ASSERT_EQ(per_mode[0].results.size(), per_mode[m].results.size());
+    for (std::size_t i = 0; i < per_mode[0].results.size(); ++i) {
+      EXPECT_TRUE(same_result(per_mode[0].results[i], per_mode[m].results[i]))
+          << "mode " << m << " fault " << i;
+    }
+  }
+}
+
+TEST(CampaignLadder, NearestCheckpointPrecedesTargetAndIsLatest) {
+  const auto prog = workload::generate_spec("bzip", 200'000);
+  CampaignConfig cfg = quick_config();
+  cfg.ladder_interval = 10'000;  // rungs at 5k, 15k, 25k (region ends at 35k)
+  FaultInjectionCampaign camp(prog, cfg);
+
+  const SimCheckpoint* first = camp.nearest_checkpoint(cfg.warmup_instructions);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->machine.decode_count(), cfg.warmup_instructions);
+  ASSERT_EQ(camp.ladder().size(), 3u);
+  for (std::size_t i = 1; i < camp.ladder().size(); ++i) {
+    EXPECT_GT(camp.ladder()[i]->machine.decode_count(),
+              camp.ladder()[i - 1]->machine.decode_count());
+    EXPECT_TRUE(camp.ladder()[i]->valid);
+  }
+
+  // Every rung boundary maps back to exactly that rung; one instruction
+  // before it maps to the previous rung.
+  for (std::size_t i = 0; i < camp.ladder().size(); ++i) {
+    const std::uint64_t boundary = camp.ladder()[i]->machine.decode_count();
+    EXPECT_EQ(camp.nearest_checkpoint(boundary), camp.ladder()[i].get());
+    if (i > 0) {
+      EXPECT_EQ(camp.nearest_checkpoint(boundary - 1), camp.ladder()[i - 1].get());
+    }
+  }
+  // A target past the last rung still resolves to the last rung.
+  EXPECT_EQ(camp.nearest_checkpoint(cfg.warmup_instructions + cfg.inject_region),
+            camp.ladder().back().get());
+}
+
+TEST(CampaignLadder, RungInjectionMatchesScratch) {
+  const auto prog = workload::generate_spec("vpr", 200'000);
+  CampaignConfig cfg = quick_config();
+  cfg.ladder_interval = 8'000;
+  FaultInjectionCampaign camp(prog, cfg);
+
+  util::Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t target =
+        cfg.warmup_instructions + rng.below(cfg.inject_region);
+    const auto bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
+    const SimCheckpoint* rung = camp.nearest_checkpoint(target);
+    ASSERT_NE(rung, nullptr);
+    EXPECT_LE(rung->machine.decode_count(), target);
+    const InjectionResult scratch = camp.run_one(target, bit);
+    const InjectionResult from_rung = camp.run_one_from(*rung, target, bit);
+    EXPECT_TRUE(same_result(scratch, from_rung))
+        << "target=" << target << " bit=" << bit;
+  }
+}
+
+TEST(CampaignLadder, ShortProgramFallsBackToScratch) {
+  const auto prog = workload::mini_program("sum_loop");
+  CampaignConfig cfg = quick_config();
+  cfg.warmup_instructions = 1'000'000;  // unreachable
+  cfg.inject_region = 1'000;
+  cfg.checkpoint_mode = CheckpointMode::kLadder;
+  FaultInjectionCampaign camp(prog, cfg);
+  EXPECT_EQ(camp.nearest_checkpoint(cfg.warmup_instructions), nullptr);
+  EXPECT_TRUE(camp.ladder().empty());
+  const auto summary = camp.run(4, 2);
+  EXPECT_EQ(summary.total, 4u);
+}
+
+TEST(CampaignLadder, ModeNamesRoundTrip) {
+  for (const CheckpointMode mode :
+       {CheckpointMode::kScratch, CheckpointMode::kWarmup, CheckpointMode::kLadder}) {
+    EXPECT_EQ(parse_checkpoint_mode(checkpoint_mode_name(mode)), mode);
+  }
+  EXPECT_EQ(parse_checkpoint_mode("warmup"), CheckpointMode::kWarmup);
+  EXPECT_THROW(parse_checkpoint_mode("bogus"), std::invalid_argument);
+}
+
 TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 10'000;
   std::vector<std::atomic<int>> hits(kN);

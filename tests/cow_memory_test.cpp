@@ -1,0 +1,154 @@
+// Copy-on-write memory semantics: clones share pages until first write,
+// privatize exactly the written page, release refcounts on destruction, and
+// stay race-free when many clones diverge concurrently (the campaign
+// fan-out pattern; the TSan preset runs CowMemoryParallel).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/memory.hpp"
+
+namespace itr::sim {
+namespace {
+
+constexpr std::uint64_t kPage = Memory::kPageBytes;
+
+TEST(CowMemory, CloneSharesPagesUntilFirstWrite) {
+  Memory base;
+  base.write64(0 * kPage, 111);
+  base.write64(1 * kPage, 222);
+  ASSERT_EQ(base.page_owners(0), 1);
+
+  Memory clone(base);
+  EXPECT_EQ(clone.num_pages(), base.num_pages());
+  EXPECT_EQ(base.page_owners(0), 2);
+  EXPECT_EQ(clone.page_owners(0), 2);
+  EXPECT_EQ(clone.read64(0), 111u);
+
+  // Reading never privatizes; writing privatizes only the touched page.
+  EXPECT_EQ(clone.page_owners(0), 2);
+  clone.write64(0, 999);
+  EXPECT_EQ(clone.page_owners(0), 1);
+  EXPECT_EQ(base.page_owners(0), 1);
+  EXPECT_EQ(base.page_owners(kPage), 2);  // page 1 still shared
+  EXPECT_EQ(base.read64(0), 111u);
+  EXPECT_EQ(clone.read64(0), 999u);
+}
+
+TEST(CowMemory, SiblingClonesAreIsolated) {
+  Memory base;
+  base.write64(0, 7);
+  Memory a(base);
+  Memory b(base);
+  EXPECT_EQ(base.page_owners(0), 3);
+
+  a.write64(0, 70);
+  b.write64(0, 700);
+  base.write64(0, 7000);
+  EXPECT_EQ(a.read64(0), 70u);
+  EXPECT_EQ(b.read64(0), 700u);
+  EXPECT_EQ(base.read64(0), 7000u);
+  EXPECT_EQ(base.page_owners(0), 1);
+}
+
+TEST(CowMemory, DestructionReleasesSharedPages) {
+  Memory base;
+  base.write64(2 * kPage, 5);
+  {
+    Memory clone(base);
+    EXPECT_EQ(base.page_owners(2 * kPage), 2);
+  }
+  EXPECT_EQ(base.page_owners(2 * kPage), 1);
+}
+
+TEST(CowMemory, AssignmentSharesLikeCopyConstruction) {
+  Memory base;
+  base.write64(0, 42);
+  Memory other;
+  other.write64(kPage, 1);  // pre-existing state is dropped by assignment
+  other = base;
+  EXPECT_EQ(base.page_owners(0), 2);
+  EXPECT_EQ(other.read64(0), 42u);
+  EXPECT_EQ(other.read64(kPage), 0u);
+}
+
+TEST(CowMemory, WriteSpanningTwoPagesPrivatizesBoth) {
+  Memory base;
+  base.write64(0, 1);
+  base.write64(kPage, 2);
+  Memory clone(base);
+  clone.write64(kPage - 4, 0xaabbccdd'11223344ULL);  // straddles the boundary
+  EXPECT_EQ(clone.page_owners(0), 1);
+  EXPECT_EQ(clone.page_owners(kPage), 1);
+  // The base still sees page 0 zeros below the boundary and the low bytes
+  // of the 2 written at kPage in the high half.
+  EXPECT_EQ(base.read64(kPage - 4), 2ULL << 32);
+  EXPECT_EQ(clone.read64(kPage - 4), 0xaabbccdd'11223344ULL);
+}
+
+TEST(CowMemory, DeepCopyModeCopiesEagerly) {
+  Memory base;
+  base.set_cow(false);
+  base.write64(0, 13);
+  Memory clone(base);
+  EXPECT_EQ(base.page_owners(0), 1);
+  EXPECT_EQ(clone.page_owners(0), 1);
+  EXPECT_FALSE(clone.cow_enabled());  // policy is inherited
+  clone.write64(0, 14);
+  EXPECT_EQ(base.read64(0), 13u);
+  EXPECT_EQ(clone.read64(0), 14u);
+}
+
+TEST(CowMemory, UntouchedPagesReadZeroInClones) {
+  Memory base;
+  base.write64(0, 9);
+  Memory clone(base);
+  EXPECT_EQ(clone.read64(40 * kPage), 0u);
+  EXPECT_EQ(clone.page_owners(40 * kPage), 0);
+}
+
+// Campaign fan-out pattern under TSan: worker threads clone one warm source
+// concurrently and diverge by private writes; the source must stay intact
+// and every clone must see exactly its own edits.
+TEST(CowMemoryParallel, ConcurrentClonesDivergeWithoutRacing) {
+  constexpr std::uint64_t kPages = 64;
+  Memory base;
+  for (std::uint64_t p = 0; p < kPages; ++p) base.write64(p * kPage, p + 1);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  // Distinct byte elements, not vector<bool>: bit-packed flags would race.
+  std::vector<unsigned char> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&base, &ok, t] {
+      bool good = true;
+      for (int round = 0; round < 16; ++round) {
+        Memory clone(base);
+        const std::uint64_t mine = static_cast<std::uint64_t>(t) * 1000 +
+                                   static_cast<std::uint64_t>(round);
+        const std::uint64_t page = mine % kPages;
+        clone.write64(page * kPage + 8, mine);
+        good = good && clone.read64(page * kPage) == page + 1 &&
+               clone.read64(page * kPage + 8) == mine;
+        // Shared, never-written pages read through to the source's data.
+        good = good && clone.read64(((page + 1) % kPages) * kPage) ==
+                           ((page + 1) % kPages) + 1;
+      }
+      ok[static_cast<std::size_t>(t)] = good ? 1 : 0;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(t)], 1) << "thread " << t;
+  }
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    EXPECT_EQ(base.read64(p * kPage), p + 1) << "page " << p;
+    EXPECT_EQ(base.read64(p * kPage + 8), 0u) << "page " << p;
+    EXPECT_EQ(base.page_owners(p * kPage), 1) << "page " << p;
+  }
+}
+
+}  // namespace
+}  // namespace itr::sim

@@ -1,0 +1,188 @@
+// Equivalence tests for the predecoded fast path: the predecode table must
+// be a pure cache of decode_raw, and every simulator (functional, cycle,
+// campaign) must produce byte-identical results whether it decodes each
+// dynamic instruction from the instruction word (seed path) or fetches the
+// predecoded record (fast path).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/classify.hpp"
+#include "isa/decode.hpp"
+#include "isa/predecode.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr {
+namespace {
+
+/// Full-field commit equality (architectural effect AND timing/order
+/// bookkeeping; stricter than CommitRecord::architecturally_equal).
+bool identical_commit(const sim::CommitRecord& a, const sim::CommitRecord& b) {
+  return a.index == b.index && a.commit_cycle == b.commit_cycle &&
+         a.exited == b.exited && a.engaged_control == b.engaged_control &&
+         a.spc_fired == b.spc_fired && a.aborted == b.aborted &&
+         a.architecturally_equal(b);
+}
+
+bool identical_step(const sim::FunctionalSim::Step& a,
+                    const sim::FunctionalSim::Step& b) {
+  return a.pc == b.pc && a.index == b.index && a.sig.pack() == b.sig.pack() &&
+         a.fx.next_pc == b.fx.next_pc && a.fx.wrote_int == b.fx.wrote_int &&
+         a.fx.int_dst == b.fx.int_dst && a.fx.int_value == b.fx.int_value &&
+         a.fx.wrote_fp == b.fx.wrote_fp && a.fx.fp_dst == b.fx.fp_dst &&
+         std::bit_cast<std::uint64_t>(a.fx.fp_value) ==
+             std::bit_cast<std::uint64_t>(b.fx.fp_value) &&
+         a.fx.did_store == b.fx.did_store && a.fx.mem_addr == b.fx.mem_addr &&
+         a.fx.store_value == b.fx.store_value && a.fx.mem_bytes == b.fx.mem_bytes;
+}
+
+TEST(PredecodeTable, MatchesDecodeRawPerStaticInstruction) {
+  for (const char* const name : {"bzip", "gcc", "twolf"}) {
+    const auto prog = workload::generate_spec(name, 100'000);
+    const isa::PredecodedProgram table(prog);
+    ASSERT_EQ(table.num_instructions(), prog.code.size()) << name;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+      const isa::DecodeSignals ref = isa::decode_raw(prog.code[i]);
+      EXPECT_EQ(table.signals_of(i).pack(), ref.pack()) << name << " #" << i;
+      EXPECT_EQ(table.packed_of(i), ref.pack()) << name << " #" << i;
+      const std::uint64_t pc = prog.code_base + i * isa::kInstrBytes;
+      EXPECT_EQ(table.signals_at(pc).pack(), ref.pack()) << name << " #" << i;
+    }
+  }
+}
+
+TEST(PredecodeTable, OutOfRangePcsYieldTheAbortRecord) {
+  const auto prog = workload::generate_spec("gzip", 50'000);
+  const isa::PredecodedProgram table(prog);
+  // Program::fetch_raw returns the same trap-abort word for every PC outside
+  // the code image, so one cached record must cover them all.
+  const std::uint64_t expect =
+      isa::decode_raw(prog.fetch_raw(prog.code_end())).pack();
+  EXPECT_EQ(table.abort_signals().pack(), expect);
+  EXPECT_EQ(table.signals_at(prog.code_end()).pack(), expect);
+  EXPECT_EQ(table.signals_at(prog.code_base - isa::kInstrBytes).pack(), expect);
+  EXPECT_EQ(table.signals_at(0).pack(), expect);
+  EXPECT_EQ(table.signals_at(~std::uint64_t{0}).pack(), expect);
+  EXPECT_EQ(table.signals_at(prog.code_base + 1).pack(), expect);  // misaligned
+}
+
+TEST(FunctionalFastPath, StepsIdenticalAcrossAllProfiles) {
+  for (const std::string& name : workload::spec_all_names()) {
+    const auto prog = workload::generate_spec(name, 120'000);
+    sim::FunctionalSim fast(prog);           // predecoded
+    sim::FunctionalSim seed(prog, nullptr);  // decode_raw per instruction
+    for (int i = 0; i < 50'000 && !fast.done() && !seed.done(); ++i) {
+      ASSERT_TRUE(identical_step(fast.step(), seed.step()))
+          << name << " step " << i;
+    }
+    EXPECT_EQ(fast.done(), seed.done()) << name;
+    EXPECT_EQ(fast.output(), seed.output()) << name;
+    EXPECT_EQ(fast.instructions_retired(), seed.instructions_retired()) << name;
+  }
+}
+
+struct CycleRun {
+  std::vector<sim::CommitRecord> commits;
+  std::size_t itr_events = 0;
+  sim::PipelineStats stats;
+  sim::RunTermination termination = sim::RunTermination::kRunning;
+};
+
+CycleRun run_cycle(const isa::Program& prog, bool predecode, bool with_itr,
+                   std::uint64_t max_insns) {
+  sim::CycleSim::Options opt;
+  if (with_itr) opt.itr = core::ItrCacheConfig{};
+  opt.use_predecode = predecode;
+  sim::CycleSim cpu(prog, std::move(opt));
+  CycleRun out;
+  while (cpu.termination() == sim::RunTermination::kRunning &&
+         cpu.decode_count() < max_insns) {
+    cpu.advance();
+    while (cpu.next_itr_event().has_value()) ++out.itr_events;
+    while (auto rec = cpu.next_commit()) out.commits.push_back(*rec);
+  }
+  out.stats = cpu.stats();
+  out.termination = cpu.termination();
+  return out;
+}
+
+TEST(CycleFastPath, CommitStreamIdenticalAcrossAllProfiles) {
+  for (const std::string& name : workload::spec_all_names()) {
+    const auto prog = workload::generate_spec(name, 100'000);
+    for (const bool with_itr : {true, false}) {
+      const CycleRun fast = run_cycle(prog, true, with_itr, 40'000);
+      const CycleRun seed = run_cycle(prog, false, with_itr, 40'000);
+      ASSERT_EQ(fast.commits.size(), seed.commits.size())
+          << name << " itr=" << with_itr;
+      for (std::size_t i = 0; i < fast.commits.size(); ++i) {
+        ASSERT_TRUE(identical_commit(fast.commits[i], seed.commits[i]))
+            << name << " itr=" << with_itr << " commit " << i;
+      }
+      EXPECT_EQ(fast.itr_events, seed.itr_events) << name;
+      EXPECT_EQ(fast.stats, seed.stats) << name << " itr=" << with_itr;
+      EXPECT_EQ(fast.termination, seed.termination) << name;
+    }
+  }
+}
+
+TEST(CycleFastPath, SharedTableIsAdoptedNotRebuilt) {
+  const auto prog = workload::generate_spec("bzip", 50'000);
+  auto table = std::make_shared<const isa::PredecodedProgram>(prog);
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.predecoded = table;
+  sim::CycleSim cpu(prog, std::move(opt));
+  cpu.run(10'000);
+  // The simulator holds a reference to the caller's table instead of
+  // building its own (this object + the simulator).
+  EXPECT_GE(table.use_count(), 2);
+}
+
+TEST(CycleFastPath, ForeignTableIsRejectedAndRebuilt) {
+  const auto prog = workload::generate_spec("bzip", 50'000);
+  const auto other = workload::generate_spec("gzip", 50'000);
+  auto table = std::make_shared<const isa::PredecodedProgram>(other);
+  sim::CycleSim::Options opt;
+  opt.predecoded = table;  // wrong program: must not be adopted
+  sim::CycleSim cpu(prog, std::move(opt));
+  cpu.run(5'000);
+  EXPECT_EQ(table.use_count(), 1);
+  EXPECT_EQ(cpu.termination(), sim::RunTermination::kRunning);
+}
+
+TEST(CampaignFastPath, InjectionResultsIdenticalToSeedPath) {
+  const auto prog = workload::generate_spec("vpr", 150'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 15'000;
+  cfg.warmup_instructions = 4'000;
+  cfg.inject_region = 20'000;
+  cfg.detected_mask_grace_cycles = 4'000;
+  cfg.seed = 3;
+
+  fi::CampaignConfig slow = cfg;
+  slow.use_predecode = false;
+  slow.cow_memory = false;
+  slow.checkpoint_mode = fi::CheckpointMode::kWarmup;
+
+  fi::FaultInjectionCampaign fast(prog, cfg);
+  fi::FaultInjectionCampaign seed(prog, slow);
+  const auto sf = fast.run(16, 2);
+  const auto ss = seed.run(16, 2);
+  EXPECT_EQ(sf.counts, ss.counts);
+  ASSERT_EQ(sf.results.size(), ss.results.size());
+  for (std::size_t i = 0; i < sf.results.size(); ++i) {
+    EXPECT_EQ(sf.results[i].outcome, ss.results[i].outcome) << i;
+    EXPECT_EQ(sf.results[i].decode_index, ss.results[i].decode_index) << i;
+    EXPECT_EQ(sf.results[i].detect_cycle, ss.results[i].detect_cycle) << i;
+    EXPECT_EQ(sf.results[i].faulty_commits, ss.results[i].faulty_commits) << i;
+  }
+}
+
+}  // namespace
+}  // namespace itr

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files (BENCH_perf.json) and fail on
+throughput regressions.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--counters a,b]
+
+Benchmarks are matched by name; for each tracked higher-is-better counter
+present in both runs the relative change is reported, and any drop larger
+than --threshold percent (default 10) fails the comparison with exit
+status 1.  Benchmarks present only on one side are reported but do not
+fail the diff (the benchmark set is allowed to grow).
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_COUNTERS = ("injections/sec", "commits/sec", "items_per_second")
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: {counter: value}} for plain iterations."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_perf.json")
+    parser.add_argument("current", help="current BENCH_perf.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max tolerated drop per counter, percent (default 10)",
+    )
+    parser.add_argument(
+        "--counters",
+        default=",".join(DEFAULT_COUNTERS),
+        help="comma-separated higher-is-better counters to compare "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+    counters = [c for c in args.counters.split(",") if c]
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    for name in sorted(set(base) - set(curr)):
+        print(f"note: only in baseline: {name}")
+    for name in sorted(set(curr) - set(base)):
+        print(f"note: only in current:  {name}")
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) & set(curr)):
+        for counter in counters:
+            b = base[name].get(counter)
+            c = curr[name].get(counter)
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            if b <= 0:
+                continue
+            delta_pct = 100.0 * (c - b) / b
+            rows.append((name, counter, b, c, delta_pct))
+            if delta_pct < -args.threshold:
+                regressions.append((name, counter, delta_pct))
+
+    if not rows:
+        print("error: no comparable counters found "
+              f"(looked for: {', '.join(counters)})", file=sys.stderr)
+        return 2
+
+    width = max(len(f"{name} [{counter}]") for name, counter, *_ in rows)
+    for name, counter, b, c, delta_pct in rows:
+        mark = " <-- REGRESSION" if delta_pct < -args.threshold else ""
+        print(f"{f'{name} [{counter}]':<{width}}  "
+              f"{b:>14.4g} -> {c:>14.4g}  {delta_pct:+7.1f}%{mark}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} counter(s) regressed more than "
+            f"{args.threshold:g}% vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no counter regressed more than {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

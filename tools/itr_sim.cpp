@@ -14,6 +14,9 @@
 //
 // --threads N spreads campaign injections over N workers (0 = hardware
 // concurrency); the summary is identical at any thread count.
+// --ckpt-mode scratch|single|ladder picks the campaign's re-execution
+// strategy (default ladder; --ckpt-interval N sets the rung spacing, 0 =
+// auto).  All modes produce identical summaries; only the runtime differs.
 //
 // Exit status: the simulated program's exit status (or 1 on abnormal end).
 #include <cstdio>
@@ -91,12 +94,16 @@ int characterize(const isa::Program& prog, std::uint64_t max_insns) {
 }
 
 int run_campaign(const isa::Program& prog, std::uint64_t faults,
-                 std::uint64_t window, std::uint64_t seed, unsigned threads) {
+                 std::uint64_t window, std::uint64_t seed, unsigned threads,
+                 fi::CheckpointMode mode, std::uint64_t ladder_interval) {
   fi::CampaignConfig cfg;
   cfg.observation_cycles = window;
   cfg.seed = seed;
+  cfg.checkpoint_mode = mode;
+  cfg.ladder_interval = ladder_interval;
   fi::FaultInjectionCampaign camp(prog, cfg);
   const auto summary = camp.run(faults, threads);
+  std::printf("checkpoint mode      : %s\n", fi::checkpoint_mode_name(mode));
   std::printf("faults injected      : %llu\n",
               static_cast<unsigned long long>(summary.total));
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
@@ -128,6 +135,9 @@ int main(int argc, char** argv) {
     const auto campaign_faults = flags.get_u64("campaign", 0);
     const auto window = flags.get_u64("window", 100'000);
     const auto seed = flags.get_u64("seed", 1);
+    const auto ckpt_mode =
+        fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
+    const auto ckpt_interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
     const auto threads = util::resolve_threads(flags.get_u64("threads", 0));
     flags.reject_unknown();
 
@@ -151,7 +161,8 @@ int main(int argc, char** argv) {
     }
     if (do_characterize) return characterize(prog, max_insns);
     if (campaign_faults > 0) {
-      return run_campaign(prog, campaign_faults, window, seed, threads);
+      return run_campaign(prog, campaign_faults, window, seed, threads, ckpt_mode,
+                          ckpt_interval);
     }
     if (functional) return run_functional(prog, max_insns);
 
