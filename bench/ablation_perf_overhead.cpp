@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
   const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
   bench::emit(flags, "Ablation: ITR performance overhead (IPC vs probe latency)",
               "Paper claim: ITR avoids the performance cost of time-redundant\n"

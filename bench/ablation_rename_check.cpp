@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
   const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
   bench::emit(flags, "Ablation: rename-index ITR check (paper Section 1 extension)",
               "Rename map-table port faults are invisible to the decode-signal\n"

@@ -12,6 +12,12 @@
 //   --threads N      worker threads for row/injection fan-out
 //                    (0 or absent: hardware concurrency); any value produces
 //                    byte-identical output
+//   --stats-json F   write the observability stats registry as JSON
+//   --stats-full     include diagnostic-class (host-execution) metrics
+//   --trace-out F    write recorded spans as Chrome trace_event JSON
+//
+// The observability flags are wired by declaring `util::ObsGuard
+// obs_guard(flags);` before reject_unknown(); see util/obs_flags.hpp.
 #pragma once
 
 #include <iostream>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 

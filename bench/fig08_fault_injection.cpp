@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
   const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
   bench::emit(flags, "Figure 8: fault injection results (percent of injected faults)",
               "Paper averages: 95.4% detected via ITR; ITR+Mask 59.4%, ITR+SDC+R 32%,\n"

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
   const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
   bench::emit(flags, "Figure 9: energy of ITR cache vs I-cache redundant fetch",
               "Paper: 0.87 nJ/access I-cache vs 0.58/0.84 nJ ITR cache; the ITR\n"

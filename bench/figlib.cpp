@@ -80,7 +80,13 @@ util::Table proximity_table(const std::vector<std::string>& names,
   const std::vector<std::uint64_t> edges = {500,  1000, 1500, 2000,
                                             3000, 5000, 10000};
   std::vector<std::string> headers = {"benchmark"};
-  for (auto e : edges) headers.push_back("<" + std::to_string(e));
+  for (auto e : edges) {
+    // Built with append rather than operator+ to dodge a GCC 12 -Wrestrict
+    // false positive (PR 105651) under -Werror.
+    std::string h = "<";
+    h += std::to_string(e);
+    headers.push_back(std::move(h));
+  }
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
     const auto an = analyze_benchmark(name, insns);

@@ -12,6 +12,7 @@
 // concurrency).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include "isa/decode.hpp"
 #include "isa/predecode.hpp"
 #include "itr/itr_cache.hpp"
+#include "obs/registry.hpp"
 #include "sim/functional.hpp"
 #include "sim/memory.hpp"
 #include "sim/pipeline.hpp"
@@ -173,6 +175,62 @@ void BM_MemoryClone(benchmark::State& state) {
                  std::to_string(pages) + " pages");
 }
 BENCHMARK(BM_MemoryClone)->Args({0, 1024})->Args({1, 1024});
+
+/// A/B for the zero-overhead-when-off requirement on the stats registry
+/// itself: the guarded counter update with stats disabled (arg 0; one
+/// relaxed load + branch) vs enabled (arg 1; thread-local shard update).
+void BM_ObsCount(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::set_stats_enabled(on);
+  for (auto _ : state) {
+    obs::count("perf_micro.bm_obs_count");
+    benchmark::ClobberMemory();
+  }
+  obs::set_stats_enabled(false);
+  obs::registry().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(on ? "stats enabled" : "stats disabled");
+}
+BENCHMARK(BM_ObsCount)->Arg(0)->Arg(1);
+
+void BM_ObsHistogram(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::set_stats_enabled(on);
+  const obs::HistogramSpec spec{/*bin_width=*/64, /*num_bins=*/32};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    obs::observe("perf_micro.bm_obs_histogram", v++ & 2047u, spec);
+    benchmark::ClobberMemory();
+  }
+  obs::set_stats_enabled(false);
+  obs::registry().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(on ? "stats enabled" : "stats disabled");
+}
+BENCHMARK(BM_ObsHistogram)->Arg(0)->Arg(1);
+
+/// A/B over the instrumented thread pool (submit-side queue-depth gauge and
+/// worker-side task timing): fan-out throughput with stats disabled vs
+/// enabled.  The disabled column is the compiled-in-but-off overhead the
+/// acceptance criterion bounds.
+void BM_ObsParallelFor(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  obs::set_stats_enabled(on);
+  util::ThreadPool pool(4);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> acc{0};
+    util::parallel_for(pool, 256,
+                       [&acc](std::size_t i) {
+                         acc.fetch_add(i, std::memory_order_relaxed);
+                       });
+    benchmark::DoNotOptimize(acc.load());
+  }
+  obs::set_stats_enabled(false);
+  obs::registry().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+  state.SetLabel(on ? "stats enabled" : "stats disabled");
+}
+BENCHMARK(BM_ObsParallelFor)->Arg(0)->Arg(1)->UseRealTime();
 
 fi::CampaignConfig campaign_config() {
   fi::CampaignConfig cfg;

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   flags.get_u64("threads", 0);
   flags.get_u64("insns", 0);
   flags.get_string("benchmarks", "");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
 
   util::Table table({"structure", "area cm^2", "vs I-unit"});

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   flags.get_u64("threads", 0);
   flags.get_u64("insns", 0);
   flags.get_string("benchmarks", "");
+  util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
 
   static const std::map<std::string, std::string> kDescriptions = {

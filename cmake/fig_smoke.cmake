@@ -1,0 +1,31 @@
+# Generic CTest script for golden-file figure smoke tests: runs a figure
+# binary with reduced-size arguments and byte-compares its CSV output with
+# the committed golden (see cmake/bench_smoke.cmake for the fig08 variant,
+# which additionally cross-checks checkpoint modes).
+#
+# Expected -D definitions: BIN (figure binary), GOLDEN (committed CSV),
+# OUT (scratch output path, unique per test), ARGS (semicolon-separated
+# argument list).
+foreach(var BIN GOLDEN OUT ARGS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fig_smoke.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BIN}" ${ARGS}
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} smoke run failed: rc=${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "smoke CSV differs from golden ${GOLDEN}; inspect ${OUT}.  If the "
+    "change is intentional, regenerate the golden with the same flags and "
+    "commit it.")
+endif()

@@ -1,0 +1,46 @@
+# CTest script for the stats-determinism test: runs a reduced fig08 fault-
+# injection campaign twice — single-threaded with the checkpoint ladder, and
+# 8-way parallel resuming from scratch — and byte-compares the --stats-json
+# outputs.  Architectural metrics are simulated-machine facts, so the two
+# JSON files must be identical; any divergence means host-execution state
+# (scheduling, checkpoint reuse) leaked into an architectural metric.
+#
+# Expected -D definitions: FIG08 (binary), OUT_A / OUT_B (scratch stats
+# paths, unique to this test).
+foreach(var FIG08 OUT_A OUT_B)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "stats_determinism.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+set(common --csv --faults 20 --insns 300000 --window 20000
+    --benchmarks bzip,gcc)
+
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 1 --ckpt-mode ladder
+          --stats-json "${OUT_A}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc_a)
+if(NOT rc_a EQUAL 0)
+  message(FATAL_ERROR "fig08 (threads=1, ladder) failed: rc=${rc_a}")
+endif()
+
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 8 --ckpt-mode scratch
+          --stats-json "${OUT_B}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc_b)
+if(NOT rc_b EQUAL 0)
+  message(FATAL_ERROR "fig08 (threads=8, scratch) failed: rc=${rc_b}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_A}" "${OUT_B}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "stats JSON differs between (threads=1, ladder) and (threads=8, "
+    "scratch): ${OUT_A} vs ${OUT_B}.  An architectural metric is picking "
+    "up host-execution state; reclassify it kDiagnostic or fix the "
+    "nondeterminism.")
+endif()

@@ -76,6 +76,9 @@ class SetAssocCache {
 
   std::size_t num_sets() const noexcept { return num_sets_; }
   std::size_t ways() const noexcept { return ways_; }
+
+  /// The set `key` indexes into (telemetry: per-set eviction accounting).
+  std::size_t set_index(std::uint64_t key) const noexcept { return set_of(key); }
   const CacheConfig& config() const noexcept { return config_; }
   const CacheStats& stats() const noexcept { return stats_; }
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "isa/decode.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/functional.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -88,6 +90,7 @@ InjectionResult FaultInjectionCampaign::classify_run(sim::CycleSim& faulty,
                                                      sim::FunctionalSim& golden,
                                                      InjectionResult res,
                                                      bool golden_done) const {
+  obs::Span span("classify", "fi");
   bool window_done = false;
   std::uint64_t window_deadline = sim::kNeverCycle;
   std::uint64_t grace_deadline = sim::kNeverCycle;
@@ -201,6 +204,7 @@ InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkp
   // both paths report identical InjectionResults.
   res.faulty_commits = checkpoint.commits_consumed;
 
+  obs::Span resume("resume-from-rung", "fi");
   sim::CycleSim faulty(checkpoint.machine);
   sim::FaultPlan plan;
   plan.enabled = true;
@@ -209,6 +213,23 @@ InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkp
   faulty.arm_fault(plan);
 
   sim::FunctionalSim golden(checkpoint.golden);
+  if (obs::tracing_enabled()) {
+    resume.set_args("{\"rung_decode_index\": " +
+                    std::to_string(checkpoint.machine.decode_count()) +
+                    ", \"target\": " + std::to_string(target_decode_index) + "}");
+  }
+  resume.finish();
+  // How far past the rung the faulty run must re-execute, and roughly how
+  // much state the clone references — both depend on --ckpt-mode, hence
+  // diagnostic.
+  obs::observe("campaign.rung_reuse_distance",
+               target_decode_index - checkpoint.machine.decode_count(),
+               obs::HistogramSpec{/*bin_width=*/1024, /*num_bins=*/64},
+               obs::MetricClass::kDiagnostic);
+  obs::count("campaign.ckpt_clone_bytes",
+             static_cast<std::uint64_t>(checkpoint.machine.memory().num_pages()) *
+                 sim::Memory::kPageBytes,
+             obs::MetricClass::kDiagnostic);
   return classify_run(faulty, golden, std::move(res), checkpoint.golden_done);
 }
 
@@ -287,6 +308,13 @@ const SimCheckpoint* FaultInjectionCampaign::nearest_checkpoint(
 
 CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
                                             unsigned threads) {
+  obs::Span campaign_span("campaign", "fi");
+  if (obs::tracing_enabled()) {
+    campaign_span.set_args(
+        "{\"faults\": " + std::to_string(num_faults) + ", \"mode\": \"" +
+        checkpoint_mode_name(config_.checkpoint_mode) +
+        "\", \"threads\": " + std::to_string(threads) + "}");
+  }
   // Pre-draw every (target, bit) pair from the single sequential RNG stream
   // the serial implementation always used: the sampled plan — and therefore
   // the whole campaign — is independent of the thread count.
@@ -304,20 +332,31 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
   // Seed the re-execution source before the parallel region: the warmup
   // checkpoint / ladder builders mutate campaign state and must run once.
   const SimCheckpoint* warm = nullptr;
-  switch (config_.checkpoint_mode) {
-    case CheckpointMode::kScratch:
-      break;
-    case CheckpointMode::kWarmup:
-      warm = warmup_checkpoint();
-      break;
-    case CheckpointMode::kLadder:
-      build_ladder();
-      break;
+  {
+    obs::Span ckpt_span("build-checkpoints", "fi");
+    switch (config_.checkpoint_mode) {
+      case CheckpointMode::kScratch:
+        break;
+      case CheckpointMode::kWarmup:
+        warm = warmup_checkpoint();
+        break;
+      case CheckpointMode::kLadder:
+        build_ladder();
+        obs::gauge_max("campaign.ladder_rungs", ladder_.size(),
+                       obs::MetricClass::kDiagnostic);
+        break;
+    }
   }
 
   CampaignSummary summary;
   summary.results.resize(plan.size());
   util::parallel_for(threads, plan.size(), [&](std::size_t i) {
+    obs::Span inj_span("injection", "fi");
+    if (obs::tracing_enabled()) {
+      inj_span.set_args("{\"i\": " + std::to_string(i) +
+                        ", \"target\": " + std::to_string(plan[i].target) +
+                        ", \"bit\": " + std::to_string(plan[i].bit) + "}");
+    }
     const SimCheckpoint* ck = warm;
     if (config_.checkpoint_mode == CheckpointMode::kLadder) {
       ck = nearest_checkpoint(plan[i].target);
@@ -334,7 +373,32 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     ++summary.counts[static_cast<std::size_t>(res.outcome)];
     ++summary.total;
   }
+  publish_campaign_stats(summary);
   return summary;
+}
+
+void publish_campaign_stats(const CampaignSummary& summary) {
+  if (!obs::stats_enabled()) return;
+  // Everything here is derived from the merged summary, which the pre-drawn
+  // plan plus commit normalization make invariant across --threads and
+  // --ckpt-mode: architectural.
+  obs::count("campaign.injections", summary.total);
+  for (std::size_t o = 0; o < summary.counts.size(); ++o) {
+    obs::count(std::string("campaign.outcome.") +
+                   outcome_label(static_cast<Outcome>(o)),
+               summary.counts[o]);
+  }
+  std::uint64_t faulty_commits = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t sdc = 0;
+  for (const InjectionResult& res : summary.results) {
+    faulty_commits += res.faulty_commits;
+    if (res.detected) ++detected;
+    if (res.sdc) ++sdc;
+  }
+  obs::count("campaign.faulty_commits", faulty_commits);
+  obs::count("campaign.detected", detected);
+  obs::count("campaign.sdc", sdc);
 }
 
 }  // namespace itr::fi

@@ -123,6 +123,14 @@ struct CampaignSummary {
   }
 };
 
+/// Publishes a finished campaign's merged summary to the obs registry under
+/// `campaign.*` (per-outcome tallies, injection count, normalized faulty
+/// commits).  All architectural-class: the summary is invariant across
+/// --threads and --ckpt-mode.  Called by FaultInjectionCampaign::run();
+/// exposed for drivers that aggregate several campaigns.  No-op when stats
+/// are disabled.
+void publish_campaign_stats(const CampaignSummary& summary);
+
 /// Snapshot of the fault-free machine at the campaign's warmup boundary.
 ///
 /// Every fault in a campaign lands at decode index >= warmup_instructions, so

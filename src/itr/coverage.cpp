@@ -1,5 +1,7 @@
 #include "itr/coverage.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
 #include "trace/trace_builder.hpp"
 #include "util/stats.hpp"
 
@@ -21,6 +23,7 @@ trace::TraceRecord to_record(const CompactTrace& ct, std::uint64_t first_index) 
 
 CoverageCounters replay_coverage(const std::vector<CompactTrace>& stream,
                                  const ItrCacheConfig& config) {
+  obs::Span span("replay-coverage", "itr");
   ItrCache cache(config);
   std::uint64_t index = 0;
   for (const CompactTrace& ct : stream) {
@@ -30,6 +33,9 @@ CoverageCounters replay_coverage(const std::vector<CompactTrace>& stream,
     index += ct.num_instructions;
   }
   cache.finish();
+  // Replay is deterministic per (stream, config); sweep drivers replaying
+  // several configurations sum commutatively into the same counters.
+  publish_itr_cache_stats(cache, obs::MetricClass::kArchitectural);
   return cache.counters();
 }
 

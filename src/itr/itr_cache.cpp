@@ -14,7 +14,9 @@ cache::CacheConfig to_cache_config(const ItrCacheConfig& cfg) {
 }  // namespace
 
 ItrCache::ItrCache(const ItrCacheConfig& config)
-    : config_(config), cache_(to_cache_config(config)) {}
+    : config_(config),
+      cache_(to_cache_config(config)),
+      unref_evictions_per_set_(cache_.num_sets(), 0) {}
 
 ProbeResult ItrCache::probe(const trace::TraceRecord& rec) {
   counters_.total_instructions += rec.num_instructions;
@@ -75,6 +77,8 @@ void ItrCache::install(const trace::TraceRecord& rec) {
       // An unchecked signature left before anything referenced it: the fault
       // detection coverage of its installing instance is forfeited.
       counters_.detection_loss_instructions += evicted->payload.pending_instructions;
+      ++counters_.unreferenced_evictions;
+      ++unref_evictions_per_set_[cache_.set_index(evicted->key)];
       if (unchecked_lines_ > 0) --unchecked_lines_;
     }
   }
@@ -127,6 +131,33 @@ void ItrCache::finish() {
       counters_.pending_instructions_at_end += line.pending_instructions;
     }
   });
+}
+
+void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls) {
+  if (!obs::stats_enabled()) return;
+  const CoverageCounters& c = cache.counters();
+  obs::count("itr_cache.traces", c.total_traces, cls);
+  obs::count("itr_cache.hits", c.hits, cls);
+  obs::count("itr_cache.misses", c.misses, cls);
+  obs::count("itr_cache.reads", c.cache_reads, cls);
+  obs::count("itr_cache.writes", c.cache_writes, cls);
+  obs::count("itr_cache.unreferenced_evictions", c.unreferenced_evictions, cls);
+  obs::count("itr_cache.detection_loss_instructions",
+             c.detection_loss_instructions, cls);
+  obs::count("itr_cache.recovery_loss_instructions",
+             c.recovery_loss_instructions, cls);
+  // Per-set distribution of unreferenced evictions, one (weighted)
+  // observation per eviction at its set index.  The geometry is fixed —
+  // 64 bins of 16 sets covering the largest configuration (1024 sets) — so
+  // sweeps over different cache sizes feed one consistent histogram.
+  const auto& per_set = cache.unreferenced_evictions_per_set();
+  const obs::HistogramSpec spec{/*bin_width=*/16, /*num_bins=*/64};
+  for (std::size_t set = 0; set < per_set.size(); ++set) {
+    if (per_set[set] != 0) {
+      obs::observe("itr_cache.unreferenced_evictions_by_set",
+                   static_cast<std::uint64_t>(set), spec, cls, per_set[set]);
+    }
+  }
 }
 
 }  // namespace itr::core

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "cache/set_assoc_cache.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace_builder.hpp"
 
 namespace itr::core {
@@ -64,6 +66,10 @@ struct CoverageCounters {
   /// Instructions still sitting unreferenced in the cache at end of run;
   /// not a loss (a future hit could still check them) but reported.
   std::uint64_t pending_instructions_at_end = 0;
+  /// Evictions whose victim was never referenced (each one is a
+  /// detection-loss event; the instruction-weighted quantity is
+  /// detection_loss_instructions).
+  std::uint64_t unreferenced_evictions = 0;
 
   double detection_loss_percent() const noexcept {
     return total_instructions == 0
@@ -120,6 +126,12 @@ class ItrCache {
   enum class LineStatus : std::uint8_t { kAbsent, kUnreferenced, kReferenced };
   LineStatus line_status(std::uint64_t start_pc) const;
 
+  /// Per-set count of unreferenced evictions (index = cache set); sized
+  /// num_sets.  Exposes where detection loss concentrates.
+  const std::vector<std::uint64_t>& unreferenced_evictions_per_set() const noexcept {
+    return unref_evictions_per_set_;
+  }
+
  private:
   struct Line {
     std::uint64_t signature = 0;
@@ -132,8 +144,15 @@ class ItrCache {
   ItrCacheConfig config_;
   cache::SetAssocCache<Line> cache_;
   CoverageCounters counters_;
+  std::vector<std::uint64_t> unref_evictions_per_set_;
   std::uint64_t unchecked_lines_ = 0;
   bool finished_ = false;
 };
+
+/// Publishes one run's ITR cache activity to the global obs registry under
+/// `itr_cache.*` (hits, misses, unreferenced evictions and their per-set
+/// distribution, loss instruction counts).  `cls` as in
+/// publish_pipeline_stats.  No-op when stats are disabled.
+void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls);
 
 }  // namespace itr::core

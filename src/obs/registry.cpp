@@ -1,0 +1,230 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace itr::obs {
+
+namespace {
+std::atomic<bool> g_stats_enabled{false};
+}  // namespace
+
+bool stats_enabled() noexcept {
+  return g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+void set_stats_enabled(bool on) noexcept {
+  g_stats_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Per-thread storage.  Only its owning thread writes; snapshot() readers
+/// take the registry mutex, which the owner also holds briefly per update —
+/// see the locking note in local_shard().
+struct Registry::Shard {
+  struct Metric {
+    MetricKind kind = MetricKind::kCounter;
+    MetricClass cls = MetricClass::kArchitectural;
+    std::uint64_t value = 0;
+    HistogramSpec spec;
+    std::vector<std::uint64_t> bins;  ///< num_bins + 1 (overflow)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::mutex mutex;  ///< owner-vs-snapshot; never contended between owners
+  std::unordered_map<std::string, Metric> metrics;
+
+  Metric& find_or_create(std::string_view name, MetricKind kind,
+                         MetricClass cls) {
+    const auto it = metrics.find(std::string(name));
+    if (it != metrics.end()) {
+      if (it->second.kind != kind) {
+        throw std::logic_error("obs: metric '" + std::string(name) +
+                               "' re-registered with a different kind");
+      }
+      return it->second;
+    }
+    Metric& m = metrics[std::string(name)];
+    m.kind = kind;
+    m.cls = cls;
+    return m;
+  }
+};
+
+Registry::Shard& Registry::local_shard() {
+  // One registry in practice (the global one), so a plain thread_local
+  // cache keyed by (registry, generation) suffices.  The fast path is two
+  // thread-local reads and one relaxed atomic load; mutex_ is taken only on
+  // the first update after thread start or reset().
+  thread_local Registry* cached_owner = nullptr;
+  thread_local std::uint64_t cached_generation = ~std::uint64_t{0};
+  thread_local std::shared_ptr<Shard> cached;
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cached_owner == this && cached_generation == generation &&
+      cached != nullptr) {
+    return *cached;
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Re-read under the lock: a racing reset() must not leave this thread
+    // caching a shard the registry already dropped.
+    cached_generation = generation_.load(std::memory_order_relaxed);
+    shards_.push_back(shard);
+  }
+  cached_owner = this;
+  cached = std::move(shard);
+  return *cached;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta, MetricClass cls) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.find_or_create(name, MetricKind::kCounter, cls).value += delta;
+}
+
+void Registry::gauge_max(std::string_view name, std::uint64_t v, MetricClass cls) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& m = shard.find_or_create(name, MetricKind::kGauge, cls);
+  m.value = std::max(m.value, v);
+}
+
+void Registry::observe(std::string_view name, std::uint64_t value,
+                       HistogramSpec spec, MetricClass cls,
+                       std::uint64_t weight) {
+  if (spec.bin_width == 0 || spec.num_bins == 0) {
+    throw std::invalid_argument("obs: histogram spec must have nonzero geometry");
+  }
+  if (weight == 0) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& m = shard.find_or_create(name, MetricKind::kHistogram, cls);
+  if (m.bins.empty()) {
+    m.spec = spec;
+    m.bins.assign(spec.num_bins + 1, 0);
+  } else if (!(m.spec == spec)) {
+    throw std::logic_error("obs: histogram '" + std::string(name) +
+                           "' re-registered with a different geometry");
+  }
+  const std::uint64_t bin = value / m.spec.bin_width;
+  m.bins[bin < m.spec.num_bins ? static_cast<std::size_t>(bin)
+                               : m.spec.num_bins] += weight;
+  m.count += weight;
+  m.sum += value * weight;
+}
+
+std::map<std::string, MetricValue> Registry::snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards = shards_;
+  }
+  std::map<std::string, MetricValue> merged;
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, m] : shard->metrics) {
+      MetricValue& out = merged[name];
+      if (out.count == 0 && out.value == 0 && out.bins.empty()) {
+        out.kind = m.kind;
+        out.cls = m.cls;
+        out.spec = m.spec;
+      }
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          out.value += m.value;
+          break;
+        case MetricKind::kGauge:
+          out.value = std::max(out.value, m.value);
+          break;
+        case MetricKind::kHistogram:
+          if (out.bins.empty()) out.bins.assign(m.bins.size(), 0);
+          for (std::size_t i = 0; i < m.bins.size() && i < out.bins.size(); ++i) {
+            out.bins[i] += m.bins[i];
+          }
+          out.count += m.count;
+          out.sum += m.sum;
+          break;
+      }
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const char* class_name(MetricClass c) {
+  return c == MetricClass::kArchitectural ? "architectural" : "diagnostic";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os, bool include_diagnostic) const {
+  const auto merged = snapshot();
+  os << "{\n  \"schema\": \"itr-stats-v1\",\n  \"stats\": {";
+  bool first = true;
+  for (const auto& [name, m] : merged) {
+    if (m.cls == MetricClass::kDiagnostic && !include_diagnostic) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    write_json_string(os, name);
+    os << ": {\"kind\": \"" << kind_name(m.kind) << "\", \"class\": \""
+       << class_name(m.cls) << "\", ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        os << "\"value\": " << m.value;
+        break;
+      case MetricKind::kHistogram: {
+        os << "\"bin_width\": " << m.spec.bin_width << ", \"count\": " << m.count
+           << ", \"sum\": " << m.sum << ", \"bins\": [";
+        for (std::size_t i = 0; i < m.bins.size(); ++i) {
+          if (i != 0) os << ", ";
+          os << m.bins[i];
+        }
+        os << "], \"overflow_last\": true";
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "\n  }\n}\n";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.clear();
+  ++generation_;
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: worker
+                                               // threads may outlive main
+  return *instance;
+}
+
+}  // namespace itr::obs

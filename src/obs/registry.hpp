@@ -1,0 +1,141 @@
+// Observability stats registry: named counters, gauges and fixed-bucket
+// histograms, shared by every subsystem that wants to export telemetry.
+//
+// Design constraints (see DESIGN.md section 7):
+//
+//   * Zero overhead when off.  Instrumentation is compiled in but guarded by
+//     one relaxed atomic load (`obs::stats_enabled()`); the disabled path is
+//     a single predictable branch with no allocation, locking, or hashing.
+//   * Lock-cheap when on.  Each OS thread writes into its own shard (an
+//     open-addressed map created lazily on first use); the only lock is the
+//     registry-wide mutex taken once per thread at shard creation and once
+//     at snapshot/report time.  No atomics on the hot update path.
+//   * Deterministic merged output.  snapshot() merges shards commutatively
+//     (counters/histograms sum, gauges take the max) and sorts metrics by
+//     name, so the merged report is byte-identical for any thread count as
+//     long as the *multiset of updates* is deterministic — which campaign
+//     code guarantees by publishing per-item deltas (see fi/classify.cpp).
+//
+// Determinism classes: every metric is tagged kArchitectural (a property of
+// the simulated machine — invariant across --threads and --ckpt-mode) or
+// kDiagnostic (a property of how the host executed the run: rung reuse,
+// clone bytes, pool queue depths).  JSON output emits architectural metrics
+// only unless diagnostics are requested, which is what lets the
+// stats-determinism ctest byte-compare --threads 1 vs 8 and ladder vs
+// scratch outputs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itr::obs {
+
+/// Whether updates are recorded.  Off by default; flipping it on/off does
+/// not lose already-recorded data.
+bool stats_enabled() noexcept;
+void set_stats_enabled(bool on) noexcept;
+
+/// Invariance class of a metric; see the header comment.
+enum class MetricClass : std::uint8_t {
+  kArchitectural,  ///< simulated-machine property; thread/mode invariant
+  kDiagnostic,     ///< host-execution property; may vary with threads/mode
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Fixed-bucket histogram geometry: `num_bins` bins of `bin_width` starting
+/// at 0, plus an overflow bucket.  Part of a histogram metric's identity;
+/// observing the same name with a different geometry throws.
+struct HistogramSpec {
+  std::uint64_t bin_width = 1;
+  std::size_t num_bins = 16;
+  friend bool operator==(const HistogramSpec&, const HistogramSpec&) = default;
+};
+
+/// One merged metric as reported by snapshot().
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  MetricClass cls = MetricClass::kArchitectural;
+  std::uint64_t value = 0;           ///< counter sum or gauge max
+  HistogramSpec spec;                ///< histogram geometry
+  std::vector<std::uint64_t> bins;   ///< histogram bins + trailing overflow
+  std::uint64_t count = 0;           ///< histogram observation count
+  std::uint64_t sum = 0;             ///< histogram value sum
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Counter: adds `delta` under `name`.  No-op when stats are disabled.
+  void add(std::string_view name, std::uint64_t delta,
+           MetricClass cls = MetricClass::kArchitectural);
+
+  /// Gauge with max-merge semantics (e.g. peak queue depth): records
+  /// max(current, v).  Max-merge keeps the merged result independent of the
+  /// order shards observed their values.
+  void gauge_max(std::string_view name, std::uint64_t v,
+                 MetricClass cls = MetricClass::kArchitectural);
+
+  /// Histogram: adds `weight` observations of `value` to the named histogram
+  /// with the given fixed-bucket geometry.
+  void observe(std::string_view name, std::uint64_t value, HistogramSpec spec,
+               MetricClass cls = MetricClass::kArchitectural,
+               std::uint64_t weight = 1);
+
+  /// Merged, name-sorted view of every shard.  Safe to call while other
+  /// threads keep updating (their in-flight deltas may or may not be seen).
+  std::map<std::string, MetricValue> snapshot() const;
+
+  /// Writes the snapshot as pretty-printed JSON (sorted keys, 2-space
+  /// indent, '\n' line ends): `{"schema": "itr-stats-v1", "stats": {...}}`.
+  /// Diagnostic-class metrics are included only when `include_diagnostic`.
+  void write_json(std::ostream& os, bool include_diagnostic = false) const;
+
+  /// Drops all shards and recorded data (tests; between campaign phases).
+  void reset();
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  /// Bumped by reset() so threads drop their cached shard pointer; atomic so
+  /// the fast path can check it without taking mutex_.
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// The process-wide registry used by all built-in instrumentation.
+Registry& registry();
+
+// ---- Convenience wrappers over registry() with the enabled-guard inlined.
+// The guard lives here, not inside Registry, so the off path costs one load
+// and one branch with no function call.
+
+inline void count(std::string_view name, std::uint64_t delta = 1,
+                  MetricClass cls = MetricClass::kArchitectural) {
+  if (stats_enabled()) registry().add(name, delta, cls);
+}
+
+inline void gauge_max(std::string_view name, std::uint64_t v,
+                      MetricClass cls = MetricClass::kArchitectural) {
+  if (stats_enabled()) registry().gauge_max(name, v, cls);
+}
+
+inline void observe(std::string_view name, std::uint64_t value, HistogramSpec spec,
+                    MetricClass cls = MetricClass::kArchitectural,
+                    std::uint64_t weight = 1) {
+  if (stats_enabled()) registry().observe(name, value, spec, cls, weight);
+}
+
+}  // namespace itr::obs

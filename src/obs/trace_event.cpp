@@ -1,0 +1,126 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <tuple>
+
+namespace itr::obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_us() noexcept {
+  // A fixed process-local epoch keeps timestamps small and positive; the
+  // Chrome trace viewer only cares about relative times.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Tracer::Shard& Tracer::local_shard() {
+  thread_local Tracer* cached_owner = nullptr;
+  thread_local std::uint64_t cached_generation = ~std::uint64_t{0};
+  thread_local std::shared_ptr<Shard> cached;
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cached_owner == this && cached_generation == generation &&
+      cached != nullptr) {
+    return *cached;
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached_generation = generation_.load(std::memory_order_relaxed);
+    shard->tid = static_cast<std::uint32_t>(shards_.size());
+    shards_.push_back(shard);
+  }
+  cached_owner = this;
+  cached = std::move(shard);
+  return *cached;
+}
+
+void Tracer::emit(std::string_view name, std::string_view category,
+                  std::uint64_t begin_us, std::uint64_t end_us,
+                  std::string args_json) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(Event{std::string(name), std::string(category),
+                               begin_us, end_us, shard.tid,
+                               std::move(args_json)});
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Tracer::write_json(std::ostream& os) const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards = shards_;
+  }
+  std::vector<Event> events;
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    events.insert(events.end(), shard->events.begin(), shard->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return std::tie(a.begin_us, a.name, a.tid) <
+                            std::tie(b.begin_us, b.name, b.tid);
+                   });
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n  {\"ph\": \"X\", \"name\": ";
+    write_json_string(os, e.name);
+    os << ", \"cat\": ";
+    write_json_string(os, e.category);
+    os << ", \"ts\": " << e.begin_us
+       << ", \"dur\": " << (e.end_us - e.begin_us)
+       << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (!e.args_json.empty()) os << ", \"args\": " << e.args_json;
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.clear();
+  ++generation_;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();  // never destroyed: worker threads
+                                           // may outlive main
+  return *instance;
+}
+
+}  // namespace itr::obs

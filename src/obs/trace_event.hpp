@@ -1,0 +1,119 @@
+// Structured event tracing: hierarchical spans emitted as Chrome
+// `trace_event` JSON (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// The span hierarchy for a fault-injection campaign is
+//
+//   campaign ─┬─ build-checkpoints            (warmup / ladder construction)
+//             └─ injection #i ─┬─ resume      (clone the nearest rung)
+//                              └─ classify    (faulty-vs-golden lockstep)
+//
+// Spans are "complete" events ("ph":"X") with microsecond timestamps from a
+// process-local steady clock.  Like the stats registry, tracing is compiled
+// in but branch-guarded: when off (the default), begin/end is one relaxed
+// load and a branch.  When on, each thread appends to its own buffer
+// (registry-style shards); the writer merges and sorts buffers at the end,
+// so emission order never depends on scheduling — though the recorded
+// timestamps themselves are wall-clock and therefore run-specific, which is
+// why traces are a debugging artifact, never part of deterministic output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itr::obs {
+
+bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records one complete span.  `args_json` is either empty or a
+  /// ready-rendered JSON object literal (e.g. R"({"target": 12, "bit": 3})");
+  /// pre-rendering keeps the hot path free of formatting machinery.
+  void emit(std::string_view name, std::string_view category,
+            std::uint64_t begin_us, std::uint64_t end_us,
+            std::string args_json = {});
+
+  /// Microseconds since the tracer's (process-local, steady) epoch.
+  static std::uint64_t now_us() noexcept;
+
+  /// Writes all recorded spans as a Chrome trace_event JSON object
+  /// (`{"traceEvents": [...]}`), merged across threads and sorted by
+  /// (timestamp, name) for stable ordering.
+  void write_json(std::ostream& os) const;
+
+  void reset();
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint64_t begin_us = 0;
+    std::uint64_t end_us = 0;
+    std::uint32_t tid = 0;  ///< stable per-shard id, not the OS thread id
+    std::string args_json;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  Shard& local_shard();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+/// The process-wide tracer used by all built-in instrumentation.
+Tracer& tracer();
+
+/// RAII span: records [construction, destruction) on the global tracer when
+/// tracing is enabled, otherwise costs one branch at each end.
+class Span {
+ public:
+  Span(std::string_view name, std::string_view category) {
+    if (tracing_enabled()) {
+      active_ = true;
+      name_ = name;
+      category_ = category;
+      begin_us_ = Tracer::now_us();
+    }
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a pre-rendered JSON object of span arguments.
+  void set_args(std::string args_json) {
+    if (active_) args_json_ = std::move(args_json);
+  }
+
+  /// Ends the span early (before scope exit).
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    tracer().emit(name_, category_, begin_us_, Tracer::now_us(),
+                  std::move(args_json_));
+  }
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::string category_;
+  std::uint64_t begin_us_ = 0;
+  std::string args_json_;
+};
+
+}  // namespace itr::obs

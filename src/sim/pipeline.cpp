@@ -265,6 +265,7 @@ void CycleSim::process_instruction() {
     fault_inject_cycle_ = fetch_cycle;
   }
   const std::uint64_t this_decode_index = decode_index_++;
+  ++stats_.instructions_decoded;
 
   // ---- Rename stage. ---------------------------------------------------------
   // The map-table ports observe the (possibly rename-fault-corrupted)
@@ -304,6 +305,7 @@ void CycleSim::process_instruction() {
   const std::uint64_t issue = issue_slot(ready);
   std::uint64_t complete = issue;
   if (issue < kNeverCycle) {
+    ++stats_.instructions_issued;
     complete = issue + opt_.config.lat_cycles[sig.lat & 3u];
   }
 
@@ -562,6 +564,7 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
         ev.cycle = commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle;
         ev.trace_start_pc = poll.trace.start_pc;
         itr_events_.push_back(ev);
+        ++stats_.itr_retry_flushes;
         rollback_trace();
         itr_->squash_open_trace();
         itr_has_open_trace_ = false;
@@ -595,6 +598,26 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
       release_trace_commits();
       break;
   }
+}
+
+void publish_pipeline_stats(const PipelineStats& stats, obs::MetricClass cls) {
+  if (!obs::stats_enabled()) return;
+  obs::count("pipeline.instructions_committed", stats.instructions_committed, cls);
+  obs::count("pipeline.instructions_decoded", stats.instructions_decoded, cls);
+  obs::count("pipeline.instructions_issued", stats.instructions_issued, cls);
+  obs::count("pipeline.cycles", stats.cycles, cls);
+  obs::count("pipeline.fetch_bundles", stats.fetch_bundles, cls);
+  obs::count("pipeline.icache_misses", stats.icache_misses, cls);
+  obs::count("pipeline.dcache_accesses", stats.dcache_accesses, cls);
+  obs::count("pipeline.dcache_misses", stats.dcache_misses, cls);
+  obs::count("pipeline.flush.branch_mispredict", stats.branch_mispredicts, cls);
+  obs::count("pipeline.flush.itr_retry", stats.itr_retry_flushes, cls);
+  obs::count("pipeline.flush.watchdog", stats.watchdog_fires, cls);
+  obs::count("pipeline.spc_checks_fired", stats.spc_checks_fired, cls);
+  obs::count("pipeline.itr_commit_stall_cycles", stats.itr_commit_stall_cycles,
+             cls);
+  obs::gauge_max("pipeline.ipc_milli",
+                 static_cast<std::uint64_t>(stats.ipc() * 1000.0), cls);
 }
 
 }  // namespace itr::sim

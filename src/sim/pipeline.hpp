@@ -39,6 +39,7 @@
 #include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "itr/itr_unit.hpp"
+#include "obs/registry.hpp"
 #include "sim/arch_state.hpp"
 #include "sim/branch_pred.hpp"
 #include "sim/exec.hpp"
@@ -148,14 +149,17 @@ struct ItrEvent {
 
 struct PipelineStats {
   std::uint64_t instructions_committed = 0;
+  std::uint64_t instructions_decoded = 0;  ///< includes squashed/retried work
+  std::uint64_t instructions_issued = 0;   ///< reached an issue slot
   std::uint64_t cycles = 0;
   std::uint64_t fetch_bundles = 0;     ///< I-cache accesses (Figure 9)
   std::uint64_t icache_misses = 0;
   std::uint64_t dcache_accesses = 0;
   std::uint64_t dcache_misses = 0;
-  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t branch_mispredicts = 0;    ///< flush cause: bad prediction
+  std::uint64_t itr_retry_flushes = 0;     ///< flush cause: ITR retry rollback
   std::uint64_t spc_checks_fired = 0;
-  std::uint64_t watchdog_fires = 0;
+  std::uint64_t watchdog_fires = 0;        ///< flush cause: deadlock watchdog
   std::uint64_t itr_commit_stall_cycles = 0;  ///< commit waiting for the probe
   friend bool operator==(const PipelineStats&, const PipelineStats&) = default;
   double ipc() const noexcept {
@@ -164,6 +168,15 @@ struct PipelineStats {
                              static_cast<double>(cycles);
   }
 };
+
+/// Publishes `stats` to the global obs registry under `pipeline.*` names
+/// (fetch/decode/issue/commit counts, flush causes, and an `ipc_milli`
+/// gauge).  `cls` selects the determinism class: a single deterministic run
+/// publishes architectural metrics; campaign code publishing per-injection
+/// pipeline activity (which depends on --ckpt-mode) passes kDiagnostic.
+/// No-op when stats are disabled.  Kept outside CycleSim so checkpoint
+/// clones never carry registry state.
+void publish_pipeline_stats(const PipelineStats& stats, obs::MetricClass cls);
 
 /// Terminal condition of a run.
 enum class RunTermination : std::uint8_t {
@@ -246,6 +259,8 @@ class CycleSim {
     return rename_cache_.has_value() ? &*rename_cache_ : nullptr;
   }
   const RenameUnit& rename_unit() const noexcept { return rename_; }
+  /// Functional memory (telemetry: page count ≈ bytes a snapshot clone pays).
+  const Memory& memory() const noexcept { return memory_; }
   BranchPredictor& predictor() noexcept { return bpred_; }
   std::uint64_t decode_count() const noexcept { return decode_index_; }
   bool fault_was_injected() const noexcept { return fault_injected_; }

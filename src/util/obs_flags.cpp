@@ -1,0 +1,49 @@
+#include "util/obs_flags.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
+
+namespace itr::util {
+
+ObsGuard::ObsGuard(const CliFlags& flags)
+    : stats_json_(flags.get_string("stats-json", "")),
+      trace_out_(flags.get_string("trace-out", "")),
+      stats_full_(flags.get_bool("stats-full")) {
+  if (!stats_json_.empty()) obs::set_stats_enabled(true);
+  if (!trace_out_.empty()) obs::set_tracing_enabled(true);
+}
+
+void ObsGuard::write() {
+  if (written_) return;
+  written_ = true;
+  if (!stats_json_.empty()) {
+    std::ofstream os(stats_json_, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("cannot open --stats-json file '" + stats_json_ +
+                               "'");
+    }
+    obs::registry().write_json(os, stats_full_);
+  }
+  if (!trace_out_.empty()) {
+    std::ofstream os(trace_out_, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("cannot open --trace-out file '" + trace_out_ +
+                               "'");
+    }
+    obs::tracer().write_json(os);
+  }
+}
+
+ObsGuard::~ObsGuard() {
+  try {
+    write();
+  } catch (...) {
+    // A destructor must not throw; losing telemetry on an already-failing
+    // exit path is acceptable.
+  }
+}
+
+}  // namespace itr::util

@@ -1,0 +1,40 @@
+// Shared wiring of the observability CLI surface:
+//
+//   --stats-json <file>   write the merged stats registry as JSON at exit
+//   --stats-full          include diagnostic-class metrics in that JSON
+//                         (host-execution properties; varies with --threads
+//                         and --ckpt-mode, so off by default to keep the
+//                         default output byte-deterministic)
+//   --trace-out <file>    write a Chrome trace_event JSON of recorded spans
+//
+// Construct an ObsGuard from parsed flags before doing any work: it enables
+// stats/tracing if (and only if) an output was requested, and its destructor
+// writes the files.  With neither flag present all instrumentation stays in
+// its branch-guarded off state.
+#pragma once
+
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace itr::util {
+
+class ObsGuard {
+ public:
+  explicit ObsGuard(const CliFlags& flags);
+  ~ObsGuard();
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+  /// Writes the requested outputs now (idempotent; the destructor then
+  /// becomes a no-op).  Lets drivers flush before printing their own report.
+  void write();
+
+ private:
+  std::string stats_json_;
+  std::string trace_out_;
+  bool stats_full_ = false;
+  bool written_ = false;
+};
+
+}  // namespace itr::util

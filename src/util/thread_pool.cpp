@@ -1,8 +1,18 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
+
+#include "obs/registry.hpp"
 
 namespace itr::util {
+
+namespace {
+// Task latency in microseconds, 64 bins of 250us + overflow (covers 16ms;
+// campaign drain jobs typically run for milliseconds).
+constexpr obs::HistogramSpec kTaskLatencySpec{/*bin_width=*/250,
+                                              /*num_bins=*/64};
+}  // namespace
 
 unsigned ThreadPool::hardware_threads() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
@@ -27,10 +37,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    depth = queue_.size();
   }
+  // Queue depth is a property of host scheduling, hence diagnostic.
+  obs::gauge_max("thread_pool.queue_depth_peak", depth,
+                 obs::MetricClass::kDiagnostic);
   work_ready_.notify_one();
 }
 
@@ -53,12 +68,24 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
+    const bool timing = obs::stats_enabled();
+    const auto start = timing ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
     try {
       job();
     } catch (...) {
       lock.lock();
       if (first_error_ == nullptr) first_error_ = std::current_exception();
       lock.unlock();
+    }
+    if (timing) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      obs::count("thread_pool.tasks_executed", 1,
+                 obs::MetricClass::kDiagnostic);
+      obs::observe("thread_pool.task_latency_us",
+                   static_cast<std::uint64_t>(us.count()), kTaskLatencySpec,
+                   obs::MetricClass::kDiagnostic);
     }
     lock.lock();
     --active_;

@@ -1,0 +1,248 @@
+// Unit tests for the observability layer (src/obs): stats registry merge
+// semantics, determinism-class filtering, histogram geometry rules, and the
+// span tracer's merged, stably-ordered JSON output.
+//
+// The global registry/tracer singletons are shared process state; every test
+// resets them and restores the disabled default on exit so ordering between
+// tests does not matter (they still run in one gtest process).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
+
+namespace itr {
+namespace {
+
+/// Enables stats+tracing on a clean registry/tracer for one test, and
+/// restores the all-off default afterwards.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::registry().reset();
+    obs::tracer().reset();
+    obs::set_stats_enabled(true);
+    obs::set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_stats_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::registry().reset();
+    obs::tracer().reset();
+  }
+};
+
+TEST_F(ObsTest, CountersAccumulateAndGaugesTakeMax) {
+  obs::count("t.counter");
+  obs::count("t.counter", 41);
+  obs::gauge_max("t.gauge", 7);
+  obs::gauge_max("t.gauge", 3);  // lower value must not win
+
+  const auto snap = obs::registry().snapshot();
+  ASSERT_TRUE(snap.contains("t.counter"));
+  EXPECT_EQ(snap.at("t.counter").kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(snap.at("t.counter").value, 42u);
+  ASSERT_TRUE(snap.contains("t.gauge"));
+  EXPECT_EQ(snap.at("t.gauge").kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(snap.at("t.gauge").value, 7u);
+}
+
+TEST_F(ObsTest, UpdatesAreDroppedWhileDisabled) {
+  obs::set_stats_enabled(false);
+  obs::count("t.off");
+  obs::set_stats_enabled(true);
+  obs::count("t.on");
+
+  const auto snap = obs::registry().snapshot();
+  EXPECT_FALSE(snap.contains("t.off"));
+  EXPECT_TRUE(snap.contains("t.on"));
+}
+
+TEST_F(ObsTest, HistogramBinsClampAndOverflow) {
+  const obs::HistogramSpec spec{/*bin_width=*/10, /*num_bins=*/4};
+  obs::observe("t.hist", 0, spec);    // bin 0
+  obs::observe("t.hist", 9, spec);    // bin 0
+  obs::observe("t.hist", 10, spec);   // bin 1
+  obs::observe("t.hist", 39, spec);   // bin 3
+  obs::observe("t.hist", 40, spec);   // overflow
+  obs::observe("t.hist", 1000, spec); // overflow
+
+  const auto snap = obs::registry().snapshot();
+  ASSERT_TRUE(snap.contains("t.hist"));
+  const obs::MetricValue& m = snap.at("t.hist");
+  EXPECT_EQ(m.kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(m.count, 6u);
+  EXPECT_EQ(m.sum, 0u + 9 + 10 + 39 + 40 + 1000);
+  // num_bins regular bins plus the trailing overflow bucket.
+  ASSERT_EQ(m.bins.size(), 5u);
+  EXPECT_EQ(m.bins[0], 2u);
+  EXPECT_EQ(m.bins[1], 1u);
+  EXPECT_EQ(m.bins[2], 0u);
+  EXPECT_EQ(m.bins[3], 1u);
+  EXPECT_EQ(m.bins[4], 2u);
+}
+
+TEST_F(ObsTest, WeightedObservationsCountAsRepeats) {
+  const obs::HistogramSpec spec{/*bin_width=*/1, /*num_bins=*/8};
+  obs::observe("t.w", 3, spec, obs::MetricClass::kArchitectural, 5);
+  obs::observe("t.w", 3, spec);  // default weight 1
+
+  const auto snap = obs::registry().snapshot();
+  const obs::MetricValue& m = snap.at("t.w");
+  EXPECT_EQ(m.count, 6u);
+  EXPECT_EQ(m.sum, 18u);
+  EXPECT_EQ(m.bins[3], 6u);
+}
+
+TEST_F(ObsTest, HistogramGeometryIsPartOfIdentity) {
+  obs::observe("t.geom", 1, obs::HistogramSpec{1, 8});
+  EXPECT_THROW(obs::observe("t.geom", 1, obs::HistogramSpec{2, 8}),
+               std::logic_error);
+  EXPECT_THROW(obs::observe("t.geom", 1, obs::HistogramSpec{1, 16}),
+               std::logic_error);
+}
+
+TEST_F(ObsTest, KindMismatchOnOneNameThrows) {
+  obs::count("t.kind");
+  EXPECT_THROW(obs::gauge_max("t.kind", 1), std::logic_error);
+  EXPECT_THROW(obs::observe("t.kind", 1, obs::HistogramSpec{}),
+               std::logic_error);
+}
+
+TEST_F(ObsTest, MultithreadedMergeIsExactAndDeterministic) {
+  // N threads each add disjoint slices of the same totals; the merged
+  // snapshot must be exact regardless of interleaving.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  const obs::HistogramSpec spec{/*bin_width=*/64, /*num_bins=*/16};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, spec] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::count("mt.counter");
+        obs::observe("mt.hist", i % 1024, spec);
+      }
+      obs::gauge_max("mt.gauge", static_cast<std::uint64_t>(t));
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.at("mt.counter").value, kThreads * kPerThread);
+  EXPECT_EQ(snap.at("mt.gauge").value, kThreads - 1u);
+  EXPECT_EQ(snap.at("mt.hist").count, kThreads * kPerThread);
+
+  // The rendered JSON (sorted names, merged shards) must not depend on
+  // which thread got which shard: render twice and byte-compare.
+  std::ostringstream a, b;
+  obs::registry().write_json(a);
+  obs::registry().write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_F(ObsTest, JsonFiltersDiagnosticMetricsUnlessRequested) {
+  obs::count("t.arch", 1, obs::MetricClass::kArchitectural);
+  obs::count("t.diag", 1, obs::MetricClass::kDiagnostic);
+
+  std::ostringstream def, full;
+  obs::registry().write_json(def, /*include_diagnostic=*/false);
+  obs::registry().write_json(full, /*include_diagnostic=*/true);
+
+  EXPECT_NE(def.str().find("\"t.arch\""), std::string::npos);
+  EXPECT_EQ(def.str().find("\"t.diag\""), std::string::npos);
+  EXPECT_NE(full.str().find("\"t.arch\""), std::string::npos);
+  EXPECT_NE(full.str().find("\"t.diag\""), std::string::npos);
+  EXPECT_NE(def.str().find("\"schema\": \"itr-stats-v1\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetDropsDataAndShardsKeepWorking) {
+  obs::count("t.before");
+  obs::registry().reset();
+  // The thread-local shard cache must notice the generation bump and
+  // re-register rather than writing into a dropped shard.
+  obs::count("t.after");
+  const auto snap = obs::registry().snapshot();
+  EXPECT_FALSE(snap.contains("t.before"));
+  ASSERT_TRUE(snap.contains("t.after"));
+  EXPECT_EQ(snap.at("t.after").value, 1u);
+}
+
+TEST_F(ObsTest, TracerEmitsSortedCompleteEvents) {
+  // Emit out of begin-timestamp order; write_json must sort.
+  obs::tracer().emit("late", "test", 200, 250);
+  obs::tracer().emit("early", "test", 100, 150, R"({"k": 1})");
+
+  std::ostringstream os;
+  obs::tracer().write_json(os);
+  const std::string json = os.str();
+
+  const auto early = json.find("\"early\"");
+  const auto late = json.find("\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 50"), std::string::npos);
+  EXPECT_NE(json.find(R"("args": {"k": 1})"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanRecordsOnlyWhenTracingEnabled) {
+  obs::set_tracing_enabled(false);
+  { obs::Span off("off-span", "test"); }
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span on("on-span", "test");
+    on.set_args(R"({"x": 2})");
+  }
+  // finish() is idempotent: a second explicit finish emits nothing extra.
+  {
+    obs::Span once("once", "test");
+    once.finish();
+    once.finish();
+  }
+
+  std::ostringstream os;
+  obs::tracer().write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("off-span"), std::string::npos);
+  EXPECT_NE(json.find("on-span"), std::string::npos);
+  EXPECT_NE(json.find(R"({"x": 2})"), std::string::npos);
+  const auto first = json.find("\"once\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(json.find("\"once\"", first + 1), std::string::npos);
+}
+
+TEST_F(ObsTest, TracerMergesShardsFromManyThreads) {
+  constexpr int kThreads = 6;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      obs::tracer().emit("worker", "test",
+                         static_cast<std::uint64_t>(t) * 10,
+                         static_cast<std::uint64_t>(t) * 10 + 5);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::ostringstream os;
+  obs::tracer().write_json(os);
+  const std::string json = os.str();
+  std::size_t occurrences = 0;
+  for (std::size_t pos = json.find("\"worker\""); pos != std::string::npos;
+       pos = json.find("\"worker\"", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace itr

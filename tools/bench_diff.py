@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files (BENCH_perf.json) and fail on
-throughput regressions.
+"""Compare two benchmark/stats JSON files and fail on regressions.
 
 Usage:
   bench_diff.py BASELINE.json CURRENT.json [--threshold PCT] [--counters a,b]
 
-Benchmarks are matched by name; for each tracked higher-is-better counter
-present in both runs the relative change is reported, and any drop larger
-than --threshold percent (default 10) fails the comparison with exit
-status 1.  Benchmarks present only on one side are reported but do not
-fail the diff (the benchmark set is allowed to grow).
+Two input formats are auto-detected per file:
+
+  * google-benchmark JSON (BENCH_perf.json): benchmarks are matched by name;
+    for each tracked higher-is-better counter present in both runs the
+    relative change is reported, and any drop larger than --threshold
+    percent (default 10) fails the comparison with exit status 1.
+  * itr-stats-v1 JSON (the --stats-json output of itr_sim and the bench
+    binaries): metrics are matched by name; counters and gauges diff by
+    value, histograms by count/sum and per-bin contents.  Stats values are
+    exact simulator facts, so ANY difference fails (threshold does not
+    apply); use it to pin campaign outcomes across refactors.
+
+Entries present only on one side are reported but do not fail the diff
+(the benchmark/metric set is allowed to grow).
 """
 
 import argparse
@@ -19,10 +27,17 @@ import sys
 DEFAULT_COUNTERS = ("injections/sec", "commits/sec", "items_per_second")
 
 
-def load_benchmarks(path):
-    """Returns {benchmark name: {counter: value}} for plain iterations."""
+def load_json(path):
     with open(path, encoding="utf-8") as f:
-        data = json.load(f)
+        return json.load(f)
+
+
+def is_stats_schema(data):
+    return isinstance(data, dict) and data.get("schema") == "itr-stats-v1"
+
+
+def load_benchmarks(data):
+    """Returns {benchmark name: {counter: value}} for plain iterations."""
     out = {}
     for bench in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repeated runs).
@@ -32,28 +47,53 @@ def load_benchmarks(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline BENCH_perf.json")
-    parser.add_argument("current", help="current BENCH_perf.json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=10.0,
-        metavar="PCT",
-        help="max tolerated drop per counter, percent (default 10)",
-    )
-    parser.add_argument(
-        "--counters",
-        default=",".join(DEFAULT_COUNTERS),
-        help="comma-separated higher-is-better counters to compare "
-        "(default: %(default)s)",
-    )
-    args = parser.parse_args()
-    counters = [c for c in args.counters.split(",") if c]
+def stat_fields(metric):
+    """The comparable scalar facts of one itr-stats-v1 metric."""
+    if metric.get("kind") == "histogram":
+        fields = {"count": metric.get("count"), "sum": metric.get("sum")}
+        for i, v in enumerate(metric.get("bins", [])):
+            fields[f"bin[{i}]"] = v
+        return fields
+    return {"value": metric.get("value")}
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
+
+def diff_stats(base, curr):
+    """Exact comparison of two itr-stats-v1 documents. Returns exit status."""
+    base_stats = base.get("stats", {})
+    curr_stats = curr.get("stats", {})
+
+    for name in sorted(set(base_stats) - set(curr_stats)):
+        print(f"note: only in baseline: {name}")
+    for name in sorted(set(curr_stats) - set(base_stats)):
+        print(f"note: only in current:  {name}")
+
+    mismatches = []
+    compared = 0
+    for name in sorted(set(base_stats) & set(curr_stats)):
+        b_fields = stat_fields(base_stats[name])
+        c_fields = stat_fields(curr_stats[name])
+        for field in sorted(set(b_fields) | set(c_fields)):
+            b = b_fields.get(field)
+            c = c_fields.get(field)
+            compared += 1
+            if b != c:
+                mismatches.append((name, field, b, c))
+
+    if compared == 0:
+        print("error: no comparable stats found", file=sys.stderr)
+        return 2
+    for name, field, b, c in mismatches:
+        print(f"{name} [{field}]  {b} -> {c}  <-- MISMATCH")
+    if mismatches:
+        print(f"\nFAIL: {len(mismatches)} stat value(s) differ", file=sys.stderr)
+        return 1
+    print(f"\nOK: all {compared} compared stat values identical")
+    return 0
+
+
+def diff_benchmarks(base_data, curr_data, counters, threshold, baseline_name):
+    base = load_benchmarks(base_data)
+    curr = load_benchmarks(curr_data)
 
     for name in sorted(set(base) - set(curr)):
         print(f"note: only in baseline: {name}")
@@ -72,7 +112,7 @@ def main():
                 continue
             delta_pct = 100.0 * (c - b) / b
             rows.append((name, counter, b, c, delta_pct))
-            if delta_pct < -args.threshold:
+            if delta_pct < -threshold:
                 regressions.append((name, counter, delta_pct))
 
     if not rows:
@@ -82,19 +122,57 @@ def main():
 
     width = max(len(f"{name} [{counter}]") for name, counter, *_ in rows)
     for name, counter, b, c, delta_pct in rows:
-        mark = " <-- REGRESSION" if delta_pct < -args.threshold else ""
+        mark = " <-- REGRESSION" if delta_pct < -threshold else ""
         print(f"{f'{name} [{counter}]':<{width}}  "
               f"{b:>14.4g} -> {c:>14.4g}  {delta_pct:+7.1f}%{mark}")
 
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} counter(s) regressed more than "
-            f"{args.threshold:g}% vs {args.baseline}",
+            f"{threshold:g}% vs {baseline_name}",
             file=sys.stderr,
         )
         return 1
-    print(f"\nOK: no counter regressed more than {args.threshold:g}%")
+    print(f"\nOK: no counter regressed more than {threshold:g}%")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline JSON (perf or itr-stats-v1)")
+    parser.add_argument("current", help="current JSON (perf or itr-stats-v1)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="max tolerated drop per perf counter, percent (default 10); "
+        "ignored for itr-stats-v1 inputs, which must match exactly",
+    )
+    parser.add_argument(
+        "--counters",
+        default=",".join(DEFAULT_COUNTERS),
+        help="comma-separated higher-is-better perf counters to compare "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+    counters = [c for c in args.counters.split(",") if c]
+
+    base_data = load_json(args.baseline)
+    curr_data = load_json(args.current)
+
+    base_is_stats = is_stats_schema(base_data)
+    curr_is_stats = is_stats_schema(curr_data)
+    if base_is_stats != curr_is_stats:
+        print(
+            "error: mixed input kinds (one itr-stats-v1, one google-benchmark)",
+            file=sys.stderr,
+        )
+        return 2
+    if base_is_stats:
+        return diff_stats(base_data, curr_data)
+    return diff_benchmarks(base_data, curr_data, counters, args.threshold,
+                           args.baseline)
 
 
 if __name__ == "__main__":

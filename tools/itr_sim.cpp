@@ -17,6 +17,9 @@
 // --ckpt-mode scratch|single|ladder picks the campaign's re-execution
 // strategy (default ladder; --ckpt-interval N sets the rung spacing, 0 =
 // auto).  All modes produce identical summaries; only the runtime differs.
+// --stats-json FILE / --trace-out FILE write observability output (stats
+// registry JSON / Chrome trace_event spans); --stats-full adds
+// diagnostic-class metrics, which vary with --threads and --ckpt-mode.
 //
 // Exit status: the simulated program's exit status (or 1 on abnormal end).
 #include <cstdio>
@@ -31,7 +34,10 @@
 #include "sim/pipeline.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace_builder.hpp"
+#include "itr/itr_cache.hpp"
+#include "obs/registry.hpp"
 #include "util/cli.hpp"
+#include "util/obs_flags.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
@@ -139,6 +145,7 @@ int main(int argc, char** argv) {
         fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
     const auto ckpt_interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
     const auto threads = util::resolve_threads(flags.get_u64("threads", 0));
+    util::ObsGuard obs_guard(flags);
     flags.reject_unknown();
 
     isa::Program prog;
@@ -176,6 +183,13 @@ int main(int argc, char** argv) {
     }
     sim::CycleSim cpu(prog, std::move(opt));
     cpu.run(max_insns);
+
+    // A single deterministic run: its machine activity is architectural.
+    sim::publish_pipeline_stats(cpu.stats(), obs::MetricClass::kArchitectural);
+    if (cpu.itr_unit() != nullptr) {
+      core::publish_itr_cache_stats(cpu.itr_unit()->cache(),
+                                    obs::MetricClass::kArchitectural);
+    }
 
     std::fputs(cpu.output().c_str(), stdout);
     if (!cpu.output().empty()) std::fputc('\n', stdout);
