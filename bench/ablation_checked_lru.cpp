@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
   const auto threads = bench::select_threads(flags);
   flags.get_bool("csv");
+  bench::select_stream_cache(flags);
   util::ObsGuard obs_guard(flags);
   flags.reject_unknown();
   bench::emit(flags, "Ablation: checked-first LRU replacement (paper Section 2.3)",

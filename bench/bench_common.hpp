@@ -29,8 +29,24 @@
 #include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/stream_cache.hpp"
 
 namespace itr::bench {
+
+/// Applies the --stream-cache flag for binaries whose builders replay
+/// CompactTrace streams: a directory overrides the cache location, "off"
+/// disables it (every run regenerates the stream).  Absent, the default
+/// resolution applies ($ITR_STREAM_CACHE_DIR, else ./.itr-stream-cache).
+/// Cached and regenerated streams are identical by construction, so the
+/// flag never changes output bytes, only wall-clock time.
+inline void select_stream_cache(const util::CliFlags& flags) {
+  const std::string dir = flags.get_string("stream-cache", "");
+  if (dir == "off" || dir == "none") {
+    workload::set_stream_cache_dir("");
+  } else if (!dir.empty()) {
+    workload::set_stream_cache_dir(dir);
+  }
+}
 
 /// Parses the comma-separated --benchmarks flag against `all`; returns `all`
 /// when the flag is absent.

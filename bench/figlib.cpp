@@ -6,12 +6,14 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+#include "itr/sweep_engine.hpp"
 #include "power/cacti.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
 #include "trace/trace_builder.hpp"
 #include "workload/generator.hpp"
 #include "workload/spec_profiles.hpp"
+#include "workload/stream_cache.hpp"
 
 namespace itr::bench {
 
@@ -142,15 +144,26 @@ util::Table coverage_sweep_table(const std::vector<std::string>& names,
   for (auto size : kSizeSweep) headers.push_back(std::to_string(size) + "sig%");
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
-    const auto prog = workload::generate_spec(name, insns * 2);
-    const auto stream = workload::collect_trace_stream(prog, insns);
+    const auto stream = workload::cached_trace_stream(name, insns);
+    // All 18 sweep points advance in one pass over the stream; the engine
+    // reproduces exactly the counters 18 replay_coverage passes would.
+    std::vector<core::ItrCacheConfig> configs;
+    configs.reserve(std::size(kAssocSweep) * std::size(kSizeSweep));
     for (const auto& point : kAssocSweep) {
-      table.begin_row().add(name).add(point.label);
       for (auto size : kSizeSweep) {
         core::ItrCacheConfig cfg;
         cfg.num_signatures = size;
         cfg.associativity = point.assoc;
-        const auto counters = core::replay_coverage(stream, cfg);
+        configs.push_back(cfg);
+      }
+    }
+    const auto results = core::SweepEngine::run(stream, configs);
+    core::publish_sweep_stats(results, obs::MetricClass::kArchitectural);
+    std::size_t next = 0;
+    for (const auto& point : kAssocSweep) {
+      table.begin_row().add(name).add(point.label);
+      for (std::size_t s = 0; s < std::size(kSizeSweep); ++s) {
+        const auto& counters = results[next++].counters;
         table.add(detection ? counters.detection_loss_percent()
                             : counters.recovery_loss_percent(),
                   2);
@@ -253,8 +266,7 @@ util::Table checkpoint_table(const std::vector<std::string>& names,
       "recovery-loss%", "recovered-by-ckpt%", "residual-loss%"};
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
-    const auto prog = workload::generate_spec(name, insns * 2);
-    const auto stream = workload::collect_trace_stream(prog, insns);
+    const auto stream = workload::cached_trace_stream(name, insns);
     for (const std::uint64_t threshold : {std::uint64_t{0}, std::uint64_t{8},
                                           std::uint64_t{32}, std::uint64_t{128}}) {
       core::ItrCacheConfig cfg;  // paper config
@@ -285,19 +297,27 @@ util::Table checked_lru_table(const std::vector<std::string>& names,
                                             "lru-rec%",           "checked-first-rec%"};
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
-    const auto prog = workload::generate_spec(name, insns * 2);
-    const auto stream = workload::collect_trace_stream(prog, insns);
+    const auto stream = workload::cached_trace_stream(name, insns);
+    // One engine pass over all four points; the checked-first configs take
+    // the engine's concrete-model path (stack inclusion holds only for LRU).
+    std::vector<core::ItrCacheConfig> configs;
     for (std::size_t size : {std::size_t{256}, std::size_t{1024}}) {
       core::ItrCacheConfig lru;
       lru.num_signatures = size;
       lru.associativity = 2;
       core::ItrCacheConfig checked = lru;
       checked.replacement = cache::Replacement::kPreferFlaggedLru;
-      const auto a = core::replay_coverage(stream, lru);
-      const auto b = core::replay_coverage(stream, checked);
+      configs.push_back(lru);
+      configs.push_back(checked);
+    }
+    const auto results = core::SweepEngine::run(stream, configs);
+    core::publish_sweep_stats(results, obs::MetricClass::kArchitectural);
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+      const auto& a = results[i].counters;
+      const auto& b = results[i + 1].counters;
       table.begin_row()
           .add(name)
-          .add(static_cast<std::uint64_t>(size))
+          .add(static_cast<std::uint64_t>(results[i].config.num_signatures))
           .add(a.detection_loss_percent(), 2)
           .add(b.detection_loss_percent(), 2)
           .add(a.recovery_loss_percent(), 2)
@@ -319,8 +339,7 @@ util::Table selective_redundancy_table(const std::vector<std::string>& names,
   const double insns_per_fetch = 3.0;  // measured average bundle size
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
-    const auto prog = workload::generate_spec(name, insns * 2);
-    const auto stream = workload::collect_trace_stream(prog, insns);
+    const auto stream = workload::cached_trace_stream(name, insns);
     core::ItrCacheConfig cfg;  // paper config
     const auto counters = core::replay_coverage(stream, cfg);
     const double total = static_cast<double>(counters.total_instructions);
@@ -349,9 +368,8 @@ util::Table trace_length_table(const std::vector<std::string>& names,
       "detection-loss%", "recovery-loss%", "itr-reads/1k-insns"};
   return by_benchmark(headers, names, threads,
                       [&](const std::string& name, util::Table& table) {
-    const auto prog = workload::generate_spec(name, insns * 2);
     for (const unsigned max_len : {4u, 8u, 16u, 32u}) {
-      const auto stream = workload::collect_trace_stream(prog, insns, max_len);
+      const auto stream = workload::cached_trace_stream(name, insns, max_len);
       core::ItrCacheConfig cfg;  // paper configuration
       const auto counters = core::replay_coverage(stream, cfg);
       const double traces = static_cast<double>(counters.total_traces);

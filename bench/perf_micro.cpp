@@ -18,10 +18,15 @@
 #include <string_view>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "fi/classify.hpp"
 #include "isa/decode.hpp"
 #include "isa/predecode.hpp"
+#include "itr/coverage.hpp"
 #include "itr/itr_cache.hpp"
+#include "itr/sweep_engine.hpp"
 #include "obs/registry.hpp"
 #include "sim/functional.hpp"
 #include "sim/memory.hpp"
@@ -29,6 +34,7 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
+#include "workload/stream_cache.hpp"
 
 namespace {
 
@@ -232,6 +238,112 @@ void BM_ObsParallelFor(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsParallelFor)->Arg(0)->Arg(1)->UseRealTime();
 
+/// The fig06/fig07 workload at paper-smoke scale, shared (and built once)
+/// across the coverage-sweep and stream-cache benchmarks.
+const std::vector<core::CompactTrace>& sweep_stream() {
+  static const std::vector<core::CompactTrace> stream =
+      workload::collect_trace_stream(workload::generate_spec("vortex", 1'200'000),
+                                     600'000);
+  return stream;
+}
+
+/// The 18-point fig06/fig07 design-space grid.
+std::vector<core::ItrCacheConfig> sweep_grid() {
+  std::vector<core::ItrCacheConfig> configs;
+  for (const std::size_t assoc : {1u, 2u, 4u, 8u, 16u, 0u}) {
+    for (const std::size_t size : {256u, 512u, 1024u}) {
+      core::ItrCacheConfig cfg;
+      cfg.num_signatures = size;
+      cfg.associativity = assoc;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+/// The seed fig06/fig07 replay loop: one full pass over the stream per
+/// sweep point.  Items = trace events x sweep points, so items_per_second
+/// is directly comparable with BM_CoverageSweepEngine (their ratio is the
+/// sweep speedup the acceptance criterion bounds).
+void BM_CoverageSweepLegacy(benchmark::State& state) {
+  const auto& stream = sweep_stream();
+  const auto configs = sweep_grid();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& cfg : configs) {
+      acc += core::replay_coverage(stream, cfg).hits;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()) *
+                          static_cast<std::int64_t>(configs.size()));
+  state.SetLabel(std::to_string(configs.size()) + " sequential replays, " +
+                 std::to_string(stream.size()) + " traces");
+}
+BENCHMARK(BM_CoverageSweepLegacy)->Unit(benchmark::kMillisecond);
+
+/// The single-pass engine advancing all 18 sweep points per trace event.
+void BM_CoverageSweepEngine(benchmark::State& state) {
+  const auto& stream = sweep_stream();
+  const auto configs = sweep_grid();
+  for (auto _ : state) {
+    const auto results = core::SweepEngine::run(stream, configs);
+    benchmark::DoNotOptimize(results[0].counters.hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()) *
+                          static_cast<std::int64_t>(configs.size()));
+  state.SetLabel("single pass, " + std::to_string(stream.size()) + " traces");
+}
+BENCHMARK(BM_CoverageSweepEngine)->Unit(benchmark::kMillisecond);
+
+/// Forming the trace stream from scratch (functional simulation) — the cost
+/// every figure binary paid per run before the stream cache.  Items = trace
+/// events, comparable with BM_StreamCacheLoad.
+void BM_StreamCollect(benchmark::State& state) {
+  const auto prog = workload::generate_spec("vortex", 1'200'000);
+  const std::size_t events = sweep_stream().size();
+  for (auto _ : state) {
+    const auto stream = workload::collect_trace_stream(prog, 600'000);
+    benchmark::DoNotOptimize(stream.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.SetLabel(std::to_string(events) + " traces (functional sim)");
+}
+BENCHMARK(BM_StreamCollect)->Unit(benchmark::kMillisecond);
+
+/// Loading the same stream from a warm cache file — what those binaries pay
+/// now.  The gap to BM_StreamCollect is the per-run saving.
+void BM_StreamCacheLoad(benchmark::State& state) {
+  const workload::StreamKey key{"vortex", 600'000, trace::kMaxTraceLength};
+  const std::string path = "perf_micro_stream_load.itrs.tmp";
+  workload::save_stream(path, key, sweep_stream());
+  for (auto _ : state) {
+    const auto loaded = workload::load_stream(path, key);
+    benchmark::DoNotOptimize(loaded->size());
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep_stream().size()));
+  state.SetLabel(std::to_string(sweep_stream().size()) + " traces (cache hit)");
+}
+BENCHMARK(BM_StreamCacheLoad)->Unit(benchmark::kMillisecond);
+
+/// One-time cost of writing the cache file (paid on the first cold run).
+void BM_StreamCacheSave(benchmark::State& state) {
+  const workload::StreamKey key{"vortex", 600'000, trace::kMaxTraceLength};
+  const std::string path = "perf_micro_stream_save.itrs.tmp";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::save_stream(path, key, sweep_stream()));
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep_stream().size()));
+}
+BENCHMARK(BM_StreamCacheSave)->Unit(benchmark::kMillisecond);
+
 fi::CampaignConfig campaign_config() {
   fi::CampaignConfig cfg;
   cfg.observation_cycles = 20'000;
@@ -403,6 +515,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> storage;
   storage.reserve(2);
   bool has_out = false;
+  bool allow_debug = false;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--threads") {
@@ -413,9 +526,33 @@ int main(int argc, char** argv) {
       threads = std::stoll(std::string(a.substr(a.find('=') + 1)));
       continue;
     }
+    if (a == "--allow-debug") {
+      allow_debug = true;
+      continue;
+    }
     if (a.rfind("--benchmark_out=", 0) == 0) has_out = true;
     args.push_back(argv[i]);
   }
+#ifdef NDEBUG
+  benchmark::AddCustomContext("itr_build_type", "release");
+#else
+  // A debug build measures the optimizer being off, not the library; numbers
+  // from it must never land in BENCH_perf.json by accident.
+  benchmark::AddCustomContext("itr_build_type", "debug");
+  if (!allow_debug) {
+    std::fprintf(stderr,
+                 "perf_micro: refusing to run: this binary was compiled "
+                 "without NDEBUG (a debug build), so its numbers are "
+                 "meaningless as a performance baseline.\n"
+                 "Build with a release config (e.g. cmake --preset release) "
+                 "or pass --allow-debug to run anyway.\n");
+    return 2;
+  }
+  std::fprintf(stderr,
+               "perf_micro: WARNING: running a debug build (--allow-debug); "
+               "do not commit the resulting BENCH_perf.json.\n");
+#endif
+  (void)allow_debug;
   if (!has_out) {
     storage.emplace_back("--benchmark_out=BENCH_perf.json");
     storage.emplace_back("--benchmark_out_format=json");

@@ -4,15 +4,16 @@
 //   $ ./cache_design_space --benchmark vortex --insns 4000000
 //   $ ./cache_design_space --benchmark gcc --sizes 128,256,512,1024,2048
 //
-// Collects the trace stream once and replays it through every requested
-// configuration, printing detection/recovery loss and hit rates.
+// Collects the trace stream once (cached on disk across runs) and replays
+// it through every requested configuration in a single sweep-engine pass,
+// printing detection/recovery loss and hit rates.
 #include <cstdio>
 #include <sstream>
 
-#include "itr/coverage.hpp"
+#include "itr/sweep_engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "workload/generator.hpp"
+#include "workload/stream_cache.hpp"
 
 int main(int argc, char** argv) {
   using namespace itr;
@@ -31,35 +32,41 @@ int main(int argc, char** argv) {
 
   std::printf("collecting trace stream for '%s' (%llu instructions)...\n",
               benchmark.c_str(), static_cast<unsigned long long>(insns));
-  const auto program = workload::generate_spec(benchmark, insns * 2);
-  const auto stream = workload::collect_trace_stream(program, insns);
+  const auto stream = workload::cached_trace_stream(benchmark, insns);
   std::printf("%zu dynamic traces collected\n\n", stream.size());
 
   util::Table table({"signatures", "assoc", "hit-rate%", "detection-loss%",
                      "recovery-loss%", "pending-at-end%"});
   const std::pair<const char*, std::size_t> assocs[] = {
       {"dm", 1}, {"2-way", 2}, {"4-way", 4}, {"8-way", 8}, {"16-way", 16}, {"fa", 0}};
+  std::vector<const char*> labels;
+  std::vector<core::ItrCacheConfig> configs;
   for (const std::size_t size : sizes) {
     for (const auto& [label, ways] : assocs) {
       if (ways > size) continue;
       core::ItrCacheConfig cfg;
       cfg.num_signatures = size;
       cfg.associativity = ways;
-      const auto c = core::replay_coverage(stream, cfg);
-      const double total = static_cast<double>(c.total_instructions);
-      table.begin_row()
-          .add(static_cast<std::uint64_t>(size))
-          .add(label)
-          .add(c.total_traces == 0 ? 0.0
-                                   : 100.0 * static_cast<double>(c.hits) /
-                                         static_cast<double>(c.total_traces),
-               2)
-          .add(c.detection_loss_percent(), 2)
-          .add(c.recovery_loss_percent(), 2)
-          .add(total == 0.0 ? 0.0
-                            : 100.0 * static_cast<double>(c.pending_instructions_at_end) / total,
-               2);
+      configs.push_back(cfg);
+      labels.push_back(label);
     }
+  }
+  const auto results = core::SweepEngine::run(stream, configs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& c = results[i].counters;
+    const double total = static_cast<double>(c.total_instructions);
+    table.begin_row()
+        .add(static_cast<std::uint64_t>(results[i].config.num_signatures))
+        .add(labels[i])
+        .add(c.total_traces == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(c.hits) /
+                                       static_cast<double>(c.total_traces),
+             2)
+        .add(c.detection_loss_percent(), 2)
+        .add(c.recovery_loss_percent(), 2)
+        .add(total == 0.0 ? 0.0
+                          : 100.0 * static_cast<double>(c.pending_instructions_at_end) / total,
+             2);
   }
   if (csv) {
     std::ostringstream os;

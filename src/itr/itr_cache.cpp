@@ -134,8 +134,14 @@ void ItrCache::finish() {
 }
 
 void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls) {
+  publish_itr_cache_stats(cache.counters(), cache.unreferenced_evictions_per_set(),
+                          cls);
+}
+
+void publish_itr_cache_stats(const CoverageCounters& c,
+                             const std::vector<std::uint64_t>& per_set,
+                             obs::MetricClass cls) {
   if (!obs::stats_enabled()) return;
-  const CoverageCounters& c = cache.counters();
   obs::count("itr_cache.traces", c.total_traces, cls);
   obs::count("itr_cache.hits", c.hits, cls);
   obs::count("itr_cache.misses", c.misses, cls);
@@ -150,7 +156,6 @@ void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls) {
   // observation per eviction at its set index.  The geometry is fixed —
   // 64 bins of 16 sets covering the largest configuration (1024 sets) — so
   // sweeps over different cache sizes feed one consistent histogram.
-  const auto& per_set = cache.unreferenced_evictions_per_set();
   const obs::HistogramSpec spec{/*bin_width=*/16, /*num_bins=*/64};
   for (std::size_t set = 0; set < per_set.size(); ++set) {
     if (per_set[set] != 0) {

@@ -155,4 +155,12 @@ class ItrCache {
 /// publish_pipeline_stats.  No-op when stats are disabled.
 void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls);
 
+/// Counters-level overload shared with the sweep engine: publishes one
+/// configuration's coverage counters and per-set unreferenced-eviction tally
+/// (`per_set[i]` = evictions in cache set i) under the same metric names, so
+/// engine-driven and per-config replays feed identical registry contents.
+void publish_itr_cache_stats(const CoverageCounters& counters,
+                             const std::vector<std::uint64_t>& per_set,
+                             obs::MetricClass cls);
+
 }  // namespace itr::core

@@ -1,0 +1,278 @@
+#include "itr/sweep_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace_event.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::core {
+
+namespace {
+
+// Trace start PCs are 8-byte aligned, matching ItrCacheConfig's fixed
+// key_shift of 3 (see to_cache_config in itr_cache.cpp).
+constexpr unsigned kKeyShift = 3;
+
+struct Geometry {
+  std::size_t ways;
+  std::size_t num_sets;
+};
+
+Geometry geometry_of(const ItrCacheConfig& cfg) {
+  if (cfg.num_signatures == 0 ||
+      (cfg.num_signatures & (cfg.num_signatures - 1)) != 0) {
+    throw std::invalid_argument("sweep: num_signatures must be a nonzero power of two");
+  }
+  const std::size_t ways =
+      cfg.associativity == 0 ? cfg.num_signatures : cfg.associativity;
+  if (ways > cfg.num_signatures || cfg.num_signatures % ways != 0) {
+    throw std::invalid_argument("sweep: associativity incompatible with num_signatures");
+  }
+  return {ways, cfg.num_signatures / ways};
+}
+
+}  // namespace
+
+/// All true-LRU configurations indexing with the same set count share one
+/// per-set recency stack, truncated at the largest member's way count.
+struct SweepEngine::StackGroup {
+  struct Member {
+    std::size_t ways;
+    std::size_t result_index;
+    // Per-member accumulators (the config-dependent CoverageCounters fields).
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t detection_loss_instructions = 0;
+    std::uint64_t recovery_loss_instructions = 0;
+    std::uint64_t unreferenced_evictions = 0;
+    std::vector<std::uint64_t> unref_per_set;
+  };
+
+  std::size_t num_sets = 1;
+  std::size_t max_ways = 1;
+  std::vector<Member> members;
+
+  // SoA stack storage: per set, max_ways entries in MRU-to-LRU order.
+  // Entry j of set s is keys[s * max_ways + j]; its per-member line state
+  // (the installer's pending instruction count and the referenced bit) lives
+  // in rows of width members.size() at the same entry index.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> count;      ///< live entries per set
+  std::vector<std::uint64_t> pending;    ///< (entry, member) -> pending insns
+  std::vector<std::uint8_t> referenced;  ///< (entry, member) -> referenced bit
+
+  // Scratch for the state row of the entry being moved to the front.
+  std::vector<std::uint64_t> tmp_pending;
+  std::vector<std::uint8_t> tmp_referenced;
+
+  void allocate() {
+    const std::size_t entries = num_sets * max_ways;
+    const std::size_t m = members.size();
+    keys.assign(entries, 0);
+    count.assign(num_sets, 0);
+    pending.assign(entries * m, 0);
+    referenced.assign(entries * m, 0);
+    tmp_pending.assign(m, 0);
+    tmp_referenced.assign(m, 0);
+    for (Member& member : members) member.unref_per_set.assign(num_sets, 0);
+  }
+
+  void step(std::uint64_t key, std::uint64_t insns) {
+    const std::size_t set =
+        static_cast<std::size_t>((key >> kKeyShift) & (num_sets - 1));
+    const std::size_t base = set * max_ways;
+    const std::size_t cnt = count[set];
+    const std::size_t m = members.size();
+
+    // Stack distance: position of the key in its set's recency order.
+    std::size_t found = cnt;  // == cnt means absent
+    for (std::size_t j = 0; j < cnt; ++j) {
+      if (keys[base + j] == key) {
+        found = j;
+        break;
+      }
+    }
+    const bool present = found != cnt;
+
+    // Capture the moved entry's per-member state before the shift below
+    // overwrites its row.
+    if (present) {
+      const std::size_t row = (base + found) * m;
+      for (std::size_t i = 0; i < m; ++i) {
+        tmp_pending[i] = pending[row + i];
+        tmp_referenced[i] = referenced[row + i];
+      }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+      Member& member = members[i];
+      const std::size_t w = member.ways;
+      if (present && found < w) {
+        // Stack distance <= ways: a hit in this member.  The first hit on an
+        // unchecked line retroactively grants the installer detection
+        // coverage (ItrCache::probe's cleared_unchecked path).
+        ++member.hits;
+        tmp_referenced[i] = 1;
+        continue;
+      }
+      // Miss: the instance has no counterpart to check before it commits.
+      ++member.misses;
+      member.recovery_loss_instructions += insns;
+      // The install evicts this member's LRU line — the key at stack
+      // position `ways` — once the set holds that many distinct keys.
+      if (cnt >= w) {
+        const std::size_t victim = (base + w - 1) * m + i;
+        if (referenced[victim] == 0) {
+          member.detection_loss_instructions += pending[victim];
+          ++member.unreferenced_evictions;
+          ++member.unref_per_set[set];
+        }
+      }
+      // Fresh line state for the incoming instance.
+      tmp_pending[i] = insns;
+      tmp_referenced[i] = 0;
+    }
+
+    // Move the key to the front (install or recency refresh): entries above
+    // it slide down one position; on a full stack the last entry drops off —
+    // it just left the largest member, so it is in no member at all.
+    const std::size_t shift = present ? found : std::min(cnt, max_ways - 1);
+    if (shift > 0) {
+      std::copy_backward(keys.begin() + static_cast<std::ptrdiff_t>(base),
+                         keys.begin() + static_cast<std::ptrdiff_t>(base + shift),
+                         keys.begin() + static_cast<std::ptrdiff_t>(base + shift + 1));
+      const std::size_t row = base * m;
+      std::copy_backward(pending.begin() + static_cast<std::ptrdiff_t>(row),
+                         pending.begin() + static_cast<std::ptrdiff_t>(row + shift * m),
+                         pending.begin() + static_cast<std::ptrdiff_t>(row + (shift + 1) * m));
+      std::copy_backward(
+          referenced.begin() + static_cast<std::ptrdiff_t>(row),
+          referenced.begin() + static_cast<std::ptrdiff_t>(row + shift * m),
+          referenced.begin() + static_cast<std::ptrdiff_t>(row + (shift + 1) * m));
+    }
+    keys[base] = key;
+    const std::size_t front = base * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      pending[front + i] = tmp_pending[i];
+      referenced[front + i] = tmp_referenced[i];
+    }
+    if (!present) {
+      count[set] = static_cast<std::uint32_t>(std::min(cnt + 1, max_ways));
+    }
+  }
+
+  /// Instructions still unreferenced in member `i` at end of run: the
+  /// member's content is the top `ways` entries of each set's stack.
+  std::uint64_t pending_at_end(std::size_t i) const {
+    const std::size_t m = members.size();
+    const std::size_t w = members[i].ways;
+    std::uint64_t sum = 0;
+    for (std::size_t set = 0; set < num_sets; ++set) {
+      const std::size_t base = set * max_ways;
+      const std::size_t depth = std::min<std::size_t>(count[set], w);
+      for (std::size_t j = 0; j < depth; ++j) {
+        const std::size_t row = (base + j) * m + i;
+        if (referenced[row] == 0) sum += pending[row];
+      }
+    }
+    return sum;
+  }
+};
+
+SweepEngine::SweepEngine(const std::vector<ItrCacheConfig>& configs) {
+  results_.resize(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const ItrCacheConfig& cfg = configs[c];
+    results_[c].config = cfg;
+    const Geometry geo = geometry_of(cfg);
+    if (cfg.replacement != cache::Replacement::kLru) {
+      // Stack inclusion does not hold for checked-first eviction; advance a
+      // concrete cache model for these points in the same pass.
+      fallback_.push_back(std::make_unique<ItrCache>(cfg));
+      fallback_result_.push_back(c);
+      continue;
+    }
+    auto it = std::find_if(groups_.begin(), groups_.end(),
+                           [&](const StackGroup& g) { return g.num_sets == geo.num_sets; });
+    if (it == groups_.end()) {
+      groups_.emplace_back();
+      it = std::prev(groups_.end());
+      it->num_sets = geo.num_sets;
+    }
+    it->max_ways = std::max(it->max_ways, geo.ways);
+    StackGroup::Member member;
+    member.ways = geo.ways;
+    member.result_index = c;
+    it->members.push_back(std::move(member));
+  }
+  for (StackGroup& group : groups_) group.allocate();
+}
+
+SweepEngine::~SweepEngine() = default;
+
+void SweepEngine::step(const CompactTrace& trace) {
+  for (StackGroup& group : groups_) {
+    group.step(trace.start_pc, trace.num_instructions);
+  }
+  if (!fallback_.empty()) {
+    trace::TraceRecord rec;
+    rec.start_pc = trace.start_pc;
+    rec.num_instructions = trace.num_instructions;
+    rec.first_insn_index = total_instructions_;
+    for (auto& cache : fallback_) {
+      if (cache->probe(rec).outcome == ProbeOutcome::kMiss) cache->install(rec);
+    }
+  }
+  total_instructions_ += trace.num_instructions;
+  ++total_traces_;
+}
+
+void SweepEngine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const StackGroup& group : groups_) {
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      const StackGroup::Member& member = group.members[i];
+      SweepResult& out = results_[member.result_index];
+      CoverageCounters& c = out.counters;
+      c.total_instructions = total_instructions_;
+      c.total_traces = total_traces_;
+      c.cache_reads = total_traces_;  // one probe per trace
+      c.hits = member.hits;
+      c.misses = member.misses;
+      c.cache_writes = member.misses;  // one install per miss
+      c.detection_loss_instructions = member.detection_loss_instructions;
+      c.recovery_loss_instructions = member.recovery_loss_instructions;
+      c.unreferenced_evictions = member.unreferenced_evictions;
+      c.pending_instructions_at_end = group.pending_at_end(i);
+      out.unref_evictions_per_set = member.unref_per_set;
+    }
+  }
+  for (std::size_t f = 0; f < fallback_.size(); ++f) {
+    ItrCache& cache = *fallback_[f];
+    cache.finish();
+    SweepResult& out = results_[fallback_result_[f]];
+    out.counters = cache.counters();
+    out.unref_evictions_per_set = cache.unreferenced_evictions_per_set();
+  }
+}
+
+std::vector<SweepResult> SweepEngine::run(const std::vector<CompactTrace>& stream,
+                                          const std::vector<ItrCacheConfig>& configs) {
+  obs::Span span("sweep-coverage", "itr");
+  SweepEngine engine(configs);
+  for (const CompactTrace& trace : stream) engine.step(trace);
+  engine.finish();
+  return engine.results();
+}
+
+void publish_sweep_stats(const std::vector<SweepResult>& results,
+                         obs::MetricClass cls) {
+  if (!obs::stats_enabled()) return;
+  for (const SweepResult& result : results) {
+    publish_itr_cache_stats(result.counters, result.unref_evictions_per_set, cls);
+  }
+}
+
+}  // namespace itr::core

@@ -1,0 +1,109 @@
+// Single-pass, config-parallel coverage replay over a CompactTrace stream
+// (the Mattson all-associativity technique applied to the ITR cache).
+//
+// The Section 3 design-space study crosses associativities {dm,2,4,8,16,fa}
+// with {256,512,1024} signatures: 18 configurations, which the naive driver
+// replays as 18 independent passes over the same stream.  This engine
+// advances every sweep point per trace event in ONE pass, and reproduces —
+// field for field — the CoverageCounters each independent replay_coverage
+// pass produces (a differential test enforces this).
+//
+// Why a shared structure is exact, not approximate: under the coverage
+// protocol every probe is followed by an install on miss, so after each
+// event the probed start PC is the most recently used line of its set in
+// every configuration.  For true LRU that means the content of a cache with
+// S sets and A ways is exactly the A most-recently-referenced distinct keys
+// of each set — the classic stack-inclusion property.  Configurations with
+// the same set count S therefore share one per-set recency stack:
+//
+//   * a reference whose stack distance is d (1-based position of the key in
+//     its set's recency order) HITS every member with A >= d and MISSES
+//     every member with A < d;
+//   * on a miss in member A the victim is the key at stack position A (it
+//     slides to position A+1 when the referenced key moves to the front),
+//     which is precisely the line true LRU would evict;
+//   * a key at position > A can never re-enter member A's content except by
+//     missing (positions of unreferenced keys only grow), so per-member
+//     line bookkeeping (the referenced bit and the installer's pending
+//     instruction count, which drive detection-loss accounting) is installed
+//     fresh on every miss and never read stale.
+//
+// The 18-point paper grid collapses to 8 stack groups (set counts 1, 16,
+// 32, 64, 128, 256, 512, 1024), each holding at most 3 member
+// configurations, and each stack is truncated at its largest member's way
+// count — a key beyond that position is in no member, so dropping it is
+// indistinguishable from keeping it.
+//
+// Non-LRU replacement policies (kPreferFlaggedLru evicts checked lines
+// first, breaking stack inclusion) fall back to a concrete ItrCache model
+// advanced in the same single pass over the stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "itr/coverage.hpp"
+#include "itr/itr_cache.hpp"
+
+namespace itr::core {
+
+/// One sweep point's outcome: the exact counters replay_coverage would have
+/// produced, plus the per-set unreferenced-eviction tally (sized num_sets)
+/// that feeds the itr_cache.unreferenced_evictions_by_set histogram.
+struct SweepResult {
+  ItrCacheConfig config;
+  CoverageCounters counters;
+  std::vector<std::uint64_t> unref_evictions_per_set;
+};
+
+class SweepEngine {
+ public:
+  /// Validates every configuration (same constraints as ItrCache: power-of-
+  /// two line count, associativity dividing it); throws std::invalid_argument
+  /// otherwise.  Results are reported in the order configs were given.
+  explicit SweepEngine(const std::vector<ItrCacheConfig>& configs);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Advances every sweep point by one trace event.
+  void step(const CompactTrace& trace);
+
+  /// Finalizes pending accounting (ItrCache::finish equivalent); call once,
+  /// after the last step and before results().
+  void finish();
+
+  /// Per-config outcomes, input order.  Valid only after finish().
+  const std::vector<SweepResult>& results() const noexcept { return results_; }
+
+  /// Convenience: one pass over `stream` through every config.
+  static std::vector<SweepResult> run(const std::vector<CompactTrace>& stream,
+                                      const std::vector<ItrCacheConfig>& configs);
+
+ private:
+  struct StackGroup;
+
+  void step_stack_groups(const CompactTrace& trace);
+
+  std::vector<StackGroup> groups_;               ///< LRU configs, by set count
+  std::vector<std::unique_ptr<ItrCache>> fallback_;  ///< non-LRU configs
+  std::vector<std::size_t> fallback_result_;     ///< result index per fallback
+  std::vector<SweepResult> results_;
+  // Stream-wide quantities identical for every config (each probe counts one
+  // read, one trace, and the trace's instructions in every configuration).
+  std::uint64_t total_instructions_ = 0;
+  std::uint64_t total_traces_ = 0;
+  bool finished_ = false;
+};
+
+/// Publishes one sweep's per-config results to the obs registry with exactly
+/// the metric names, classes and histogram geometry publish_itr_cache_stats
+/// uses, so a sweep driven by the engine and one driven by per-config
+/// replay_coverage produce byte-identical stats JSON (the registry merge is
+/// commutative).  No-op when stats are disabled.
+void publish_sweep_stats(const std::vector<SweepResult>& results,
+                         obs::MetricClass cls);
+
+}  // namespace itr::core

@@ -1,0 +1,268 @@
+#include "workload/stream_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "workload/generator.hpp"
+
+namespace itr::workload {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'T', 'R', 'S', 'T', 'R', 'M', '1'};
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t key_hash(const StreamKey& key) {
+  std::uint64_t h = fnv1a(&kStreamGeneratorVersion, sizeof(kStreamGeneratorVersion));
+  h = fnv1a(key.benchmark.data(), key.benchmark.size(), h);
+  h = fnv1a(&key.insns, sizeof(key.insns), h);
+  const std::uint32_t len = key.max_trace_length;
+  return fnv1a(&len, sizeof(len), h);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Bounds-checked little-endian/varint reader over a loaded file image.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool read_bytes(void* out, std::size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& out) {
+    unsigned char b[4];
+    if (!read_bytes(b, 4)) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) out |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& out) {
+    unsigned char b[8];
+    if (!read_bytes(b, 8)) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return true;
+  }
+
+  bool read_varint(std::uint64_t& out) {
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) return false;
+      const auto byte = static_cast<unsigned char>(data_[pos_++]);
+      out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  const char* here() const noexcept { return data_ + pos_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::mutex g_dir_mutex;
+std::string g_dir;     // NOLINT: guarded by g_dir_mutex
+bool g_dir_set = false;
+
+}  // namespace
+
+std::string stream_cache_dir() {
+  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  if (!g_dir_set) {
+    const char* env = std::getenv("ITR_STREAM_CACHE_DIR");
+    g_dir = env != nullptr ? env : ".itr-stream-cache";
+    g_dir_set = true;
+  }
+  return g_dir;
+}
+
+void set_stream_cache_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  g_dir = std::move(dir);
+  g_dir_set = true;
+}
+
+std::string stream_cache_filename(const StreamKey& key) {
+  std::ostringstream name;
+  name << key.benchmark << '_' << key.insns << '_' << key.max_trace_length << '_'
+       << std::hex << key_hash(key) << ".itrs";
+  return name.str();
+}
+
+bool save_stream(const std::string& path, const StreamKey& key,
+                 const std::vector<core::CompactTrace>& stream) {
+  // SoA payload: all start-PC deltas, then all lengths, so each section
+  // compresses into near-minimal varints.
+  std::string payload;
+  payload.reserve(stream.size() * 3);
+  std::uint64_t prev_pc = 0;
+  for (const core::CompactTrace& trace : stream) {
+    put_varint(payload, zigzag(static_cast<std::int64_t>(trace.start_pc - prev_pc)));
+    prev_pc = trace.start_pc;
+  }
+  for (const core::CompactTrace& trace : stream) {
+    put_varint(payload, trace.num_instructions);
+  }
+
+  std::string file;
+  file.reserve(payload.size() + 64 + key.benchmark.size());
+  file.append(kMagic, sizeof(kMagic));
+  put_u64(file, key_hash(key));
+  put_u64(file, key.insns);
+  put_u32(file, key.max_trace_length);
+  put_u32(file, static_cast<std::uint32_t>(key.benchmark.size()));
+  file.append(key.benchmark);
+  put_u64(file, stream.size());
+  put_u64(file, fnv1a(payload.data(), payload.size()));
+  file.append(payload);
+
+  // Unique temp name + atomic rename: concurrent writers race benignly (all
+  // write identical bytes) and readers never see a torn file.
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << '.'
+           << reinterpret_cast<std::uintptr_t>(&file);
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.write(file.data(), static_cast<std::streamsize>(file.size()))) {
+      std::error_code rm_ec;
+      std::filesystem::remove(tmp, rm_ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& path,
+                                                           const StreamKey& key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string file = buffer.str();
+
+  Cursor cursor(file.data(), file.size());
+  char magic[8];
+  if (!cursor.read_bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t stored_hash = 0, stored_insns = 0;
+  std::uint32_t stored_len = 0, name_len = 0;
+  if (!cursor.read_u64(stored_hash) || !cursor.read_u64(stored_insns) ||
+      !cursor.read_u32(stored_len) || !cursor.read_u32(name_len)) {
+    return std::nullopt;
+  }
+  if (stored_hash != key_hash(key) || stored_insns != key.insns ||
+      stored_len != key.max_trace_length || name_len != key.benchmark.size() ||
+      cursor.remaining() < name_len ||
+      std::memcmp(cursor.here(), key.benchmark.data(), name_len) != 0) {
+    return std::nullopt;
+  }
+  std::string name(name_len, '\0');
+  cursor.read_bytes(name.data(), name_len);
+
+  std::uint64_t count = 0, payload_hash = 0;
+  if (!cursor.read_u64(count) || !cursor.read_u64(payload_hash)) return std::nullopt;
+  if (payload_hash != fnv1a(cursor.here(), cursor.remaining())) return std::nullopt;
+  // Each event costs at least two payload bytes (one per section): a cheap
+  // sanity bound against absurd counts before the reserve below.
+  if (count > cursor.remaining() && count != 0) return std::nullopt;
+
+  std::vector<core::CompactTrace> stream;
+  stream.reserve(static_cast<std::size_t>(count));
+  std::uint64_t pc = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!cursor.read_varint(delta)) return std::nullopt;
+    pc += static_cast<std::uint64_t>(unzigzag(delta));
+    stream.push_back(core::CompactTrace{pc, 0});
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t n = 0;
+    if (!cursor.read_varint(n) || n > UINT32_MAX) return std::nullopt;
+    stream[static_cast<std::size_t>(i)].num_instructions =
+        static_cast<std::uint32_t>(n);
+  }
+  if (cursor.remaining() != 0) return std::nullopt;
+  return stream;
+}
+
+std::vector<core::CompactTrace> cached_trace_stream(const std::string& benchmark,
+                                                    std::uint64_t insns,
+                                                    unsigned max_trace_length) {
+  const StreamKey key{benchmark, insns, max_trace_length};
+  const std::string dir = stream_cache_dir();
+  std::string path;
+  if (!dir.empty()) {
+    path = (std::filesystem::path(dir) / stream_cache_filename(key)).string();
+    if (auto cached = load_stream(path, key)) return std::move(*cached);
+  }
+  // Cache miss: one functional run.  The x2 sizing guarantees the program
+  // never exits before the instruction budget truncates the run — the
+  // canonical (benchmark, insns) stream every caller shares.
+  const auto prog = generate_spec(benchmark, insns * 2);
+  auto stream = collect_trace_stream(prog, insns, max_trace_length);
+  if (!dir.empty()) save_stream(path, key, stream);
+  return stream;
+}
+
+}  // namespace itr::workload

@@ -1,0 +1,88 @@
+// Persistent cache of CompactTrace streams.
+//
+// Forming a coverage-replay stream costs one functional simulation of the
+// workload (tens of millions of instructions for the paper-sized figures);
+// replaying it through the ITR cache design space costs milliseconds with
+// the sweep engine.  Every figure and ablation binary used to pay the
+// simulation again just to regenerate the identical stream.  This cache
+// writes the stream to disk once per (benchmark, insns, max_trace_length,
+// generator-version) key and loads it on every later run — of the same
+// binary or any other.
+//
+// File format ("ITRSTRM1", little-endian):
+//
+//   magic          8 bytes  "ITRSTRM1"
+//   key_hash       u64      FNV-1a over (generator version, benchmark name,
+//                           insns, max_trace_length) — any mismatch in the
+//                           invalidation key changes the filename AND fails
+//                           this check
+//   insns          u64      } the generation parameters, stored redundantly
+//   max_trace_len  u32      } so a stale file never masquerades as valid
+//   name_len u32 + bytes    benchmark name
+//   count          u64      number of trace events
+//   payload_hash   u64      FNV-1a over the encoded payload bytes
+//   payload                 SoA: `count` zigzag-varint start-PC deltas
+//                           (consecutive trace starts are near each other,
+//                           so deltas are 1-2 bytes), then `count` varint
+//                           instruction counts (almost always 1 byte)
+//
+// Readers stream-decode the payload from one buffered read; a file that is
+// truncated, corrupt, or keyed differently is ignored (and rewritten), never
+// trusted.  Writers create a unique temp file and atomically rename it into
+// place, so concurrent producers (ctest -j, parallel figure sweeps) are safe
+// and readers only ever observe complete files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "itr/coverage.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::workload {
+
+/// Bump when generated program code or trace formation changes: the version
+/// participates in every cache key, so stale streams self-invalidate.
+inline constexpr std::uint32_t kStreamGeneratorVersion = 1;
+
+/// The invalidation key: one cached stream per distinct tuple.
+struct StreamKey {
+  std::string benchmark;
+  std::uint64_t insns = 0;
+  unsigned max_trace_length = trace::kMaxTraceLength;
+};
+
+/// Directory used by cached_trace_stream: the last set_stream_cache_dir()
+/// value, else $ITR_STREAM_CACHE_DIR, else ".itr-stream-cache" under the
+/// current working directory.  An empty string disables the cache entirely
+/// (every call regenerates).
+std::string stream_cache_dir();
+void set_stream_cache_dir(std::string dir);
+
+/// The cache filename (without directory) for `key`.
+std::string stream_cache_filename(const StreamKey& key);
+
+/// Serializes `stream` for `key` at `path` (temp file + atomic rename).
+/// Returns false on I/O failure; the cache is best-effort, so callers treat
+/// a failed save as a miss, not an error.
+bool save_stream(const std::string& path, const StreamKey& key,
+                 const std::vector<core::CompactTrace>& stream);
+
+/// Deserializes a stream previously saved for `key`; std::nullopt when the
+/// file is absent, truncated, corrupt, or was written for a different key.
+std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& path,
+                                                           const StreamKey& key);
+
+/// The one entry point the figure/ablation drivers use: returns the stream
+/// collect_trace_stream(generate_spec(benchmark, insns * 2), insns,
+/// max_trace_length) produces, loading it from the cache when a valid file
+/// exists and generating + saving it otherwise.  The (benchmark, insns)
+/// pair is the canonical key: every caller asking for the same workload gets
+/// the identical stream by construction.
+std::vector<core::CompactTrace> cached_trace_stream(
+    const std::string& benchmark, std::uint64_t insns,
+    unsigned max_trace_length = trace::kMaxTraceLength);
+
+}  // namespace itr::workload

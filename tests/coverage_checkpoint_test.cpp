@@ -1,0 +1,150 @@
+// replay_with_checkpoints (paper Section 2.3): checkpoint cadence under the
+// unchecked-lines gate and the min-interval spacing, the interval statistics,
+// the recoverable-by-rollback accounting, and agreement of the embedded
+// coverage counters with a plain replay_coverage of the same stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "itr/coverage.hpp"
+#include "workload/stream_cache.hpp"
+
+namespace itr {
+namespace {
+
+using core::CheckpointStats;
+using core::CompactTrace;
+using core::CoverageCounters;
+using core::ItrCacheConfig;
+
+/// `passes` sweeps over `unique` distinct traces of fixed length `len`.
+std::vector<CompactTrace> cyclic_stream(std::size_t unique, std::size_t passes,
+                                        std::uint32_t len = 5) {
+  std::vector<CompactTrace> stream;
+  stream.reserve(unique * passes);
+  for (std::size_t p = 0; p < passes; ++p) {
+    for (std::size_t i = 0; i < unique; ++i) {
+      stream.push_back(CompactTrace{0x1000 + i * 64, len});
+    }
+  }
+  return stream;
+}
+
+ItrCacheConfig small_cfg(std::size_t size, std::size_t assoc) {
+  ItrCacheConfig cfg;
+  cfg.num_signatures = size;
+  cfg.associativity = assoc;
+  return cfg;
+}
+
+void expect_counters_equal(const CoverageCounters& want,
+                           const CoverageCounters& got) {
+  EXPECT_EQ(want.total_instructions, got.total_instructions);
+  EXPECT_EQ(want.total_traces, got.total_traces);
+  EXPECT_EQ(want.hits, got.hits);
+  EXPECT_EQ(want.misses, got.misses);
+  EXPECT_EQ(want.cache_reads, got.cache_reads);
+  EXPECT_EQ(want.cache_writes, got.cache_writes);
+  EXPECT_EQ(want.detection_loss_instructions, got.detection_loss_instructions);
+  EXPECT_EQ(want.recovery_loss_instructions, got.recovery_loss_instructions);
+  EXPECT_EQ(want.pending_instructions_at_end, got.pending_instructions_at_end);
+  EXPECT_EQ(want.unreferenced_evictions, got.unreferenced_evictions);
+}
+
+TEST(CoverageCheckpoint, DeterministicCadenceWithOpenGate) {
+  // 100 traces of length 10 = 1000 dynamic instructions.  With the
+  // unchecked-lines gate wide open, a checkpoint fires at every trace
+  // boundary that is >= min_interval past the previous one: indices 50,
+  // 100, ..., 1000 — twenty checkpoints, every interval exactly 50.
+  const auto stream = cyclic_stream(100, 1, 10);
+  const auto stats = core::replay_with_checkpoints(
+      stream, small_cfg(256, 2), /*unchecked_threshold=*/1u << 20,
+      /*min_interval=*/50);
+  EXPECT_EQ(stats.checkpoints_taken, 20u);
+  EXPECT_DOUBLE_EQ(stats.mean_checkpoint_interval, 50.0);
+}
+
+TEST(CoverageCheckpoint, MinIntervalSpacesCheckpoints) {
+  const auto stream = cyclic_stream(64, 8, 5);  // 2560 instructions
+  const auto cfg = small_cfg(256, 2);
+  const auto tight = core::replay_with_checkpoints(stream, cfg, 1u << 20, 10);
+  const auto loose = core::replay_with_checkpoints(stream, cfg, 1u << 20, 500);
+  EXPECT_GT(tight.checkpoints_taken, loose.checkpoints_taken);
+  EXPECT_GT(loose.checkpoints_taken, 0u);
+  // The mean interval can never be below the configured spacing.
+  EXPECT_GE(tight.mean_checkpoint_interval, 10.0);
+  EXPECT_GE(loose.mean_checkpoint_interval, 500.0);
+  // Intervals are measured in whole traces here, so the means are exact
+  // multiples of the trace length.
+  EXPECT_DOUBLE_EQ(tight.mean_checkpoint_interval, 10.0);
+}
+
+TEST(CoverageCheckpoint, ThresholdZeroStarvesOnColdLines) {
+  // The reproduction finding documented in coverage.hpp: one cold trace,
+  // never re-executed and never evicted, keeps unchecked_lines >= 1 for the
+  // rest of the run, so threshold 0 never checkpoints after it installs —
+  // while threshold 1 tolerates it.
+  std::vector<CompactTrace> stream;
+  stream.push_back(CompactTrace{0xdead0, 5});  // cold, seen exactly once
+  const auto hot = cyclic_stream(16, 50, 5);
+  stream.insert(stream.end(), hot.begin(), hot.end());
+  const auto cfg = small_cfg(256, 2);
+  const auto strict = core::replay_with_checkpoints(stream, cfg, 0, 50);
+  const auto relaxed = core::replay_with_checkpoints(stream, cfg, 1, 50);
+  EXPECT_EQ(strict.checkpoints_taken, 0u);
+  EXPECT_GT(relaxed.checkpoints_taken, 0u);
+}
+
+TEST(CoverageCheckpoint, RecoverableIsFirstPassLossWhenEverythingRecurs) {
+  // Every miss happens on pass 1 and every line is re-referenced on pass 2,
+  // so the full recovery loss is checkpoint-recoverable.
+  const auto stream = cyclic_stream(32, 3, 5);
+  const auto stats =
+      core::replay_with_checkpoints(stream, small_cfg(256, 2), 0, 50'000);
+  EXPECT_EQ(stats.coverage.misses, 32u);
+  EXPECT_EQ(stats.coverage.recovery_loss_instructions, 32u * 5u);
+  EXPECT_EQ(stats.recoverable_by_checkpoint_instructions, 32u * 5u);
+}
+
+TEST(CoverageCheckpoint, RecoverableNeverExceedsRecoveryLoss) {
+  // Under thrash (more unique traces than lines) some missed instances are
+  // evicted before any re-reference; those stay unrecoverable.
+  for (const std::size_t unique : {8u, 64u, 512u}) {
+    const auto stream = cyclic_stream(unique, 4, 7);
+    const auto stats =
+        core::replay_with_checkpoints(stream, small_cfg(16, 2), 0, 1'000);
+    EXPECT_LE(stats.recoverable_by_checkpoint_instructions,
+              stats.coverage.recovery_loss_instructions)
+        << unique;
+  }
+}
+
+TEST(CoverageCheckpoint, CoverageMatchesPlainReplay) {
+  // The checkpoint machinery must be a pure observer: its embedded coverage
+  // counters equal replay_coverage byte for byte, whatever the knobs.
+  workload::set_stream_cache_dir("");  // gtest binaries write no files
+  const auto stream = workload::cached_trace_stream("vortex", 60'000);
+  const auto cfg = small_cfg(256, 2);
+  const CoverageCounters plain = core::replay_coverage(stream, cfg);
+  for (const std::uint64_t threshold : {0u, 4u, 1u << 20}) {
+    for (const std::uint64_t interval : {0u, 50u, 50'000u}) {
+      const auto stats =
+          core::replay_with_checkpoints(stream, cfg, threshold, interval);
+      expect_counters_equal(plain, stats.coverage);
+    }
+  }
+}
+
+TEST(CoverageCheckpoint, EmptyStream) {
+  const auto stats =
+      core::replay_with_checkpoints({}, small_cfg(256, 2), 0, 50'000);
+  EXPECT_EQ(stats.checkpoints_taken, 0u);
+  EXPECT_EQ(stats.recoverable_by_checkpoint_instructions, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_checkpoint_interval, 0.0);
+  EXPECT_EQ(stats.coverage.total_traces, 0u);
+}
+
+}  // namespace
+}  // namespace itr

@@ -1,0 +1,199 @@
+// Persistent trace-stream cache: round-trip fidelity, canonical-key
+// equivalence with direct generation, and rejection of every invalid-file
+// shape (wrong key, corrupt payload, truncation) with regeneration fallback.
+//
+// ctest -j rule: every test writes only under a scratch directory derived
+// from its own gtest test name, removed on teardown.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/stream_cache.hpp"
+
+namespace itr {
+namespace {
+
+using core::CompactTrace;
+using workload::StreamKey;
+
+bool streams_equal(const std::vector<CompactTrace>& a,
+                   const std::vector<CompactTrace>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start_pc != b[i].start_pc ||
+        a[i].num_instructions != b[i].num_instructions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class StreamCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    scratch_ = std::filesystem::path("stream_cache_test_scratch") /
+               (std::string(info->test_suite_name()) + "_" + info->name());
+    std::filesystem::remove_all(scratch_);
+    std::filesystem::create_directories(scratch_);
+  }
+
+  void TearDown() override {
+    workload::set_stream_cache_dir("");
+    std::filesystem::remove_all(scratch_);
+  }
+
+  std::string scratch(const std::string& leaf) const {
+    return (scratch_ / leaf).string();
+  }
+
+  std::filesystem::path scratch_;
+};
+
+/// A stream exercising both varint regimes: forward and backward PC deltas
+/// (zigzag), tiny and multi-byte magnitudes, and the full length range.
+std::vector<CompactTrace> synthetic_stream(std::size_t n) {
+  util::Xoshiro256StarStar rng(7);
+  std::vector<CompactTrace> stream;
+  stream.reserve(n);
+  std::uint64_t pc = 0x10000;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mostly small hops, occasionally a far jump (function call / return).
+    pc += rng.chance(0.1) ? rng.below(1u << 20) : rng.below(64);
+    if (rng.chance(0.3) && pc > (1u << 16)) pc -= rng.below(1u << 16);
+    stream.push_back(
+        CompactTrace{pc, static_cast<std::uint32_t>(1 + rng.below(16))});
+  }
+  return stream;
+}
+
+TEST_F(StreamCacheTest, SaveLoadRoundTrip) {
+  const StreamKey key{"synthetic", 123'456, 16};
+  const auto stream = synthetic_stream(50'000);
+  const std::string path = scratch(workload::stream_cache_filename(key));
+  ASSERT_TRUE(workload::save_stream(path, key, stream));
+  const auto loaded = workload::load_stream(path, key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(streams_equal(stream, *loaded));
+}
+
+TEST_F(StreamCacheTest, EmptyStreamRoundTrip) {
+  const StreamKey key{"empty", 0, 16};
+  const std::string path = scratch(workload::stream_cache_filename(key));
+  ASSERT_TRUE(workload::save_stream(path, key, {}));
+  const auto loaded = workload::load_stream(path, key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(StreamCacheTest, CachedStreamMatchesDirectGeneration) {
+  // The canonical-key contract: cached_trace_stream(name, insns) must equal
+  // collect_trace_stream(generate_spec(name, insns * 2), insns) — the
+  // generation the fig06/fig07 binaries historically performed inline.
+  workload::set_stream_cache_dir(scratch_.string());
+  const auto direct = workload::collect_trace_stream(
+      workload::generate_spec("gcc", 120'000), 60'000);
+  const auto cold = workload::cached_trace_stream("gcc", 60'000);
+  EXPECT_TRUE(streams_equal(direct, cold));
+  // The miss must have populated the cache...
+  const StreamKey key{"gcc", 60'000, trace::kMaxTraceLength};
+  const std::string path = scratch(workload::stream_cache_filename(key));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // ...and the warm load must return the identical stream.
+  const auto warm = workload::cached_trace_stream("gcc", 60'000);
+  EXPECT_TRUE(streams_equal(direct, warm));
+}
+
+TEST_F(StreamCacheTest, KeyMismatchIsRejected) {
+  const StreamKey key{"vortex", 50'000, 16};
+  const auto stream = synthetic_stream(1'000);
+  const std::string path = scratch("mismatch.itrs");
+  ASSERT_TRUE(workload::save_stream(path, key, stream));
+  EXPECT_TRUE(workload::load_stream(path, key).has_value());
+  EXPECT_FALSE(workload::load_stream(path, StreamKey{"gcc", 50'000, 16}));
+  EXPECT_FALSE(workload::load_stream(path, StreamKey{"vortex", 50'001, 16}));
+  EXPECT_FALSE(workload::load_stream(path, StreamKey{"vortex", 50'000, 8}));
+}
+
+TEST_F(StreamCacheTest, DistinctKeysGetDistinctFilenames) {
+  const std::string base = workload::stream_cache_filename({"gcc", 1'000, 16});
+  EXPECT_NE(base, workload::stream_cache_filename({"gcc", 2'000, 16}));
+  EXPECT_NE(base, workload::stream_cache_filename({"vortex", 1'000, 16}));
+  EXPECT_NE(base, workload::stream_cache_filename({"gcc", 1'000, 8}));
+}
+
+TEST_F(StreamCacheTest, CorruptPayloadIsRejected) {
+  const StreamKey key{"vortex", 50'000, 16};
+  const auto stream = synthetic_stream(5'000);
+  const std::string path = scratch("corrupt.itrs");
+  ASSERT_TRUE(workload::save_stream(path, key, stream));
+  // Flip one payload byte; the payload hash must catch it.
+  const auto size = std::filesystem::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size) - 7);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(size) - 7);
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_FALSE(workload::load_stream(path, key).has_value());
+}
+
+TEST_F(StreamCacheTest, TruncatedFileIsRejected) {
+  const StreamKey key{"vortex", 50'000, 16};
+  const auto stream = synthetic_stream(5'000);
+  const std::string path = scratch("trunc.itrs");
+  ASSERT_TRUE(workload::save_stream(path, key, stream));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(workload::load_stream(path, key).has_value());
+  std::filesystem::resize_file(path, 4);  // not even a full magic
+  EXPECT_FALSE(workload::load_stream(path, key).has_value());
+}
+
+TEST_F(StreamCacheTest, CorruptCacheFileFallsBackToRegeneration) {
+  workload::set_stream_cache_dir(scratch_.string());
+  const auto cold = workload::cached_trace_stream("bzip", 40'000);
+  const StreamKey key{"bzip", 40'000, trace::kMaxTraceLength};
+  const std::string path = scratch(workload::stream_cache_filename(key));
+  ASSERT_TRUE(std::filesystem::exists(path));
+  // Stomp the whole file; the loader must reject it and the entry point must
+  // silently regenerate (and rewrite) the identical stream.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "not a stream cache file";
+  }
+  const auto regenerated = workload::cached_trace_stream("bzip", 40'000);
+  EXPECT_TRUE(streams_equal(cold, regenerated));
+  const auto reloaded = workload::load_stream(path, key);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_TRUE(streams_equal(cold, *reloaded));
+}
+
+TEST_F(StreamCacheTest, DisabledCacheStillProducesTheStream) {
+  workload::set_stream_cache_dir("");
+  EXPECT_TRUE(workload::stream_cache_dir().empty());
+  const auto a = workload::cached_trace_stream("art", 30'000);
+  const auto b = workload::cached_trace_stream("art", 30'000);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(streams_equal(a, b));
+  EXPECT_TRUE(std::filesystem::is_empty(scratch_));  // nothing written
+}
+
+TEST_F(StreamCacheTest, ExplicitDirOverridesDefault) {
+  workload::set_stream_cache_dir(scratch_.string());
+  EXPECT_EQ(workload::stream_cache_dir(), scratch_.string());
+  const auto stream = workload::cached_trace_stream("art", 30'000);
+  EXPECT_FALSE(stream.empty());
+  EXPECT_FALSE(std::filesystem::is_empty(scratch_));
+}
+
+}  // namespace
+}  // namespace itr
