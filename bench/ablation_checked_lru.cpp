@@ -5,17 +5,19 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 6'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  bench::select_stream_cache(flags);
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Ablation: checked-first LRU replacement (paper Section 2.3)",
-              "Evicting checked lines first protects unreferenced signatures and\n"
-              "should reduce detection-coverage loss at equal capacity.",
-              bench::checked_lru_table(names, insns, threads));
-  return 0;
+  return bench::guarded("ablation_checked_lru", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 6'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    bench::select_stream_cache(flags);
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Ablation: checked-first LRU replacement (paper Section 2.3)",
+                "Evicting checked lines first protects unreferenced signatures and\n"
+                "should reduce detection-coverage loss at equal capacity.",
+                bench::checked_lru_table(names, insns, threads));
+    return 0;
+  });
 }

@@ -6,17 +6,19 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 6'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  bench::select_stream_cache(flags);
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Ablation: coarse-grain checkpointing (paper Section 2.3)",
-              "Every missed-but-later-referenced instance becomes recoverable by\n"
-              "rolling back to the live checkpoint; residual loss = evicted misses.",
-              bench::checkpoint_table(names, insns, threads));
-  return 0;
+  return bench::guarded("ablation_checkpoint", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 6'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    bench::select_stream_cache(flags);
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Ablation: coarse-grain checkpointing (paper Section 2.3)",
+                "Every missed-but-later-referenced instance becomes recoverable by\n"
+                "rolling back to the live checkpoint; residual loss = evicted misses.",
+                bench::checkpoint_table(names, insns, threads));
+    return 0;
+  });
 }

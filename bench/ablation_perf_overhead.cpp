@@ -6,17 +6,19 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 2'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Ablation: ITR performance overhead (IPC vs probe latency)",
-              "Paper claim: ITR avoids the performance cost of time-redundant\n"
-              "execution; the only new pipeline coupling is the commit-side wait\n"
-              "for the dispatch-time ITR cache read.",
-              bench::perf_overhead_table(names, insns, threads));
-  return 0;
+  return bench::guarded("ablation_perf_overhead", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 2'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Ablation: ITR performance overhead (IPC vs probe latency)",
+                "Paper claim: ITR avoids the performance cost of time-redundant\n"
+                "execution; the only new pipeline coupling is the commit-side wait\n"
+                "for the dispatch-time ITR cache read.",
+                bench::perf_overhead_table(names, insns, threads));
+    return 0;
+  });
 }

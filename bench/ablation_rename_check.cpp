@@ -10,19 +10,21 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 400'000);
-  const auto faults = flags.get_u64("faults", 30);
-  const auto seed = flags.get_u64("seed", 1);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Ablation: rename-index ITR check (paper Section 1 extension)",
-              "Rename map-table port faults are invisible to the decode-signal\n"
-              "signature (the fault is past decode); the rename-index signature\n"
-              "closes the gap.",
-              bench::rename_check_table(names, insns, faults, seed, threads));
-  return 0;
+  return bench::guarded("ablation_rename_check", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 400'000);
+    const auto faults = flags.get_u64("faults", 30);
+    const auto seed = flags.get_u64("seed", 1);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Ablation: rename-index ITR check (paper Section 1 extension)",
+                "Rename map-table port faults are invisible to the decode-signal\n"
+                "signature (the fault is past decode); the rename-index signature\n"
+                "closes the gap.",
+                bench::rename_check_table(names, insns, faults, seed, threads));
+    return 0;
+  });
 }

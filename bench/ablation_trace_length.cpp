@@ -6,18 +6,20 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 4'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  bench::select_stream_cache(flags);
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Ablation: maximum trace length (paper fixes 16)",
-              "Shorter traces raise ITR-cache access rates and static-trace counts;\n"
-              "longer ones amortize lookups but put more instructions at risk per\n"
-              "unchecked signature.",
-              bench::trace_length_table(names, insns, threads));
-  return 0;
+  return bench::guarded("ablation_trace_length", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 4'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    bench::select_stream_cache(flags);
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Ablation: maximum trace length (paper fixes 16)",
+                "Shorter traces raise ITR-cache access rates and static-trace counts;\n"
+                "longer ones amortize lookups but put more instructions at risk per\n"
+                "unchecked signature.",
+                bench::trace_length_table(names, insns, threads));
+    return 0;
+  });
 }

@@ -33,6 +33,19 @@
 
 namespace itr::bench {
 
+/// Wraps a bench main body: util::CliError (bad flag value, unknown flag)
+/// and any other std::exception print to stderr and exit with status 2,
+/// instead of escaping main and calling std::terminate with no message.
+template <typename Fn>
+int guarded(const char* binary, Fn&& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::cerr << binary << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
 /// Applies the --stream-cache flag for binaries whose builders replay
 /// CompactTrace streams: a directory overrides the cache location, "off"
 /// disables it (every run regenerates the stream).  Absent, the default

@@ -5,18 +5,20 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 8'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  bench::select_stream_cache(flags);
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Figure 6: loss in fault detection coverage",
-              "Paper: for 2-way/1024 signatures the average loss is 1.3% with a\n"
-              "maximum of 8.2% (vortex); evictions of unreferenced lines are the\n"
-              "only source of detection loss.",
-              bench::coverage_sweep_table(names, insns, /*detection=*/true, threads));
-  return 0;
+  return bench::guarded("fig06_detection_loss", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 8'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    bench::select_stream_cache(flags);
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Figure 6: loss in fault detection coverage",
+                "Paper: for 2-way/1024 signatures the average loss is 1.3% with a\n"
+                "maximum of 8.2% (vortex); evictions of unreferenced lines are the\n"
+                "only source of detection loss.",
+                bench::coverage_sweep_table(names, insns, /*detection=*/true, threads));
+    return 0;
+  });
 }

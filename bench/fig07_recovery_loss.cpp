@@ -5,17 +5,19 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 8'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  bench::select_stream_cache(flags);
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Figure 7: loss in fault recovery coverage",
-              "Paper: for 2-way/1024 signatures the average loss is 2.5% with a\n"
-              "maximum of 15% (vortex); recovery loss always exceeds detection loss.",
-              bench::coverage_sweep_table(names, insns, /*detection=*/false, threads));
-  return 0;
+  return bench::guarded("fig07_recovery_loss", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 8'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    bench::select_stream_cache(flags);
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Figure 7: loss in fault recovery coverage",
+                "Paper: for 2-way/1024 signatures the average loss is 2.5% with a\n"
+                "maximum of 15% (vortex); recovery loss always exceeds detection loss.",
+                bench::coverage_sweep_table(names, insns, /*detection=*/false, threads));
+    return 0;
+  });
 }

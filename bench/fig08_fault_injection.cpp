@@ -5,25 +5,27 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 2'000'000);
-  const auto faults = flags.get_u64("faults", 100);     // paper: 1000
-  const auto window = flags.get_u64("window", 100'000); // paper: 1'000'000
-  const auto seed = flags.get_u64("seed", 1);
-  // scratch | single | ladder; outputs are byte-identical under every mode
-  // and thread count, only the runtime differs.
-  const auto mode = fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
-  const auto interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
-  const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Figure 8: fault injection results (percent of injected faults)",
-              "Paper averages: 95.4% detected via ITR; ITR+Mask 59.4%, ITR+SDC+R 32%,\n"
-              "ITR+SDC+D 1%, ITR+wdog+R 3%, spc+SDC 0.1%, Undet+SDC 2.6%,\n"
-              "Undet+wdog 0.1%, Undet+Mask 1.8%; MayITR negligible.",
-              bench::fault_injection_table(names, insns, faults, window, seed, threads,
-                                           mode, interval));
-  return 0;
+  return bench::guarded("fig08_fault_injection", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 2'000'000);
+    const auto faults = flags.get_u64("faults", 100);     // paper: 1000
+    const auto window = flags.get_u64("window", 100'000); // paper: 1'000'000
+    const auto seed = flags.get_u64("seed", 1);
+    // scratch | single | ladder; outputs are byte-identical under every mode
+    // and thread count, only the runtime differs.
+    const auto mode = fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
+    const auto interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
+    const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Figure 8: fault injection results (percent of injected faults)",
+                "Paper averages: 95.4% detected via ITR; ITR+Mask 59.4%, ITR+SDC+R 32%,\n"
+                "ITR+SDC+D 1%, ITR+wdog+R 3%, spc+SDC 0.1%, Undet+SDC 2.6%,\n"
+                "Undet+wdog 0.1%, Undet+Mask 1.8%; MayITR negligible.",
+                bench::fault_injection_table(names, insns, faults, window, seed, threads,
+                                             mode, interval));
+    return 0;
+  });
 }

@@ -5,16 +5,18 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  const auto insns = flags.get_u64("insns", 4'000'000);
-  const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
-  const auto threads = bench::select_threads(flags);
-  flags.get_bool("csv");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
-  bench::emit(flags, "Figure 9: energy of ITR cache vs I-cache redundant fetch",
-              "Paper: 0.87 nJ/access I-cache vs 0.58/0.84 nJ ITR cache; the ITR\n"
-              "approach is far more energy-efficient than fetching twice.",
-              bench::energy_table(names, insns, threads));
-  return 0;
+  return bench::guarded("fig09_energy", [&] {
+    const util::CliFlags flags(argc, argv);
+    const auto insns = flags.get_u64("insns", 4'000'000);
+    const auto names = bench::select_benchmarks(flags, workload::spec_all_names());
+    const auto threads = bench::select_threads(flags);
+    flags.get_bool("csv");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
+    bench::emit(flags, "Figure 9: energy of ITR cache vs I-cache redundant fetch",
+                "Paper: 0.87 nJ/access I-cache vs 0.58/0.84 nJ ITR cache; the ITR\n"
+                "approach is far more energy-efficient than fetching twice.",
+                bench::energy_table(names, insns, threads));
+    return 0;
+  });
 }

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "sim/functional.hpp"
 #include "sim/memory.hpp"
 #include "sim/pipeline.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
@@ -505,6 +508,18 @@ void register_campaign_benchmarks(std::int64_t threads) {
   }
 }
 
+/// Strict --threads value parse; prints the offending value and exits 2 on
+/// junk instead of the silent-truncation/terminate behaviour of std::stoll.
+std::int64_t parse_threads_or_die(const std::string& value) {
+  const auto parsed = itr::util::parse_u64(value);
+  if (!parsed || *parsed > std::numeric_limits<std::int64_t>::max()) {
+    std::fprintf(stderr, "perf_micro: --threads: invalid unsigned integer '%s'\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::int64_t>(*parsed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -519,11 +534,11 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--threads") {
-      if (i + 1 < argc) threads = std::stoll(argv[++i]);
+      if (i + 1 < argc) threads = parse_threads_or_die(argv[++i]);
       continue;
     }
     if (a.rfind("--threads=", 0) == 0) {
-      threads = std::stoll(std::string(a.substr(a.find('=') + 1)));
+      threads = parse_threads_or_die(std::string(a.substr(a.find('=') + 1)));
       continue;
     }
     if (a == "--allow-debug") {

@@ -5,29 +5,31 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  flags.get_bool("csv");
-  // This exhibit is constant; accept the common sweep flags so
-  // run_benches.sh can forward one uniform flag set to every binary.
-  flags.get_u64("threads", 0);
-  flags.get_u64("insns", 0);
-  flags.get_string("benchmarks", "");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
+  return bench::guarded("sec5_area", [&] {
+    const util::CliFlags flags(argc, argv);
+    flags.get_bool("csv");
+    // This exhibit is constant; accept the common sweep flags so
+    // run_benches.sh can forward one uniform flag set to every binary.
+    flags.get_u64("threads", 0);
+    flags.get_u64("insns", 0);
+    flags.get_string("benchmarks", "");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
 
-  util::Table table({"structure", "area cm^2", "vs I-unit"});
-  const double iunit = power::kG5IUnitAreaCm2;
-  const double btb = power::kG5BtbAreaCm2;
-  const double itr_model = power::area_cm2(power::itr_cache_geometry(1));
-  const double itr_2p = power::area_cm2(power::itr_cache_geometry(2));
-  table.begin_row().add("G5 I-unit (die photo)").add(iunit, 2).add(1.0, 3);
-  table.begin_row().add("G5 BTB-like structure (die photo)").add(btb, 2).add(btb / iunit, 3);
-  table.begin_row().add("ITR cache 1024x64b 2-way (model)").add(itr_model, 2).add(itr_model / iunit, 3);
-  table.begin_row().add("ITR cache, dual-ported (model)").add(itr_2p, 2).add(itr_2p / iunit, 3);
+    util::Table table({"structure", "area cm^2", "vs I-unit"});
+    const double iunit = power::kG5IUnitAreaCm2;
+    const double btb = power::kG5BtbAreaCm2;
+    const double itr_model = power::area_cm2(power::itr_cache_geometry(1));
+    const double itr_2p = power::area_cm2(power::itr_cache_geometry(2));
+    table.begin_row().add("G5 I-unit (die photo)").add(iunit, 2).add(1.0, 3);
+    table.begin_row().add("G5 BTB-like structure (die photo)").add(btb, 2).add(btb / iunit, 3);
+    table.begin_row().add("ITR cache 1024x64b 2-way (model)").add(itr_model, 2).add(itr_model / iunit, 3);
+    table.begin_row().add("ITR cache, dual-ported (model)").add(itr_2p, 2).add(itr_2p / iunit, 3);
 
-  bench::emit(flags, "Section 5: area comparison",
-              "Paper: the ITR cache is about one seventh the area of the I-unit,\n"
-              "making ITR far more area-effective than structural duplication.",
-              table);
-  return 0;
+    bench::emit(flags, "Section 5: area comparison",
+                "Paper: the ITR cache is about one seventh the area of the I-unit,\n"
+                "making ITR far more area-effective than structural duplication.",
+                table);
+    return 0;
+  });
 }

@@ -8,50 +8,52 @@
 
 int main(int argc, char** argv) {
   using namespace itr;
-  const util::CliFlags flags(argc, argv);
-  flags.get_bool("csv");
-  // This exhibit is constant; accept the common sweep flags so
-  // run_benches.sh can forward one uniform flag set to every binary.
-  flags.get_u64("threads", 0);
-  flags.get_u64("insns", 0);
-  flags.get_string("benchmarks", "");
-  util::ObsGuard obs_guard(flags);
-  flags.reject_unknown();
+  return bench::guarded("table2_decode_signals", [&] {
+    const util::CliFlags flags(argc, argv);
+    flags.get_bool("csv");
+    // This exhibit is constant; accept the common sweep flags so
+    // run_benches.sh can forward one uniform flag set to every binary.
+    flags.get_u64("threads", 0);
+    flags.get_u64("insns", 0);
+    flags.get_string("benchmarks", "");
+    util::ObsGuard obs_guard(flags);
+    flags.reject_unknown();
 
-  static const std::map<std::string, std::string> kDescriptions = {
-      {"opcode", "instruction opcode"},
-      {"flags",
-       "decoded control flags (is_int, is_fp, is_signed, is_branch, is_uncond, "
-       "is_ld, is_st, mem_left/right, is_RR, is_disp, is_direct, is_trap)"},
-      {"shamt", "shift amount"},
-      {"rsrc1", "source register operand"},
-      {"rsrc2", "source register operand"},
-      {"rdst", "destination register operand"},
-      {"lat", "execution latency"},
-      {"imm", "immediate"},
-      {"num_rsrc", "number of source operands"},
-      {"num_rdst", "number of destination operands"},
-      {"mem_size", "size of memory word"},
-  };
+    static const std::map<std::string, std::string> kDescriptions = {
+        {"opcode", "instruction opcode"},
+        {"flags",
+         "decoded control flags (is_int, is_fp, is_signed, is_branch, is_uncond, "
+         "is_ld, is_st, mem_left/right, is_RR, is_disp, is_direct, is_trap)"},
+        {"shamt", "shift amount"},
+        {"rsrc1", "source register operand"},
+        {"rsrc2", "source register operand"},
+        {"rdst", "destination register operand"},
+        {"lat", "execution latency"},
+        {"imm", "immediate"},
+        {"num_rsrc", "number of source operands"},
+        {"num_rdst", "number of destination operands"},
+        {"mem_size", "size of memory word"},
+    };
 
-  util::Table table({"field", "description", "width", "bit-offset"});
-  std::size_t count = 0;
-  const isa::SignalFieldLayout* layout = isa::signal_field_layout(&count);
-  unsigned total = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    const auto it = kDescriptions.find(layout[i].name);
-    table.begin_row()
-        .add(layout[i].name)
-        .add(it == kDescriptions.end() ? "" : it->second)
-        .add(static_cast<std::uint64_t>(layout[i].width))
-        .add(static_cast<std::uint64_t>(layout[i].offset));
-    total += layout[i].width;
-  }
-  table.begin_row().add("Total width").add("").add(static_cast<std::uint64_t>(total)).add("");
+    util::Table table({"field", "description", "width", "bit-offset"});
+    std::size_t count = 0;
+    const isa::SignalFieldLayout* layout = isa::signal_field_layout(&count);
+    unsigned total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto it = kDescriptions.find(layout[i].name);
+      table.begin_row()
+          .add(layout[i].name)
+          .add(it == kDescriptions.end() ? "" : it->second)
+          .add(static_cast<std::uint64_t>(layout[i].width))
+          .add(static_cast<std::uint64_t>(layout[i].offset));
+      total += layout[i].width;
+    }
+    table.begin_row().add("Total width").add("").add(static_cast<std::uint64_t>(total)).add("");
 
-  bench::emit(flags, "Table 2: list of decode signals",
-              "Paper: eleven fields totalling 64 bits; this is the per-instruction "
-              "bundle whose XOR over a trace forms the ITR signature.",
-              table);
-  return 0;
+    bench::emit(flags, "Table 2: list of decode signals",
+                "Paper: eleven fields totalling 64 bits; this is the per-instruction "
+                "bundle whose XOR over a trace forms the ITR signature.",
+                table);
+    return 0;
+  });
 }

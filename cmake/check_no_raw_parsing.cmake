@@ -1,0 +1,39 @@
+# CTest script: enforce that no binary parses numeric command-line input
+# with the unvalidated std::sto*/ato*/strto* family.  Those calls either
+# terminate without a message (std::stoull on "abc") or silently truncate
+# ("2e6" -> 2, "10x" -> 10); all flag values must flow through the strict
+# util::parse_u64 / util::CliFlags helpers instead (see src/util/cli.hpp).
+#
+# Expected -D definitions: REPO_ROOT (repository root directory).
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "check_no_raw_parsing.cmake: missing -DREPO_ROOT=")
+endif()
+
+file(GLOB_RECURSE sources
+  "${REPO_ROOT}/bench/*.cpp" "${REPO_ROOT}/bench/*.hpp"
+  "${REPO_ROOT}/tools/*.cpp" "${REPO_ROOT}/tools/*.hpp"
+  "${REPO_ROOT}/examples/*.cpp"
+  "${REPO_ROOT}/src/*.cpp" "${REPO_ROOT}/src/*.hpp")
+
+set(violations "")
+foreach(source IN LISTS sources)
+  file(STRINGS "${source}" lines)
+  set(line_no 0)
+  foreach(line IN LISTS lines)
+    math(EXPR line_no "${line_no} + 1")
+    # Require the open paren so prose mentions in comments don't trip it.
+    if(line MATCHES "std::sto[a-z]+[ \t]*\\(" OR
+       line MATCHES "[^_a-zA-Z0-9](atoi|atol|atoll|atof)[ \t]*\\(" OR
+       line MATCHES "[^_a-zA-Z0-9]strto(l|ll|ul|ull|f|d|ld|imax|umax)[ \t]*\\(")
+      list(APPEND violations "${source}:${line_no}: ${line}")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " pretty)
+  message(FATAL_ERROR
+    "raw numeric parsing calls found (use util::parse_u64/parse_double or "
+    "util::CliFlags from src/util/cli.hpp instead):\n  ${pretty}")
+endif()
+message(STATUS "no raw std::sto*/ato*/strto* parsing calls in bench/, tools/, examples/, src/")

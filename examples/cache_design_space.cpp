@@ -15,7 +15,7 @@
 #include "util/table.hpp"
 #include "workload/stream_cache.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace itr;
   const util::CliFlags flags(argc, argv);
   const std::string benchmark = flags.get_string("benchmark", "vortex");
@@ -27,7 +27,11 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes;
   std::stringstream ss(sizes_arg);
   for (std::string item; std::getline(ss, item, ',');) {
-    sizes.push_back(static_cast<std::size_t>(std::stoull(item)));
+    const auto parsed = util::parse_u64(item);
+    if (!parsed) {
+      throw util::CliError("--sizes: invalid unsigned integer '" + item + "'");
+    }
+    sizes.push_back(static_cast<std::size_t>(*parsed));
   }
 
   std::printf("collecting trace stream for '%s' (%llu instructions)...\n",
@@ -78,4 +82,7 @@ int main(int argc, char** argv) {
     std::fputs(os.str().c_str(), stdout);
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "cache_design_space: %s\n", e.what());
+  return 2;
 }

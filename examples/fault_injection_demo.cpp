@@ -54,7 +54,7 @@ void report_events(sim::CycleSim& cpu) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const util::CliFlags flags(argc, argv);
   const std::string program_name = flags.get_string("program", "bubble_sort");
   const auto index = flags.get_u64("index", 297);
@@ -88,4 +88,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "fault_injection_demo: %s\n", e.what());
+  return 2;
 }

@@ -1,0 +1,161 @@
+#include "fuzz/corpus.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/assembler.hpp"
+#include "isa/opcode.hpp"
+
+namespace itr::fuzz {
+
+using isa::Format;
+using isa::Opcode;
+
+namespace {
+
+std::string reg(int r) { return "r" + std::to_string(r); }
+std::string freg(int r) { return "f" + std::to_string(r); }
+
+/// Target instruction index of a PC-relative control transfer at index i.
+std::size_t branch_target_index(std::size_t i, std::int16_t imm) {
+  return static_cast<std::size_t>(static_cast<std::int64_t>(i) + 1 + imm);
+}
+
+std::string label(std::size_t index) { return "L" + std::to_string(index); }
+
+std::string render(const isa::Instruction& in, std::size_t index) {
+  const isa::OpInfo& info = isa::op_info(in.op);
+  std::ostringstream os;
+  os << info.mnemonic;
+  switch (info.format) {
+    case Format::kNone:
+      return "nop";
+    case Format::kRR:
+      os << " " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt);
+      break;
+    case Format::kRI:
+      os << " " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm;
+      break;
+    case Format::kShift:
+      os << " " << reg(in.rd) << ", " << reg(in.rt) << ", "
+         << static_cast<int>(in.shamt);
+      break;
+    case Format::kLoad:
+      os << " " << (in.op == Opcode::kLdf ? freg(in.rd) : reg(in.rd)) << ", "
+         << in.imm << "(" << reg(in.rs) << ")";
+      break;
+    case Format::kStore:
+      os << " " << (in.op == Opcode::kStf ? freg(in.rt) : reg(in.rt)) << ", "
+         << in.imm << "(" << reg(in.rs) << ")";
+      break;
+    case Format::kBranch2:
+      os << " " << reg(in.rs) << ", " << reg(in.rt) << ", "
+         << label(branch_target_index(index, in.imm));
+      break;
+    case Format::kBranch1:
+      os << " " << reg(in.rs) << ", " << label(branch_target_index(index, in.imm));
+      break;
+    case Format::kJump:
+      os << " " << label(branch_target_index(index, in.imm));
+      break;
+    case Format::kJumpReg:
+      os << " " << reg(in.rs);
+      break;
+    case Format::kFpRR:
+      os << " " << freg(in.rd) << ", " << freg(in.rs) << ", " << freg(in.rt);
+      break;
+    case Format::kFpR:
+      os << " " << freg(in.rd) << ", " << freg(in.rs);
+      break;
+    case Format::kFpCmp:
+      os << " " << reg(in.rd) << ", " << freg(in.rs) << ", " << freg(in.rt);
+      break;
+    case Format::kCvt:
+      // Register-file direction is cosmetic (the assembler maps rN and fN
+      // to the same 0-31 space) but keeps the listing readable.
+      if (in.op == Opcode::kCvtIf || in.op == Opcode::kMtc) {
+        os << " " << freg(in.rd) << ", " << reg(in.rs);
+      } else {
+        os << " " << reg(in.rd) << ", " << freg(in.rs);
+      }
+      break;
+    case Format::kLui:
+      os << " " << reg(in.rd) << ", " << static_cast<std::uint16_t>(in.imm);
+      break;
+    case Format::kTrap:
+      os << " " << in.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_itrasm(const isa::Program& prog,
+                      const std::vector<std::string>& header_comments) {
+  std::ostringstream os;
+  for (const std::string& c : header_comments) os << "# " << c << "\n";
+
+  // First pass: which instruction indexes need labels.
+  std::set<std::size_t> labelled;
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    const isa::Instruction in = isa::decode_fields(prog.code[i]);
+    const Format fmt = isa::op_info(in.op).format;
+    if (fmt == Format::kBranch2 || fmt == Format::kBranch1 || fmt == Format::kJump) {
+      labelled.insert(branch_target_index(i, in.imm));
+    }
+  }
+
+  os << ".text\n";
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    if (i == 0) os << "main:\n";
+    if (labelled.count(i) != 0) os << label(i) << ":\n";
+    os << "  " << render(isa::decode_fields(prog.code[i]), i) << "\n";
+  }
+
+  if (!prog.data.empty()) {
+    os << ".data\n";
+    for (std::size_t i = 0; i < prog.data.size(); i += 4) {
+      if (i % 32 == 0) os << (i == 0 ? "  .word " : "\n  .word ");
+      else os << ", ";
+      std::uint32_t w = 0;
+      for (std::size_t b = 0; b < 4 && i + b < prog.data.size(); ++b) {
+        w |= static_cast<std::uint32_t>(prog.data[i + b]) << (8 * b);
+      }
+      os << "0x" << std::hex << w << std::dec;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+isa::Program load_itrasm_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open reproducer file: " + path);
+  std::ostringstream src;
+  src << in.rdbuf();
+  return isa::assemble(src.str(), std::filesystem::path(path).stem().string());
+}
+
+std::string write_reproducer(const std::string& corpus_dir, std::uint64_t seed,
+                             const std::string& oracle, const isa::Program& prog,
+                             const std::string& detail) {
+  std::filesystem::create_directories(corpus_dir);
+  const std::string name = "seed" + std::to_string(seed) + "-" + oracle + ".itrasm";
+  const auto path = std::filesystem::path(corpus_dir) / name;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write reproducer file: " + path.string());
+  out << to_itrasm(prog, {
+                             "fuzz-found divergence reproducer (minimized)",
+                             "seed:   " + std::to_string(seed),
+                             "oracle: " + oracle,
+                             "detail: " + detail,
+                             "replay: itr_fuzz --replay " + name,
+                         });
+  return path.string();
+}
+
+}  // namespace itr::fuzz

@@ -1,0 +1,40 @@
+// Self-contained reproducer corpus for fuzz-found divergences.
+//
+// A reproducer is one .itrasm file: header comments naming the seed, the
+// oracle pair that diverged, and the replay command, followed by the
+// minimized program in the text-assembler syntax.  Checked-in reproducers
+// live in tests/fuzz_corpus/ and are replayed through every oracle by the
+// fuzz_corpus ctest — every fuzz-found bug becomes a permanent regression
+// test.
+//
+// to_itrasm round-trips exactly: assembling its output reproduces the input
+// program's code words and data bytes bit for bit (the fuzz_corpus test
+// pins this).  Preconditions: control-flow targets land inside the program
+// (FuzzProgram::materialize guarantees this) and the data segment is a
+// whole number of 32-bit words.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace itr::fuzz {
+
+/// Renders `prog` as assemblable .itrasm text.  `header_comments` become
+/// leading '#' lines.
+std::string to_itrasm(const isa::Program& prog,
+                      const std::vector<std::string>& header_comments = {});
+
+/// Reads and assembles one .itrasm file; throws std::runtime_error when the
+/// file is unreadable and isa::AssemblerError on bad syntax.
+isa::Program load_itrasm_file(const std::string& path);
+
+/// Writes a reproducer into `corpus_dir` (created if missing) and returns
+/// its path.  The file name encodes the seed and oracle:
+/// seed<seed>-<oracle>.itrasm.
+std::string write_reproducer(const std::string& corpus_dir, std::uint64_t seed,
+                             const std::string& oracle, const isa::Program& prog,
+                             const std::string& detail);
+
+}  // namespace itr::fuzz

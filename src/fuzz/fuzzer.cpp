@@ -1,0 +1,82 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/program_gen.hpp"
+
+namespace itr::fuzz {
+
+namespace {
+
+std::vector<std::string> selected_oracles(const FuzzOptions& options) {
+  if (options.only_oracle.empty()) return oracle_names();
+  // Validates the name (throws std::invalid_argument on a typo) before the
+  // session starts burning seeds.
+  for (const auto& known : oracle_names()) {
+    if (known == options.only_oracle) return {options.only_oracle};
+  }
+  throw std::invalid_argument("unknown oracle '" + options.only_oracle + "'");
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& log) {
+  const auto oracles = selected_oracles(options);
+  FuzzReport report;
+
+  for (std::uint64_t s = 0; s < options.num_seeds; ++s) {
+    const std::uint64_t seed = options.seed_base + s;
+    FuzzProgram fp = generate_program(seed);
+    const isa::Program prog = fp.materialize();
+    if (options.verbose) {
+      log << "seed " << seed << ": " << prog.code.size() << " instructions\n";
+    }
+
+    for (const auto& oracle : oracles) {
+      auto divergence = run_oracle(oracle, prog, options.oracle);
+      if (!divergence) continue;
+
+      log << "DIVERGENCE seed=" << seed << " oracle=" << oracle << ": "
+          << divergence->detail << "\n";
+      Finding finding;
+      finding.seed = seed;
+      finding.original_instructions = fp.insts.size();
+
+      if (options.minimize) {
+        log << "  minimizing (" << fp.insts.size() << " instructions)...\n";
+        const Predicate still_fails = [&](const FuzzProgram& candidate) {
+          return run_oracle(oracle, candidate.materialize(), options.oracle)
+              .has_value();
+        };
+        fp = minimize(std::move(fp), still_fails);
+        // Re-run for the minimized program's own divergence message.
+        if (auto d = run_oracle(oracle, fp.materialize(), options.oracle)) {
+          divergence = std::move(d);
+        }
+        log << "  minimized to " << fp.insts.size() << " instructions\n";
+      }
+      finding.minimized_instructions = fp.insts.size();
+      finding.divergence = *divergence;
+
+      if (!options.corpus_dir.empty()) {
+        finding.reproducer_path =
+            write_reproducer(options.corpus_dir, seed, oracle, fp.materialize(),
+                             divergence->detail);
+        log << "  reproducer: " << finding.reproducer_path << "\n";
+      }
+      report.findings.push_back(std::move(finding));
+      break;  // the minimized program may no longer suit the other oracles
+    }
+    ++report.seeds_run;
+  }
+
+  log << "fuzz session complete: " << report.seeds_run << " seeds, "
+      << report.findings.size() << " divergence(s)\n";
+  return report;
+}
+
+}  // namespace itr::fuzz

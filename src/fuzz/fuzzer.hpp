@@ -1,0 +1,48 @@
+// Differential fuzzing driver: generate → cross-check → minimize → emit.
+//
+// A fuzz session is fully determined by (seed_base, num_seeds, oracle
+// config): seed s produces generate_program(seed_base + s), every program
+// runs through the requested oracles, and any divergence is minimized
+// against the oracle that reported it and written into the corpus
+// directory as a replayable .itrasm reproducer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+
+namespace itr::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t num_seeds = 100;
+  std::uint64_t seed_base = 1;
+  OracleConfig oracle;
+  std::string only_oracle;  ///< empty = run all five oracle pairs
+  bool minimize = true;
+  std::string corpus_dir;   ///< empty = do not write reproducers
+  bool verbose = false;     ///< log every seed, not just divergences
+};
+
+/// One fuzz-found (and possibly minimized) divergence.
+struct Finding {
+  std::uint64_t seed = 0;
+  Divergence divergence;
+  std::size_t original_instructions = 0;
+  std::size_t minimized_instructions = 0;
+  std::string reproducer_path;  ///< empty when no corpus_dir was given
+};
+
+struct FuzzReport {
+  std::uint64_t seeds_run = 0;
+  std::vector<Finding> findings;
+  bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Runs the session, logging progress to `log`.  Deterministic: identical
+/// options produce an identical report and identical reproducer bytes.
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& log);
+
+}  // namespace itr::fuzz

@@ -1,0 +1,117 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace itr::fuzz {
+
+namespace {
+
+/// Removes instructions [a, b) and remaps surviving symbolic targets:
+/// targets past the range shift down, targets into the range collapse onto
+/// the first survivor after it.
+FuzzProgram remove_range(const FuzzProgram& p, std::size_t a, std::size_t b) {
+  FuzzProgram out;
+  out.name = p.name;
+  out.data_words = p.data_words;
+  out.insts.reserve(p.insts.size() - (b - a));
+  for (std::size_t i = 0; i < p.insts.size(); ++i) {
+    if (i >= a && i < b) continue;
+    FuzzInst fi = p.insts[i];
+    if (fi.has_target) {
+      if (fi.target >= b) {
+        fi.target -= static_cast<std::uint32_t>(b - a);
+      } else if (fi.target >= a) {
+        fi.target = static_cast<std::uint32_t>(a);
+      }
+    }
+    out.insts.push_back(fi);
+  }
+  return out;
+}
+
+class Minimizer {
+ public:
+  Minimizer(FuzzProgram program, const Predicate& still_fails,
+            const MinimizeOptions& options)
+      : best_(std::move(program)), still_fails_(still_fails), options_(options) {}
+
+  FuzzProgram run() {
+    ddmin_instructions();
+    simplify_instructions();
+    truncate_data();
+    return std::move(best_);
+  }
+
+ private:
+  bool budget_left() const { return evaluations_ < options_.max_evaluations; }
+
+  /// Evaluates a candidate; adopts it as the new best when it still fails.
+  bool try_adopt(FuzzProgram candidate) {
+    ++evaluations_;
+    if (!still_fails_(candidate)) return false;
+    best_ = std::move(candidate);
+    return true;
+  }
+
+  void ddmin_instructions() {
+    std::size_t chunk = std::max<std::size_t>(best_.insts.size() / 2, 1);
+    while (chunk >= 1 && budget_left()) {
+      bool removed_any = false;
+      std::size_t start = 0;
+      while (start < best_.insts.size() && budget_left()) {
+        const std::size_t end = std::min(start + chunk, best_.insts.size());
+        if (end - start == best_.insts.size()) break;  // never empty the program
+        if (try_adopt(remove_range(best_, start, end))) {
+          removed_any = true;  // best_ shrank; same start now names new content
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1 && !removed_any) break;
+      chunk = chunk > 1 ? chunk / 2 : 1;
+    }
+  }
+
+  void simplify_instructions() {
+    for (std::size_t i = 0; i < best_.insts.size() && budget_left(); ++i) {
+      const FuzzInst& cur = best_.insts[i];
+      if (!(cur == FuzzInst{isa::make_nop(), false, 0})) {
+        FuzzProgram candidate = best_;
+        candidate.insts[i] = {isa::make_nop(), false, 0};
+        if (try_adopt(std::move(candidate))) continue;
+      }
+      if (cur.inst.imm != 0 && !cur.has_target && budget_left()) {
+        FuzzProgram candidate = best_;
+        candidate.insts[i].inst.imm = 0;
+        if (try_adopt(std::move(candidate))) continue;
+      }
+      if (cur.inst.shamt != 0 && budget_left()) {
+        FuzzProgram candidate = best_;
+        candidate.insts[i].inst.shamt = 0;
+        (void)try_adopt(std::move(candidate));
+      }
+    }
+  }
+
+  void truncate_data() {
+    while (!best_.data_words.empty() && budget_left()) {
+      FuzzProgram candidate = best_;
+      candidate.data_words.resize(candidate.data_words.size() / 2);
+      if (!try_adopt(std::move(candidate))) break;
+    }
+  }
+
+  FuzzProgram best_;
+  const Predicate& still_fails_;
+  MinimizeOptions options_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace
+
+FuzzProgram minimize(FuzzProgram program, const Predicate& still_fails,
+                     const MinimizeOptions& options) {
+  return Minimizer(std::move(program), still_fails, options).run();
+}
+
+}  // namespace itr::fuzz

@@ -1,0 +1,37 @@
+// Delta-debugging minimizer for divergence-triggering programs.
+//
+// Shrinks a FuzzProgram while a caller-supplied predicate (normally "this
+// oracle still reports a divergence") keeps holding:
+//
+//   1. ddmin over instructions — exponentially shrinking chunk removal with
+//      control-flow target remapping, so surviving branches keep pointing at
+//      the instructions they pointed at before the deletion;
+//   2. per-instruction simplification — replace with nop, zero the
+//      immediate, zero the shift amount;
+//   3. data-segment truncation — halve the initialized words (reads beyond
+//      the segment see zeroed memory, which is well-defined).
+//
+// The predicate evaluation budget bounds total work; minimization is
+// best-effort and always returns a program for which the predicate holds.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/program_gen.hpp"
+
+namespace itr::fuzz {
+
+/// Returns true when the candidate still triggers the divergence.
+using Predicate = std::function<bool(const FuzzProgram&)>;
+
+struct MinimizeOptions {
+  std::size_t max_evaluations = 800;
+};
+
+/// Precondition: `still_fails(program)` is true.  Returns the smallest
+/// program found within the budget; the predicate holds for the result.
+FuzzProgram minimize(FuzzProgram program, const Predicate& still_fails,
+                     const MinimizeOptions& options = {});
+
+}  // namespace itr::fuzz

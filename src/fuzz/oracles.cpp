@@ -1,0 +1,522 @@
+#include "fuzz/oracles.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+#include "fi/classify.hpp"
+#include "itr/coverage.hpp"
+#include "itr/itr_cache.hpp"
+#include "itr/sweep_engine.hpp"
+#include "obs/registry.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "trace/trace_builder.hpp"
+#include "workload/generator.hpp"
+
+namespace itr::fuzz {
+
+namespace {
+
+using sim::CommitRecord;
+using sim::CycleSim;
+using sim::FunctionalSim;
+
+std::optional<Divergence> diverge(const std::string& oracle, const std::string& detail) {
+  return Divergence{oracle, detail};
+}
+
+std::string commit_str(const CommitRecord& c) {
+  std::ostringstream os;
+  os << "commit #" << c.index << " pc=0x" << std::hex << c.pc << " next=0x"
+     << c.next_pc << std::dec;
+  if (c.wrote_int) os << " r" << static_cast<int>(c.int_dst) << "=" << c.int_value;
+  if (c.wrote_fp) {
+    os << " f" << static_cast<int>(c.fp_dst) << "=0x" << std::hex
+       << std::bit_cast<std::uint64_t>(c.fp_value) << std::dec;
+  }
+  if (c.did_store) {
+    os << " store[0x" << std::hex << c.mem_addr << std::dec << "]=" << c.store_value
+       << " (" << c.mem_bytes << "B)";
+  }
+  return os.str();
+}
+
+/// Full-field commit comparison (architectural effects plus timing).
+bool commits_equal(const CommitRecord& a, const CommitRecord& b) {
+  return a.index == b.index && a.commit_cycle == b.commit_cycle &&
+         a.exited == b.exited && a.aborted == b.aborted &&
+         a.spc_fired == b.spc_fired && a.architecturally_equal(b);
+}
+
+/// Runs a CycleSim to termination (bounded by `max_commits`), collecting
+/// every commit record.
+std::vector<CommitRecord> collect_commits(CycleSim& cs, std::uint64_t max_commits) {
+  std::vector<CommitRecord> out;
+  while (out.size() < max_commits && cs.advance()) {
+    while (auto c = cs.next_commit()) out.push_back(*c);
+  }
+  while (auto c = cs.next_commit()) out.push_back(*c);
+  return out;
+}
+
+CycleSim::Options base_pipeline_options(const OracleConfig& cfg) {
+  CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.max_cycles = cfg.max_cycles;
+  return opt;
+}
+
+// ---- Oracle 1: functional golden vs cycle-level commit stream. -------------
+
+std::optional<Divergence> oracle_func_vs_pipeline(const isa::Program& prog,
+                                                  const OracleConfig& cfg) {
+  const std::string kName = "func-vs-pipeline";
+  CycleSim cs(prog, base_pipeline_options(cfg));
+  FunctionalSim golden(prog);
+
+  std::uint64_t compared = 0;
+  std::optional<Divergence> mismatch;
+  const auto check_commit = [&](const CommitRecord& c) {
+    if (golden.done()) {
+      mismatch = diverge(kName, "pipeline committed past functional exit: " +
+                                    commit_str(c));
+      return false;
+    }
+    const auto g = golden.step();
+    const bool same =
+        c.pc == g.pc && c.next_pc == g.fx.next_pc &&
+        c.wrote_int == g.fx.wrote_int && c.int_dst == g.fx.int_dst &&
+        c.int_value == g.fx.int_value && c.wrote_fp == g.fx.wrote_fp &&
+        c.fp_dst == g.fx.fp_dst &&
+        std::bit_cast<std::uint64_t>(c.fp_value) ==
+            std::bit_cast<std::uint64_t>(g.fx.fp_value) &&
+        c.did_store == g.fx.did_store && c.mem_addr == g.fx.mem_addr &&
+        c.store_value == g.fx.store_value && c.mem_bytes == g.fx.mem_bytes;
+    if (!same) {
+      std::ostringstream os;
+      os << "architectural mismatch at dynamic instruction " << compared
+         << ": pipeline {" << commit_str(c) << "} vs functional pc=0x" << std::hex
+         << g.pc << " next=0x" << g.fx.next_pc << std::dec;
+      mismatch = diverge(kName, os.str());
+      return false;
+    }
+    if (c.spc_fired) {
+      mismatch = diverge(kName, "sequential-PC check fired on a fault-free run at " +
+                                    commit_str(c));
+      return false;
+    }
+    ++compared;
+    return true;
+  };
+  while (compared < cfg.max_instructions && cs.advance()) {
+    while (auto c = cs.next_commit()) {
+      if (!check_commit(*c)) return mismatch;
+    }
+  }
+  // advance() returning false can leave the final commits (the exit trap
+  // among them) still queued; they must be compared too.
+  while (auto c = cs.next_commit()) {
+    if (!check_commit(*c)) return mismatch;
+  }
+
+  const auto& itr_stats = cs.itr_unit()->stats();
+  if (itr_stats.signature_mismatches != 0) {
+    return diverge(kName, "ITR signature mismatch on a fault-free run");
+  }
+  if (cs.stats().watchdog_fires != 0) {
+    return diverge(kName, "watchdog fired on a fault-free run");
+  }
+  if (cs.termination() == sim::RunTermination::kExited) {
+    if (!golden.done() || golden.aborted()) {
+      return diverge(kName, "pipeline exited but functional sim did not");
+    }
+    if (cs.exit_status() != golden.exit_status()) {
+      std::ostringstream os;
+      os << "exit status: pipeline " << cs.exit_status() << " vs functional "
+         << golden.exit_status();
+      return diverge(kName, os.str());
+    }
+    if (cs.output() != golden.output()) {
+      return diverge(kName, "program output differs: pipeline '" + cs.output() +
+                                "' vs functional '" + golden.output() + "'");
+    }
+    if (!(cs.state() == golden.state())) {
+      return diverge(kName, "final architectural state differs");
+    }
+  } else if (cs.termination() == sim::RunTermination::kAborted) {
+    if (!golden.aborted()) {
+      return diverge(kName, "pipeline aborted but functional sim did not");
+    }
+  } else if (cs.termination() == sim::RunTermination::kDeadlock ||
+             cs.termination() == sim::RunTermination::kMachineCheck) {
+    return diverge(kName, "pipeline deadlocked/machine-checked on a fault-free run");
+  }
+  return std::nullopt;
+}
+
+// ---- Oracle 2: predecoded fast paths vs raw decode. ------------------------
+
+std::optional<Divergence> oracle_predecode_vs_raw(const isa::Program& prog,
+                                                  const OracleConfig& cfg) {
+  const std::string kName = "predecode-vs-raw";
+
+  // Functional sims: step-by-step signals, effects, and trace formation.
+  FunctionalSim fast(prog);
+  FunctionalSim raw(prog, nullptr);
+  trace::TraceBuilder tb_fast;
+  trace::TraceBuilder tb_raw;
+  for (std::uint64_t i = 0; i < cfg.max_instructions && !fast.done(); ++i) {
+    if (raw.done()) return diverge(kName, "raw-decode sim exited early");
+    const auto a = fast.step();
+    const auto b = raw.step();
+    if (a.pc != b.pc || a.index != b.index || a.sig.pack() != b.sig.pack()) {
+      std::ostringstream os;
+      os << "step " << i << ": predecoded pc=0x" << std::hex << a.pc << " sig=0x"
+         << a.sig.pack() << " vs raw pc=0x" << b.pc << " sig=0x" << b.sig.pack()
+         << std::dec;
+      return diverge(kName, os.str());
+    }
+    if (a.fx.next_pc != b.fx.next_pc || a.fx.wrote_int != b.fx.wrote_int ||
+        a.fx.int_value != b.fx.int_value || a.fx.wrote_fp != b.fx.wrote_fp ||
+        std::bit_cast<std::uint64_t>(a.fx.fp_value) !=
+            std::bit_cast<std::uint64_t>(b.fx.fp_value) ||
+        a.fx.did_store != b.fx.did_store || a.fx.mem_addr != b.fx.mem_addr ||
+        a.fx.store_value != b.fx.store_value) {
+      std::ostringstream os;
+      os << "step " << i << " effects differ between predecoded and raw decode";
+      return diverge(kName, os.str());
+    }
+    tb_fast.on_instruction(a.pc, a.sig, a.index);
+    tb_raw.on_instruction(b.pc, b.sig, b.index);
+    const auto ra = tb_fast.take_completed();
+    const auto rb = tb_raw.take_completed();
+    if (ra.has_value() != rb.has_value()) {
+      return diverge(kName, "trace completion disagrees between decode paths");
+    }
+    if (ra && (ra->start_pc != rb->start_pc || ra->signature != rb->signature ||
+               ra->num_instructions != rb->num_instructions ||
+               ra->first_insn_index != rb->first_insn_index ||
+               ra->ended_on_branch != rb->ended_on_branch)) {
+      std::ostringstream os;
+      os << "trace record differs: predecoded {pc=0x" << std::hex << ra->start_pc
+         << " sig=0x" << ra->signature << std::dec << " n=" << ra->num_instructions
+         << "} vs raw {pc=0x" << std::hex << rb->start_pc << " sig=0x"
+         << rb->signature << std::dec << " n=" << rb->num_instructions << "}";
+      return diverge(kName, os.str());
+    }
+  }
+  if (!(fast.state() == raw.state())) {
+    return diverge(kName, "functional state differs between decode paths");
+  }
+  if (fast.output() != raw.output()) {
+    return diverge(kName, "functional output differs between decode paths");
+  }
+
+  // Cycle sims: identical timing, stats, and commit streams either way.
+  auto opt_fast = base_pipeline_options(cfg);
+  opt_fast.use_predecode = true;
+  auto opt_raw = base_pipeline_options(cfg);
+  opt_raw.use_predecode = false;
+  CycleSim cs_fast(prog, std::move(opt_fast));
+  CycleSim cs_raw(prog, std::move(opt_raw));
+  const auto commits_fast = collect_commits(cs_fast, cfg.max_instructions);
+  const auto commits_raw = collect_commits(cs_raw, cfg.max_instructions);
+  if (commits_fast.size() != commits_raw.size()) {
+    std::ostringstream os;
+    os << "commit count differs: predecoded " << commits_fast.size() << " vs raw "
+       << commits_raw.size();
+    return diverge(kName, os.str());
+  }
+  for (std::size_t i = 0; i < commits_fast.size(); ++i) {
+    if (!commits_equal(commits_fast[i], commits_raw[i])) {
+      return diverge(kName, "pipeline commit differs between decode paths: " +
+                                commit_str(commits_fast[i]) + " vs " +
+                                commit_str(commits_raw[i]));
+    }
+  }
+  if (!(cs_fast.stats() == cs_raw.stats())) {
+    return diverge(kName, "pipeline stats differ between decode paths");
+  }
+  if (cs_fast.termination() != cs_raw.termination() ||
+      cs_fast.exit_status() != cs_raw.exit_status() ||
+      cs_fast.output() != cs_raw.output() ||
+      !(cs_fast.state() == cs_raw.state())) {
+    return diverge(kName, "pipeline end state differs between decode paths");
+  }
+  return std::nullopt;
+}
+
+// ---- Oracle 3: sweep engine vs per-config replay. --------------------------
+
+/// Stats-registry scope guard: remembers the enabled flag, clears recorded
+/// data on entry and exit so oracle runs never leak into caller telemetry.
+class RegistryScope {
+ public:
+  RegistryScope() : was_enabled_(obs::stats_enabled()) { obs::registry().reset(); }
+  ~RegistryScope() {
+    obs::registry().reset();
+    obs::set_stats_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+std::string registry_json() {
+  std::ostringstream os;
+  obs::registry().write_json(os, /*include_diagnostic=*/false);
+  return os.str();
+}
+
+std::optional<Divergence> oracle_sweep_vs_replay(const isa::Program& prog,
+                                                 const OracleConfig& cfg) {
+  const std::string kName = "sweep-vs-replay";
+  const auto stream = workload::collect_trace_stream(prog, cfg.max_instructions);
+
+  std::vector<core::ItrCacheConfig> configs;
+  for (const std::size_t size : {std::size_t{64}, std::size_t{256}}) {
+    for (const std::size_t assoc : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+      core::ItrCacheConfig c;
+      c.num_signatures = size;
+      c.associativity = assoc;
+      configs.push_back(c);
+    }
+  }
+  // One non-LRU point exercises the engine's concrete-cache fallback.
+  core::ItrCacheConfig flagged;
+  flagged.num_signatures = 64;
+  flagged.associativity = 2;
+  flagged.replacement = cache::Replacement::kPreferFlaggedLru;
+  configs.push_back(flagged);
+
+  RegistryScope registry_scope;
+  obs::set_stats_enabled(false);
+
+  const auto sweep = core::SweepEngine::run(stream, configs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Independent reference replay through a concrete cache (the same
+    // protocol replay_coverage uses, with per-set eviction visibility).
+    core::ItrCache cache(configs[i]);
+    std::uint64_t index = 0;
+    for (const auto& ct : stream) {
+      trace::TraceRecord rec;
+      rec.start_pc = ct.start_pc;
+      rec.num_instructions = ct.num_instructions;
+      rec.first_insn_index = index;
+      if (cache.probe(rec).outcome == core::ProbeOutcome::kMiss) cache.install(rec);
+      index += ct.num_instructions;
+    }
+    cache.finish();
+
+    const auto replayed = core::replay_coverage(stream, configs[i]);
+    std::ostringstream where;
+    where << "config[" << i << "] (" << configs[i].num_signatures << " sigs, "
+          << configs[i].associativity << "-way"
+          << (configs[i].replacement == cache::Replacement::kPreferFlaggedLru
+                  ? ", checked-first"
+                  : "")
+          << ")";
+    if (!(sweep[i].counters == replayed)) {
+      return diverge(kName, where.str() + ": sweep-engine counters differ from "
+                                          "replay_coverage");
+    }
+    if (!(cache.counters() == replayed)) {
+      return diverge(kName, where.str() + ": concrete-cache counters differ from "
+                                          "replay_coverage");
+    }
+    if (sweep[i].unref_evictions_per_set != cache.unreferenced_evictions_per_set()) {
+      return diverge(kName, where.str() +
+                                ": per-set unreferenced-eviction tallies differ");
+    }
+  }
+
+  // Both publication paths must merge into byte-identical stats JSON.
+  obs::set_stats_enabled(true);
+  obs::registry().reset();
+  core::publish_sweep_stats(sweep, obs::MetricClass::kArchitectural);
+  const std::string json_engine = registry_json();
+  obs::registry().reset();
+  for (const auto& config : configs) {
+    (void)core::replay_coverage(stream, config);  // publishes internally
+  }
+  const std::string json_replay = registry_json();
+  if (json_engine != json_replay) {
+    return diverge(kName, "stats JSON differs between sweep-engine and per-config "
+                          "replay publication");
+  }
+  return std::nullopt;
+}
+
+// ---- Oracle 4: checkpoint modes in fault campaigns. ------------------------
+
+std::string injection_str(const fi::InjectionResult& r) {
+  std::ostringstream os;
+  os << "target=" << r.decode_index << " bit=" << r.bit << " field=" << r.field
+     << " outcome=" << fi::outcome_label(r.outcome) << " detect_cycle="
+     << r.detect_cycle << " faulty_commits=" << r.faulty_commits;
+  return os.str();
+}
+
+bool injections_equal(const fi::InjectionResult& a, const fi::InjectionResult& b) {
+  return a.outcome == b.outcome && a.decode_index == b.decode_index &&
+         a.bit == b.bit && std::string_view(a.field) == b.field &&
+         a.detected == b.detected && a.recoverable == b.recoverable &&
+         a.sdc == b.sdc && a.deadlock == b.deadlock && a.spc == b.spc &&
+         a.detect_cycle == b.detect_cycle && a.faulty_commits == b.faulty_commits;
+}
+
+std::optional<Divergence> oracle_ladder_vs_scratch(const isa::Program& prog,
+                                                   const OracleConfig& cfg) {
+  const std::string kName = "ladder-vs-scratch";
+  fi::CampaignConfig base;
+  base.observation_cycles = 4'000;
+  base.warmup_instructions = 1'000;
+  base.inject_region = 4'000;
+  base.seed = 1;
+  base.detected_mask_grace_cycles = 800;
+
+  struct Variant {
+    const char* label;
+    fi::CheckpointMode mode;
+    bool use_predecode;
+    bool cow_memory;
+  };
+  const Variant variants[] = {
+      {"scratch", fi::CheckpointMode::kScratch, true, true},
+      {"warmup", fi::CheckpointMode::kWarmup, true, true},
+      {"ladder", fi::CheckpointMode::kLadder, true, true},
+      {"ladder/raw-decode/deep-copy", fi::CheckpointMode::kLadder, false, false},
+  };
+
+  std::optional<fi::CampaignSummary> reference;
+  for (const Variant& v : variants) {
+    fi::CampaignConfig c = base;
+    c.checkpoint_mode = v.mode;
+    c.use_predecode = v.use_predecode;
+    c.cow_memory = v.cow_memory;
+    fi::FaultInjectionCampaign campaign(prog, c);
+    auto summary = campaign.run(cfg.campaign_faults, /*threads=*/2);
+    if (!reference) {
+      reference = std::move(summary);
+      continue;
+    }
+    if (summary.counts != reference->counts || summary.total != reference->total) {
+      return diverge(kName, std::string("outcome tallies under '") + v.label +
+                                "' differ from scratch baseline");
+    }
+    if (summary.results.size() != reference->results.size()) {
+      return diverge(kName, std::string("result count under '") + v.label +
+                                "' differs from scratch baseline");
+    }
+    for (std::size_t i = 0; i < summary.results.size(); ++i) {
+      if (!injections_equal(summary.results[i], reference->results[i])) {
+        return diverge(kName, std::string("injection ") + std::to_string(i) +
+                                  " under '" + v.label + "' classified {" +
+                                  injection_str(summary.results[i]) +
+                                  "} vs scratch {" +
+                                  injection_str(reference->results[i]) + "}");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Oracle 5: snapshot-resume vs uninterrupted run. -----------------------
+
+std::optional<Divergence> oracle_snapshot_vs_fresh(const isa::Program& prog,
+                                                   const OracleConfig& cfg) {
+  const std::string kName = "snapshot-vs-fresh";
+
+  CycleSim fresh(prog, base_pipeline_options(cfg));
+  const auto commits_fresh = collect_commits(fresh, cfg.max_instructions);
+
+  // Run a second machine halfway, snapshot it, resume the copy.
+  const std::uint64_t pause_at =
+      std::min<std::uint64_t>(commits_fresh.size() / 2, 500);
+  CycleSim half(prog, base_pipeline_options(cfg));
+  std::vector<CommitRecord> commits_resumed;
+  while (commits_resumed.size() < pause_at && half.advance()) {
+    while (auto c = half.next_commit()) commits_resumed.push_back(*c);
+  }
+  while (auto c = half.next_commit()) commits_resumed.push_back(*c);
+
+  CycleSim resumed(half);  // the snapshot
+  while (commits_resumed.size() < cfg.max_instructions && resumed.advance()) {
+    while (auto c = resumed.next_commit()) commits_resumed.push_back(*c);
+  }
+  while (auto c = resumed.next_commit()) commits_resumed.push_back(*c);
+
+  if (commits_resumed.size() != commits_fresh.size()) {
+    std::ostringstream os;
+    os << "commit count differs: fresh " << commits_fresh.size()
+       << " vs snapshot-resumed " << commits_resumed.size() << " (snapshot at "
+       << pause_at << ")";
+    return diverge(kName, os.str());
+  }
+  for (std::size_t i = 0; i < commits_fresh.size(); ++i) {
+    if (!commits_equal(commits_fresh[i], commits_resumed[i])) {
+      return diverge(kName, "commit differs after snapshot resume: " +
+                                commit_str(commits_fresh[i]) + " vs " +
+                                commit_str(commits_resumed[i]));
+    }
+  }
+  if (!(resumed.stats() == fresh.stats()) ||
+      resumed.termination() != fresh.termination() ||
+      resumed.exit_status() != fresh.exit_status() ||
+      resumed.output() != fresh.output() || !(resumed.state() == fresh.state())) {
+    return diverge(kName, "end state differs between fresh and snapshot-resumed runs");
+  }
+
+  // COW vs deep-copy memory must be invisible to everything observable.
+  auto opt_deep = base_pipeline_options(cfg);
+  opt_deep.cow_memory = false;
+  CycleSim deep(prog, std::move(opt_deep));
+  const auto commits_deep = collect_commits(deep, cfg.max_instructions);
+  if (commits_deep.size() != commits_fresh.size()) {
+    return diverge(kName, "commit count differs between COW and deep-copy memory");
+  }
+  for (std::size_t i = 0; i < commits_fresh.size(); ++i) {
+    if (!commits_equal(commits_fresh[i], commits_deep[i])) {
+      return diverge(kName, "commit differs between COW and deep-copy memory: " +
+                                commit_str(commits_fresh[i]) + " vs " +
+                                commit_str(commits_deep[i]));
+    }
+  }
+  if (!(deep.stats() == fresh.stats()) || !(deep.state() == fresh.state()) ||
+      deep.output() != fresh.output()) {
+    return diverge(kName, "end state differs between COW and deep-copy memory");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const std::vector<std::string>& oracle_names() {
+  static const std::vector<std::string> kNames = {
+      "func-vs-pipeline", "predecode-vs-raw", "sweep-vs-replay",
+      "ladder-vs-scratch", "snapshot-vs-fresh"};
+  return kNames;
+}
+
+std::optional<Divergence> run_oracle(const std::string& name,
+                                     const isa::Program& prog,
+                                     const OracleConfig& cfg) {
+  if (name == "func-vs-pipeline") return oracle_func_vs_pipeline(prog, cfg);
+  if (name == "predecode-vs-raw") return oracle_predecode_vs_raw(prog, cfg);
+  if (name == "sweep-vs-replay") return oracle_sweep_vs_replay(prog, cfg);
+  if (name == "ladder-vs-scratch") return oracle_ladder_vs_scratch(prog, cfg);
+  if (name == "snapshot-vs-fresh") return oracle_snapshot_vs_fresh(prog, cfg);
+  throw std::invalid_argument("unknown oracle '" + name + "'");
+}
+
+std::vector<Divergence> run_all_oracles(const isa::Program& prog,
+                                        const OracleConfig& cfg) {
+  std::vector<Divergence> out;
+  for (const auto& name : oracle_names()) {
+    if (auto d = run_oracle(name, prog, cfg)) out.push_back(std::move(*d));
+  }
+  return out;
+}
+
+}  // namespace itr::fuzz

@@ -1,0 +1,55 @@
+// Differential oracles: each runs one program through a pair (or family) of
+// supposedly-equivalent execution paths and reports the first observable
+// difference.  A report from any oracle on a fault-free program is a
+// simulator bug by construction — the paper's whole detection argument
+// rests on redundant executions of the same code being bit-identical.
+//
+// The five oracle pairs (named as listed by oracle_names()):
+//
+//   func-vs-pipeline   functional golden vs cycle-level commit stream
+//   predecode-vs-raw   predecoded fast paths vs per-instruction raw decode
+//                      (both the functional and the cycle simulator), plus
+//                      trace-record formation over both signal streams
+//   sweep-vs-replay    SweepEngine one-pass coverage vs per-config
+//                      replay_coverage, including stats-registry JSON bytes
+//   ladder-vs-scratch  fault campaigns under scratch / warmup / ladder
+//                      checkpointing (and the seed-path toggles)
+//   snapshot-vs-fresh  CycleSim copy-resume vs an uninterrupted run, plus
+//                      COW vs deep-copy memory
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace itr::fuzz {
+
+struct OracleConfig {
+  std::uint64_t max_instructions = 20'000;  ///< per-run dynamic budget
+  std::uint64_t max_cycles = 2'000'000;     ///< cycle-sim safety net
+  std::uint64_t campaign_faults = 4;        ///< injections per campaign mode
+};
+
+/// One observed difference between supposedly-equivalent paths.
+struct Divergence {
+  std::string oracle;
+  std::string detail;
+};
+
+/// Names of the five oracle pairs, in canonical order.
+const std::vector<std::string>& oracle_names();
+
+/// Runs one oracle by name; nullopt = paths agreed.  Throws
+/// std::invalid_argument for an unknown name.
+std::optional<Divergence> run_oracle(const std::string& name,
+                                     const isa::Program& prog,
+                                     const OracleConfig& cfg);
+
+/// Runs every oracle; returns all divergences found (empty = clean).
+std::vector<Divergence> run_all_oracles(const isa::Program& prog,
+                                        const OracleConfig& cfg);
+
+}  // namespace itr::fuzz

@@ -1,0 +1,352 @@
+#include "fuzz/program_gen.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace itr::fuzz {
+
+using isa::Opcode;
+
+namespace {
+
+/// Integer scratch registers the filler may clobber freely.
+constexpr std::array<int, 14> kScratch = {1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+/// Loop counter registers (never touched by filler).
+constexpr std::array<int, 8> kCounters = {16, 17, 18, 19, 20, 21, 22, 23};
+/// Data-segment base pointer, live for the whole program.
+constexpr int kBaseReg = 28;
+/// FP scratch registers.
+constexpr std::array<int, 8> kFpScratch = {1, 2, 3, 4, 5, 6, 7, 8};
+
+/// Data segment size: three 4 KiB pages, so page-crossing accesses at both
+/// interior boundaries stay in bounds.
+constexpr std::uint32_t kDataWords = 3 * 1024;
+constexpr std::int32_t kDataBytes = static_cast<std::int32_t>(kDataWords) * 4;
+
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed) : rng_(seed) {}
+
+  FuzzProgram run() {
+    prog_.name = "fuzz";
+    prog_.data_words.resize(kDataWords);
+    for (auto& w : prog_.data_words) w = static_cast<std::uint32_t>(rng_.next());
+
+    emit_prologue();
+
+    // Leaf functions first, skipped over by an unconditional jump; call
+    // sites later reference their start indices.
+    const std::size_t skip_jump = emit_target(isa::make_jump(Opcode::kJ, 0), 0);
+    const std::size_t num_functions = rng_.below(4);
+    for (std::size_t f = 0; f < num_functions; ++f) {
+      functions_.push_back(static_cast<std::uint32_t>(prog_.insts.size()));
+      emit_function_body();
+    }
+    prog_.insts[skip_jump].target = static_cast<std::uint32_t>(prog_.insts.size());
+
+    const std::size_t num_blocks = rng_.in_range(4, 10);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      switch (rng_.below(6)) {
+        case 0: emit_straight_run(); break;
+        case 1: emit_tight_loop(); break;
+        case 2: emit_self_branches(); break;
+        case 3: emit_page_boundary_memory(); break;
+        case 4: emit_irregular_branches(); break;
+        case 5: emit_call(); break;
+      }
+    }
+
+    emit_epilogue();
+    return std::move(prog_);
+  }
+
+ private:
+  void emit(const isa::Instruction& inst) { prog_.insts.push_back({inst, false, 0}); }
+
+  std::size_t emit_target(const isa::Instruction& inst, std::uint32_t target) {
+    prog_.insts.push_back({inst, true, target});
+    return prog_.insts.size() - 1;
+  }
+
+  int scratch() { return kScratch[rng_.below(kScratch.size())]; }
+  int fp_scratch() { return kFpScratch[rng_.below(kFpScratch.size())]; }
+
+  void emit_prologue() {
+    // Data base pointer (kDefaultDataBase = 0x4000 fits a positive imm16).
+    emit(isa::make_ri(Opcode::kAddi, kBaseReg, 0,
+                      static_cast<std::int16_t>(isa::kDefaultDataBase)));
+    for (const int r : kScratch) {
+      if (rng_.chance(0.5)) {
+        emit(isa::make_lui(r, static_cast<std::uint16_t>(rng_.next())));
+        emit(isa::make_ri(Opcode::kOri, r, r,
+                          static_cast<std::int16_t>(rng_.next() & 0x7fff)));
+      } else {
+        emit(isa::make_ri(Opcode::kAddi, r, 0,
+                          static_cast<std::int16_t>(rng_.in_range(0, 2000))));
+      }
+    }
+    for (const int f : kFpScratch) {
+      emit(isa::make_rr(Opcode::kCvtIf, f, scratch(), 0));
+    }
+  }
+
+  /// One random computational instruction over the scratch registers.
+  void emit_filler() {
+    const auto pick = rng_.below(10);
+    if (pick < 5) {
+      static constexpr std::array<Opcode, 14> kRrOps = {
+          Opcode::kAdd,  Opcode::kSub,  Opcode::kMul, Opcode::kDiv, Opcode::kRem,
+          Opcode::kAnd,  Opcode::kOr,   Opcode::kXor, Opcode::kNor, Opcode::kSlt,
+          Opcode::kSltu, Opcode::kSllv, Opcode::kSrlv, Opcode::kSrav};
+      emit(isa::make_rr(kRrOps[rng_.below(kRrOps.size())], scratch(), scratch(),
+                        scratch()));
+    } else if (pick < 7) {
+      static constexpr std::array<Opcode, 5> kRiOps = {
+          Opcode::kAddi, Opcode::kAndi, Opcode::kOri, Opcode::kXori, Opcode::kSlti};
+      emit(isa::make_ri(kRiOps[rng_.below(kRiOps.size())], scratch(), scratch(),
+                        static_cast<std::int16_t>(rng_.next())));
+    } else if (pick < 8) {
+      static constexpr std::array<Opcode, 3> kShiftOps = {Opcode::kSll, Opcode::kSrl,
+                                                          Opcode::kSra};
+      emit(isa::make_shift(kShiftOps[rng_.below(kShiftOps.size())], scratch(),
+                           scratch(), static_cast<int>(rng_.below(32))));
+    } else {
+      emit_fp_filler();
+    }
+  }
+
+  void emit_fp_filler() {
+    switch (rng_.below(7)) {
+      case 0:
+        emit(isa::make_rr(rng_.chance(0.5) ? Opcode::kFadd : Opcode::kFsub,
+                          fp_scratch(), fp_scratch(), fp_scratch()));
+        break;
+      case 1:
+        emit(isa::make_rr(Opcode::kFmul, fp_scratch(), fp_scratch(), fp_scratch()));
+        break;
+      case 2: {
+        static constexpr std::array<Opcode, 3> kFpR = {Opcode::kFneg, Opcode::kFabs,
+                                                       Opcode::kFmov};
+        emit(isa::make_rr(kFpR[rng_.below(kFpR.size())], fp_scratch(), fp_scratch(), 0));
+        break;
+      }
+      case 3: {
+        static constexpr std::array<Opcode, 3> kFpCmp = {Opcode::kFceq, Opcode::kFclt,
+                                                         Opcode::kFcle};
+        emit(isa::make_rr(kFpCmp[rng_.below(kFpCmp.size())], scratch(), fp_scratch(),
+                          fp_scratch()));
+        break;
+      }
+      case 4:
+        emit(isa::make_rr(Opcode::kCvtIf, fp_scratch(), scratch(), 0));
+        break;
+      case 5:
+        emit(isa::make_rr(Opcode::kCvtFi, scratch(), fp_scratch(), 0));
+        break;
+      case 6:
+        emit(rng_.chance(0.5) ? isa::make_rr(Opcode::kMtc, fp_scratch(), scratch(), 0)
+                              : isa::make_rr(Opcode::kMfc, scratch(), fp_scratch(), 0));
+        break;
+    }
+  }
+
+  /// Straight run longer than a maximum-length trace (16), so trace
+  /// formation must terminate on the length limit, not on a branch.
+  void emit_straight_run() {
+    const std::uint64_t len = rng_.in_range(17, 48);
+    for (std::uint64_t i = 0; i < len; ++i) emit_filler();
+  }
+
+  /// Counted tight loop with a 0-2 instruction body: extremely hot short
+  /// traces probing the same ITR cache line back to back.
+  void emit_tight_loop() {
+    const int counter = kCounters[rng_.below(kCounters.size())];
+    emit(isa::make_ri(Opcode::kAddi, counter, 0,
+                      static_cast<std::int16_t>(rng_.in_range(1, 40))));
+    const auto head = static_cast<std::uint32_t>(prog_.insts.size());
+    const std::uint64_t body = rng_.below(3);
+    for (std::uint64_t i = 0; i < body; ++i) emit_filler();
+    emit(isa::make_ri(Opcode::kAddi, counter, counter, -1));
+    emit_target(isa::make_branch1(Opcode::kBgtz, counter, 0), head);
+  }
+
+  /// Never-taken branches targeting themselves: the degenerate
+  /// single-instruction trace whose start PC equals its target.
+  void emit_self_branches() {
+    const std::uint64_t n = rng_.in_range(1, 3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto self = static_cast<std::uint32_t>(prog_.insts.size());
+      switch (rng_.below(3)) {
+        case 0: {
+          const int r = scratch();
+          emit_target(isa::make_branch2(Opcode::kBne, r, r, 0), self);
+          break;
+        }
+        case 1:
+          emit_target(isa::make_branch1(Opcode::kBgtz, 0, 0), self);
+          break;
+        case 2:
+          emit_target(isa::make_branch1(Opcode::kBltz, 0, 0), self);
+          break;
+      }
+    }
+  }
+
+  /// Loads and stores landing on or straddling the 4 KiB page boundaries
+  /// inside the data segment, including the partial-word left/right forms.
+  void emit_page_boundary_memory() {
+    const std::uint64_t n = rng_.in_range(2, 6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int32_t boundary = rng_.chance(0.5) ? 4096 : 8192;
+      const std::int32_t delta = static_cast<std::int32_t>(rng_.below(9)) - 4;
+      std::int32_t disp = boundary + delta;
+      disp = std::clamp(disp, 0, kDataBytes - 8);
+      const auto d16 = static_cast<std::int16_t>(disp);
+      switch (rng_.below(7)) {
+        case 0: {
+          static constexpr std::array<Opcode, 5> kLoads = {
+              Opcode::kLb, Opcode::kLbu, Opcode::kLh, Opcode::kLhu, Opcode::kLw};
+          emit(isa::make_load(kLoads[rng_.below(kLoads.size())], scratch(), kBaseReg,
+                              d16));
+          break;
+        }
+        case 1:
+          emit(isa::make_load(rng_.chance(0.5) ? Opcode::kLwl : Opcode::kLwr,
+                              scratch(), kBaseReg, d16));
+          break;
+        case 2:
+          emit(isa::make_load(Opcode::kLdf, fp_scratch(), kBaseReg, d16));
+          break;
+        case 3: {
+          static constexpr std::array<Opcode, 3> kStores = {Opcode::kSb, Opcode::kSh,
+                                                            Opcode::kSw};
+          emit(isa::make_store(kStores[rng_.below(kStores.size())], scratch(),
+                               kBaseReg, d16));
+          break;
+        }
+        case 4:
+          emit(isa::make_store(rng_.chance(0.5) ? Opcode::kSwl : Opcode::kSwr,
+                               scratch(), kBaseReg, d16));
+          break;
+        case 5:
+          emit(isa::make_store(Opcode::kStf, fp_scratch(), kBaseReg, d16));
+          break;
+        case 6:
+          // Base + register-computed displacement: sltu masks a scratch into
+          // 0/1 so the effective address hugs the boundary data-dependently.
+          emit(isa::make_rr(Opcode::kSltu, scratch(), scratch(), scratch()));
+          emit(isa::make_load(Opcode::kLw, scratch(), kBaseReg, d16));
+          break;
+      }
+    }
+  }
+
+  /// Data-dependent forward branches over irregular distances; both sides
+  /// merge at the fall-through.
+  void emit_irregular_branches() {
+    const std::uint64_t n = rng_.in_range(2, 5);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const int cond = scratch();
+      emit(isa::make_rr(rng_.chance(0.5) ? Opcode::kSlt : Opcode::kSltu, cond,
+                        scratch(), scratch()));
+      const auto skip = static_cast<std::uint32_t>(rng_.in_range(1, 6));
+      const auto branch_index = static_cast<std::uint32_t>(prog_.insts.size());
+      const std::uint32_t target = branch_index + 1 + skip;
+      switch (rng_.below(4)) {
+        case 0:
+          emit_target(isa::make_branch2(Opcode::kBeq, cond, scratch(), 0), target);
+          break;
+        case 1:
+          emit_target(isa::make_branch2(Opcode::kBne, cond, scratch(), 0), target);
+          break;
+        case 2:
+          emit_target(isa::make_branch1(Opcode::kBlez, cond, 0), target);
+          break;
+        case 3:
+          emit_target(isa::make_branch1(Opcode::kBgez, cond, 0), target);
+          break;
+      }
+      for (std::uint32_t s = 0; s < skip; ++s) emit_filler();
+    }
+  }
+
+  /// Call into a generated leaf function, either directly (jal) or through
+  /// a register holding the absolute code address (lui/ori + jalr).
+  void emit_call() {
+    if (functions_.empty()) {
+      emit_straight_run();
+      return;
+    }
+    const std::uint32_t target = functions_[rng_.below(functions_.size())];
+    if (rng_.chance(0.6)) {
+      emit_target(isa::make_jump(Opcode::kJal, 0), target);
+    } else {
+      const std::uint64_t addr =
+          isa::kDefaultCodeBase + std::uint64_t{target} * isa::kInstrBytes;
+      const int r = scratch();
+      emit(isa::make_lui(r, static_cast<std::uint16_t>(addr >> 16)));
+      emit(isa::make_ri(Opcode::kOri, r, r,
+                        static_cast<std::int16_t>(addr & 0x7fff)));
+      emit(isa::make_jump_reg(Opcode::kJalr, r));
+    }
+  }
+
+  /// Leaf function: a short computational body ending in jr ra.  Leaves
+  /// never call (one live return address, no stack discipline needed).
+  void emit_function_body() {
+    const std::uint64_t len = rng_.in_range(3, 10);
+    for (std::uint64_t i = 0; i < len; ++i) emit_filler();
+    emit(isa::make_jump_reg(Opcode::kJr, isa::kRegRa));
+  }
+
+  /// Prints a register checksum (so output comparison sees architectural
+  /// bytes) and exits with a seed-dependent status.
+  void emit_epilogue() {
+    for (const int r : {1, 3, 7, 11, 16, 20}) {
+      emit(isa::make_ri(Opcode::kAddi, isa::kRegA0, r, 0));
+      emit(isa::make_trap(static_cast<std::int16_t>(isa::TrapCode::kPrintInt)));
+    }
+    emit(isa::make_rr(Opcode::kFmov, 12, fp_scratch(), 0));
+    emit(isa::make_trap(static_cast<std::int16_t>(isa::TrapCode::kPrintFp)));
+    emit(isa::make_ri(Opcode::kAddi, isa::kRegA0, 0,
+                      static_cast<std::int16_t>(rng_.below(100))));
+    emit(isa::make_trap(static_cast<std::int16_t>(isa::TrapCode::kExit)));
+  }
+
+  util::Xoshiro256StarStar rng_;
+  FuzzProgram prog_;
+  std::vector<std::uint32_t> functions_;
+};
+
+}  // namespace
+
+isa::Program FuzzProgram::materialize() const {
+  isa::Program out;
+  out.name = name;
+  out.code.reserve(insts.size());
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    isa::Instruction inst = insts[i].inst;
+    if (insts[i].has_target && !insts.empty()) {
+      const auto last = static_cast<std::int64_t>(insts.size()) - 1;
+      const std::int64_t target =
+          std::min<std::int64_t>(insts[i].target, last);
+      const std::int64_t off = target - (static_cast<std::int64_t>(i) + 1);
+      inst.imm = static_cast<std::int16_t>(
+          std::clamp<std::int64_t>(off, INT16_MIN, INT16_MAX));
+    }
+    out.code.push_back(isa::encode(inst));
+  }
+  out.data.reserve(data_words.size() * 4);
+  for (const std::uint32_t w : data_words) {
+    for (int b = 0; b < 4; ++b) {
+      out.data.push_back(static_cast<std::uint8_t>(w >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+FuzzProgram generate_program(std::uint64_t seed) { return Generator(seed).run(); }
+
+}  // namespace itr::fuzz

@@ -1,0 +1,65 @@
+// Seed-driven random program generation for the differential fuzzer.
+//
+// Programs are built in an index-addressed intermediate form (FuzzProgram):
+// each instruction optionally names its control-flow target as an
+// *instruction index* rather than a baked-in word offset.  That makes the
+// delta-debugging minimizer (minimize.hpp) safe — deleting a range of
+// instructions remaps the surviving targets instead of silently retargeting
+// every downstream branch.
+//
+// The generator mixes structural stress patterns aimed at the simulator
+// equivalences the oracles check (see oracles.hpp):
+//
+//   * straight ALU/FP runs longer than trace::kMaxTraceLength, forcing
+//     max-length (16-instruction, not-branch-terminated) traces;
+//   * counted tight loops with one- and two-instruction bodies, producing
+//     extremely hot short traces and back-to-back ITR cache probes of the
+//     same start PC;
+//   * never-taken self-branches (a branch whose target is itself), the
+//     degenerate single-instruction trace;
+//   * loads and stores straddling 4 KiB page boundaries, including the
+//     lwl/lwr/swl/swr partial-word forms, to stress the COW memory paths;
+//   * data-dependent forward branches over irregular distances;
+//   * call/return webs (jal ... jr ra) between generated leaf functions.
+//
+// Every program terminates: loops are counted with bounded iteration
+// counts, and the epilogue prints a register checksum (so oracle output
+// comparison has architectural bytes to disagree about) then exits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+
+namespace itr::fuzz {
+
+/// One instruction plus an optional symbolic control-flow target
+/// (instruction index into FuzzProgram::insts).
+struct FuzzInst {
+  isa::Instruction inst;
+  bool has_target = false;
+  std::uint32_t target = 0;
+
+  friend bool operator==(const FuzzInst&, const FuzzInst&) = default;
+};
+
+struct FuzzProgram {
+  std::string name = "fuzz";
+  std::vector<FuzzInst> insts;
+  std::vector<std::uint32_t> data_words;  ///< initial data segment, LE words
+
+  /// Lowers to a loadable program at the default code/data bases: symbolic
+  /// targets become PC-relative word offsets (target index i is encoded as
+  /// offset i - (self+1)); targets past the end are clamped to the last
+  /// instruction so minimized programs stay well-formed.
+  isa::Program materialize() const;
+};
+
+/// Deterministically generates one program from `seed` (identical bytes for
+/// identical seeds, across platforms and runs).
+FuzzProgram generate_program(std::uint64_t seed);
+
+}  // namespace itr::fuzz

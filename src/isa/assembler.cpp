@@ -1,6 +1,7 @@
 #include "isa/assembler.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -198,7 +199,15 @@ class Assembler {
     if (head == ".double") {
       while (data_.size() % 8 != 0) data_.push_back(0);
       for (std::size_t k = i + 1; k < t.size(); ++k) {
-        const double d = std::stod(t[k]);
+        // Full-string validated parse: std::stod would accept trailing junk
+        // ("1.5x") and throw an uncaught exception on non-numeric tokens.
+        double d = 0.0;
+        const char* first = t[k].data();
+        const char* last = first + t[k].size();
+        const auto [ptr, ec] = std::from_chars(first, last, d);
+        if (ec != std::errc{} || ptr != last) {
+          fail(line, ".double needs floating-point literals, got '" + t[k] + "'");
+        }
         std::uint64_t bits = 0;
         std::memcpy(&bits, &d, sizeof bits);
         for (int b = 0; b < 8; ++b) data_.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));

@@ -71,6 +71,10 @@ struct CoverageCounters {
   /// detection_loss_instructions).
   std::uint64_t unreferenced_evictions = 0;
 
+  /// Field-wise equality; the differential fuzzer cross-checks the sweep
+  /// engine against per-config replays with this.
+  friend bool operator==(const CoverageCounters&, const CoverageCounters&) = default;
+
   double detection_loss_percent() const noexcept {
     return total_instructions == 0
                ? 0.0

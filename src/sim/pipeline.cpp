@@ -189,6 +189,7 @@ void CycleSim::commit_one(CommitRecord&& rec) {
   stats_.cycles = std::max(stats_.cycles, rec.commit_cycle);
   const bool exited = rec.exited;
   const bool aborted = rec.aborted;
+  if (exited) exit_status_ = rec.exit_status;
   commit_queue_.push_back(std::move(rec));
   if (exited) terminate(aborted ? RunTermination::kAborted : RunTermination::kExited);
 }
@@ -480,6 +481,7 @@ void CycleSim::process_instruction() {
   rec.mem_bytes = fx.mem_bytes;
   rec.exited = fx.exited;
   rec.aborted = fx.aborted;
+  rec.exit_status = fx.exit_status;
   rec.engaged_control = fx.engaged_branch_unit || fx.exited;
 
   const bool hold_commits = opt_.itr_recovery && itr_.has_value();

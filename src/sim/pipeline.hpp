@@ -99,6 +99,7 @@ struct CommitRecord {
   unsigned mem_bytes = 0;
   bool exited = false;
   bool aborted = false;
+  std::int32_t exit_status = 0;  ///< meaningful only when exited
   bool engaged_control = false;  ///< branch unit resolved this instruction
   bool spc_fired = false;     ///< sequential-PC check mismatch at this commit
 

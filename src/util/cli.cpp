@@ -1,9 +1,53 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <charconv>
+#include <limits>
 
 namespace itr::util {
+
+namespace {
+
+/// from_chars over the whole of `text`, base `base`; nullopt unless every
+/// character was consumed and the value fit.
+std::optional<std::uint64_t> from_chars_u64(std::string_view text, int base) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return from_chars_u64(text.substr(2), 16);
+  }
+  // Decimal, optionally with a power-of-ten exponent ("2e6").  std::stoull
+  // used to parse "2e6" as 2 — a silent 6-orders-of-magnitude truncation.
+  const auto exp_pos = text.find_first_of("eE");
+  const auto mantissa = from_chars_u64(text.substr(0, exp_pos), 10);
+  if (!mantissa) return std::nullopt;
+  if (exp_pos == std::string_view::npos) return mantissa;
+  const auto exponent = from_chars_u64(text.substr(exp_pos + 1), 10);
+  if (!exponent || *exponent > 19) return std::nullopt;
+  std::uint64_t value = *mantissa;
+  for (std::uint64_t i = 0; i < *exponent; ++i) {
+    if (value > std::numeric_limits<std::uint64_t>::max() / 10) return std::nullopt;
+    value *= 10;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -13,7 +57,7 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
       continue;
     }
     arg.remove_prefix(2);
-    if (arg.empty()) throw std::invalid_argument("bare '--' argument");
+    if (arg.empty()) throw CliError("bare '--' argument");
     if (const auto eq = arg.find('='); eq != std::string_view::npos) {
       values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
       continue;
@@ -45,13 +89,22 @@ std::string CliFlags::get_string(std::string_view name, std::string_view fallbac
 std::uint64_t CliFlags::get_u64(std::string_view name, std::uint64_t fallback) const {
   const auto v = lookup(name);
   if (!v) return fallback;
-  return std::stoull(*v);
+  const auto parsed = parse_u64(*v);
+  if (!parsed) {
+    throw CliError("--" + std::string(name) + ": invalid unsigned integer '" + *v +
+                   "' (expected digits, 0x-prefixed hex, or an exponent form like 2e6)");
+  }
+  return *parsed;
 }
 
 double CliFlags::get_double(std::string_view name, double fallback) const {
   const auto v = lookup(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  const auto parsed = parse_double(*v);
+  if (!parsed) {
+    throw CliError("--" + std::string(name) + ": invalid number '" + *v + "'");
+  }
+  return *parsed;
 }
 
 bool CliFlags::get_bool(std::string_view name, bool fallback) const {
@@ -64,7 +117,7 @@ void CliFlags::reject_unknown() const {
   for (const auto& [name, value] : values_) {
     (void)value;
     if (std::find(queried_.begin(), queried_.end(), name) == queried_.end()) {
-      throw std::invalid_argument("unknown flag --" + name);
+      throw CliError("unknown flag --" + name);
     }
   }
 }

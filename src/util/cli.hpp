@@ -1,26 +1,52 @@
 // Minimal command-line flag parsing shared by the bench and example binaries.
 //
 // Supports `--name value`, `--name=value`, and boolean `--name`.  Unknown
-// flags are an error so typos in sweep scripts fail loudly.
+// flags are an error so typos in sweep scripts fail loudly.  Numeric flag
+// values are validated in full: trailing junk (`--insns 10x`), sign
+// characters on unsigned flags, and overflow all raise CliError naming the
+// flag and the offending value, instead of the silent-truncation/terminate
+// behaviour of raw std::stoull.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace itr::util {
 
+/// Malformed command line: unknown flag or invalid flag value.  The message
+/// names the flag and the value; binaries catch it at main scope, print it
+/// to stderr, and exit with status 2.
+class CliError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Strict full-string parse of an unsigned 64-bit value.  Accepts decimal
+/// ("4096"), hex ("0x1000"), and decimal with a non-negative power-of-ten
+/// exponent ("2e6", "1E3").  Rejects empty strings, signs, fractional
+/// values, trailing characters ("10x"), and anything that overflows 64 bits.
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// Strict full-string parse of a double; rejects empty strings and trailing
+/// characters.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
 class CliFlags {
  public:
-  /// Parses argv; throws std::invalid_argument on malformed input.
+  /// Parses argv; throws CliError on malformed input.
   CliFlags(int argc, const char* const* argv);
 
   bool has(std::string_view name) const;
   std::string get_string(std::string_view name, std::string_view fallback) const;
+  /// Throws CliError when the flag is present but not a valid u64 (see
+  /// parse_u64 for the accepted forms).
   std::uint64_t get_u64(std::string_view name, std::uint64_t fallback) const;
+  /// Throws CliError when the flag is present but not a valid double.
   double get_double(std::string_view name, double fallback) const;
   bool get_bool(std::string_view name, bool fallback = false) const;
 
@@ -28,7 +54,8 @@ class CliFlags {
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
   /// Names the caller has queried; used to reject unknown flags.
-  /// Call after all get_* calls; throws if any parsed flag was never queried.
+  /// Call after all get_* calls; throws CliError if any parsed flag was
+  /// never queried.
   void reject_unknown() const;
 
  private:

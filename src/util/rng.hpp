@@ -71,9 +71,13 @@ class Xoshiro256StarStar {
     return static_cast<std::uint64_t>(wide >> 64);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive.  The full-domain case
+  /// [0, 2^64-1] is handled explicitly: there `hi - lo + 1` wraps to 0 and
+  /// below(0) would pin the result to `lo` forever.
   constexpr std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi) noexcept {
-    return lo + below(hi - lo + 1);
+    const std::uint64_t span = hi - lo;  // inclusive width minus one
+    if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+    return lo + below(span + 1);
   }
 
   /// Uniform double in [0, 1).

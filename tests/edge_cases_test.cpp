@@ -2,13 +2,18 @@
 // states, and failure paths not exercised by the main suites.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "isa/assembler.hpp"
 #include "isa/builder.hpp"
 #include "itr/itr_unit.hpp"
 #include "sim/functional.hpp"
 #include "sim/pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 #include "workload/mini_programs.hpp"
@@ -246,6 +251,81 @@ TEST(GeneratorEdge, TraceLengthClampedToIsaLimit) {
   const auto stream = workload::collect_trace_stream(prog, 5'000);
   for (const auto& t : stream) {
     EXPECT_LE(t.num_instructions, trace::kMaxTraceLength);
+  }
+}
+
+// ---- Strict CLI numeric parsing (the std::stoull replacement). ------------------
+
+TEST(CliEdge, ParseU64AcceptsDecimalHexAndExponent) {
+  EXPECT_EQ(util::parse_u64("4096"), 4096u);
+  EXPECT_EQ(util::parse_u64("0x1000"), 0x1000u);
+  EXPECT_EQ(util::parse_u64("2e6"), 2'000'000u);
+  EXPECT_EQ(util::parse_u64("1E3"), 1'000u);
+  EXPECT_EQ(util::parse_u64("0"), 0u);
+  EXPECT_EQ(util::parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CliEdge, ParseU64RejectsJunkSignsAndOverflow) {
+  // std::stoull would have returned 10 for "10x" and thrown (uncaught, at
+  // the time) for the rest; all of these must be clean rejections.
+  EXPECT_FALSE(util::parse_u64("10x").has_value());
+  EXPECT_FALSE(util::parse_u64("-5").has_value());
+  EXPECT_FALSE(util::parse_u64("+5").has_value());
+  EXPECT_FALSE(util::parse_u64("").has_value());
+  EXPECT_FALSE(util::parse_u64("1.5").has_value());
+  EXPECT_FALSE(util::parse_u64("0x").has_value());
+  EXPECT_FALSE(util::parse_u64("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(util::parse_u64("1e20").has_value());  // exponent overflow
+  EXPECT_FALSE(util::parse_u64("e6").has_value());
+}
+
+TEST(CliEdge, GetU64NamesFlagAndValueOnError) {
+  const char* argv[] = {"bin", "--insns", "10x"};
+  util::CliFlags flags(3, argv);
+  try {
+    (void)flags.get_u64("insns", 0);
+    FAIL() << "expected CliError";
+  } catch (const util::CliError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("insns"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10x"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliEdge, GetDoubleRejectsTrailingJunk) {
+  const char* argv[] = {"bin", "--rate", "1.5x"};
+  util::CliFlags flags(3, argv);
+  EXPECT_THROW((void)flags.get_double("rate", 0.0), util::CliError);
+  EXPECT_FALSE(util::parse_double("1.5x").has_value());
+  EXPECT_FALSE(util::parse_double("").has_value());
+  EXPECT_EQ(util::parse_double("1.5"), 1.5);
+}
+
+// ---- RNG bounded-draw corner cases. ---------------------------------------------
+
+TEST(RngEdge, FullDomainInRangeIsNotPinned) {
+  // hi - lo + 1 wraps to zero here; the old below(0) path returned lo
+  // forever, silently destroying entropy for full-width draws.
+  util::Xoshiro256StarStar rng(7);
+  std::uint64_t first = rng.in_range(0, std::numeric_limits<std::uint64_t>::max());
+  bool varied = false;
+  for (int i = 0; i < 16; ++i) {
+    if (rng.in_range(0, std::numeric_limits<std::uint64_t>::max()) != first) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(RngEdge, DegenerateAndMaxEndpointRanges) {
+  util::Xoshiro256StarStar rng(9);
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(rng.in_range(max, max), max);  // single-point range at the top
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t v = rng.in_range(max - 3, max);
+    EXPECT_GE(v, max - 3);
   }
 }
 

@@ -1,0 +1,85 @@
+// Differential fuzzing harness for the simulator equivalence pairs.
+//
+// Modes:
+//   itr_fuzz --seeds N [--seed-base B] [--oracle NAME] [--corpus DIR]
+//            [--budget INSNS] [--no-minimize] [--verbose]
+//       Run a deterministic fuzz session.  Exit 0 when every seed agrees on
+//       every oracle pair, 1 when any divergence was found.
+//   itr_fuzz --replay FILE [--oracle NAME]
+//       Re-run one reproducer (.itrasm) through the oracle pairs.
+//   itr_fuzz --list-oracles
+//       Print the oracle pair names, one per line.
+//   itr_fuzz --dump-seed N
+//       Print the generated program for seed N as .itrasm text (for seeding
+//       the corpus and for triage).
+//
+// Usage errors (unknown flags, malformed numbers) exit with status 2.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/program_gen.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int replay_file(const std::string& path, const std::string& only_oracle,
+                const itr::fuzz::OracleConfig& cfg) {
+  const itr::isa::Program prog = itr::fuzz::load_itrasm_file(path);
+  bool diverged = false;
+  for (const auto& oracle : itr::fuzz::oracle_names()) {
+    if (!only_oracle.empty() && oracle != only_oracle) continue;
+    if (auto d = itr::fuzz::run_oracle(oracle, prog, cfg)) {
+      std::cout << path << ": DIVERGENCE oracle=" << oracle << ": " << d->detail
+                << "\n";
+      diverged = true;
+    } else {
+      std::cout << path << ": " << oracle << " ok\n";
+    }
+  }
+  return diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  itr::util::CliFlags flags(argc, argv);
+
+  itr::fuzz::FuzzOptions options;
+  options.num_seeds = flags.get_u64("seeds", 200);
+  options.seed_base = flags.get_u64("seed-base", 1);
+  options.oracle.max_instructions = flags.get_u64("budget", 20'000);
+  options.only_oracle = flags.get_string("oracle", "");
+  options.minimize = !flags.get_bool("no-minimize");
+  options.corpus_dir = flags.get_string("corpus", "");
+  options.verbose = flags.get_bool("verbose");
+  const bool list_oracles = flags.get_bool("list-oracles");
+  const std::string replay = flags.get_string("replay", "");
+  const bool dump = flags.has("dump-seed");
+  const std::uint64_t dump_seed = flags.get_u64("dump-seed", 0);
+  flags.reject_unknown();
+
+  if (list_oracles) {
+    for (const auto& name : itr::fuzz::oracle_names()) std::cout << name << "\n";
+    return 0;
+  }
+  if (dump) {
+    const itr::isa::Program prog = itr::fuzz::generate_program(dump_seed).materialize();
+    std::cout << itr::fuzz::to_itrasm(
+        prog, {"generated program, seed " + std::to_string(dump_seed)});
+    return 0;
+  }
+  if (!replay.empty()) return replay_file(replay, options.only_oracle, options.oracle);
+
+  const itr::fuzz::FuzzReport report = itr::fuzz::run_fuzz(options, std::cout);
+  return report.clean() ? 0 : 1;
+} catch (const itr::util::CliError& e) {
+  std::fprintf(stderr, "itr_fuzz: %s\n", e.what());
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "itr_fuzz: %s\n", e.what());
+  return 2;
+}
