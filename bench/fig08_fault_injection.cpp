@@ -15,6 +15,11 @@ int main(int argc, char** argv) {
     // and thread count, only the runtime differs.
     const auto mode = fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
     const auto interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
+    // off | converge | classes | full; outputs are byte-identical under
+    // every prune level, only the campaign runtime differs.
+    fi::PruneConfig prune;
+    prune.mode = fi::parse_prune_mode(flags.get_string("prune", "off"));
+    prune.check_interval = flags.get_u64("prune-interval", 0);  // 0 = default
     const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
     const auto threads = bench::select_threads(flags);
     flags.get_bool("csv");
@@ -25,7 +30,7 @@ int main(int argc, char** argv) {
                 "ITR+SDC+D 1%, ITR+wdog+R 3%, spc+SDC 0.1%, Undet+SDC 2.6%,\n"
                 "Undet+wdog 0.1%, Undet+Mask 1.8%; MayITR negligible.",
                 bench::fault_injection_table(names, insns, faults, window, seed, threads,
-                                             mode, interval));
+                                             mode, interval, prune));
     return 0;
   });
 }

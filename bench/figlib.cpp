@@ -176,7 +176,8 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t insns, std::uint64_t faults,
                                   std::uint64_t window_cycles, std::uint64_t seed,
                                   unsigned threads, fi::CheckpointMode mode,
-                                  std::uint64_t ladder_interval) {
+                                  std::uint64_t ladder_interval,
+                                  fi::PruneConfig prune) {
   std::vector<std::string> headers = {"benchmark"};
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
@@ -199,6 +200,7 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
     cfg.seed = seed;
     cfg.checkpoint_mode = mode;
     cfg.ladder_interval = ladder_interval;
+    cfg.prune = prune;
     fi::FaultInjectionCampaign camp(prog, cfg);
     const auto summary = camp.run(faults, inner);
     for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {

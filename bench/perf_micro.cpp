@@ -485,6 +485,30 @@ void BM_CampaignFig08(benchmark::State& state) {
                  ", " + std::to_string(threads) + " threads");
 }
 
+/// The fig08 campaign at a fault count high enough that per-fault
+/// simulation dominates the fixed ladder/analysis costs, with the pruner
+/// off (arg0=0) vs fully on (arg0=1: early-exit convergence +
+/// equivalence-class synthesis).  The injections/sec ratio between the
+/// two lanes is the campaign speedup the pruning acceptance criterion
+/// bounds; the outcome CSVs are byte-identical either way (see the
+/// prune-smoke ctest and the pruned-vs-unpruned fuzz oracle).
+/// arg1 = threads.
+void BM_CampaignPruned(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  const auto threads =
+      util::resolve_threads(static_cast<std::uint64_t>(state.range(1)));
+  const auto prog = workload::generate_spec("bzip", 2'000'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 100'000;
+  cfg.warmup_instructions = 50'000;
+  cfg.inject_region = 1'000'000;
+  cfg.seed = 1;
+  cfg.prune.mode = prune ? fi::PruneMode::kFull : fi::PruneMode::kOff;
+  run_campaign_loop(state, prog, cfg, /*faults=*/300, threads);
+  state.SetLabel(std::string(prune ? "prune=full" : "prune=off") + ", " +
+                 std::to_string(threads) + " threads");
+}
+
 /// Registers the campaign benchmarks with the thread counts requested via
 /// --threads (always including the serial lane for the speedup baseline).
 void register_campaign_benchmarks(std::int64_t threads) {
@@ -505,6 +529,16 @@ void register_campaign_benchmarks(std::int64_t threads) {
   for (const std::int64_t fast : {1, 0}) {
     f8->Args({fast, 1});
     if (threads != 1) f8->Args({fast, threads});
+  }
+
+  auto* pr = benchmark::RegisterBenchmark("BM_CampaignPruned",
+                                          BM_CampaignPruned)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  for (const std::int64_t prune : {1, 0}) {
+    pr->Args({prune, 1});
+    if (threads != 1) pr->Args({prune, threads});
   }
 }
 

@@ -1,0 +1,60 @@
+# CTest script for the prune-smoke label: runs the same reduced fig08
+# fault-injection campaign twice — once with pruning disabled and once with
+# the full pruner (early-exit convergence + equivalence-class synthesis) —
+# and byte-compares both the outcome CSV and the --stats-json output.  The
+# pruner's whole contract is that it is invisible in the results: it may
+# only change how much work the campaign does, never what it reports.  Any
+# divergence here means a synthesized or converged run was mis-classified.
+#
+# The two runs also use different thread counts, so this doubles as a check
+# that the pruning plan partitions deterministically across schedules.
+#
+# Expected -D definitions: FIG08 (binary), OUT_OFF / OUT_FULL (scratch CSV
+# paths unique to this test), STATS_OFF / STATS_FULL (scratch stats paths).
+foreach(var FIG08 OUT_OFF OUT_FULL STATS_OFF STATS_FULL)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "prune_smoke.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+set(common --csv --faults 40 --insns 300000 --window 20000
+    --benchmarks bzip,gcc)
+
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 1 --prune off
+          --stats-json "${STATS_OFF}"
+  OUTPUT_FILE "${OUT_OFF}"
+  RESULT_VARIABLE rc_off)
+if(NOT rc_off EQUAL 0)
+  message(FATAL_ERROR "fig08 (prune=off) failed: rc=${rc_off}")
+endif()
+
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 4 --prune full
+          --stats-json "${STATS_FULL}"
+  OUTPUT_FILE "${OUT_FULL}"
+  RESULT_VARIABLE rc_full)
+if(NOT rc_full EQUAL 0)
+  message(FATAL_ERROR "fig08 (prune=full) failed: rc=${rc_full}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_OFF}" "${OUT_FULL}"
+  RESULT_VARIABLE csv_rc)
+if(NOT csv_rc EQUAL 0)
+  message(FATAL_ERROR
+    "fig08 outcome CSV differs between --prune=off and --prune=full: "
+    "${OUT_OFF} vs ${OUT_FULL}.  A pruned run was classified differently "
+    "from its simulated counterpart; the pruner must be outcome-invisible.")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${STATS_OFF}" "${STATS_FULL}"
+  RESULT_VARIABLE stats_rc)
+if(NOT stats_rc EQUAL 0)
+  message(FATAL_ERROR
+    "architectural stats JSON differs between --prune=off and "
+    "--prune=full: ${STATS_OFF} vs ${STATS_FULL}.  Either a pruned run "
+    "skewed an architectural metric or a prune-side counter leaked out of "
+    "the diagnostic tier.")
+endif()

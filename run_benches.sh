@@ -85,21 +85,23 @@ if [ -n "$baseline" ]; then
   done
   "$bench_dir/perf_micro" ${pm_flags[@]+"${pm_flags[@]}"}
   # perf_micro refuses to run from a debug build of this repo (its JSON
-  # context records itr_build_type); the check below catches the other way
-  # numbers go soft: a google-benchmark LIBRARY compiled without NDEBUG
-  # (the distro package is one).  That build type is baked into the .so, so
-  # warn loudly rather than fail.
+  # context records itr_build_type); the checks below catch the other way
+  # numbers go soft: a benchmark LIBRARY compiled without NDEBUG.  The
+  # vendored third_party/minibench is always built release, so this only
+  # trips when -DITR_USE_SYSTEM_BENCHMARK=ON picked up a debug distro
+  # package — and a debug timer loop poisons every measurement, so fail.
   if grep -q '"itr_build_type": "debug"' BENCH_perf.json; then
     echo "error: BENCH_perf.json was produced by a debug build of perf_micro;" >&2
     echo "rebuild with a release config before comparing or committing it" >&2
     exit 1
   fi
   if grep -q '"library_build_type": "debug"' BENCH_perf.json; then
-    echo "##################################################################" >&2
-    echo "# WARNING: the google-benchmark library is a debug build.        #" >&2
-    echo "# Timer overheads are inflated; treat absolute numbers with care #" >&2
-    echo "# (ratios between benchmarks in the same file remain meaningful).#" >&2
-    echo "##################################################################" >&2
+    echo "error: BENCH_perf.json was produced by a DEBUG benchmark library;" >&2
+    echo "its timer overheads are inflated and the numbers are not" >&2
+    echo "comparable.  Reconfigure without ITR_USE_SYSTEM_BENCHMARK (the" >&2
+    echo "vendored third_party/minibench is always built release), or" >&2
+    echo "install a release google-benchmark." >&2
+    exit 1
   fi
   python3 tools/bench_diff.py "$baseline" BENCH_perf.json
 fi

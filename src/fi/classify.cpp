@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "isa/decode.hpp"
@@ -86,14 +88,27 @@ sim::CycleSim::Options FaultInjectionCampaign::base_options() const {
   return opt;
 }
 
-InjectionResult FaultInjectionCampaign::classify_run(sim::CycleSim& faulty,
-                                                     sim::FunctionalSim& golden,
-                                                     InjectionResult res,
-                                                     bool golden_done) const {
+InjectionResult FaultInjectionCampaign::classify_run(
+    sim::CycleSim& faulty, sim::FunctionalSim& golden, InjectionResult res,
+    bool golden_done, std::shared_ptr<const StateBaseline> baseline) const {
   obs::Span span("classify", "fi");
   bool window_done = false;
   std::uint64_t window_deadline = sim::kNeverCycle;
   std::uint64_t grace_deadline = sim::kNeverCycle;
+
+  // Convergence pruning: armed per campaign by run() (mode + golden-abort
+  // probe).  Checks begin only after a detection with no corruption so far
+  // — the only situation where re-convergence pins the outcome (ITR+Mask):
+  // an *undetected* fault must always run its full window, because a stale
+  // corrupted signature in the ITR cache or an unreferenced line can still
+  // change the category later.
+  std::optional<ConvergenceTracker> tracker;
+  std::uint64_t commits_since_check = 0;
+  if (converge_active_) {
+    tracker.emplace(std::move(baseline));
+    tracker->begin(faulty.memory(), golden.memory());
+  }
+  const std::uint64_t check_interval = config_.prune.interval();
 
   while (!window_done) {
     const bool alive = faulty.advance();
@@ -134,9 +149,40 @@ InjectionResult FaultInjectionCampaign::classify_run(sim::CycleSim& faulty,
       if (res.detected && !res.sdc && crec->commit_cycle > grace_deadline) {
         window_done = true;  // detected and still clean: call it masked
       }
+
+      // Early-exit convergence check (every K commits past the detection).
+      // Requires the golden side alive (same-instruction-count comparison)
+      // and a clean timing scoreboard: a machine with a poisoned ROB slot
+      // or phantom operand can match architecturally while a deadlock is
+      // still pending.  After a confirmed match the faulty machine tracks
+      // the golden run functionally forever (execution is a pure function
+      // of the matched state), so no later commit can raise sdc, spc or a
+      // watchdog fire — the outcome is already the baseline's ITR+Mask.
+      if (tracker.has_value() && !window_done && res.detected && !res.sdc &&
+          !golden_done && ++commits_since_check >= check_interval) {
+        commits_since_check = 0;
+        if (!faulty.timing_wedged() && tracker->check(faulty, golden)) {
+          window_done = true;
+          obs::count("campaign.prune.converged_exits", 1,
+                     obs::MetricClass::kDiagnostic);
+          obs::observe("campaign.prune.cycles_to_convergence",
+                       crec->commit_cycle - faulty.fault_inject_cycle(),
+                       obs::HistogramSpec{/*bin_width=*/1024, /*num_bins=*/64},
+                       obs::MetricClass::kDiagnostic);
+        }
+      }
     }
 
     if (!alive) break;
+  }
+
+  if (tracker.has_value() && tracker->checks_run() > 0) {
+    obs::count("campaign.prune.converge_checks", tracker->checks_run(),
+               obs::MetricClass::kDiagnostic);
+    if (tracker->hash_collisions() > 0) {
+      obs::count("campaign.prune.hash_collisions", tracker->hash_collisions(),
+                 obs::MetricClass::kDiagnostic);
+    }
   }
 
   res.deadlock = faulty.termination() == sim::RunTermination::kDeadlock;
@@ -190,7 +236,8 @@ InjectionResult FaultInjectionCampaign::run_one(std::uint64_t target_decode_inde
 
   sim::CycleSim faulty(*prog_, std::move(opt));
   sim::FunctionalSim golden(*prog_, predecoded_);
-  return classify_run(faulty, golden, std::move(res), /*golden_done=*/false);
+  return classify_run(faulty, golden, std::move(res), /*golden_done=*/false,
+                      /*baseline=*/nullptr);
 }
 
 InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkpoint,
@@ -230,7 +277,8 @@ InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkp
              static_cast<std::uint64_t>(checkpoint.machine.memory().num_pages()) *
                  sim::Memory::kPageBytes,
              obs::MetricClass::kDiagnostic);
-  return classify_run(faulty, golden, std::move(res), checkpoint.golden_done);
+  return classify_run(faulty, golden, std::move(res), checkpoint.golden_done,
+                      checkpoint.state_baseline);
 }
 
 void FaultInjectionCampaign::advance_to(SimCheckpoint& ck, std::uint64_t boundary) {
@@ -266,6 +314,10 @@ const SimCheckpoint* FaultInjectionCampaign::warmup_checkpoint() {
       ck->golden.memory().set_cow(false);
     }
     advance_to(*ck, config_.warmup_instructions);
+    if (converge_active_ && ck->valid) {
+      ck->state_baseline =
+          std::make_shared<const StateBaseline>(hash_memory(ck->golden.memory()));
+    }
     checkpoint_ = std::move(ck);
   }
   return checkpoint_ != nullptr && checkpoint_->valid ? checkpoint_.get() : nullptr;
@@ -275,15 +327,27 @@ void FaultInjectionCampaign::build_ladder() {
   if (ladder_built_) return;
   ladder_built_ = true;
 
-  const std::uint64_t interval =
-      config_.ladder_interval != 0
-          ? config_.ladder_interval
+  // With convergence pruning armed, early exits make the rung-resume
+  // distance (re-executed prefix) the dominant per-injection cost, so the
+  // auto spacing densifies from region/16 to region/256 (floored at 1024
+  // instructions).  Classification is provably interval-independent (the
+  // ladder-vs-scratch oracle pins it), so this is purely a runtime knob.
+  const std::uint64_t auto_interval =
+      converge_active_
+          ? std::max<std::uint64_t>(config_.inject_region / 256, 1024)
           : std::max<std::uint64_t>(1, config_.inject_region / 16);
+  const std::uint64_t interval =
+      config_.ladder_interval != 0 ? config_.ladder_interval : auto_interval;
 
   // One working checkpoint walks the fault-free run; each rung is a cheap
   // copy-on-write snapshot taken as the walk crosses its boundary.
   SimCheckpoint walker(*prog_, base_options(), predecoded_);
   if (!config_.cow_memory) walker.golden.memory().set_cow(false);
+  // The walker's golden memory digest advances rung to rung: a full hash at
+  // the first rung, then a rehash of only the pages dirtied in between.
+  StateBaseline running;
+  bool running_valid = false;
+  if (converge_active_) walker.golden.memory().set_dirty_tracking(true);
 
   const std::uint64_t last =
       config_.warmup_instructions + config_.inject_region;
@@ -292,6 +356,18 @@ void FaultInjectionCampaign::build_ladder() {
     advance_to(walker, boundary);
     if (!walker.valid) break;  // program ended: earlier rungs still serve
     ladder_.push_back(std::make_unique<SimCheckpoint>(walker));
+    if (converge_active_) {
+      if (!running_valid) {
+        running = hash_memory(walker.golden.memory());
+        running_valid = true;
+      } else {
+        running.update_pages(walker.golden.memory(),
+                             walker.golden.memory().dirty_pages());
+      }
+      walker.golden.memory().clear_dirty();
+      ladder_.back()->state_baseline =
+          std::make_shared<const StateBaseline>(running);
+    }
   }
 }
 
@@ -329,6 +405,51 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     d.bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
   }
 
+  // One-time golden analysis arms pruning for this campaign.  Everything
+  // here is derived from the fault-free run and the pre-drawn plan, so it is
+  // as thread-invariant as the plan itself.
+  const bool want_converge = config_.prune.converge_enabled();
+  const bool want_classes = config_.prune.classes_enabled();
+  std::vector<SiteClass> sites;
+  std::size_t rep_slot = plan.size();  // no analytic representative yet
+  bool analytic_enabled = false;
+  if (want_converge || want_classes) {
+    obs::Span prune_span("prune-analyze", "fi");
+    const PruneAnalysis analysis = analyze_golden(
+        *prog_, base_options(), predecoded_, config_.warmup_instructions,
+        config_.inject_region, config_.observation_cycles,
+        config_.detected_mask_grace_cycles, want_classes);
+    converge_active_ = want_converge && analysis.golden_safe;
+    obs::gauge_max("campaign.prune.golden_safe", analysis.golden_safe ? 1 : 0,
+                   obs::MetricClass::kDiagnostic);
+    if (want_classes && analysis.golden_safe) {
+      sites.resize(plan.size());
+      std::unordered_map<std::uint64_t, std::uint64_t> class_sizes;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        sites[i] = classify_site(analysis, *prog_, predecoded_.get(),
+                                 plan[i].target, plan[i].bit,
+                                 config_.observation_cycles);
+        if (sites[i].analytic) {
+          ++class_sizes[sites[i].class_key];
+          if (rep_slot == plan.size()) rep_slot = i;
+        }
+      }
+      if (rep_slot != plan.size()) {
+        std::uint64_t analytic_sites = 0;
+        for (const auto& [key, size] : class_sizes) {
+          analytic_sites += size;
+          obs::observe("campaign.prune.class_size", size,
+                       obs::HistogramSpec{/*bin_width=*/1, /*num_bins=*/64},
+                       obs::MetricClass::kDiagnostic);
+        }
+        obs::count("campaign.prune.analytic_sites", analytic_sites,
+                   obs::MetricClass::kDiagnostic);
+        obs::gauge_max("campaign.prune.classes", class_sizes.size(),
+                       obs::MetricClass::kDiagnostic);
+      }
+    }
+  }
+
   // Seed the re-execution source before the parallel region: the warmup
   // checkpoint / ladder builders mutate campaign state and must run once.
   const SimCheckpoint* warm = nullptr;
@@ -350,7 +471,43 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
 
   CampaignSummary summary;
   summary.results.resize(plan.size());
+
+  // Guard representative: the lowest-index analytic site is simulated in
+  // full before the fan-out.  Its outcome must be the predicted ITR+Mask or
+  // the analytic tier is withdrawn for the whole campaign — a cheap live
+  // cross-check of the dead-bit proof against the actual pipeline.
+  if (rep_slot != plan.size()) {
+    const SimCheckpoint* ck = warm;
+    if (config_.checkpoint_mode == CheckpointMode::kLadder) {
+      ck = nearest_checkpoint(plan[rep_slot].target);
+    }
+    summary.results[rep_slot] =
+        ck != nullptr
+            ? run_one_from(*ck, plan[rep_slot].target, plan[rep_slot].bit)
+            : run_one(plan[rep_slot].target, plan[rep_slot].bit);
+    analytic_enabled = summary.results[rep_slot].outcome == Outcome::kItrMask;
+    obs::gauge_max("campaign.prune.guard_confirmed", analytic_enabled ? 1 : 0,
+                   obs::MetricClass::kDiagnostic);
+  }
+
   util::parallel_for(threads, plan.size(), [&](std::size_t i) {
+    if (i == rep_slot) return;  // guard representative already simulated
+    if (analytic_enabled && sites[i].analytic) {
+      // Provably ITR+Mask: the dead-bit flip is caught by its own trace
+      // instance's poll at the golden dispatch cycle and never perturbs
+      // state or timing.  faulty_commits stays zero — the only field the
+      // equality oracles exempt (it measures work done, not outcome).
+      InjectionResult res;
+      res.outcome = Outcome::kItrMask;
+      res.decode_index = plan[i].target;
+      res.bit = plan[i].bit & 63u;
+      res.field = isa::signal_field_of_bit(res.bit);
+      res.detected = true;
+      res.recoverable = true;
+      res.detect_cycle = sites[i].detect_cycle;
+      summary.results[i] = res;
+      return;
+    }
     obs::Span inj_span("injection", "fi");
     if (obs::tracing_enabled()) {
       inj_span.set_args("{\"i\": " + std::to_string(i) +
@@ -396,7 +553,11 @@ void publish_campaign_stats(const CampaignSummary& summary) {
     if (res.detected) ++detected;
     if (res.sdc) ++sdc;
   }
-  obs::count("campaign.faulty_commits", faulty_commits);
+  // Unlike the tallies above, total faulty commits measures simulation work
+  // done, not fault outcome: convergence early-exit and analytic synthesis
+  // legitimately shrink it.  Diagnostic, like the other work meters.
+  obs::count("campaign.faulty_commits", faulty_commits,
+             obs::MetricClass::kDiagnostic);
   obs::count("campaign.detected", detected);
   obs::count("campaign.sdc", sdc);
 }

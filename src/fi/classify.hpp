@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fi/prune.hpp"
 #include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "itr/itr_cache.hpp"
@@ -103,6 +104,10 @@ struct CampaignConfig {
   /// and deep-copy checkpoint memory instead of copy-on-write.
   bool use_predecode = true;
   bool cow_memory = true;
+  /// Campaign pruning (early-exit convergence / equivalence classes); the
+  /// summary is byte-identical at every level, only the runtime differs
+  /// (pinned by the pruned-vs-unpruned oracle and the prune-smoke ctest).
+  PruneConfig prune;
 };
 
 struct CampaignSummary {
@@ -161,6 +166,11 @@ struct SimCheckpoint {
   std::uint64_t commits_consumed = 0;  ///< commits drained before the boundary
   bool golden_done = false;   ///< golden program finished before the boundary
   bool valid = false;         ///< boundary reached with the machine live
+  /// Golden memory digest at the boundary (convergence pruning only;
+  /// computed incrementally as the ladder walk crosses each rung).  Null
+  /// when pruning is off — each injection's tracker then hashes the clone
+  /// memory itself.
+  std::shared_ptr<const StateBaseline> state_baseline;
 };
 
 class FaultInjectionCampaign {
@@ -207,7 +217,8 @@ class FaultInjectionCampaign {
  private:
   sim::CycleSim::Options base_options() const;
   InjectionResult classify_run(sim::CycleSim& faulty, sim::FunctionalSim& golden,
-                               InjectionResult res, bool golden_done) const;
+                               InjectionResult res, bool golden_done,
+                               std::shared_ptr<const StateBaseline> baseline) const;
   /// Advances a fault-free checkpoint (machine + golden in lockstep) until
   /// its decode count reaches `boundary` or the program leaves the running
   /// state; sets `valid` accordingly.
@@ -221,6 +232,11 @@ class FaultInjectionCampaign {
   bool checkpoint_built_ = false;
   std::vector<std::unique_ptr<SimCheckpoint>> ladder_;  ///< sorted by boundary
   bool ladder_built_ = false;
+  /// Convergence pruning armed for this campaign: the configured mode asks
+  /// for it AND the golden-abort probe proved the window safe.  Set by
+  /// run() before any checkpoint is built; read by the (const) per-
+  /// injection paths.
+  bool converge_active_ = false;
 };
 
 }  // namespace itr::fi

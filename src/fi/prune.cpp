@@ -1,0 +1,392 @@
+#include "fi/prune.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "isa/opcode.hpp"
+#include "trace/trace_builder.hpp"
+
+namespace itr::fi {
+
+const char* prune_mode_name(PruneMode m) noexcept {
+  switch (m) {
+    case PruneMode::kOff: return "off";
+    case PruneMode::kConverge: return "converge";
+    case PruneMode::kClasses: return "classes";
+    case PruneMode::kFull: return "full";
+  }
+  return "<bad>";
+}
+
+PruneMode parse_prune_mode(const std::string& text) {
+  if (text == "off") return PruneMode::kOff;
+  if (text == "converge") return PruneMode::kConverge;
+  if (text == "classes") return PruneMode::kClasses;
+  if (text == "full") return PruneMode::kFull;
+  throw std::invalid_argument("bad prune mode '" + text +
+                              "' (want off|converge|classes|full)");
+}
+
+namespace {
+
+/// Per-field bit masks of the packed signal layout, resolved once from
+/// signal_field_layout() so a layout change cannot silently desynchronize
+/// the dead-bit rules.
+struct FieldMasks {
+  std::uint64_t shamt = 0;
+  std::uint64_t rsrc1 = 0;
+  std::uint64_t rsrc2 = 0;
+  std::uint64_t rdst = 0;
+  std::uint64_t imm = 0;
+  std::uint64_t mem_size = 0;
+};
+
+FieldMasks compute_field_masks() {
+  FieldMasks out;
+  std::size_t count = 0;
+  const isa::SignalFieldLayout* layout = isa::signal_field_layout(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& f = layout[i];
+    const std::uint64_t mask =
+        (f.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << f.width) - 1))
+        << f.offset;
+    const std::string_view name = f.name;
+    if (name == "shamt") out.shamt = mask;
+    else if (name == "rsrc1") out.rsrc1 = mask;
+    else if (name == "rsrc2") out.rsrc2 = mask;
+    else if (name == "rdst") out.rdst = mask;
+    else if (name == "imm") out.imm = mask;
+    else if (name == "mem_size") out.mem_size = mask;
+  }
+  return out;
+}
+
+const FieldMasks& field_masks() {
+  static const FieldMasks masks = compute_field_masks();
+  return masks;
+}
+
+/// True when the immediate field is never read for this opcode: operand
+/// shapes without an immediate (register-register ALU, shift-by-shamt, FP
+/// arithmetic/compares, conversions, register-indirect jumps, nop).  Every
+/// other format consumes imm as an ALU operand, displacement, branch offset,
+/// jump target, LUI payload or trap code.
+bool imm_dead(isa::Format format) noexcept {
+  switch (format) {
+    case isa::Format::kNone:
+    case isa::Format::kRR:
+    case isa::Format::kShift:
+    case isa::Format::kJumpReg:
+    case isa::Format::kFpRR:
+    case isa::Format::kFpR:
+    case isa::Format::kFpCmp:
+    case isa::Format::kCvt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::uint64_t dead_signal_mask(const isa::DecodeSignals& sig) noexcept {
+  if (!isa::is_valid_opcode(sig.opcode)) return 0;
+  const FieldMasks& m = field_masks();
+  const isa::Opcode op = sig.op();
+  const isa::OpInfo& info = isa::op_info(op);
+  std::uint64_t dead = 0;
+  if (op != isa::Opcode::kSll && op != isa::Opcode::kSrl &&
+      op != isa::Opcode::kSra) {
+    dead |= m.shamt;
+  }
+  // Operand/rename/writeback gating: rsrc1 is consulted only when
+  // num_rsrc >= 1, rsrc2 only when num_rsrc >= 2, rdst only when
+  // num_rdst >= 1 (rename map/free-list updates and the writeback
+  // scoreboard are all gated on the same counts).  The counts themselves
+  // are live, so gate on the fault-free values.
+  if (sig.num_rsrc == 0) dead |= m.rsrc1;
+  if (sig.num_rsrc < 2) dead |= m.rsrc2;
+  if (sig.num_rdst == 0) dead |= m.rdst;
+  if (imm_dead(info.format)) dead |= m.imm;
+  if (!sig.has_flag(isa::Flag::kIsLoad) && !sig.has_flag(isa::Flag::kIsStore)) {
+    dead |= m.mem_size;
+  }
+  return dead;
+}
+
+std::uint64_t page_contribution(
+    std::uint64_t page_index,
+    const std::array<std::uint8_t, sim::Memory::kPageBytes>* bytes) noexcept {
+  if (bytes == nullptr) return 0;
+  std::uint64_t h = sim::kFnvOffset;
+  std::uint64_t acc = 0;
+  const std::uint8_t* p = bytes->data();
+  for (std::size_t i = 0; i < sim::Memory::kPageBytes; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, sizeof word);
+    acc |= word;
+    h = sim::fnv1a_u64(h, word);
+  }
+  // All-zero pages contribute nothing: reads of absent pages return zero,
+  // so a materialized zero page is state-identical to no page at all (the
+  // faulty and golden sides may differ in which pages they materialized).
+  if (acc == 0) return 0;
+  return sim::fnv1a_u64(h, page_index);
+}
+
+void StateBaseline::update_pages(const sim::Memory& mem,
+                                 const std::unordered_set<std::uint64_t>& pages) {
+  for (const std::uint64_t page : pages) {
+    const std::uint64_t fresh = page_contribution(page, mem.page_data(page));
+    const auto it = page_contrib.find(page);
+    const std::uint64_t old = it == page_contrib.end() ? 0 : it->second;
+    mem_fold ^= old ^ fresh;
+    if (fresh == 0) {
+      if (it != page_contrib.end()) page_contrib.erase(it);
+    } else if (it != page_contrib.end()) {
+      it->second = fresh;
+    } else {
+      page_contrib.emplace(page, fresh);
+    }
+  }
+}
+
+StateBaseline hash_memory(const sim::Memory& mem) {
+  StateBaseline out;
+  for (const std::uint64_t page : mem.page_indexes()) {
+    const std::uint64_t c = page_contribution(page, mem.page_data(page));
+    if (c != 0) {
+      out.page_contrib.emplace(page, c);
+      out.mem_fold ^= c;
+    }
+  }
+  return out;
+}
+
+// ---- ConvergenceTracker -----------------------------------------------------
+
+namespace {
+
+/// Canonical termination code shared by both simulator kinds so the side
+/// hashes fold the same "exit/trap state" representation.
+std::uint64_t cycle_term_code(const sim::CycleSim& m) noexcept {
+  switch (m.termination()) {
+    case sim::RunTermination::kRunning: return 0;
+    case sim::RunTermination::kExited: return 1;
+    case sim::RunTermination::kAborted: return 2;
+    default: return 3;  // never equal to any golden state
+  }
+}
+
+std::uint64_t functional_term_code(const sim::FunctionalSim& g) noexcept {
+  if (!g.done()) return 0;
+  return g.aborted() ? 2 : 1;
+}
+
+std::uint64_t side_hash(const sim::ArchState& state, std::uint64_t term_code,
+                        std::int32_t exit_status, std::uint64_t mem_fold) noexcept {
+  std::uint64_t h = state.hash();
+  h = sim::fnv1a_u64(h, (term_code << 32) |
+                            static_cast<std::uint32_t>(exit_status));
+  return h ^ mem_fold;
+}
+
+bool pages_equal(
+    const std::array<std::uint8_t, sim::Memory::kPageBytes>* a,
+    const std::array<std::uint8_t, sim::Memory::kPageBytes>* b) noexcept {
+  if (a == b) return true;  // same shared page, or both absent
+  static const std::array<std::uint8_t, sim::Memory::kPageBytes> kZeros{};
+  const auto* lhs = a != nullptr ? a : &kZeros;
+  const auto* rhs = b != nullptr ? b : &kZeros;
+  return std::memcmp(lhs->data(), rhs->data(), sim::Memory::kPageBytes) == 0;
+}
+
+}  // namespace
+
+ConvergenceTracker::ConvergenceTracker(
+    std::shared_ptr<const StateBaseline> baseline, PageHashFn page_hash)
+    : baseline_(std::move(baseline)), page_hash_(page_hash) {}
+
+void ConvergenceTracker::begin(sim::Memory& faulty_mem, sim::Memory& golden_mem) {
+  faulty_.mem = &faulty_mem;
+  golden_.mem = &golden_mem;
+  faulty_mem.set_dirty_tracking(true);
+  golden_mem.set_dirty_tracking(true);
+  if (baseline_ == nullptr) {
+    // No precomputed rung digest (scratch-mode fallback): hash the golden
+    // memory at the clone point, which both sides equal by construction.
+    auto base = std::make_shared<StateBaseline>();
+    for (const std::uint64_t page : golden_mem.page_indexes()) {
+      const std::uint64_t c = page_hash_(page, golden_mem.page_data(page));
+      if (c != 0) {
+        base->page_contrib.emplace(page, c);
+        base->mem_fold ^= c;
+      }
+    }
+    baseline_ = std::move(base);
+  }
+  faulty_.fold = baseline_->mem_fold;
+  golden_.fold = baseline_->mem_fold;
+}
+
+void ConvergenceTracker::refresh(Side& side) {
+  if (side.mem->dirty_pages().empty()) return;
+  for (const std::uint64_t page : side.mem->dirty_pages()) {
+    const std::uint64_t fresh = page_hash_(page, side.mem->page_data(page));
+    std::uint64_t old;
+    const auto it = side.overrides.find(page);
+    if (it != side.overrides.end()) {
+      old = it->second;
+    } else {
+      const auto bit = baseline_->page_contrib.find(page);
+      old = bit == baseline_->page_contrib.end() ? 0 : bit->second;
+    }
+    side.fold ^= old ^ fresh;
+    // Always record the page, even when the contribution is unchanged: the
+    // confirmation byte-compare must cover every page either side wrote.
+    side.overrides[page] = fresh;
+  }
+  side.mem->clear_dirty();
+}
+
+bool ConvergenceTracker::check(const sim::CycleSim& faulty,
+                               const sim::FunctionalSim& golden) {
+  ++checks_run_;
+  refresh(faulty_);
+  refresh(golden_);
+  const std::uint64_t fh = side_hash(faulty.state(), cycle_term_code(faulty),
+                                     faulty.exit_status(), faulty_.fold);
+  const std::uint64_t gh = side_hash(golden.state(), functional_term_code(golden),
+                                     golden.exit_status(), golden_.fold);
+  if (fh != gh) return false;
+  if (confirm(faulty, golden)) return true;
+  ++hash_collisions_;
+  return false;
+}
+
+bool ConvergenceTracker::confirm(const sim::CycleSim& faulty,
+                                 const sim::FunctionalSim& golden) const {
+  if (!(faulty.state() == golden.state())) return false;
+  if (cycle_term_code(faulty) != functional_term_code(golden)) return false;
+  if (faulty.exit_status() != golden.exit_status()) return false;
+  // Byte-compare every page either side has written since the clone point;
+  // untouched pages are equal by the clone invariant (both sides start from
+  // the same checkpoint content).
+  for (const auto& [page, contrib] : faulty_.overrides) {
+    if (!pages_equal(faulty_.mem->page_data(page), golden_.mem->page_data(page))) {
+      return false;
+    }
+  }
+  for (const auto& [page, contrib] : golden_.overrides) {
+    if (faulty_.overrides.find(page) != faulty_.overrides.end()) continue;
+    if (!pages_equal(faulty_.mem->page_data(page), golden_.mem->page_data(page))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Golden analysis --------------------------------------------------------
+
+const sim::TraceProfileSample* PruneAnalysis::find_instance(
+    std::uint64_t index) const noexcept {
+  // Samples arrive in trace order, and traces partition the decode stream,
+  // so first_insn_index is strictly increasing.
+  auto it = std::upper_bound(
+      profile.begin(), profile.end(), index,
+      [](std::uint64_t v, const sim::TraceProfileSample& s) {
+        return v < s.first_insn_index;
+      });
+  if (it == profile.begin()) return nullptr;
+  --it;
+  if (index < it->first_insn_index + it->num_instructions) return &*it;
+  return nullptr;
+}
+
+PruneAnalysis analyze_golden(const isa::Program& prog,
+                             const sim::CycleSim::Options& base_options,
+                             std::shared_ptr<const isa::PredecodedProgram> predecoded,
+                             std::uint64_t warmup_instructions,
+                             std::uint64_t inject_region,
+                             std::uint64_t observation_cycles,
+                             std::uint64_t grace_cycles, bool build_profile) {
+  PruneAnalysis out;
+
+  // ---- Golden-abort probe. --------------------------------------------------
+  // The classifier steps the golden simulator once per faulty commit, and
+  // commits advance at most commit_width per cycle with nondecreasing
+  // cycles, so an injection at decode index <= warmup+region observed for
+  // W = observation + grace cycles can consume at most
+  // warmup + region + (W+1)*commit_width golden instructions (plus ROB
+  // drain slack).  If the golden program aborts within that horizon, the
+  // baseline classifier may charge the abort to a fault as an SDC even when
+  // the faulty run tracks golden exactly — so pruning must stay off.
+  const std::uint64_t cw =
+      std::max<std::uint64_t>(1, base_options.config.commit_width);
+  const std::uint64_t window = observation_cycles + grace_cycles + 1;
+  if (window > 100'000'000ULL / cw) {
+    // Unboundedly large window: the horizon is impractical to probe, so
+    // conservatively keep pruning disabled.
+    return out;
+  }
+  const std::uint64_t horizon = warmup_instructions + inject_region +
+                                window * cw + base_options.config.rob_size + 64;
+  sim::FunctionalSim probe(prog, predecoded);
+  probe.run(horizon);
+  out.golden_safe = !probe.aborted();
+  if (!out.golden_safe || !build_profile) return out;
+
+  // ---- Golden trace-profiling pass (cycle machine, monitoring mode). --------
+  sim::CycleSim::Options opt = base_options;
+  opt.record_trace_profile = true;
+  opt.itr_recovery = false;
+  opt.predecoded = std::move(predecoded);
+  sim::CycleSim machine(prog, std::move(opt));
+  const std::uint64_t limit =
+      warmup_instructions + inject_region + trace::kMaxTraceLength;
+  while (machine.decode_count() < limit && machine.advance()) {
+    while (machine.next_commit().has_value()) {
+    }
+    while (machine.next_itr_event().has_value()) {
+    }
+  }
+  out.profile = machine.trace_profile();
+  out.profiled_decodes = machine.decode_count();
+  return out;
+}
+
+SiteClass classify_site(const PruneAnalysis& analysis,
+                        const isa::Program& prog,
+                        const isa::PredecodedProgram* predecoded,
+                        std::uint64_t target_decode_index, unsigned bit,
+                        std::uint64_t observation_cycles) noexcept {
+  SiteClass out;
+  if (!analysis.golden_safe) return out;
+  const sim::TraceProfileSample* inst = analysis.find_instance(target_decode_index);
+  if (inst == nullptr) return out;
+  // A clean golden hit guarantees the faulty instance's single-bit-different
+  // signature probes as a mismatch — detection by the instance's own poll.
+  if (inst->probe != core::ProbeOutcome::kHitMatch) return out;
+  // Window guard: the poll's commit must land within the observation window
+  // measured from the instance's first fetch (a lower bound on the
+  // injection cycle), so the baseline classifier provably drains the
+  // detection event before closing the window.
+  if (inst->commit_cycle > inst->start_fetch_cycle + observation_cycles) return out;
+  // Trace members are consecutive static instructions (traces end on the
+  // first control transfer), so the target's PC follows from its offset.
+  const std::uint64_t pc =
+      inst->start_pc +
+      (target_decode_index - inst->first_insn_index) * isa::kInstrBytes;
+  const isa::DecodeSignals sig = predecoded != nullptr
+                                     ? predecoded->signals_at(pc)
+                                     : isa::decode_raw(prog.fetch_raw(pc));
+  const unsigned b = bit & 63u;
+  if (((dead_signal_mask(sig) >> b) & 1u) == 0) return out;
+  out.analytic = true;
+  out.detect_cycle = inst->dispatch_cycle;
+  out.class_key = (pc << 6) | b;
+  return out;
+}
+
+}  // namespace itr::fi

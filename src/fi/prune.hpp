@@ -1,0 +1,238 @@
+// Campaign pruning: early-exit convergence detection and fault-equivalence
+// classification (ROADMAP item 1; ERASER-style trimmed execution).
+//
+// Two independent mechanisms, selectable via PruneMode:
+//
+//  * Convergence early exit (kConverge): once a fault has been *detected*
+//    and no corruption has been observed, the faulty machine usually tracks
+//    the golden run instruction for instruction until the observation
+//    window expires.  The tracker proves that state re-convergence — an
+//    incremental FNV-1a hash over the architectural registers plus only the
+//    pages dirtied since the checkpoint clone, confirmed by a full byte
+//    compare — and the injection terminates as ITR+Mask immediately.
+//
+//  * Equivalence-class pruning (kClasses): a fault that flips a *dead*
+//    signal bit (one the pipeline provably never reads for that static
+//    instruction) inside a trace instance whose golden probe was a clean
+//    hit is detected by that instance's own poll and never perturbs
+//    architectural state or timing: outcome ITR+Mask with a detect cycle
+//    read straight off a golden profiling pass.  One representative site is
+//    simulated as a guard; the rest are synthesized and tallied by
+//    equivalence class (static pc, bit).
+//
+// Both mechanisms are gated by a campaign-level golden-abort probe: if the
+// golden program can abort (wild fetch) inside any reachable observation
+// window, the baseline classifier charges the abort to the fault as an SDC
+// even when the faulty run tracks golden exactly, so pruning is disabled
+// for that campaign and every injection is simulated in full.  The
+// pruned-vs-unpruned fuzz oracle and the prune-smoke ctest pin byte
+// equality of outcomes against the unpruned path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/decode.hpp"
+#include "isa/predecode.hpp"
+#include "isa/program.hpp"
+#include "sim/functional.hpp"
+#include "sim/memory.hpp"
+#include "sim/pipeline.hpp"
+
+namespace itr::fi {
+
+/// Pruning level, as accepted by the --prune flag.
+enum class PruneMode : std::uint8_t {
+  kOff,       ///< simulate every injection in full (baseline)
+  kConverge,  ///< early-exit on detected-state re-convergence only
+  kClasses,   ///< equivalence-class (dead-bit) pruning only
+  kFull,      ///< both mechanisms
+};
+
+const char* prune_mode_name(PruneMode m) noexcept;
+
+/// Parses a --prune flag value; throws std::invalid_argument on anything
+/// but off/converge/classes/full.
+PruneMode parse_prune_mode(const std::string& text);
+
+struct PruneConfig {
+  PruneMode mode = PruneMode::kOff;
+  /// Committed instructions between convergence checks (K); 0 = default.
+  std::uint64_t check_interval = 0;
+
+  static constexpr std::uint64_t kDefaultCheckInterval = 256;
+
+  bool converge_enabled() const noexcept {
+    return mode == PruneMode::kConverge || mode == PruneMode::kFull;
+  }
+  bool classes_enabled() const noexcept {
+    return mode == PruneMode::kClasses || mode == PruneMode::kFull;
+  }
+  std::uint64_t interval() const noexcept {
+    return check_interval != 0 ? check_interval : kDefaultCheckInterval;
+  }
+};
+
+/// Mask of packed-signal bits that are provably dead for `sig`'s static
+/// instruction: flipping a set bit changes the ITR signature (every bit is
+/// part of the packed image) but cannot alter architectural behaviour or
+/// timing, because no pipeline stage reads the field for this opcode.
+/// Field liveness follows the execute/rename/writeback gating:
+///   shamt    read only by the immediate-shift opcodes (sll/srl/sra);
+///   rsrc1    read only when num_rsrc >= 1 (operand lookup + rename);
+///   rsrc2    read only when num_rsrc >= 2;
+///   rdst     read only when num_rdst >= 1 (rename + writeback are gated);
+///   imm      read by displacement addressing, immediate ALU ops, branch
+///            offsets and direct jumps — dead for RR ALU, FP arithmetic/
+///            compares, conversions, register jumps, nop and shifts;
+///   mem_size read only by loads/stores.
+/// opcode, flags, lat, num_rsrc and num_rdst are always live (they select
+/// semantics, trace boundaries, latency class and the gating itself).
+std::uint64_t dead_signal_mask(const isa::DecodeSignals& sig) noexcept;
+
+// ---- Incremental memory hashing -------------------------------------------
+
+/// Contribution of one page to the memory fold: 0 for an absent or all-zero
+/// page (reads of absent pages return zero, so a materialized-but-zero page
+/// is state-identical to no page at all), otherwise an FNV-1a digest of the
+/// page bytes mixed with the page index.  The memory fold is the XOR of all
+/// page contributions — XOR makes the fold incrementally updatable in
+/// O(dirty pages) per convergence check.
+std::uint64_t page_contribution(
+    std::uint64_t page_index,
+    const std::array<std::uint8_t, sim::Memory::kPageBytes>* bytes) noexcept;
+
+/// Golden memory digest at a checkpoint boundary: per-page contributions
+/// (non-zero entries only) and their XOR fold.  Carried by SimCheckpoint so
+/// each injection's tracker starts from the rung's precomputed state instead
+/// of rehashing the whole address space.
+struct StateBaseline {
+  std::unordered_map<std::uint64_t, std::uint64_t> page_contrib;
+  std::uint64_t mem_fold = 0;
+
+  /// Updates this baseline for pages rewritten since it was computed
+  /// (ladder construction walks one baseline up the rungs).
+  void update_pages(const sim::Memory& mem,
+                    const std::unordered_set<std::uint64_t>& pages);
+};
+
+/// Full-scan digest of `mem` (checkpoint construction; O(materialized pages)).
+StateBaseline hash_memory(const sim::Memory& mem);
+
+// ---- Convergence tracking ---------------------------------------------------
+
+/// Detects faulty-vs-golden state re-convergence at matching instruction
+/// counts.  Both memories must have dirty tracking enabled with empty dirty
+/// sets at the checkpoint-clone point (begin() arranges this); the tracker
+/// then maintains each side's fold incrementally from the dirty sets.  A
+/// hash match is never trusted alone: check() confirms with a full
+/// register-file compare and a byte compare of every page either side has
+/// touched (untouched pages are equal by the clone invariant).
+class ConvergenceTracker {
+ public:
+  /// Hash-function seam for the near-collision unit tests: substituting a
+  /// degenerate page hash forces hash agreement on unequal memories, which
+  /// the confirmation compare must reject.
+  using PageHashFn = std::uint64_t (*)(
+      std::uint64_t,
+      const std::array<std::uint8_t, sim::Memory::kPageBytes>*);
+
+  /// `baseline` describes the golden memory at the clone point; nullptr
+  /// computes it from `golden_mem` on begin() (scratch-mode fallback).
+  explicit ConvergenceTracker(std::shared_ptr<const StateBaseline> baseline,
+                              PageHashFn page_hash = &page_contribution);
+
+  /// Arms tracking on both memories (enables dirty tracking, clears dirty
+  /// sets).  Call exactly once, at the clone point, before either side runs.
+  void begin(sim::Memory& faulty_mem, sim::Memory& golden_mem);
+
+  /// True when the faulty machine's architectural state (registers, PC,
+  /// termination, memory) provably equals the golden simulator's.  Both
+  /// sides must be at the same instruction count (the classifier's lockstep
+  /// guarantees this) with the faulty machine running and the golden
+  /// program not done.
+  bool check(const sim::CycleSim& faulty, const sim::FunctionalSim& golden);
+
+  std::uint64_t checks_run() const noexcept { return checks_run_; }
+  /// Hash matches rejected by the confirmation compare.
+  std::uint64_t hash_collisions() const noexcept { return hash_collisions_; }
+
+ private:
+  struct Side {
+    sim::Memory* mem = nullptr;
+    std::uint64_t fold = 0;
+    /// Pages this side dirtied since the clone: page -> current contribution.
+    std::unordered_map<std::uint64_t, std::uint64_t> overrides;
+  };
+
+  void refresh(Side& side);
+  bool confirm(const sim::CycleSim& faulty, const sim::FunctionalSim& golden) const;
+
+  std::shared_ptr<const StateBaseline> baseline_;
+  PageHashFn page_hash_;
+  Side faulty_;
+  Side golden_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t hash_collisions_ = 0;
+};
+
+// ---- Golden profiling and site classification -------------------------------
+
+/// Product of the campaign's one-time golden analysis passes.
+struct PruneAnalysis {
+  /// True when the golden program provably cannot abort within any
+  /// injection's observation window (clean exit or still running at the
+  /// commit-bounded horizon).  False disables all pruning for the campaign.
+  bool golden_safe = false;
+  /// ITR polls of the fault-free cycle machine, in trace order (classes
+  /// mode only; empty otherwise).
+  std::vector<sim::TraceProfileSample> profile;
+  /// Decode count the profiling run reached; sites past it are never
+  /// analytically classified.
+  std::uint64_t profiled_decodes = 0;
+
+  /// Profile sample whose trace instance contains dynamic instruction
+  /// `index`, or nullptr (instance never completed / never polled / outside
+  /// the profiled span — all automatically non-prunable).
+  const sim::TraceProfileSample* find_instance(std::uint64_t index) const noexcept;
+};
+
+/// Runs the golden-abort probe and (when `build_profile`) the golden
+/// trace-profiling pass.  `base_options` must be the campaign's fault-free
+/// monitoring-mode options.  The abort probe bounds golden consumption by
+/// the classifier's own commit-rate limit: commits advance at most
+/// `commit_width` per cycle, so a window of W cycles after an injection at
+/// decode index <= warmup+region can step the golden simulator at most
+/// warmup + region + (W+1)*commit_width + slack instructions.
+PruneAnalysis analyze_golden(const isa::Program& prog,
+                             const sim::CycleSim::Options& base_options,
+                             std::shared_ptr<const isa::PredecodedProgram> predecoded,
+                             std::uint64_t warmup_instructions,
+                             std::uint64_t inject_region,
+                             std::uint64_t observation_cycles,
+                             std::uint64_t grace_cycles, bool build_profile);
+
+/// One injection site's analytic classification.
+struct SiteClass {
+  bool analytic = false;          ///< provably ITR+Mask without simulation
+  std::uint64_t detect_cycle = 0; ///< profile poll dispatch cycle
+  std::uint64_t class_key = 0;    ///< (static pc << 6) | bit — stats grouping
+};
+
+/// Classifies one (target, bit) site against the golden analysis.  Analytic
+/// requires: golden_safe; the target's instance completed and was polled
+/// with a clean hit in the profile; the bit is dead for the target's static
+/// instruction; and the instance's poll commit precedes its first fetch
+/// plus the observation window (so the baseline classifier provably drains
+/// the detection event before the window closes).
+SiteClass classify_site(const PruneAnalysis& analysis,
+                        const isa::Program& prog,
+                        const isa::PredecodedProgram* predecoded,
+                        std::uint64_t target_decode_index, unsigned bit,
+                        std::uint64_t observation_cycles) noexcept;
+
+}  // namespace itr::fi

@@ -422,7 +422,66 @@ std::optional<Divergence> oracle_ladder_vs_scratch(const isa::Program& prog,
   return std::nullopt;
 }
 
-// ---- Oracle 5: snapshot-resume vs uninterrupted run. -----------------------
+// ---- Oracle 5: pruned campaigns vs the unpruned baseline. ------------------
+
+/// All InjectionResult fields except faulty_commits, which measures how much
+/// simulation the campaign performed: convergence early-exit stops counting
+/// at the proven-converged commit and analytic synthesis never simulates at
+/// all, so the baseline's tally is legitimately larger.
+bool injections_equal_outcome(const fi::InjectionResult& a,
+                              const fi::InjectionResult& b) {
+  return a.outcome == b.outcome && a.decode_index == b.decode_index &&
+         a.bit == b.bit && std::string_view(a.field) == b.field &&
+         a.detected == b.detected && a.recoverable == b.recoverable &&
+         a.sdc == b.sdc && a.deadlock == b.deadlock && a.spc == b.spc &&
+         a.detect_cycle == b.detect_cycle;
+}
+
+std::optional<Divergence> oracle_pruned_vs_unpruned(const isa::Program& prog,
+                                                    const OracleConfig& cfg) {
+  const std::string kName = "pruned-vs-unpruned";
+  fi::CampaignConfig base;
+  base.observation_cycles = 4'000;
+  base.warmup_instructions = 1'000;
+  base.inject_region = 4'000;
+  base.seed = 1;
+  base.detected_mask_grace_cycles = 800;
+
+  std::optional<fi::CampaignSummary> reference;
+  for (const fi::PruneMode mode :
+       {fi::PruneMode::kOff, fi::PruneMode::kConverge, fi::PruneMode::kClasses,
+        fi::PruneMode::kFull}) {
+    fi::CampaignConfig c = base;
+    c.prune.mode = mode;
+    fi::FaultInjectionCampaign campaign(prog, c);
+    auto summary = campaign.run(cfg.campaign_faults, /*threads=*/2);
+    if (!reference) {
+      reference = std::move(summary);
+      continue;
+    }
+    const char* label = fi::prune_mode_name(mode);
+    if (summary.counts != reference->counts || summary.total != reference->total) {
+      return diverge(kName, std::string("outcome tallies under --prune=") + label +
+                                " differ from the unpruned baseline");
+    }
+    if (summary.results.size() != reference->results.size()) {
+      return diverge(kName, std::string("result count under --prune=") + label +
+                                " differs from the unpruned baseline");
+    }
+    for (std::size_t i = 0; i < summary.results.size(); ++i) {
+      if (!injections_equal_outcome(summary.results[i], reference->results[i])) {
+        return diverge(kName, std::string("injection ") + std::to_string(i) +
+                                  " under --prune=" + label + " classified {" +
+                                  injection_str(summary.results[i]) +
+                                  "} vs unpruned {" +
+                                  injection_str(reference->results[i]) + "}");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Oracle 6: snapshot-resume vs uninterrupted run. -----------------------
 
 std::optional<Divergence> oracle_snapshot_vs_fresh(const isa::Program& prog,
                                                    const OracleConfig& cfg) {
@@ -494,8 +553,8 @@ std::optional<Divergence> oracle_snapshot_vs_fresh(const isa::Program& prog,
 
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> kNames = {
-      "func-vs-pipeline", "predecode-vs-raw", "sweep-vs-replay",
-      "ladder-vs-scratch", "snapshot-vs-fresh"};
+      "func-vs-pipeline",  "predecode-vs-raw",   "sweep-vs-replay",
+      "ladder-vs-scratch", "pruned-vs-unpruned", "snapshot-vs-fresh"};
   return kNames;
 }
 
@@ -506,6 +565,7 @@ std::optional<Divergence> run_oracle(const std::string& name,
   if (name == "predecode-vs-raw") return oracle_predecode_vs_raw(prog, cfg);
   if (name == "sweep-vs-replay") return oracle_sweep_vs_replay(prog, cfg);
   if (name == "ladder-vs-scratch") return oracle_ladder_vs_scratch(prog, cfg);
+  if (name == "pruned-vs-unpruned") return oracle_pruned_vs_unpruned(prog, cfg);
   if (name == "snapshot-vs-fresh") return oracle_snapshot_vs_fresh(prog, cfg);
   throw std::invalid_argument("unknown oracle '" + name + "'");
 }

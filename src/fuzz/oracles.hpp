@@ -4,18 +4,21 @@
 // simulator bug by construction — the paper's whole detection argument
 // rests on redundant executions of the same code being bit-identical.
 //
-// The five oracle pairs (named as listed by oracle_names()):
+// The six oracle pairs (named as listed by oracle_names()):
 //
-//   func-vs-pipeline   functional golden vs cycle-level commit stream
-//   predecode-vs-raw   predecoded fast paths vs per-instruction raw decode
-//                      (both the functional and the cycle simulator), plus
-//                      trace-record formation over both signal streams
-//   sweep-vs-replay    SweepEngine one-pass coverage vs per-config
-//                      replay_coverage, including stats-registry JSON bytes
-//   ladder-vs-scratch  fault campaigns under scratch / warmup / ladder
-//                      checkpointing (and the seed-path toggles)
-//   snapshot-vs-fresh  CycleSim copy-resume vs an uninterrupted run, plus
-//                      COW vs deep-copy memory
+//   func-vs-pipeline     functional golden vs cycle-level commit stream
+//   predecode-vs-raw     predecoded fast paths vs per-instruction raw decode
+//                        (both the functional and the cycle simulator), plus
+//                        trace-record formation over both signal streams
+//   sweep-vs-replay      SweepEngine one-pass coverage vs per-config
+//                        replay_coverage, including stats-registry JSON bytes
+//   ladder-vs-scratch    fault campaigns under scratch / warmup / ladder
+//                        checkpointing (and the seed-path toggles)
+//   snapshot-vs-fresh    CycleSim copy-resume vs an uninterrupted run, plus
+//                        COW vs deep-copy memory
+//   pruned-vs-unpruned   fault campaigns under --prune converge / classes /
+//                        full vs the unpruned baseline: every InjectionResult
+//                        field except faulty_commits (work done, not outcome)
 #pragma once
 
 #include <cstdint>
@@ -39,7 +42,7 @@ struct Divergence {
   std::string detail;
 };
 
-/// Names of the five oracle pairs, in canonical order.
+/// Names of the six oracle pairs, in canonical order.
 const std::vector<std::string>& oracle_names();
 
 /// Runs one oracle by name; nullopt = paths agreed.  Throws

@@ -3,12 +3,27 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "isa/opcode.hpp"
 #include "isa/program.hpp"
 
 namespace itr::sim {
+
+/// 64-bit FNV-1a over a little-endian word stream; the shared primitive for
+/// the architectural state hash and the campaign pruner's page hashes.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline constexpr std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) noexcept {
+  return (h ^ b) * kFnvPrime;
+}
+
+inline constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) h = fnv1a_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
+  return h;
+}
 
 struct ArchState {
   std::uint64_t pc = 0;
@@ -34,7 +49,32 @@ struct ArchState {
     return st;
   }
 
-  friend bool operator==(const ArchState&, const ArchState&) = default;
+  /// FNV-1a digest of the full architectural register state (PC, integer
+  /// registers, FP registers by bit pattern — NaN payloads are state too).
+  /// Used by the campaign pruner's convergence check; equality of hashes is
+  /// always confirmed by a byte compare before any decision is taken.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = fnv1a_u64(kFnvOffset, pc);
+    for (const std::uint32_t r : iregs) h = fnv1a_u64(h, r);
+    for (const double f : fregs) h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(f));
+    return h;
+  }
+
+  /// Architectural equality is bit-pattern equality: FP registers compare
+  /// by their stored image, so two states holding the same NaN are equal
+  /// (IEEE == would call them different) and +0.0 vs -0.0 are distinct.
+  /// NaN payloads and zero signs are architectural state — the simulator-
+  /// equivalence oracles depend on both directions.
+  friend bool operator==(const ArchState& a, const ArchState& b) noexcept {
+    if (a.pc != b.pc || a.iregs != b.iregs) return false;
+    for (std::size_t r = 0; r < a.fregs.size(); ++r) {
+      if (std::bit_cast<std::uint64_t>(a.fregs[r]) !=
+          std::bit_cast<std::uint64_t>(b.fregs[r])) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 }  // namespace itr::sim

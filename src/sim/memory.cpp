@@ -4,7 +4,10 @@
 
 namespace itr::sim {
 
-Memory::Memory(const Memory& other) : cow_(other.cow_) {
+Memory::Memory(const Memory& other)
+    : cow_(other.cow_), track_dirty_(other.track_dirty_) {
+  // The copy inherits the tracking flag but starts with an empty dirty set:
+  // its set means "written since this clone was taken".
   if (cow_) {
     // COW snapshot: share every page; writes on either side privatize.
     pages_ = other.pages_;
@@ -21,7 +24,27 @@ Memory& Memory::operator=(const Memory& other) {
   Memory copy(other);
   pages_ = std::move(copy.pages_);
   cow_ = copy.cow_;
+  track_dirty_ = copy.track_dirty_;
+  dirty_ = std::move(copy.dirty_);
+  last_dirty_page_ = copy.last_dirty_page_;
   return *this;
+}
+
+void Memory::set_dirty_tracking(bool enabled) {
+  track_dirty_ = enabled;
+  clear_dirty();
+}
+
+const Memory::Page* Memory::page_data(std::uint64_t page_index) const noexcept {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::uint64_t> Memory::page_indexes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(pages_.size());
+  for (const auto& [index, page] : pages_) out.push_back(index);
+  return out;
 }
 
 const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
@@ -30,7 +53,12 @@ const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
 }
 
 Memory::Page& Memory::touch_page(std::uint64_t addr) {
-  PageRef& slot = pages_[(addr & kAddressMask) / kPageBytes];
+  const std::uint64_t index = (addr & kAddressMask) / kPageBytes;
+  if (track_dirty_ && index != last_dirty_page_) {
+    dirty_.insert(index);
+    last_dirty_page_ = index;
+  }
+  PageRef& slot = pages_[index];
   if (!slot) {
     slot = std::make_shared<Page>();
     slot->fill(0);

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 namespace itr::sim {
 
@@ -68,15 +70,45 @@ class Memory {
   /// refcount-release behaviour; not meaningful under concurrent cloning.
   long page_owners(std::uint64_t addr) const noexcept;
 
+  /// Opt-in dirty-page tracking: while enabled, every written page's index
+  /// (addr / kPageBytes) is recorded in the dirty set.  Copies inherit the
+  /// enable flag but start with an EMPTY dirty set, so the set reads as
+  /// "pages touched since this object was cloned" — exactly the delta a
+  /// convergence check needs.  Enabling clears any stale set.
+  void set_dirty_tracking(bool enabled);
+  bool dirty_tracking() const noexcept { return track_dirty_; }
+  /// Page indexes written since the last clone / clear_dirty().
+  const std::unordered_set<std::uint64_t>& dirty_pages() const noexcept {
+    return dirty_;
+  }
+  void clear_dirty() noexcept {
+    dirty_.clear();
+    last_dirty_page_ = kNoPage;
+  }
+
+  /// Raw page bytes by page index (not address); nullptr = never materialized
+  /// (reads as zeros).  Used by the campaign pruner's page hashing.
+  const std::array<std::uint8_t, kPageBytes>* page_data(
+      std::uint64_t page_index) const noexcept;
+
+  /// Indexes of every materialized page, unordered (checkpoint hashing).
+  std::vector<std::uint64_t> page_indexes() const;
+
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;
   using PageRef = std::shared_ptr<Page>;
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
   const Page* find_page(std::uint64_t addr) const noexcept;
   Page& touch_page(std::uint64_t addr);
 
   std::unordered_map<std::uint64_t, PageRef> pages_;
   bool cow_ = true;
+  bool track_dirty_ = false;
+  std::unordered_set<std::uint64_t> dirty_;
+  /// Last page recorded dirty — writes are bursty within a page, so this
+  /// cache skips most hash-set inserts on the write8 hot path.
+  std::uint64_t last_dirty_page_ = kNoPage;
 };
 
 }  // namespace itr::sim

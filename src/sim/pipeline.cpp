@@ -400,8 +400,13 @@ void CycleSim::process_instruction() {
   // ---- ITR decode side: trace formation + dispatch-time probe. ----------------
   std::optional<trace::TraceRecord> completed_trace;
   if (itr_.has_value()) {
+    const bool profiling = opt_.record_trace_profile && !opt_.itr_recovery;
+    if (profiling && !itr_has_open_trace_) profile_open_fetch_ = fetch_cycle;
     completed_trace = itr_->on_decode(pc, sig, this_decode_index, dispatch_cycle);
     itr_has_open_trace_ = !completed_trace.has_value();
+    if (profiling && completed_trace.has_value()) {
+      profile_fetch_queue_.push_back(profile_open_fetch_);
+    }
     if (completed_trace.has_value() && rename_cache_.has_value()) {
       trace::TraceRecord rrec = *completed_trace;
       rrec.signature = rename_sig_acc_;
@@ -510,6 +515,23 @@ void CycleSim::process_instruction() {
 
 void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cycle,
                            std::uint64_t dispatch_cycle) {
+  if (opt_.record_trace_profile && !opt_.itr_recovery) {
+    TraceProfileSample sample;
+    sample.first_insn_index = poll.trace.first_insn_index;
+    sample.num_instructions = poll.trace.num_instructions;
+    sample.start_pc = poll.trace.start_pc;
+    sample.probe = poll.probe.outcome;
+    sample.dispatch_cycle = dispatch_cycle;
+    sample.commit_cycle = commit_cycle;
+    // Polls arrive in trace order, so the queue front is this trace's start
+    // fetch (pushed when its completion was decoded).
+    if (!profile_fetch_queue_.empty()) {
+      sample.start_fetch_cycle = profile_fetch_queue_.front();
+      profile_fetch_queue_.pop_front();
+    }
+    trace_profile_.push_back(sample);
+  }
+
   // Remember how the fault-carrying trace fared at its probe (classification
   // input for the MayITR/Undet distinction).
   if (fault_injected_ && fault_trace_completed_ &&

@@ -179,6 +179,23 @@ struct PipelineStats {
 /// clones never carry registry state.
 void publish_pipeline_stats(const PipelineStats& stats, obs::MetricClass cls);
 
+/// One ITR commit-side poll as observed during a fault-free profiling run
+/// (Options::record_trace_profile).  Everything the campaign pruner needs to
+/// predict, without simulating, how a dead-bit fault inside this trace
+/// instance would be detected: the polled instance's extent and probe
+/// outcome, the poll's dispatch cycle (= the detection event's cycle) and
+/// commit cycle, and the fetch cycle of the instance's first instruction
+/// (lower bound on any member's injection cycle).
+struct TraceProfileSample {
+  std::uint64_t first_insn_index = 0;
+  std::uint32_t num_instructions = 0;
+  std::uint64_t start_pc = 0;
+  core::ProbeOutcome probe = core::ProbeOutcome::kMiss;
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t commit_cycle = 0;
+  std::uint64_t start_fetch_cycle = 0;
+};
+
 /// Terminal condition of a run.
 enum class RunTermination : std::uint8_t {
   kRunning,
@@ -216,6 +233,11 @@ class CycleSim {
     /// false restores the seed's eager deep-copy memory cloning (benchmark
     /// baseline); true snapshots copy-on-write.
     bool cow_memory = true;
+    /// Record a TraceProfileSample per ITR commit-side poll (campaign
+    /// pruner's golden profiling pass).  Monitoring mode only: recovery-mode
+    /// retries re-poll traces, which would misalign the samples; the flag is
+    /// ignored when itr_recovery is set.
+    bool record_trace_profile = false;
   };
 
   CycleSim(const isa::Program& prog, Options options);
@@ -262,6 +284,8 @@ class CycleSim {
   const RenameUnit& rename_unit() const noexcept { return rename_; }
   /// Functional memory (telemetry: page count ≈ bytes a snapshot clone pays).
   const Memory& memory() const noexcept { return memory_; }
+  /// Mutable access for the campaign pruner (dirty-tracking enablement).
+  Memory& memory() noexcept { return memory_; }
   BranchPredictor& predictor() noexcept { return bpred_; }
   std::uint64_t decode_count() const noexcept { return decode_index_; }
   bool fault_was_injected() const noexcept { return fault_injected_; }
@@ -275,6 +299,27 @@ class CycleSim {
 
   /// Cycle at which the watchdog fired (valid when termination is kDeadlock).
   std::uint64_t watchdog_cycle() const noexcept { return watchdog_cycle_; }
+
+  /// Polls recorded so far under Options::record_trace_profile.
+  const std::vector<TraceProfileSample>& trace_profile() const noexcept {
+    return trace_profile_;
+  }
+
+  /// True when the timing scoreboard holds a "never" cycle — a phantom
+  /// operand or poisoned ROB slot whose downstream commit timing can never
+  /// match a fault-free machine's — or the deadlock watchdog already
+  /// tripped.  The convergence pruner refuses to early-exit such runs: the
+  /// architectural state may equal golden while a deadlock is still pending.
+  bool timing_wedged() const noexcept {
+    if (deadlock_pending_) return true;
+    for (const std::uint64_t r : int_ready_)
+      if (r >= kNeverCycle) return true;
+    for (const std::uint64_t r : fp_ready_)
+      if (r >= kNeverCycle) return true;
+    for (const std::uint64_t c : commit_ring_)
+      if (c >= kNeverCycle) return true;
+    return false;
+  }
 
   /// Dispatch cycle of the corrupted instruction (valid once injected).
   std::uint64_t fault_inject_cycle() const noexcept { return fault_inject_cycle_; }
@@ -374,6 +419,11 @@ class CycleSim {
   // Output queues.
   std::deque<CommitRecord> commit_queue_;
   std::deque<ItrEvent> itr_events_;
+
+  // Trace-profile recording (record_trace_profile, monitoring mode only).
+  std::vector<TraceProfileSample> trace_profile_;
+  std::deque<std::uint64_t> profile_fetch_queue_;  ///< start fetch per completed trace
+  std::uint64_t profile_open_fetch_ = 0;  ///< fetch cycle of the open trace's start
 
   PipelineStats stats_;
   RunTermination termination_ = RunTermination::kRunning;

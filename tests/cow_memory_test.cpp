@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "isa/builder.hpp"
+#include "isa/encoding.hpp"
+#include "sim/functional.hpp"
 #include "sim/memory.hpp"
 
 namespace itr::sim {
@@ -148,6 +152,139 @@ TEST(CowMemoryParallel, ConcurrentClonesDivergeWithoutRacing) {
     EXPECT_EQ(base.read64(p * kPage + 8), 0u) << "page " << p;
     EXPECT_EQ(base.page_owners(p * kPage), 1) << "page " << p;
   }
+}
+
+// ---- Dirty-page tracking (the campaign pruner's convergence substrate). ----
+
+TEST(DirtyTracking, OptInAndRecordsWrittenPages) {
+  Memory m;
+  EXPECT_FALSE(m.dirty_tracking());
+  m.write64(0, 1);  // writes before opt-in are not recorded
+  m.set_dirty_tracking(true);
+  EXPECT_TRUE(m.dirty_tracking());
+  EXPECT_TRUE(m.dirty_pages().empty());
+
+  m.write8(5 * kPage + 17, 0xab);
+  m.write32(5 * kPage + 100, 0x1234);  // same page: still one entry
+  m.write64(9 * kPage, 7);
+  const auto& dirty = m.dirty_pages();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_TRUE(dirty.count(5));
+  EXPECT_TRUE(dirty.count(9));
+}
+
+// The write path caches the last-dirtied page index to skip hash-set
+// inserts; alternating writes across two pages must still record both.
+TEST(DirtyTracking, AlternatingPagesDefeatTheLastPageCache) {
+  Memory m;
+  m.set_dirty_tracking(true);
+  for (int i = 0; i < 4; ++i) {
+    m.write8(0 * kPage, static_cast<std::uint8_t>(i));
+    m.write8(3 * kPage, static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(m.dirty_pages().size(), 2u);
+}
+
+TEST(DirtyTracking, CloneInheritsTrackingWithAnEmptySet) {
+  Memory base;
+  base.set_dirty_tracking(true);
+  base.write64(2 * kPage, 42);
+  ASSERT_EQ(base.dirty_pages().size(), 1u);
+
+  // The clone's set reads "pages touched since the clone" — it must start
+  // empty even though the source has pending dirt.
+  Memory clone(base);
+  EXPECT_TRUE(clone.dirty_tracking());
+  EXPECT_TRUE(clone.dirty_pages().empty());
+  clone.write8(7 * kPage, 1);
+  EXPECT_EQ(clone.dirty_pages().size(), 1u);
+  EXPECT_TRUE(clone.dirty_pages().count(7));
+  // And the source's set is untouched by the clone's writes.
+  EXPECT_EQ(base.dirty_pages().size(), 1u);
+}
+
+TEST(DirtyTracking, ClearDirtyAllowsRerecordingTheSamePage) {
+  Memory m;
+  m.set_dirty_tracking(true);
+  m.write8(4 * kPage, 1);
+  m.clear_dirty();
+  EXPECT_TRUE(m.dirty_pages().empty());
+  // Regression guard for the last-page cache: after clear_dirty() a write
+  // to the same page must be recorded again, not skipped as "already seen".
+  m.write8(4 * kPage + 1, 2);
+  EXPECT_EQ(m.dirty_pages().size(), 1u);
+  EXPECT_TRUE(m.dirty_pages().count(4));
+}
+
+TEST(DirtyTracking, EnablingClearsAStaleSet) {
+  Memory m;
+  m.set_dirty_tracking(true);
+  m.write8(0, 1);
+  ASSERT_FALSE(m.dirty_pages().empty());
+  m.set_dirty_tracking(true);  // re-arm
+  EXPECT_TRUE(m.dirty_pages().empty());
+}
+
+TEST(DirtyTracking, ReadsNeverDirty) {
+  Memory m;
+  m.write64(kPage, 99);
+  m.set_dirty_tracking(true);
+  (void)m.read64(kPage);
+  (void)m.read8(12 * kPage);  // absent page
+  EXPECT_TRUE(m.dirty_pages().empty());
+}
+
+TEST(DirtyTracking, StraddlingWritesDirtyEveryTouchedPage) {
+  Memory m;
+  m.set_dirty_tracking(true);
+  m.write64(kPage - 4, 0x1122334455667788ULL);  // pages 0 and 1
+  EXPECT_EQ(m.dirty_pages().size(), 2u);
+
+  m.clear_dirty();
+  const std::vector<std::uint8_t> blob(2 * kPage, 0x5a);
+  m.write_block(10 * kPage - 8, blob.data(), blob.size());  // pages 9..11
+  EXPECT_EQ(m.dirty_pages().size(), 3u);
+  EXPECT_TRUE(m.dirty_pages().count(9));
+  EXPECT_TRUE(m.dirty_pages().count(10));
+  EXPECT_TRUE(m.dirty_pages().count(11));
+}
+
+// Partial-word stores at a page boundary, driven through the executor: swl
+// and swr write only bytes inside the aligned 4-byte word containing their
+// address, so neither can ever straddle a page (pages are word-aligned) —
+// while an unaligned plain sw does.  The dirty set must reflect exactly
+// the pages each store's byte loop touched, and the lwl/lwr loads none.
+TEST(DirtyTracking, PartialWordStoresAtPageBoundary) {
+  constexpr std::uint64_t kBoundary = 64 * kPage;  // away from code and data
+  isa::CodeBuilder b("dirty_lr");
+  b.li(1, static_cast<std::int32_t>(kBoundary));
+  b.li(2, 0x11223344);
+  b.emit(isa::make_store(isa::Opcode::kSwr, 2, 1, -2));  // bytes P-2..P-1
+  b.emit(isa::make_store(isa::Opcode::kSwl, 2, 1, +1));  // bytes P+1, P
+  b.emit(isa::make_store(isa::Opcode::kSw, 2, 1, -2));   // bytes P-2..P+1
+  b.emit(isa::make_load(isa::Opcode::kLwr, 3, 1, -2));
+  b.emit(isa::make_load(isa::Opcode::kLwl, 3, 1, +1));
+  b.exit0();
+  const isa::Program prog = b.finish();
+
+  FunctionalSim sim(prog);
+  sim.memory().set_dirty_tracking(true);
+  // One dirty-set snapshot per instruction that dirtied anything, in
+  // program order.
+  std::vector<std::set<std::uint64_t>> deltas;
+  while (!sim.done()) {
+    sim.memory().clear_dirty();
+    sim.step();
+    const auto& d = sim.memory().dirty_pages();
+    if (!d.empty()) deltas.emplace_back(d.begin(), d.end());
+  }
+
+  const std::uint64_t below = kBoundary / kPage - 1;
+  const std::uint64_t above = kBoundary / kPage;
+  ASSERT_EQ(deltas.size(), 3u);  // three stores; loads and ALU dirty nothing
+  EXPECT_EQ(deltas[0], (std::set<std::uint64_t>{below}));         // swr
+  EXPECT_EQ(deltas[1], (std::set<std::uint64_t>{above}));         // swl
+  EXPECT_EQ(deltas[2], (std::set<std::uint64_t>{below, above}));  // sw
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// Campaign-pruner unit tests: dead-bit field masks, incremental memory
+// hashing, the convergence tracker (including a forced near-collision via
+// the PageHashFn seam, which the byte-compare confirmation must reject),
+// and cross-thread determinism of equivalence-class campaigns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fi/classify.hpp"
+#include "fi/prune.hpp"
+#include "isa/decode.hpp"
+#include "isa/encoding.hpp"
+#include "sim/functional.hpp"
+#include "sim/memory.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/generator.hpp"
+
+namespace itr::fi {
+namespace {
+
+constexpr std::uint64_t kPage = sim::Memory::kPageBytes;
+
+std::uint64_t field_mask(const char* name) {
+  std::size_t count = 0;
+  const auto* layout = isa::signal_field_layout(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::string_view(layout[i].name) == name) {
+      const std::uint64_t bits = layout[i].width >= 64
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << layout[i].width) - 1;
+      return bits << layout[i].offset;
+    }
+  }
+  ADD_FAILURE() << "no signal field named " << name;
+  return 0;
+}
+
+TEST(PruneMode, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_prune_mode("off"), PruneMode::kOff);
+  EXPECT_EQ(parse_prune_mode("converge"), PruneMode::kConverge);
+  EXPECT_EQ(parse_prune_mode("classes"), PruneMode::kClasses);
+  EXPECT_EQ(parse_prune_mode("full"), PruneMode::kFull);
+  for (const PruneMode m : {PruneMode::kOff, PruneMode::kConverge,
+                            PruneMode::kClasses, PruneMode::kFull}) {
+    EXPECT_EQ(parse_prune_mode(prune_mode_name(m)), m);
+  }
+  EXPECT_THROW(parse_prune_mode("banana"), std::invalid_argument);
+  EXPECT_THROW(parse_prune_mode(""), std::invalid_argument);
+}
+
+TEST(PruneConfig, ModePredicatesAndInterval) {
+  PruneConfig cfg;
+  EXPECT_FALSE(cfg.converge_enabled());
+  EXPECT_FALSE(cfg.classes_enabled());
+  cfg.mode = PruneMode::kFull;
+  EXPECT_TRUE(cfg.converge_enabled());
+  EXPECT_TRUE(cfg.classes_enabled());
+  EXPECT_EQ(cfg.interval(), PruneConfig::kDefaultCheckInterval);
+  cfg.check_interval = 64;
+  EXPECT_EQ(cfg.interval(), 64u);
+}
+
+// Field liveness per the pipeline's own gating: a bit is dead only when no
+// stage reads its field for that opcode.
+TEST(DeadSignalMask, FollowsFieldLiveness) {
+  // add r3, r1, r2: two int sources, one dest, no shift, no imm, no memory.
+  const auto add = isa::decode(isa::make_rr(isa::Opcode::kAdd, 3, 1, 2));
+  const std::uint64_t add_dead = dead_signal_mask(add);
+  EXPECT_EQ(add_dead & field_mask("shamt"), field_mask("shamt"));
+  EXPECT_EQ(add_dead & field_mask("imm"), field_mask("imm"));
+  EXPECT_EQ(add_dead & field_mask("mem_size"), field_mask("mem_size"));
+  EXPECT_EQ(add_dead & field_mask("rsrc1"), 0u);
+  EXPECT_EQ(add_dead & field_mask("rsrc2"), 0u);
+  EXPECT_EQ(add_dead & field_mask("rdst"), 0u);
+  // Semantics/gating fields are never dead.
+  EXPECT_EQ(add_dead & field_mask("opcode"), 0u);
+  EXPECT_EQ(add_dead & field_mask("flags"), 0u);
+  EXPECT_EQ(add_dead & field_mask("lat"), 0u);
+  EXPECT_EQ(add_dead & field_mask("num_rsrc"), 0u);
+  EXPECT_EQ(add_dead & field_mask("num_rdst"), 0u);
+
+  // sll reads shamt.
+  const auto sll = isa::decode(isa::make_shift(isa::Opcode::kSll, 2, 1, 3));
+  EXPECT_EQ(dead_signal_mask(sll) & field_mask("shamt"), 0u);
+
+  // lw: displacement and memory size live, second source port unused.
+  const auto lw = isa::decode(isa::make_load(isa::Opcode::kLw, 2, 1, 8));
+  const std::uint64_t lw_dead = dead_signal_mask(lw);
+  EXPECT_EQ(lw_dead & field_mask("imm"), 0u);
+  EXPECT_EQ(lw_dead & field_mask("mem_size"), 0u);
+  EXPECT_EQ(lw_dead & field_mask("rsrc2"), field_mask("rsrc2"));
+  EXPECT_EQ(lw_dead & field_mask("rsrc1"), 0u);
+}
+
+TEST(PageHashing, AbsentAndAllZeroPagesContributeNothing) {
+  EXPECT_EQ(page_contribution(0, nullptr), 0u);
+  EXPECT_EQ(page_contribution(123, nullptr), 0u);
+  std::array<std::uint8_t, sim::Memory::kPageBytes> zeros{};
+  // A materialized-but-zero page reads identically to no page at all, so
+  // its contribution must vanish too.
+  EXPECT_EQ(page_contribution(7, &zeros), 0u);
+
+  std::array<std::uint8_t, sim::Memory::kPageBytes> bytes{};
+  bytes[100] = 1;
+  EXPECT_NE(page_contribution(7, &bytes), 0u);
+  // The page index is mixed in: the same bytes at a different index hash
+  // differently, so swapped pages cannot cancel in the XOR fold.
+  EXPECT_NE(page_contribution(7, &bytes), page_contribution(8, &bytes));
+}
+
+TEST(PageHashing, IncrementalUpdateMatchesFullRehash) {
+  sim::Memory mem;
+  mem.write64(0, 0x1111);
+  mem.write64(3 * kPage + 40, 0x2222);
+  mem.write64(9 * kPage, 0x3333);
+  StateBaseline base = hash_memory(mem);
+  EXPECT_EQ(base.page_contrib.size(), 3u);
+
+  mem.set_dirty_tracking(true);
+  mem.write64(3 * kPage + 40, 0x9999);  // rewrite an existing page
+  mem.write64(20 * kPage, 0x4444);      // materialize a new page
+  mem.write64(9 * kPage, 0);            // page becomes all-zero again
+  base.update_pages(mem, mem.dirty_pages());
+
+  const StateBaseline fresh = hash_memory(mem);
+  EXPECT_EQ(base.mem_fold, fresh.mem_fold);
+  EXPECT_EQ(base.page_contrib, fresh.page_contrib);
+  // The zeroed page's contribution is erased, not stored as 0.
+  EXPECT_EQ(base.page_contrib.count(9), 0u);
+}
+
+// ---- Convergence tracker ---------------------------------------------------
+
+/// Runs the faulty-free cycle machine and the golden functional simulator
+/// in classifier lockstep (one golden step per committed instruction) for
+/// at least `min_commits` commits; returns the commit count reached.
+std::uint64_t lockstep(sim::CycleSim& cs, sim::FunctionalSim& golden,
+                       std::uint64_t min_commits) {
+  std::uint64_t commits = 0;
+  while (commits < min_commits && cs.advance()) {
+    while (cs.next_commit().has_value()) {
+      golden.step();
+      ++commits;
+    }
+  }
+  return commits;
+}
+
+struct TrackerRig {
+  isa::Program prog;
+  sim::CycleSim cs;
+  sim::FunctionalSim golden;
+
+  TrackerRig()
+      : prog(workload::generate_spec("bzip", 50'000)),
+        cs(prog, sim::CycleSim::Options{}),
+        golden(prog) {}
+};
+
+TEST(ConvergenceTracker, EqualStatesConvergeWithoutCollisions) {
+  TrackerRig rig;
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 1'000), 1'000u);
+
+  ConvergenceTracker tracker(nullptr);
+  tracker.begin(rig.cs.memory(), rig.golden.memory());
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 1'000), 1'000u);
+
+  // Fault-free lockstep at equal instruction counts: states provably equal.
+  EXPECT_TRUE(tracker.check(rig.cs, rig.golden));
+  EXPECT_EQ(tracker.checks_run(), 1u);
+  EXPECT_EQ(tracker.hash_collisions(), 0u);
+}
+
+TEST(ConvergenceTracker, MemoryDivergenceIsCaughtByTheHash) {
+  TrackerRig rig;
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 500), 500u);
+  ConvergenceTracker tracker(nullptr);
+  tracker.begin(rig.cs.memory(), rig.golden.memory());
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 500), 500u);
+
+  // Poke one byte the golden side does not have: the incremental fold
+  // differs, so the cheap hash already refuses (no collision recorded).
+  rig.cs.memory().write8(200 * kPage + 3, 0x5a);
+  EXPECT_FALSE(tracker.check(rig.cs, rig.golden));
+  EXPECT_EQ(tracker.hash_collisions(), 0u);
+}
+
+// A degenerate page hash makes every memory image hash alike — a forced
+// near-collision.  The confirmation byte compare must still reject the
+// diverged memory, and the collision counter must record the save.
+TEST(ConvergenceTracker, HashCollisionIsRejectedByByteConfirm) {
+  TrackerRig rig;
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 500), 500u);
+  const ConvergenceTracker::PageHashFn zero_hash =
+      [](std::uint64_t,
+         const std::array<std::uint8_t, sim::Memory::kPageBytes>*)
+          -> std::uint64_t { return 0; };
+  ConvergenceTracker tracker(nullptr, zero_hash);
+  tracker.begin(rig.cs.memory(), rig.golden.memory());
+  ASSERT_GE(lockstep(rig.cs, rig.golden, 500), 500u);
+
+  rig.cs.memory().write8(200 * kPage + 3, 0x5a);
+  EXPECT_FALSE(tracker.check(rig.cs, rig.golden));
+  EXPECT_EQ(tracker.hash_collisions(), 1u);
+
+  // The genuinely-equal case still converges under the degenerate hash
+  // (the byte compare is the authority, the hash only a filter) — the
+  // divergent byte is healed first.
+  const std::uint8_t golden_byte = rig.golden.memory().read8(200 * kPage + 3);
+  rig.cs.memory().write8(200 * kPage + 3, golden_byte);
+  EXPECT_TRUE(tracker.check(rig.cs, rig.golden));
+}
+
+// ---- Campaign-level determinism --------------------------------------------
+
+bool same_outcome(const InjectionResult& a, const InjectionResult& b) {
+  return a.outcome == b.outcome && a.decode_index == b.decode_index &&
+         a.bit == b.bit && std::string_view(a.field) == b.field &&
+         a.detected == b.detected && a.recoverable == b.recoverable &&
+         a.sdc == b.sdc && a.deadlock == b.deadlock && a.spc == b.spc &&
+         a.detect_cycle == b.detect_cycle;
+}
+
+CampaignConfig small_campaign_config(PruneMode mode) {
+  CampaignConfig cfg;
+  cfg.observation_cycles = 4'000;
+  cfg.warmup_instructions = 1'000;
+  cfg.inject_region = 4'000;
+  cfg.detected_mask_grace_cycles = 800;
+  cfg.seed = 3;
+  cfg.prune.mode = mode;
+  return cfg;
+}
+
+// The class partition (and every synthesized result) must not depend on
+// worker-thread scheduling: classification happens before the fan-out and
+// the guard representative is pinned, so thread counts are invisible.
+TEST(CampaignPruning, ClassPartitionIsDeterministicAcrossThreads) {
+  const auto prog = workload::generate_spec("bzip", 60'000);
+  constexpr std::uint64_t kFaults = 32;
+
+  FaultInjectionCampaign camp1(prog, small_campaign_config(PruneMode::kClasses));
+  const CampaignSummary t1 = camp1.run(kFaults, 1);
+  FaultInjectionCampaign camp4(prog, small_campaign_config(PruneMode::kClasses));
+  const CampaignSummary t4 = camp4.run(kFaults, 4);
+
+  ASSERT_EQ(t1.results.size(), kFaults);
+  ASSERT_EQ(t4.results.size(), kFaults);
+  EXPECT_EQ(t1.counts, t4.counts);
+  std::uint64_t synthesized = 0;
+  for (std::uint64_t i = 0; i < kFaults; ++i) {
+    EXPECT_TRUE(same_outcome(t1.results[i], t4.results[i])) << "slot " << i;
+    // Full determinism includes the work metric: the same slots are
+    // synthesized (zero commits) regardless of thread count.
+    EXPECT_EQ(t1.results[i].faulty_commits, t4.results[i].faulty_commits)
+        << "slot " << i;
+    if (t1.results[i].faulty_commits == 0) ++synthesized;
+  }
+  // Vacuity guard: this configuration must actually exercise the analytic
+  // tier (synthesized slots run zero faulty commits).  If the plan stops
+  // drawing dead-bit clean-hit sites, pick a different seed.
+  EXPECT_GT(synthesized, 0u);
+}
+
+// Every pruning level reports the identical classification the unpruned
+// baseline computes; only faulty_commits (work done, not outcome) may
+// shrink.  The fuzz oracle pins this across random programs; this is the
+// deterministic in-tree version.
+TEST(CampaignPruning, FullPruningMatchesUnprunedOutcomes) {
+  const auto prog = workload::generate_spec("bzip", 60'000);
+  constexpr std::uint64_t kFaults = 32;
+
+  FaultInjectionCampaign base(prog, small_campaign_config(PruneMode::kOff));
+  const CampaignSummary off = base.run(kFaults, 2);
+  FaultInjectionCampaign pruned(prog, small_campaign_config(PruneMode::kFull));
+  const CampaignSummary full = pruned.run(kFaults, 2);
+
+  EXPECT_EQ(off.counts, full.counts);
+  EXPECT_EQ(off.total, full.total);
+  ASSERT_EQ(off.results.size(), full.results.size());
+  std::uint64_t off_work = 0, full_work = 0;
+  for (std::size_t i = 0; i < off.results.size(); ++i) {
+    EXPECT_TRUE(same_outcome(off.results[i], full.results[i])) << "slot " << i;
+    off_work += off.results[i].faulty_commits;
+    full_work += full.results[i].faulty_commits;
+  }
+  // Vacuity guard: pruning must have saved real work here, or this test
+  // proves nothing (both runs are deterministic, so equality would mean
+  // the pruner never engaged).
+  EXPECT_LT(full_work, off_work);
+}
+
+}  // namespace
+}  // namespace itr::fi

@@ -1,0 +1,175 @@
+// minibench: a minimal reimplementation of the subset of the
+// google-benchmark API used by this repository (see ../../README.md for
+// scope and the deliberate divergences).  The header keeps source
+// compatibility with <benchmark/benchmark.h> for that subset so
+// perf_micro.cpp compiles unchanged against either library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+/// A user counter attached to a State; kIsRate counters are divided by
+/// the measured time (real time under UseRealTime, CPU time otherwise)
+/// before reporting.
+class Counter {
+ public:
+  enum Flags : std::uint32_t {
+    kDefaults = 0,
+    kIsRate = 1u << 0,
+  };
+
+  double value;
+  Flags flags;
+
+  Counter(double v = 0.0, Flags f = kDefaults) : value(v), flags(f) {}
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+class State;
+
+namespace internal {
+
+struct Runner;
+
+using BenchFunction = std::function<void(State&)>;
+
+/// One registered benchmark family plus its chained configuration.  The
+/// chaining setters return `this` so registration reads exactly like
+/// google-benchmark's.
+class Benchmark {
+ public:
+  Benchmark(std::string name, BenchFunction fn);
+
+  Benchmark* Arg(std::int64_t x);
+  Benchmark* Args(const std::vector<std::int64_t>& xs);
+  Benchmark* Unit(TimeUnit unit);
+  Benchmark* UseRealTime();
+  Benchmark* MeasureProcessCPUTime();
+
+ private:
+  friend struct Runner;
+
+  std::string name_;
+  BenchFunction fn_;
+  std::vector<std::vector<std::int64_t>> args_;  ///< one run per entry
+  TimeUnit unit_ = kNanosecond;
+  bool use_real_time_ = false;
+  bool process_cpu_time_ = false;
+};
+
+}  // namespace internal
+
+/// Per-run benchmark state.  Timing starts when the range-for loop over
+/// the state begins and stops when it ends, so setup code before the
+/// loop is never measured.
+class State {
+ public:
+  UserCounters counters;
+
+  // The type itself is marked maybe_unused (as google-benchmark does):
+  // the `auto _ : state` loop variable is never read, and without the
+  // attribute every benchmark body trips -Wunused-but-set-variable.
+  struct [[maybe_unused]] Value {};
+
+  class StateIterator {
+   public:
+    Value operator*() const { return Value{}; }
+    StateIterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    // Compared against end() once per iteration; when the budget is
+    // exhausted the timers stop before the loop exits.
+    bool operator!=(const StateIterator&) {
+      if (remaining_ != 0) return true;
+      parent_->finish();
+      return false;
+    }
+
+   private:
+    friend class State;
+    StateIterator(State* parent, std::uint64_t n)
+        : parent_(parent), remaining_(n) {}
+    State* parent_;
+    std::uint64_t remaining_;
+  };
+
+  StateIterator begin();
+  StateIterator end() { return StateIterator(nullptr, 0); }
+
+  std::uint64_t iterations() const { return max_iterations_; }
+  std::int64_t range(std::size_t index = 0) const;
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  void SetLabel(const std::string& label) { label_ = label; }
+
+ private:
+  friend struct internal::Runner;
+
+  State(std::uint64_t max_iterations, std::vector<std::int64_t> args,
+        bool process_cpu_time);
+  void finish();
+
+  std::uint64_t max_iterations_;
+  std::vector<std::int64_t> args_;
+  bool process_cpu_time_;
+  bool finished_ = false;
+  std::int64_t items_processed_ = 0;
+  std::string label_;
+  std::uint64_t real_start_ns_ = 0;
+  std::uint64_t cpu_start_ns_ = 0;
+  std::uint64_t real_ns_ = 0;
+  std::uint64_t cpu_ns_ = 0;
+};
+
+/// Compiler barriers, same contract as google-benchmark's: the value is
+/// considered used and memory is considered touched.
+template <class T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <class T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+internal::Benchmark* RegisterBenchmark(const std::string& name,
+                                       internal::BenchFunction fn);
+
+/// Parses and removes the recognized --benchmark_* flags from argv.
+void Initialize(int* argc, char** argv);
+
+/// True (after printing them) if any arguments survived Initialize
+/// besides argv[0].
+bool ReportUnrecognizedArguments(int argc, char** argv);
+
+/// Extra "key": "value" entries appended to the JSON context block.
+void AddCustomContext(const std::string& key, const std::string& value);
+
+/// Runs every registered benchmark matching --benchmark_filter; returns
+/// the number of runs executed.
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+
+#define BENCHMARK(func)                                   \
+  [[maybe_unused]] static ::benchmark::internal::Benchmark* \
+      MINIBENCH_CONCAT(minibench_reg_, __COUNTER__) =     \
+          ::benchmark::RegisterBenchmark(#func, func)

@@ -1,0 +1,536 @@
+// minibench implementation: adaptive-iteration runner, console table and
+// google-benchmark-compatible JSON writer.  Linux-only (CLOCK_* timers),
+// which is all this repository targets.
+#include "benchmark/benchmark.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <memory>
+#include <regex>
+#include <stdexcept>
+#include <thread>
+
+namespace benchmark {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+std::uint64_t now_ns(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t real_now_ns() { return now_ns(CLOCK_MONOTONIC); }
+
+std::uint64_t cpu_now_ns(bool process_wide) {
+  return now_ns(process_wide ? CLOCK_PROCESS_CPUTIME_ID
+                             : CLOCK_THREAD_CPUTIME_ID);
+}
+
+// ---------------------------------------------------------------------------
+// Global run configuration (set by Initialize)
+
+struct RunConfig {
+  std::string out_path;
+  std::string out_format = "json";  ///< google-benchmark's default for --benchmark_out
+  std::string filter;
+  double min_time_s = 0.5;
+  std::uint64_t fixed_iterations = 0;  ///< nonzero: "--benchmark_min_time=Nx"
+  bool list_tests = false;
+  std::string executable = "perf_micro";
+};
+
+RunConfig& config() {
+  static RunConfig cfg;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;
+  return ctx;
+}
+
+std::vector<std::unique_ptr<internal::Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<internal::Benchmark>> benches;
+  return benches;
+}
+
+const char* unit_name(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+double ns_to_unit(double ns, TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return ns;
+    case kMicrosecond: return ns / 1e3;
+    case kMillisecond: return ns / 1e6;
+    case kSecond: return ns / 1e9;
+  }
+  return ns;
+}
+
+// "0.5", "0.5s" (seconds) or "3x" (exact iteration count), as
+// google-benchmark 1.7+ spells --benchmark_min_time.
+void parse_min_time(const std::string& value) {
+  if (value.empty()) return;
+  std::string body = value;
+  const char tail = body.back();
+  bool fixed = false;
+  if (tail == 's' || tail == 'x') {
+    fixed = (tail == 'x');
+    body.pop_back();
+  }
+  try {
+    const double v = std::stod(body);
+    if (fixed) {
+      config().fixed_iterations =
+          v > 0 ? static_cast<std::uint64_t>(v) : 1;
+    } else if (v > 0) {
+      config().min_time_s = v;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "minibench: ignoring bad --benchmark_min_time=%s\n",
+                 value.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+
+struct RunResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time = 0.0;  ///< per iteration, in `unit`
+  double cpu_time = 0.0;   ///< per iteration, in `unit`
+  TimeUnit unit = kNanosecond;
+  std::string label;
+  bool has_items = false;
+  double items_per_second = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+}  // namespace
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, BenchFunction fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {}
+
+Benchmark* Benchmark::Arg(std::int64_t x) {
+  args_.push_back({x});
+  return this;
+}
+
+Benchmark* Benchmark::Args(const std::vector<std::int64_t>& xs) {
+  args_.push_back(xs);
+  return this;
+}
+
+Benchmark* Benchmark::Unit(TimeUnit unit) {
+  unit_ = unit;
+  return this;
+}
+
+Benchmark* Benchmark::UseRealTime() {
+  use_real_time_ = true;
+  return this;
+}
+
+Benchmark* Benchmark::MeasureProcessCPUTime() {
+  process_cpu_time_ = true;
+  return this;
+}
+
+struct Runner {
+  /// The registered arg sets, or a single empty set for a plain
+  /// BENCHMARK(fn) with no Arg/Args calls.
+  static std::vector<std::vector<std::int64_t>> arg_sets_of(
+      const Benchmark& bench) {
+    if (bench.args_.empty()) return {{}};
+    return bench.args_;
+  }
+
+  static std::string run_name(const Benchmark& bench,
+                              const std::vector<std::int64_t>& args) {
+    std::string name = bench.name_;
+    for (const std::int64_t a : args) name += "/" + std::to_string(a);
+    if (bench.process_cpu_time_) name += "/process_time";
+    if (bench.use_real_time_) name += "/real_time";
+    return name;
+  }
+
+  static RunResult run_instance(const Benchmark& bench,
+                                const std::vector<std::int64_t>& args) {
+    const RunConfig& cfg = config();
+    std::uint64_t iters =
+        cfg.fixed_iterations != 0 ? cfg.fixed_iterations : 1;
+    for (;;) {
+      State state(iters, args, bench.process_cpu_time_);
+      bench.fn_(state);
+      if (!state.finished_) state.finish();
+
+      const double real_s = static_cast<double>(state.real_ns_) / 1e9;
+      const double cpu_s = static_cast<double>(state.cpu_ns_) / 1e9;
+      const double elapsed = bench.use_real_time_ ? real_s : cpu_s;
+      const bool enough = cfg.fixed_iterations != 0 ||
+                          elapsed >= cfg.min_time_s ||
+                          iters >= (1ull << 30);
+      if (!enough) {
+        // Same growth policy as google-benchmark: overshoot the target a
+        // little (x1.4) and clamp the per-round multiplier to [2, 10].
+        double mult = cfg.min_time_s * 1.4 / std::max(elapsed, 1e-9);
+        mult = std::min(10.0, std::max(2.0, mult));
+        iters = static_cast<std::uint64_t>(
+                    static_cast<double>(iters) * mult) + 1;
+        continue;
+      }
+
+      RunResult res;
+      res.name = run_name(bench, args);
+      res.iterations = iters;
+      res.unit = bench.unit_;
+      const double it = static_cast<double>(iters);
+      res.real_time =
+          ns_to_unit(static_cast<double>(state.real_ns_) / it, bench.unit_);
+      res.cpu_time =
+          ns_to_unit(static_cast<double>(state.cpu_ns_) / it, bench.unit_);
+      res.label = state.label_;
+      // Rates divide by real time under UseRealTime, CPU time otherwise
+      // (documented divergence: google always uses CPU time for these).
+      const double rate_denom_s =
+          std::max(bench.use_real_time_ ? real_s : cpu_s, 1e-12);
+      if (state.items_processed_ > 0) {
+        res.has_items = true;
+        res.items_per_second =
+            static_cast<double>(state.items_processed_) / rate_denom_s;
+      }
+      for (const auto& [cname, counter] : state.counters) {
+        const double v = (counter.flags & Counter::kIsRate)
+                             ? counter.value / rate_denom_s
+                             : counter.value;
+        res.counters.emplace_back(cname, v);
+      }
+      return res;
+    }
+  }
+};
+
+}  // namespace internal
+
+State::State(std::uint64_t max_iterations, std::vector<std::int64_t> args,
+             bool process_cpu_time)
+    : max_iterations_(max_iterations),
+      args_(std::move(args)),
+      process_cpu_time_(process_cpu_time) {}
+
+State::StateIterator State::begin() {
+  finished_ = false;
+  cpu_start_ns_ = cpu_now_ns(process_cpu_time_);
+  real_start_ns_ = real_now_ns();
+  return StateIterator(this, max_iterations_);
+}
+
+void State::finish() {
+  if (finished_) return;
+  finished_ = true;
+  real_ns_ = real_now_ns() - real_start_ns_;
+  cpu_ns_ = cpu_now_ns(process_cpu_time_) - cpu_start_ns_;
+}
+
+std::int64_t State::range(std::size_t index) const {
+  if (index >= args_.size()) {
+    std::fprintf(stderr, "minibench: state.range(%zu) out of bounds (%zu args)\n",
+                 index, args_.size());
+    std::abort();
+  }
+  return args_[index];
+}
+
+internal::Benchmark* RegisterBenchmark(const std::string& name,
+                                       internal::BenchFunction fn) {
+  registry().push_back(
+      std::make_unique<internal::Benchmark>(name, std::move(fn)));
+  return registry().back().get();
+}
+
+void AddCustomContext(const std::string& key, const std::string& value) {
+  custom_context().emplace_back(key, value);
+}
+
+void Initialize(int* argc, char** argv) {
+  if (argc == nullptr || argv == nullptr) return;
+  if (*argc > 0) config().executable = argv[0];
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (i == 0) {
+      argv[out++] = argv[i];
+    } else if (const char* v = value_of("--benchmark_out=")) {
+      config().out_path = v;
+    } else if (const char* v2 = value_of("--benchmark_out_format=")) {
+      config().out_format = v2;
+    } else if (const char* v3 = value_of("--benchmark_filter=")) {
+      config().filter = v3;
+    } else if (const char* v4 = value_of("--benchmark_min_time=")) {
+      parse_min_time(v4);
+    } else if (arg == "--benchmark_list_tests" ||
+               arg == "--benchmark_list_tests=true") {
+      config().list_tests = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: error: unrecognized command-line flag: %s\n",
+                 argc > 0 ? argv[0] : "minibench", argv[i]);
+  }
+  return argc > 1;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reporting
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  // Integral values print without a fraction, like google-benchmark.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string iso8601_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[40];
+  std::strftime(buf, sizeof(buf), "%FT%T%z", &tm);
+  // %z prints "+0000"; the google-benchmark format is "+00:00".
+  std::string s = buf;
+  if (s.size() >= 5) s.insert(s.size() - 2, ":");
+  return s;
+}
+
+std::string build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+void write_json(const std::vector<RunResult>& results) {
+  const RunConfig& cfg = config();
+  std::FILE* f = std::fopen(cfg.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "minibench: cannot open %s for writing\n",
+                 cfg.out_path.c_str());
+    return;
+  }
+  char host[256] = "unknown";
+  gethostname(host, sizeof(host) - 1);
+
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", iso8601_now().c_str());
+  std::fprintf(f, "    \"host_name\": \"%s\",\n", json_escape(host).c_str());
+  std::fprintf(f, "    \"executable\": \"%s\",\n",
+               json_escape(cfg.executable).c_str());
+  std::fprintf(f, "    \"num_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"benchmark_library\": \"minibench\",\n");
+  std::fprintf(f, "    \"library_build_type\": \"%s\"", build_type().c_str());
+  for (const auto& [key, value] : custom_context()) {
+    std::fprintf(f, ",\n    \"%s\": \"%s\"", json_escape(key).c_str(),
+                 json_escape(value).c_str());
+  }
+  std::fprintf(f, "\n  },\n  \"benchmarks\": [\n");
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", json_escape(r.name).c_str());
+    std::fprintf(f, "      \"run_name\": \"%s\",\n",
+                 json_escape(r.name).c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"repetitions\": 1,\n");
+    std::fprintf(f, "      \"repetition_index\": 0,\n");
+    std::fprintf(f, "      \"threads\": 1,\n");
+    std::fprintf(f, "      \"iterations\": %llu,\n",
+                 static_cast<unsigned long long>(r.iterations));
+    std::fprintf(f, "      \"real_time\": %s,\n",
+                 json_double(r.real_time).c_str());
+    std::fprintf(f, "      \"cpu_time\": %s,\n",
+                 json_double(r.cpu_time).c_str());
+    if (r.has_items) {
+      std::fprintf(f, "      \"items_per_second\": %s,\n",
+                   json_double(r.items_per_second).c_str());
+    }
+    for (const auto& [cname, value] : r.counters) {
+      std::fprintf(f, "      \"%s\": %s,\n", json_escape(cname).c_str(),
+                   json_double(value).c_str());
+    }
+    if (!r.label.empty()) {
+      std::fprintf(f, "      \"label\": \"%s\",\n",
+                   json_escape(r.label).c_str());
+    }
+    std::fprintf(f, "      \"time_unit\": \"%s\"\n    }%s\n",
+                 unit_name(r.unit), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  const char* suffix = "";
+  if (std::fabs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  std::snprintf(buf, sizeof(buf), "%.4g%s", v, suffix);
+  return buf;
+}
+
+void print_console(const std::vector<RunResult>& results) {
+  std::size_t width = std::string("Benchmark").size();
+  for (const RunResult& r : results) width = std::max(width, r.name.size());
+
+  std::string rule(width + 44, '-');
+  std::printf("%s\n", rule.c_str());
+  std::printf("%-*s %15s %15s %11s\n", static_cast<int>(width), "Benchmark",
+              "Time", "CPU", "Iterations");
+  std::printf("%s\n", rule.c_str());
+  for (const RunResult& r : results) {
+    char time_buf[64], cpu_buf[64];
+    std::snprintf(time_buf, sizeof(time_buf), "%.3g %s", r.real_time,
+                  unit_name(r.unit));
+    std::snprintf(cpu_buf, sizeof(cpu_buf), "%.3g %s", r.cpu_time,
+                  unit_name(r.unit));
+    std::printf("%-*s %15s %15s %11llu", static_cast<int>(width),
+                r.name.c_str(), time_buf, cpu_buf,
+                static_cast<unsigned long long>(r.iterations));
+    if (r.has_items) {
+      std::printf(" items_per_second=%s/s",
+                  format_value(r.items_per_second).c_str());
+    }
+    for (const auto& [cname, value] : r.counters) {
+      std::printf(" %s=%s", cname.c_str(), format_value(value).c_str());
+    }
+    if (!r.label.empty()) std::printf(" %s", r.label.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+std::size_t RunSpecifiedBenchmarks() {
+  const RunConfig& cfg = config();
+  std::regex filter;
+  const bool has_filter = !cfg.filter.empty();
+  if (has_filter) {
+    try {
+      filter = std::regex(cfg.filter);
+    } catch (const std::regex_error&) {
+      std::fprintf(stderr, "minibench: bad --benchmark_filter regex: %s\n",
+                   cfg.filter.c_str());
+      return 0;
+    }
+  }
+
+  // Expand every (benchmark, arg-set) pair into a named run.
+  std::vector<std::pair<const internal::Benchmark*,
+                        std::vector<std::int64_t>>> runs;
+  for (const auto& bench : registry()) {
+    const auto& arg_sets = internal::Runner::arg_sets_of(*bench);
+    for (const auto& args : arg_sets) {
+      const std::string name = internal::Runner::run_name(*bench, args);
+      if (has_filter && !std::regex_search(name, filter)) continue;
+      runs.emplace_back(bench.get(), args);
+    }
+  }
+
+  if (cfg.list_tests) {
+    for (const auto& [bench, args] : runs) {
+      std::printf("%s\n", internal::Runner::run_name(*bench, args).c_str());
+    }
+    return runs.size();
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(runs.size());
+  for (const auto& [bench, args] : runs) {
+    results.push_back(internal::Runner::run_instance(*bench, args));
+  }
+
+  print_console(results);
+  if (!cfg.out_path.empty()) {
+    if (cfg.out_format == "json" || cfg.out_format.empty()) {
+      write_json(results);
+    } else {
+      std::fprintf(stderr,
+                   "minibench: unsupported --benchmark_out_format=%s "
+                   "(only json); skipping %s\n",
+                   cfg.out_format.c_str(), cfg.out_path.c_str());
+    }
+  }
+  return results.size();
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark

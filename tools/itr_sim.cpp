@@ -17,6 +17,9 @@
 // --ckpt-mode scratch|single|ladder picks the campaign's re-execution
 // strategy (default ladder; --ckpt-interval N sets the rung spacing, 0 =
 // auto).  All modes produce identical summaries; only the runtime differs.
+// --prune off|converge|classes|full prunes campaign work (early-exit state
+// convergence / dead-bit equivalence classes; default off) without changing
+// the summary; --prune-interval N sets the convergence check period.
 // --stats-json FILE / --trace-out FILE write observability output (stats
 // registry JSON / Chrome trace_event spans); --stats-full adds
 // diagnostic-class metrics, which vary with --threads and --ckpt-mode.
@@ -101,15 +104,18 @@ int characterize(const isa::Program& prog, std::uint64_t max_insns) {
 
 int run_campaign(const isa::Program& prog, std::uint64_t faults,
                  std::uint64_t window, std::uint64_t seed, unsigned threads,
-                 fi::CheckpointMode mode, std::uint64_t ladder_interval) {
+                 fi::CheckpointMode mode, std::uint64_t ladder_interval,
+                 fi::PruneConfig prune) {
   fi::CampaignConfig cfg;
   cfg.observation_cycles = window;
   cfg.seed = seed;
   cfg.checkpoint_mode = mode;
   cfg.ladder_interval = ladder_interval;
+  cfg.prune = prune;
   fi::FaultInjectionCampaign camp(prog, cfg);
   const auto summary = camp.run(faults, threads);
   std::printf("checkpoint mode      : %s\n", fi::checkpoint_mode_name(mode));
+  std::printf("prune                : %s\n", fi::prune_mode_name(prune.mode));
   std::printf("faults injected      : %llu\n",
               static_cast<unsigned long long>(summary.total));
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
@@ -144,6 +150,9 @@ int main(int argc, char** argv) {
     const auto ckpt_mode =
         fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
     const auto ckpt_interval = flags.get_u64("ckpt-interval", 0);  // 0 = auto
+    fi::PruneConfig prune;
+    prune.mode = fi::parse_prune_mode(flags.get_string("prune", "off"));
+    prune.check_interval = flags.get_u64("prune-interval", 0);  // 0 = default
     const auto threads = util::resolve_threads(flags.get_u64("threads", 0));
     util::ObsGuard obs_guard(flags);
     flags.reject_unknown();
@@ -169,7 +178,7 @@ int main(int argc, char** argv) {
     if (do_characterize) return characterize(prog, max_insns);
     if (campaign_faults > 0) {
       return run_campaign(prog, campaign_faults, window, seed, threads, ckpt_mode,
-                          ckpt_interval);
+                          ckpt_interval, prune);
     }
     if (functional) return run_functional(prog, max_insns);
 
