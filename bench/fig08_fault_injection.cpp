@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
     fi::PruneConfig prune;
     prune.mode = fi::parse_prune_mode(flags.get_string("prune", "off"));
     prune.check_interval = flags.get_u64("prune-interval", 0);  // 0 = default
+    // seq | batch; batch interleaves up to --batch-width faulty replicas per
+    // worker against a shared recorded golden stream.  Identical table bytes.
+    const auto exec = fi::parse_exec_mode(flags.get_string("exec", "seq"));
+    const auto batch_width = flags.get_u64("batch-width", 16);
     const auto names = bench::select_benchmarks(flags, workload::coverage_figure_names());
     const auto threads = bench::select_threads(flags);
     flags.get_bool("csv");
@@ -30,7 +34,7 @@ int main(int argc, char** argv) {
                 "ITR+SDC+D 1%, ITR+wdog+R 3%, spc+SDC 0.1%, Undet+SDC 2.6%,\n"
                 "Undet+wdog 0.1%, Undet+Mask 1.8%; MayITR negligible.",
                 bench::fault_injection_table(names, insns, faults, window, seed, threads,
-                                             mode, interval, prune));
+                                             mode, interval, prune, exec, batch_width));
     return 0;
   });
 }

@@ -177,7 +177,8 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t window_cycles, std::uint64_t seed,
                                   unsigned threads, fi::CheckpointMode mode,
                                   std::uint64_t ladder_interval,
-                                  fi::PruneConfig prune) {
+                                  fi::PruneConfig prune, fi::ExecMode exec,
+                                  std::uint64_t batch_width) {
   std::vector<std::string> headers = {"benchmark"};
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
@@ -201,6 +202,8 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
     cfg.checkpoint_mode = mode;
     cfg.ladder_interval = ladder_interval;
     cfg.prune = prune;
+    cfg.exec = exec;
+    cfg.batch_width = batch_width;
     fi::FaultInjectionCampaign camp(prog, cfg);
     const auto summary = camp.run(faults, inner);
     for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {

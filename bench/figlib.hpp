@@ -53,16 +53,20 @@ util::Table coverage_sweep_table(const std::vector<std::string>& names,
 /// Figure 8: fault-injection outcome breakdown per benchmark plus the
 /// average column, using the paper's 2-way 1024-signature ITR cache.
 /// `mode`/`ladder_interval` pick how each injection's prefix is re-executed
-/// (scratch / single warmup checkpoint / checkpoint ladder) and `prune` how
-/// aggressively the campaign skips provably-redundant simulation; the table
-/// bytes are identical under every mode and prune level.
+/// (scratch / single warmup checkpoint / checkpoint ladder), `prune` how
+/// aggressively the campaign skips provably-redundant simulation, and
+/// `exec`/`batch_width` the campaign engine (sequential, or batched replicas
+/// over a shared golden stream); the table bytes are identical under every
+/// mode, prune level and engine.
 util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t insns, std::uint64_t faults,
                                   std::uint64_t window_cycles, std::uint64_t seed,
                                   unsigned threads = 1,
                                   fi::CheckpointMode mode = fi::CheckpointMode::kLadder,
                                   std::uint64_t ladder_interval = 0,
-                                  fi::PruneConfig prune = {});
+                                  fi::PruneConfig prune = {},
+                                  fi::ExecMode exec = fi::ExecMode::kSeq,
+                                  std::uint64_t batch_width = 16);
 
 /// Figure 9: energy of the ITR cache (1 rd/wr and 1rd+1wr ports) vs
 /// redundant I-cache fetch, per benchmark, from cycle-level access counts.

@@ -24,6 +24,7 @@
 #include <filesystem>
 
 #include "fi/classify.hpp"
+#include "fi/prune.hpp"
 #include "isa/decode.hpp"
 #include "isa/predecode.hpp"
 #include "itr/coverage.hpp"
@@ -31,6 +32,7 @@
 #include "itr/sweep_engine.hpp"
 #include "obs/registry.hpp"
 #include "sim/functional.hpp"
+#include "sim/golden_stream.hpp"
 #include "sim/memory.hpp"
 #include "sim/pipeline.hpp"
 #include "util/cli.hpp"
@@ -509,6 +511,86 @@ void BM_CampaignPruned(benchmark::State& state) {
                  std::to_string(threads) + " threads");
 }
 
+/// The fig08 campaign under the batched divergence-only engine
+/// (--exec=batch): replicas cloned from a shared fault-free walker, commits
+/// compared against a recorded golden stream, retirement on divergence-window
+/// close or proven reconvergence.  Fault count is high enough that the fixed
+/// golden/ladder costs amortize away; the injections/sec counter against
+/// BM_CampaignPruned's prune=full single-thread lane is the speedup the
+/// batching acceptance criterion bounds (>= 3x, >= 2000 inj/s).  Outcomes are
+/// byte-identical to the sequential engine (batch_smoke ctest, batch-vs-seq
+/// fuzz oracle).  arg0 = batch width, arg1 = threads.
+void BM_CampaignBatched(benchmark::State& state) {
+  const auto width = static_cast<std::uint64_t>(state.range(0));
+  const auto threads =
+      util::resolve_threads(static_cast<std::uint64_t>(state.range(1)));
+  const auto prog = workload::generate_spec("bzip", 2'000'000);
+  fi::CampaignConfig cfg;
+  cfg.observation_cycles = 100'000;
+  cfg.warmup_instructions = 50'000;
+  cfg.inject_region = 1'000'000;
+  cfg.seed = 1;
+  cfg.prune.mode = fi::PruneMode::kFull;
+  cfg.exec = fi::ExecMode::kBatch;
+  cfg.batch_width = width;
+  run_campaign_loop(state, prog, cfg, /*faults=*/3'000, threads);
+  state.SetLabel("batch w" + std::to_string(width) + ", " +
+                 std::to_string(threads) + " threads");
+}
+
+/// Recording the golden commit stream: one functional pass over the fig08
+/// probe horizon, appended into the SoA lanes replicas later compare against.
+void BM_GoldenStreamRecord(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  const std::uint64_t horizon = fi::golden_probe_horizon(
+      sim::PipelineConfig{}, /*warmup_instructions=*/10'000,
+      /*inject_region=*/200'000, /*observation_cycles=*/20'000,
+      /*grace_cycles=*/0);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sim::FunctionalSim golden(prog);
+    const auto stream = sim::GoldenStream::record(golden, horizon);
+    steps += stream.size();
+    benchmark::DoNotOptimize(stream.size());
+  }
+  state.counters["steps/sec"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+/// Replaying against a recorded stream: the per-commit compare every batch
+/// replica performs while divergent — the engine's innermost hot path.
+void BM_GoldenStreamReplay(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  const std::uint64_t horizon = fi::golden_probe_horizon(
+      sim::PipelineConfig{}, /*warmup_instructions=*/10'000,
+      /*inject_region=*/200'000, /*observation_cycles=*/20'000,
+      /*grace_cycles=*/0);
+  sim::FunctionalSim golden(prog);
+  const auto stream = sim::GoldenStream::record(golden, horizon);
+  // A fault-free cycle-level run's commits match the stream position for
+  // position; collected once, scanned per iteration.
+  std::vector<sim::CommitRecord> commits;
+  sim::CycleSim cs(prog, sim::CycleSim::Options{});
+  while (commits.size() < stream.size() && cs.advance()) {
+    while (auto c = cs.next_commit()) commits.push_back(*c);
+  }
+  while (auto c = cs.next_commit()) commits.push_back(*c);
+  std::uint64_t compared = 0;
+  for (auto _ : state) {
+    bool all = true;
+    for (std::size_t i = 0; i < commits.size(); ++i) {
+      all &= stream.matches(commits[i], i);
+    }
+    compared += commits.size();
+    benchmark::DoNotOptimize(all);
+  }
+  state.counters["compares/sec"] = benchmark::Counter(
+      static_cast<double>(compared), benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(commits.size()) + " commits");
+}
+BENCHMARK(BM_GoldenStreamRecord)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GoldenStreamReplay)->Unit(benchmark::kMillisecond);
+
 /// Registers the campaign benchmarks with the thread counts requested via
 /// --threads (always including the serial lane for the speedup baseline).
 void register_campaign_benchmarks(std::int64_t threads) {
@@ -540,6 +622,14 @@ void register_campaign_benchmarks(std::int64_t threads) {
     pr->Args({prune, 1});
     if (threads != 1) pr->Args({prune, threads});
   }
+
+  auto* ba = benchmark::RegisterBenchmark("BM_CampaignBatched",
+                                          BM_CampaignBatched)
+                 ->Unit(benchmark::kMillisecond)
+                 ->UseRealTime()
+                 ->MeasureProcessCPUTime();
+  ba->Args({16, 1});
+  if (threads != 1) ba->Args({16, threads});
 }
 
 /// Strict --threads value parse; prints the offending value and exits 2 on

@@ -1,0 +1,93 @@
+# CTest script for the batch-smoke label: runs the same reduced fig08
+# fault-injection campaign under the sequential engine and under
+# --exec=batch at several (batch-width, prune, threads) points, and
+# byte-compares both the outcome CSV and the --stats-json output against
+# the sequential baseline.  The batch engine's whole contract is that it is
+# invisible in the results: replicas cloned from a shared fault-free walker
+# and compared against a recorded golden stream may only change how fast
+# the campaign runs, never what it reports.  Any divergence here means a
+# replica was cloned at the wrong architectural state, its stream cursor
+# drifted, or a divergence-only retirement fired outside the sequential
+# tracker's semantics.
+#
+# The variants deliberately cross the engine with prune levels and thread
+# counts: batching composes with both, and equality must hold at every
+# point of the cross product.
+#
+# Expected -D definitions: FIG08 (binary), OUT_SEQ / OUT_B16 / OUT_B4 /
+# OUT_B1 (scratch CSV paths unique to this test), STATS_SEQ / STATS_B16 /
+# STATS_B4 / STATS_B1 (scratch stats paths).
+foreach(var FIG08 OUT_SEQ OUT_B16 OUT_B4 OUT_B1
+            STATS_SEQ STATS_B16 STATS_B4 STATS_B1)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "batch_smoke.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+set(common --csv --faults 40 --insns 300000 --window 20000
+    --benchmarks bzip,gcc)
+
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 1 --prune full --exec seq
+          --stats-json "${STATS_SEQ}"
+  OUTPUT_FILE "${OUT_SEQ}"
+  RESULT_VARIABLE rc_seq)
+if(NOT rc_seq EQUAL 0)
+  message(FATAL_ERROR "fig08 (exec=seq) failed: rc=${rc_seq}")
+endif()
+
+# variant B16: the default batch width, full pruning, serial.
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 1 --prune full --exec batch
+          --batch-width 16 --stats-json "${STATS_B16}"
+  OUTPUT_FILE "${OUT_B16}"
+  RESULT_VARIABLE rc_b16)
+if(NOT rc_b16 EQUAL 0)
+  message(FATAL_ERROR "fig08 (exec=batch w16) failed: rc=${rc_b16}")
+endif()
+
+# variant B4: pruning off (stream recorded in its own golden pass), four
+# worker threads each owning a walker and an arena.
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 4 --prune off --exec batch
+          --batch-width 4 --stats-json "${STATS_B4}"
+  OUTPUT_FILE "${OUT_B4}"
+  RESULT_VARIABLE rc_b4)
+if(NOT rc_b4 EQUAL 0)
+  message(FATAL_ERROR "fig08 (exec=batch w4) failed: rc=${rc_b4}")
+endif()
+
+# variant B1: degenerate width (every replica runs alone against the
+# stream), class synthesis on, two threads.
+execute_process(
+  COMMAND "${FIG08}" ${common} --threads 2 --prune classes --exec batch
+          --batch-width 1 --stats-json "${STATS_B1}"
+  OUTPUT_FILE "${OUT_B1}"
+  RESULT_VARIABLE rc_b1)
+if(NOT rc_b1 EQUAL 0)
+  message(FATAL_ERROR "fig08 (exec=batch w1) failed: rc=${rc_b1}")
+endif()
+
+foreach(variant B16 B4 B1)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_SEQ}" "${OUT_${variant}}"
+    RESULT_VARIABLE csv_rc)
+  if(NOT csv_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fig08 outcome CSV differs between --exec=seq and batch variant "
+      "${variant}: ${OUT_SEQ} vs ${OUT_${variant}}.  A batched replica was "
+      "classified differently from its sequential counterpart; the batch "
+      "engine must be outcome-invisible.")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${STATS_SEQ}" "${STATS_${variant}}"
+    RESULT_VARIABLE stats_rc)
+  if(NOT stats_rc EQUAL 0)
+    message(FATAL_ERROR
+      "architectural stats JSON differs between --exec=seq and batch "
+      "variant ${variant}: ${STATS_SEQ} vs ${STATS_${variant}}.  Either a "
+      "batched run skewed an architectural metric or a campaign.batch.* "
+      "counter leaked out of the diagnostic tier.")
+  endif()
+endforeach()

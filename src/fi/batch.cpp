@@ -1,0 +1,310 @@
+#include "fi/batch.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "isa/decode.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_event.hpp"
+#include "util/thread_pool.hpp"
+
+namespace itr::fi {
+
+namespace {
+
+/// Instructions each in-flight replica advances per scheduler round.  Any
+/// value yields identical results (each replica's trajectory is
+/// self-contained against the immutable stream); this only sets how often
+/// the round-robin revisits the SoA bookkeeping lanes.
+constexpr std::uint64_t kRoundQuantum = 128;
+
+/// Per-chunk diagnostic tallies, published once when the chunk drains.
+struct ChunkStats {
+  std::uint64_t cloned_replicas = 0;
+  std::uint64_t scratch_replicas = 0;
+  std::uint64_t divergent_commits = 0;
+  std::uint64_t converged_exits = 0;
+  std::uint64_t max_in_flight = 0;
+};
+
+}  // namespace
+
+/// Replica arena: one shared-program CycleSim per slot plus flat parallel
+/// lanes of divergence bookkeeping.  The scheduler round scans the lanes,
+/// not the machines — all hot per-replica scalars live contiguously.
+struct BatchCampaign::Arena {
+  explicit Arena(std::size_t width)
+      : machine(width),
+        slot(width, 0),
+        stream_pos(width, 0),
+        window_deadline(width, sim::kNeverCycle),
+        grace_deadline(width, sim::kNeverCycle),
+        commits_since_check(width, 0),
+        res(width),
+        occupied(width, 0),
+        golden_done(width, 0) {}
+
+  std::size_t acquire() {
+    for (std::size_t k = 0; k < occupied.size(); ++k) {
+      if (occupied[k] == 0) {
+        occupied[k] = 1;
+        return k;
+      }
+    }
+    throw std::logic_error("fi::BatchCampaign: arena overflow");
+  }
+
+  void release(std::size_t k) {
+    machine[k].reset();
+    occupied[k] = 0;
+  }
+
+  std::vector<std::optional<sim::CycleSim>> machine;
+  std::vector<std::size_t> slot;
+  std::vector<std::uint64_t> stream_pos;
+  std::vector<std::uint64_t> window_deadline;
+  std::vector<std::uint64_t> grace_deadline;
+  std::vector<std::uint64_t> commits_since_check;
+  std::vector<InjectionResult> res;
+  std::vector<std::uint8_t> occupied;
+  std::vector<std::uint8_t> golden_done;
+};
+
+BatchCampaign::BatchCampaign(const isa::Program& prog,
+                             const CampaignConfig& config,
+                             sim::CycleSim::Options base_options,
+                             std::shared_ptr<const sim::GoldenStream> stream,
+                             bool converge_active)
+    : prog_(&prog),
+      config_(config),
+      base_options_(std::move(base_options)),
+      stream_(std::move(stream)),
+      converge_active_(converge_active) {
+  if (stream_ == nullptr || !stream_->recorded()) {
+    throw std::invalid_argument(
+        "fi::BatchCampaign requires a recorded golden stream");
+  }
+}
+
+namespace {
+
+/// Advances replica `k` by up to kRoundQuantum instructions, mirroring the
+/// sequential classifier's loop body statement for statement (ITR events
+/// drained before commits; window/grace/convergence decided per commit).
+/// Returns true when the replica is finished (window closed or machine no
+/// longer alive) and ready for outcome mapping.
+bool step_replica(BatchCampaign::Arena& a, std::size_t k,
+                  const sim::GoldenStream& stream, const CampaignConfig& config,
+                  bool converge_active, std::uint64_t check_interval,
+                  ChunkStats& cs) {
+  sim::CycleSim& m = *a.machine[k];
+  InjectionResult& res = a.res[k];
+  bool golden_done = a.golden_done[k] != 0;
+  bool window_done = false;
+  bool alive = true;
+
+  for (std::uint64_t q = 0; q < kRoundQuantum && !window_done; ++q) {
+    alive = m.advance();
+
+    while (auto ev = m.next_itr_event()) {
+      if (ev->kind == sim::ItrEvent::Kind::kMismatchDetected && !res.detected) {
+        res.detected = true;
+        res.recoverable = ev->incoming_contains_fault;
+        res.detect_cycle = ev->cycle;
+        if (config.detected_mask_grace_cycles > 0) {
+          a.grace_deadline[k] = ev->cycle + config.detected_mask_grace_cycles;
+        }
+      }
+    }
+
+    while (auto crec = m.next_commit()) {
+      ++res.faulty_commits;
+      ++cs.divergent_commits;
+      if (crec->spc_fired) res.spc = true;
+
+      if (!golden_done && !res.sdc) {
+        if (stream.done_at(a.stream_pos[k])) {
+          // Replica commits past the golden program's end: divergence.
+          res.sdc = true;
+        } else {
+          if (!stream.has(a.stream_pos[k])) {
+            // The stream horizon bounds every reachable cursor position
+            // (see golden_probe_horizon); running off the end means the
+            // bound itself is wrong.
+            throw std::logic_error(
+                "fi::BatchCampaign: golden stream exhausted before horizon");
+          }
+          if (!stream.matches(*crec, a.stream_pos[k])) res.sdc = true;
+          ++a.stream_pos[k];
+          if (stream.done_at(a.stream_pos[k])) golden_done = true;
+        }
+      }
+      if (crec->aborted) res.sdc = true;  // wild fetch: architecturally lost
+
+      if (m.fault_was_injected() && a.window_deadline[k] == sim::kNeverCycle) {
+        a.window_deadline[k] =
+            m.fault_inject_cycle() + config.observation_cycles;
+      }
+      if (crec->commit_cycle > a.window_deadline[k]) window_done = true;
+      if (res.detected && res.sdc) window_done = true;  // classification fixed
+      if (res.detected && !res.sdc && crec->commit_cycle > a.grace_deadline[k]) {
+        window_done = true;  // detected and still clean: call it masked
+      }
+
+      // Divergence-only retirement, at the sequential tracker's cadence and
+      // guard conditions.  Matched commits prove state re-convergence (the
+      // header theorem), so the tracker's hash + byte-compare reduces to
+      // the timing-scoreboard screen.
+      if (converge_active && !window_done && res.detected && !res.sdc &&
+          !golden_done && ++a.commits_since_check[k] >= check_interval) {
+        a.commits_since_check[k] = 0;
+        if (!m.timing_wedged()) {
+          window_done = true;
+          ++cs.converged_exits;
+          obs::observe("campaign.batch.cycles_to_convergence",
+                       crec->commit_cycle - m.fault_inject_cycle(),
+                       obs::HistogramSpec{/*bin_width=*/1024, /*num_bins=*/64},
+                       obs::MetricClass::kDiagnostic);
+        }
+      }
+    }
+
+    if (!alive) break;
+  }
+
+  a.golden_done[k] = golden_done ? 1 : 0;
+  return window_done || !alive;
+}
+
+}  // namespace
+
+void BatchCampaign::run_chunk(const BatchRequest* requests, std::size_t count,
+                              std::vector<InjectionResult>& results) const {
+  obs::Span span("batch-chunk", "fi");
+  const std::size_t width = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, config_.batch_width));
+  const std::uint64_t check_interval = config_.prune.interval();
+  Arena arena(width);
+  ChunkStats cs;
+
+  // The chunk's shared fault-free walker.  Replicas clone from it at their
+  // target decode index — deterministically the same machine state the
+  // sequential path reaches by resuming a rung and re-executing.
+  sim::CycleSim walker(*prog_, base_options_);
+  std::uint64_t walker_commits = 0;
+
+  std::size_t next = 0;
+  std::size_t live = 0;
+  while (next < count || live > 0) {
+    // Fill free arena slots, advancing the walker to each target in order.
+    while (next < count && live < width) {
+      const BatchRequest& r = requests[next];
+      while (walker.decode_count() < r.target &&
+             walker.termination() == sim::RunTermination::kRunning) {
+        walker.advance();
+        while (walker.next_itr_event().has_value()) {
+        }
+        while (walker.next_commit().has_value()) ++walker_commits;
+      }
+
+      const std::size_t k = arena.acquire();
+      InjectionResult res;
+      res.decode_index = r.target;
+      res.bit = r.bit & 63u;
+      res.field = isa::signal_field_of_bit(res.bit);
+      if (walker.termination() == sim::RunTermination::kRunning &&
+          walker.decode_count() >= r.target) {
+        arena.machine[k].emplace(walker);
+        arena.stream_pos[k] = walker_commits;
+        res.faulty_commits = walker_commits;
+        ++cs.cloned_replicas;
+      } else {
+        // The program ends inside the inject region before this target: the
+        // walker cannot host it.  Simulate from instruction zero — the
+        // armed fault never fires and the replica replays the sequential
+        // run_one trajectory exactly (including a golden abort charged as
+        // SDC when the program dies inside an earlier fault's window).
+        arena.machine[k].emplace(*prog_, base_options_);
+        arena.stream_pos[k] = 0;
+        res.faulty_commits = 0;
+        ++cs.scratch_replicas;
+      }
+      sim::FaultPlan plan;
+      plan.enabled = true;
+      plan.target_decode_index = r.target;
+      plan.bit = res.bit;
+      arena.machine[k]->arm_fault(plan);
+      arena.slot[k] = r.slot;
+      arena.window_deadline[k] = sim::kNeverCycle;
+      arena.grace_deadline[k] = sim::kNeverCycle;
+      arena.commits_since_check[k] = 0;
+      arena.golden_done[k] = 0;
+      arena.res[k] = res;
+      ++next;
+      ++live;
+      cs.max_in_flight = std::max<std::uint64_t>(cs.max_in_flight, live);
+    }
+
+    // One interleaved round over the in-flight replicas.
+    for (std::size_t k = 0; k < width; ++k) {
+      if (arena.occupied[k] == 0) continue;
+      if (step_replica(arena, k, *stream_, config_, converge_active_,
+                       check_interval, cs)) {
+        const sim::CycleSim& m = *arena.machine[k];
+        if (m.fault_was_injected()) {
+          obs::observe("campaign.batch.divergent_window_cycles",
+                       m.stats().cycles - m.fault_inject_cycle(),
+                       obs::HistogramSpec{/*bin_width=*/1024, /*num_bins=*/64},
+                       obs::MetricClass::kDiagnostic);
+        }
+        results[arena.slot[k]] = map_outcome(m, std::move(arena.res[k]));
+        arena.release(k);
+        --live;
+      }
+    }
+  }
+
+  obs::count("campaign.batch.replicas",
+             cs.cloned_replicas + cs.scratch_replicas,
+             obs::MetricClass::kDiagnostic);
+  if (cs.scratch_replicas > 0) {
+    obs::count("campaign.batch.scratch_replicas", cs.scratch_replicas,
+               obs::MetricClass::kDiagnostic);
+  }
+  if (cs.converged_exits > 0) {
+    obs::count("campaign.batch.converged_exits", cs.converged_exits,
+               obs::MetricClass::kDiagnostic);
+  }
+  obs::count("campaign.batch.divergent_commits", cs.divergent_commits,
+             obs::MetricClass::kDiagnostic);
+  obs::count("campaign.batch.walker_instructions", walker.decode_count(),
+             obs::MetricClass::kDiagnostic);
+  obs::gauge_max("campaign.batch.max_in_flight", cs.max_in_flight,
+                 obs::MetricClass::kDiagnostic);
+}
+
+void BatchCampaign::execute(std::vector<BatchRequest> requests,
+                            std::vector<InjectionResult>& results,
+                            unsigned threads) const {
+  if (requests.empty()) return;
+  // Sorted targets keep each chunk's walker strictly forward-moving;
+  // slot-order tie-break makes duplicate targets deterministic too (each
+  // duplicate gets its own clone of the identical walker state).
+  std::sort(requests.begin(), requests.end(),
+            [](const BatchRequest& x, const BatchRequest& y) {
+              return x.target != y.target ? x.target < y.target
+                                          : x.slot < y.slot;
+            });
+  const std::size_t workers =
+      std::max<std::size_t>(1, util::resolve_threads(threads));
+  const std::size_t chunks = std::min(requests.size(), workers);
+  util::parallel_for(threads, chunks, [&](std::size_t c) {
+    const std::size_t lo = c * requests.size() / chunks;
+    const std::size_t hi = (c + 1) * requests.size() / chunks;
+    run_chunk(requests.data() + lo, hi - lo, results);
+  });
+}
+
+}  // namespace itr::fi

@@ -1,0 +1,98 @@
+// Batched divergence-only faulty execution (ROADMAP item 1; --exec=batch).
+//
+// The sequential engine pays three simulations per injection: re-execute
+// the fault-free prefix from the nearest checkpoint rung, run the faulty
+// machine through its observation window, and step a private golden
+// FunctionalSim once per faulty commit.  BatchCampaign eliminates the first
+// and third:
+//
+//  * One fault-free *walker* CycleSim per worker thread sweeps the inject
+//    region exactly once.  Requests are sorted by target; when the walker's
+//    decode count reaches a target, the replica is cloned from it (COW
+//    memory makes this O(machine state), not O(address space)) and the
+//    fault is armed.  Determinism makes the clone bit-identical to the
+//    sequential path's rung-resume at the same decode count, so every
+//    classification observable — including faulty_commits — matches.
+//
+//  * The golden reference is a GoldenStream: the campaign's golden-abort
+//    probe pass, recorded once.  Replicas compare their commits against the
+//    shared read-only array instead of stepping private simulators.
+//
+//  * Up to `batch_width` replicas per worker run interleaved in a
+//    structure-of-arrays arena: the machines plus flat parallel lanes of
+//    divergence bookkeeping (stream cursor, deadlines, check cadence,
+//    status flags) that the scheduler loop scans each round.
+//
+// Early retirement reuses the PR 6 convergence semantics without a
+// per-replica tracker.  The sequential tracker only checks when
+// detected && !sdc && !golden_done, and !sdc means every commit so far
+// matched the golden stream; a commit record captures an instruction's
+// complete architectural effect, so by induction from the identical clone
+// state the replica's registers, memory and termination state equal
+// golden's at every matched boundary.  The tracker's hash + byte-compare
+// therefore *must* pass whenever it runs — its only additional signal is
+// the timing_wedged() screen.  The batch engine retires on exactly that
+// predicate at exactly the tracker's commit cadence, which is why outcomes
+// match the sequential pruner byte-for-byte (batch_smoke, the batch-vs-seq
+// oracle and tests/batch_test.cpp all pin this).
+//
+// Targets the walker cannot reach (program ends inside the inject region)
+// fall back to scratch replicas simulated from instruction zero — the same
+// trajectory the sequential run_one takes, preserving equality for the
+// aborting/short programs the fuzzer generates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/classify.hpp"
+#include "isa/program.hpp"
+#include "sim/golden_stream.hpp"
+#include "sim/pipeline.hpp"
+
+namespace itr::fi {
+
+/// One injection the batch engine must simulate: the campaign plan slot it
+/// reports into plus the fault site.
+struct BatchRequest {
+  std::size_t slot = 0;
+  std::uint64_t target = 0;  ///< dynamic decode index to corrupt
+  unsigned bit = 0;          ///< signal bit to flip
+};
+
+class BatchCampaign {
+ public:
+  /// `base_options` must be the campaign's fault-free monitoring-mode
+  /// options (predecode table already attached); `stream` the golden commit
+  /// stream recorded to the campaign's probe horizon; `converge_active`
+  /// the campaign-level convergence arming (mode requested AND golden
+  /// proven abort-free).
+  BatchCampaign(const isa::Program& prog, const CampaignConfig& config,
+                sim::CycleSim::Options base_options,
+                std::shared_ptr<const sim::GoldenStream> stream,
+                bool converge_active);
+
+  /// Simulates every request, writing `results[request.slot]`.  Requests
+  /// are sorted by target and split into contiguous per-worker chunks; each
+  /// worker owns one walker and one replica arena.  Results are a pure
+  /// function of (program, config, request) — independent of threads,
+  /// batch_width and chunking.
+  void execute(std::vector<BatchRequest> requests,
+               std::vector<InjectionResult>& results, unsigned threads) const;
+
+  /// SoA replica arena (definition private to batch.cpp).
+  struct Arena;
+
+ private:
+  void run_chunk(const BatchRequest* requests, std::size_t count,
+                 std::vector<InjectionResult>& results) const;
+
+  const isa::Program* prog_;
+  CampaignConfig config_;
+  sim::CycleSim::Options base_options_;
+  std::shared_ptr<const sim::GoldenStream> stream_;
+  bool converge_active_;
+};
+
+}  // namespace itr::fi

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fi/batch.hpp"
 #include "isa/decode.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace_event.hpp"
@@ -50,6 +51,20 @@ CheckpointMode parse_checkpoint_mode(const std::string& text) {
                               "' (want scratch|single|ladder)");
 }
 
+const char* exec_mode_name(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::kSeq: return "seq";
+    case ExecMode::kBatch: return "batch";
+  }
+  return "<bad>";
+}
+
+ExecMode parse_exec_mode(const std::string& text) {
+  if (text == "seq") return ExecMode::kSeq;
+  if (text == "batch") return ExecMode::kBatch;
+  throw std::invalid_argument("bad exec mode '" + text + "' (want seq|batch)");
+}
+
 FaultInjectionCampaign::FaultInjectionCampaign(const isa::Program& prog,
                                                CampaignConfig config)
     : prog_(&prog), config_(std::move(config)) {
@@ -74,6 +89,24 @@ bool matches_golden(const sim::CommitRecord& f, const sim::FunctionalSim::Step& 
              std::bit_cast<std::uint64_t>(g.fx.fp_value) &&
          f.did_store == g.fx.did_store && f.mem_addr == g.fx.mem_addr &&
          f.store_value == g.fx.store_value && f.mem_bytes == g.fx.mem_bytes;
+}
+
+/// The analytic tier's synthesized result: provably ITR+Mask — the dead-bit
+/// flip is caught by its own trace instance's poll at the golden dispatch
+/// cycle and never perturbs state or timing.  faulty_commits stays zero —
+/// the only field the equality oracles exempt (it measures work done, not
+/// outcome).
+InjectionResult synthesize_analytic(std::uint64_t target, unsigned bit,
+                                    const SiteClass& site) {
+  InjectionResult res;
+  res.outcome = Outcome::kItrMask;
+  res.decode_index = target;
+  res.bit = bit & 63u;
+  res.field = isa::signal_field_of_bit(res.bit);
+  res.detected = true;
+  res.recoverable = true;
+  res.detect_cycle = site.detect_cycle;
+  return res;
 }
 
 }  // namespace
@@ -185,6 +218,11 @@ InjectionResult FaultInjectionCampaign::classify_run(
     }
   }
 
+  return map_outcome(faulty, std::move(res));
+}
+
+InjectionResult map_outcome(const sim::CycleSim& faulty,
+                            InjectionResult res) noexcept {
   res.deadlock = faulty.termination() == sim::RunTermination::kDeadlock;
 
   // If the golden program ended while the faulty one terminated cleanly at
@@ -410,6 +448,13 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
   // as thread-invariant as the plan itself.
   const bool want_converge = config_.prune.converge_enabled();
   const bool want_classes = config_.prune.classes_enabled();
+  // The batch engine replays faulty commits against a recorded golden
+  // stream.  Recording rides the pruning probe pass when one runs; with
+  // pruning off it gets its own pass.  When the observation window is too
+  // large to bound (golden_probe_horizon == 0) the stream stays unrecorded
+  // and the campaign silently falls back to the sequential engine.
+  const bool want_batch = config_.exec == ExecMode::kBatch;
+  auto stream = std::make_shared<sim::GoldenStream>();
   std::vector<SiteClass> sites;
   std::size_t rep_slot = plan.size();  // no analytic representative yet
   bool analytic_enabled = false;
@@ -418,7 +463,8 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     const PruneAnalysis analysis = analyze_golden(
         *prog_, base_options(), predecoded_, config_.warmup_instructions,
         config_.inject_region, config_.observation_cycles,
-        config_.detected_mask_grace_cycles, want_classes);
+        config_.detected_mask_grace_cycles, want_classes,
+        want_batch ? stream.get() : nullptr);
     converge_active_ = want_converge && analysis.golden_safe;
     obs::gauge_max("campaign.prune.golden_safe", analysis.golden_safe ? 1 : 0,
                    obs::MetricClass::kDiagnostic);
@@ -448,83 +494,132 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
                        obs::MetricClass::kDiagnostic);
       }
     }
-  }
-
-  // Seed the re-execution source before the parallel region: the warmup
-  // checkpoint / ladder builders mutate campaign state and must run once.
-  const SimCheckpoint* warm = nullptr;
-  {
-    obs::Span ckpt_span("build-checkpoints", "fi");
-    switch (config_.checkpoint_mode) {
-      case CheckpointMode::kScratch:
-        break;
-      case CheckpointMode::kWarmup:
-        warm = warmup_checkpoint();
-        break;
-      case CheckpointMode::kLadder:
-        build_ladder();
-        obs::gauge_max("campaign.ladder_rungs", ladder_.size(),
-                       obs::MetricClass::kDiagnostic);
-        break;
+  } else if (want_batch) {
+    obs::Span record_span("record-golden-stream", "fi");
+    const std::uint64_t horizon = golden_probe_horizon(
+        config_.pipeline, config_.warmup_instructions, config_.inject_region,
+        config_.observation_cycles, config_.detected_mask_grace_cycles);
+    if (horizon != 0) {
+      sim::FunctionalSim golden(*prog_, predecoded_);
+      *stream = sim::GoldenStream::record(golden, horizon);
     }
   }
 
   CampaignSummary summary;
   summary.results.resize(plan.size());
 
-  // Guard representative: the lowest-index analytic site is simulated in
-  // full before the fan-out.  Its outcome must be the predicted ITR+Mask or
-  // the analytic tier is withdrawn for the whole campaign — a cheap live
-  // cross-check of the dead-bit proof against the actual pipeline.
-  if (rep_slot != plan.size()) {
-    const SimCheckpoint* ck = warm;
-    if (config_.checkpoint_mode == CheckpointMode::kLadder) {
-      ck = nearest_checkpoint(plan[rep_slot].target);
-    }
-    summary.results[rep_slot] =
-        ck != nullptr
-            ? run_one_from(*ck, plan[rep_slot].target, plan[rep_slot].bit)
-            : run_one(plan[rep_slot].target, plan[rep_slot].bit);
-    analytic_enabled = summary.results[rep_slot].outcome == Outcome::kItrMask;
-    obs::gauge_max("campaign.prune.guard_confirmed", analytic_enabled ? 1 : 0,
+  if (want_batch && stream->recorded()) {
+    // ---- Batched divergence-only engine (--exec=batch). -------------------
+    obs::gauge_max("campaign.batch.stream_steps", stream->size(),
                    obs::MetricClass::kDiagnostic);
-  }
+    obs::gauge_max("campaign.batch.stream_bytes", stream->memory_bytes(),
+                   obs::MetricClass::kDiagnostic);
+    sim::CycleSim::Options opt = base_options();
+    opt.predecoded = predecoded_;
+    const BatchCampaign engine(*prog_, config_, std::move(opt), stream,
+                               converge_active_);
+    // Pass 1: every non-analytic site, plus the guard representative (the
+    // lowest-index analytic site, simulated in full to cross-check the
+    // dead-bit proof against the actual pipeline — same contract as the
+    // sequential engine's guard below).
+    std::vector<BatchRequest> requests;
+    requests.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (i == rep_slot || sites.empty() || !sites[i].analytic) {
+        requests.push_back(BatchRequest{i, plan[i].target, plan[i].bit});
+      }
+    }
+    engine.execute(std::move(requests), summary.results, threads);
+    if (rep_slot != plan.size()) {
+      analytic_enabled =
+          summary.results[rep_slot].outcome == Outcome::kItrMask;
+      obs::gauge_max("campaign.prune.guard_confirmed",
+                     analytic_enabled ? 1 : 0, obs::MetricClass::kDiagnostic);
+      if (analytic_enabled) {
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          if (i != rep_slot && sites[i].analytic) {
+            summary.results[i] =
+                synthesize_analytic(plan[i].target, plan[i].bit, sites[i]);
+          }
+        }
+      } else {
+        // Guard disagreed with the analysis: withdraw the analytic tier and
+        // simulate the remaining sites too, exactly as the sequential engine
+        // would.
+        std::vector<BatchRequest> rest;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          if (i != rep_slot && sites[i].analytic) {
+            rest.push_back(BatchRequest{i, plan[i].target, plan[i].bit});
+          }
+        }
+        engine.execute(std::move(rest), summary.results, threads);
+      }
+    }
+  } else {
+    // ---- Sequential engine (--exec=seq, or batch fallback). ---------------
+    // Seed the re-execution source before the parallel region: the warmup
+    // checkpoint / ladder builders mutate campaign state and must run once.
+    const SimCheckpoint* warm = nullptr;
+    {
+      obs::Span ckpt_span("build-checkpoints", "fi");
+      switch (config_.checkpoint_mode) {
+        case CheckpointMode::kScratch:
+          break;
+        case CheckpointMode::kWarmup:
+          warm = warmup_checkpoint();
+          break;
+        case CheckpointMode::kLadder:
+          build_ladder();
+          obs::gauge_max("campaign.ladder_rungs", ladder_.size(),
+                         obs::MetricClass::kDiagnostic);
+          break;
+      }
+    }
 
-  util::parallel_for(threads, plan.size(), [&](std::size_t i) {
-    if (i == rep_slot) return;  // guard representative already simulated
-    if (analytic_enabled && sites[i].analytic) {
-      // Provably ITR+Mask: the dead-bit flip is caught by its own trace
-      // instance's poll at the golden dispatch cycle and never perturbs
-      // state or timing.  faulty_commits stays zero — the only field the
-      // equality oracles exempt (it measures work done, not outcome).
-      InjectionResult res;
-      res.outcome = Outcome::kItrMask;
-      res.decode_index = plan[i].target;
-      res.bit = plan[i].bit & 63u;
-      res.field = isa::signal_field_of_bit(res.bit);
-      res.detected = true;
-      res.recoverable = true;
-      res.detect_cycle = sites[i].detect_cycle;
-      summary.results[i] = res;
-      return;
+    // Guard representative: the lowest-index analytic site is simulated in
+    // full before the fan-out.  Its outcome must be the predicted ITR+Mask or
+    // the analytic tier is withdrawn for the whole campaign — a cheap live
+    // cross-check of the dead-bit proof against the actual pipeline.
+    if (rep_slot != plan.size()) {
+      const SimCheckpoint* ck = warm;
+      if (config_.checkpoint_mode == CheckpointMode::kLadder) {
+        ck = nearest_checkpoint(plan[rep_slot].target);
+      }
+      summary.results[rep_slot] =
+          ck != nullptr
+              ? run_one_from(*ck, plan[rep_slot].target, plan[rep_slot].bit)
+              : run_one(plan[rep_slot].target, plan[rep_slot].bit);
+      analytic_enabled =
+          summary.results[rep_slot].outcome == Outcome::kItrMask;
+      obs::gauge_max("campaign.prune.guard_confirmed",
+                     analytic_enabled ? 1 : 0, obs::MetricClass::kDiagnostic);
     }
-    obs::Span inj_span("injection", "fi");
-    if (obs::tracing_enabled()) {
-      inj_span.set_args("{\"i\": " + std::to_string(i) +
-                        ", \"target\": " + std::to_string(plan[i].target) +
-                        ", \"bit\": " + std::to_string(plan[i].bit) + "}");
-    }
-    const SimCheckpoint* ck = warm;
-    if (config_.checkpoint_mode == CheckpointMode::kLadder) {
-      ck = nearest_checkpoint(plan[i].target);
-    }
-    // Null checkpoint (short program, or scratch mode): simulate from
-    // instruction zero.  Every path classifies identically; the fault-free
-    // prefix is deterministic.
-    summary.results[i] = ck != nullptr
-                             ? run_one_from(*ck, plan[i].target, plan[i].bit)
-                             : run_one(plan[i].target, plan[i].bit);
-  });
+
+    util::parallel_for(threads, plan.size(), [&](std::size_t i) {
+      if (i == rep_slot) return;  // guard representative already simulated
+      if (analytic_enabled && sites[i].analytic) {
+        summary.results[i] =
+            synthesize_analytic(plan[i].target, plan[i].bit, sites[i]);
+        return;
+      }
+      obs::Span inj_span("injection", "fi");
+      if (obs::tracing_enabled()) {
+        inj_span.set_args("{\"i\": " + std::to_string(i) +
+                          ", \"target\": " + std::to_string(plan[i].target) +
+                          ", \"bit\": " + std::to_string(plan[i].bit) + "}");
+      }
+      const SimCheckpoint* ck = warm;
+      if (config_.checkpoint_mode == CheckpointMode::kLadder) {
+        ck = nearest_checkpoint(plan[i].target);
+      }
+      // Null checkpoint (short program, or scratch mode): simulate from
+      // instruction zero.  Every path classifies identically; the fault-free
+      // prefix is deterministic.
+      summary.results[i] = ck != nullptr
+                               ? run_one_from(*ck, plan[i].target, plan[i].bit)
+                               : run_one(plan[i].target, plan[i].bit);
+    });
+  }
 
   for (const InjectionResult& res : summary.results) {
     ++summary.counts[static_cast<std::size_t>(res.outcome)];

@@ -82,6 +82,21 @@ const char* checkpoint_mode_name(CheckpointMode m) noexcept;
 /// anything but scratch/single/ladder.
 CheckpointMode parse_checkpoint_mode(const std::string& text);
 
+/// How `run` executes the fan-out (classification is identical under both
+/// engines; batch_smoke and the batch-vs-seq oracle pin byte equality).
+enum class ExecMode : std::uint8_t {
+  kSeq,    ///< one golden/faulty simulator pair per injection (PR 1-6 path)
+  kBatch,  ///< divergence-only SoA replica batches over one recorded golden
+           ///< commit stream (fi::BatchCampaign)
+};
+
+/// Mode name as accepted by the --exec flag ("seq"/"batch").
+const char* exec_mode_name(ExecMode m) noexcept;
+
+/// Parses an --exec flag value; throws std::invalid_argument on anything
+/// but seq/batch.
+ExecMode parse_exec_mode(const std::string& text);
+
 struct CampaignConfig {
   core::ItrCacheConfig itr;              ///< paper default: 1024 signatures, 2-way
   sim::PipelineConfig pipeline;
@@ -108,6 +123,13 @@ struct CampaignConfig {
   /// summary is byte-identical at every level, only the runtime differs
   /// (pinned by the pruned-vs-unpruned oracle and the prune-smoke ctest).
   PruneConfig prune;
+  /// Execution engine for the fan-out.  kBatch composes with every prune
+  /// level and thread count and produces the identical summary; it falls
+  /// back to kSeq when the observation window is too large to bound the
+  /// golden stream (the same guard that disables pruning).
+  ExecMode exec = ExecMode::kSeq;
+  /// Faulty replicas in flight per worker thread under kBatch (0 = 16).
+  std::uint64_t batch_width = 16;
 };
 
 struct CampaignSummary {
@@ -127,6 +149,13 @@ struct CampaignSummary {
            percent(Outcome::kItrSdcD) + percent(Outcome::kItrWdogR);
   }
 };
+
+/// Maps a finished faulty run's observations (detection, corruption,
+/// deadlock, spc, MayITR cache probe) to the paper's outcome category.
+/// Shared tail of both execution engines: the sequential classifier and the
+/// batch replicas gather the same flags and must map them identically.
+InjectionResult map_outcome(const sim::CycleSim& faulty,
+                            InjectionResult res) noexcept;
 
 /// Publishes a finished campaign's merged summary to the obs registry under
 /// `campaign.*` (per-outcome tallies, injection count, normalized faulty

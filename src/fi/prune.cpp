@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "isa/opcode.hpp"
+#include "sim/golden_stream.hpp"
 #include "trace/trace_builder.hpp"
 
 namespace itr::fi {
@@ -304,36 +305,48 @@ const sim::TraceProfileSample* PruneAnalysis::find_instance(
   return nullptr;
 }
 
+std::uint64_t golden_probe_horizon(const sim::PipelineConfig& config,
+                                   std::uint64_t warmup_instructions,
+                                   std::uint64_t inject_region,
+                                   std::uint64_t observation_cycles,
+                                   std::uint64_t grace_cycles) noexcept {
+  const std::uint64_t cw = std::max<std::uint64_t>(1, config.commit_width);
+  const std::uint64_t window = observation_cycles + grace_cycles + 1;
+  if (window > 100'000'000ULL / cw) {
+    // Unboundedly large window: the horizon is impractical to probe or
+    // record, so conservatively keep pruning and batching disabled.
+    return 0;
+  }
+  return warmup_instructions + inject_region + window * cw + config.rob_size + 64;
+}
+
 PruneAnalysis analyze_golden(const isa::Program& prog,
                              const sim::CycleSim::Options& base_options,
                              std::shared_ptr<const isa::PredecodedProgram> predecoded,
                              std::uint64_t warmup_instructions,
                              std::uint64_t inject_region,
                              std::uint64_t observation_cycles,
-                             std::uint64_t grace_cycles, bool build_profile) {
+                             std::uint64_t grace_cycles, bool build_profile,
+                             sim::GoldenStream* record_stream) {
   PruneAnalysis out;
 
   // ---- Golden-abort probe. --------------------------------------------------
-  // The classifier steps the golden simulator once per faulty commit, and
-  // commits advance at most commit_width per cycle with nondecreasing
-  // cycles, so an injection at decode index <= warmup+region observed for
-  // W = observation + grace cycles can consume at most
-  // warmup + region + (W+1)*commit_width golden instructions (plus ROB
-  // drain slack).  If the golden program aborts within that horizon, the
+  // If the golden program aborts within the commit-bounded horizon, the
   // baseline classifier may charge the abort to a fault as an SDC even when
   // the faulty run tracks golden exactly — so pruning must stay off.
-  const std::uint64_t cw =
-      std::max<std::uint64_t>(1, base_options.config.commit_width);
-  const std::uint64_t window = observation_cycles + grace_cycles + 1;
-  if (window > 100'000'000ULL / cw) {
-    // Unboundedly large window: the horizon is impractical to probe, so
-    // conservatively keep pruning disabled.
-    return out;
-  }
-  const std::uint64_t horizon = warmup_instructions + inject_region +
-                                window * cw + base_options.config.rob_size + 64;
+  const std::uint64_t horizon =
+      golden_probe_horizon(base_options.config, warmup_instructions,
+                           inject_region, observation_cycles, grace_cycles);
+  if (horizon == 0) return out;
   sim::FunctionalSim probe(prog, predecoded);
-  probe.run(horizon);
+  if (record_stream != nullptr) {
+    // The batch engine's golden commit stream is this same probe pass,
+    // recorded: one golden simulation serves both the safety proof and the
+    // replicas' reference.
+    *record_stream = sim::GoldenStream::record(probe, horizon);
+  } else {
+    probe.run(horizon);
+  }
   out.golden_safe = !probe.aborted();
   if (!out.golden_safe || !build_profile) return out;
 

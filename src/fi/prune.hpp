@@ -43,6 +43,10 @@
 #include "sim/memory.hpp"
 #include "sim/pipeline.hpp"
 
+namespace itr::sim {
+class GoldenStream;
+}
+
 namespace itr::fi {
 
 /// Pruning level, as accepted by the --prune flag.
@@ -201,20 +205,35 @@ struct PruneAnalysis {
   const sim::TraceProfileSample* find_instance(std::uint64_t index) const noexcept;
 };
 
+/// Commit-bounded golden-consumption horizon shared by the abort probe and
+/// the batch engine's stream recording: the classifier steps the golden
+/// simulator once per faulty commit, and commits advance at most
+/// `commit_width` per cycle with nondecreasing cycles, so an injection at
+/// decode index <= warmup+region observed for observation+grace cycles can
+/// consume at most warmup + region + (W+1)*commit_width instructions plus
+/// ROB-drain slack.  Returns 0 when the window is too large to bound
+/// practically — pruning and batched execution then stay off.
+std::uint64_t golden_probe_horizon(const sim::PipelineConfig& config,
+                                   std::uint64_t warmup_instructions,
+                                   std::uint64_t inject_region,
+                                   std::uint64_t observation_cycles,
+                                   std::uint64_t grace_cycles) noexcept;
+
 /// Runs the golden-abort probe and (when `build_profile`) the golden
 /// trace-profiling pass.  `base_options` must be the campaign's fault-free
-/// monitoring-mode options.  The abort probe bounds golden consumption by
-/// the classifier's own commit-rate limit: commits advance at most
-/// `commit_width` per cycle, so a window of W cycles after an injection at
-/// decode index <= warmup+region can step the golden simulator at most
-/// warmup + region + (W+1)*commit_width + slack instructions.
+/// monitoring-mode options.  The abort probe runs the golden functional
+/// simulator to golden_probe_horizon(); when `record_stream` is non-null the
+/// same pass records the commit stream into it for the batch engine (probe
+/// and recording share one simulation).  A zero horizon skips the probe
+/// entirely: golden_safe stays false and the stream stays unrecorded.
 PruneAnalysis analyze_golden(const isa::Program& prog,
                              const sim::CycleSim::Options& base_options,
                              std::shared_ptr<const isa::PredecodedProgram> predecoded,
                              std::uint64_t warmup_instructions,
                              std::uint64_t inject_region,
                              std::uint64_t observation_cycles,
-                             std::uint64_t grace_cycles, bool build_profile);
+                             std::uint64_t grace_cycles, bool build_profile,
+                             sim::GoldenStream* record_stream = nullptr);
 
 /// One injection site's analytic classification.
 struct SiteClass {

@@ -549,12 +549,86 @@ std::optional<Divergence> oracle_snapshot_vs_fresh(const isa::Program& prog,
   return std::nullopt;
 }
 
+// ---- Oracle 7: batched campaign engine vs sequential. ----------------------
+
+std::optional<Divergence> oracle_batch_vs_seq(const isa::Program& prog,
+                                              const OracleConfig& cfg) {
+  const std::string kName = "batch-vs-seq";
+  fi::CampaignConfig base;
+  base.observation_cycles = 4'000;
+  base.warmup_instructions = 1'000;
+  base.inject_region = 4'000;
+  base.seed = 1;
+  base.detected_mask_grace_cycles = 800;
+
+  // Each batch variant is paired with the sequential engine at the *same*
+  // prune level: unlike pruned-vs-unpruned, the contract here is exact —
+  // every InjectionResult field including faulty_commits, plus the
+  // architectural stats JSON bytes.  (Clone-at-target determinism makes the
+  // replica's commit tally identical to the sequential rung-resume's.)
+  struct Variant {
+    const char* label;
+    fi::PruneMode prune;
+    std::uint64_t width;
+    unsigned threads;
+  };
+  const Variant variants[] = {
+      {"off/w2/t1", fi::PruneMode::kOff, 2, 1},
+      {"converge/w16/t2", fi::PruneMode::kConverge, 16, 2},
+      {"classes/w1/t2", fi::PruneMode::kClasses, 1, 2},
+      {"full/w3/t2", fi::PruneMode::kFull, 3, 2},
+  };
+
+  RegistryScope registry_scope;
+  obs::set_stats_enabled(true);
+  for (const Variant& v : variants) {
+    fi::CampaignConfig seq_cfg = base;
+    seq_cfg.prune.mode = v.prune;
+    obs::registry().reset();
+    fi::FaultInjectionCampaign seq_campaign(prog, seq_cfg);
+    const auto seq = seq_campaign.run(cfg.campaign_faults, /*threads=*/2);
+    const std::string json_seq = registry_json();
+
+    fi::CampaignConfig batch_cfg = seq_cfg;
+    batch_cfg.exec = fi::ExecMode::kBatch;
+    batch_cfg.batch_width = v.width;
+    obs::registry().reset();
+    fi::FaultInjectionCampaign batch_campaign(prog, batch_cfg);
+    const auto batch = batch_campaign.run(cfg.campaign_faults, v.threads);
+    const std::string json_batch = registry_json();
+
+    if (batch.counts != seq.counts || batch.total != seq.total) {
+      return diverge(kName, std::string("outcome tallies under '") + v.label +
+                                "' differ from the sequential engine");
+    }
+    if (batch.results.size() != seq.results.size()) {
+      return diverge(kName, std::string("result count under '") + v.label +
+                                "' differs from the sequential engine");
+    }
+    for (std::size_t i = 0; i < batch.results.size(); ++i) {
+      if (!injections_equal(batch.results[i], seq.results[i])) {
+        return diverge(kName, std::string("injection ") + std::to_string(i) +
+                                  " under '" + v.label + "' classified {" +
+                                  injection_str(batch.results[i]) +
+                                  "} vs sequential {" +
+                                  injection_str(seq.results[i]) + "}");
+      }
+    }
+    if (json_batch != json_seq) {
+      return diverge(kName, std::string("architectural stats JSON under '") +
+                                v.label + "' differs from the sequential engine");
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> kNames = {
       "func-vs-pipeline",  "predecode-vs-raw",   "sweep-vs-replay",
-      "ladder-vs-scratch", "pruned-vs-unpruned", "snapshot-vs-fresh"};
+      "ladder-vs-scratch", "pruned-vs-unpruned", "snapshot-vs-fresh",
+      "batch-vs-seq"};
   return kNames;
 }
 
@@ -567,6 +641,7 @@ std::optional<Divergence> run_oracle(const std::string& name,
   if (name == "ladder-vs-scratch") return oracle_ladder_vs_scratch(prog, cfg);
   if (name == "pruned-vs-unpruned") return oracle_pruned_vs_unpruned(prog, cfg);
   if (name == "snapshot-vs-fresh") return oracle_snapshot_vs_fresh(prog, cfg);
+  if (name == "batch-vs-seq") return oracle_batch_vs_seq(prog, cfg);
   throw std::invalid_argument("unknown oracle '" + name + "'");
 }
 

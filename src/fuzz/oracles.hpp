@@ -4,7 +4,7 @@
 // simulator bug by construction — the paper's whole detection argument
 // rests on redundant executions of the same code being bit-identical.
 //
-// The six oracle pairs (named as listed by oracle_names()):
+// The seven oracle pairs (named as listed by oracle_names()):
 //
 //   func-vs-pipeline     functional golden vs cycle-level commit stream
 //   predecode-vs-raw     predecoded fast paths vs per-instruction raw decode
@@ -19,6 +19,11 @@
 //   pruned-vs-unpruned   fault campaigns under --prune converge / classes /
 //                        full vs the unpruned baseline: every InjectionResult
 //                        field except faulty_commits (work done, not outcome)
+//   batch-vs-seq         fault campaigns under --exec=batch (replicas over a
+//                        shared recorded golden stream) vs the sequential
+//                        engine, crossed with prune levels, widths and thread
+//                        counts: every InjectionResult field, faulty_commits
+//                        included, plus the architectural stats JSON bytes
 #pragma once
 
 #include <cstdint>
@@ -42,7 +47,7 @@ struct Divergence {
   std::string detail;
 };
 
-/// Names of the six oracle pairs, in canonical order.
+/// Names of the seven oracle pairs, in canonical order.
 const std::vector<std::string>& oracle_names();
 
 /// Runs one oracle by name; nullopt = paths agreed.  Throws

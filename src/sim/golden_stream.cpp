@@ -1,0 +1,63 @@
+#include "sim/golden_stream.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace itr::sim {
+
+GoldenStream GoldenStream::record(FunctionalSim& golden, std::uint64_t max_steps) {
+  GoldenStream out;
+  // Geometric growth handles the (program-dependent) early-exit case; only
+  // cap the upfront reservation so a huge horizon on a tiny program doesn't
+  // allocate the worst case.
+  const std::uint64_t reserve =
+      std::min<std::uint64_t>(max_steps, 1ULL << 20);
+  out.pc_.reserve(reserve);
+  out.next_pc_.reserve(reserve);
+  out.int_value_.reserve(reserve);
+  out.fp_bits_.reserve(reserve);
+  out.mem_addr_.reserve(reserve);
+  out.store_value_.reserve(reserve);
+  out.flags_.reserve(reserve);
+  out.int_dst_.reserve(reserve);
+  out.fp_dst_.reserve(reserve);
+  out.mem_bytes_.reserve(reserve);
+  golden.run(max_steps,
+             [&out](const FunctionalSim::Step& s) { out.append(s); });
+  out.set_terminated(golden.done());
+  return out;
+}
+
+void GoldenStream::append(const FunctionalSim::Step& s) {
+  pc_.push_back(s.pc);
+  next_pc_.push_back(s.fx.next_pc);
+  int_value_.push_back(s.fx.int_value);
+  fp_bits_.push_back(std::bit_cast<std::uint64_t>(s.fx.fp_value));
+  mem_addr_.push_back(s.fx.mem_addr);
+  store_value_.push_back(s.fx.store_value);
+  flags_.push_back(static_cast<std::uint8_t>((s.fx.wrote_int ? kWroteInt : 0u) |
+                                             (s.fx.wrote_fp ? kWroteFp : 0u) |
+                                             (s.fx.did_store ? kDidStore : 0u)));
+  int_dst_.push_back(s.fx.int_dst);
+  fp_dst_.push_back(s.fx.fp_dst);
+  mem_bytes_.push_back(static_cast<std::uint8_t>(s.fx.mem_bytes));
+}
+
+bool GoldenStream::matches(const CommitRecord& f, std::uint64_t pos) const noexcept {
+  const std::uint8_t flags = flags_[pos];
+  return f.pc == pc_[pos] && f.next_pc == next_pc_[pos] &&
+         f.wrote_int == ((flags & kWroteInt) != 0) &&
+         f.int_dst == int_dst_[pos] && f.int_value == int_value_[pos] &&
+         f.wrote_fp == ((flags & kWroteFp) != 0) && f.fp_dst == fp_dst_[pos] &&
+         std::bit_cast<std::uint64_t>(f.fp_value) == fp_bits_[pos] &&
+         f.did_store == ((flags & kDidStore) != 0) &&
+         f.mem_addr == mem_addr_[pos] && f.store_value == store_value_[pos] &&
+         f.mem_bytes == mem_bytes_[pos];
+}
+
+std::uint64_t GoldenStream::memory_bytes() const noexcept {
+  return size() * (sizeof(std::uint64_t) * 5 + sizeof(std::uint32_t) +
+                   sizeof(std::uint8_t) * 4);
+}
+
+}  // namespace itr::sim

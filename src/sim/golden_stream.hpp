@@ -1,0 +1,97 @@
+// Compact record of a golden (fault-free) functional run's architectural
+// commit stream, in structure-of-arrays layout.
+//
+// The batched fault-injection engine (fi::BatchCampaign) classifies many
+// faulty replicas against one golden reference.  The sequential classifier
+// steps a private FunctionalSim per injection; recording the stream once
+// turns that per-replica golden simulation into an indexed array lookup the
+// replicas share read-only.  Each recorded step holds exactly the fields the
+// lockstep comparator diffs against a CommitRecord (pc, next_pc, register
+// writes, store effects) — one step costs ~49 bytes, so a fig08-sized
+// horizon (~1.5M instructions) is ~74 MB, recorded in the same pass as the
+// campaign's golden-abort probe.
+//
+// Position semantics mirror the FunctionalSim the stream replaces: a cursor
+// at `pos` has consumed `pos` steps, `done_at(pos)` is what `golden.done()`
+// would return there, and `matches(rec, pos)` is the classifier's
+// `matches_golden` against the step a `golden.step()` call would produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+
+namespace itr::sim {
+
+class GoldenStream {
+ public:
+  /// Records up to `max_steps` instructions from `golden` (which advances;
+  /// pass a fresh simulator).  Recording stops early when the program exits
+  /// or aborts; the terminal step is included, exactly as an observer on
+  /// FunctionalSim::run sees it.
+  static GoldenStream record(FunctionalSim& golden, std::uint64_t max_steps);
+
+  /// Steps recorded (== instructions the golden run retired within the
+  /// horizon).
+  std::uint64_t size() const noexcept { return pc_.size(); }
+
+  /// True when a recording pass ran (default-constructed streams are
+  /// unusable placeholders: a program can legitimately record zero steps).
+  bool recorded() const noexcept { return recorded_; }
+
+  /// True when the golden program finished (exit or abort) within the
+  /// recording horizon — past `size()` steps there is nothing left to run.
+  bool terminated() const noexcept { return terminated_; }
+
+  /// What FunctionalSim::done() returns after `pos` steps were consumed.
+  bool done_at(std::uint64_t pos) const noexcept {
+    return terminated_ && pos >= size();
+  }
+
+  /// True when position `pos` holds a recorded step.  A classifier cursor
+  /// can only outrun the stream if the recording horizon was too short —
+  /// the campaign sizes it from the same commit-rate bound the pruner's
+  /// golden-abort probe uses, so hitting the end with the program still
+  /// running is a logic error, not a data condition.
+  bool has(std::uint64_t pos) const noexcept { return pos < size(); }
+
+  /// The classifier's golden comparison: true when the faulty commit record
+  /// matches the recorded step at `pos` architecturally.  Field-for-field
+  /// identical to comparing against FunctionalSim::step() (FP by bit
+  /// pattern; NaN payloads are architectural state).
+  bool matches(const CommitRecord& f, std::uint64_t pos) const noexcept;
+
+  /// Appends one step (recording hook; exposed for tests).
+  void append(const FunctionalSim::Step& s);
+  void set_terminated(bool terminated) noexcept {
+    terminated_ = terminated;
+    recorded_ = true;
+  }
+
+  /// Approximate resident bytes (diagnostic telemetry).
+  std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  // Packed per-step byte lanes: bit 0 wrote_int, bit 1 wrote_fp, bit 2
+  // did_store; dst registers and the store width live in their own lanes.
+  static constexpr std::uint8_t kWroteInt = 1u << 0;
+  static constexpr std::uint8_t kWroteFp = 1u << 1;
+  static constexpr std::uint8_t kDidStore = 1u << 2;
+
+  std::vector<std::uint64_t> pc_;
+  std::vector<std::uint64_t> next_pc_;
+  std::vector<std::uint32_t> int_value_;
+  std::vector<std::uint64_t> fp_bits_;
+  std::vector<std::uint64_t> mem_addr_;
+  std::vector<std::uint64_t> store_value_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint8_t> int_dst_;
+  std::vector<std::uint8_t> fp_dst_;
+  std::vector<std::uint8_t> mem_bytes_;
+  bool terminated_ = false;
+  bool recorded_ = false;
+};
+
+}  // namespace itr::sim

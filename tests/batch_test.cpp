@@ -1,0 +1,269 @@
+// Batched campaign engine unit tests: exec-mode parsing, golden-stream
+// record/compare semantics, byte-equality of the batch engine against the
+// sequential classifier across widths, thread counts and prune levels
+// (including short programs that force the scratch-replica fallback), and
+// determinism of duplicate-target requests through BatchCampaign directly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/batch.hpp"
+#include "fi/classify.hpp"
+#include "fi/prune.hpp"
+#include "isa/predecode.hpp"
+#include "sim/functional.hpp"
+#include "sim/golden_stream.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/mini_programs.hpp"
+
+namespace itr::fi {
+namespace {
+
+TEST(ExecMode, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_exec_mode("seq"), ExecMode::kSeq);
+  EXPECT_EQ(parse_exec_mode("batch"), ExecMode::kBatch);
+  for (const ExecMode m : {ExecMode::kSeq, ExecMode::kBatch}) {
+    EXPECT_EQ(parse_exec_mode(exec_mode_name(m)), m);
+  }
+  EXPECT_THROW(parse_exec_mode("banana"), std::invalid_argument);
+  EXPECT_THROW(parse_exec_mode(""), std::invalid_argument);
+}
+
+// Recording mirrors a functional run step for step: same count, terminal
+// state captured, cursor predicates consistent at and past the end.
+// (generate_spec programs have a multi-million-instruction floor, so the
+// termination-sensitive stream tests use the short mini programs.)
+TEST(GoldenStream, RecordMatchesFunctionalRun) {
+  const auto prog = workload::mini_program("matmul");
+  sim::FunctionalSim reference(prog);
+  reference.run(100'000);
+  ASSERT_TRUE(reference.done());
+
+  sim::FunctionalSim golden(prog);
+  const auto stream = sim::GoldenStream::record(golden, 100'000);
+  EXPECT_TRUE(stream.recorded());
+  EXPECT_TRUE(stream.terminated());
+  EXPECT_EQ(stream.size(), reference.instructions_retired());
+  EXPECT_GT(stream.memory_bytes(), 0u);
+
+  EXPECT_TRUE(stream.has(0));
+  EXPECT_TRUE(stream.has(stream.size() - 1));
+  EXPECT_FALSE(stream.has(stream.size()));
+  EXPECT_FALSE(stream.done_at(0));
+  EXPECT_FALSE(stream.done_at(stream.size() - 1));
+  EXPECT_TRUE(stream.done_at(stream.size()));
+}
+
+// A budget-capped recording is usable but not terminated: replicas past the
+// horizon would be a bug, never "golden exited".
+TEST(GoldenStream, BudgetCapLeavesStreamUnterminated) {
+  const auto prog = workload::generate_spec("bzip", 50'000);
+  sim::FunctionalSim golden(prog);
+  const auto stream = sim::GoldenStream::record(golden, 1'000);
+  EXPECT_TRUE(stream.recorded());
+  EXPECT_FALSE(stream.terminated());
+  EXPECT_EQ(stream.size(), 1'000u);
+  EXPECT_FALSE(stream.done_at(stream.size()));
+}
+
+// matches() must be sensitive to every architectural field a commit record
+// carries — a fault-free cycle-level run agrees position for position, and
+// any single-field perturbation breaks agreement at that position.
+TEST(GoldenStream, MatchesIsFieldSensitive) {
+  const auto prog = workload::mini_program("matmul");
+  sim::FunctionalSim golden(prog);
+  const auto stream = sim::GoldenStream::record(golden, 100'000);
+  ASSERT_TRUE(stream.terminated());
+
+  sim::CycleSim cs(prog, sim::CycleSim::Options{});
+  std::vector<sim::CommitRecord> commits;
+  while (commits.size() < stream.size() && cs.advance()) {
+    while (auto c = cs.next_commit()) commits.push_back(*c);
+  }
+  while (auto c = cs.next_commit()) commits.push_back(*c);
+  ASSERT_EQ(commits.size(), stream.size());
+
+  bool saw_int = false, saw_store = false;
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    ASSERT_TRUE(stream.matches(commits[i], i)) << "position " << i;
+    sim::CommitRecord bad = commits[i];
+    bad.pc ^= 4;
+    EXPECT_FALSE(stream.matches(bad, i));
+    bad = commits[i];
+    bad.next_pc ^= 4;
+    EXPECT_FALSE(stream.matches(bad, i));
+    if (commits[i].wrote_int && !saw_int) {
+      saw_int = true;
+      bad = commits[i];
+      bad.int_value ^= 1;
+      EXPECT_FALSE(stream.matches(bad, i));
+      bad = commits[i];
+      bad.int_dst = static_cast<std::uint8_t>(bad.int_dst ^ 1);
+      EXPECT_FALSE(stream.matches(bad, i));
+    }
+    if (commits[i].did_store && !saw_store) {
+      saw_store = true;
+      bad = commits[i];
+      bad.mem_addr ^= 8;
+      EXPECT_FALSE(stream.matches(bad, i));
+      bad = commits[i];
+      bad.store_value ^= 1;
+      EXPECT_FALSE(stream.matches(bad, i));
+    }
+  }
+  EXPECT_TRUE(saw_int);
+  EXPECT_TRUE(saw_store);
+}
+
+void expect_results_equal(const CampaignSummary& batch,
+                          const CampaignSummary& seq, const char* label) {
+  ASSERT_EQ(batch.results.size(), seq.results.size()) << label;
+  EXPECT_EQ(batch.counts, seq.counts) << label;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const InjectionResult& b = batch.results[i];
+    const InjectionResult& s = seq.results[i];
+    EXPECT_EQ(b.outcome, s.outcome) << label << " injection " << i;
+    EXPECT_EQ(b.decode_index, s.decode_index) << label << " injection " << i;
+    EXPECT_EQ(b.bit, s.bit) << label << " injection " << i;
+    EXPECT_STREQ(b.field, s.field) << label << " injection " << i;
+    EXPECT_EQ(b.detected, s.detected) << label << " injection " << i;
+    EXPECT_EQ(b.recoverable, s.recoverable) << label << " injection " << i;
+    EXPECT_EQ(b.sdc, s.sdc) << label << " injection " << i;
+    EXPECT_EQ(b.deadlock, s.deadlock) << label << " injection " << i;
+    EXPECT_EQ(b.spc, s.spc) << label << " injection " << i;
+    EXPECT_EQ(b.detect_cycle, s.detect_cycle) << label << " injection " << i;
+    // The exact contract: clone-at-target determinism makes even the commit
+    // tally identical, unlike the pruner's looser outcome-only equality.
+    EXPECT_EQ(b.faulty_commits, s.faulty_commits)
+        << label << " injection " << i;
+  }
+}
+
+CampaignConfig small_campaign_config() {
+  CampaignConfig cfg;
+  cfg.observation_cycles = 4'000;
+  cfg.warmup_instructions = 1'000;
+  cfg.inject_region = 4'000;
+  cfg.seed = 7;
+  cfg.detected_mask_grace_cycles = 800;
+  return cfg;
+}
+
+// The tentpole contract: batch == seq in every InjectionResult field across
+// widths, thread counts and prune levels.
+TEST(BatchCampaign, MatchesSequentialAcrossWidthsThreadsAndPrune) {
+  const auto prog = workload::generate_spec("bzip", 20'000);
+  for (const PruneMode prune : {PruneMode::kOff, PruneMode::kFull}) {
+    CampaignConfig seq_cfg = small_campaign_config();
+    seq_cfg.prune.mode = prune;
+    FaultInjectionCampaign seq_campaign(prog, seq_cfg);
+    const auto seq = seq_campaign.run(12, /*threads=*/1);
+
+    for (const std::uint64_t width : {1ULL, 3ULL, 16ULL}) {
+      for (const unsigned threads : {1u, 3u}) {
+        CampaignConfig batch_cfg = seq_cfg;
+        batch_cfg.exec = ExecMode::kBatch;
+        batch_cfg.batch_width = width;
+        FaultInjectionCampaign batch_campaign(prog, batch_cfg);
+        const auto batch = batch_campaign.run(12, threads);
+        const std::string label = std::string(prune_mode_name(prune)) + "/w" +
+                                  std::to_string(width) + "/t" +
+                                  std::to_string(threads);
+        expect_results_equal(batch, seq, label.c_str());
+      }
+    }
+  }
+}
+
+// A program that terminates inside the inject region (matmul ends at ~1.2k
+// dynamic instructions): unreachable targets fall back to scratch replicas,
+// and equality must survive that too.
+TEST(BatchCampaign, ScratchFallbackMatchesSequential) {
+  const auto prog = workload::mini_program("matmul");
+  CampaignConfig seq_cfg = small_campaign_config();
+  seq_cfg.warmup_instructions = 200;
+  seq_cfg.inject_region = 2'000;  // extends well past program end
+  FaultInjectionCampaign seq_campaign(prog, seq_cfg);
+  const auto seq = seq_campaign.run(16, /*threads=*/1);
+
+  CampaignConfig batch_cfg = seq_cfg;
+  batch_cfg.exec = ExecMode::kBatch;
+  batch_cfg.batch_width = 4;
+  FaultInjectionCampaign batch_campaign(prog, batch_cfg);
+  const auto batch = batch_campaign.run(16, /*threads=*/2);
+  expect_results_equal(batch, seq, "scratch-fallback");
+}
+
+// Direct engine use: duplicate targets each get their own clone of the
+// identical walker state, so equal requests produce equal results, and
+// chunking (thread count) never changes them.
+TEST(BatchCampaign, DuplicateTargetsAreDeterministic) {
+  const auto prog = workload::generate_spec("bzip", 20'000);
+  CampaignConfig cfg = small_campaign_config();
+  cfg.exec = ExecMode::kBatch;
+  cfg.batch_width = 4;
+
+  auto predecoded = std::make_shared<const isa::PredecodedProgram>(prog);
+  sim::CycleSim::Options opt;
+  opt.config = cfg.pipeline;
+  opt.itr = cfg.itr;
+  opt.itr_recovery = false;
+  opt.predecoded = predecoded;
+
+  const std::uint64_t horizon = golden_probe_horizon(
+      cfg.pipeline, cfg.warmup_instructions, cfg.inject_region,
+      cfg.observation_cycles, cfg.detected_mask_grace_cycles);
+  ASSERT_GT(horizon, 0u);
+  auto stream = std::make_shared<sim::GoldenStream>();
+  sim::FunctionalSim golden(prog, predecoded);
+  *stream = sim::GoldenStream::record(golden, horizon);
+  ASSERT_TRUE(stream->recorded());
+
+  const BatchCampaign engine(prog, cfg, opt, stream,
+                             /*converge_active=*/false);
+  std::vector<BatchRequest> requests;
+  for (std::size_t slot = 0; slot < 6; ++slot) {
+    requests.push_back(BatchRequest{slot, /*target=*/2'000, /*bit=*/5});
+  }
+  std::vector<InjectionResult> t1(requests.size());
+  std::vector<InjectionResult> t3(requests.size());
+  engine.execute(requests, t1, /*threads=*/1);
+  engine.execute(requests, t3, /*threads=*/3);
+  for (std::size_t i = 1; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].outcome, t1[0].outcome) << i;
+    EXPECT_EQ(t1[i].detect_cycle, t1[0].detect_cycle) << i;
+    EXPECT_EQ(t1[i].faulty_commits, t1[0].faulty_commits) << i;
+  }
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].outcome, t3[i].outcome) << i;
+    EXPECT_EQ(t1[i].detect_cycle, t3[i].detect_cycle) << i;
+    EXPECT_EQ(t1[i].faulty_commits, t3[i].faulty_commits) << i;
+  }
+}
+
+// An unboundable observation window (horizon guard trips) must not break
+// --exec=batch: the campaign silently falls back to the sequential engine.
+TEST(BatchCampaign, UnboundableWindowFallsBackToSequential) {
+  const auto prog = workload::generate_spec("bzip", 8'000);
+  CampaignConfig seq_cfg = small_campaign_config();
+  seq_cfg.observation_cycles = ~std::uint64_t{0} / 2;  // horizon guard trips
+  ASSERT_EQ(golden_probe_horizon(seq_cfg.pipeline, seq_cfg.warmup_instructions,
+                                 seq_cfg.inject_region,
+                                 seq_cfg.observation_cycles,
+                                 seq_cfg.detected_mask_grace_cycles),
+            0u);
+  FaultInjectionCampaign seq_campaign(prog, seq_cfg);
+  const auto seq = seq_campaign.run(4, /*threads=*/1);
+
+  CampaignConfig batch_cfg = seq_cfg;
+  batch_cfg.exec = ExecMode::kBatch;
+  FaultInjectionCampaign batch_campaign(prog, batch_cfg);
+  const auto batch = batch_campaign.run(4, /*threads=*/2);
+  expect_results_equal(batch, seq, "horizon-fallback");
+}
+
+}  // namespace
+}  // namespace itr::fi

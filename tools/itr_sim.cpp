@@ -20,11 +20,15 @@
 // --prune off|converge|classes|full prunes campaign work (early-exit state
 // convergence / dead-bit equivalence classes; default off) without changing
 // the summary; --prune-interval N sets the convergence check period.
+// --exec seq|batch picks the campaign engine (default seq; batch runs up to
+// --batch-width faulty replicas interleaved against a shared recorded golden
+// stream — identical summary, composes with --prune and --threads).
 // --stats-json FILE / --trace-out FILE write observability output (stats
 // registry JSON / Chrome trace_event spans); --stats-full adds
 // diagnostic-class metrics, which vary with --threads and --ckpt-mode.
 //
 // Exit status: the simulated program's exit status (or 1 on abnormal end).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -105,17 +109,25 @@ int characterize(const isa::Program& prog, std::uint64_t max_insns) {
 int run_campaign(const isa::Program& prog, std::uint64_t faults,
                  std::uint64_t window, std::uint64_t seed, unsigned threads,
                  fi::CheckpointMode mode, std::uint64_t ladder_interval,
-                 fi::PruneConfig prune) {
+                 fi::PruneConfig prune, fi::ExecMode exec,
+                 std::uint64_t batch_width) {
   fi::CampaignConfig cfg;
   cfg.observation_cycles = window;
   cfg.seed = seed;
   cfg.checkpoint_mode = mode;
   cfg.ladder_interval = ladder_interval;
   cfg.prune = prune;
+  cfg.exec = exec;
+  cfg.batch_width = batch_width;
   fi::FaultInjectionCampaign camp(prog, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
   const auto summary = camp.run(faults, threads);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::printf("checkpoint mode      : %s\n", fi::checkpoint_mode_name(mode));
   std::printf("prune                : %s\n", fi::prune_mode_name(prune.mode));
+  std::printf("exec                 : %s\n", fi::exec_mode_name(exec));
   std::printf("faults injected      : %llu\n",
               static_cast<unsigned long long>(summary.total));
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
@@ -125,6 +137,10 @@ int run_campaign(const isa::Program& prog, std::uint64_t faults,
                 summary.percent(o));
   }
   std::printf("ITR-detected         : %.1f%%\n", summary.itr_detected_percent());
+  if (elapsed_s > 0.0) {
+    std::printf("throughput           : %.0f injections/s (%.3f s)\n",
+                static_cast<double>(summary.total) / elapsed_s, elapsed_s);
+  }
   return 0;
 }
 
@@ -153,6 +169,8 @@ int main(int argc, char** argv) {
     fi::PruneConfig prune;
     prune.mode = fi::parse_prune_mode(flags.get_string("prune", "off"));
     prune.check_interval = flags.get_u64("prune-interval", 0);  // 0 = default
+    const auto exec = fi::parse_exec_mode(flags.get_string("exec", "seq"));
+    const auto batch_width = flags.get_u64("batch-width", 16);
     const auto threads = util::resolve_threads(flags.get_u64("threads", 0));
     util::ObsGuard obs_guard(flags);
     flags.reject_unknown();
@@ -178,7 +196,7 @@ int main(int argc, char** argv) {
     if (do_characterize) return characterize(prog, max_insns);
     if (campaign_faults > 0) {
       return run_campaign(prog, campaign_faults, window, seed, threads, ckpt_mode,
-                          ckpt_interval, prune);
+                          ckpt_interval, prune, exec, batch_width);
     }
     if (functional) return run_functional(prog, max_insns);
 
