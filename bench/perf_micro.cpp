@@ -377,6 +377,43 @@ void BM_CheckpointClone(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointClone)->Arg(0)->Arg(1);
 
+/// The flattened core's snapshot protocol on a warmed-up machine: arg 0
+/// measures save (serialize into a reusable blob), arg 1 restore into a
+/// same-configured machine.  Pair with BM_CheckpointClone: at campaign
+/// steady state one restore replaces one full checkpoint clone per
+/// injection.
+void BM_SnapshotSaveRestore(benchmark::State& state) {
+  const bool measure_restore = state.range(0) != 0;
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  sim::CycleSim machine(prog, opt);
+  for (int i = 0; i < 20'000; ++i) {
+    machine.advance();
+    while (machine.next_itr_event().has_value()) {
+    }
+    while (machine.next_commit().has_value()) {
+    }
+  }
+  sim::CycleSim::Snapshot snap;
+  machine.save(snap);
+  sim::CycleSim target(prog, opt);
+  if (measure_restore) {
+    for (auto _ : state) {
+      target.restore(snap);
+      benchmark::DoNotOptimize(target.decode_count());
+    }
+  } else {
+    for (auto _ : state) {
+      machine.save(snap);
+      benchmark::DoNotOptimize(snap.blob.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(measure_restore ? "restore" : "save");
+}
+BENCHMARK(BM_SnapshotSaveRestore)->Arg(0)->Arg(1);
+
 /// One injection simulated from instruction zero (the pre-checkpoint
 /// reference path).
 void BM_InjectionFromScratch(benchmark::State& state) {
@@ -411,6 +448,28 @@ void BM_InjectionFromCheckpoint(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_InjectionFromCheckpoint)->Unit(benchmark::kMillisecond);
+
+/// A/B partner for BM_InjectionFromCheckpoint: the identical injection,
+/// resumed by restoring the rung's snapshot into a persistent scratch pair
+/// instead of copy-constructing fresh simulators per fault (the seed's
+/// clone path).  The gap is what the flattened snapshot fast path buys per
+/// injection at campaign steady state.
+void BM_InjectionSnapshotRestore(benchmark::State& state) {
+  const auto prog = workload::generate_spec("bzip", 400'000);
+  fi::FaultInjectionCampaign camp(prog, campaign_config());
+  const fi::SimCheckpoint* ck = camp.warmup_checkpoint();
+  auto scratch = camp.make_scratch();
+  std::uint64_t commits = 0;
+  for (auto _ : state) {
+    const auto res = camp.run_one_scratch(*scratch, *ck, 25'000, 9);
+    commits += res.faulty_commits;
+    benchmark::DoNotOptimize(res.outcome);
+  }
+  state.counters["commits/sec"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InjectionSnapshotRestore)->Unit(benchmark::kMillisecond);
 
 /// A fault landing deep in the inject region, resumed from the warmup
 /// checkpoint (arg 0) vs the nearest ladder rung (arg 1).  The gap is the

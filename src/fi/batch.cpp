@@ -56,10 +56,11 @@ struct BatchCampaign::Arena {
     throw std::logic_error("fi::BatchCampaign: arena overflow");
   }
 
-  void release(std::size_t k) {
-    machine[k].reset();
-    occupied[k] = 0;
-  }
+  /// Frees the slot for reuse.  The machine object itself persists: the
+  /// next occupant restores a snapshot into it instead of paying a fresh
+  /// construction (the snapshot fast path), so a slot's simulator is built
+  /// at most once per chunk.
+  void release(std::size_t k) { occupied[k] = 0; }
 
   std::vector<std::optional<sim::CycleSim>> machine;
   std::vector<std::size_t> slot;
@@ -191,9 +192,19 @@ void BatchCampaign::run_chunk(const BatchRequest* requests, std::size_t count,
 
   // The chunk's shared fault-free walker.  Replicas clone from it at their
   // target decode index — deterministically the same machine state the
-  // sequential path reaches by resuming a rung and re-executing.
+  // sequential path reaches by resuming a rung and re-executing.  Cloning
+  // goes through the snapshot protocol: the walker's image is saved once
+  // per stop (re-saved only after it advances) and restored into the
+  // persistent arena machines, replacing a full CycleSim copy-construction
+  // per replica with a memcpy + COW re-arm.
   sim::CycleSim walker(*prog_, base_options_);
   std::uint64_t walker_commits = 0;
+  sim::CycleSim::Snapshot walker_snap;
+  std::uint64_t walker_snap_decodes = ~std::uint64_t{0};  // nothing saved yet
+  // Instruction-zero image for targets the walker cannot host (program ends
+  // inside the inject region); saved lazily on first use.
+  sim::CycleSim::Snapshot fresh_snap;
+  bool fresh_snap_saved = false;
 
   std::size_t next = 0;
   std::size_t live = 0;
@@ -210,13 +221,20 @@ void BatchCampaign::run_chunk(const BatchRequest* requests, std::size_t count,
       }
 
       const std::size_t k = arena.acquire();
+      if (!arena.machine[k].has_value()) {
+        arena.machine[k].emplace(*prog_, base_options_);  // once per slot
+      }
       InjectionResult res;
       res.decode_index = r.target;
       res.bit = r.bit & 63u;
       res.field = isa::signal_field_of_bit(res.bit);
       if (walker.termination() == sim::RunTermination::kRunning &&
           walker.decode_count() >= r.target) {
-        arena.machine[k].emplace(walker);
+        if (walker_snap_decodes != walker.decode_count()) {
+          walker.save(walker_snap);
+          walker_snap_decodes = walker.decode_count();
+        }
+        arena.machine[k]->restore(walker_snap);
         arena.stream_pos[k] = walker_commits;
         res.faulty_commits = walker_commits;
         ++cs.cloned_replicas;
@@ -226,7 +244,11 @@ void BatchCampaign::run_chunk(const BatchRequest* requests, std::size_t count,
         // armed fault never fires and the replica replays the sequential
         // run_one trajectory exactly (including a golden abort charged as
         // SDC when the program dies inside an earlier fault's window).
-        arena.machine[k].emplace(*prog_, base_options_);
+        if (!fresh_snap_saved) {
+          sim::CycleSim(*prog_, base_options_).save(fresh_snap);
+          fresh_snap_saved = true;
+        }
+        arena.machine[k]->restore(fresh_snap);
         arena.stream_pos[k] = 0;
         res.faulty_commits = 0;
         ++cs.scratch_replicas;

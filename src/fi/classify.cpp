@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -319,6 +321,55 @@ InjectionResult FaultInjectionCampaign::run_one_from(const SimCheckpoint& checkp
                       checkpoint.state_baseline);
 }
 
+std::unique_ptr<FaultInjectionCampaign::InjectionScratch>
+FaultInjectionCampaign::make_scratch() const {
+  sim::CycleSim::Options opt = base_options();
+  opt.predecoded = predecoded_;
+  return std::unique_ptr<InjectionScratch>(
+      new InjectionScratch{sim::CycleSim(*prog_, std::move(opt)),
+                           sim::FunctionalSim(*prog_, predecoded_)});
+}
+
+InjectionResult FaultInjectionCampaign::run_one_scratch(
+    InjectionScratch& scratch, const SimCheckpoint& checkpoint,
+    std::uint64_t target_decode_index, unsigned bit) const {
+  InjectionResult res;
+  res.decode_index = target_decode_index;
+  res.bit = bit & 63u;
+  res.field = isa::signal_field_of_bit(res.bit);
+  // The scratch path counts warmup commits too; start from the same tally so
+  // both paths report identical InjectionResults.
+  res.faulty_commits = checkpoint.commits_consumed;
+
+  obs::Span resume("resume-from-rung", "fi");
+  scratch.machine.restore(checkpoint.machine_snap);
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.target_decode_index = target_decode_index;
+  plan.bit = res.bit;
+  scratch.machine.arm_fault(plan);
+
+  scratch.golden.restore(checkpoint.golden_snap);
+  if (obs::tracing_enabled()) {
+    resume.set_args("{\"rung_decode_index\": " +
+                    std::to_string(checkpoint.machine.decode_count()) +
+                    ", \"target\": " + std::to_string(target_decode_index) + "}");
+  }
+  resume.finish();
+  // Same diagnostics as run_one_from — the two paths must be drop-in
+  // replacements for each other, stats included.
+  obs::observe("campaign.rung_reuse_distance",
+               target_decode_index - checkpoint.machine.decode_count(),
+               obs::HistogramSpec{/*bin_width=*/1024, /*num_bins=*/64},
+               obs::MetricClass::kDiagnostic);
+  obs::count("campaign.ckpt_clone_bytes",
+             static_cast<std::uint64_t>(checkpoint.machine.memory().num_pages()) *
+                 sim::Memory::kPageBytes,
+             obs::MetricClass::kDiagnostic);
+  return classify_run(scratch.machine, scratch.golden, std::move(res),
+                      checkpoint.golden_done, checkpoint.state_baseline);
+}
+
 void FaultInjectionCampaign::advance_to(SimCheckpoint& ck, std::uint64_t boundary) {
   while (ck.machine.decode_count() < boundary &&
          ck.machine.termination() == sim::RunTermination::kRunning) {
@@ -352,6 +403,7 @@ const SimCheckpoint* FaultInjectionCampaign::warmup_checkpoint() {
       ck->golden.memory().set_cow(false);
     }
     advance_to(*ck, config_.warmup_instructions);
+    if (ck->valid) ck->save_snapshots();
     if (converge_active_ && ck->valid) {
       ck->state_baseline =
           std::make_shared<const StateBaseline>(hash_memory(ck->golden.memory()));
@@ -394,6 +446,7 @@ void FaultInjectionCampaign::build_ladder() {
     advance_to(walker, boundary);
     if (!walker.valid) break;  // program ended: earlier rungs still serve
     ladder_.push_back(std::make_unique<SimCheckpoint>(walker));
+    ladder_.back()->save_snapshots();
     if (converge_active_) {
       if (!running_valid) {
         running = hash_memory(walker.golden.memory());
@@ -595,6 +648,31 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
                      analytic_enabled ? 1 : 0, obs::MetricClass::kDiagnostic);
     }
 
+    // Free-list of per-worker scratch simulators for the snapshot fast path:
+    // each in-flight injection borrows a reusable CycleSim + FunctionalSim
+    // pair and restores the rung's snapshot into it, so the steady-state
+    // per-injection setup is a memcpy + COW re-arm instead of two full
+    // object constructions.  The list never exceeds the number of workers;
+    // two uncontended mutex ops per injection are noise next to the
+    // simulation itself.
+    std::mutex scratch_mutex;
+    std::vector<std::unique_ptr<InjectionScratch>> scratch_free;
+    const auto acquire_scratch = [&]() -> std::unique_ptr<InjectionScratch> {
+      {
+        const std::lock_guard<std::mutex> lock(scratch_mutex);
+        if (!scratch_free.empty()) {
+          auto s = std::move(scratch_free.back());
+          scratch_free.pop_back();
+          return s;
+        }
+      }
+      return make_scratch();
+    };
+    const auto release_scratch = [&](std::unique_ptr<InjectionScratch> s) {
+      const std::lock_guard<std::mutex> lock(scratch_mutex);
+      scratch_free.push_back(std::move(s));
+    };
+
     util::parallel_for(threads, plan.size(), [&](std::size_t i) {
       if (i == rep_slot) return;  // guard representative already simulated
       if (analytic_enabled && sites[i].analytic) {
@@ -615,9 +693,16 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
       // Null checkpoint (short program, or scratch mode): simulate from
       // instruction zero.  Every path classifies identically; the fault-free
       // prefix is deterministic.
-      summary.results[i] = ck != nullptr
-                               ? run_one_from(*ck, plan[i].target, plan[i].bit)
-                               : run_one(plan[i].target, plan[i].bit);
+      if (ck != nullptr && ck->snaps_saved) {
+        auto scratch = acquire_scratch();
+        summary.results[i] =
+            run_one_scratch(*scratch, *ck, plan[i].target, plan[i].bit);
+        release_scratch(std::move(scratch));
+      } else {
+        summary.results[i] =
+            ck != nullptr ? run_one_from(*ck, plan[i].target, plan[i].bit)
+                          : run_one(plan[i].target, plan[i].bit);
+      }
     });
   }
 

@@ -195,6 +195,20 @@ struct SimCheckpoint {
   std::uint64_t commits_consumed = 0;  ///< commits drained before the boundary
   bool golden_done = false;   ///< golden program finished before the boundary
   bool valid = false;         ///< boundary reached with the machine live
+
+  /// Serialized images of machine/golden, saved once when the rung is
+  /// finalized.  Per-worker scratch simulators restore from these instead
+  /// of copy-constructing fresh objects per injection (the snapshot fast
+  /// path); empty until save_snapshots() runs.
+  sim::CycleSim::Snapshot machine_snap;
+  sim::FunctionalSim::Snapshot golden_snap;
+  bool snaps_saved = false;
+
+  void save_snapshots() {
+    machine.save(machine_snap);
+    golden.save(golden_snap);
+    snaps_saved = true;
+  }
   /// Golden memory digest at the boundary (convergence pruning only;
   /// computed incrementally as the ladder walk crosses each rung).  Null
   /// when pruning is off — each injection's tracker then hashes the clone
@@ -216,6 +230,28 @@ class FaultInjectionCampaign {
   InjectionResult run_one_from(const SimCheckpoint& checkpoint,
                                std::uint64_t target_decode_index,
                                unsigned bit) const;
+
+  /// Reusable per-worker simulator pair for the snapshot fast path: the
+  /// fan-out constructs one per worker thread and each injection restores
+  /// the nearest rung's snapshot into it instead of copy-constructing a
+  /// fresh CycleSim/FunctionalSim pair.
+  struct InjectionScratch {
+    sim::CycleSim machine;
+    sim::FunctionalSim golden;
+  };
+
+  /// Builds a scratch pair configured exactly like the campaign's
+  /// checkpoints (same options, shared predecode table).
+  std::unique_ptr<InjectionScratch> make_scratch() const;
+
+  /// run_one_from on the snapshot fast path: restores `checkpoint`'s saved
+  /// snapshots into `scratch` and classifies from there.  Requires
+  /// checkpoint.snaps_saved; classification is identical to run_one_from
+  /// (the snapshot-equivalence test pins this down).
+  InjectionResult run_one_scratch(InjectionScratch& scratch,
+                                  const SimCheckpoint& checkpoint,
+                                  std::uint64_t target_decode_index,
+                                  unsigned bit) const;
 
   /// Runs `num_faults` random injections (uniform dynamic instruction within
   /// the configured region, uniform bit) across `threads` worker threads

@@ -20,7 +20,7 @@ struct FuzzOptions {
   std::uint64_t num_seeds = 100;
   std::uint64_t seed_base = 1;
   OracleConfig oracle;
-  std::string only_oracle;  ///< empty = run all five oracle pairs
+  std::string only_oracle;  ///< empty = run all eight oracle pairs
   bool minimize = true;
   std::string corpus_dir;   ///< empty = do not write reproducers
   bool verbose = false;     ///< log every seed, not just divergences

@@ -3,6 +3,7 @@
 #include <bit>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "fi/classify.hpp"
 #include "itr/coverage.hpp"
@@ -622,13 +623,196 @@ std::optional<Divergence> oracle_batch_vs_seq(const isa::Program& prog,
   return std::nullopt;
 }
 
+// ---- Oracle 8: flattened snapshot fast path vs seed clone semantics. -------
+
+std::optional<Divergence> oracle_flat_vs_seed(const isa::Program& prog,
+                                              const OracleConfig& cfg) {
+  const std::string kName = "flat-vs-seed";
+
+  // (a) CycleSim: an interrupted run resumed through the snapshot protocol —
+  // into a freshly-constructed machine and into a machine that already ran
+  // to completion (the scratch steady state) — must replay the uninterrupted
+  // run commit-for-commit, timing included.  The copy constructor is the
+  // seed's clone semantics; restore must be indistinguishable from it.
+  CycleSim fresh(prog, base_pipeline_options(cfg));
+  const auto commits_fresh = collect_commits(fresh, cfg.max_instructions);
+
+  const std::uint64_t pause_at =
+      std::min<std::uint64_t>(commits_fresh.size() / 2, 500);
+  CycleSim half(prog, base_pipeline_options(cfg));
+  std::vector<CommitRecord> prefix;
+  while (prefix.size() < pause_at && half.advance()) {
+    while (auto c = half.next_commit()) prefix.push_back(*c);
+  }
+  while (auto c = half.next_commit()) prefix.push_back(*c);
+
+  CycleSim::Snapshot snap;
+  half.save(snap);
+  CycleSim copied(half);  // seed path
+  CycleSim restored(prog, base_pipeline_options(cfg));
+  restored.restore(snap);  // flat path
+
+  const auto finish = [&](CycleSim& cs, std::vector<CommitRecord> commits) {
+    while (commits.size() < cfg.max_instructions && cs.advance()) {
+      while (auto c = cs.next_commit()) commits.push_back(*c);
+    }
+    while (auto c = cs.next_commit()) commits.push_back(*c);
+    return commits;
+  };
+  const auto check_tail = [&](const CycleSim& cs,
+                              const std::vector<CommitRecord>& commits,
+                              const char* label) -> std::optional<Divergence> {
+    if (commits.size() != commits_fresh.size()) {
+      std::ostringstream os;
+      os << "commit count under '" << label << "' differs: fresh "
+         << commits_fresh.size() << " vs " << commits.size() << " (paused at "
+         << pause_at << ")";
+      return diverge(kName, os.str());
+    }
+    for (std::size_t i = 0; i < commits.size(); ++i) {
+      if (!commits_equal(commits_fresh[i], commits[i])) {
+        return diverge(kName, std::string("commit differs under '") + label +
+                                  "': " + commit_str(commits_fresh[i]) +
+                                  " vs " + commit_str(commits[i]));
+      }
+    }
+    if (!(cs.stats() == fresh.stats()) ||
+        cs.termination() != fresh.termination() ||
+        cs.exit_status() != fresh.exit_status() ||
+        cs.output() != fresh.output() || !(cs.state() == fresh.state())) {
+      return diverge(kName, std::string("end state differs under '") + label +
+                                "' vs the uninterrupted run");
+    }
+    return std::nullopt;
+  };
+
+  const auto commits_copied = finish(copied, prefix);
+  if (auto d = check_tail(copied, commits_copied, "copy-ctor resume")) return d;
+  const auto commits_restored = finish(restored, prefix);
+  if (auto d = check_tail(restored, commits_restored, "restore into fresh")) {
+    return d;
+  }
+  // Steady-state reuse: restore the same image into the machine that just
+  // ran to completion and replay the tail again.
+  restored.restore(snap);
+  const auto commits_reused = finish(restored, prefix);
+  if (auto d = check_tail(restored, commits_reused, "restore into used")) {
+    return d;
+  }
+
+  // (b) FunctionalSim snapshot round trip against an uninterrupted golden.
+  FunctionalSim gfresh(prog);
+  FunctionalSim ghalf(prog);
+  for (std::uint64_t i = 0; i < pause_at && !ghalf.done(); ++i) {
+    (void)gfresh.step();
+    (void)ghalf.step();
+  }
+  FunctionalSim::Snapshot gsnap;
+  ghalf.save(gsnap);
+  FunctionalSim grestored(prog);
+  grestored.restore(gsnap);
+  for (std::uint64_t i = pause_at; i < cfg.max_instructions; ++i) {
+    if (gfresh.done() != grestored.done()) {
+      return diverge(kName, "functional done() disagrees after snapshot restore");
+    }
+    if (gfresh.done()) break;
+    const auto a = gfresh.step();
+    const auto b = grestored.step();
+    if (a.pc != b.pc || a.index != b.index || a.sig.pack() != b.sig.pack() ||
+        a.fx.next_pc != b.fx.next_pc) {
+      std::ostringstream os;
+      os << "functional step " << a.index
+         << " differs after snapshot restore: pc=0x" << std::hex << a.pc
+         << " vs 0x" << b.pc << std::dec;
+      return diverge(kName, os.str());
+    }
+  }
+  if (!(gfresh.state() == grestored.state()) ||
+      gfresh.output() != grestored.output() ||
+      gfresh.instructions_retired() != grestored.instructions_retired() ||
+      gfresh.aborted() != grestored.aborted() ||
+      gfresh.exit_status() != grestored.exit_status()) {
+    return diverge(kName, "functional end state differs after snapshot restore");
+  }
+
+  // (c) Campaign classification: run_one_scratch on one reused scratch pair
+  // must classify byte-identically (faulty_commits included) to the seed's
+  // copy-construction run_one_from on the same rung, and a scratch-mode
+  // campaign (simulating from instruction zero, never touching snapshots)
+  // must publish the same architectural stats JSON as the ladder-mode
+  // campaign running entirely on the snapshot fast path.
+  fi::CampaignConfig base;
+  base.observation_cycles = 4'000;
+  base.warmup_instructions = 1'000;
+  base.inject_region = 4'000;
+  base.seed = 1;
+  base.detected_mask_grace_cycles = 800;
+
+  fi::FaultInjectionCampaign campaign(prog, base);
+  if (const fi::SimCheckpoint* warm = campaign.warmup_checkpoint()) {
+    if (!warm->snaps_saved) {
+      return diverge(kName, "valid warmup rung without saved snapshots");
+    }
+    auto scratch = campaign.make_scratch();
+    const std::uint64_t rung = warm->machine.decode_count();
+    const std::pair<std::uint64_t, unsigned> sites[] = {
+        {rung + 1, 3u}, {rung + 97, 17u}, {rung + 403, 62u}, {rung + 11, 17u}};
+    for (const auto& [target, bit] : sites) {
+      const auto seed_res = campaign.run_one_from(*warm, target, bit);
+      const auto flat_res = campaign.run_one_scratch(*scratch, *warm, target, bit);
+      if (!injections_equal(seed_res, flat_res)) {
+        return diverge(kName, "injection at target " + std::to_string(target) +
+                                  " bit " + std::to_string(bit) +
+                                  ": copy-ctor path {" + injection_str(seed_res) +
+                                  "} vs snapshot path {" +
+                                  injection_str(flat_res) + "}");
+      }
+    }
+  }
+
+  RegistryScope registry_scope;
+  obs::set_stats_enabled(true);
+  fi::CampaignConfig scratch_cfg = base;
+  scratch_cfg.checkpoint_mode = fi::CheckpointMode::kScratch;
+  obs::registry().reset();
+  fi::FaultInjectionCampaign seed_campaign(prog, scratch_cfg);
+  const auto seed_sum = seed_campaign.run(cfg.campaign_faults, /*threads=*/2);
+  const std::string json_seed = registry_json();
+
+  fi::CampaignConfig ladder_cfg = base;
+  ladder_cfg.checkpoint_mode = fi::CheckpointMode::kLadder;
+  obs::registry().reset();
+  fi::FaultInjectionCampaign flat_campaign(prog, ladder_cfg);
+  const auto flat_sum = flat_campaign.run(cfg.campaign_faults, /*threads=*/2);
+  const std::string json_flat = registry_json();
+
+  if (flat_sum.counts != seed_sum.counts || flat_sum.total != seed_sum.total) {
+    return diverge(kName, "outcome tallies differ between the scratch-mode and "
+                          "snapshot-fast-path campaigns");
+  }
+  for (std::size_t i = 0; i < flat_sum.results.size(); ++i) {
+    if (!injections_equal(flat_sum.results[i], seed_sum.results[i])) {
+      return diverge(kName, std::string("campaign injection ") +
+                                std::to_string(i) + " classified {" +
+                                injection_str(flat_sum.results[i]) +
+                                "} vs scratch-mode {" +
+                                injection_str(seed_sum.results[i]) + "}");
+    }
+  }
+  if (json_flat != json_seed) {
+    return diverge(kName, "architectural stats JSON differs between the "
+                          "scratch-mode and snapshot-fast-path campaigns");
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> kNames = {
       "func-vs-pipeline",  "predecode-vs-raw",   "sweep-vs-replay",
       "ladder-vs-scratch", "pruned-vs-unpruned", "snapshot-vs-fresh",
-      "batch-vs-seq"};
+      "batch-vs-seq",      "flat-vs-seed"};
   return kNames;
 }
 
@@ -642,6 +826,7 @@ std::optional<Divergence> run_oracle(const std::string& name,
   if (name == "pruned-vs-unpruned") return oracle_pruned_vs_unpruned(prog, cfg);
   if (name == "snapshot-vs-fresh") return oracle_snapshot_vs_fresh(prog, cfg);
   if (name == "batch-vs-seq") return oracle_batch_vs_seq(prog, cfg);
+  if (name == "flat-vs-seed") return oracle_flat_vs_seed(prog, cfg);
   throw std::invalid_argument("unknown oracle '" + name + "'");
 }
 

@@ -4,7 +4,7 @@
 // simulator bug by construction — the paper's whole detection argument
 // rests on redundant executions of the same code being bit-identical.
 //
-// The seven oracle pairs (named as listed by oracle_names()):
+// The eight oracle pairs (named as listed by oracle_names()):
 //
 //   func-vs-pipeline     functional golden vs cycle-level commit stream
 //   predecode-vs-raw     predecoded fast paths vs per-instruction raw decode
@@ -24,6 +24,12 @@
 //                        engine, crossed with prune levels, widths and thread
 //                        counts: every InjectionResult field, faulty_commits
 //                        included, plus the architectural stats JSON bytes
+//   flat-vs-seed         the flattened core's snapshot save/restore fast path
+//                        vs the seed clone semantics: restore (into fresh and
+//                        reused machines, CycleSim and FunctionalSim alike)
+//                        vs copy-construction vs an uninterrupted run —
+//                        commit-for-commit with timing, per-injection
+//                        classification, and architectural stats JSON bytes
 #pragma once
 
 #include <cstdint>
@@ -47,7 +53,7 @@ struct Divergence {
   std::string detail;
 };
 
-/// Names of the seven oracle pairs, in canonical order.
+/// Names of the eight oracle pairs, in canonical order.
 const std::vector<std::string>& oracle_names();
 
 /// Runs one oracle by name; nullopt = paths agreed.  Throws

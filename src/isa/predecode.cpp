@@ -15,6 +15,7 @@ PredecodedProgram::PredecodedProgram(const Program& prog)
   // Program::fetch_raw returns the same encoded trap-abort for every
   // out-of-range PC; decode it once.
   abort_ = decode_raw(prog.fetch_raw(prog.code_end()));
+  abort_packed_ = abort_.pack();
 }
 
 }  // namespace itr::isa

@@ -54,6 +54,17 @@ class PredecodedProgram {
     return packed_[index];
   }
 
+  /// Packed image for any PC, mirroring signals_at's wild-fetch backstop.
+  /// Lets the ITR signature path fold a precomputed word instead of
+  /// re-packing the record on every dynamic instruction.
+  std::uint64_t packed_at(std::uint64_t pc) const noexcept {
+    const std::uint64_t off = pc - code_base_;
+    if (off < code_span_ && off % kInstrBytes == 0) {
+      return packed_[off / kInstrBytes];
+    }
+    return abort_packed_;
+  }
+
   /// The shared out-of-range record (decoded trap-abort).
   const DecodeSignals& abort_signals() const noexcept { return abort_; }
 
@@ -64,6 +75,7 @@ class PredecodedProgram {
   std::vector<DecodeSignals> records_;
   std::vector<std::uint64_t> packed_;
   DecodeSignals abort_;
+  std::uint64_t abort_packed_ = 0;
 };
 
 }  // namespace itr::isa

@@ -1,31 +1,83 @@
 #include "itr/itr_cache.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/snapshot_io.hpp"
+
 namespace itr::core {
 
-namespace {
-cache::CacheConfig to_cache_config(const ItrCacheConfig& cfg) {
-  cache::CacheConfig out;
-  out.num_entries = cfg.num_signatures;
-  out.associativity = cfg.associativity;
-  out.key_shift = 3;  // trace start PCs are 8-byte aligned
-  out.replacement = cfg.replacement;
-  return out;
-}
-}  // namespace
+ItrCache::ItrCache(const ItrCacheConfig& config) : config_(config) {
+  const std::size_t entries = config_.num_signatures;
+  if (entries == 0 || (entries & (entries - 1)) != 0) {
+    throw std::invalid_argument("cache: num_entries must be a nonzero power of two");
+  }
+  ways_ = config_.associativity == 0 ? entries : config_.associativity;
+  if (ways_ > entries || entries % ways_ != 0) {
+    throw std::invalid_argument("cache: associativity incompatible with num_entries");
+  }
+  num_sets_ = entries / ways_;
 
-ItrCache::ItrCache(const ItrCacheConfig& config)
-    : config_(config),
-      cache_(to_cache_config(config)),
-      unref_evictions_per_set_(cache_.num_sets(), 0) {}
+  keys_.assign(entries, 0);
+  sigs_.assign(entries, 0);
+  install_.assign(entries, 0);
+  pending_.assign(entries, 0);
+  stamps_.assign(entries, 0);
+  meta_.assign(entries, 0);
+  unref_evictions_per_set_.assign(num_sets_, 0);
+}
+
+void ItrCache::compact_stamps() noexcept {
+  // Stamps are only ever compared within a set, so renumbering each set's
+  // valid ways 1..n in stamp order preserves every LRU decision exactly.
+  // Runs once per 2^32 stamps; the allocation is irrelevant.
+  std::vector<std::size_t> order(ways_);
+  for (std::size_t set = 0; set < num_sets_; ++set) {
+    const std::size_t base = set * ways_;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if ((meta_[base + w] & kValid) != 0) order[n++] = base + w;
+    }
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+              [this](std::size_t a, std::size_t b) { return stamps_[a] < stamps_[b]; });
+    for (std::size_t i = 0; i < n; ++i) stamps_[order[i]] = static_cast<std::uint32_t>(i + 1);
+  }
+  stamp_counter_ = static_cast<std::uint32_t>(ways_);
+}
+
+std::size_t ItrCache::pick_victim(std::size_t set) const noexcept {
+  const std::size_t base = set * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if ((meta_[base + w] & kValid) == 0) return base + w;
+  }
+  std::size_t lru = base;
+  std::size_t lru_flagged = static_cast<std::size_t>(-1);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const std::size_t i = base + w;
+    if (stamps_[i] < stamps_[lru]) lru = i;
+    if ((meta_[i] & kCheckedFlag) != 0 &&
+        (lru_flagged == static_cast<std::size_t>(-1) ||
+         stamps_[i] < stamps_[lru_flagged])) {
+      lru_flagged = i;
+    }
+  }
+  if (config_.replacement == cache::Replacement::kPreferFlaggedLru &&
+      lru_flagged != static_cast<std::size_t>(-1)) {
+    return lru_flagged;
+  }
+  return lru;
+}
 
 ProbeResult ItrCache::probe(const trace::TraceRecord& rec) {
   counters_.total_instructions += rec.num_instructions;
   ++counters_.total_traces;
   ++counters_.cache_reads;
+  ++stats_.lookups;
 
   ProbeResult result;
-  Line* line = cache_.lookup(rec.start_pc);
-  if (line == nullptr) {
+  const std::size_t idx = find(rec.start_pc);
+  if (idx == static_cast<std::size_t>(-1)) {
+    ++stats_.misses;
     ++counters_.misses;
     // No counterpart to check before this trace's instructions commit: the
     // instance is detectable later (if its signature survives) but not
@@ -35,23 +87,24 @@ ProbeResult ItrCache::probe(const trace::TraceRecord& rec) {
     return result;
   }
 
+  ++stats_.hits;
   ++counters_.hits;
-  result.cached_signature = line->signature;
-  result.cached_parity_ok = line->parity_ok;
-  result.outcome = line->signature == rec.signature ? ProbeOutcome::kHitMatch
-                                                    : ProbeOutcome::kHitMismatch;
-  if (!line->referenced) {
+  stamps_[idx] = next_stamp();
+  result.cached_signature = sigs_[idx];
+  result.cached_parity_ok = (meta_[idx] & kParityOk) != 0;
+  result.outcome = sigs_[idx] == rec.signature ? ProbeOutcome::kHitMatch
+                                               : ProbeOutcome::kHitMismatch;
+  if ((meta_[idx] & kReferenced) == 0) {
     // This hit is the first reference to a line installed by a missed
     // instance: that instance's instructions retroactively get detection
     // coverage (the comparison checks both instances at once).
     result.cleared_unchecked = true;
-    result.unchecked_install_index = line->install_index;
-    result.cleared_pending_instructions = line->pending_instructions;
-    line->referenced = true;
-    line->pending_instructions = 0;
+    result.unchecked_install_index = install_[idx];
+    result.cleared_pending_instructions = pending_[idx];
+    pending_[idx] = 0;
     if (unchecked_lines_ > 0) --unchecked_lines_;
-    cache_.set_flag(rec.start_pc, true);  // "checked" flag for the
-                                          // checked-aware replacement ablation
+    // "checked" flag for the checked-aware replacement ablation.
+    meta_[idx] |= kReferenced | kCheckedFlag;
   }
   return result;
 }
@@ -62,75 +115,123 @@ void ItrCache::install(const trace::TraceRecord& rec) {
   // dispatch, both try to install at commit.  The second install finds the
   // line already present and leaves it alone (the signatures are equal in a
   // fault-free run; in a faulty run the later probe does the checking).
-  if (cache_.peek(rec.start_pc) != nullptr) return;
-  Line line;
-  line.signature = rec.signature;
-  line.referenced = false;
-  line.parity_ok = true;
-  line.pending_instructions = rec.num_instructions;
-  line.install_index = rec.first_insn_index;
+  if (find(rec.start_pc) != static_cast<std::size_t>(-1)) return;
 
   ++unchecked_lines_;
-  auto evicted = cache_.insert(rec.start_pc, line, /*flag=*/false);
-  if (evicted.has_value()) {
-    if (!evicted->payload.referenced) {
+  ++stats_.insertions;
+  const std::size_t set = set_of(rec.start_pc);
+  const std::size_t victim = pick_victim(set);
+  if ((meta_[victim] & kValid) != 0) {
+    ++stats_.evictions;
+    if ((meta_[victim] & kReferenced) == 0) {
       // An unchecked signature left before anything referenced it: the fault
       // detection coverage of its installing instance is forfeited.
-      counters_.detection_loss_instructions += evicted->payload.pending_instructions;
+      counters_.detection_loss_instructions += pending_[victim];
       ++counters_.unreferenced_evictions;
-      ++unref_evictions_per_set_[cache_.set_index(evicted->key)];
+      ++unref_evictions_per_set_[set];
       if (unchecked_lines_ > 0) --unchecked_lines_;
     }
   }
+  keys_[victim] = rec.start_pc;
+  sigs_[victim] = rec.signature;
+  install_[victim] = rec.first_insn_index;
+  pending_[victim] = static_cast<std::uint32_t>(rec.num_instructions);
+  meta_[victim] = kValid | kParityOk;  // unreferenced, flag clear
+  stamps_[victim] = next_stamp();
 }
 
 void ItrCache::overwrite_signature(std::uint64_t start_pc, std::uint64_t signature) {
-  // Direct line mutation without LRU churn: emulate via peek-and-replace.
-  const Line* existing = cache_.peek(start_pc);
-  if (existing == nullptr) return;
-  Line updated = *existing;
-  updated.signature = signature;
-  updated.parity_ok = true;
-  updated.referenced = true;
-  if (!existing->referenced && unchecked_lines_ > 0) --unchecked_lines_;
-  cache_.insert(start_pc, updated, /*flag=*/true);
+  const std::size_t idx = find(start_pc);
+  if (idx == static_cast<std::size_t>(-1)) return;
+  if ((meta_[idx] & kReferenced) == 0 && unchecked_lines_ > 0) --unchecked_lines_;
+  ++stats_.insertions;  // modelled as a cache write (LRU refresh included)
+  sigs_[idx] = signature;
+  meta_[idx] |= kReferenced | kCheckedFlag | kParityOk;
+  stamps_[idx] = next_stamp();
 }
 
 bool ItrCache::invalidate(std::uint64_t start_pc) {
-  const Line* existing = cache_.peek(start_pc);
-  if (existing == nullptr) return false;
-  if (!existing->referenced && unchecked_lines_ > 0) --unchecked_lines_;
-  return cache_.invalidate(start_pc);
+  const std::size_t idx = find(start_pc);
+  if (idx == static_cast<std::size_t>(-1)) return false;
+  if ((meta_[idx] & kReferenced) == 0 && unchecked_lines_ > 0) --unchecked_lines_;
+  meta_[idx] &= static_cast<std::uint8_t>(~kValid);
+  ++stats_.invalidations;
+  return true;
 }
 
 bool ItrCache::corrupt_line(std::uint64_t start_pc, unsigned bit) {
-  const Line* existing = cache_.peek(start_pc);
-  if (existing == nullptr) return false;
-  Line updated = *existing;
-  updated.signature ^= 1ULL << (bit & 63u);
-  updated.parity_ok = false;  // a single flipped bit breaks odd parity
-  const auto flag = cache_.get_flag(start_pc);
-  cache_.insert(start_pc, updated, flag.value_or(false));
+  const std::size_t idx = find(start_pc);
+  if (idx == static_cast<std::size_t>(-1)) return false;
+  ++stats_.insertions;  // the strike model rewrites the line (LRU refresh)
+  sigs_[idx] ^= 1ULL << (bit & 63u);
+  meta_[idx] &= static_cast<std::uint8_t>(~kParityOk);  // single flipped bit
+                                                        // breaks odd parity
+  stamps_[idx] = next_stamp();
   return true;
 }
 
 ItrCache::LineStatus ItrCache::line_status(std::uint64_t start_pc) const {
-  const Line* line = cache_.peek(start_pc);
-  if (line == nullptr) return LineStatus::kAbsent;
-  return line->referenced ? LineStatus::kReferenced : LineStatus::kUnreferenced;
+  const std::size_t idx = find(start_pc);
+  if (idx == static_cast<std::size_t>(-1)) return LineStatus::kAbsent;
+  return (meta_[idx] & kReferenced) != 0 ? LineStatus::kReferenced
+                                         : LineStatus::kUnreferenced;
 }
 
 void ItrCache::finish() {
   if (finished_) return;
   finished_ = true;
   counters_.pending_instructions_at_end = 0;
-  cache_.for_each([this](std::uint64_t key, const Line& line, bool flag) {
-    (void)key;
-    (void)flag;
-    if (!line.referenced) {
-      counters_.pending_instructions_at_end += line.pending_instructions;
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if ((meta_[i] & (kValid | kReferenced)) == kValid) {
+      counters_.pending_instructions_at_end += pending_[i];
     }
-  });
+  }
+}
+
+std::size_t ItrCache::snapshot_bytes() const noexcept {
+  namespace snapio = util::snapio;
+  return snapio::lane_bytes(keys_) + snapio::lane_bytes(sigs_) +
+         snapio::lane_bytes(install_) + snapio::lane_bytes(pending_) +
+         snapio::lane_bytes(stamps_) + snapio::lane_bytes(meta_) +
+         snapio::lane_bytes(unref_evictions_per_set_) + sizeof(stamp_counter_) +
+         sizeof(stats_) + sizeof(counters_) + sizeof(unchecked_lines_) +
+         sizeof(std::uint8_t) /* finished_ */;
+}
+
+std::byte* ItrCache::save_snapshot(std::byte* out) const noexcept {
+  namespace snapio = util::snapio;
+  out = snapio::put_lane(out, keys_);
+  out = snapio::put_lane(out, sigs_);
+  out = snapio::put_lane(out, install_);
+  out = snapio::put_lane(out, pending_);
+  out = snapio::put_lane(out, stamps_);
+  out = snapio::put_lane(out, meta_);
+  out = snapio::put_lane(out, unref_evictions_per_set_);
+  out = snapio::put(out, stamp_counter_);
+  out = snapio::put(out, stats_);
+  out = snapio::put(out, counters_);
+  out = snapio::put(out, unchecked_lines_);
+  out = snapio::put(out, static_cast<std::uint8_t>(finished_ ? 1 : 0));
+  return out;
+}
+
+const std::byte* ItrCache::restore_snapshot(const std::byte* in) noexcept {
+  namespace snapio = util::snapio;
+  in = snapio::get_lane(in, keys_);
+  in = snapio::get_lane(in, sigs_);
+  in = snapio::get_lane(in, install_);
+  in = snapio::get_lane(in, pending_);
+  in = snapio::get_lane(in, stamps_);
+  in = snapio::get_lane(in, meta_);
+  in = snapio::get_lane(in, unref_evictions_per_set_);
+  in = snapio::get(in, stamp_counter_);
+  in = snapio::get(in, stats_);
+  in = snapio::get(in, counters_);
+  in = snapio::get(in, unchecked_lines_);
+  std::uint8_t finished = 0;
+  in = snapio::get(in, finished);
+  finished_ = finished != 0;
+  return in;
 }
 
 void publish_itr_cache_stats(const ItrCache& cache, obs::MetricClass cls) {

@@ -16,13 +16,21 @@
 //
 // Hence detection loss <= recovery loss, which the paper calls out as the key
 // novelty of the structure: misses are not immediately a loss of detection.
+//
+// Storage is flat structure-of-arrays lanes (keys / signatures / install
+// metadata / stamps / per-line flag bytes) rather than a generic cache of
+// padded line structs: the probe walks at most `ways` contiguous lane slots,
+// and a machine snapshot of the whole cache is a handful of lane memcpys.
+// Replacement is true LRU via 32-bit recency stamps; when the global stamp
+// counter would wrap, stamps are compacted per set (relative order within a
+// set is all LRU ever compares, so compaction is exact).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
-#include "cache/set_assoc_cache.hpp"
+#include "cache/set_assoc_cache.hpp"  // cache::Replacement, cache::CacheStats
 #include "obs/registry.hpp"
 #include "trace/trace_builder.hpp"
 
@@ -119,7 +127,7 @@ class ItrCache {
 
   const CoverageCounters& counters() const noexcept { return counters_; }
   const ItrCacheConfig& config() const noexcept { return config_; }
-  const cache::CacheStats& cache_stats() const noexcept { return cache_.stats(); }
+  const cache::CacheStats& cache_stats() const noexcept { return stats_; }
 
   /// Number of currently unchecked (installed but never referenced) lines;
   /// the coarse-grain checkpoint trigger of Section 2.3 watches this.
@@ -136,17 +144,56 @@ class ItrCache {
     return unref_evictions_per_set_;
   }
 
+  /// Snapshot protocol (see util/snapshot_io.hpp): footprint is constant for
+  /// a given configuration, so snapshot buffers are reusable.
+  std::size_t snapshot_bytes() const noexcept;
+  std::byte* save_snapshot(std::byte* out) const noexcept;
+  const std::byte* restore_snapshot(const std::byte* in) noexcept;
+
  private:
-  struct Line {
-    std::uint64_t signature = 0;
-    bool referenced = false;
-    bool parity_ok = true;
-    std::uint64_t pending_instructions = 0;  ///< of the installing instance
-    std::uint64_t install_index = 0;         ///< first_insn_index of installer
-  };
+  // meta_ lane bits.
+  static constexpr std::uint8_t kValid = 1u << 0;
+  static constexpr std::uint8_t kCheckedFlag = 1u << 1;  ///< replacement-ablation flag
+  static constexpr std::uint8_t kReferenced = 1u << 2;
+  static constexpr std::uint8_t kParityOk = 1u << 3;
+
+  std::size_t set_of(std::uint64_t key) const noexcept {
+    // Trace start PCs are 8-byte aligned; low bits carry no set entropy.
+    return static_cast<std::size_t>((key >> 3) & (num_sets_ - 1));
+  }
+
+  /// Line slot holding `key`, or npos.
+  std::size_t find(std::uint64_t key) const noexcept {
+    const std::size_t base = set_of(key) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if ((meta_[base + w] & kValid) != 0 && keys_[base + w] == key) {
+        return base + w;
+      }
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  std::uint32_t next_stamp() noexcept {
+    if (stamp_counter_ == ~std::uint32_t{0}) compact_stamps();
+    return ++stamp_counter_;
+  }
+  void compact_stamps() noexcept;
+  std::size_t pick_victim(std::size_t set) const noexcept;
 
   ItrCacheConfig config_;
-  cache::SetAssocCache<Line> cache_;
+  std::size_t ways_ = 1;
+  std::size_t num_sets_ = 1;
+
+  // Structure-of-arrays line storage, indexed set * ways_ + way.
+  std::vector<std::uint64_t> keys_;      ///< trace start PC
+  std::vector<std::uint64_t> sigs_;      ///< stored signature
+  std::vector<std::uint64_t> install_;   ///< first_insn_index of installer
+  std::vector<std::uint32_t> pending_;   ///< instructions of installing instance
+  std::vector<std::uint32_t> stamps_;    ///< LRU recency (compacted on wrap)
+  std::vector<std::uint8_t> meta_;       ///< kValid | kCheckedFlag | kReferenced | kParityOk
+
+  std::uint32_t stamp_counter_ = 0;
+  cache::CacheStats stats_;
   CoverageCounters counters_;
   std::vector<std::uint64_t> unref_evictions_per_set_;
   std::uint64_t unchecked_lines_ = 0;

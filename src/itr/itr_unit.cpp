@@ -1,6 +1,6 @@
 #include "itr/itr_unit.hpp"
 
-#include <utility>
+#include "util/snapshot_io.hpp"
 
 namespace itr::core {
 
@@ -13,20 +13,17 @@ void ItrUnit::drain_installs(std::uint64_t up_to_cycle) {
   }
 }
 
-std::optional<trace::TraceRecord> ItrUnit::on_decode(std::uint64_t pc,
-                                                     const isa::DecodeSignals& sig,
-                                                     std::uint64_t insn_index,
-                                                     std::uint64_t dispatch_cycle) {
-  builder_.on_instruction(pc, sig, insn_index);
+const trace::TraceRecord* ItrUnit::dispatch_completed(std::uint64_t dispatch_cycle) {
   const std::optional<trace::TraceRecord> completed = builder_.take_completed();
-  if (!completed.has_value()) return std::nullopt;
+  if (!completed.has_value()) return nullptr;
 
   // Hardware ordering: writes initiated at older traces' commits land before
   // this dispatch-time read if their commit cycle has passed.
   drain_installs(dispatch_cycle);
 
-  RobEntry entry;
-  entry.trace = *completed;
+  last_completed_ = *completed;
+  RobEntry& entry = rob_.push_slot();
+  entry.trace = last_completed_;
   entry.dispatch_cycle = dispatch_cycle;
   entry.probe = cache_.probe(entry.trace);
   switch (entry.probe.outcome) {
@@ -43,15 +40,14 @@ std::optional<trace::TraceRecord> ItrUnit::on_decode(std::uint64_t pc,
       break;
   }
   ++stats_.traces_dispatched;
-  rob_.push_back(entry);
-  return completed;
+  return &last_completed_;
 }
 
 PollResult ItrUnit::poll_at_commit(std::uint64_t commit_cycle) {
   PollResult out;
   if (rob_.empty()) return out;  // nothing dispatched: proceed
 
-  RobEntry entry = rob_.front();
+  const RobEntry entry = rob_.front();
   rob_.pop_front();
   out.trace = entry.trace;
   out.probe = entry.probe;
@@ -60,14 +56,18 @@ PollResult ItrUnit::poll_at_commit(std::uint64_t commit_cycle) {
     case RobState::kCheckedOk:
       out.action = CommitAction::kProceed;
       break;
-    case RobState::kMiss:
+    case RobState::kMiss: {
       out.action = CommitAction::kWriteCache;
-      installs_.push_back(DeferredInstall{entry.trace, commit_cycle});
+      DeferredInstall& slot = installs_.push_slot();
+      slot.trace = entry.trace;
+      slot.commit_cycle = commit_cycle;
       break;
+    }
     case RobState::kCheckedRetry:
       out.action = CommitAction::kRetry;
       ++stats_.retries;
       retrying_ = entry;
+      has_retrying_ = true;
       break;
     case RobState::kPending:
       // Cannot happen in this model: the probe completes at dispatch, which
@@ -79,9 +79,9 @@ PollResult ItrUnit::poll_at_commit(std::uint64_t commit_cycle) {
 }
 
 CommitAction ItrUnit::resolve_retry(const trace::TraceRecord& retried) {
-  if (!retrying_.has_value()) return CommitAction::kProceed;
-  const RobEntry entry = *retrying_;
-  retrying_.reset();
+  if (!has_retrying_) return CommitAction::kProceed;
+  const RobEntry entry = retrying_;
+  has_retrying_ = false;
 
   if (retried.signature == entry.probe.cached_signature) {
     // Signatures agree after re-execution: the previous (new-trace) instance
@@ -105,15 +105,50 @@ CommitAction ItrUnit::resolve_retry(const trace::TraceRecord& retried) {
 }
 
 void ItrUnit::confirm_retry_success() noexcept {
-  if (retrying_.has_value()) {
+  if (has_retrying_) {
     ++stats_.recoveries;
-    retrying_.reset();
+    has_retrying_ = false;
   }
 }
 
 void ItrUnit::finish() {
   drain_installs(~std::uint64_t{0});
   cache_.finish();
+}
+
+std::size_t ItrUnit::snapshot_bytes() const noexcept {
+  return cache_.snapshot_bytes() + trace::TraceBuilder::kSnapshotBytes +
+         rob_.snapshot_bytes() + installs_.snapshot_bytes() +
+         sizeof(RobEntry) + 1 /* has_retrying_ */ + sizeof(last_completed_) +
+         sizeof(stats_);
+}
+
+std::byte* ItrUnit::save_snapshot(std::byte* out) const noexcept {
+  namespace snapio = util::snapio;
+  out = cache_.save_snapshot(out);
+  out = builder_.save_snapshot(out);
+  out = rob_.save_snapshot(out);
+  out = installs_.save_snapshot(out);
+  out = snapio::put(out, retrying_);
+  out = snapio::put(out, static_cast<std::uint8_t>(has_retrying_ ? 1 : 0));
+  out = snapio::put(out, last_completed_);
+  out = snapio::put(out, stats_);
+  return out;
+}
+
+const std::byte* ItrUnit::restore_snapshot(const std::byte* in) noexcept {
+  namespace snapio = util::snapio;
+  in = cache_.restore_snapshot(in);
+  in = builder_.restore_snapshot(in);
+  in = rob_.restore_snapshot(in);
+  in = installs_.restore_snapshot(in);
+  in = snapio::get(in, retrying_);
+  std::uint8_t flag = 0;
+  in = snapio::get(in, flag);
+  has_retrying_ = flag != 0;
+  in = snapio::get(in, last_completed_);
+  in = snapio::get(in, stats_);
+  return in;
 }
 
 }  // namespace itr::core

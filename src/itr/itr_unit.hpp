@@ -8,15 +8,18 @@
 // `poll_at_commit` (commit side).  Cache *writes* for missed traces are
 // deferred until the trace's commit cycle so that probes from younger
 // in-flight traces observe the cache as the hardware would.
+//
+// The ITR ROB and the deferred-install queue are flat rings of POD entries
+// (no per-element allocation on the per-trace hot path), which also makes
+// the whole unit snapshottable as a bounded sequence of memcpys.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 
 #include "isa/decode.hpp"
 #include "itr/itr_cache.hpp"
 #include "trace/trace_builder.hpp"
+#include "util/flat_ring.hpp"
 
 namespace itr::core {
 
@@ -67,11 +70,31 @@ class ItrUnit {
 
   /// Decode-side: feeds one decoded instruction.  When this instruction
   /// completes a trace, the trace is dispatched into the ITR ROB and the
-  /// ITR cache is probed (at `dispatch_cycle`); returns the completed trace.
-  std::optional<trace::TraceRecord> on_decode(std::uint64_t pc,
-                                              const isa::DecodeSignals& sig,
-                                              std::uint64_t insn_index,
-                                              std::uint64_t dispatch_cycle);
+  /// ITR cache is probed (at `dispatch_cycle`); returns the completed trace,
+  /// or nullptr if the trace is still open.  The pointed-to record is valid
+  /// until the next on_decode call.
+  const trace::TraceRecord* on_decode(std::uint64_t pc,
+                                      const isa::DecodeSignals& sig,
+                                      std::uint64_t insn_index,
+                                      std::uint64_t dispatch_cycle) {
+    const bool terminating = sig.has_flag(isa::Flag::kIsBranch) ||
+                             sig.has_flag(isa::Flag::kIsUncond);
+    return on_decode_packed(pc, sig.pack(), terminating, insn_index,
+                            dispatch_cycle);
+  }
+
+  /// Hot-path variant of on_decode: the caller supplies the precomputed
+  /// packed signal image and the trace-terminating flag.  The common
+  /// mid-trace case is a single inlined XOR-and-count; only a completed
+  /// trace pays the out-of-line dispatch (ROB entry + cache probe).
+  const trace::TraceRecord* on_decode_packed(std::uint64_t pc,
+                                             std::uint64_t packed,
+                                             bool terminating,
+                                             std::uint64_t insn_index,
+                                             std::uint64_t dispatch_cycle) {
+    if (!builder_.fold(pc, packed, terminating, insn_index)) return nullptr;
+    return dispatch_completed(dispatch_cycle);
+  }
 
   /// Commit-side: polls the ITR ROB head when a trace-ending instruction is
   /// ready to commit (at `commit_cycle`).  Must be called once per trace
@@ -90,7 +113,7 @@ class ItrUnit {
 
   /// Drops retry state without judgement (monitoring-only runs, where the
   /// counterfactual pipeline never actually flushes).
-  void abandon_retry() noexcept { retrying_.reset(); }
+  void abandon_retry() noexcept { has_retrying_ = false; }
 
   /// Squashes the partially formed trace (pipeline flush).
   void squash_open_trace() noexcept { builder_.abandon(); }
@@ -107,7 +130,18 @@ class ItrUnit {
   const ItrUnitStats& stats() const noexcept { return stats_; }
   std::size_t rob_occupancy() const noexcept { return rob_.size(); }
 
+  /// Snapshot protocol (see util/snapshot_io.hpp).  The footprint varies
+  /// with ROB / install-queue occupancy; callers size their blob from
+  /// snapshot_bytes() at each save.
+  std::size_t snapshot_bytes() const noexcept;
+  std::byte* save_snapshot(std::byte* out) const noexcept;
+  const std::byte* restore_snapshot(const std::byte* in) noexcept;
+
  private:
+  /// Slow path of on_decode_packed: dispatches the trace the builder just
+  /// completed into the ITR ROB and probes the cache.
+  const trace::TraceRecord* dispatch_completed(std::uint64_t dispatch_cycle);
+
   struct RobEntry {
     trace::TraceRecord trace;
     ProbeResult probe;
@@ -122,9 +156,11 @@ class ItrUnit {
 
   ItrCache cache_;
   trace::TraceBuilder builder_;
-  std::deque<RobEntry> rob_;
-  std::deque<DeferredInstall> installs_;
-  std::optional<RobEntry> retrying_;  ///< head entry undergoing retry
+  util::FlatRing<RobEntry> rob_{16};
+  util::FlatRing<DeferredInstall> installs_{16};
+  RobEntry retrying_{};           ///< head entry undergoing retry
+  bool has_retrying_ = false;
+  trace::TraceRecord last_completed_{};  ///< backing store for on_decode's return
   ItrUnitStats stats_;
 };
 

@@ -1,72 +1,96 @@
 #include "sim/branch_pred.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "isa/opcode.hpp"
+#include "util/snapshot_io.hpp"
 
 namespace itr::sim {
 
 BranchPredictor::BranchPredictor(const BranchPredConfig& config)
     : config_(config),
-      counters_(std::size_t{1} << config.gshare_bits, 1),  // weakly not-taken
-      btb_(cache::CacheConfig{config.btb_entries, config.btb_assoc, 3,
-                              cache::Replacement::kLru}) {
+      // Four counters per byte, each initialized to 1 (weakly not-taken):
+      // 0b01'01'01'01.
+      counters_(((std::size_t{1} << config.gshare_bits) + 3) / 4, 0x55) {
+  const std::size_t entries = config_.btb_entries;
+  if (entries == 0 || (entries & (entries - 1)) != 0) {
+    throw std::invalid_argument("btb: entries must be a nonzero power of two");
+  }
+  btb_ways_ = config_.btb_assoc == 0 ? entries : config_.btb_assoc;
+  if (btb_ways_ > entries || entries % btb_ways_ != 0) {
+    throw std::invalid_argument("btb: associativity incompatible with entries");
+  }
+  btb_sets_ = entries / btb_ways_;
+  btb_keys_.assign(entries, kNoKey);
+  btb_targets_.assign(entries, 0);
+  btb_stamps_.assign(entries, 0);
+  btb_meta_.assign(entries, 0);
   ras_.reserve(config_.ras_depth);
 }
 
-std::size_t BranchPredictor::gshare_index(std::uint64_t pc) const noexcept {
-  const std::uint64_t mask = (std::uint64_t{1} << config_.gshare_bits) - 1;
-  return static_cast<std::size_t>(((pc >> 3) ^ history_) & mask);
-}
-
-Prediction BranchPredictor::predict(std::uint64_t pc) {
-  ++lookups_;
-  Prediction p;
-  p.next_pc = pc + isa::kInstrBytes;
-
-  const BtbEntry* entry = btb_.lookup(pc);
-  if (entry == nullptr) return p;
-  p.btb_hit = true;
-
-  if (entry->is_return) {
-    p.is_return = true;
-    p.predicted_taken = true;
-    if (!ras_.empty()) {
-      p.next_pc = ras_.back();
-      ras_.pop_back();
-    } else {
-      p.next_pc = entry->target;
+void BranchPredictor::compact_stamps() noexcept {
+  // Stamps are only compared within a set; renumbering each set's valid ways
+  // 1..n in stamp order preserves every LRU decision.  Runs once per 2^32
+  // stamps.
+  std::vector<std::size_t> order(btb_ways_);
+  for (std::size_t set = 0; set < btb_sets_; ++set) {
+    const std::size_t base = set * btb_ways_;
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < btb_ways_; ++w) {
+      if ((btb_meta_[base + w] & kValid) != 0) order[n++] = base + w;
     }
-    return p;
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+              [this](std::size_t a, std::size_t b) {
+                return btb_stamps_[a] < btb_stamps_[b];
+              });
+    for (std::size_t i = 0; i < n; ++i) {
+      btb_stamps_[order[i]] = static_cast<std::uint32_t>(i + 1);
+    }
   }
-
-  bool taken = true;
-  if (entry->is_conditional) {
-    taken = counters_[gshare_index(pc)] >= 2;
-  }
-  p.predicted_taken = taken;
-  if (taken) p.next_pc = entry->target;
-  if (entry->is_call && ras_.size() < config_.ras_depth) {
-    ras_.push_back(pc + isa::kInstrBytes);
-  }
-  return p;
-}
-
-void BranchPredictor::update(std::uint64_t pc, const BranchOutcome& outcome) {
-  if (outcome.is_conditional) {
-    std::uint8_t& ctr = counters_[gshare_index(pc)];
-    if (outcome.taken && ctr < 3) ++ctr;
-    if (!outcome.taken && ctr > 0) --ctr;
-    history_ = (history_ << 1) | (outcome.taken ? 1u : 0u);
-  }
-  if (outcome.taken || outcome.is_conditional) {
-    BtbEntry entry;
-    entry.target = outcome.target;
-    entry.is_conditional = outcome.is_conditional;
-    entry.is_call = outcome.is_call;
-    entry.is_return = outcome.is_return;
-    btb_.insert(pc, entry);
-  }
+  stamp_counter_ = static_cast<std::uint32_t>(btb_ways_);
 }
 
 void BranchPredictor::flush_speculative_state() { ras_.clear(); }
+
+std::size_t BranchPredictor::snapshot_bytes() const noexcept {
+  namespace snapio = util::snapio;
+  return snapio::lane_bytes(counters_) + sizeof(history_) +
+         snapio::lane_bytes(btb_keys_) + snapio::lane_bytes(btb_targets_) +
+         snapio::lane_bytes(btb_stamps_) + snapio::lane_bytes(btb_meta_) +
+         sizeof(stamp_counter_) + sizeof(std::uint64_t) +
+         config_.ras_depth * sizeof(std::uint64_t) + sizeof(lookups_) +
+         sizeof(mispredicts_);
+}
+
+std::byte* BranchPredictor::save_snapshot(std::byte* out) const noexcept {
+  namespace snapio = util::snapio;
+  out = snapio::put_lane(out, counters_);
+  out = snapio::put(out, history_);
+  out = snapio::put_lane(out, btb_keys_);
+  out = snapio::put_lane(out, btb_targets_);
+  out = snapio::put_lane(out, btb_stamps_);
+  out = snapio::put_lane(out, btb_meta_);
+  out = snapio::put(out, stamp_counter_);
+  out = snapio::put_vec(out, ras_);
+  out = snapio::put(out, lookups_);
+  out = snapio::put(out, mispredicts_);
+  return out;
+}
+
+const std::byte* BranchPredictor::restore_snapshot(const std::byte* in) noexcept {
+  namespace snapio = util::snapio;
+  in = snapio::get_lane(in, counters_);
+  in = snapio::get(in, history_);
+  in = snapio::get_lane(in, btb_keys_);
+  in = snapio::get_lane(in, btb_targets_);
+  in = snapio::get_lane(in, btb_stamps_);
+  in = snapio::get_lane(in, btb_meta_);
+  in = snapio::get(in, stamp_counter_);
+  in = snapio::get_vec(in, ras_);
+  in = snapio::get(in, lookups_);
+  in = snapio::get(in, mispredicts_);
+  return in;
+}
 
 }  // namespace itr::sim

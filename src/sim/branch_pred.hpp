@@ -7,19 +7,27 @@
 // paper's is_branch fault scenario: when a fault convinces decode that a
 // BTB-predicted-taken instruction is not a branch, nothing repairs the
 // prediction and the wrong path retires.
+//
+// Storage is flat and packed for snapshot compactness: the gshare table
+// packs four 2-bit counters per byte (a 14-bit gshare is 4 KiB, not 16),
+// and the BTB is structure-of-arrays lanes — u64 tags, u32 targets (branch
+// targets are always masked to the 32-bit address space; PCs themselves can
+// transiently exceed it, so tags stay u64), u8 kind bits, u32 LRU stamps
+// compacted per set on counter wrap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "cache/set_assoc_cache.hpp"
+#include "isa/opcode.hpp"
 
 namespace itr::sim {
 
 struct BranchPredConfig {
   unsigned gshare_bits = 14;       ///< log2 of the 2-bit counter table
   std::size_t btb_entries = 512;
-  std::size_t btb_assoc = 4;
+  std::size_t btb_assoc = 4;       ///< 0 = fully associative
   unsigned ras_depth = 16;
 };
 
@@ -44,11 +52,78 @@ class BranchPredictor {
  public:
   explicit BranchPredictor(const BranchPredConfig& config = {});
 
-  /// Predicts the successor of the instruction at `pc`.
-  Prediction predict(std::uint64_t pc);
+  /// Predicts the successor of the instruction at `pc`.  Defined inline:
+  /// this runs once per dynamic instruction, and the common case (BTB miss
+  /// on a non-branch) is just the set's key compares.
+  Prediction predict(std::uint64_t pc) {
+    ++lookups_;
+    Prediction p;
+    p.next_pc = pc + isa::kInstrBytes;
+
+    const std::size_t idx = btb_find(pc);
+    if (idx == static_cast<std::size_t>(-1)) return p;
+    btb_stamps_[idx] = next_stamp();
+    p.btb_hit = true;
+    const std::uint8_t meta = btb_meta_[idx];
+
+    if ((meta & kReturn) != 0) {
+      p.is_return = true;
+      p.predicted_taken = true;
+      if (!ras_.empty()) {
+        p.next_pc = ras_.back();
+        ras_.pop_back();
+      } else {
+        p.next_pc = btb_targets_[idx];
+      }
+      return p;
+    }
+
+    bool taken = true;
+    if ((meta & kConditional) != 0) {
+      taken = counter(gshare_index(pc)) >= 2;
+    }
+    p.predicted_taken = taken;
+    if (taken) p.next_pc = btb_targets_[idx];
+    if ((meta & kCall) != 0 && ras_.size() < config_.ras_depth) {
+      ras_.push_back(pc + isa::kInstrBytes);
+    }
+    return p;
+  }
 
   /// Trains on a resolved control instruction at `pc`.
-  void update(std::uint64_t pc, const BranchOutcome& outcome);
+  void update(std::uint64_t pc, const BranchOutcome& outcome) {
+    if (outcome.is_conditional) {
+      const std::size_t i = gshare_index(pc);
+      const unsigned ctr = counter(i);
+      if (outcome.taken && ctr < 3) set_counter(i, ctr + 1);
+      if (!outcome.taken && ctr > 0) set_counter(i, ctr - 1);
+      history_ = (history_ << 1) | (outcome.taken ? 1u : 0u);
+    }
+    if (outcome.taken || outcome.is_conditional) {
+      const std::uint8_t meta = static_cast<std::uint8_t>(
+          kValid | (outcome.is_conditional ? kConditional : 0) |
+          (outcome.is_call ? kCall : 0) | (outcome.is_return ? kReturn : 0));
+      std::size_t idx = btb_find(pc);
+      if (idx == static_cast<std::size_t>(-1)) {
+        // Victim: first invalid way, else LRU (pure LRU BTB).
+        const std::size_t base = btb_set(pc) * btb_ways_;
+        idx = base;
+        for (std::size_t w = 0; w < btb_ways_; ++w) {
+          if ((btb_meta_[base + w] & kValid) == 0) {
+            idx = base + w;
+            break;
+          }
+          if (btb_stamps_[base + w] < btb_stamps_[idx]) idx = base + w;
+        }
+        btb_keys_[idx] = pc;
+      }
+      // Branch targets are always masked to the 32-bit space by the branch
+      // unit, so the u32 lane loses nothing.
+      btb_targets_[idx] = static_cast<std::uint32_t>(outcome.target);
+      btb_meta_[idx] = meta;
+      btb_stamps_[idx] = next_stamp();
+    }
+  }
 
   /// Clears speculative state (RAS) on a pipeline flush; tables persist.
   void flush_speculative_state();
@@ -57,20 +132,71 @@ class BranchPredictor {
   std::uint64_t mispredictions() const noexcept { return mispredicts_; }
   void count_mispredict() noexcept { ++mispredicts_; }
 
- private:
-  struct BtbEntry {
-    std::uint64_t target = 0;
-    bool is_conditional = false;
-    bool is_call = false;
-    bool is_return = false;
-  };
+  /// Snapshot protocol (see util/snapshot_io.hpp).  snapshot_bytes() is a
+  /// constant upper bound for a given configuration (the RAS portion varies
+  /// with occupancy but is bounded by ras_depth), so buffers are reusable.
+  std::size_t snapshot_bytes() const noexcept;
+  std::byte* save_snapshot(std::byte* out) const noexcept;
+  const std::byte* restore_snapshot(const std::byte* in) noexcept;
 
-  std::size_t gshare_index(std::uint64_t pc) const noexcept;
+ private:
+  // btb_meta_ lane bits.
+  static constexpr std::uint8_t kValid = 1u << 0;
+  static constexpr std::uint8_t kConditional = 1u << 1;
+  static constexpr std::uint8_t kCall = 1u << 2;
+  static constexpr std::uint8_t kReturn = 1u << 3;
+
+  std::size_t gshare_index(std::uint64_t pc) const noexcept {
+    const std::uint64_t mask = (std::uint64_t{1} << config_.gshare_bits) - 1;
+    return static_cast<std::size_t>(((pc >> 3) ^ history_) & mask);
+  }
+  /// Counter `i` of the packed table (2 bits, values 0..3).
+  unsigned counter(std::size_t i) const noexcept {
+    return (static_cast<unsigned>(counters_[i >> 2]) >> ((i & 3) * 2)) & 3u;
+  }
+  void set_counter(std::size_t i, unsigned value) noexcept {
+    const unsigned shift = (i & 3) * 2;
+    counters_[i >> 2] = static_cast<std::uint8_t>(
+        (counters_[i >> 2] & ~(3u << shift)) | (value << shift));
+  }
+
+  /// Key-lane value of a never-filled BTB way.  Unreachable as a real PC:
+  /// every PC derives from a 32-bit-masked branch target plus a bounded run
+  /// of kInstrBytes increments, so the all-ones 64-bit value cannot occur.
+  /// Entries are never invalidated, so key != kNoKey iff the way is valid —
+  /// which lets the per-instruction probe scan only the contiguous key lane.
+  static constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+  std::size_t btb_set(std::uint64_t pc) const noexcept {
+    return static_cast<std::size_t>((pc >> 3) & (btb_sets_ - 1));
+  }
+  /// BTB slot holding `pc`, or npos.
+  std::size_t btb_find(std::uint64_t pc) const noexcept {
+    const std::size_t base = btb_set(pc) * btb_ways_;
+    const std::uint64_t* keys = btb_keys_.data() + base;
+    for (std::size_t w = 0; w < btb_ways_; ++w) {
+      if (keys[w] == pc) return base + w;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+  std::uint32_t next_stamp() noexcept {
+    if (stamp_counter_ == ~std::uint32_t{0}) compact_stamps();
+    return ++stamp_counter_;
+  }
+  void compact_stamps() noexcept;
 
   BranchPredConfig config_;
-  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating counters
+  std::vector<std::uint8_t> counters_;  ///< packed 2-bit saturating counters
   std::uint64_t history_ = 0;
-  cache::SetAssocCache<BtbEntry> btb_;
+
+  std::size_t btb_ways_ = 1;
+  std::size_t btb_sets_ = 1;
+  std::vector<std::uint64_t> btb_keys_;
+  std::vector<std::uint32_t> btb_targets_;
+  std::vector<std::uint32_t> btb_stamps_;
+  std::vector<std::uint8_t> btb_meta_;
+  std::uint32_t stamp_counter_ = 0;
+
   std::vector<std::uint64_t> ras_;
   std::uint64_t lookups_ = 0;
   std::uint64_t mispredicts_ = 0;

@@ -63,6 +63,39 @@ class FunctionalSim {
   Memory& memory() noexcept { return memory_; }
   const isa::Program& program() const noexcept { return *prog_; }
 
+  /// Machine-state snapshot for the campaign fast path: restoring into a
+  /// same-configured sim replaces a copy-construction (memory is COW, the
+  /// rest is a handful of scalars), with no allocation at steady state.
+  struct Snapshot {
+    Memory memory;
+    ArchState state;
+    std::string output;
+    std::uint64_t insn_count = 0;
+    std::int32_t exit_status = 0;
+    bool done = false;
+    bool aborted = false;
+  };
+
+  void save(Snapshot& snap) const {
+    snap.memory = memory_;
+    snap.state = state_;
+    snap.output = output_;
+    snap.insn_count = insn_count_;
+    snap.exit_status = exit_status_;
+    snap.done = done_;
+    snap.aborted = aborted_;
+  }
+
+  void restore(const Snapshot& snap) {
+    memory_ = snap.memory;
+    state_ = snap.state;
+    output_ = snap.output;
+    insn_count_ = snap.insn_count;
+    exit_status_ = snap.exit_status;
+    done_ = snap.done;
+    aborted_ = snap.aborted;
+  }
+
  private:
   const isa::Program* prog_;
   std::shared_ptr<const isa::PredecodedProgram> predecode_;  ///< null = raw decode

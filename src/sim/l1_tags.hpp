@@ -1,0 +1,108 @@
+// Flat L1 tag-array timing model (tags only; data comes from the functional
+// memory).  Replaces the generic payload-carrying set-associative cache on
+// the per-instruction hot path: an access is one probe over at most `ways`
+// contiguous lane slots, and the whole array snapshots as three memcpys.
+//
+// LRU is exact: 32-bit recency stamps from a monotonic counter, compared
+// only within a set; on counter wrap each set's stamps are renumbered in
+// order (relative order is all LRU ever uses, so compaction preserves every
+// future victim choice).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/snapshot_io.hpp"
+
+namespace itr::sim {
+
+class L1Tags {
+ public:
+  /// `entries` must be a power of two; `assoc` 0 means fully associative.
+  L1Tags(std::size_t entries, std::size_t assoc) {
+    ways_ = assoc == 0 ? entries : assoc;
+    num_sets_ = entries / ways_;
+    keys_.assign(entries, 0);
+    stamps_.assign(entries, 0);
+    valid_.assign(entries, 0);
+  }
+
+  /// One tag access for `line`: true = hit (LRU refreshed), false = miss
+  /// (the line is installed, evicting the set's LRU victim if full).
+  bool access(std::uint64_t line) {
+    const std::size_t base =
+        static_cast<std::size_t>(line & (num_sets_ - 1)) * ways_;
+    std::size_t victim = base;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      const std::size_t i = base + w;
+      if (valid_[i] != 0 && keys_[i] == line) {
+        stamps_[i] = next_stamp();
+        return true;
+      }
+      // Track the victim during the probe: first invalid way wins, else LRU.
+      if (valid_[victim] != 0 &&
+          (valid_[i] == 0 || stamps_[i] < stamps_[victim])) {
+        victim = i;
+      }
+    }
+    keys_[victim] = line;
+    valid_[victim] = 1;
+    stamps_[victim] = next_stamp();
+    return false;
+  }
+
+  std::size_t snapshot_bytes() const noexcept {
+    namespace snapio = util::snapio;
+    return snapio::lane_bytes(keys_) + snapio::lane_bytes(stamps_) +
+           snapio::lane_bytes(valid_) + sizeof(stamp_counter_);
+  }
+  std::byte* save_snapshot(std::byte* out) const noexcept {
+    namespace snapio = util::snapio;
+    out = snapio::put_lane(out, keys_);
+    out = snapio::put_lane(out, stamps_);
+    out = snapio::put_lane(out, valid_);
+    return snapio::put(out, stamp_counter_);
+  }
+  const std::byte* restore_snapshot(const std::byte* in) noexcept {
+    namespace snapio = util::snapio;
+    in = snapio::get_lane(in, keys_);
+    in = snapio::get_lane(in, stamps_);
+    in = snapio::get_lane(in, valid_);
+    return snapio::get(in, stamp_counter_);
+  }
+
+ private:
+  std::uint32_t next_stamp() noexcept {
+    if (stamp_counter_ == ~std::uint32_t{0}) compact_stamps();
+    return ++stamp_counter_;
+  }
+  void compact_stamps() noexcept {
+    std::vector<std::size_t> order(ways_);
+    for (std::size_t set = 0; set < num_sets_; ++set) {
+      const std::size_t base = set * ways_;
+      std::size_t n = 0;
+      for (std::size_t w = 0; w < ways_; ++w) {
+        if (valid_[base + w] != 0) order[n++] = base + w;
+      }
+      std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+                [this](std::size_t a, std::size_t b) {
+                  return stamps_[a] < stamps_[b];
+                });
+      for (std::size_t i = 0; i < n; ++i) {
+        stamps_[order[i]] = static_cast<std::uint32_t>(i + 1);
+      }
+    }
+    stamp_counter_ = static_cast<std::uint32_t>(ways_);
+  }
+
+  std::size_t ways_ = 1;
+  std::size_t num_sets_ = 1;
+  std::vector<std::uint64_t> keys_;    ///< line address
+  std::vector<std::uint32_t> stamps_;  ///< LRU recency (compacted on wrap)
+  std::vector<std::uint8_t> valid_;
+  std::uint32_t stamp_counter_ = 0;
+};
+
+}  // namespace itr::sim

@@ -4,29 +4,76 @@
 
 namespace itr::sim {
 
+static_assert(std::endian::native == std::endian::little,
+              "multi-byte fast paths assemble little-endian values via memcpy");
+
 Memory::Memory(const Memory& other)
     : cow_(other.cow_), track_dirty_(other.track_dirty_) {
   // The copy inherits the tracking flag but starts with an empty dirty set:
   // its set means "written since this clone was taken".
-  if (cow_) {
-    // COW snapshot: share every page; writes on either side privatize.
-    pages_ = other.pages_;
-    return;
+  slots_ = other.slots_;
+  page_count_ = other.page_count_;
+  if (!cow_) {
+    // Eager deep copy: replace every shared reference with a private page.
+    for (Slot& slot : slots_) {
+      if (slot.page_plus_one != 0) slot.ref = std::make_shared<Page>(*slot.ref);
+    }
   }
-  pages_.reserve(other.pages_.size());
-  for (const auto& [index, page] : other.pages_) {
-    pages_.emplace(index, std::make_shared<Page>(*page));
-  }
+  // The source is deliberately untouched: snapshots are copied from by many
+  // threads at once, so cross-object cache invalidation would be a data
+  // race.  The source's write cache instead re-proves exclusive ownership
+  // (use_count == 1) on every hit, so the sharing created here is seen.
 }
 
 Memory& Memory::operator=(const Memory& other) {
   if (this == &other) return *this;
-  Memory copy(other);
-  pages_ = std::move(copy.pages_);
-  cow_ = copy.cow_;
-  track_dirty_ = copy.track_dirty_;
-  dirty_ = std::move(copy.dirty_);
-  last_dirty_page_ = copy.last_dirty_page_;
+  // Element-wise vector assignment reuses this object's slot buffer when
+  // capacities match — the steady-state snapshot-restore path allocates
+  // nothing.
+  slots_ = other.slots_;
+  page_count_ = other.page_count_;
+  if (!other.cow_) {
+    for (Slot& slot : slots_) {
+      if (slot.page_plus_one != 0) slot.ref = std::make_shared<Page>(*slot.ref);
+    }
+  }
+  cow_ = other.cow_;
+  track_dirty_ = other.track_dirty_;
+  dirty_.clear();
+  last_dirty_page_ = kNoPage;
+  invalidate_cache();
+  return *this;
+}
+
+Memory::Memory(Memory&& other) noexcept
+    : slots_(std::move(other.slots_)),
+      page_count_(other.page_count_),
+      cow_(other.cow_),
+      track_dirty_(other.track_dirty_),
+      dirty_(std::move(other.dirty_)),
+      last_dirty_page_(other.last_dirty_page_),
+      cached_index_(other.cached_index_),
+      cached_page_(other.cached_page_),
+      cached_slot_(other.cached_slot_),
+      cached_writable_(other.cached_writable_) {
+  other.page_count_ = 0;
+  other.invalidate_cache();
+}
+
+Memory& Memory::operator=(Memory&& other) noexcept {
+  if (this == &other) return *this;
+  slots_ = std::move(other.slots_);
+  page_count_ = other.page_count_;
+  cow_ = other.cow_;
+  track_dirty_ = other.track_dirty_;
+  dirty_ = std::move(other.dirty_);
+  last_dirty_page_ = other.last_dirty_page_;
+  cached_index_ = other.cached_index_;
+  cached_page_ = other.cached_page_;
+  cached_slot_ = other.cached_slot_;
+  cached_writable_ = other.cached_writable_;
+  other.page_count_ = 0;
+  other.invalidate_cache();
   return *this;
 }
 
@@ -36,82 +83,161 @@ void Memory::set_dirty_tracking(bool enabled) {
 }
 
 const Memory::Page* Memory::page_data(std::uint64_t page_index) const noexcept {
-  const auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : it->second.get();
+  return find_page_by_index(page_index);
 }
 
 std::vector<std::uint64_t> Memory::page_indexes() const {
   std::vector<std::uint64_t> out;
-  out.reserve(pages_.size());
-  for (const auto& [index, page] : pages_) out.push_back(index);
+  out.reserve(page_count_);
+  for (const Slot& slot : slots_) {
+    if (slot.page_plus_one != 0) out.push_back(slot.page_plus_one - 1);
+  }
   return out;
 }
 
-const Memory::Page* Memory::find_page(std::uint64_t addr) const noexcept {
-  const auto it = pages_.find((addr & kAddressMask) / kPageBytes);
-  return it == pages_.end() ? nullptr : it->second.get();
+void Memory::grow_table() {
+  const std::size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  for (Slot& slot : old) {
+    if (slot.page_plus_one == 0) continue;
+    Slot* dest = probe(slot.page_plus_one - 1);
+    *dest = std::move(slot);
+  }
 }
 
-Memory::Page& Memory::touch_page(std::uint64_t addr) {
-  const std::uint64_t index = (addr & kAddressMask) / kPageBytes;
+Memory::Page& Memory::touch_page_by_index(std::uint64_t index) {
   if (track_dirty_ && index != last_dirty_page_) {
     dirty_.insert(index);
     last_dirty_page_ = index;
   }
-  PageRef& slot = pages_[index];
-  if (!slot) {
-    slot = std::make_shared<Page>();
-    slot->fill(0);
-  } else if (slot.use_count() > 1) {
+  // Keep load factor under 7/8 (no deletion, so probes stay short).
+  if (slots_.empty() || (page_count_ + 1) * 8 > slots_.size() * 7) grow_table();
+  Slot* slot = probe(index);
+  if (slot->page_plus_one == 0) {
+    slot->page_plus_one = index + 1;
+    slot->ref = std::make_shared<Page>();
+    slot->ref->fill(0);
+    ++page_count_;
+  } else if (slot->ref.use_count() > 1) {
     // Write fault on a shared page: privatize before mutating.  Seeing a
     // stale count > 1 only costs a redundant copy; 1 is only reported once
     // every other owner has released its reference, so sole ownership is
     // never misjudged.
-    slot = std::make_shared<Page>(*slot);
+    slot->ref = std::make_shared<Page>(*slot->ref);
   }
-  return *slot;
+  cached_index_ = index;
+  cached_page_ = slot->ref.get();
+  cached_slot_ = slot;
+  cached_writable_ = true;
+  return *cached_page_;
 }
 
 long Memory::page_owners(std::uint64_t addr) const noexcept {
-  const auto it = pages_.find((addr & kAddressMask) / kPageBytes);
-  return it == pages_.end() ? 0 : it->second.use_count();
+  if (slots_.empty()) return 0;
+  const Slot* slot = probe((addr & kAddressMask) / kPageBytes);
+  return slot->page_plus_one == 0 ? 0 : slot->ref.use_count();
 }
 
 std::uint8_t Memory::read8(std::uint64_t addr) const noexcept {
-  const Page* page = find_page(addr);
+  const std::uint64_t a = addr & kAddressMask;
+  const Page* page = read_page(a / kPageBytes);
   if (page == nullptr) return 0;
-  return (*page)[(addr & kAddressMask) % kPageBytes];
+  return (*page)[a % kPageBytes];
 }
 
 void Memory::write8(std::uint64_t addr, std::uint8_t value) {
-  touch_page(addr)[(addr & kAddressMask) % kPageBytes] = value;
+  const std::uint64_t a = addr & kAddressMask;
+  const std::uint64_t index = a / kPageBytes;
+  Page* page = writable_page(index);
+  if (page == nullptr) page = &touch_page_by_index(index);
+  (*page)[a % kPageBytes] = value;
 }
 
+namespace {
+
+/// True when an access of `bytes` starting at masked address `a` stays
+/// inside one page AND does not wrap the 32-bit address space (per-byte
+/// semantics re-mask every byte address, so a wrapping access reads page 0).
+inline bool contiguous(std::uint64_t a, unsigned bytes) noexcept {
+  return a % Memory::kPageBytes <= Memory::kPageBytes - bytes;
+}
+
+}  // namespace
+
 std::uint16_t Memory::read16(std::uint64_t addr) const noexcept {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 2) && a + 2 <= kAddressMask + 1) {
+    const Page* page = read_page(a / kPageBytes);
+    if (page == nullptr) return 0;
+    std::uint16_t v;
+    std::memcpy(&v, page->data() + a % kPageBytes, 2);
+    return v;
+  }
   return static_cast<std::uint16_t>(read8(addr) | (read8(addr + 1) << 8));
 }
 
 std::uint32_t Memory::read32(std::uint64_t addr) const noexcept {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 4) && a + 4 <= kAddressMask + 1) {
+    const Page* page = read_page(a / kPageBytes);
+    if (page == nullptr) return 0;
+    std::uint32_t v;
+    std::memcpy(&v, page->data() + a % kPageBytes, 4);
+    return v;
+  }
   return static_cast<std::uint32_t>(read16(addr)) |
          (static_cast<std::uint32_t>(read16(addr + 2)) << 16);
 }
 
 std::uint64_t Memory::read64(std::uint64_t addr) const noexcept {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 8) && a + 8 <= kAddressMask + 1) {
+    const Page* page = read_page(a / kPageBytes);
+    if (page == nullptr) return 0;
+    std::uint64_t v;
+    std::memcpy(&v, page->data() + a % kPageBytes, 8);
+    return v;
+  }
   return static_cast<std::uint64_t>(read32(addr)) |
          (static_cast<std::uint64_t>(read32(addr + 4)) << 32);
 }
 
 void Memory::write16(std::uint64_t addr, std::uint16_t value) {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 2) && a + 2 <= kAddressMask + 1) {
+    const std::uint64_t index = a / kPageBytes;
+    Page* page = writable_page(index);
+    if (page == nullptr) page = &touch_page_by_index(index);
+    std::memcpy(page->data() + a % kPageBytes, &value, 2);
+    return;
+  }
   write8(addr, static_cast<std::uint8_t>(value));
   write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
 }
 
 void Memory::write32(std::uint64_t addr, std::uint32_t value) {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 4) && a + 4 <= kAddressMask + 1) {
+    const std::uint64_t index = a / kPageBytes;
+    Page* page = writable_page(index);
+    if (page == nullptr) page = &touch_page_by_index(index);
+    std::memcpy(page->data() + a % kPageBytes, &value, 4);
+    return;
+  }
   write16(addr, static_cast<std::uint16_t>(value));
   write16(addr + 2, static_cast<std::uint16_t>(value >> 16));
 }
 
 void Memory::write64(std::uint64_t addr, std::uint64_t value) {
+  const std::uint64_t a = addr & kAddressMask;
+  if (contiguous(a, 8) && a + 8 <= kAddressMask + 1) {
+    const std::uint64_t index = a / kPageBytes;
+    Page* page = writable_page(index);
+    if (page == nullptr) page = &touch_page_by_index(index);
+    std::memcpy(page->data() + a % kPageBytes, &value, 8);
+    return;
+  }
   write32(addr, static_cast<std::uint32_t>(value));
   write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
 }

@@ -13,12 +13,23 @@
 // so concurrent clones in campaign worker threads never race: readers see
 // the shared page, the first writer replaces its own map slot with a
 // private copy (the refcount itself is atomic).
+//
+// The page table is a flat open-addressed hash (linear probing, power-of-two
+// capacity, no deletion) rather than std::unordered_map: one probe per
+// access instead of a bucket-node chase, and a table copy is a single vector
+// copy.  On top of it sits a one-entry access cache so the common
+// same-page-as-last-time access skips the hash entirely; multi-byte
+// accesses that stay inside one page are a single lookup + memcpy instead
+// of per-byte recursion.  The cache holds raw pointers only (never a page
+// reference), so it cannot perturb the COW refcounts; it is invalidated at
+// every point where page ownership can change under it (copies, assignment,
+// moves, dirty-set resets).
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -36,8 +47,8 @@ class Memory {
   /// baseline for the deep-copy-vs-COW benchmarks).
   Memory(const Memory& other);
   Memory& operator=(const Memory& other);
-  Memory(Memory&&) noexcept = default;
-  Memory& operator=(Memory&&) noexcept = default;
+  Memory(Memory&& other) noexcept;
+  Memory& operator=(Memory&& other) noexcept;
 
   std::uint8_t read8(std::uint64_t addr) const noexcept;
   std::uint16_t read16(std::uint64_t addr) const noexcept;
@@ -57,7 +68,7 @@ class Memory {
   /// Bulk initialization used by the program loader.
   void write_block(std::uint64_t addr, const std::uint8_t* data, std::size_t size);
 
-  std::size_t num_pages() const noexcept { return pages_.size(); }
+  std::size_t num_pages() const noexcept { return page_count_; }
 
   /// Selects the clone policy for copies made *from this object*:
   /// true (default) = copy-on-write sharing, false = eager deep copy.
@@ -84,6 +95,9 @@ class Memory {
   void clear_dirty() noexcept {
     dirty_.clear();
     last_dirty_page_ = kNoPage;
+    // The write fast path bypasses dirty recording; force the next write
+    // through the slow path so it lands in the fresh set.
+    cached_writable_ = false;
   }
 
   /// Raw page bytes by page index (not address); nullptr = never materialized
@@ -99,16 +113,85 @@ class Memory {
   using PageRef = std::shared_ptr<Page>;
   static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
-  const Page* find_page(std::uint64_t addr) const noexcept;
-  Page& touch_page(std::uint64_t addr);
+  /// One open-addressing slot; page_plus_one == 0 marks an empty slot
+  /// (page index 0 is valid, so the stored key is offset by one).
+  struct Slot {
+    std::uint64_t page_plus_one = 0;
+    PageRef ref;
+  };
 
-  std::unordered_map<std::uint64_t, PageRef> pages_;
+  static std::size_t hash_page(std::uint64_t index) noexcept {
+    return static_cast<std::size_t>((index * 0x9E37'79B9'7F4A'7C15ULL) >> 32);
+  }
+
+  /// Slot holding `index`, or the empty slot where it would be inserted.
+  /// Table must be non-empty.
+  Slot* probe(std::uint64_t index) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_page(index) & mask;
+    Slot* slots = const_cast<Slot*>(slots_.data());
+    while (slots[i].page_plus_one != 0 &&
+           slots[i].page_plus_one != index + 1) {
+      i = (i + 1) & mask;
+    }
+    return &slots[i];
+  }
+
+  const Page* find_page_by_index(std::uint64_t index) const noexcept {
+    if (slots_.empty()) return nullptr;
+    const Slot* slot = probe(index);
+    return slot->page_plus_one == 0 ? nullptr : slot->ref.get();
+  }
+
+  /// Read-side cache fill: resolves `index` and remembers it (read-only).
+  const Page* read_page(std::uint64_t index) const noexcept {
+    if (index == cached_index_) return cached_page_;
+    const Page* page = find_page_by_index(index);
+    cached_index_ = index;
+    cached_page_ = const_cast<Page*>(page);
+    cached_writable_ = false;
+    return page;
+  }
+
+  void grow_table();
+  Page& touch_page_by_index(std::uint64_t index);
+  Page& touch_page(std::uint64_t addr) {
+    return touch_page_by_index((addr & kAddressMask) / kPageBytes);
+  }
+  /// Write-side cache hit test: page materialized, already recorded dirty,
+  /// and still exclusively owned.  Exclusivity is re-proved on every hit
+  /// (one relaxed atomic load) rather than invalidated from the copy
+  /// constructor: copies never write to their source, so one snapshot can
+  /// be cloned from many threads at once.
+  Page* writable_page(std::uint64_t index) noexcept {
+    return (index == cached_index_ && cached_writable_ &&
+            cached_slot_->ref.use_count() == 1)
+               ? cached_page_
+               : nullptr;
+  }
+  void invalidate_cache() const noexcept {
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+    cached_slot_ = nullptr;
+    cached_writable_ = false;
+  }
+
+  std::vector<Slot> slots_;  ///< power-of-two capacity; empty until first touch
+  std::size_t page_count_ = 0;
   bool cow_ = true;
   bool track_dirty_ = false;
   std::unordered_set<std::uint64_t> dirty_;
   /// Last page recorded dirty — writes are bursty within a page, so this
   /// cache skips most hash-set inserts on the write8 hot path.
   std::uint64_t last_dirty_page_ = kNoPage;
+
+  // One-entry access cache (derived state, never copied).  Raw pointers
+  // only: shared_ptr refcounts are unaffected, so COW privatization logic
+  // stays exact.  Mutable so const reads can remember their page.
+  mutable std::uint64_t cached_index_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;
+  mutable Slot* cached_slot_ = nullptr;
+  mutable bool cached_writable_ = false;
 };
 
 }  // namespace itr::sim

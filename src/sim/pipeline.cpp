@@ -3,29 +3,56 @@
 #include <algorithm>
 
 #include "sim/functional.hpp"
+#include "util/snapshot_io.hpp"
 
 namespace itr::sim {
 
 namespace {
-constexpr std::size_t kIssueWindowSize = 256;
 
-/// Semantic source-operand count of an opcode: what the rename logic would
-/// actually wire up.  A num_rsrc decode signal exceeding this leaves the
-/// scheduler waiting on an operand tag that never broadcasts — deadlock.
-unsigned semantic_num_rsrc(std::uint8_t opcode) noexcept {
-  if (!isa::is_valid_opcode(opcode)) return 3;  // unknown encodings never deadlock
-  return isa::op_info(static_cast<isa::Opcode>(opcode)).num_rsrc;
+// Per-opcode facts the per-instruction loop needs, folded into one 256-entry
+// table indexed by the raw (possibly fault-corrupted) opcode byte so the hot
+// path replaces a chain of validity checks and switch dispatches with a
+// single load.
+constexpr std::uint8_t kOpSrc1Fp = 1u << 0;
+constexpr std::uint8_t kOpSrc2Fp = 1u << 1;
+constexpr std::uint8_t kOpCall = 1u << 2;  ///< jal / jalr
+constexpr std::uint8_t kOpJr = 1u << 3;    ///< jr (return iff rsrc1 == ra)
+
+struct OpEntry {
+  std::uint8_t flags = 0;
+  /// Semantic source-operand count: what the rename logic would actually
+  /// wire up.  A num_rsrc decode signal exceeding this leaves the scheduler
+  /// waiting on an operand tag that never broadcasts — deadlock.  Invalid
+  /// encodings get 3 so they never deadlock.
+  std::uint8_t num_rsrc = 3;
+};
+
+std::array<OpEntry, 256> build_op_table() {
+  std::array<OpEntry, 256> t{};
+  for (unsigned i = 0; i < 256; ++i) {
+    if (!isa::is_valid_opcode(static_cast<std::uint8_t>(i))) continue;
+    const auto op = static_cast<isa::Opcode>(i);
+    OpEntry& e = t[i];
+    if (src1_is_fp(op)) e.flags |= kOpSrc1Fp;
+    if (src2_is_fp(op)) e.flags |= kOpSrc2Fp;
+    if (op == isa::Opcode::kJal || op == isa::Opcode::kJalr) e.flags |= kOpCall;
+    if (op == isa::Opcode::kJr) e.flags |= kOpJr;
+    e.num_rsrc = static_cast<std::uint8_t>(isa::op_info(op).num_rsrc);
+  }
+  return t;
 }
+
+const std::array<OpEntry, 256> kOpTable = build_op_table();
+
 }  // namespace
 
 CycleSim::CycleSim(const isa::Program& prog, Options options)
     : prog_(&prog),
       opt_(std::move(options)),
-      state_(ArchState::boot(prog)),
       bpred_(opt_.config.bpred),
-      commit_ring_(opt_.config.rob_size, 0),
-      issue_window_(kIssueWindowSize, 0),
-      issue_window_cycle_(kIssueWindowSize, ~std::uint64_t{0}) {
+      commit_ring_(opt_.config.rob_size, 0) {
+  core_.state = ArchState::boot(prog);
+  core_.issue_window_cycle.fill(~std::uint64_t{0});
   if (opt_.use_predecode) {
     predecode_ = opt_.predecoded != nullptr && &opt_.predecoded->program() == prog_
                      ? std::move(opt_.predecoded)
@@ -39,58 +66,55 @@ CycleSim::CycleSim(const isa::Program& prog, Options options)
   }
   // L1 tag arrays are keyed by LINE address (address >> line_shift), so the
   // tag comparison ignores the offset within the line.
-  auto make_l1 = [](const L1Config& l1) {
-    cache::CacheConfig cc;
-    cc.num_entries = l1.entries;
-    cc.associativity = l1.assoc;
-    cc.key_shift = 0;
-    return cache::SetAssocCache<char>(cc);
-  };
-  if (opt_.config.icache.enabled) icache_.emplace(make_l1(opt_.config.icache));
-  if (opt_.config.dcache.enabled) dcache_.emplace(make_l1(opt_.config.dcache));
+  if (opt_.config.icache.enabled) {
+    icache_.emplace(opt_.config.icache.entries, opt_.config.icache.assoc);
+  }
+  if (opt_.config.dcache.enabled) {
+    dcache_.emplace(opt_.config.dcache.entries, opt_.config.dcache.assoc);
+  }
   if (opt_.rename_check && opt_.itr.has_value()) {
     rename_cache_.emplace(*opt_.itr);
   }
 }
 
 void CycleSim::terminate(RunTermination t) noexcept {
-  if (termination_ == RunTermination::kRunning) termination_ = t;
+  if (core_.termination == RunTermination::kRunning) core_.termination = t;
 }
 
 std::uint64_t CycleSim::compute_fetch_cycle(std::uint64_t pc) {
-  if (bundle_break_ || fetch_slots_used_ >= opt_.config.fetch_width) {
+  if (core_.bundle_break || core_.fetch_slots_used >= opt_.config.fetch_width) {
     const std::uint64_t next =
-        stats_.fetch_bundles == 0 ? std::uint64_t{0} : fetch_cycle_ + 1;
-    fetch_cycle_ = std::max(next, redirect_cycle_);
-    fetch_slots_used_ = 0;
-    ++stats_.fetch_bundles;
-    bundle_break_ = false;
+        core_.stats.fetch_bundles == 0 ? std::uint64_t{0} : core_.fetch_cycle + 1;
+    core_.fetch_cycle = std::max(next, core_.redirect_cycle);
+    core_.fetch_slots_used = 0;
+    ++core_.stats.fetch_bundles;
+    core_.bundle_break = false;
     // I-cache tag lookup for the new bundle; a miss stalls the fetch.
     if (icache_.has_value()) {
       const std::uint64_t line = pc >> opt_.config.icache.line_shift;
-      if (icache_->lookup(line) == nullptr) {
-        icache_->insert(line, 0);
-        ++stats_.icache_misses;
-        fetch_cycle_ += opt_.config.icache.miss_penalty;
+      if (!icache_->access(line)) {
+        ++core_.stats.icache_misses;
+        core_.fetch_cycle += opt_.config.icache.miss_penalty;
       }
     }
   }
-  ++fetch_slots_used_;
-  return fetch_cycle_;
+  ++core_.fetch_slots_used;
+  return core_.fetch_cycle;
 }
 
 std::uint64_t CycleSim::operand_ready_cycle(const isa::DecodeSignals& sig) const {
   std::uint64_t ready = 0;
   const unsigned wanted = sig.num_rsrc;
+  const OpEntry op = kOpTable[sig.opcode];
   if (wanted >= 1) {
-    const bool fp = isa::is_valid_opcode(sig.opcode) && src1_is_fp(sig.op());
-    ready = std::max(ready, fp ? fp_ready_[sig.rsrc1 & 31u] : int_ready_[sig.rsrc1 & 31u]);
+    const bool fp = (op.flags & kOpSrc1Fp) != 0;
+    ready = std::max(ready, fp ? core_.fp_ready[sig.rsrc1 & 31u] : core_.int_ready[sig.rsrc1 & 31u]);
   }
   if (wanted >= 2) {
-    const bool fp = isa::is_valid_opcode(sig.opcode) && src2_is_fp(sig.op());
-    ready = std::max(ready, fp ? fp_ready_[sig.rsrc2 & 31u] : int_ready_[sig.rsrc2 & 31u]);
+    const bool fp = (op.flags & kOpSrc2Fp) != 0;
+    ready = std::max(ready, fp ? core_.fp_ready[sig.rsrc2 & 31u] : core_.int_ready[sig.rsrc2 & 31u]);
   }
-  if (wanted > semantic_num_rsrc(sig.opcode)) {
+  if (wanted > op.num_rsrc) {
     // Phantom operand: the scheduler holds the instruction for a source tag
     // no producer will ever broadcast.
     return kNeverCycle;
@@ -103,67 +127,49 @@ std::uint64_t CycleSim::issue_slot(std::uint64_t earliest) {
   std::uint64_t c = earliest;
   for (;;) {
     const std::size_t slot = static_cast<std::size_t>(c % kIssueWindowSize);
-    if (issue_window_cycle_[slot] != c) {
-      issue_window_cycle_[slot] = c;
-      issue_window_[slot] = 0;
+    if (core_.issue_window_cycle[slot] != c) {
+      core_.issue_window_cycle[slot] = c;
+      core_.issue_window[slot] = 0;
     }
-    if (issue_window_[slot] < opt_.config.issue_width) {
-      ++issue_window_[slot];
+    if (core_.issue_window[slot] < opt_.config.issue_width) {
+      ++core_.issue_window[slot];
       return c;
     }
     ++c;
   }
 }
 
-bool CycleSim::advance() {
-  if (termination_ != RunTermination::kRunning) return false;
-  process_instruction();
-  return termination_ == RunTermination::kRunning;
-}
-
-std::optional<CommitRecord> CycleSim::next_commit() {
-  if (commit_queue_.empty()) return std::nullopt;
-  CommitRecord rec = commit_queue_.front();
-  commit_queue_.pop_front();
-  return rec;
-}
-
-std::optional<ItrEvent> CycleSim::next_itr_event() {
-  if (itr_events_.empty()) return std::nullopt;
-  ItrEvent ev = itr_events_.front();
-  itr_events_.pop_front();
-  return ev;
-}
-
 void CycleSim::run(std::uint64_t max_commits) {
   std::uint64_t committed = 0;
-  while (termination_ == RunTermination::kRunning && committed < max_commits) {
+  while (core_.termination == RunTermination::kRunning && committed < max_commits) {
     process_instruction();
-    while (next_commit().has_value()) ++committed;
+    committed += commit_queue_.size();
+    commit_queue_.clear();
   }
-  while (next_commit().has_value()) ++committed;
+  committed += commit_queue_.size();
+  commit_queue_.clear();
 }
 
 void CycleSim::commit_one(CommitRecord&& rec) {
-  if (deadlock_pending_) return;  // commit is wedged; records are discarded
+  if (core_.deadlock_pending) return;  // commit is wedged; records are discarded
 
   // Watchdog (paper Section 4): no commit for watchdog_cycles is a deadlock.
   const bool never = rec.commit_cycle >= kNeverCycle;
-  if (never || rec.commit_cycle > last_commit_cycle_ + opt_.config.watchdog_cycles) {
-    ++stats_.watchdog_fires;
-    watchdog_cycle_ = last_commit_cycle_ + opt_.config.watchdog_cycles;
+  if (never || rec.commit_cycle > core_.last_commit_cycle + opt_.config.watchdog_cycles) {
+    ++core_.stats.watchdog_fires;
+    core_.watchdog_cycle = core_.last_commit_cycle + opt_.config.watchdog_cycles;
     if (opt_.itr_recovery || !itr_.has_value()) {
       terminate(RunTermination::kDeadlock);
     } else {
       // Monitoring mode: keep the decode side alive for a ROB's worth of
       // instructions so dispatch-time ITR probes for in-flight traces still
       // happen, then declare the deadlock.
-      deadlock_pending_ = true;
-      deadlock_slack_ = opt_.config.rob_size;
+      core_.deadlock_pending = true;
+      core_.deadlock_slack = opt_.config.rob_size;
     }
     return;  // the deadlocked instruction never architecturally commits
   }
-  last_commit_cycle_ = rec.commit_cycle;
+  core_.last_commit_cycle = rec.commit_cycle;
 
   if (rec.commit_cycle > opt_.max_cycles) {
     terminate(RunTermination::kCycleLimit);
@@ -176,20 +182,20 @@ void CycleSim::commit_one(CommitRecord&& rec) {
   // resolved update it with their calculated PC — so a branch whose is_branch
   // flag was corrupted away updates it sequentially, and the discontinuity
   // fires at the next commit (the paper's Section 4 spc scenario).
-  if (have_expected_pc_ && rec.pc != expected_commit_pc_) {
+  if (core_.have_expected_pc && rec.pc != core_.expected_commit_pc) {
     rec.spc_fired = true;
-    ++stats_.spc_checks_fired;
+    ++core_.stats.spc_checks_fired;
   }
-  expected_commit_pc_ =
+  core_.expected_commit_pc =
       rec.engaged_control ? rec.next_pc : rec.pc + isa::kInstrBytes;
-  have_expected_pc_ = true;
+  core_.have_expected_pc = true;
 
-  rec.index = commit_index_++;
-  ++stats_.instructions_committed;
-  stats_.cycles = std::max(stats_.cycles, rec.commit_cycle);
+  rec.index = core_.commit_index++;
+  ++core_.stats.instructions_committed;
+  core_.stats.cycles = std::max(core_.stats.cycles, rec.commit_cycle);
   const bool exited = rec.exited;
   const bool aborted = rec.aborted;
-  if (exited) exit_status_ = rec.exit_status;
+  if (exited) core_.exit_status = rec.exit_status;
   commit_queue_.push_back(std::move(rec));
   if (exited) terminate(aborted ? RunTermination::kAborted : RunTermination::kExited);
 }
@@ -197,7 +203,7 @@ void CycleSim::commit_one(CommitRecord&& rec) {
 void CycleSim::release_trace_commits() {
   for (CommitRecord& rec : trace_commits_) {
     commit_one(std::move(rec));
-    if (termination_ != RunTermination::kRunning) break;
+    if (core_.termination != RunTermination::kRunning) break;
   }
   trace_commits_.clear();
   trace_undo_.clear();
@@ -211,43 +217,43 @@ void CycleSim::rollback_trace() {
         memory_.write8(it->mem_addr + b, it->mem_old[b]);
       }
     }
-    if (it->wrote_fp) state_.set_freg(it->fp_dst, it->fp_old);
-    if (it->wrote_int) state_.set_ireg(it->int_dst, it->int_old);
+    if (it->wrote_fp) core_.state.set_freg(it->fp_dst, it->fp_old);
+    if (it->wrote_int) core_.state.set_ireg(it->int_dst, it->int_old);
   }
   trace_undo_.clear();
   trace_commits_.clear();
   // Trap output is a committed effect: discard what the squashed trace wrote.
-  if (output_.size() > trace_output_len_) output_.resize(trace_output_len_);
-  state_.pc = trace_start_pc_;
-  expected_commit_pc_ = trace_start_pc_;
-  have_expected_pc_ = true;
+  if (output_.size() > core_.trace_output_len) output_.resize(core_.trace_output_len);
+  core_.state.pc = core_.trace_start_pc;
+  core_.expected_commit_pc = core_.trace_start_pc;
+  core_.have_expected_pc = true;
   bpred_.flush_speculative_state();
-  bundle_break_ = true;
+  core_.bundle_break = true;
 
   // Scrub timing residue of the squashed instructions: stale "never ready"
   // scoreboard entries and never-committing ROB ring slots would otherwise
   // wedge the restarted machine.
-  for (auto& r : int_ready_) {
-    if (r >= kNeverCycle) r = last_nominal_commit_;
+  for (auto& r : core_.int_ready) {
+    if (r >= kNeverCycle) track_write(r, core_.last_nominal_commit);
   }
-  for (auto& r : fp_ready_) {
-    if (r >= kNeverCycle) r = last_nominal_commit_;
+  for (auto& r : core_.fp_ready) {
+    if (r >= kNeverCycle) track_write(r, core_.last_nominal_commit);
   }
   for (auto& c : commit_ring_) {
-    if (c >= kNeverCycle) c = last_nominal_commit_;
+    if (c >= kNeverCycle) track_write(c, core_.last_nominal_commit);
   }
 }
 
 void CycleSim::process_instruction() {
-  const std::uint64_t pc = state_.pc;
+  const std::uint64_t pc = core_.state.pc;
 
   // Trace-boundary bookkeeping for recovery: when no trace is open, this
   // instruction begins one, and becomes the rollback point.
-  if (opt_.itr_recovery && itr_.has_value() && !itr_has_open_trace_) {
-    trace_start_pc_ = pc;
+  if (opt_.itr_recovery && itr_.has_value() && !core_.itr_has_open_trace) {
+    core_.trace_start_pc = pc;
     trace_undo_.clear();
     trace_commits_.clear();
-    trace_output_len_ = output_.size();
+    core_.trace_output_len = output_.size();
   }
 
   // ---- Fetch: prediction + bundle timing. ----------------------------------
@@ -258,15 +264,23 @@ void CycleSim::process_instruction() {
   isa::DecodeSignals sig = predecode_ != nullptr
                                ? predecode_->signals_at(pc)
                                : isa::decode_raw(prog_->fetch_raw(pc));
-  if (opt_.fault.enabled && !fault_injected_ &&
-      decode_index_ == opt_.fault.target_decode_index) {
+  // Packed signal image for the ITR signature fold, kept in lockstep with
+  // `sig` (flip_bit is exactly a XOR on the packed layout, and pack/unpack
+  // cover all 64 bits).  Only computed when an ITR unit will consume it.
+  std::uint64_t sig_packed =
+      !itr_.has_value() ? 0
+      : predecode_ != nullptr ? predecode_->packed_at(pc)
+                              : sig.pack();
+  if (opt_.fault.enabled && !core_.fault_injected &&
+      core_.decode_index == opt_.fault.target_decode_index) {
     sig.flip_bit(opt_.fault.bit);
-    fault_injected_ = true;
-    fault_decode_index_ = decode_index_;
-    fault_inject_cycle_ = fetch_cycle;
+    sig_packed ^= std::uint64_t{1} << (opt_.fault.bit & 63u);
+    core_.fault_injected = true;
+    core_.fault_decode_index = core_.decode_index;
+    core_.fault_inject_cycle = fetch_cycle;
   }
-  const std::uint64_t this_decode_index = decode_index_++;
-  ++stats_.instructions_decoded;
+  const std::uint64_t this_decode_index = core_.decode_index++;
+  ++core_.stats.instructions_decoded;
 
   // ---- Rename stage. ---------------------------------------------------------
   // The map-table ports observe the (possibly rename-fault-corrupted)
@@ -281,15 +295,17 @@ void CycleSim::process_instruction() {
   exec_sig.rdst = rename_rec.has_dest ? rename_rec.dest_index : exec_sig.rdst;
   if (rename_cache_.has_value()) {
     // Position-sensitive fold so swapped indexes within a trace also differ.
-    const unsigned rot = static_cast<unsigned>((rename_fold_rotl_++ * 7) & 63u);
+    const unsigned rot = static_cast<unsigned>((core_.rename_fold_rotl++ * 7) & 63u);
     const std::uint64_t c = rename_rec.signature_contribution();
-    rename_sig_acc_ ^= (c << rot) | (c >> (64 - rot == 64 ? 0 : 64 - rot));
+    core_.rename_sig_acc ^= (c << rot) | (c >> (64 - rot == 64 ? 0 : 64 - rot));
   }
 
   // ---- Dispatch timing: frontend depth + ROB backpressure. ------------------
   std::uint64_t dispatch_cycle = fetch_cycle + opt_.config.frontend_depth;
-  const std::size_t ring_slot =
-      static_cast<std::size_t>(this_decode_index % opt_.config.rob_size);
+  // Wrap-around cursor tracking decode_index % rob_size without the per-
+  // instruction integer division (rob_size is a runtime config value).
+  const std::size_t ring_slot = core_.ring_cursor;
+  core_.ring_cursor = ring_slot + 1 == commit_ring_.size() ? 0 : core_.ring_cursor + 1;
   if (this_decode_index >= opt_.config.rob_size) {
     const std::uint64_t oldest_commit = commit_ring_[ring_slot];
     if (oldest_commit >= kNeverCycle) {
@@ -306,20 +322,22 @@ void CycleSim::process_instruction() {
   const std::uint64_t issue = issue_slot(ready);
   std::uint64_t complete = issue;
   if (issue < kNeverCycle) {
-    ++stats_.instructions_issued;
+    ++core_.stats.instructions_issued;
     complete = issue + opt_.config.lat_cycles[sig.lat & 3u];
   }
 
   // ---- Functional execution (with undo journaling in recovery mode). --------
-  UndoEntry undo;
+  // The journal entry is built directly in trace_undo_ so the (far more
+  // common) non-recovery path never touches an UndoEntry at all.
   const bool journal = opt_.itr_recovery && itr_.has_value();
   if (journal) {
+    UndoEntry& undo = trace_undo_.emplace_back();
     undo.prev_pc = pc;
-    undo.int_old = state_.ireg(exec_sig.rdst);
-    undo.fp_old = state_.freg(exec_sig.rdst);
+    undo.int_old = core_.state.ireg(exec_sig.rdst);
+    undo.fp_old = core_.state.freg(exec_sig.rdst);
     if (exec_sig.has_flag(isa::Flag::kIsStore)) {
       const std::uint64_t addr =
-          (static_cast<std::uint64_t>(state_.ireg(exec_sig.rsrc1)) +
+          (static_cast<std::uint64_t>(core_.state.ireg(exec_sig.rsrc1)) +
            static_cast<std::uint64_t>(static_cast<std::int64_t>(exec_sig.simm()))) &
           Memory::kAddressMask;
       for (unsigned b = 0; b < 8; ++b) undo.mem_old[b] = memory_.read8(addr + b);
@@ -331,21 +349,18 @@ void CycleSim::process_instruction() {
   in.sig = exec_sig;
   in.pc = pc;
   in.predicted_next = pred.next_pc;
-  const ExecEffects fx = execute(in, state_, memory_, &output_);
+  const ExecEffects fx = execute(in, core_.state, memory_, &output_);
 
   // Memory-port timing: loads pay the D-cache latency (plus a miss penalty
   // when the tag array misses); stores allocate but retire from the store
   // queue without extending their completion.
   if (complete < kNeverCycle && (fx.did_load || fx.did_store) && fx.mem_bytes > 0) {
-    ++stats_.dcache_accesses;
+    ++core_.stats.dcache_accesses;
     bool hit = true;
     if (dcache_.has_value()) {
       const std::uint64_t line = fx.mem_addr >> opt_.config.dcache.line_shift;
-      hit = dcache_->lookup(line) != nullptr;
-      if (!hit) {
-        dcache_->insert(line, 0);
-        ++stats_.dcache_misses;
-      }
+      hit = dcache_->access(line);
+      if (!hit) ++core_.stats.dcache_misses;
     }
     if (fx.did_load) {
       complete += opt_.config.dcache_latency;
@@ -354,29 +369,31 @@ void CycleSim::process_instruction() {
   }
 
   if (journal) {
+    UndoEntry& undo = trace_undo_.back();
     undo.wrote_int = fx.wrote_int;
     undo.int_dst = fx.int_dst;
     undo.wrote_fp = fx.wrote_fp;
     undo.fp_dst = fx.fp_dst;
     undo.did_store = fx.did_store;
     undo.mem_bytes = fx.did_store ? 8u : 0u;  // restore the full saved span
-    trace_undo_.push_back(undo);
   }
 
   rename_.commit(rename_rec);
 
   // ---- Writeback timing. -----------------------------------------------------
-  if (fx.wrote_int && fx.int_dst != isa::kRegZero) int_ready_[fx.int_dst & 31u] = complete;
-  if (fx.wrote_fp) fp_ready_[fx.fp_dst & 31u] = complete;
+  if (fx.wrote_int && fx.int_dst != isa::kRegZero) {
+    track_write(core_.int_ready[fx.int_dst & 31u], complete);
+  }
+  if (fx.wrote_fp) track_write(core_.fp_ready[fx.fp_dst & 31u], complete);
 
   // ---- Branch resolution and predictor training. -----------------------------
   if (fx.engaged_branch_unit && complete < kNeverCycle) {
     BranchOutcome outcome;
     outcome.is_conditional =
         sig.has_flag(isa::Flag::kIsBranch) && !sig.has_flag(isa::Flag::kIsUncond);
-    const isa::Opcode op = isa::is_valid_opcode(sig.opcode) ? sig.op() : isa::Opcode::kNop;
-    outcome.is_call = op == isa::Opcode::kJal || op == isa::Opcode::kJalr;
-    outcome.is_return = op == isa::Opcode::kJr && (sig.rsrc1 & 31u) == isa::kRegRa;
+    const std::uint8_t opf = kOpTable[sig.opcode].flags;
+    outcome.is_call = (opf & kOpCall) != 0;
+    outcome.is_return = (opf & kOpJr) != 0 && (sig.rsrc1 & 31u) == isa::kRegRa;
     outcome.taken = fx.taken;
     outcome.target = fx.resolved_target;
     bpred_.update(pc, outcome);
@@ -384,34 +401,37 @@ void CycleSim::process_instruction() {
     if (pred.next_pc != fx.next_pc) {
       // Mispredicted: fetch redirects when the branch resolves.
       bpred_.count_mispredict();
-      ++stats_.branch_mispredicts;
-      redirect_cycle_ = complete + opt_.config.mispredict_redirect;
-      bundle_break_ = true;
+      ++core_.stats.branch_mispredicts;
+      core_.redirect_cycle = complete + opt_.config.mispredict_redirect;
+      core_.bundle_break = true;
     } else if (fx.taken) {
-      bundle_break_ = true;  // correctly predicted taken: bundle still ends
+      core_.bundle_break = true;  // correctly predicted taken: bundle still ends
     }
   } else if (!fx.engaged_branch_unit && pred.next_pc != pc + isa::kInstrBytes) {
     // Fetch followed a taken prediction that decode did not identify as a
     // branch (the paper's is_branch fault scenario): nothing repairs it; the
     // stream simply continues on the predicted path.
-    bundle_break_ = true;
+    core_.bundle_break = true;
   }
 
   // ---- ITR decode side: trace formation + dispatch-time probe. ----------------
-  std::optional<trace::TraceRecord> completed_trace;
+  const trace::TraceRecord* completed_trace = nullptr;
   if (itr_.has_value()) {
     const bool profiling = opt_.record_trace_profile && !opt_.itr_recovery;
-    if (profiling && !itr_has_open_trace_) profile_open_fetch_ = fetch_cycle;
-    completed_trace = itr_->on_decode(pc, sig, this_decode_index, dispatch_cycle);
-    itr_has_open_trace_ = !completed_trace.has_value();
-    if (profiling && completed_trace.has_value()) {
-      profile_fetch_queue_.push_back(profile_open_fetch_);
+    if (profiling && !core_.itr_has_open_trace) core_.profile_open_fetch = fetch_cycle;
+    const bool trace_terminating = sig.has_flag(isa::Flag::kIsBranch) ||
+                                   sig.has_flag(isa::Flag::kIsUncond);
+    completed_trace = itr_->on_decode_packed(pc, sig_packed, trace_terminating,
+                                             this_decode_index, dispatch_cycle);
+    core_.itr_has_open_trace = completed_trace == nullptr;
+    if (profiling && completed_trace != nullptr) {
+      profile_fetch_queue_.push_back(core_.profile_open_fetch);
     }
-    if (completed_trace.has_value() && rename_cache_.has_value()) {
+    if (completed_trace != nullptr && rename_cache_.has_value()) {
       trace::TraceRecord rrec = *completed_trace;
-      rrec.signature = rename_sig_acc_;
-      rename_sig_acc_ = 0;
-      rename_fold_rotl_ = 0;
+      rrec.signature = core_.rename_sig_acc;
+      core_.rename_sig_acc = 0;
+      core_.rename_fold_rotl = 0;
       const core::ProbeResult probe = rename_cache_->probe(rrec);
       if (probe.outcome == core::ProbeOutcome::kMiss) {
         rename_cache_->install(rrec);
@@ -429,12 +449,12 @@ void CycleSim::process_instruction() {
         itr_events_.push_back(ev);
       }
     }
-    if (completed_trace.has_value() && fault_injected_ && !fault_trace_completed_ &&
-        fault_decode_index_ >= completed_trace->first_insn_index &&
-        fault_decode_index_ <
+    if (completed_trace != nullptr && core_.fault_injected && !core_.fault_trace_completed &&
+        core_.fault_decode_index >= completed_trace->first_insn_index &&
+        core_.fault_decode_index <
             completed_trace->first_insn_index + completed_trace->num_instructions) {
-      fault_trace_completed_ = true;
-      fault_trace_start_pc_ = completed_trace->start_pc;
+      core_.fault_trace_completed = true;
+      core_.fault_trace_start_pc = completed_trace->start_pc;
       // Re-probe outcome is recorded by the unit; recover it from the poll
       // result later — here we note it via the cache's line state after the
       // dispatch-time probe (a hit leaves the line present).
@@ -445,30 +465,30 @@ void CycleSim::process_instruction() {
   // A trace-ending instruction cannot commit until the dispatch-time ITR
   // cache read has set the chk or miss bit (paper Section 2.2).
   std::uint64_t min_commit = 0;
-  if (completed_trace.has_value() && dispatch_cycle < kNeverCycle) {
+  if (completed_trace != nullptr && dispatch_cycle < kNeverCycle) {
     min_commit = dispatch_cycle + opt_.config.itr_probe_latency + 1;
   }
   std::uint64_t commit_cycle;
   if (complete >= kNeverCycle) {
     commit_cycle = kNeverCycle;
   } else {
-    commit_cycle = std::max(complete + 1, last_nominal_commit_);
+    commit_cycle = std::max(complete + 1, core_.last_nominal_commit);
     if (commit_cycle < min_commit) {
-      stats_.itr_commit_stall_cycles += min_commit - commit_cycle;
+      core_.stats.itr_commit_stall_cycles += min_commit - commit_cycle;
       commit_cycle = min_commit;
     }
-    if (commit_cycle == last_nominal_commit_ &&
-        commits_in_cycle_ >= opt_.config.commit_width) {
+    if (commit_cycle == core_.last_nominal_commit &&
+        core_.commits_in_cycle >= opt_.config.commit_width) {
       ++commit_cycle;
     }
-    if (commit_cycle == last_nominal_commit_) {
-      ++commits_in_cycle_;
+    if (commit_cycle == core_.last_nominal_commit) {
+      ++core_.commits_in_cycle;
     } else {
-      last_nominal_commit_ = commit_cycle;
-      commits_in_cycle_ = 1;
+      core_.last_nominal_commit = commit_cycle;
+      core_.commits_in_cycle = 1;
     }
   }
-  commit_ring_[ring_slot] = commit_cycle;
+  track_write(commit_ring_[ring_slot], commit_cycle);
 
   CommitRecord rec;
   rec.pc = pc;
@@ -497,18 +517,18 @@ void CycleSim::process_instruction() {
   }
 
   // ---- ITR commit-side poll for trace-ending instructions. ---------------------
-  if (itr_.has_value() && completed_trace.has_value() &&
-      termination_ == RunTermination::kRunning) {
+  if (itr_.has_value() && completed_trace != nullptr &&
+      core_.termination == RunTermination::kRunning) {
     const core::PollResult poll = itr_->poll_at_commit(commit_cycle);
     handle_poll(poll, commit_cycle, dispatch_cycle);
   }
 
   // ---- Monitoring-mode deadlock slack. ------------------------------------------
-  if (deadlock_pending_) {
-    if (deadlock_slack_ == 0 || fx.exited) {
+  if (core_.deadlock_pending) {
+    if (core_.deadlock_slack == 0 || fx.exited) {
       terminate(RunTermination::kDeadlock);
     } else {
-      --deadlock_slack_;
+      --core_.deadlock_slack;
     }
   }
 }
@@ -534,12 +554,12 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
 
   // Remember how the fault-carrying trace fared at its probe (classification
   // input for the MayITR/Undet distinction).
-  if (fault_injected_ && fault_trace_completed_ &&
-      poll.trace.start_pc == fault_trace_start_pc_ &&
-      fault_decode_index_ >= poll.trace.first_insn_index &&
-      fault_decode_index_ <
+  if (core_.fault_injected && core_.fault_trace_completed &&
+      poll.trace.start_pc == core_.fault_trace_start_pc &&
+      core_.fault_decode_index >= poll.trace.first_insn_index &&
+      core_.fault_decode_index <
           poll.trace.first_insn_index + poll.trace.num_instructions) {
-    fault_trace_probe_ = poll.probe.outcome;
+    core_.fault_trace_probe = poll.probe.outcome;
   }
 
   // Detection event bookkeeping (both modes).
@@ -550,8 +570,8 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
     ev.trace_start_pc = poll.trace.start_pc;
     ev.cached_was_unchecked = poll.probe.cleared_unchecked;
     ev.incoming_contains_fault =
-        fault_injected_ && fault_decode_index_ >= poll.trace.first_insn_index &&
-        fault_decode_index_ <
+        core_.fault_injected && core_.fault_decode_index >= poll.trace.first_insn_index &&
+        core_.fault_decode_index <
             poll.trace.first_insn_index + poll.trace.num_instructions;
     itr_events_.push_back(ev);
   }
@@ -565,9 +585,9 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
   switch (poll.action) {
     case core::CommitAction::kProceed:
     case core::CommitAction::kWriteCache: {
-      if (retry_in_progress_ && poll.trace.start_pc == retry_start_pc_ &&
+      if (core_.retry_in_progress && poll.trace.start_pc == core_.retry_start_pc &&
           poll.action == core::CommitAction::kProceed) {
-        retry_in_progress_ = false;
+        core_.retry_in_progress = false;
         itr_->confirm_retry_success();
         ItrEvent ev;
         ev.kind = ItrEvent::Kind::kRecovered;
@@ -579,31 +599,31 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
       break;
     }
     case core::CommitAction::kRetry: {
-      if (!retry_in_progress_) {
+      if (!core_.retry_in_progress) {
         // First failure: flush the pipeline and restart from the trace start.
-        retry_in_progress_ = true;
-        retry_start_pc_ = poll.trace.start_pc;
+        core_.retry_in_progress = true;
+        core_.retry_start_pc = poll.trace.start_pc;
         ItrEvent ev;
         ev.kind = ItrEvent::Kind::kRetryStarted;
-        ev.cycle = commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle;
+        ev.cycle = commit_cycle >= kNeverCycle ? core_.last_nominal_commit : commit_cycle;
         ev.trace_start_pc = poll.trace.start_pc;
         itr_events_.push_back(ev);
-        ++stats_.itr_retry_flushes;
+        ++core_.stats.itr_retry_flushes;
         rollback_trace();
         itr_->squash_open_trace();
-        itr_has_open_trace_ = false;
-        rename_sig_acc_ = 0;
-        rename_fold_rotl_ = 0;
-        redirect_cycle_ =
-            (commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle) +
+        core_.itr_has_open_trace = false;
+        core_.rename_sig_acc = 0;
+        core_.rename_fold_rotl = 0;
+        core_.redirect_cycle =
+            (commit_cycle >= kNeverCycle ? core_.last_nominal_commit : commit_cycle) +
             opt_.config.flush_restart_penalty;
         break;
       }
       // Second consecutive failure on the same trace: diagnose.
       const core::CommitAction verdict = itr_->resolve_retry(poll.trace);
-      retry_in_progress_ = false;
+      core_.retry_in_progress = false;
       ItrEvent ev;
-      ev.cycle = commit_cycle >= kNeverCycle ? last_nominal_commit_ : commit_cycle;
+      ev.cycle = commit_cycle >= kNeverCycle ? core_.last_nominal_commit : commit_cycle;
       ev.trace_start_pc = poll.trace.start_pc;
       if (verdict == core::CommitAction::kFixCacheLine) {
         ev.kind = ItrEvent::Kind::kParityRepair;
@@ -622,6 +642,67 @@ void CycleSim::handle_poll(const core::PollResult& poll, std::uint64_t commit_cy
       release_trace_commits();
       break;
   }
+}
+
+std::size_t CycleSim::snapshot_blob_bytes() const noexcept {
+  namespace snapio = util::snapio;
+  std::size_t n = sizeof(CoreSnapshot) + snapio::lane_bytes(commit_ring_) +
+                  bpred_.snapshot_bytes() + rename_.snapshot_bytes();
+  if (itr_.has_value()) n += itr_->snapshot_bytes();
+  if (rename_cache_.has_value()) n += rename_cache_->snapshot_bytes();
+  if (icache_.has_value()) n += icache_->snapshot_bytes();
+  if (dcache_.has_value()) n += dcache_->snapshot_bytes();
+  n += snapio::vec_bytes(trace_undo_) + snapio::vec_bytes(trace_commits_);
+  n += commit_queue_.snapshot_bytes() + itr_events_.snapshot_bytes() +
+       profile_fetch_queue_.snapshot_bytes();
+  n += snapio::vec_bytes(trace_profile_);
+  return n;
+}
+
+void CycleSim::save(Snapshot& snap) const {
+  namespace snapio = util::snapio;
+  // Units whose footprint is an upper bound (the predictor's RAS) may write
+  // less than they reserve; the slack at the blob tail is harmless because
+  // restore walks the same sequential protocol.
+  snap.blob.resize(snapshot_blob_bytes());
+  std::byte* out = snap.blob.data();
+  out = snapio::put(out, core_);
+  out = snapio::put_lane(out, commit_ring_);
+  out = bpred_.save_snapshot(out);
+  out = rename_.save_snapshot(out);
+  if (itr_.has_value()) out = itr_->save_snapshot(out);
+  if (rename_cache_.has_value()) out = rename_cache_->save_snapshot(out);
+  if (icache_.has_value()) out = icache_->save_snapshot(out);
+  if (dcache_.has_value()) out = dcache_->save_snapshot(out);
+  out = snapio::put_vec(out, trace_undo_);
+  out = snapio::put_vec(out, trace_commits_);
+  out = commit_queue_.save_snapshot(out);
+  out = itr_events_.save_snapshot(out);
+  out = profile_fetch_queue_.save_snapshot(out);
+  out = snapio::put_vec(out, trace_profile_);
+  snap.memory = memory_;
+  snap.output = output_;
+}
+
+void CycleSim::restore(const Snapshot& snap) {
+  namespace snapio = util::snapio;
+  const std::byte* in = snap.blob.data();
+  in = snapio::get(in, core_);
+  in = snapio::get_lane(in, commit_ring_);
+  in = bpred_.restore_snapshot(in);
+  in = rename_.restore_snapshot(in);
+  if (itr_.has_value()) in = itr_->restore_snapshot(in);
+  if (rename_cache_.has_value()) in = rename_cache_->restore_snapshot(in);
+  if (icache_.has_value()) in = icache_->restore_snapshot(in);
+  if (dcache_.has_value()) in = dcache_->restore_snapshot(in);
+  in = snapio::get_vec(in, trace_undo_);
+  in = snapio::get_vec(in, trace_commits_);
+  in = commit_queue_.restore_snapshot(in);
+  in = itr_events_.restore_snapshot(in);
+  in = profile_fetch_queue_.restore_snapshot(in);
+  snapio::get_vec(in, trace_profile_);
+  memory_ = snap.memory;
+  output_ = snap.output;
 }
 
 void publish_pipeline_stats(const PipelineStats& stats, obs::MetricClass cls) {

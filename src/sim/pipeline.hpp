@@ -24,15 +24,26 @@
 // Known simplification (documented in DESIGN.md): wrong-path instructions
 // are modelled for timing (misprediction redirect penalties) but do not
 // probe the ITR cache or perturb its LRU state.
+//
+// State layout (DESIGN.md Section 12): every fixed-size scalar and array of
+// machine state lives in one trivially-copyable `CoreSnapshot` POD, queues
+// are flat rings of POD records, and each stateful unit (predictor, ITR,
+// L1 tags, rename) serializes itself into a caller-owned byte arena via the
+// snapshot protocol of util/snapshot_io.hpp.  `save()`/`restore()` therefore
+// reduce a machine checkpoint to a bounded sequence of memcpys plus one COW
+// memory assignment — the fast path under the checkpoint ladder and batched
+// campaign replica cloning.  No allocation happens in the per-instruction
+// hot loop at steady state.
 #pragma once
 
 #include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "isa/decode.hpp"
@@ -43,8 +54,10 @@
 #include "sim/arch_state.hpp"
 #include "sim/branch_pred.hpp"
 #include "sim/exec.hpp"
+#include "sim/l1_tags.hpp"
 #include "sim/memory.hpp"
 #include "sim/rename.hpp"
+#include "util/flat_ring.hpp"
 
 namespace itr::sim {
 
@@ -206,6 +219,63 @@ enum class RunTermination : std::uint8_t {
   kCycleLimit,      ///< observation window exhausted
 };
 
+/// Rolling issue-bandwidth window length, cycles.  Fixed so the issue
+/// scoreboard can live inside the trivially-copyable core state.
+inline constexpr std::size_t kIssueWindowSize = 256;
+
+/// Every fixed-size piece of CycleSim machine state: architectural
+/// registers, the timing scoreboards, program-order counters, fault
+/// bookkeeping, statistics, and the run terminal state.  Trivially
+/// copyable by construction (enforced below and by a ctest), so a snapshot
+/// of this portion of the machine is exactly one memcpy.
+struct CoreSnapshot {
+  ArchState state;
+  // Timing state.
+  std::uint64_t fetch_cycle = 0;
+  std::uint64_t redirect_cycle = 0;
+  std::uint64_t last_commit_cycle = 0;
+  std::uint64_t last_nominal_commit = 0;
+  std::array<std::uint64_t, isa::kNumIntRegs> int_ready{};
+  std::array<std::uint64_t, isa::kNumFpRegs> fp_ready{};
+  std::array<std::uint64_t, kIssueWindowSize> issue_window_cycle{};
+  std::array<std::uint32_t, kIssueWindowSize> issue_window{};
+  // Program-order state.
+  std::uint64_t decode_index = 0;
+  std::uint64_t commit_index = 0;
+  std::uint64_t fault_decode_index = 0;
+  std::uint64_t fault_inject_cycle = 0;
+  std::uint64_t fault_trace_start_pc = 0;
+  std::uint64_t expected_commit_pc = 0;
+  // Monitoring-mode deadlock handling and recovery machinery.
+  std::uint64_t deadlock_slack = 0;
+  std::uint64_t trace_start_pc = 0;
+  std::uint64_t trace_output_len = 0;  ///< output length at trace start (undo)
+  std::uint64_t retry_start_pc = 0;
+  std::uint64_t rename_sig_acc = 0;    ///< open trace's rename signature
+  std::uint64_t rename_fold_rotl = 0;  ///< position-sensitive fold counter
+  std::uint64_t profile_open_fetch = 0;  ///< fetch cycle of open trace's start
+  std::uint64_t watchdog_cycle = 0;
+  PipelineStats stats;
+  std::int32_t exit_status = 0;
+  /// kNeverCycle entries currently in int_ready/fp_ready/the commit ring;
+  /// maintained incrementally so timing_wedged() is O(1).
+  std::int32_t never_count = 0;
+  std::uint32_t fetch_slots_used = 0;
+  std::uint32_t commits_in_cycle = 0;
+  std::uint32_t ring_cursor = 0;  ///< decode_index % rob_size, kept by wrapping
+  RunTermination termination = RunTermination::kRunning;
+  core::ProbeOutcome fault_trace_probe = core::ProbeOutcome::kMiss;
+  bool bundle_break = true;  ///< start of run begins a new bundle
+  bool fault_injected = false;
+  bool fault_trace_completed = false;
+  bool have_expected_pc = false;
+  bool itr_has_open_trace = false;
+  bool deadlock_pending = false;
+  bool retry_in_progress = false;
+};
+static_assert(std::is_trivially_copyable_v<CoreSnapshot>,
+              "machine snapshots memcpy this struct");
+
 class CycleSim {
  public:
   struct Options {
@@ -257,22 +327,36 @@ class CycleSim {
   /// Advances by one instruction through the whole pipeline model.  Commits
   /// are queued internally (recovery mode holds them back until the trace's
   /// ITR poll passes).  Returns false once the run has terminated.
-  bool advance();
+  bool advance() {
+    if (core_.termination != RunTermination::kRunning) return false;
+    process_instruction();
+    return core_.termination == RunTermination::kRunning;
+  }
 
   /// Pops the next committed instruction, if any.
-  std::optional<CommitRecord> next_commit();
+  std::optional<CommitRecord> next_commit() {
+    if (commit_queue_.empty()) return std::nullopt;
+    std::optional<CommitRecord> rec(std::move(commit_queue_.front()));
+    commit_queue_.pop_front();
+    return rec;
+  }
 
   /// Pops the next ITR event, if any.
-  std::optional<ItrEvent> next_itr_event();
+  std::optional<ItrEvent> next_itr_event() {
+    if (itr_events_.empty()) return std::nullopt;
+    std::optional<ItrEvent> ev(std::move(itr_events_.front()));
+    itr_events_.pop_front();
+    return ev;
+  }
 
   /// Runs to termination (or `max_commits`), discarding commit records.
   void run(std::uint64_t max_commits = ~std::uint64_t{0});
 
-  RunTermination termination() const noexcept { return termination_; }
-  const PipelineStats& stats() const noexcept { return stats_; }
+  RunTermination termination() const noexcept { return core_.termination; }
+  const PipelineStats& stats() const noexcept { return core_.stats; }
   const std::string& output() const noexcept { return output_; }
-  std::int32_t exit_status() const noexcept { return exit_status_; }
-  const ArchState& state() const noexcept { return state_; }
+  std::int32_t exit_status() const noexcept { return core_.exit_status; }
+  const ArchState& state() const noexcept { return core_.state; }
   const core::ItrUnit* itr_unit() const noexcept {
     return itr_.has_value() ? &*itr_ : nullptr;
   }
@@ -287,18 +371,18 @@ class CycleSim {
   /// Mutable access for the campaign pruner (dirty-tracking enablement).
   Memory& memory() noexcept { return memory_; }
   BranchPredictor& predictor() noexcept { return bpred_; }
-  std::uint64_t decode_count() const noexcept { return decode_index_; }
-  bool fault_was_injected() const noexcept { return fault_injected_; }
+  std::uint64_t decode_count() const noexcept { return core_.decode_index; }
+  bool fault_was_injected() const noexcept { return core_.fault_injected; }
 
   /// Arms (or replaces) the fault plan on a snapshot clone.  The plan's
   /// target_decode_index must not precede the instructions already executed;
   /// earlier indexes simply never fire.  Only meaningful before injection.
   void arm_fault(const FaultPlan& plan) noexcept {
-    if (!fault_injected_) opt_.fault = plan;
+    if (!core_.fault_injected) opt_.fault = plan;
   }
 
   /// Cycle at which the watchdog fired (valid when termination is kDeadlock).
-  std::uint64_t watchdog_cycle() const noexcept { return watchdog_cycle_; }
+  std::uint64_t watchdog_cycle() const noexcept { return core_.watchdog_cycle; }
 
   /// Polls recorded so far under Options::record_trace_profile.
   const std::vector<TraceProfileSample>& trace_profile() const noexcept {
@@ -310,24 +394,33 @@ class CycleSim {
   /// match a fault-free machine's — or the deadlock watchdog already
   /// tripped.  The convergence pruner refuses to early-exit such runs: the
   /// architectural state may equal golden while a deadlock is still pending.
+  /// O(1): `never_count` is maintained incrementally at every scoreboard and
+  /// commit-ring write instead of scanning the arrays here.
   bool timing_wedged() const noexcept {
-    if (deadlock_pending_) return true;
-    for (const std::uint64_t r : int_ready_)
-      if (r >= kNeverCycle) return true;
-    for (const std::uint64_t r : fp_ready_)
-      if (r >= kNeverCycle) return true;
-    for (const std::uint64_t c : commit_ring_)
-      if (c >= kNeverCycle) return true;
-    return false;
+    return core_.deadlock_pending || core_.never_count != 0;
   }
 
   /// Dispatch cycle of the corrupted instruction (valid once injected).
-  std::uint64_t fault_inject_cycle() const noexcept { return fault_inject_cycle_; }
+  std::uint64_t fault_inject_cycle() const noexcept { return core_.fault_inject_cycle; }
   /// True once the trace containing the fault has completed decode.
-  bool fault_trace_completed() const noexcept { return fault_trace_completed_; }
+  bool fault_trace_completed() const noexcept { return core_.fault_trace_completed; }
   /// Start PC and dispatch-time probe outcome of the fault-carrying trace.
-  std::uint64_t fault_trace_start_pc() const noexcept { return fault_trace_start_pc_; }
-  core::ProbeOutcome fault_trace_probe() const noexcept { return fault_trace_probe_; }
+  std::uint64_t fault_trace_start_pc() const noexcept { return core_.fault_trace_start_pc; }
+  core::ProbeOutcome fault_trace_probe() const noexcept { return core_.fault_trace_probe; }
+
+  /// Reusable machine checkpoint: one flat byte arena for everything but
+  /// memory and program output.  `save` into a default-constructed Snapshot
+  /// allocates the arena once; saving into it again (and every `restore`)
+  /// allocates nothing at steady state, which is what makes checkpoint-ladder
+  /// rungs and batched-campaign replica reseeding cheap.  A Snapshot is only
+  /// meaningful for CycleSims constructed with the same program and Options.
+  struct Snapshot {
+    std::vector<std::byte> blob;  ///< core POD + units, snapshot_io layout
+    Memory memory;                ///< COW: clone cost ~ pages dirtied since
+    std::string output;
+  };
+  void save(Snapshot& snap) const;
+  void restore(const Snapshot& snap);
 
  private:
   struct UndoEntry {
@@ -354,6 +447,15 @@ class CycleSim {
   void release_trace_commits();
   void rollback_trace();
   void terminate(RunTermination t) noexcept;
+  std::size_t snapshot_blob_bytes() const noexcept;
+
+  /// Writes a cycle into a scoreboard/commit-ring slot, keeping the
+  /// incremental kNeverCycle census that backs O(1) timing_wedged().
+  void track_write(std::uint64_t& slot, std::uint64_t value) noexcept {
+    core_.never_count += static_cast<std::int32_t>(value >= kNeverCycle) -
+                         static_cast<std::int32_t>(slot >= kNeverCycle);
+    slot = value;
+  }
 
   // All members are value types so the defaulted copy operations produce an
   // exact machine snapshot; see the copy-constructor comment above.
@@ -363,72 +465,29 @@ class CycleSim {
   /// it by refcount, like the program itself.
   std::shared_ptr<const isa::PredecodedProgram> predecode_;
   Memory memory_;
-  ArchState state_;
   BranchPredictor bpred_;
   std::optional<core::ItrUnit> itr_;
-  std::optional<cache::SetAssocCache<char>> icache_;  ///< tag array only
-  std::optional<cache::SetAssocCache<char>> dcache_;
+  std::optional<L1Tags> icache_;  ///< tag array only
+  std::optional<L1Tags> dcache_;
   RenameUnit rename_;
   std::optional<core::ItrCache> rename_cache_;  ///< rename-index signatures
-  std::uint64_t rename_sig_acc_ = 0;   ///< open trace's rename signature
-  std::uint64_t rename_fold_rotl_ = 0; ///< position-sensitive fold counter
   std::string output_;
 
-  // Timing state.
-  std::uint64_t fetch_cycle_ = 0;
-  unsigned fetch_slots_used_ = 0;
-  bool bundle_break_ = true;  ///< start of run begins a new bundle
-  std::uint64_t redirect_cycle_ = 0;
-  std::array<std::uint64_t, isa::kNumIntRegs> int_ready_{};
-  std::array<std::uint64_t, isa::kNumFpRegs> fp_ready_{};
+  /// All fixed-size machine state; one memcpy per snapshot.
+  CoreSnapshot core_;
   std::vector<std::uint64_t> commit_ring_;  ///< last rob_size commit cycles
-  std::uint64_t last_commit_cycle_ = 0;
-  std::uint64_t last_nominal_commit_ = 0;
-  unsigned commits_in_cycle_ = 0;
-  std::vector<std::uint32_t> issue_window_;  ///< rolling issue-bandwidth window
-  std::vector<std::uint64_t> issue_window_cycle_;
 
-  // Program-order state.
-  std::uint64_t decode_index_ = 0;
-  std::uint64_t commit_index_ = 0;
-  bool fault_injected_ = false;
-  std::uint64_t fault_decode_index_ = 0;
-  std::uint64_t fault_inject_cycle_ = 0;
-  bool fault_trace_completed_ = false;
-  std::uint64_t fault_trace_start_pc_ = 0;
-  core::ProbeOutcome fault_trace_probe_ = core::ProbeOutcome::kMiss;
-  std::uint64_t expected_commit_pc_ = 0;
-  bool have_expected_pc_ = false;
-  bool itr_has_open_trace_ = false;
-
-  // Monitoring-mode deadlock handling: after the watchdog trips, the decode
-  // side keeps running for a ROB's worth of instructions (as the hardware
-  // would, with commit stalled) so dispatch-time ITR checks still fire; then
-  // the run terminates as a deadlock.
-  bool deadlock_pending_ = false;
-  std::uint64_t deadlock_slack_ = 0;
-
-  // Recovery machinery.
+  // Recovery machinery (variable length, bounded by trace length).
   std::vector<UndoEntry> trace_undo_;     ///< effects of the open trace
   std::vector<CommitRecord> trace_commits_;  ///< held-back commits (recovery mode)
-  std::uint64_t trace_start_pc_ = 0;
-  std::size_t trace_output_len_ = 0;  ///< output length at trace start (undo)
-  bool retry_in_progress_ = false;
-  std::uint64_t retry_start_pc_ = 0;
 
-  // Output queues.
-  std::deque<CommitRecord> commit_queue_;
-  std::deque<ItrEvent> itr_events_;
+  // Output queues: flat rings (grow to high-water capacity, then allocation-free).
+  util::FlatRing<CommitRecord> commit_queue_{64};
+  util::FlatRing<ItrEvent> itr_events_{16};
 
   // Trace-profile recording (record_trace_profile, monitoring mode only).
   std::vector<TraceProfileSample> trace_profile_;
-  std::deque<std::uint64_t> profile_fetch_queue_;  ///< start fetch per completed trace
-  std::uint64_t profile_open_fetch_ = 0;  ///< fetch cycle of the open trace's start
-
-  PipelineStats stats_;
-  RunTermination termination_ = RunTermination::kRunning;
-  std::int32_t exit_status_ = 0;
-  std::uint64_t watchdog_cycle_ = 0;
+  util::FlatRing<std::uint64_t> profile_fetch_queue_{16};  ///< start fetch per completed trace
 };
 
 }  // namespace itr::sim

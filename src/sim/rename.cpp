@@ -20,63 +20,4 @@ RenameUnit::RenameUnit(unsigned phys_per_file) {
   }
 }
 
-std::uint16_t RenameUnit::read_port(bool fp, std::uint8_t index) const {
-  return fp ? fp_map_[index & 31u] : int_map_[index & 31u];
-}
-
-RenameRecord RenameUnit::rename(const isa::DecodeSignals& sig,
-                                std::uint64_t decode_index, const RenameFault& fault) {
-  RenameRecord rec;
-  const isa::Opcode op =
-      isa::is_valid_opcode(sig.opcode) ? sig.op() : isa::Opcode::kNop;
-
-  rec.has_src1 = sig.num_rsrc >= 1;
-  rec.has_src2 = sig.num_rsrc >= 2;
-  rec.has_dest = sig.num_rdst >= 1;
-  rec.src1_index = static_cast<std::uint8_t>(sig.rsrc1 & 31u);
-  rec.src2_index = static_cast<std::uint8_t>(sig.rsrc2 & 31u);
-  rec.dest_index = static_cast<std::uint8_t>(sig.rdst & 31u);
-  rec.dest_fp = dest_is_fp(op);
-
-  // A strike on the map-table index decoder: the port observes a corrupted
-  // architectural index.  Decode's signals are untouched — exactly the gap
-  // the paper's rename-ITR check closes.
-  if (fault.enabled && fault.target_decode_index == decode_index) {
-    const std::uint8_t flip = static_cast<std::uint8_t>(1u << (fault.bit % 5));
-    switch (fault.port % 3) {
-      case 0: rec.src1_index = static_cast<std::uint8_t>((rec.src1_index ^ flip) & 31u); break;
-      case 1: rec.src2_index = static_cast<std::uint8_t>((rec.src2_index ^ flip) & 31u); break;
-      case 2: rec.dest_index = static_cast<std::uint8_t>((rec.dest_index ^ flip) & 31u); break;
-    }
-  }
-
-  if (rec.has_src1) rec.src1_phys = read_port(src1_is_fp(op), rec.src1_index);
-  if (rec.has_src2) rec.src2_phys = read_port(src2_is_fp(op), rec.src2_index);
-
-  if (rec.has_dest && rec.dest_index != isa::kRegZero) {
-    auto& map = rec.dest_fp ? fp_map_ : int_map_;
-    auto& free = rec.dest_fp ? fp_free_ : int_free_;
-    if (free.empty()) {
-      // Free-list exhaustion cannot happen with commit() paired per rename;
-      // recycle in place rather than corrupting state.
-      rec.dest_phys = map[rec.dest_index];
-      rec.prev_dest_phys = rec.dest_phys;
-      return rec;
-    }
-    rec.prev_dest_phys = map[rec.dest_index];
-    rec.dest_phys = free.back();
-    free.pop_back();
-    map[rec.dest_index] = rec.dest_phys;
-  } else {
-    rec.has_dest = rec.has_dest && rec.dest_index != isa::kRegZero;
-  }
-  return rec;
-}
-
-void RenameUnit::commit(const RenameRecord& rec) {
-  if (!rec.has_dest || rec.dest_phys == rec.prev_dest_phys) return;
-  auto& free = rec.dest_fp ? fp_free_ : int_free_;
-  free.push_back(rec.prev_dest_phys);
-}
-
 }  // namespace itr::sim

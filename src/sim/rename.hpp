@@ -20,8 +20,36 @@
 #include <vector>
 
 #include "isa/decode.hpp"
+#include "sim/exec.hpp"
+#include "util/snapshot_io.hpp"
 
 namespace itr::sim {
+
+namespace rename_detail {
+
+// Which map table each operand port of an opcode addresses, folded into one
+// 256-entry table indexed by the raw (possibly fault-corrupted) opcode byte:
+// rename runs once per dynamic instruction, so the three out-of-line
+// classifier calls it replaces are hot-loop cost.
+inline constexpr std::uint8_t kPortSrc1Fp = 1u << 0;
+inline constexpr std::uint8_t kPortSrc2Fp = 1u << 1;
+inline constexpr std::uint8_t kPortDestFp = 1u << 2;
+
+inline std::array<std::uint8_t, 256> build_port_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned i = 0; i < 256; ++i) {
+    if (!isa::is_valid_opcode(static_cast<std::uint8_t>(i))) continue;
+    const auto op = static_cast<isa::Opcode>(i);
+    if (src1_is_fp(op)) t[i] |= kPortSrc1Fp;
+    if (src2_is_fp(op)) t[i] |= kPortSrc2Fp;
+    if (dest_is_fp(op)) t[i] |= kPortDestFp;
+  }
+  return t;
+}
+
+inline const std::array<std::uint8_t, 256> kPortTable = build_port_table();
+
+}  // namespace rename_detail
 
 /// A rename-port fault: on one dynamic instruction, one map-table index
 /// wire flips (port 0 = rsrc1, 1 = rsrc2, 2 = rdst).
@@ -69,12 +97,67 @@ class RenameUnit {
 
   /// Renames one instruction's operands; applies `fault` when it targets
   /// `decode_index`.  Sources read the current mappings; a destination
-  /// allocates a fresh physical register.
+  /// allocates a fresh physical register.  Defined here (with commit) so the
+  /// per-instruction pipeline loop can inline it.
   RenameRecord rename(const isa::DecodeSignals& sig, std::uint64_t decode_index,
-                      const RenameFault& fault);
+                      const RenameFault& fault) {
+    namespace rd = rename_detail;
+    RenameRecord rec;
+    const std::uint8_t ports = rd::kPortTable[sig.opcode];
+
+    rec.has_src1 = sig.num_rsrc >= 1;
+    rec.has_src2 = sig.num_rsrc >= 2;
+    rec.has_dest = sig.num_rdst >= 1;
+    rec.src1_index = static_cast<std::uint8_t>(sig.rsrc1 & 31u);
+    rec.src2_index = static_cast<std::uint8_t>(sig.rsrc2 & 31u);
+    rec.dest_index = static_cast<std::uint8_t>(sig.rdst & 31u);
+    rec.dest_fp = (ports & rd::kPortDestFp) != 0;
+
+    // A strike on the map-table index decoder: the port observes a corrupted
+    // architectural index.  Decode's signals are untouched — exactly the gap
+    // the paper's rename-ITR check closes.
+    if (fault.enabled && fault.target_decode_index == decode_index) {
+      const std::uint8_t flip = static_cast<std::uint8_t>(1u << (fault.bit % 5));
+      switch (fault.port % 3) {
+        case 0: rec.src1_index = static_cast<std::uint8_t>((rec.src1_index ^ flip) & 31u); break;
+        case 1: rec.src2_index = static_cast<std::uint8_t>((rec.src2_index ^ flip) & 31u); break;
+        case 2: rec.dest_index = static_cast<std::uint8_t>((rec.dest_index ^ flip) & 31u); break;
+      }
+    }
+
+    if (rec.has_src1) {
+      rec.src1_phys = read_port((ports & rd::kPortSrc1Fp) != 0, rec.src1_index);
+    }
+    if (rec.has_src2) {
+      rec.src2_phys = read_port((ports & rd::kPortSrc2Fp) != 0, rec.src2_index);
+    }
+
+    if (rec.has_dest && rec.dest_index != isa::kRegZero) {
+      auto& map = rec.dest_fp ? fp_map_ : int_map_;
+      auto& free = rec.dest_fp ? fp_free_ : int_free_;
+      if (free.empty()) {
+        // Free-list exhaustion cannot happen with commit() paired per rename;
+        // recycle in place rather than corrupting state.
+        rec.dest_phys = map[rec.dest_index];
+        rec.prev_dest_phys = rec.dest_phys;
+        return rec;
+      }
+      rec.prev_dest_phys = map[rec.dest_index];
+      rec.dest_phys = free.back();
+      free.pop_back();
+      map[rec.dest_index] = rec.dest_phys;
+    } else {
+      rec.has_dest = rec.has_dest && rec.dest_index != isa::kRegZero;
+    }
+    return rec;
+  }
 
   /// Commit-side release: the displaced previous mapping becomes free again.
-  void commit(const RenameRecord& rec);
+  void commit(const RenameRecord& rec) {
+    if (!rec.has_dest || rec.dest_phys == rec.prev_dest_phys) return;
+    auto& free = rec.dest_fp ? fp_free_ : int_free_;
+    free.push_back(rec.prev_dest_phys);
+  }
 
   /// Current physical mapping of an architectural register (for tests).
   std::uint16_t int_mapping(unsigned arch) const { return int_map_[arch & 31u]; }
@@ -83,8 +166,32 @@ class RenameUnit {
   std::size_t int_free_count() const noexcept { return int_free_.size(); }
   std::size_t fp_free_count() const noexcept { return fp_free_.size(); }
 
+  /// Snapshot protocol (see util/snapshot_io.hpp).  Footprint varies with
+  /// free-list occupancy (bounded by phys_per_file).
+  std::size_t snapshot_bytes() const noexcept {
+    namespace snapio = util::snapio;
+    return snapio::lane_bytes_arr(int_map_) + snapio::lane_bytes_arr(fp_map_) +
+           snapio::vec_bytes(int_free_) + snapio::vec_bytes(fp_free_);
+  }
+  std::byte* save_snapshot(std::byte* out) const noexcept {
+    namespace snapio = util::snapio;
+    out = snapio::put(out, int_map_);
+    out = snapio::put(out, fp_map_);
+    out = snapio::put_vec(out, int_free_);
+    return snapio::put_vec(out, fp_free_);
+  }
+  const std::byte* restore_snapshot(const std::byte* in) {
+    namespace snapio = util::snapio;
+    in = snapio::get(in, int_map_);
+    in = snapio::get(in, fp_map_);
+    in = snapio::get_vec(in, int_free_);
+    return snapio::get_vec(in, fp_free_);
+  }
+
  private:
-  std::uint16_t read_port(bool fp, std::uint8_t index) const;
+  std::uint16_t read_port(bool fp, std::uint8_t index) const {
+    return fp ? fp_map_[index & 31u] : int_map_[index & 31u];
+  }
 
   std::array<std::uint16_t, 32> int_map_{};
   std::array<std::uint16_t, 32> fp_map_{};

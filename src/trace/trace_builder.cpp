@@ -4,22 +4,9 @@ namespace itr::trace {
 
 void TraceBuilder::on_instruction(std::uint64_t pc, const isa::DecodeSignals& sig,
                                   std::uint64_t insn_index) {
-  if (!open_) {
-    current_ = TraceRecord{};
-    current_.start_pc = pc;
-    current_.first_insn_index = insn_index;
-    open_ = true;
-  }
-  current_.signature ^= sig.pack();
-  ++current_.num_instructions;
-
   const bool terminating = sig.has_flag(isa::Flag::kIsBranch) ||
                            sig.has_flag(isa::Flag::kIsUncond);
-  if (terminating || current_.num_instructions >= max_length_) {
-    current_.ended_on_branch = terminating;
-    emit(current_);
-    open_ = false;
-  }
+  (void)fold(pc, sig.pack(), terminating, insn_index);
 }
 
 void TraceBuilder::flush() {

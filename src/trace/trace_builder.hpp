@@ -12,7 +12,9 @@
 // boundaries, and the resulting signature mismatch is how ITR catches it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 
@@ -55,6 +57,30 @@ class TraceBuilder {
   void on_instruction(std::uint64_t pc, const isa::DecodeSignals& sig,
                       std::uint64_t insn_index);
 
+  /// Hot-path variant: the caller supplies the precomputed packed image of
+  /// the signals (predecode tables carry one per static instruction) and the
+  /// trace-terminating flag, so the per-instruction fold is a XOR and a
+  /// counter — no field re-packing.  Returns true when this instruction
+  /// completed the trace.
+  bool fold(std::uint64_t pc, std::uint64_t packed, bool terminating,
+            std::uint64_t insn_index) {
+    if (!open_) {
+      current_ = TraceRecord{};
+      current_.start_pc = pc;
+      current_.first_insn_index = insn_index;
+      open_ = true;
+    }
+    current_.signature ^= packed;
+    ++current_.num_instructions;
+    if (terminating || current_.num_instructions >= max_length_) {
+      current_.ended_on_branch = terminating;
+      emit(current_);
+      open_ = false;
+      return true;
+    }
+    return false;
+  }
+
   /// Flushes a partially formed trace (end of simulation); emits it with
   /// ended_on_branch=false if non-empty.
   void flush();
@@ -77,6 +103,34 @@ class TraceBuilder {
 
   bool has_open_trace() const noexcept { return open_; }
   std::uint64_t open_start_pc() const noexcept { return current_.start_pc; }
+
+  /// Snapshot protocol (see util/snapshot_io.hpp): in-progress trace state
+  /// only — the sink and max_length are configuration, not machine state.
+  /// Constant footprint.
+  static constexpr std::size_t kSnapshotBytes =
+      2 * sizeof(TraceRecord) + 2;  // current_, pending_ payload, 2 flag bytes
+  std::byte* save_snapshot(std::byte* out) const noexcept {
+    std::memcpy(out, &current_, sizeof current_);
+    out += sizeof current_;
+    const TraceRecord pending = pending_.value_or(TraceRecord{});
+    std::memcpy(out, &pending, sizeof pending);
+    out += sizeof pending;
+    *out++ = static_cast<std::byte>(pending_.has_value() ? 1 : 0);
+    *out++ = static_cast<std::byte>(open_ ? 1 : 0);
+    return out;
+  }
+  const std::byte* restore_snapshot(const std::byte* in) noexcept {
+    std::memcpy(&current_, in, sizeof current_);
+    in += sizeof current_;
+    TraceRecord pending;
+    std::memcpy(&pending, in, sizeof pending);
+    in += sizeof pending;
+    pending_ = static_cast<std::uint8_t>(*in++) != 0
+                   ? std::optional<TraceRecord>(pending)
+                   : std::nullopt;
+    open_ = static_cast<std::uint8_t>(*in++) != 0;
+    return in;
+  }
 
  private:
   void emit(const TraceRecord& rec) {

@@ -1,0 +1,117 @@
+// Flat ring buffer for trivially-copyable elements.
+//
+// Replaces std::deque in the simulator hot loops: a deque allocates and
+// frees 512-byte map nodes as it cycles, which shows up directly in the
+// per-instruction profile and makes the owning object non-memcpyable.  The
+// ring keeps one contiguous power-of-two allocation, sized once to the
+// expected high-water mark; overflow doubles it (amortized, and never on
+// the steady-state path).  Elements must be trivially copyable so that the
+// grow path and the snapshot serializer can memcpy them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace itr::util {
+
+template <typename T>
+class FlatRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatRing elements must be trivially copyable");
+
+ public:
+  FlatRing() = default;
+  explicit FlatRing(std::size_t initial_capacity) { reserve(initial_capacity); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  T& front() noexcept { return buf_[head_]; }
+  const T& front() const noexcept { return buf_[head_]; }
+
+  /// Element `i` positions behind the front (0 = front).
+  const T& at(std::size_t i) const noexcept {
+    return buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  T& at(std::size_t i) noexcept { return buf_[(head_ + i) & (buf_.size() - 1)]; }
+
+  void push_back(const T& value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = value;
+    ++size_;
+  }
+
+  /// Slot for in-place construction of the next element (avoids copying
+  /// large records through the call boundary).
+  T& push_slot() {
+    if (size_ == buf_.size()) grow();
+    T& slot = buf_[(head_ + size_) & (buf_.size() - 1)];
+    ++size_;
+    return slot;
+  }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  /// Ensures capacity for at least `n` elements (rounded up to a power of
+  /// two); never shrinks.
+  void reserve(std::size_t n) {
+    std::size_t cap = buf_.size() == 0 ? 4 : buf_.size();
+    while (cap < n) cap *= 2;
+    if (cap != buf_.size()) regrow(cap);
+  }
+
+  /// Serialized footprint: element count + elements in queue order.
+  std::size_t snapshot_bytes() const noexcept {
+    return sizeof(std::uint64_t) + size_ * sizeof(T);
+  }
+  std::byte* save_snapshot(std::byte* out) const noexcept {
+    const std::uint64_t n = size_;
+    std::memcpy(out, &n, sizeof n);
+    out += sizeof n;
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::memcpy(out, &at(i), sizeof(T));
+      out += sizeof(T);
+    }
+    return out;
+  }
+  const std::byte* restore_snapshot(const std::byte* in) {
+    std::uint64_t n = 0;
+    std::memcpy(&n, in, sizeof n);
+    in += sizeof n;
+    clear();
+    reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::memcpy(&push_slot(), in, sizeof(T));
+      in += sizeof(T);
+    }
+    return in;
+  }
+
+ private:
+  void grow() { regrow(buf_.size() == 0 ? 4 : buf_.size() * 2); }
+
+  void regrow(std::size_t new_cap) {
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = at(i);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace itr::util

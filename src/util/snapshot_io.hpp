@@ -1,0 +1,91 @@
+// Byte-blob serialization helpers for machine snapshots.
+//
+// Every snapshot-capable component exposes the same three-method protocol:
+//
+//   std::size_t snapshot_bytes() const;        // exact footprint
+//   std::byte*  save_snapshot(std::byte*) const;   // write, return advanced
+//   const std::byte* restore_snapshot(const std::byte*);  // read, advance
+//
+// Geometry (table sizes, ring capacities fixed by config) is NOT serialized:
+// save and restore must run against identically-configured objects, which
+// the simulator guarantees by construction.  Everything serialized is
+// trivially copyable, so a snapshot is a bounded sequence of memcpys — the
+// property the checkpoint fast path is built on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace itr::util::snapio {
+
+template <typename T>
+inline std::byte* put(std::byte* out, const T& value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(out, &value, sizeof(T));
+  return out + sizeof(T);
+}
+
+template <typename T>
+inline const std::byte* get(const std::byte* in, T& value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(&value, in, sizeof(T));
+  return in + sizeof(T);
+}
+
+/// Fixed-size lane (vector whose length is set at construction and never
+/// changes): only the payload is copied, never the length.
+template <typename T>
+inline std::byte* put_lane(std::byte* out, const std::vector<T>& lane) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(out, lane.data(), lane.size() * sizeof(T));
+  return out + lane.size() * sizeof(T);
+}
+
+template <typename T>
+inline const std::byte* get_lane(const std::byte* in, std::vector<T>& lane) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(lane.data(), in, lane.size() * sizeof(T));
+  return in + lane.size() * sizeof(T);
+}
+
+template <typename T>
+inline std::size_t lane_bytes(const std::vector<T>& lane) noexcept {
+  return lane.size() * sizeof(T);
+}
+
+/// std::array lane: same as put()/get() on the array object; this helper
+/// exists for symmetric snapshot_bytes() arithmetic.
+template <typename T, std::size_t N>
+inline std::size_t lane_bytes_arr(const std::array<T, N>&) noexcept {
+  return N * sizeof(T);
+}
+
+/// Variable-length vector (e.g. the trace-profile log): length + payload.
+template <typename T>
+inline std::size_t vec_bytes(const std::vector<T>& v) noexcept {
+  return sizeof(std::uint64_t) + v.size() * sizeof(T);
+}
+
+template <typename T>
+inline std::byte* put_vec(std::byte* out, const std::vector<T>& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out = put(out, static_cast<std::uint64_t>(v.size()));
+  std::memcpy(out, v.data(), v.size() * sizeof(T));
+  return out + v.size() * sizeof(T);
+}
+
+template <typename T>
+inline const std::byte* get_vec(const std::byte* in, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t n = 0;
+  in = get(in, n);
+  v.resize(static_cast<std::size_t>(n));
+  std::memcpy(v.data(), in, v.size() * sizeof(T));
+  return in + v.size() * sizeof(T);
+}
+
+}  // namespace itr::util::snapio

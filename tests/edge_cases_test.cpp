@@ -133,11 +133,11 @@ TEST(ItrUnitEdge, FinishDrainsPendingInstalls) {
 TEST(ItrUnitEdge, SixteenInstructionTraceRoundTrip) {
   core::ItrUnit unit(core::ItrCacheConfig{});
   const auto add = isa::decode(isa::make_rr(Opcode::kAdd, 1, 2, 3));
-  std::optional<trace::TraceRecord> completed;
+  const trace::TraceRecord* completed = nullptr;
   for (unsigned i = 0; i < 16; ++i) {
     completed = unit.on_decode(0x100 + i * 8, add, i, 1);
   }
-  ASSERT_TRUE(completed.has_value());  // hit the 16-instruction limit
+  ASSERT_NE(completed, nullptr);  // hit the 16-instruction limit
   EXPECT_EQ(completed->num_instructions, 16u);
   EXPECT_FALSE(completed->ended_on_branch);
 }

@@ -200,9 +200,9 @@ isa::DecodeSignals jump_sig() {
 TEST(ItrUnit, TraceDispatchAndMissWrite) {
   ItrUnit unit(small_cfg());
   std::uint64_t cycle = 10;
-  EXPECT_FALSE(unit.on_decode(0x100, add_sig(), 0, cycle).has_value());
+  EXPECT_EQ(unit.on_decode(0x100, add_sig(), 0, cycle), nullptr);
   const auto completed = unit.on_decode(0x108, jump_sig(), 1, cycle);
-  ASSERT_TRUE(completed.has_value());
+  ASSERT_NE(completed, nullptr);
   EXPECT_EQ(completed->start_pc, 0x100u);
   EXPECT_EQ(completed->num_instructions, 2u);
   EXPECT_EQ(unit.rob_occupancy(), 1u);
@@ -222,7 +222,7 @@ TEST(ItrUnit, InstallDeferredUntilCommitCycle) {
   // has not happened yet)...
   unit.on_decode(0x100, add_sig(), 2, 15);
   const auto t2 = unit.on_decode(0x108, jump_sig(), 3, 15);
-  ASSERT_TRUE(t2.has_value());
+  ASSERT_NE(t2, nullptr);
   EXPECT_EQ(unit.poll_at_commit(25).action, CommitAction::kWriteCache);
   // ...but one dispatching after cycle 20 hits.
   unit.on_decode(0x100, add_sig(), 4, 30);
@@ -302,7 +302,7 @@ TEST(ItrUnit, SquashDiscardsOpenTrace) {
   // The next instruction starts a fresh trace at its own PC.
   unit.on_decode(0x300, add_sig(), 1, 2);
   const auto t = unit.on_decode(0x308, jump_sig(), 2, 2);
-  ASSERT_TRUE(t.has_value());
+  ASSERT_NE(t, nullptr);
   EXPECT_EQ(t->start_pc, 0x300u);
   EXPECT_EQ(t->num_instructions, 2u);
 }

@@ -1,0 +1,239 @@
+// Snapshot round-trip tests for the flattened core (DESIGN.md §12): saving
+// a machine image, running the original N more commits, restoring the image
+// into another machine (freshly built or already used) and re-running must
+// reproduce the original continuation byte for byte — commit records with
+// timing, ITR events, stats, output and final architectural state — across
+// the itr_recovery × rename_check × fault-armed configuration cross.
+//
+// The compile-time guarantee the fast path rests on is also pinned here:
+// CoreSnapshot must stay trivially copyable, or save/restore stops being a
+// memcpy.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/functional.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace itr {
+namespace {
+
+static_assert(std::is_trivially_copyable_v<sim::CoreSnapshot>,
+              "CoreSnapshot must remain a memcpy-able POD: the snapshot fast "
+              "path and the arena replicas depend on it");
+
+bool identical_commit(const sim::CommitRecord& a, const sim::CommitRecord& b) {
+  return a.index == b.index && a.commit_cycle == b.commit_cycle &&
+         a.exited == b.exited && a.engaged_control == b.engaged_control &&
+         a.spc_fired == b.spc_fired && a.aborted == b.aborted &&
+         a.architecturally_equal(b);
+}
+
+bool identical_event(const sim::ItrEvent& a, const sim::ItrEvent& b) {
+  return a.kind == b.kind && a.cycle == b.cycle &&
+         a.trace_start_pc == b.trace_start_pc &&
+         a.incoming_contains_fault == b.incoming_contains_fault &&
+         a.cached_was_unchecked == b.cached_was_unchecked;
+}
+
+/// Everything observable a continuation produces.
+struct Tail {
+  std::vector<sim::CommitRecord> commits;
+  std::vector<sim::ItrEvent> events;
+};
+
+Tail run_tail(sim::CycleSim& cs, std::uint64_t max_commits) {
+  Tail t;
+  while (t.commits.size() < max_commits && cs.advance()) {
+    while (auto ev = cs.next_itr_event()) t.events.push_back(*ev);
+    while (auto c = cs.next_commit()) t.commits.push_back(*c);
+  }
+  while (auto ev = cs.next_itr_event()) t.events.push_back(*ev);
+  while (auto c = cs.next_commit()) t.commits.push_back(*c);
+  return t;
+}
+
+void expect_same_tail(const Tail& want, const Tail& got, const char* label) {
+  ASSERT_EQ(want.commits.size(), got.commits.size()) << label;
+  for (std::size_t i = 0; i < want.commits.size(); ++i) {
+    ASSERT_TRUE(identical_commit(want.commits[i], got.commits[i]))
+        << label << ": commit " << i << " differs";
+  }
+  ASSERT_EQ(want.events.size(), got.events.size()) << label;
+  for (std::size_t i = 0; i < want.events.size(); ++i) {
+    ASSERT_TRUE(identical_event(want.events[i], got.events[i]))
+        << label << ": ITR event " << i << " differs";
+  }
+}
+
+void expect_same_end_state(const sim::CycleSim& a, const sim::CycleSim& b,
+                           const char* label) {
+  EXPECT_EQ(a.stats(), b.stats()) << label;
+  EXPECT_EQ(a.termination(), b.termination()) << label;
+  EXPECT_EQ(a.exit_status(), b.exit_status()) << label;
+  EXPECT_EQ(a.output(), b.output()) << label;
+  EXPECT_TRUE(a.state() == b.state()) << label;
+  EXPECT_EQ(a.decode_count(), b.decode_count()) << label;
+}
+
+struct Variant {
+  const char* label;
+  bool itr_recovery;
+  bool rename_check;
+  bool arm_fault;
+};
+
+sim::CycleSim::Options options_for(const Variant& v) {
+  sim::CycleSim::Options opt;
+  opt.itr = core::ItrCacheConfig{};
+  opt.itr_recovery = v.itr_recovery;
+  opt.rename_check = v.rename_check;
+  opt.max_cycles = 400'000;
+  if (v.arm_fault) {
+    opt.fault.enabled = true;
+    opt.fault.target_decode_index = 2'500;  // past the pause point below
+    opt.fault.bit = 17;
+  }
+  return opt;
+}
+
+constexpr std::uint64_t kPauseCommits = 1'000;
+constexpr std::uint64_t kTailCommits = 6'000;
+
+/// Runs `variant` three ways — uninterrupted, save-at-pause then keep going,
+/// and restore-into-another-machine — and demands identical continuations.
+void check_round_trip(const isa::Program& prog, const Variant& v) {
+  SCOPED_TRACE(v.label);
+
+  // Reference machine: pause, snapshot, continue.
+  sim::CycleSim original(prog, options_for(v));
+  const Tail prefix = run_tail(original, kPauseCommits);
+  sim::CycleSim::Snapshot snap;
+  original.save(snap);
+  const Tail want = run_tail(original, kTailCommits);
+
+  // Restore into a freshly-constructed machine.
+  sim::CycleSim fresh_target(prog, options_for(v));
+  fresh_target.restore(snap);
+  const Tail got_fresh = run_tail(fresh_target, kTailCommits);
+  expect_same_tail(want, got_fresh, "restore into fresh machine");
+  expect_same_end_state(original, fresh_target, "restore into fresh machine");
+
+  // Restore into a same-configured machine that already ran to completion —
+  // the scratch/arena steady state, where every piece of dynamic state left
+  // by the previous occupant must be fully overwritten.  (Options are
+  // deliberately NOT part of the snapshot: the scratch-path contract is
+  // restore-into-same-config, with arm_fault supplying per-injection plans.)
+  sim::CycleSim used_target(prog, options_for(v));
+  (void)run_tail(used_target, kPauseCommits + kTailCommits);
+  used_target.restore(snap);
+  const Tail got_used = run_tail(used_target, kTailCommits);
+  expect_same_tail(want, got_used, "restore into used machine");
+  expect_same_end_state(original, used_target, "restore into used machine");
+
+  // Restoring twice from the same image must be idempotent.
+  used_target.restore(snap);
+  const Tail got_again = run_tail(used_target, kTailCommits);
+  expect_same_tail(want, got_again, "second restore from same image");
+}
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SnapshotRoundTrip, ContinuationIsByteIdentical) {
+  const auto prog = workload::generate_spec("bzip", 123);
+  check_round_trip(prog, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SnapshotRoundTrip,
+    ::testing::Values(
+        Variant{"monitor", false, false, false},
+        Variant{"monitor-fault", false, false, true},
+        Variant{"monitor-rename", false, true, false},
+        Variant{"monitor-rename-fault", false, true, true},
+        Variant{"recovery", true, false, false},
+        Variant{"recovery-fault", true, false, true},
+        Variant{"recovery-rename", true, true, false},
+        Variant{"recovery-rename-fault", true, true, true}),
+    [](const ::testing::TestParamInfo<Variant>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SnapshotRoundTrip, ArmFaultAfterRestoreMatchesConstructedFault) {
+  // arm_fault on a restored machine must behave exactly like constructing
+  // the machine with the fault in its options — the campaign scratch path.
+  const auto prog = workload::generate_spec("gcc", 77);
+
+  Variant armed{"armed", false, false, true};
+  sim::CycleSim reference(prog, options_for(armed));
+  const Tail ref_prefix = run_tail(reference, kPauseCommits);
+  const Tail want = run_tail(reference, kTailCommits);
+
+  Variant clean{"clean", false, false, false};
+  sim::CycleSim paused(prog, options_for(clean));
+  (void)run_tail(paused, kPauseCommits);
+  sim::CycleSim::Snapshot snap;
+  paused.save(snap);
+
+  sim::CycleSim scratch(prog, options_for(clean));
+  (void)run_tail(scratch, 300);  // dirty the scratch first
+  scratch.restore(snap);
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.target_decode_index = 2'500;
+  plan.bit = 17;
+  scratch.arm_fault(plan);
+  const Tail got = run_tail(scratch, kTailCommits);
+  expect_same_tail(want, got, "armed after restore");
+  expect_same_end_state(reference, scratch, "armed after restore");
+}
+
+TEST(SnapshotRoundTrip, FunctionalSimRoundTrip) {
+  const auto prog = workload::generate_spec("vortex", 9);
+
+  sim::FunctionalSim original(prog);
+  (void)original.run(1'000);
+  sim::FunctionalSim::Snapshot snap;
+  original.save(snap);
+
+  std::vector<sim::FunctionalSim::Step> want;
+  (void)original.run(20'000, [&](const sim::FunctionalSim::Step& s) {
+    want.push_back(s);
+  });
+
+  sim::FunctionalSim restored(prog);
+  (void)restored.run(333);  // dirty it first; restore must overwrite
+  restored.restore(snap);
+  std::vector<sim::FunctionalSim::Step> got;
+  (void)restored.run(20'000, [&](const sim::FunctionalSim::Step& s) {
+    got.push_back(s);
+  });
+
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].pc, got[i].pc) << i;
+    ASSERT_EQ(want[i].index, got[i].index) << i;
+    ASSERT_EQ(want[i].sig.pack(), got[i].sig.pack()) << i;
+    ASSERT_EQ(want[i].fx.next_pc, got[i].fx.next_pc) << i;
+  }
+  EXPECT_TRUE(original.state() == restored.state());
+  EXPECT_EQ(original.output(), restored.output());
+  EXPECT_EQ(original.instructions_retired(), restored.instructions_retired());
+  EXPECT_EQ(original.done(), restored.done());
+  EXPECT_EQ(original.aborted(), restored.aborted());
+  EXPECT_EQ(original.exit_status(), restored.exit_status());
+}
+
+}  // namespace
+}  // namespace itr

@@ -91,7 +91,17 @@ def diff_stats(base, curr):
     return 0
 
 
-def diff_benchmarks(base_data, curr_data, counters, threshold, baseline_name):
+def threshold_for(name, default, strict):
+    """Tightest threshold whose benchmark-name prefix matches `name`."""
+    pct = default
+    for prefix, strict_pct in strict.items():
+        if name.startswith(prefix):
+            pct = min(pct, strict_pct)
+    return pct
+
+
+def diff_benchmarks(base_data, curr_data, counters, threshold, strict,
+                    baseline_name):
     base = load_benchmarks(base_data)
     curr = load_benchmarks(curr_data)
 
@@ -103,6 +113,7 @@ def diff_benchmarks(base_data, curr_data, counters, threshold, baseline_name):
     regressions = []
     rows = []
     for name in sorted(set(base) & set(curr)):
+        limit = threshold_for(name, threshold, strict)
         for counter in counters:
             b = base[name].get(counter)
             c = curr[name].get(counter)
@@ -111,9 +122,9 @@ def diff_benchmarks(base_data, curr_data, counters, threshold, baseline_name):
             if b <= 0:
                 continue
             delta_pct = 100.0 * (c - b) / b
-            rows.append((name, counter, b, c, delta_pct))
-            if delta_pct < -threshold:
-                regressions.append((name, counter, delta_pct))
+            rows.append((name, counter, b, c, delta_pct, limit))
+            if delta_pct < -limit:
+                regressions.append((name, counter, delta_pct, limit))
 
     if not rows:
         print("error: no comparable counters found "
@@ -121,19 +132,22 @@ def diff_benchmarks(base_data, curr_data, counters, threshold, baseline_name):
         return 2
 
     width = max(len(f"{name} [{counter}]") for name, counter, *_ in rows)
-    for name, counter, b, c, delta_pct in rows:
-        mark = " <-- REGRESSION" if delta_pct < -threshold else ""
+    for name, counter, b, c, delta_pct, limit in rows:
+        mark = f" <-- REGRESSION (>{limit:g}%)" if delta_pct < -limit else ""
         print(f"{f'{name} [{counter}]':<{width}}  "
               f"{b:>14.4g} -> {c:>14.4g}  {delta_pct:+7.1f}%{mark}")
 
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} counter(s) regressed more than "
-            f"{threshold:g}% vs {baseline_name}",
+            f"\nFAIL: {len(regressions)} counter(s) regressed past their "
+            f"threshold vs {baseline_name}",
             file=sys.stderr,
         )
         return 1
-    print(f"\nOK: no counter regressed more than {threshold:g}%")
+    print(f"\nOK: no counter regressed past its threshold "
+          f"(default {threshold:g}%"
+          + (f"; strict: {', '.join(f'{k}:{v:g}%' for k, v in strict.items())}"
+             if strict else "") + ")")
     return 0
 
 
@@ -155,8 +169,26 @@ def main():
         help="comma-separated higher-is-better perf counters to compare "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--strict",
+        action="append",
+        default=[],
+        metavar="PREFIX:PCT",
+        help="tighter per-benchmark threshold: benchmarks whose name starts "
+        "with PREFIX fail on drops larger than PCT percent (repeatable; "
+        "e.g. --strict BM_CycleSim:5)",
+    )
     args = parser.parse_args()
     counters = [c for c in args.counters.split(",") if c]
+    strict = {}
+    for spec in args.strict:
+        prefix, sep, pct = spec.rpartition(":")
+        if not sep or not prefix:
+            parser.error(f"--strict wants PREFIX:PCT, got '{spec}'")
+        try:
+            strict[prefix] = float(pct)
+        except ValueError:
+            parser.error(f"--strict wants a numeric PCT, got '{spec}'")
 
     base_data = load_json(args.baseline)
     curr_data = load_json(args.current)
@@ -172,7 +204,7 @@ def main():
     if base_is_stats:
         return diff_stats(base_data, curr_data)
     return diff_benchmarks(base_data, curr_data, counters, args.threshold,
-                           args.baseline)
+                           strict, args.baseline)
 
 
 if __name__ == "__main__":
