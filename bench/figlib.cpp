@@ -6,6 +6,7 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+#include "fi/service.hpp"
 #include "itr/sweep_engine.hpp"
 #include "power/cacti.hpp"
 #include "sim/functional.hpp"
@@ -179,54 +180,35 @@ util::Table fault_injection_table(const std::vector<std::string>& names,
                                   std::uint64_t ladder_interval,
                                   fi::PruneConfig prune, fi::ExecMode exec,
                                   std::uint64_t batch_width) {
-  std::vector<std::string> headers = {"benchmark"};
-  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
-    headers.push_back(fi::outcome_label(static_cast<fi::Outcome>(i)));
-  }
-  headers.push_back("ITR-detected");
-  util::Table table(std::move(headers));
+  // The campaign parameters and the table rendering are shared with the
+  // sharded campaign service (fi/service): make_campaign_config derives the
+  // per-benchmark config and fault_injection_table_from_tallies builds the
+  // rows, so `itr_sim --campaign-merge` output is byte-identical to this
+  // single-process builder by construction.
+  fi::service::CampaignSpec spec;
+  spec.benchmarks = names;
+  spec.insns = insns;
+  spec.faults = faults;
+  spec.window = window_cycles;
+  spec.seed = seed;
+  spec.mode = mode;
+  spec.ladder_interval = ladder_interval;
+  spec.prune = prune;
+  spec.exec = exec;
+  spec.batch_width = batch_width;
 
   // One campaign per benchmark; campaigns run concurrently, and when there
   // are spare lanes (few benchmarks, many threads) each campaign fans its
-  // injections over them too.  Percentages land in per-benchmark slots, so
-  // row order and the Avg row are thread-count independent.
+  // injections over them too.  Tallies land in per-benchmark slots, so row
+  // order and the Avg row are thread-count independent.
   const unsigned inner = inner_threads(threads, names.size());
-  std::vector<std::array<double, fi::kNumOutcomes + 1>> pct(names.size());
+  std::vector<fi::service::OutcomeTally> tallies(names.size());
   util::parallel_for(threads, names.size(), [&](std::size_t b) {
     const auto prog = workload::generate_spec(names[b], insns);
-    fi::CampaignConfig cfg;
-    cfg.observation_cycles = window_cycles;
-    cfg.warmup_instructions = std::min<std::uint64_t>(insns / 10, 50'000);
-    cfg.inject_region = insns / 2;
-    cfg.seed = seed;
-    cfg.checkpoint_mode = mode;
-    cfg.ladder_interval = ladder_interval;
-    cfg.prune = prune;
-    cfg.exec = exec;
-    cfg.batch_width = batch_width;
-    fi::FaultInjectionCampaign camp(prog, cfg);
-    const auto summary = camp.run(faults, inner);
-    for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
-      pct[b][i] = summary.percent(static_cast<fi::Outcome>(i));
-    }
-    pct[b][fi::kNumOutcomes] = summary.itr_detected_percent();
+    fi::FaultInjectionCampaign camp(prog, fi::service::make_campaign_config(spec));
+    tallies[b] = fi::service::OutcomeTally::from_summary(camp.run(faults, inner));
   });
-
-  std::array<double, fi::kNumOutcomes + 1> avg{};
-  for (std::size_t b = 0; b < names.size(); ++b) {
-    table.begin_row().add(names[b]);
-    for (std::size_t i = 0; i < fi::kNumOutcomes + 1; ++i) {
-      table.add(pct[b][i], 1);
-      avg[i] += pct[b][i];
-    }
-  }
-  if (!names.empty()) {
-    table.begin_row().add("Avg");
-    for (std::size_t i = 0; i < fi::kNumOutcomes + 1; ++i) {
-      table.add(avg[i] / static_cast<double>(names.size()), 1);
-    }
-  }
-  return table;
+  return fi::service::fault_injection_table_from_tallies(names, tallies);
 }
 
 util::Table energy_table(const std::vector<std::string>& names, std::uint64_t insns,

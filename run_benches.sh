@@ -12,6 +12,14 @@
 #                and compare against FILE with tools/bench_diff.py; a >10%
 #                throughput regression fails the script (>5% for BM_CycleSim,
 #                the simulator's core instruction-throughput number)
+#   --serve DIR  campaign-fleet worker mode: instead of the exhibit loop,
+#                serve the sharded campaign in DIR (see itr_sim
+#                --campaign-shard / --campaign-merge and EXPERIMENTS.md).
+#                The extra flags — --stream-cache DIR in particular, plus
+#                --threads, --lease-seconds, --max-shards — are forwarded
+#                verbatim to the worker, so a fleet launched through this
+#                script shares one trace-stream cache the same way the
+#                exhibit loop does
 #   extra flags  forwarded verbatim to every binary (e.g. --threads 8,
 #                --insns 500000, --benchmarks bzip,gcc)
 #
@@ -26,6 +34,7 @@ bench_dir=build/bench
 csv=0
 out_dir=""
 baseline=""
+serve_dir=""
 passthrough=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -41,10 +50,25 @@ while [ $# -gt 0 ]; do
       baseline=$2
       shift
       ;;
+    --serve)
+      [ $# -ge 2 ] || { echo "error: --serve needs a shard directory" >&2; exit 2; }
+      serve_dir=$2
+      shift
+      ;;
     *) passthrough+=("$1") ;;
   esac
   shift
 done
+
+if [ -n "$serve_dir" ]; then
+  itr_sim=build/tools/itr_sim
+  [ -x "$itr_sim" ] || { echo "error: $itr_sim not found; build first" >&2; exit 2; }
+  # Worker mode: every extra flag (--stream-cache, --threads, ...) goes
+  # straight through to the serve loop; run this from as many processes or
+  # hosts (shared filesystem) as you like, then itr_sim --campaign-merge.
+  exec "$itr_sim" --campaign-serve --shard-dir "$serve_dir" \
+    ${passthrough[@]+"${passthrough[@]}"}
+fi
 
 [ -z "$baseline" ] || [ -f "$baseline" ] || {
   echo "error: baseline $baseline not found" >&2; exit 2; }

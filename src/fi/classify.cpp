@@ -475,26 +475,38 @@ const SimCheckpoint* FaultInjectionCampaign::nearest_checkpoint(
 
 CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
                                             unsigned threads) {
+  return run_slice(PlanSlice::full(num_faults), threads);
+}
+
+CampaignSummary FaultInjectionCampaign::run_slice(const PlanSlice& slice,
+                                                  unsigned threads) {
   obs::Span campaign_span("campaign", "fi");
   if (obs::tracing_enabled()) {
     campaign_span.set_args(
-        "{\"faults\": " + std::to_string(num_faults) + ", \"mode\": \"" +
+        "{\"faults\": " + std::to_string(slice.num_faults) + ", \"mode\": \"" +
         checkpoint_mode_name(config_.checkpoint_mode) +
         "\", \"threads\": " + std::to_string(threads) + "}");
   }
   // Pre-draw every (target, bit) pair from the single sequential RNG stream
   // the serial implementation always used: the sampled plan — and therefore
-  // the whole campaign — is independent of the thread count.
+  // the whole campaign — is independent of the thread count.  A slice
+  // re-draws the FULL plan even though it simulates a subset: membership is
+  // defined over plan indices and drawn bits, so the stream must be
+  // identical in every shard.
   struct Draw {
     std::uint64_t target = 0;
     unsigned bit = 0;
   };
-  std::vector<Draw> plan(static_cast<std::size_t>(num_faults));
+  std::vector<Draw> plan(static_cast<std::size_t>(slice.num_faults));
   util::Xoshiro256StarStar rng(config_.seed);
   for (Draw& d : plan) {
     d.target = config_.warmup_instructions + rng.below(config_.inject_region);
     d.bit = static_cast<unsigned>(rng.below(isa::kSignalBits));
   }
+  const auto is_member = [&](std::size_t i) {
+    return i >= slice.begin && i < slice.end &&
+           plan[i].bit >= slice.bit_begin && plan[i].bit < slice.bit_end;
+  };
 
   // One-time golden analysis arms pruning for this campaign.  Everything
   // here is derived from the fault-free run and the pre-drawn plan, so it is
@@ -558,8 +570,10 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     }
   }
 
-  CampaignSummary summary;
-  summary.results.resize(plan.size());
+  // Every injection writes its plan-index slot here; member slots are
+  // compacted into the summary (in index order) at the end, so a slice's
+  // result rows are exactly the member rows of the full run.
+  std::vector<InjectionResult> slot_results(plan.size());
 
   if (want_batch && stream->recorded()) {
     // ---- Batched divergence-only engine (--exec=batch). -------------------
@@ -571,27 +585,28 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
     opt.predecoded = predecoded_;
     const BatchCampaign engine(*prog_, config_, std::move(opt), stream,
                                converge_active_);
-    // Pass 1: every non-analytic site, plus the guard representative (the
-    // lowest-index analytic site, simulated in full to cross-check the
-    // dead-bit proof against the actual pipeline — same contract as the
-    // sequential engine's guard below).
+    // Pass 1: every member non-analytic site, plus the guard representative
+    // (the lowest-index analytic site of the FULL plan, simulated in full —
+    // member or not — to cross-check the dead-bit proof against the actual
+    // pipeline; every slice must reach the same analytic_enabled verdict).
     std::vector<BatchRequest> requests;
     requests.reserve(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i) {
-      if (i == rep_slot || sites.empty() || !sites[i].analytic) {
+      if (i == rep_slot ||
+          (is_member(i) && (sites.empty() || !sites[i].analytic))) {
         requests.push_back(BatchRequest{i, plan[i].target, plan[i].bit});
       }
     }
-    engine.execute(std::move(requests), summary.results, threads);
+    engine.execute(std::move(requests), slot_results, threads);
     if (rep_slot != plan.size()) {
       analytic_enabled =
-          summary.results[rep_slot].outcome == Outcome::kItrMask;
+          slot_results[rep_slot].outcome == Outcome::kItrMask;
       obs::gauge_max("campaign.prune.guard_confirmed",
                      analytic_enabled ? 1 : 0, obs::MetricClass::kDiagnostic);
       if (analytic_enabled) {
         for (std::size_t i = 0; i < plan.size(); ++i) {
-          if (i != rep_slot && sites[i].analytic) {
-            summary.results[i] =
+          if (i != rep_slot && is_member(i) && sites[i].analytic) {
+            slot_results[i] =
                 synthesize_analytic(plan[i].target, plan[i].bit, sites[i]);
           }
         }
@@ -601,11 +616,11 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
         // would.
         std::vector<BatchRequest> rest;
         for (std::size_t i = 0; i < plan.size(); ++i) {
-          if (i != rep_slot && sites[i].analytic) {
+          if (i != rep_slot && is_member(i) && sites[i].analytic) {
             rest.push_back(BatchRequest{i, plan[i].target, plan[i].bit});
           }
         }
-        engine.execute(std::move(rest), summary.results, threads);
+        engine.execute(std::move(rest), slot_results, threads);
       }
     }
   } else {
@@ -638,12 +653,12 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
       if (config_.checkpoint_mode == CheckpointMode::kLadder) {
         ck = nearest_checkpoint(plan[rep_slot].target);
       }
-      summary.results[rep_slot] =
+      slot_results[rep_slot] =
           ck != nullptr
               ? run_one_from(*ck, plan[rep_slot].target, plan[rep_slot].bit)
               : run_one(plan[rep_slot].target, plan[rep_slot].bit);
       analytic_enabled =
-          summary.results[rep_slot].outcome == Outcome::kItrMask;
+          slot_results[rep_slot].outcome == Outcome::kItrMask;
       obs::gauge_max("campaign.prune.guard_confirmed",
                      analytic_enabled ? 1 : 0, obs::MetricClass::kDiagnostic);
     }
@@ -675,8 +690,9 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
 
     util::parallel_for(threads, plan.size(), [&](std::size_t i) {
       if (i == rep_slot) return;  // guard representative already simulated
+      if (!is_member(i)) return;  // another shard's injection
       if (analytic_enabled && sites[i].analytic) {
-        summary.results[i] =
+        slot_results[i] =
             synthesize_analytic(plan[i].target, plan[i].bit, sites[i]);
         return;
       }
@@ -695,17 +711,25 @@ CampaignSummary FaultInjectionCampaign::run(std::uint64_t num_faults,
       // prefix is deterministic.
       if (ck != nullptr && ck->snaps_saved) {
         auto scratch = acquire_scratch();
-        summary.results[i] =
+        slot_results[i] =
             run_one_scratch(*scratch, *ck, plan[i].target, plan[i].bit);
         release_scratch(std::move(scratch));
       } else {
-        summary.results[i] =
+        slot_results[i] =
             ck != nullptr ? run_one_from(*ck, plan[i].target, plan[i].bit)
                           : run_one(plan[i].target, plan[i].bit);
       }
     });
   }
 
+  // Compact member slots into the summary in plan-index order.  The guard
+  // representative contributes only when it is itself a member; other shards
+  // simulated it purely for its analytic verdict.
+  CampaignSummary summary;
+  summary.results.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (is_member(i)) summary.results.push_back(slot_results[i]);
+  }
   for (const InjectionResult& res : summary.results) {
     ++summary.counts[static_cast<std::size_t>(res.outcome)];
     ++summary.total;

@@ -132,6 +132,32 @@ struct CampaignConfig {
   std::uint64_t batch_width = 16;
 };
 
+/// A deterministic slice of a campaign's pre-drawn fault plan, the unit the
+/// campaign service shards on.  Every worker re-draws the identical
+/// `num_faults`-entry plan from the campaign seed (the draw is cheap — two
+/// RNG calls per fault, no simulation) and then simulates only the members:
+/// plan indices in [begin, end) whose drawn signal bit falls in
+/// [bit_begin, bit_end).  Because each injection's outcome is a pure
+/// function of (program, config, target, bit), slice results concatenated in
+/// plan-index order are byte-identical to the corresponding rows of a
+/// single-process run — the property the sharded-vs-single fuzz oracle
+/// pins down.
+struct PlanSlice {
+  std::uint64_t num_faults = 0;  ///< full plan size (shared RNG stream)
+  std::uint64_t begin = 0;       ///< member plan-index range [begin, end)
+  std::uint64_t end = 0;
+  unsigned bit_begin = 0;   ///< member signal-bit range [bit_begin, bit_end)
+  unsigned bit_end = 64;    ///< == isa::kSignalBits for a full-bit slice
+
+  /// Whole-plan slice (what FaultInjectionCampaign::run uses).
+  static PlanSlice full(std::uint64_t num_faults) noexcept {
+    return PlanSlice{num_faults, 0, num_faults, 0, 64};
+  }
+  bool is_full() const noexcept {
+    return begin == 0 && end >= num_faults && bit_begin == 0 && bit_end >= 64;
+  }
+};
+
 struct CampaignSummary {
   std::array<std::uint64_t, kNumOutcomes> counts{};
   std::uint64_t total = 0;
@@ -261,6 +287,16 @@ class FaultInjectionCampaign {
   /// checkpoint mode — and identical to the historical serial
   /// implementation.
   CampaignSummary run(std::uint64_t num_faults, unsigned threads = 1);
+
+  /// Runs one deterministic slice of the `slice.num_faults`-entry plan (see
+  /// PlanSlice): the full plan and its prune analysis are derived exactly as
+  /// in run(), but only member injections are simulated and only their
+  /// results appear in the summary (in plan-index order).  The analytic
+  /// guard representative is still simulated by every slice — its verdict
+  /// must match the full run's so analytic synthesis stays shard-invariant —
+  /// but it is tallied only when it is itself a member.
+  /// run(n, t) == run_slice(PlanSlice::full(n), t) byte-for-byte.
+  CampaignSummary run_slice(const PlanSlice& slice, unsigned threads = 1);
 
   /// Builds (first call) and returns the warmup checkpoint, or nullptr when
   /// the program terminates before reaching warmup_instructions (then

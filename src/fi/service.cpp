@@ -1,0 +1,696 @@
+#include "fi/service.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "util/file_io.hpp"
+
+namespace itr::fi::service {
+
+namespace fsys = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestMagic = "ITRSVC1";
+constexpr const char* kTodoMagic = "ITRSHRD1";
+constexpr const char* kLeaseMagic = "ITRCLM1";
+constexpr const char* kJournalMagic = "ITRSJRN1";
+constexpr const char* kManifestName = "manifest.itrsvc";
+/// A claim whose lease file never appeared (worker killed between the
+/// claiming rename and the lease write) is presumed dead after this long.
+constexpr std::uint64_t kLeaseGraceSeconds = 30;
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/" + kManifestName;
+}
+
+std::string shard_base(const std::string& dir, std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04u", index);
+  return dir + "/" + name;
+}
+
+/// Splits [0, total) into `splits` balanced contiguous ranges.
+std::pair<std::uint64_t, std::uint64_t> partition(std::uint64_t total,
+                                                  std::uint32_t splits,
+                                                  std::uint32_t k) {
+  return {total * k / splits, total * (k + 1) / splits};
+}
+
+/// Line-oriented "key value..." reader for the service's file formats.
+/// Strict: every expect_* names the file and the offending line on failure.
+class LineReader {
+ public:
+  LineReader(std::string_view text, std::string origin)
+      : text_(text), origin_(std::move(origin)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(origin_ + ": " + what);
+  }
+
+  bool next_line(std::string& out) {
+    if (pos_ >= text_.size()) return false;
+    const std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) fail("missing final newline");
+    out.assign(text_.substr(pos_, eol - pos_));
+    pos_ = eol + 1;
+    return true;
+  }
+
+  /// Next line must be `key <rest>`; returns <rest>.
+  std::string expect_key(const std::string& key) {
+    std::string line;
+    if (!next_line(line)) fail("unexpected end of file (wanted '" + key + "')");
+    if (line == key) return "";
+    if (line.rfind(key + " ", 0) != 0) {
+      fail("expected '" + key + " ...', got '" + line + "'");
+    }
+    return line.substr(key.size() + 1);
+  }
+
+  std::uint64_t expect_u64(const std::string& key) {
+    const std::string v = expect_key(key);
+    std::uint64_t out = 0;
+    std::istringstream is(v);
+    if (!(is >> out) || !(is >> std::ws).eof()) {
+      fail("bad integer for '" + key + "': '" + v + "'");
+    }
+    return out;
+  }
+
+  std::uint64_t expect_hex(const std::string& key) {
+    const std::string v = expect_key(key);
+    std::uint64_t out = 0;
+    std::istringstream is(v);
+    if (!(is >> std::hex >> out) || !(is >> std::ws).eof()) {
+      fail("bad hex value for '" + key + "': '" + v + "'");
+    }
+    return out;
+  }
+
+  /// Remaining unread bytes (journal payload tail).
+  std::string_view rest() const { return text_.substr(pos_); }
+
+ private:
+  std::string_view text_;
+  std::string origin_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string canonical_spec(const CampaignSpec& spec) {
+  std::ostringstream os;
+  os << "benchmarks ";
+  for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+    if (i != 0) os << ',';
+    os << spec.benchmarks[i];
+  }
+  os << '\n';
+  os << "insns " << spec.insns << '\n';
+  os << "faults " << spec.faults << '\n';
+  os << "window " << spec.window << '\n';
+  os << "seed " << spec.seed << '\n';
+  os << "ckpt-mode " << checkpoint_mode_name(spec.mode) << '\n';
+  os << "ckpt-interval " << spec.ladder_interval << '\n';
+  os << "prune " << prune_mode_name(spec.prune.mode) << '\n';
+  os << "prune-interval " << spec.prune.check_interval << '\n';
+  os << "exec " << exec_mode_name(spec.exec) << '\n';
+  os << "batch-width " << spec.batch_width << '\n';
+  return os.str();
+}
+
+std::uint64_t spec_hash(const CampaignSpec& spec) {
+  const std::string canon = canonical_spec(spec);
+  return util::fnv1a_bytes(canon.data(), canon.size());
+}
+
+CampaignConfig make_campaign_config(const CampaignSpec& spec) {
+  CampaignConfig cfg;
+  cfg.observation_cycles = spec.window;
+  cfg.warmup_instructions = std::min<std::uint64_t>(spec.insns / 10, 50'000);
+  cfg.inject_region = spec.insns / 2;
+  cfg.seed = spec.seed;
+  cfg.checkpoint_mode = spec.mode;
+  cfg.ladder_interval = spec.ladder_interval;
+  cfg.prune = spec.prune;
+  cfg.exec = spec.exec;
+  cfg.batch_width = spec.batch_width;
+  return cfg;
+}
+
+std::vector<ShardSpec> carve_shards(const CampaignSpec& spec,
+                                    std::uint32_t index_splits,
+                                    std::uint32_t bit_splits) {
+  if (index_splits == 0 || bit_splits == 0) {
+    throw std::invalid_argument("carve_shards: splits must be >= 1");
+  }
+  if (bit_splits > 64) {
+    throw std::invalid_argument("carve_shards: at most 64 signal-bit bands");
+  }
+  if (index_splits > spec.faults) {
+    throw std::invalid_argument(
+        "carve_shards: more index splits than planned faults");
+  }
+  for (const std::string& name : spec.benchmarks) {
+    if (name.empty() || name.find_first_of(" \t\n") != std::string::npos) {
+      throw std::invalid_argument("carve_shards: bad benchmark name '" + name +
+                                  "'");
+    }
+    if (std::count(spec.benchmarks.begin(), spec.benchmarks.end(), name) != 1) {
+      // The merge keys shard tallies by benchmark name; a duplicate would
+      // fold two rows into one and diverge from the single-process table.
+      throw std::invalid_argument("carve_shards: duplicate benchmark '" +
+                                  name + "'");
+    }
+  }
+  std::vector<ShardSpec> shards;
+  shards.reserve(spec.benchmarks.size() * index_splits * bit_splits);
+  std::uint32_t index = 0;
+  for (const std::string& name : spec.benchmarks) {
+    for (std::uint32_t b = 0; b < bit_splits; ++b) {
+      const auto [bit_lo, bit_hi] = partition(64, bit_splits, b);
+      for (std::uint32_t k = 0; k < index_splits; ++k) {
+        const auto [lo, hi] = partition(spec.faults, index_splits, k);
+        ShardSpec sh;
+        sh.index = index++;
+        sh.benchmark = name;
+        sh.slice.num_faults = spec.faults;
+        sh.slice.begin = lo;
+        sh.slice.end = hi;
+        sh.slice.bit_begin = static_cast<unsigned>(bit_lo);
+        sh.slice.bit_end = static_cast<unsigned>(bit_hi);
+        shards.push_back(std::move(sh));
+      }
+    }
+  }
+  return shards;
+}
+
+OutcomeTally OutcomeTally::from_summary(const CampaignSummary& summary) noexcept {
+  OutcomeTally t;
+  t.counts = summary.counts;
+  t.total = summary.total;
+  return t;
+}
+
+void OutcomeTally::merge(const OutcomeTally& other) noexcept {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+}
+
+double OutcomeTally::percent(Outcome o) const noexcept {
+  return total == 0 ? 0.0
+                    : 100.0 *
+                          static_cast<double>(counts[static_cast<std::size_t>(o)]) /
+                          static_cast<double>(total);
+}
+
+double OutcomeTally::itr_detected_percent() const noexcept {
+  return percent(Outcome::kItrMask) + percent(Outcome::kItrSdcR) +
+         percent(Outcome::kItrSdcD) + percent(Outcome::kItrWdogR);
+}
+
+util::Table fault_injection_table_from_tallies(
+    const std::vector<std::string>& names,
+    const std::vector<OutcomeTally>& tallies) {
+  if (names.size() != tallies.size()) {
+    throw std::invalid_argument(
+        "fault_injection_table_from_tallies: names/tallies size mismatch");
+  }
+  std::vector<std::string> headers = {"benchmark"};
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    headers.push_back(outcome_label(static_cast<Outcome>(i)));
+  }
+  headers.push_back("ITR-detected");
+  util::Table table(std::move(headers));
+
+  std::array<double, kNumOutcomes + 1> avg{};
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    std::array<double, kNumOutcomes + 1> pct{};
+    for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+      pct[i] = tallies[b].percent(static_cast<Outcome>(i));
+    }
+    pct[kNumOutcomes] = tallies[b].itr_detected_percent();
+    table.begin_row().add(names[b]);
+    for (std::size_t i = 0; i < kNumOutcomes + 1; ++i) {
+      table.add(pct[i], 1);
+      avg[i] += pct[i];
+    }
+  }
+  if (!names.empty()) {
+    table.begin_row().add("Avg");
+    for (std::size_t i = 0; i < kNumOutcomes + 1; ++i) {
+      table.add(avg[i] / static_cast<double>(names.size()), 1);
+    }
+  }
+  return table;
+}
+
+namespace {
+
+std::string render_manifest(const CampaignSpec& spec,
+                            const std::vector<ShardSpec>& shards) {
+  std::ostringstream os;
+  os << kManifestMagic << '\n';
+  os << "spec-hash " << hex64(spec_hash(spec)) << '\n';
+  os << canonical_spec(spec);
+  os << "shards " << shards.size() << '\n';
+  for (const ShardSpec& sh : shards) {
+    os << "shard " << sh.index << ' ' << sh.benchmark << ' ' << sh.slice.begin
+       << ' ' << sh.slice.end << ' ' << sh.slice.bit_begin << ' '
+       << sh.slice.bit_end << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::string> split_names(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+Manifest load_manifest(const std::string& shard_dir) {
+  const std::string path = manifest_path(shard_dir);
+  const auto bytes = util::read_file_bytes(path);
+  if (!bytes.has_value()) {
+    throw std::runtime_error("cannot read campaign manifest '" + path +
+                             "' (did --campaign-shard run?)");
+  }
+  LineReader rd(*bytes, path);
+  rd.expect_key(kManifestMagic);
+  const std::uint64_t claimed_hash = rd.expect_hex("spec-hash");
+
+  Manifest mf;
+  mf.spec.benchmarks = split_names(rd.expect_key("benchmarks"));
+  mf.spec.insns = rd.expect_u64("insns");
+  mf.spec.faults = rd.expect_u64("faults");
+  mf.spec.window = rd.expect_u64("window");
+  mf.spec.seed = rd.expect_u64("seed");
+  mf.spec.mode = parse_checkpoint_mode(rd.expect_key("ckpt-mode"));
+  mf.spec.ladder_interval = rd.expect_u64("ckpt-interval");
+  mf.spec.prune.mode = parse_prune_mode(rd.expect_key("prune"));
+  mf.spec.prune.check_interval = rd.expect_u64("prune-interval");
+  mf.spec.exec = parse_exec_mode(rd.expect_key("exec"));
+  mf.spec.batch_width = rd.expect_u64("batch-width");
+  if (spec_hash(mf.spec) != claimed_hash) {
+    rd.fail("spec hash mismatch (corrupt or hand-edited manifest)");
+  }
+
+  const std::uint64_t n = rd.expect_u64("shards");
+  mf.shards.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string line = rd.expect_key("shard");
+    std::istringstream is(line);
+    ShardSpec sh;
+    sh.slice.num_faults = mf.spec.faults;
+    if (!(is >> sh.index >> sh.benchmark >> sh.slice.begin >> sh.slice.end >>
+          sh.slice.bit_begin >> sh.slice.bit_end) ||
+        !(is >> std::ws).eof()) {
+      rd.fail("bad shard line 'shard " + line + "'");
+    }
+    if (sh.index != i) rd.fail("shard entries out of order");
+    if (std::find(mf.spec.benchmarks.begin(), mf.spec.benchmarks.end(),
+                  sh.benchmark) == mf.spec.benchmarks.end()) {
+      rd.fail("shard benchmark '" + sh.benchmark + "' not in spec");
+    }
+    mf.shards.push_back(std::move(sh));
+  }
+  std::string extra;
+  if (rd.next_line(extra)) rd.fail("trailing line '" + extra + "'");
+  if (mf.shards.empty()) rd.fail("manifest has no shards");
+  return mf;
+}
+
+void shard_campaign(const std::string& shard_dir, const CampaignSpec& spec,
+                    std::uint32_t index_splits, std::uint32_t bit_splits) {
+  const std::vector<ShardSpec> shards = carve_shards(spec, index_splits, bit_splits);
+  std::error_code ec;
+  fsys::create_directories(shard_dir, ec);
+
+  const std::string rendered = render_manifest(spec, shards);
+  const auto existing = util::read_file_bytes(manifest_path(shard_dir));
+  if (existing.has_value()) {
+    if (*existing != rendered) {
+      throw std::runtime_error(
+          "shard dir '" + shard_dir +
+          "' already holds a different campaign; use a fresh directory "
+          "(resume reuses the existing shards without re-sharding)");
+    }
+    // Same campaign re-sharded: fall through and recreate any missing todo
+    // files; completed shards keep their journals.
+  } else {
+    util::atomic_write_file_or_throw(manifest_path(shard_dir), rendered);
+  }
+
+  const std::string hash = hex64(spec_hash(spec));
+  for (const ShardSpec& sh : shards) {
+    const std::string base = shard_base(shard_dir, sh.index);
+    if (fsys::exists(base + ".todo", ec) || fsys::exists(base + ".claim", ec) ||
+        fsys::exists(base + ".done", ec)) {
+      continue;
+    }
+    std::ostringstream todo;
+    todo << kTodoMagic << '\n'
+         << "spec-hash " << hash << '\n'
+         << "index " << sh.index << '\n';
+    util::atomic_write_file_or_throw(base + ".todo", todo.str());
+  }
+}
+
+namespace {
+
+/// Per-shard journal payload: the tally, one row per member injection and
+/// the shard's architectural stats document.
+std::string render_payload(const ShardSpec& sh, const CampaignSummary& summary,
+                           const std::string& stats_json) {
+  std::ostringstream os;
+  os << "benchmark " << sh.benchmark << '\n';
+  os << "slice " << sh.slice.begin << ' ' << sh.slice.end << ' '
+     << sh.slice.bit_begin << ' ' << sh.slice.bit_end << '\n';
+  os << "tally " << summary.total;
+  for (const std::uint64_t c : summary.counts) os << ' ' << c;
+  os << '\n';
+  os << "rows " << summary.results.size() << '\n';
+  for (const InjectionResult& r : summary.results) {
+    os << "row " << r.decode_index << ' ' << r.bit << ' '
+       << static_cast<unsigned>(r.outcome) << '\n';
+  }
+  os << "stats " << stats_json.size() << '\n';
+  os << stats_json;
+  return os.str();
+}
+
+struct ShardPayload {
+  OutcomeTally tally;
+  std::string stats_json;
+};
+
+ShardPayload parse_payload(std::string_view payload, const std::string& origin) {
+  LineReader rd(payload, origin);
+  rd.expect_key("benchmark");
+  rd.expect_key("slice");
+  {
+    const std::string line = rd.expect_key("tally");
+    std::istringstream is(line);
+    ShardPayload out;
+    if (!(is >> out.tally.total)) rd.fail("bad tally line");
+    std::uint64_t row_sum = 0;
+    for (std::uint64_t& c : out.tally.counts) {
+      if (!(is >> c)) rd.fail("bad tally line (too few outcome counts)");
+      row_sum += c;
+    }
+    if (!(is >> std::ws).eof()) rd.fail("bad tally line (trailing tokens)");
+    if (row_sum != out.tally.total) rd.fail("tally counts do not sum to total");
+
+    const std::uint64_t rows = rd.expect_u64("rows");
+    if (rows != out.tally.total) rd.fail("row count disagrees with tally");
+    for (std::uint64_t i = 0; i < rows; ++i) rd.expect_key("row");
+
+    const std::uint64_t stats_bytes = rd.expect_u64("stats");
+    if (rd.rest().size() != stats_bytes) {
+      rd.fail("stats document length mismatch");
+    }
+    out.stats_json.assign(rd.rest());
+    return out;
+  }
+}
+
+std::string render_journal(std::uint64_t hash, std::uint32_t index,
+                           const std::string& payload) {
+  std::ostringstream os;
+  os << kJournalMagic << '\n';
+  os << "spec-hash " << hex64(hash) << '\n';
+  os << "shard " << index << '\n';
+  os << "payload-bytes " << payload.size() << '\n';
+  os << "payload-hash "
+     << hex64(util::fnv1a_bytes(payload.data(), payload.size())) << '\n';
+  os << payload;
+  return os.str();
+}
+
+/// Validates a journal's framing (magic, spec binding, byte count, payload
+/// hash) and returns the raw payload, or nullopt when the file is missing
+/// or damaged.  Does not touch the filesystem beyond the read.
+std::optional<std::string> read_journal_payload(const std::string& path,
+                                                std::uint64_t expect_hash,
+                                                std::uint32_t expect_index) {
+  const auto bytes = util::read_file_bytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    LineReader rd(*bytes, path);
+    rd.expect_key(kJournalMagic);
+    if (rd.expect_hex("spec-hash") != expect_hash) return std::nullopt;
+    if (rd.expect_u64("shard") != expect_index) return std::nullopt;
+    const std::uint64_t payload_bytes = rd.expect_u64("payload-bytes");
+    const std::uint64_t payload_hash = rd.expect_hex("payload-hash");
+    const std::string_view payload = rd.rest();
+    if (payload.size() != payload_bytes) return std::nullopt;
+    if (util::fnv1a_bytes(payload.data(), payload.size()) != payload_hash) {
+      return std::nullopt;
+    }
+    return std::string(payload);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // truncated header
+  }
+}
+
+struct LeaseInfo {
+  std::uint64_t pid = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t lease_seconds = 0;
+};
+
+std::optional<LeaseInfo> read_lease(const std::string& path) {
+  const auto bytes = util::read_file_bytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+  try {
+    LineReader rd(*bytes, path);
+    rd.expect_key(kLeaseMagic);
+    LeaseInfo info;
+    info.pid = rd.expect_u64("pid");
+    info.epoch = rd.expect_u64("epoch");
+    info.lease_seconds = rd.expect_u64("lease-seconds");
+    return info;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+/// A claim is stale when its holder is provably gone: dead pid, expired
+/// lease, or no lease materializing within the grace window after the
+/// claiming rename.
+bool claim_is_stale(const std::string& base) {
+  const auto lease = read_lease(base + ".lease");
+  if (lease.has_value()) {
+    if (!util::process_alive(static_cast<int>(lease->pid))) return true;
+    return util::unix_now_seconds() > lease->epoch + lease->lease_seconds;
+  }
+  std::error_code ec;
+  const auto mtime = fsys::last_write_time(base + ".claim", ec);
+  if (ec) return false;  // claim vanished mid-look: not ours to reclaim
+  const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+      fsys::file_time_type::clock::now() - mtime);
+  return age.count() >= 0 &&
+         static_cast<std::uint64_t>(age.count()) >= kLeaseGraceSeconds;
+}
+
+void remove_quiet(const std::string& path) {
+  std::error_code ec;
+  fsys::remove(path, ec);
+}
+
+/// One resume pass over the shard directory; see the header's crash matrix.
+/// Returns the number of shards returned to the todo pool (reclaimed or
+/// re-queued) — progress that justifies another claim sweep.
+std::uint64_t reconcile(const std::string& dir, const Manifest& mf,
+                        std::uint64_t hash, ServeReport& rep) {
+  std::uint64_t requeued = 0;
+  std::error_code ec;
+  for (const ShardSpec& sh : mf.shards) {
+    const std::string base = shard_base(dir, sh.index);
+    if (fsys::exists(base + ".done", ec)) {
+      if (read_journal_payload(base + ".done", hash, sh.index).has_value()) {
+        // Journal wins: drop whatever claim/todo a killed worker left over.
+        remove_quiet(base + ".todo");
+        remove_quiet(base + ".claim");
+        remove_quiet(base + ".lease");
+        continue;
+      }
+      // Partially written or corrupt journal: discard and re-run the shard.
+      remove_quiet(base + ".done");
+      ++rep.discarded;
+    }
+    if (fsys::exists(base + ".claim", ec)) {
+      if (claim_is_stale(base)) {
+        remove_quiet(base + ".lease");
+        fsys::rename(base + ".claim", base + ".todo", ec);
+        if (!ec) {
+          ++rep.reclaimed;
+          ++requeued;
+        }
+      }
+      continue;
+    }
+    if (!fsys::exists(base + ".todo", ec)) {
+      // Shard lost entirely (sharder killed mid-setup, or journal just
+      // discarded above): re-queue it from the manifest.
+      std::ostringstream todo;
+      todo << kTodoMagic << '\n'
+           << "spec-hash " << hex64(hash) << '\n'
+           << "index " << sh.index << '\n';
+      if (util::atomic_write_file(base + ".todo", todo.str())) ++requeued;
+    }
+  }
+  return requeued;
+}
+
+/// rename(todo -> claim): at most one concurrent caller wins.
+bool try_claim(const std::string& base) {
+  std::error_code ec;
+  if (!fsys::exists(base + ".todo", ec)) return false;
+  fsys::rename(base + ".todo", base + ".claim", ec);
+  return !ec;
+}
+
+}  // namespace
+
+ServeReport serve(const std::string& shard_dir, const ServeOptions& options) {
+  if (!options.source) {
+    throw std::invalid_argument("serve: options.source is required");
+  }
+  const Manifest mf = load_manifest(shard_dir);
+  const std::uint64_t hash = spec_hash(mf.spec);
+  const CampaignConfig cfg = make_campaign_config(mf.spec);
+  ServeReport rep;
+
+  // Programs are deterministic per (benchmark, insns); build each at most
+  // once per serve call even when several shards share a benchmark.
+  std::map<std::string, isa::Program> programs;
+  const auto program_for = [&](const std::string& name) -> const isa::Program& {
+    auto it = programs.find(name);
+    if (it == programs.end()) {
+      it = programs.emplace(name, options.source(name, mf.spec.insns)).first;
+    }
+    return it->second;
+  };
+
+  bool budget_hit = false;
+  for (;;) {
+    const std::uint64_t requeued = reconcile(shard_dir, mf, hash, rep);
+    bool ran = false;
+    for (const ShardSpec& sh : mf.shards) {
+      const std::string base = shard_base(shard_dir, sh.index);
+      if (!try_claim(base)) continue;
+
+      std::ostringstream lease;
+      lease << kLeaseMagic << '\n'
+            << "pid " << ::getpid() << '\n'
+            << "epoch " << util::unix_now_seconds() << '\n'
+            << "lease-seconds " << options.lease_seconds << '\n';
+      util::atomic_write_file(base + ".lease", lease.str());
+
+      // Isolate this shard's stats: the registry must hold exactly the
+      // slice's architectural counters when we snapshot it, or the merged
+      // document would double-count.
+      const bool stats_were_enabled = obs::stats_enabled();
+      obs::registry().reset();
+      obs::set_stats_enabled(true);
+      FaultInjectionCampaign camp(program_for(sh.benchmark), cfg);
+      const CampaignSummary summary = camp.run_slice(sh.slice, options.threads);
+      std::ostringstream stats;
+      obs::registry().write_json(stats, /*include_diagnostic=*/false);
+      obs::set_stats_enabled(stats_were_enabled);
+      obs::registry().reset();
+
+      const std::string payload = render_payload(sh, summary, stats.str());
+      util::atomic_write_file_or_throw(base + ".done",
+                                       render_journal(hash, sh.index, payload));
+      remove_quiet(base + ".lease");
+      remove_quiet(base + ".claim");
+      ran = true;
+      ++rep.completed;
+      if (options.max_shards != 0 && rep.completed >= options.max_shards) {
+        budget_hit = true;
+        break;
+      }
+    }
+    if (budget_hit || (!ran && requeued == 0)) break;
+  }
+
+  std::error_code ec;
+  for (const ShardSpec& sh : mf.shards) {
+    const std::string base = shard_base(shard_dir, sh.index);
+    if (read_journal_payload(base + ".done", hash, sh.index).has_value()) {
+      ++rep.done;
+    } else if (fsys::exists(base + ".claim", ec)) {
+      ++rep.busy;
+    }
+  }
+  return rep;
+}
+
+MergeResult merge_campaign(const std::string& shard_dir) {
+  const Manifest mf = load_manifest(shard_dir);
+  const std::uint64_t hash = spec_hash(mf.spec);
+
+  std::vector<OutcomeTally> tallies(mf.spec.benchmarks.size());
+  std::map<std::string, obs::MetricValue> merged_stats;
+  std::vector<std::string> pending;
+  for (const ShardSpec& sh : mf.shards) {
+    const std::string base = shard_base(shard_dir, sh.index);
+    const auto payload = read_journal_payload(base + ".done", hash, sh.index);
+    if (!payload.has_value()) {
+      pending.push_back(fsys::path(base).filename().string());
+      continue;
+    }
+    ShardPayload parsed;
+    try {
+      parsed = parse_payload(*payload, base + ".done");
+      obs::merge_stats(merged_stats, obs::parse_stats_json(parsed.stats_json));
+    } catch (const std::runtime_error&) {
+      pending.push_back(fsys::path(base).filename().string());
+      continue;
+    }
+    const auto pos = static_cast<std::size_t>(
+        std::find(mf.spec.benchmarks.begin(), mf.spec.benchmarks.end(),
+                  sh.benchmark) -
+        mf.spec.benchmarks.begin());
+    tallies[pos].merge(parsed.tally);
+  }
+  if (!pending.empty()) {
+    std::string msg = "campaign merge refused: " +
+                      std::to_string(pending.size()) +
+                      " shard(s) incomplete or corrupt:";
+    for (const std::string& p : pending) msg += ' ' + p;
+    msg += " (serve the shard dir to completion first)";
+    throw std::runtime_error(msg);
+  }
+
+  std::ostringstream stats;
+  obs::write_stats_json(stats, merged_stats, /*include_diagnostic=*/false);
+  return MergeResult{mf.spec,
+                     fault_injection_table_from_tallies(mf.spec.benchmarks, tallies),
+                     stats.str()};
+}
+
+}  // namespace itr::fi::service

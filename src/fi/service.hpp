@@ -1,0 +1,162 @@
+// Campaign service: sharded, journaled, resumable fault-injection campaigns
+// with a byte-exact merge (ROADMAP item 2; ISSUE 10 tentpole).
+//
+// A campaign spec (benchmarks × fault plan × engine knobs) is carved into
+// deterministic shards: one benchmark, one PlanSlice (plan-index range ×
+// signal-bit band) each.  The sharder writes a manifest plus one claimable
+// `shard-NNNN.todo` file per shard into a shard directory; any number of
+// worker processes then serve the directory concurrently:
+//
+//   claim    rename(shard-NNNN.todo -> shard-NNNN.claim) — rename(2) has
+//            single-winner semantics (the source vanishes), so no locks are
+//            needed; the winner then writes a `shard-NNNN.lease` file
+//            (pid + epoch + lease length) so peers can tell a live worker
+//            from a dead one.
+//   run      re-draw the full plan, simulate the slice (fi::run_slice), and
+//            snapshot the shard's architectural stats registry.
+//   journal  write `shard-NNNN.done` — tally, per-injection outcome rows and
+//            the stats JSON, framed by a magic, the spec hash and an FNV-1a
+//            payload hash — via the atomic temp+rename idiom, then release
+//            the claim.
+//
+// Resume is a pure function of the directory contents: a valid journal wins
+// (stray claims are cleaned up), a stale claim (dead pid or expired lease)
+// is renamed back to .todo, a missing/corrupt journal gets its .todo
+// recreated from the manifest.  Because every injection's outcome is a pure
+// function of (program, config, target, bit), duplicate execution of a
+// shard is benign: both workers write byte-identical journals.
+//
+// The merger refuses to run while any shard lacks a valid journal, then
+// folds the tallies and stats documents in manifest order into the exact
+// bytes a single-process run of the same campaign produces (the
+// sharded-vs-single fuzz oracle and the service smoke test pin this down).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fi/classify.hpp"
+#include "util/table.hpp"
+
+namespace itr::fi::service {
+
+/// Everything that identifies a campaign run: the benchmarks, the fault
+/// plan parameters and the engine knobs.  Two specs with equal fields are
+/// the same campaign — spec_hash() binds shards and journals to it.
+struct CampaignSpec {
+  std::vector<std::string> benchmarks;
+  std::uint64_t insns = 2'000'000;
+  std::uint64_t faults = 100;
+  std::uint64_t window = 100'000;
+  std::uint64_t seed = 1;
+  CheckpointMode mode = CheckpointMode::kLadder;
+  std::uint64_t ladder_interval = 0;
+  PruneConfig prune;
+  ExecMode exec = ExecMode::kSeq;
+  std::uint64_t batch_width = 16;
+};
+
+/// Canonical one-line-per-field serialization of a spec; the FNV-1a hash of
+/// this string is the spec hash.
+std::string canonical_spec(const CampaignSpec& spec);
+std::uint64_t spec_hash(const CampaignSpec& spec);
+
+/// The fi::CampaignConfig a spec implies, using exactly the derivation the
+/// figlib fault_injection_table builder applies (warmup = min(insns/10,
+/// 50k), inject region = insns/2).  Shared so the service and the bench
+/// builders cannot drift — drift would break the byte-exact merge.
+CampaignConfig make_campaign_config(const CampaignSpec& spec);
+
+/// One shard: a benchmark plus a slice of its plan.
+struct ShardSpec {
+  std::uint32_t index = 0;  ///< ordinal within the manifest (file naming)
+  std::string benchmark;
+  PlanSlice slice;
+};
+
+/// Carves the spec into shards: for each benchmark, `index_splits` balanced
+/// plan-index ranges crossed with `bit_splits` contiguous signal-bit bands.
+/// Deterministic; throws std::invalid_argument on zero splits or more
+/// index splits than faults.
+std::vector<ShardSpec> carve_shards(const CampaignSpec& spec,
+                                    std::uint32_t index_splits,
+                                    std::uint32_t bit_splits);
+
+/// Reduced per-benchmark outcome tally — the journaled form of a
+/// CampaignSummary.  Integer counts merge exactly across shards, which is
+/// what makes the merged percentages bit-identical doubles.
+struct OutcomeTally {
+  std::array<std::uint64_t, kNumOutcomes> counts{};
+  std::uint64_t total = 0;
+
+  static OutcomeTally from_summary(const CampaignSummary& summary) noexcept;
+  void merge(const OutcomeTally& other) noexcept;
+  double percent(Outcome o) const noexcept;
+  double itr_detected_percent() const noexcept;
+};
+
+/// Builds the Figure 8 table (per-benchmark outcome percentages plus the
+/// ITR-detected column and the Avg row) from per-benchmark tallies.  The
+/// figlib fault_injection_table delegates here after running its campaigns,
+/// and the merger calls it with journal-merged tallies — one builder, one
+/// byte stream.
+util::Table fault_injection_table_from_tallies(
+    const std::vector<std::string>& names,
+    const std::vector<OutcomeTally>& tallies);
+
+/// Resolves a benchmark name to the program the campaign runs.  The fi
+/// layer deliberately has no workload dependency: itr_sim passes
+/// workload::generate_spec, the fuzz oracle passes its generated programs.
+using ProgramSource =
+    std::function<isa::Program(const std::string& name, std::uint64_t insns)>;
+
+/// Writes the manifest and one .todo per shard into `shard_dir` (created if
+/// missing).  Refuses (throws) when the directory already holds a manifest
+/// for a different spec — resuming an existing campaign must reuse its
+/// shard files, not silently restart under new parameters.
+void shard_campaign(const std::string& shard_dir, const CampaignSpec& spec,
+                    std::uint32_t index_splits, std::uint32_t bit_splits);
+
+/// Manifest as read back from a shard dir.
+struct Manifest {
+  CampaignSpec spec;
+  std::vector<ShardSpec> shards;
+};
+Manifest load_manifest(const std::string& shard_dir);
+
+struct ServeOptions {
+  unsigned threads = 1;          ///< lanes per shard simulation
+  std::uint64_t lease_seconds = 600;
+  std::uint64_t max_shards = 0;  ///< stop after completing this many (0 = all)
+  ProgramSource source;          ///< required; see ProgramSource
+};
+
+struct ServeReport {
+  std::uint64_t completed = 0;  ///< shards this worker ran and journaled
+  std::uint64_t reclaimed = 0;  ///< stale claims returned to the todo pool
+  std::uint64_t discarded = 0;  ///< corrupt journals deleted and re-queued
+  std::uint64_t busy = 0;       ///< shards held by other live workers at exit
+  std::uint64_t done = 0;       ///< shards with a valid journal at exit
+};
+
+/// Claims and runs shards until none are claimable (or max_shards is hit).
+/// Safe to run from any number of processes at once; each call starts with
+/// a reconcile pass (journal validation, stale-claim reclaim, lost-shard
+/// re-queue), so a killed fleet resumes by simply serving again.
+ServeReport serve(const std::string& shard_dir, const ServeOptions& options);
+
+struct MergeResult {
+  CampaignSpec spec;
+  util::Table table;       ///< fault_injection_table_from_tallies output
+  std::string stats_json;  ///< merged architectural stats document
+};
+
+/// Folds every shard journal into the single-process campaign output.
+/// Throws std::runtime_error naming the shards that are missing, pending or
+/// corrupt — a partial merge must fail loudly, never emit a partial table.
+MergeResult merge_campaign(const std::string& shard_dir);
+
+}  // namespace itr::fi::service

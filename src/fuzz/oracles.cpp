@@ -1,11 +1,18 @@
 #include "fuzz/oracles.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <bit>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "fi/classify.hpp"
+#include "fi/service.hpp"
+#include "util/file_io.hpp"
 #include "itr/coverage.hpp"
 #include "itr/itr_cache.hpp"
 #include "itr/sweep_engine.hpp"
@@ -806,13 +813,147 @@ std::optional<Divergence> oracle_flat_vs_seed(const isa::Program& prog,
   return std::nullopt;
 }
 
+// ---- Oracle 9: sharded campaign service vs single-process campaign. --------
+//
+// Runs the same two-benchmark campaign twice: once in-process (the figlib
+// builder path) and once through the full service lifecycle — shard, serve,
+// journal, merge — then demands byte equality of the CSV table and the
+// architectural stats JSON.  A mid-fleet crash is then simulated at a
+// program-derived kill point (one journal truncated, one shard left behind
+// an expired-lease claim), the merge must refuse, and a resume must
+// reproduce the first merge byte for byte.
+
+std::optional<Divergence> oracle_sharded_vs_single(const isa::Program& prog,
+                                                   const OracleConfig& cfg) {
+  const std::string kName = "sharded-vs-single";
+  namespace svc = fi::service;
+  namespace fsys = std::filesystem;
+
+  svc::CampaignSpec spec;
+  spec.benchmarks = {"fuzz-a", "fuzz-b"};
+  spec.insns = 10'000;  // derives warmup 1'000, inject region 5'000
+  spec.faults = std::max<std::uint64_t>(cfg.campaign_faults * 2, 4);
+  spec.window = 4'000;
+  spec.seed = 1;
+
+  // Single-process reference: the campaigns run back to back in one registry
+  // session, exactly as the figlib table builder does.
+  RegistryScope registry_scope;
+  obs::set_stats_enabled(true);
+  obs::registry().reset();
+  const fi::CampaignConfig config = svc::make_campaign_config(spec);
+  std::vector<svc::OutcomeTally> tallies;
+  for (std::size_t i = 0; i < spec.benchmarks.size(); ++i) {
+    fi::FaultInjectionCampaign campaign(prog, config);
+    tallies.push_back(svc::OutcomeTally::from_summary(
+        campaign.run(spec.faults, /*threads=*/1)));
+  }
+  std::ostringstream ref_csv_os;
+  svc::fault_injection_table_from_tallies(spec.benchmarks, tallies)
+      .print_csv(ref_csv_os);
+  const std::string ref_csv = ref_csv_os.str();
+  const std::string ref_stats = registry_json();
+
+  // Shard directory unique per (process, call): the fuzz driver may run many
+  // oracle instances concurrently under ctest -j.
+  static std::atomic<std::uint64_t> serial{0};
+  const fsys::path dir =
+      fsys::temp_directory_path() /
+      ("itr-fuzz-shard-" + std::to_string(::getpid()) + "-" +
+       std::to_string(serial.fetch_add(1)));
+  struct DirGuard {
+    fsys::path dir;
+    ~DirGuard() {
+      std::error_code ec;
+      fsys::remove_all(dir, ec);
+    }
+  } guard{dir};
+
+  svc::ServeOptions options;
+  options.threads = 2;  // reference ran single-lane: merges must not care
+  options.source = [&prog](const std::string&, std::uint64_t) { return prog; };
+
+  const auto merged_bytes = [&dir] {
+    auto merged = svc::merge_campaign(dir.string());
+    std::ostringstream csv;
+    merged.table.print_csv(csv);
+    return std::make_pair(csv.str(), std::move(merged.stats_json));
+  };
+
+  svc::shard_campaign(dir.string(), spec, /*index_splits=*/2, /*bit_splits=*/2);
+  (void)svc::serve(dir.string(), options);
+  const auto [csv1, stats1] = merged_bytes();
+  if (csv1 != ref_csv) {
+    return diverge(kName, "merged CSV differs from the single-process table");
+  }
+  if (stats1 != ref_stats) {
+    return diverge(kName,
+                   "merged stats JSON differs from the single-process run");
+  }
+
+  // Simulated mid-fleet crash: the kill point is derived from the merged
+  // bytes so it varies per program but stays reproducible per seed.  One
+  // journal is truncated (torn write) and a second shard is left holding an
+  // expired-lease claim (worker died mid-shard).
+  const std::uint64_t h = util::fnv1a_bytes(csv1.data(), csv1.size());
+  const std::size_t num_shards = svc::load_manifest(dir.string()).shards.size();
+  const auto torn = static_cast<std::uint32_t>(h % num_shards);
+  const auto held = static_cast<std::uint32_t>((torn + 1) % num_shards);
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04u", torn);
+  const std::string torn_done = (dir / (std::string(name) + ".done")).string();
+  const auto torn_bytes = util::read_file_bytes(torn_done);
+  if (!torn_bytes.has_value() || torn_bytes->size() < 2) {
+    return diverge(kName, "journal for shard " + std::to_string(torn) +
+                              " unexpectedly missing or trivially small");
+  }
+  const std::size_t cut = 1 + (h >> 8) % (torn_bytes->size() - 1);
+  util::atomic_write_file_or_throw(torn_done, torn_bytes->substr(0, cut));
+
+  std::snprintf(name, sizeof(name), "shard-%04u", held);
+  const std::string held_base = (dir / std::string(name)).string();
+  {
+    std::error_code ec;
+    fsys::remove(held_base + ".done", ec);
+    util::atomic_write_file_or_throw(held_base + ".claim", "crashed-worker\n");
+    std::ostringstream lease;  // forged, long expired (epoch 1000 = 1970)
+    lease << "ITRCLM1\n"
+          << "pid " << ::getpid() << '\n'
+          << "epoch " << 1000 << '\n'
+          << "lease-seconds " << 1 << '\n';
+    util::atomic_write_file_or_throw(held_base + ".lease", lease.str());
+  }
+
+  bool merge_refused = false;
+  try {
+    (void)svc::merge_campaign(dir.string());
+  } catch (const std::exception&) {
+    merge_refused = true;
+  }
+  if (!merge_refused) {
+    return diverge(kName, "merge succeeded despite a torn journal and a "
+                          "crashed worker's claim");
+  }
+
+  (void)svc::serve(dir.string(), options);
+  const auto [csv2, stats2] = merged_bytes();
+  if (csv2 != csv1) {
+    return diverge(kName, "post-crash resume changed the merged CSV bytes");
+  }
+  if (stats2 != stats1) {
+    return diverge(kName,
+                   "post-crash resume changed the merged stats JSON bytes");
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> kNames = {
       "func-vs-pipeline",  "predecode-vs-raw",   "sweep-vs-replay",
       "ladder-vs-scratch", "pruned-vs-unpruned", "snapshot-vs-fresh",
-      "batch-vs-seq",      "flat-vs-seed"};
+      "batch-vs-seq",      "flat-vs-seed",       "sharded-vs-single"};
   return kNames;
 }
 
@@ -827,6 +968,7 @@ std::optional<Divergence> run_oracle(const std::string& name,
   if (name == "snapshot-vs-fresh") return oracle_snapshot_vs_fresh(prog, cfg);
   if (name == "batch-vs-seq") return oracle_batch_vs_seq(prog, cfg);
   if (name == "flat-vs-seed") return oracle_flat_vs_seed(prog, cfg);
+  if (name == "sharded-vs-single") return oracle_sharded_vs_single(prog, cfg);
   throw std::invalid_argument("unknown oracle '" + name + "'");
 }
 

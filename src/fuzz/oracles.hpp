@@ -4,7 +4,7 @@
 // simulator bug by construction — the paper's whole detection argument
 // rests on redundant executions of the same code being bit-identical.
 //
-// The eight oracle pairs (named as listed by oracle_names()):
+// The nine oracle pairs (named as listed by oracle_names()):
 //
 //   func-vs-pipeline     functional golden vs cycle-level commit stream
 //   predecode-vs-raw     predecoded fast paths vs per-instruction raw decode
@@ -30,6 +30,12 @@
 //                        vs copy-construction vs an uninterrupted run —
 //                        commit-for-commit with timing, per-injection
 //                        classification, and architectural stats JSON bytes
+//   sharded-vs-single    the campaign service (shard / serve / journal /
+//                        merge) vs a single-process campaign: CSV table and
+//                        architectural stats JSON bytes must match exactly,
+//                        including after a simulated mid-fleet crash (a
+//                        journal truncated at a program-derived kill point
+//                        plus an expired-lease claim) followed by a resume
 #pragma once
 
 #include <cstdint>
@@ -53,7 +59,7 @@ struct Divergence {
   std::string detail;
 };
 
-/// Names of the eight oracle pairs, in canonical order.
+/// Names of the nine oracle pairs, in canonical order.
 const std::vector<std::string>& oracle_names();
 
 /// Runs one oracle by name; nullopt = paths agreed.  Throws

@@ -183,10 +183,15 @@ const char* class_name(MetricClass c) {
 }  // namespace
 
 void Registry::write_json(std::ostream& os, bool include_diagnostic) const {
-  const auto merged = snapshot();
+  write_stats_json(os, snapshot(), include_diagnostic);
+}
+
+void write_stats_json(std::ostream& os,
+                      const std::map<std::string, MetricValue>& stats,
+                      bool include_diagnostic) {
   os << "{\n  \"schema\": \"itr-stats-v1\",\n  \"stats\": {";
   bool first = true;
-  for (const auto& [name, m] : merged) {
+  for (const auto& [name, m] : stats) {
     if (m.cls == MetricClass::kDiagnostic && !include_diagnostic) continue;
     if (!first) os << ',';
     first = false;
@@ -213,6 +218,236 @@ void Registry::write_json(std::ostream& os, bool include_diagnostic) const {
     os << '}';
   }
   os << "\n  }\n}\n";
+}
+
+namespace {
+
+/// Minimal JSON scanner for the itr-stats-v1 subset write_stats_json emits:
+/// objects, string keys, unsigned integers, arrays of unsigned integers,
+/// `true`/`false`.  Whitespace- and key-order-insensitive so hand-edited
+/// fixtures parse too; anything outside the subset throws.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("itr-stats-v1 parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '/': c = '/'; break;
+          default: fail(std::string("unsupported escape '\\") + esc + "'");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::uint64_t parse_u64() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail("expected an unsigned integer");
+    }
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > (~std::uint64_t{0} - digit) / 10) fail("integer overflows 64 bits");
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    return v;
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true/false");
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+MetricValue parse_metric(JsonCursor& cur, const std::string& name) {
+  MetricValue m;
+  bool have_kind = false;
+  bool have_value = false;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "kind") {
+        const std::string kind = cur.parse_string();
+        if (kind == "counter") m.kind = MetricKind::kCounter;
+        else if (kind == "gauge") m.kind = MetricKind::kGauge;
+        else if (kind == "histogram") m.kind = MetricKind::kHistogram;
+        else cur.fail("unknown metric kind '" + kind + "' for '" + name + "'");
+        have_kind = true;
+      } else if (key == "class") {
+        const std::string cls = cur.parse_string();
+        if (cls == "architectural") m.cls = MetricClass::kArchitectural;
+        else if (cls == "diagnostic") m.cls = MetricClass::kDiagnostic;
+        else cur.fail("unknown metric class '" + cls + "' for '" + name + "'");
+      } else if (key == "value") {
+        m.value = cur.parse_u64();
+        have_value = true;
+      } else if (key == "bin_width") {
+        m.spec.bin_width = cur.parse_u64();
+      } else if (key == "count") {
+        m.count = cur.parse_u64();
+      } else if (key == "sum") {
+        m.sum = cur.parse_u64();
+      } else if (key == "bins") {
+        cur.expect('[');
+        if (!cur.consume_if(']')) {
+          do {
+            m.bins.push_back(cur.parse_u64());
+          } while (cur.consume_if(','));
+          cur.expect(']');
+        }
+      } else if (key == "overflow_last") {
+        (void)cur.parse_bool();
+      } else {
+        cur.fail("unknown metric field '" + key + "' for '" + name + "'");
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  if (!have_kind) cur.fail("metric '" + name + "' has no kind");
+  if (m.kind == MetricKind::kHistogram) {
+    if (m.bins.empty()) cur.fail("histogram '" + name + "' has no bins");
+    // bins = num_bins + trailing overflow, mirroring Registry::observe.
+    m.spec.num_bins = m.bins.size() - 1;
+    if (m.spec.bin_width == 0) cur.fail("histogram '" + name + "' has no bin_width");
+  } else if (!have_value) {
+    cur.fail("metric '" + name + "' has no value");
+  }
+  return m;
+}
+
+}  // namespace
+
+std::map<std::string, MetricValue> parse_stats_json(std::string_view text) {
+  JsonCursor cur(text);
+  std::map<std::string, MetricValue> out;
+  bool saw_schema = false;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "schema") {
+        const std::string schema = cur.parse_string();
+        if (schema != "itr-stats-v1") {
+          cur.fail("unsupported schema '" + schema + "'");
+        }
+        saw_schema = true;
+      } else if (key == "stats") {
+        cur.expect('{');
+        if (!cur.consume_if('}')) {
+          do {
+            const std::string name = cur.parse_string();
+            cur.expect(':');
+            out[name] = parse_metric(cur, name);
+          } while (cur.consume_if(','));
+          cur.expect('}');
+        }
+      } else {
+        cur.fail("unknown top-level field '" + key + "'");
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  if (!cur.at_end()) cur.fail("trailing bytes after document");
+  if (!saw_schema) cur.fail("missing schema tag");
+  return out;
+}
+
+void merge_stats(std::map<std::string, MetricValue>& into,
+                 const std::map<std::string, MetricValue>& from) {
+  for (const auto& [name, m] : from) {
+    auto [it, inserted] = into.emplace(name, m);
+    if (inserted) continue;
+    MetricValue& out = it->second;
+    if (out.kind != m.kind) {
+      throw std::runtime_error("merge_stats: metric '" + name +
+                               "' has conflicting kinds across documents");
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.value += m.value;
+        break;
+      case MetricKind::kGauge:
+        out.value = std::max(out.value, m.value);
+        break;
+      case MetricKind::kHistogram:
+        if (out.bins.size() != m.bins.size() ||
+            out.spec.bin_width != m.spec.bin_width) {
+          throw std::runtime_error("merge_stats: histogram '" + name +
+                                   "' has conflicting geometries");
+        }
+        for (std::size_t i = 0; i < m.bins.size(); ++i) out.bins[i] += m.bins[i];
+        out.count += m.count;
+        out.sum += m.sum;
+        break;
+    }
+  }
 }
 
 void Registry::reset() {

@@ -118,6 +118,33 @@ class Registry {
 /// The process-wide registry used by all built-in instrumentation.
 Registry& registry();
 
+// ---- Snapshot-level stats documents (campaign-service shard merge). --------
+// A shard worker serializes its registry with Registry::write_json into the
+// shard journal; the merger parses the documents back, folds them with the
+// same commutative semantics snapshot() uses across thread shards, and
+// re-serializes through the identical writer — which is what makes a merged
+// multi-process campaign's stats JSON byte-identical to a single process run.
+
+/// Writes a metric map in the exact Registry::write_json format
+/// (`{"schema": "itr-stats-v1", "stats": {...}}`, sorted keys, 2-space
+/// indent).  Registry::write_json delegates here.
+void write_stats_json(std::ostream& os,
+                      const std::map<std::string, MetricValue>& stats,
+                      bool include_diagnostic = false);
+
+/// Parses an itr-stats-v1 document (the write_json output) back into metric
+/// values.  Throws std::runtime_error on malformed input or a wrong schema
+/// tag — a truncated shard journal must fail loudly, not merge as zeros.
+std::map<std::string, MetricValue> parse_stats_json(std::string_view text);
+
+/// Commutatively folds `from` into `into`: counters and histogram
+/// bins/count/sum add, gauges take the max — the same merge snapshot()
+/// applies across thread shards, so shard order cannot change the result.
+/// Throws std::runtime_error when one metric name carries incompatible
+/// kinds or histogram geometries across documents.
+void merge_stats(std::map<std::string, MetricValue>& into,
+                 const std::map<std::string, MetricValue>& from);
+
 // ---- Convenience wrappers over registry() with the enabled-guard inlined.
 // The guard lives here, not inside Registry, so the off path costs one load
 // and one branch with no function call.

@@ -1,0 +1,97 @@
+#include "util/file_io.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace itr::util {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                          std::uint64_t hash) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes) noexcept {
+  namespace fsys = std::filesystem;
+  std::error_code ec;
+  const fsys::path target(path);
+  if (target.has_parent_path()) fsys::create_directories(target.parent_path(), ec);
+
+  // Unique per process AND per call site: concurrent writers in one process
+  // (e.g. two worker threads saving the same cache entry) must not share a
+  // temp path either.
+  static std::atomic<std::uint64_t> g_serial{0};
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << '.'
+           << g_serial.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_name.str();
+
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ok = static_cast<bool>(
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size())));
+    if (ok) {
+      // flush() surfaces buffered-write failures (ENOSPC, EIO) that write()
+      // alone can hide; close() sets failbit if the final flush fails.  A
+      // rename of an unverified file is exactly the truncated-cache bug this
+      // helper exists to prevent.
+      out.flush();
+      ok = out.good();
+      out.close();
+      ok = ok && !out.fail();
+    }
+  }
+  if (ok) {
+    std::filesystem::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) {
+    std::error_code rm_ec;
+    fsys::remove(tmp, rm_ec);
+  }
+  return ok;
+}
+
+void atomic_write_file_or_throw(const std::string& path, std::string_view bytes) {
+  if (!atomic_write_file(path, bytes)) {
+    throw std::runtime_error("cannot write '" + path +
+                             "' (disk full, missing directory, or permission?)");
+  }
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+bool process_alive(int pid) noexcept {
+  if (pid <= 0) return false;  // never probe process groups
+  if (::kill(pid, 0) == 0) return true;
+  return errno == EPERM;  // exists but not signalable by us
+}
+
+std::uint64_t unix_now_seconds() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                        std::chrono::system_clock::now()
+                                            .time_since_epoch())
+                                        .count());
+}
+
+}  // namespace itr::util

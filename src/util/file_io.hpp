@@ -1,0 +1,46 @@
+// Durable file I/O shared by the stream cache, the campaign service journal
+// and every CSV/stats writer: atomic whole-file replacement via the unique
+// temp + rename idiom, with the flush/close failure checking a crash-safe
+// writer needs (an unchecked close can silently truncate on ENOSPC, and a
+// renamed-but-truncated file poisons its path until someone validates it).
+//
+// The contract every caller relies on: after atomic_write_file returns true,
+// `path` contains exactly `bytes`; after it returns false, `path` is
+// untouched (still absent, or still holding its previous contents) and no
+// temp file is left behind.  Readers therefore never observe a torn file —
+// at worst a stale or missing one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace itr::util {
+
+/// FNV-1a over a byte range; the seed parameter chains multi-part hashes.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                          std::uint64_t hash = 1469598103934665603ULL) noexcept;
+
+/// Atomically replaces `path` with `bytes`: writes a pid-unique temp file in
+/// the same directory (created if missing), flushes, verifies the stream is
+/// still good after close, and renames over `path`.  Any failure removes the
+/// temp and returns false.  Concurrent writers race benignly (last rename
+/// wins, every intermediate state is a complete file).
+bool atomic_write_file(const std::string& path, std::string_view bytes) noexcept;
+
+/// atomic_write_file that throws std::runtime_error naming `path` on
+/// failure; for CLI output paths where silent loss is unacceptable.
+void atomic_write_file_or_throw(const std::string& path, std::string_view bytes);
+
+/// Whole-file read (binary); nullopt when the file cannot be opened or read.
+std::optional<std::string> read_file_bytes(const std::string& path);
+
+/// True while `pid` names a live process (kill(pid, 0) probe; a process we
+/// cannot signal for permission reasons still counts as alive).
+bool process_alive(int pid) noexcept;
+
+/// Seconds since the Unix epoch (wall clock; lease bookkeeping only).
+std::uint64_t unix_now_seconds() noexcept;
+
+}  // namespace itr::util

@@ -1,10 +1,10 @@
 #include "util/obs_flags.hpp"
 
-#include <fstream>
-#include <stdexcept>
+#include <sstream>
 
 #include "obs/registry.hpp"
 #include "obs/trace_event.hpp"
+#include "util/file_io.hpp"
 
 namespace itr::util {
 
@@ -19,21 +19,19 @@ ObsGuard::ObsGuard(const CliFlags& flags)
 void ObsGuard::write() {
   if (written_) return;
   written_ = true;
+  // Serialize to memory first, then publish via temp+rename: a crash or
+  // full disk mid-write used to leave a truncated JSON file in place, which
+  // downstream consumers (bench_diff.py, CI artifact scrapers) read as a
+  // silently-empty stats dump.
   if (!stats_json_.empty()) {
-    std::ofstream os(stats_json_, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("cannot open --stats-json file '" + stats_json_ +
-                               "'");
-    }
+    std::ostringstream os;
     obs::registry().write_json(os, stats_full_);
+    atomic_write_file_or_throw(stats_json_, os.str());
   }
   if (!trace_out_.empty()) {
-    std::ofstream os(trace_out_, std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("cannot open --trace-out file '" + trace_out_ +
-                               "'");
-    }
+    std::ostringstream os;
     obs::tracer().write_json(os);
+    atomic_write_file_or_throw(trace_out_, os.str());
   }
 }
 

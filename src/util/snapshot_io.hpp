@@ -74,7 +74,9 @@ template <typename T>
 inline std::byte* put_vec(std::byte* out, const std::vector<T>& v) noexcept {
   static_assert(std::is_trivially_copyable_v<T>);
   out = put(out, static_cast<std::uint64_t>(v.size()));
-  std::memcpy(out, v.data(), v.size() * sizeof(T));
+  // memcpy requires non-null pointers even for zero-byte copies, and an
+  // empty vector's data() may be null.
+  if (!v.empty()) std::memcpy(out, v.data(), v.size() * sizeof(T));
   return out + v.size() * sizeof(T);
 }
 
@@ -84,7 +86,7 @@ inline const std::byte* get_vec(const std::byte* in, std::vector<T>& v) {
   std::uint64_t n = 0;
   in = get(in, n);
   v.resize(static_cast<std::size_t>(n));
-  std::memcpy(v.data(), in, v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(v.data(), in, v.size() * sizeof(T));
   return in + v.size() * sizeof(T);
 }
 

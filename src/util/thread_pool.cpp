@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 #include "obs/registry.hpp"
 
@@ -54,8 +56,24 @@ void ThreadPool::wait() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
   if (first_error_ != nullptr) {
     std::exception_ptr err = first_error_;
+    const std::uint64_t failures = error_count_;
     first_error_ = nullptr;
-    std::rethrow_exception(err);
+    error_count_ = 0;
+    lock.unlock();
+    if (failures <= 1) std::rethrow_exception(err);
+    // Multiple jobs failed in this batch; rethrowing only the first would
+    // under-report the damage (e.g. a campaign losing dozens of injections
+    // to the same root cause would look like one isolated error).
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::to_string(failures) +
+                               " pool tasks failed; first: " + e.what());
+    } catch (...) {
+      throw std::runtime_error(std::to_string(failures) +
+                               " pool tasks failed; first is not derived "
+                               "from std::exception");
+    }
   }
 }
 
@@ -75,6 +93,7 @@ void ThreadPool::worker_loop() {
       job();
     } catch (...) {
       lock.lock();
+      ++error_count_;
       if (first_error_ == nullptr) first_error_ = std::current_exception();
       lock.unlock();
     }

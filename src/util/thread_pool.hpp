@@ -34,11 +34,16 @@ class ThreadPool {
 
   /// Enqueues one job.  Jobs must not throw out of the pool unobserved:
   /// an exception thrown by a job is captured (first wins) and rethrown by
-  /// the next wait().
+  /// the next wait().  Later failures in the same batch are not silently
+  /// dropped — every one increments a latch that wait() reports.
   void submit(std::function<void()> job);
 
   /// Blocks until the queue is empty and every worker is idle, then
-  /// rethrows the first captured job exception, if any.
+  /// rethrows the first captured job exception, if any.  When more than one
+  /// job failed since the last wait(), the rethrown exception is a
+  /// std::runtime_error naming the total failure count alongside the first
+  /// failure's message, so a campaign that loses 40 injections does not
+  /// masquerade as a single isolated error.
   void wait();
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
@@ -55,6 +60,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::exception_ptr first_error_;
+  std::uint64_t error_count_ = 0;  // failures since the last wait()
   unsigned active_ = 0;
   bool stopping_ = false;
 };

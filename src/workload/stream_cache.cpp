@@ -1,14 +1,12 @@
 #include "workload/stream_cache.hpp"
 
-#include <unistd.h>
-
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <sstream>
 
+#include "util/file_io.hpp"
 #include "workload/generator.hpp"
 
 namespace itr::workload {
@@ -165,40 +163,26 @@ bool save_stream(const std::string& path, const StreamKey& key,
   put_u64(file, fnv1a(payload.data(), payload.size()));
   file.append(payload);
 
-  // Unique temp name + atomic rename: concurrent writers race benignly (all
+  // Unique temp name + atomic rename via util::atomic_write_file, which also
+  // verifies the flush/close succeeded: an unchecked close used to rename a
+  // truncated file into place on ENOSPC, poisoning the cache entry until the
+  // load-side hash check rejected it.  Concurrent writers race benignly (all
   // write identical bytes) and readers never see a torn file.
-  std::error_code ec;
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path(), ec);
-  std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << ::getpid() << '.'
-           << reinterpret_cast<std::uintptr_t>(&file);
-  const std::string tmp = tmp_name.str();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.write(file.data(), static_cast<std::streamsize>(file.size()))) {
-      std::error_code rm_ec;
-      std::filesystem::remove(tmp, rm_ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code rm_ec;
-    std::filesystem::remove(tmp, rm_ec);
-    return false;
-  }
-  return true;
+  return util::atomic_write_file(path, file);
 }
 
-std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& path,
-                                                           const StreamKey& key) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string file = buffer.str();
+namespace {
 
+/// Why parse_stream rejected a file: a kMismatch file is intact but belongs
+/// to a different key (filename hash collision) and must be left alone; a
+/// kCorrupt file is damaged at rest (truncated write, bit rot) and is
+/// deleted so the next run regenerates and rewrites it instead of paying
+/// the failed-validation read forever.
+enum class LoadFailure { kNone, kMismatch, kCorrupt };
+
+std::optional<std::vector<core::CompactTrace>> parse_stream(
+    const std::string& file, const StreamKey& key, LoadFailure& why) {
+  why = LoadFailure::kCorrupt;
   Cursor cursor(file.data(), file.size());
   char magic[8];
   if (!cursor.read_bytes(magic, sizeof(magic)) ||
@@ -215,6 +199,7 @@ std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& pa
       stored_len != key.max_trace_length || name_len != key.benchmark.size() ||
       cursor.remaining() < name_len ||
       std::memcmp(cursor.here(), key.benchmark.data(), name_len) != 0) {
+    why = LoadFailure::kMismatch;
     return std::nullopt;
   }
   std::string name(name_len, '\0');
@@ -243,6 +228,22 @@ std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& pa
         static_cast<std::uint32_t>(n);
   }
   if (cursor.remaining() != 0) return std::nullopt;
+  why = LoadFailure::kNone;
+  return stream;
+}
+
+}  // namespace
+
+std::optional<std::vector<core::CompactTrace>> load_stream(const std::string& path,
+                                                           const StreamKey& key) {
+  const auto file = util::read_file_bytes(path);
+  if (!file.has_value()) return std::nullopt;  // absent: nothing to clean up
+  LoadFailure why = LoadFailure::kNone;
+  auto stream = parse_stream(*file, key, why);
+  if (why == LoadFailure::kCorrupt) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
   return stream;
 }
 

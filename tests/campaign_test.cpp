@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fi/classify.hpp"
@@ -212,6 +213,29 @@ TEST(ThreadPool, ParallelForPropagatesBodyException) {
   std::atomic<std::size_t> sum{0};
   util::parallel_for(pool, 10, [&](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, WaitReportsEveryFailedJobInTheBatch) {
+  util::ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("job boom"); });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow when jobs failed";
+  } catch (const std::runtime_error& e) {
+    // Eight jobs failed; rethrowing only the first would hide seven.  The
+    // latched count and the first failure's message must both survive.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("8 pool tasks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("job boom"), std::string::npos) << what;
+  }
+  // The latch resets: a clean batch waits without throwing...
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait());
+  // ...and a later lone failure rethrows the original exception unchanged.
+  pool.submit([] { throw std::logic_error("solo"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
 }
 
 TEST(ThreadPool, SerialFallbackRunsInOrderOnCallingThread) {

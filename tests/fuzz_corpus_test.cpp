@@ -180,7 +180,7 @@ TEST(FuzzOracles, UnknownOracleNameThrows) {
   const isa::Program prog = generate_program(1).materialize();
   EXPECT_THROW(run_oracle("no-such-oracle", prog, OracleConfig{}),
                std::invalid_argument);
-  EXPECT_EQ(oracle_names().size(), 8u);
+  EXPECT_EQ(oracle_names().size(), 9u);
 }
 
 }  // namespace

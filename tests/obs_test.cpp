@@ -7,6 +7,7 @@
 // tests does not matter (they still run in one gtest process).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -159,6 +160,94 @@ TEST_F(ObsTest, JsonFiltersDiagnosticMetricsUnlessRequested) {
   EXPECT_NE(full.str().find("\"t.arch\""), std::string::npos);
   EXPECT_NE(full.str().find("\"t.diag\""), std::string::npos);
   EXPECT_NE(def.str().find("\"schema\": \"itr-stats-v1\""), std::string::npos);
+}
+
+TEST_F(ObsTest, StatsJsonParseWriteRoundTripIsByteExact) {
+  // The campaign-service merger re-serializes parsed shard documents, so
+  // write -> parse -> write must reproduce the input bytes exactly.
+  obs::count("t.counter", 7);
+  obs::gauge_max("t.gauge", 42);
+  const obs::HistogramSpec spec{/*bin_width=*/10, /*num_bins=*/4};
+  obs::observe("t.hist", 5, spec);
+  obs::observe("t.hist", 35, spec);
+  obs::observe("t.hist", 1'000, spec);  // overflow bin
+  obs::count("t.diag", 3, obs::MetricClass::kDiagnostic);
+
+  for (const bool include_diagnostic : {false, true}) {
+    std::ostringstream first;
+    obs::registry().write_json(first, include_diagnostic);
+    const auto parsed = obs::parse_stats_json(first.str());
+    std::ostringstream second;
+    obs::write_stats_json(second, parsed, include_diagnostic);
+    EXPECT_EQ(first.str(), second.str())
+        << "include_diagnostic=" << include_diagnostic;
+  }
+}
+
+TEST_F(ObsTest, MergeStatsMatchesSingleSessionAccumulation) {
+  const obs::HistogramSpec spec{/*bin_width=*/100, /*num_bins=*/8};
+  // Session A.
+  obs::count("t.counter", 3);
+  obs::gauge_max("t.gauge", 9);
+  obs::observe("t.hist", 150, spec);
+  const auto doc_a = obs::registry().snapshot();
+  obs::registry().reset();
+  // Session B.
+  obs::count("t.counter", 5);
+  obs::gauge_max("t.gauge", 4);
+  obs::observe("t.hist", 750, spec, obs::MetricClass::kArchitectural,
+               /*weight=*/2);
+  const auto doc_b = obs::registry().snapshot();
+  obs::registry().reset();
+  // The single session that saw everything.
+  obs::count("t.counter", 8);
+  obs::gauge_max("t.gauge", 9);
+  obs::observe("t.hist", 150, spec);
+  obs::observe("t.hist", 750, spec, obs::MetricClass::kArchitectural,
+               /*weight=*/2);
+  std::ostringstream combined;
+  obs::registry().write_json(combined, /*include_diagnostic=*/false);
+
+  std::map<std::string, obs::MetricValue> merged = doc_a;
+  obs::merge_stats(merged, doc_b);
+  std::ostringstream remerged;
+  obs::write_stats_json(remerged, merged, /*include_diagnostic=*/false);
+  EXPECT_EQ(remerged.str(), combined.str());
+}
+
+TEST_F(ObsTest, ParseStatsJsonFailsLoudlyOnDamage) {
+  obs::count("t.counter", 1);
+  std::ostringstream os;
+  obs::registry().write_json(os);
+  const std::string good = os.str();
+  EXPECT_NO_THROW(obs::parse_stats_json(good));
+  // Truncation at any interesting boundary must throw, never parse as fewer
+  // metrics.
+  EXPECT_THROW(obs::parse_stats_json(good.substr(0, good.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(obs::parse_stats_json(""), std::runtime_error);
+  EXPECT_THROW(obs::parse_stats_json("{\"schema\": \"other\", \"stats\": {}}"),
+               std::runtime_error);
+  EXPECT_THROW(obs::parse_stats_json(good + "x"), std::runtime_error);
+}
+
+TEST_F(ObsTest, MergeStatsRejectsIncompatibleMetrics) {
+  obs::count("t.metric", 1);
+  const auto counter_doc = obs::registry().snapshot();
+  obs::registry().reset();
+  obs::gauge_max("t.metric", 1);
+  const auto gauge_doc = obs::registry().snapshot();
+  obs::registry().reset();
+  obs::observe("t.metric", 1, obs::HistogramSpec{10, 4});
+  const auto narrow_doc = obs::registry().snapshot();
+  obs::registry().reset();
+  obs::observe("t.metric", 1, obs::HistogramSpec{20, 4});
+  const auto wide_doc = obs::registry().snapshot();
+
+  auto merged = counter_doc;
+  EXPECT_THROW(obs::merge_stats(merged, gauge_doc), std::runtime_error);
+  merged = narrow_doc;
+  EXPECT_THROW(obs::merge_stats(merged, wide_doc), std::runtime_error);
 }
 
 TEST_F(ObsTest, ResetDropsDataAndShardsKeepWorking) {

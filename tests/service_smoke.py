@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""service-smoke: kill a campaign worker mid-shard, resume, merge, compare.
+
+Drives the full multi-process campaign service lifecycle the way a real
+fleet (and a real crash) would, from outside the process:
+
+  1. shard a reduced two-benchmark fig08 campaign into a shard directory
+  2. start a worker (`itr_sim --campaign-serve`), SIGKILL it as soon as it
+     holds a claim — a genuinely torn fleet, not a simulated one
+  3. serve again: the resume pass must reclaim the dead worker's shard and
+     finish the campaign
+  4. merge, then byte-compare the merged CSV and stats JSON against a
+     single-process `fig08_fault_injection` run of the same campaign
+
+Exit status 0 = byte-identical, 1 = any mismatch or protocol failure.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import time
+
+CAMPAIGN = [
+    "--benchmarks", "bzip,gcc",
+    "--insns", "200000",
+    "--window", "15000",
+    "--seed", "1",
+]
+FAULTS = "24"
+
+
+def fail(message):
+    print(f"service_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, **kwargs):
+    proc = subprocess.run(cmd, **kwargs)
+    if proc.returncode != 0:
+        fail(f"command failed (rc={proc.returncode}): {' '.join(map(str, cmd))}")
+    return proc
+
+
+def kill_worker_mid_shard(worker, shard_dir, timeout=120.0):
+    """SIGKILLs `worker` once it holds a claim; True if the kill landed."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if worker.poll() is not None:
+            return False  # finished every shard before we could kill it
+        if any(shard_dir.glob("shard-*.claim")):
+            worker.kill()
+            worker.wait()
+            return True
+        time.sleep(0.002)
+    worker.kill()
+    worker.wait()
+    fail("worker never claimed a shard within the timeout")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--itr-sim", required=True)
+    parser.add_argument("--fig08", required=True)
+    parser.add_argument("--workdir", required=True,
+                        help="scratch directory unique to this test")
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(args.workdir)
+    shard_dir = workdir / "shards"
+    subprocess.run(["rm", "-rf", str(workdir)], check=True)
+    workdir.mkdir(parents=True)
+
+    run([args.itr_sim, "--campaign-shard", "--shard-dir", str(shard_dir),
+         "--campaign", FAULTS, "--shard-count", "3", "--bit-splits", "2",
+         *CAMPAIGN])
+    todos = sorted(shard_dir.glob("shard-*.todo"))
+    if len(todos) != 12:
+        fail(f"expected 12 shards, found {len(todos)}")
+
+    serve_cmd = [args.itr_sim, "--campaign-serve", "--shard-dir",
+                 str(shard_dir), "--threads", "1"]
+    worker = subprocess.Popen(serve_cmd, stdout=subprocess.DEVNULL)
+    killed = kill_worker_mid_shard(worker, shard_dir)
+    leftover_claims = len(list(shard_dir.glob("shard-*.claim")))
+    print(f"service_smoke: worker {'SIGKILLed mid-shard' if killed else 'finished early'}; "
+          f"{leftover_claims} claim(s) left behind")
+
+    # Resume: a fresh serve must reclaim the dead worker's shard(s) and
+    # finish the campaign, whatever state the kill left behind.
+    run(serve_cmd)
+    done = len(list(shard_dir.glob("shard-*.done")))
+    if done != 12:
+        fail(f"resume left {12 - done} shard(s) unfinished")
+    if any(shard_dir.glob("shard-*.claim")) or any(shard_dir.glob("shard-*.todo")):
+        fail("stray claim/todo files survived a completed campaign")
+
+    merged_csv = workdir / "merged.csv"
+    merged_stats = workdir / "merged_stats.json"
+    run([args.itr_sim, "--campaign-merge", "--shard-dir", str(shard_dir),
+         "--csv-out", str(merged_csv), "--stats-json", str(merged_stats)])
+
+    golden_stats = workdir / "golden_stats.json"
+    with open(workdir / "golden.csv", "wb") as out:
+        run([args.fig08, "--csv", "--faults", FAULTS, "--threads", "2",
+             "--stats-json", str(golden_stats), *CAMPAIGN], stdout=out)
+
+    for merged, golden, what in [
+        (merged_csv, workdir / "golden.csv", "outcome CSV"),
+        (merged_stats, golden_stats, "stats JSON"),
+    ]:
+        if merged.read_bytes() != golden.read_bytes():
+            fail(f"merged {what} differs from the single-process run "
+                 f"({merged} vs {golden})")
+
+    print("service_smoke: OK — killed fleet resumed; merged CSV and stats "
+          "JSON byte-identical to the single-process campaign")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,344 @@
+// Unit tests for the campaign service (src/fi/service): shard carving,
+// manifest round-trips, the claim/lease/journal lifecycle on disk, crash
+// recovery (truncated journals, dead-pid claims) and the byte-exact merge
+// against a single-process campaign.
+//
+// ctest -j rule: every test writes only under a scratch directory derived
+// from its own gtest test name, removed on teardown.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fi/service.hpp"
+#include "obs/registry.hpp"
+#include "util/file_io.hpp"
+#include "workload/generator.hpp"
+
+namespace itr::fi::service {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    scratch_ = fsys::path("service_test_scratch") /
+               (std::string(info->test_suite_name()) + "_" + info->name());
+    fsys::remove_all(scratch_);
+    fsys::create_directories(scratch_);
+    stats_were_enabled_ = obs::stats_enabled();
+    obs::registry().reset();
+  }
+
+  void TearDown() override {
+    obs::registry().reset();
+    obs::set_stats_enabled(stats_were_enabled_);
+    fsys::remove_all(scratch_);
+  }
+
+  std::string dir() const { return scratch_.string(); }
+
+  std::string shard_file(std::uint32_t index, const char* ext) const {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%04u", index);
+    return (scratch_ / (std::string(name) + ext)).string();
+  }
+
+  fsys::path scratch_;
+  bool stats_were_enabled_ = false;
+};
+
+/// A small spec that keeps every campaign in the suite under ~100ms.
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.benchmarks = {"bzip"};
+  spec.insns = 20'000;  // warmup 2'000, inject region 10'000
+  spec.faults = 6;
+  spec.window = 5'000;
+  spec.seed = 7;
+  return spec;
+}
+
+ServeOptions serve_options() {
+  ServeOptions options;
+  options.threads = 1;
+  options.source = [](const std::string& name, std::uint64_t insns) {
+    return workload::generate_spec(name, insns * 2);
+  };
+  return options;
+}
+
+std::string csv_of(const util::Table& table) {
+  std::ostringstream os;
+  table.print_csv(os);
+  return os.str();
+}
+
+TEST_F(ServiceTest, CarveShardsTilesThePlanExactly) {
+  CampaignSpec spec = small_spec();
+  spec.benchmarks = {"bzip", "gcc"};
+  spec.faults = 10;
+  const auto shards = carve_shards(spec, /*index_splits=*/3, /*bit_splits=*/2);
+  ASSERT_EQ(shards.size(), 2u * 3u * 2u);
+
+  // Shards are benchmark-major and their (index range x bit band) tiles must
+  // cover each benchmark's faults x 64-bit rectangle exactly once.
+  std::map<std::string, std::uint64_t> area;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].index, i);
+    const PlanSlice& s = shards[i].slice;
+    EXPECT_EQ(s.num_faults, spec.faults);
+    EXPECT_LT(s.begin, s.end);
+    EXPECT_LE(s.end, spec.faults);
+    EXPECT_LT(s.bit_begin, s.bit_end);
+    EXPECT_LE(s.bit_end, 64u);
+    area[shards[i].benchmark] +=
+        (s.end - s.begin) * (s.bit_end - s.bit_begin);
+  }
+  EXPECT_EQ(area["bzip"], spec.faults * 64);
+  EXPECT_EQ(area["gcc"], spec.faults * 64);
+
+  // Degenerate and invalid carvings.
+  EXPECT_EQ(carve_shards(spec, 1, 1).size(), 2u);
+  EXPECT_THROW(carve_shards(spec, 0, 1), std::invalid_argument);
+  EXPECT_THROW(carve_shards(spec, 1, 0), std::invalid_argument);
+  EXPECT_THROW(carve_shards(spec, 1, 65), std::invalid_argument);
+  EXPECT_THROW(carve_shards(spec, static_cast<std::uint32_t>(spec.faults + 1), 1),
+               std::invalid_argument);
+  spec.benchmarks = {"bzip", "bzip"};
+  EXPECT_THROW(carve_shards(spec, 1, 1), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, ManifestRoundTripsThroughTheShardDir) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, /*index_splits=*/2, /*bit_splits=*/2);
+  const Manifest mf = load_manifest(dir());
+  EXPECT_EQ(canonical_spec(mf.spec), canonical_spec(spec));
+  const auto expected = carve_shards(spec, 2, 2);
+  ASSERT_EQ(mf.shards.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(mf.shards[i].index, expected[i].index);
+    EXPECT_EQ(mf.shards[i].benchmark, expected[i].benchmark);
+    EXPECT_EQ(mf.shards[i].slice.begin, expected[i].slice.begin);
+    EXPECT_EQ(mf.shards[i].slice.end, expected[i].slice.end);
+    EXPECT_EQ(mf.shards[i].slice.bit_begin, expected[i].slice.bit_begin);
+    EXPECT_EQ(mf.shards[i].slice.bit_end, expected[i].slice.bit_end);
+    EXPECT_TRUE(fsys::exists(shard_file(expected[i].index, ".todo")));
+  }
+}
+
+TEST_F(ServiceTest, ShardingIsIdempotentButRefusesADifferentSpec) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 2, 1);
+  // Claim a shard, then re-shard: existing shard files must survive.
+  ASSERT_TRUE(fsys::exists(shard_file(0, ".todo")));
+  fsys::rename(shard_file(0, ".todo"), shard_file(0, ".claim"));
+  shard_campaign(dir(), spec, 2, 1);
+  EXPECT_FALSE(fsys::exists(shard_file(0, ".todo")));
+  EXPECT_TRUE(fsys::exists(shard_file(0, ".claim")));
+  EXPECT_TRUE(fsys::exists(shard_file(1, ".todo")));
+  // A different spec must not silently restart the campaign in place.
+  CampaignSpec other = small_spec();
+  other.seed = 8;
+  EXPECT_THROW(shard_campaign(dir(), other, 2, 1), std::runtime_error);
+}
+
+TEST_F(ServiceTest, MergeRefusesWhileShardsArePending) {
+  shard_campaign(dir(), small_spec(), 2, 1);
+  try {
+    (void)merge_campaign(dir());
+    FAIL() << "merge must refuse while journals are missing";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ServiceTest, ServeThenMergeMatchesSingleProcessBytes) {
+  const CampaignSpec spec = small_spec();
+
+  // Single-process reference (stats captured the same way itr_sim does).
+  obs::set_stats_enabled(true);
+  obs::registry().reset();
+  const auto prog = workload::generate_spec("bzip", spec.insns * 2);
+  FaultInjectionCampaign campaign(prog, make_campaign_config(spec));
+  const auto summary = campaign.run(spec.faults, /*threads=*/1);
+  std::ostringstream ref_stats;
+  obs::registry().write_json(ref_stats, /*include_diagnostic=*/false);
+  const std::string ref_csv = csv_of(fault_injection_table_from_tallies(
+      spec.benchmarks, {OutcomeTally::from_summary(summary)}));
+
+  shard_campaign(dir(), spec, /*index_splits=*/3, /*bit_splits=*/2);
+  const ServeReport rep = serve(dir(), serve_options());
+  EXPECT_EQ(rep.completed, 6u);
+  EXPECT_EQ(rep.done, 6u);
+  EXPECT_EQ(rep.busy, 0u);
+
+  const MergeResult merged = merge_campaign(dir());
+  EXPECT_EQ(csv_of(merged.table), ref_csv);
+  EXPECT_EQ(merged.stats_json, ref_stats.str());
+}
+
+TEST_F(ServiceTest, TruncatedJournalIsDiscardedAndRerun) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 2, 1);
+  (void)serve(dir(), serve_options());
+  const MergeResult first = merge_campaign(dir());
+
+  const std::string done = shard_file(1, ".done");
+  const auto bytes = util::read_file_bytes(done);
+  ASSERT_TRUE(bytes.has_value());
+  util::atomic_write_file_or_throw(done, bytes->substr(0, bytes->size() / 2));
+
+  EXPECT_THROW((void)merge_campaign(dir()), std::runtime_error);
+  const ServeReport rep = serve(dir(), serve_options());
+  EXPECT_EQ(rep.discarded, 1u);
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_EQ(rep.done, 2u);
+
+  const MergeResult second = merge_campaign(dir());
+  EXPECT_EQ(csv_of(second.table), csv_of(first.table));
+  EXPECT_EQ(second.stats_json, first.stats_json);
+}
+
+TEST_F(ServiceTest, DeadWorkersClaimIsReclaimed) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 2, 1);
+
+  // A real dead pid: fork a child that exits immediately and reap it.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+
+  // Forge the crash scene: shard 0 claimed by the now-dead child, lease
+  // still far from expiring on its own.
+  fsys::rename(shard_file(0, ".todo"), shard_file(0, ".claim"));
+  std::ostringstream lease;
+  lease << "ITRCLM1\n"
+        << "pid " << child << '\n'
+        << "epoch " << util::unix_now_seconds() << '\n'
+        << "lease-seconds " << 3'600 << '\n';
+  util::atomic_write_file_or_throw(shard_file(0, ".lease"), lease.str());
+
+  const ServeReport rep = serve(dir(), serve_options());
+  EXPECT_EQ(rep.reclaimed, 1u);
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.done, 2u);
+  EXPECT_NO_THROW((void)merge_campaign(dir()));
+}
+
+TEST_F(ServiceTest, LiveClaimWithFreshLeaseIsLeftAlone) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 2, 1);
+
+  // Shard 0 held by this very-much-alive process with a fresh lease.
+  fsys::rename(shard_file(0, ".todo"), shard_file(0, ".claim"));
+  std::ostringstream lease;
+  lease << "ITRCLM1\n"
+        << "pid " << ::getpid() << '\n'
+        << "epoch " << util::unix_now_seconds() << '\n'
+        << "lease-seconds " << 3'600 << '\n';
+  util::atomic_write_file_or_throw(shard_file(0, ".lease"), lease.str());
+
+  const ServeReport rep = serve(dir(), serve_options());
+  EXPECT_EQ(rep.reclaimed, 0u);
+  EXPECT_EQ(rep.completed, 1u);  // only shard 1 was claimable
+  EXPECT_EQ(rep.busy, 1u);
+  EXPECT_TRUE(fsys::exists(shard_file(0, ".claim")));
+  EXPECT_THROW((void)merge_campaign(dir()), std::runtime_error);
+}
+
+TEST_F(ServiceTest, ExpiredLeaseIsReclaimedEvenWithALivePid) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 2, 1);
+
+  fsys::rename(shard_file(0, ".todo"), shard_file(0, ".claim"));
+  std::ostringstream lease;  // epoch 1000 = 1970: expired long ago
+  lease << "ITRCLM1\n"
+        << "pid " << ::getpid() << '\n'
+        << "epoch " << 1'000 << '\n'
+        << "lease-seconds " << 1 << '\n';
+  util::atomic_write_file_or_throw(shard_file(0, ".lease"), lease.str());
+
+  const ServeReport rep = serve(dir(), serve_options());
+  EXPECT_EQ(rep.reclaimed, 1u);
+  EXPECT_EQ(rep.done, 2u);
+}
+
+TEST_F(ServiceTest, MaxShardsStopsEarlyAndAnotherServeFinishes) {
+  const CampaignSpec spec = small_spec();
+  shard_campaign(dir(), spec, 3, 1);
+  ServeOptions options = serve_options();
+  options.max_shards = 1;
+  const ServeReport rep1 = serve(dir(), options);
+  EXPECT_EQ(rep1.completed, 1u);
+  EXPECT_THROW((void)merge_campaign(dir()), std::runtime_error);
+  const ServeReport rep2 = serve(dir(), serve_options());
+  EXPECT_EQ(rep2.completed, 2u);
+  EXPECT_EQ(rep2.done, 3u);
+  EXPECT_NO_THROW((void)merge_campaign(dir()));
+}
+
+TEST_F(ServiceTest, RunSliceCompactionMatchesFullRun) {
+  // The slice engine is the heart of the shard worker: simulating only the
+  // members of each tile and concatenating in plan order must equal the
+  // unsliced campaign result for every tiling.
+  const CampaignSpec spec = small_spec();
+  const auto prog = workload::generate_spec("bzip", spec.insns * 2);
+  const CampaignConfig cfg = make_campaign_config(spec);
+
+  FaultInjectionCampaign full(prog, cfg);
+  const auto reference = full.run(spec.faults);
+
+  for (const auto& [index_splits, bit_splits] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{{2, 2}, {1, 64}}) {
+    CampaignSpec tiled = spec;
+    std::uint64_t tally_total = 0;
+    std::vector<InjectionResult> stitched;
+    for (const ShardSpec& sh : carve_shards(tiled, index_splits, bit_splits)) {
+      FaultInjectionCampaign worker(prog, cfg);
+      const auto part = worker.run_slice(sh.slice);
+      tally_total += part.total;
+      stitched.insert(stitched.end(), part.results.begin(), part.results.end());
+    }
+    EXPECT_EQ(tally_total, reference.total);
+    // Tiles arrive bit-band-major; re-order by plan index before comparing.
+    std::sort(stitched.begin(), stitched.end(),
+              [](const InjectionResult& a, const InjectionResult& b) {
+                return a.decode_index < b.decode_index ||
+                       (a.decode_index == b.decode_index && a.bit < b.bit);
+              });
+    std::vector<InjectionResult> ref_sorted = reference.results;
+    std::sort(ref_sorted.begin(), ref_sorted.end(),
+              [](const InjectionResult& a, const InjectionResult& b) {
+                return a.decode_index < b.decode_index ||
+                       (a.decode_index == b.decode_index && a.bit < b.bit);
+              });
+    ASSERT_EQ(stitched.size(), ref_sorted.size());
+    for (std::size_t i = 0; i < stitched.size(); ++i) {
+      EXPECT_EQ(stitched[i].decode_index, ref_sorted[i].decode_index);
+      EXPECT_EQ(stitched[i].bit, ref_sorted[i].bit);
+      EXPECT_EQ(stitched[i].outcome, ref_sorted[i].outcome);
+      EXPECT_EQ(stitched[i].detect_cycle, ref_sorted[i].detect_cycle);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace itr::fi::service

@@ -119,6 +119,10 @@ TEST_F(StreamCacheTest, KeyMismatchIsRejected) {
   EXPECT_FALSE(workload::load_stream(path, StreamKey{"gcc", 50'000, 16}));
   EXPECT_FALSE(workload::load_stream(path, StreamKey{"vortex", 50'001, 16}));
   EXPECT_FALSE(workload::load_stream(path, StreamKey{"vortex", 50'000, 8}));
+  // The file is intact, just keyed differently (filename hash collision
+  // shape): a mismatch must never delete another key's entry.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_TRUE(workload::load_stream(path, key).has_value());
 }
 
 TEST_F(StreamCacheTest, DistinctKeysGetDistinctFilenames) {
@@ -144,9 +148,12 @@ TEST_F(StreamCacheTest, CorruptPayloadIsRejected) {
   f.write(&byte, 1);
   f.close();
   EXPECT_FALSE(workload::load_stream(path, key).has_value());
+  // Damaged at rest: the loader deletes the file so the next run rewrites
+  // it instead of re-validating (and rejecting) the same bytes forever.
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
-TEST_F(StreamCacheTest, TruncatedFileIsRejected) {
+TEST_F(StreamCacheTest, TruncatedFileIsRejectedAndDeleted) {
   const StreamKey key{"vortex", 50'000, 16};
   const auto stream = synthetic_stream(5'000);
   const std::string path = scratch("trunc.itrs");
@@ -154,8 +161,11 @@ TEST_F(StreamCacheTest, TruncatedFileIsRejected) {
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size / 2);
   EXPECT_FALSE(workload::load_stream(path, key).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));  // corrupt entries are removed
+  ASSERT_TRUE(workload::save_stream(path, key, stream));
   std::filesystem::resize_file(path, 4);  // not even a full magic
   EXPECT_FALSE(workload::load_stream(path, key).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST_F(StreamCacheTest, CorruptCacheFileFallsBackToRegeneration) {

@@ -28,8 +28,27 @@ DEFAULT_COUNTERS = ("injections/sec", "commits/sec", "items_per_second")
 
 
 def load_json(path):
-    with open(path, encoding="utf-8") as f:
-        return json.load(f)
+    """Loads one input file, failing loudly on the truncation modes a crashed
+    or disk-full producer leaves behind.  A silent empty/garbage input must
+    not reach the diff logic: an empty stats dict would previously fall into
+    the "no comparable stats" path with a message that hides the real cause.
+    """
+    def fail(message):
+        print(f"error: {message}", file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"cannot read '{path}': {e}")
+    if not text.strip():
+        fail(f"'{path}' is empty — truncated or never written by its producer")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"'{path}' is not valid JSON ({e}) — likely a truncated write "
+             "by a crashed producer")
 
 
 def is_stats_schema(data):

@@ -12,6 +12,17 @@
 //   itr_sim --benchmark vortex --campaign 100 --threads 8
 //                                              fault-injection campaign
 //
+// Campaign service (sharded multi-process campaigns; see DESIGN.md §13):
+//   itr_sim --campaign-shard --shard-dir D --benchmarks a,b --campaign N ...
+//       carve the campaign into claimable shards (--shard-count index
+//       ranges × --bit-splits signal-bit bands per benchmark)
+//   itr_sim --campaign-serve --shard-dir D [--threads N] [--lease-seconds S]
+//       claim and run shards until none are claimable; run any number of
+//       these processes concurrently, and re-run after a kill to resume
+//   itr_sim --campaign-merge --shard-dir D [--csv-out F] [--stats-json F]
+//       fold completed shard journals into the byte-exact single-process
+//       campaign CSV and architectural stats JSON
+//
 // --threads N spreads campaign injections over N workers (0 = hardware
 // concurrency); the summary is identical at any thread count.
 // --ckpt-mode scratch|single|ladder picks the campaign's re-execution
@@ -35,6 +46,7 @@
 #include <string>
 
 #include "fi/classify.hpp"
+#include "fi/service.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
 #include "sim/functional.hpp"
@@ -44,9 +56,11 @@
 #include "itr/itr_cache.hpp"
 #include "obs/registry.hpp"
 #include "util/cli.hpp"
+#include "util/file_io.hpp"
 #include "util/obs_flags.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
+#include "workload/stream_cache.hpp"
 
 namespace {
 
@@ -144,11 +158,127 @@ int run_campaign(const isa::Program& prog, std::uint64_t faults,
   return 0;
 }
 
+// Shared flag plumbing for the three --campaign-* service modes.  These
+// modes manage the stats registry per shard themselves, so they bypass
+// ObsGuard; --stats-json is the merge mode's own output flag.
+int run_service(const util::CliFlags& flags, bool do_shard, bool do_serve) {
+  const std::string shard_dir = flags.get_string("shard-dir", "");
+  if (shard_dir.empty()) {
+    std::fprintf(stderr, "itr_sim: --campaign-%s requires --shard-dir DIR\n",
+                 do_shard ? "shard" : do_serve ? "serve" : "merge");
+    return 2;
+  }
+  // The trace stream cache is irrelevant to fig08-style campaigns today, but
+  // fleet drivers pass one cache root to every worker invocation; accept and
+  // apply it so mixed fleets need no per-binary argv edits.
+  const std::string cache_dir = flags.get_string("stream-cache", "");
+  if (cache_dir == "off" || cache_dir == "none") {
+    workload::set_stream_cache_dir("");
+  } else if (!cache_dir.empty()) {
+    workload::set_stream_cache_dir(cache_dir);
+  }
+
+  if (do_shard) {
+    fi::service::CampaignSpec spec;
+    const std::string benchmarks = flags.get_string("benchmarks", "");
+    std::stringstream ss(benchmarks);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) spec.benchmarks.push_back(item);
+    }
+    if (spec.benchmarks.empty()) {
+      std::fprintf(stderr, "itr_sim: --campaign-shard requires --benchmarks a,b\n");
+      return 2;
+    }
+    spec.insns = flags.get_u64("insns", 2'000'000);
+    spec.faults = flags.get_u64("campaign", 100);
+    spec.window = flags.get_u64("window", 100'000);
+    spec.seed = flags.get_u64("seed", 1);
+    spec.mode = fi::parse_checkpoint_mode(flags.get_string("ckpt-mode", "ladder"));
+    spec.ladder_interval = flags.get_u64("ckpt-interval", 0);
+    spec.prune.mode = fi::parse_prune_mode(flags.get_string("prune", "off"));
+    spec.prune.check_interval = flags.get_u64("prune-interval", 0);
+    spec.exec = fi::parse_exec_mode(flags.get_string("exec", "seq"));
+    spec.batch_width = flags.get_u64("batch-width", 16);
+    const auto index_splits =
+        static_cast<std::uint32_t>(flags.get_u64("shard-count", 4));
+    const auto bit_splits =
+        static_cast<std::uint32_t>(flags.get_u64("bit-splits", 1));
+    flags.reject_unknown();
+    fi::service::shard_campaign(shard_dir, spec, index_splits, bit_splits);
+    std::printf("sharded %zu benchmarks into %u x %u shards in %s\n",
+                spec.benchmarks.size(), index_splits, bit_splits,
+                shard_dir.c_str());
+    return 0;
+  }
+
+  if (do_serve) {
+    fi::service::ServeOptions opts;
+    opts.threads = util::resolve_threads(flags.get_u64("threads", 0));
+    opts.lease_seconds = flags.get_u64("lease-seconds", 600);
+    opts.max_shards = flags.get_u64("max-shards", 0);
+    opts.source = [](const std::string& name, std::uint64_t insns) {
+      return workload::generate_spec(name, insns);
+    };
+    flags.reject_unknown();
+    const auto rep = fi::service::serve(shard_dir, opts);
+    std::printf("served %s: %llu completed, %llu reclaimed, %llu discarded, "
+                "%llu busy elsewhere, %llu/%llu done\n",
+                shard_dir.c_str(),
+                static_cast<unsigned long long>(rep.completed),
+                static_cast<unsigned long long>(rep.reclaimed),
+                static_cast<unsigned long long>(rep.discarded),
+                static_cast<unsigned long long>(rep.busy),
+                static_cast<unsigned long long>(rep.done),
+                static_cast<unsigned long long>(
+                    fi::service::load_manifest(shard_dir).shards.size()));
+    return 0;
+  }
+
+  // --campaign-merge
+  const std::string csv_out = flags.get_string("csv-out", "");
+  const std::string stats_out = flags.get_string("stats-json", "");
+  const bool csv = flags.get_bool("csv", true);  // default CSV (merge output)
+  flags.reject_unknown();
+  const auto merged = fi::service::merge_campaign(shard_dir);
+  if (!csv_out.empty()) {
+    std::ostringstream os;
+    merged.table.print_csv(os);
+    util::atomic_write_file_or_throw(csv_out, os.str());
+  } else {
+    std::ostringstream os;
+    if (csv) {
+      merged.table.print_csv(os);
+    } else {
+      merged.table.print(os);
+    }
+    std::fputs(os.str().c_str(), stdout);
+  }
+  if (!stats_out.empty()) {
+    util::atomic_write_file_or_throw(stats_out, merged.stats_json);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::CliFlags flags(argc, argv);
+    const bool svc_shard = flags.get_bool("campaign-shard");
+    const bool svc_serve = flags.get_bool("campaign-serve");
+    const bool svc_merge = flags.get_bool("campaign-merge");
+    if (static_cast<int>(svc_shard) + static_cast<int>(svc_serve) +
+            static_cast<int>(svc_merge) >
+        1) {
+      std::fprintf(stderr,
+                   "itr_sim: pick one of --campaign-shard / --campaign-serve "
+                   "/ --campaign-merge\n");
+      return 2;
+    }
+    if (svc_shard || svc_serve || svc_merge) {
+      return run_service(flags, svc_shard, svc_serve);
+    }
     const std::string asm_path = flags.get_string("asm", "");
     const std::string benchmark = flags.get_string("benchmark", "");
     const auto max_insns = flags.get_u64("insns", 100'000'000);
